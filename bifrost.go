@@ -1,0 +1,169 @@
+// Package bifrost is the public facade of the Bifrost middleware: a system
+// for defining and automatically enacting multi-phase live testing
+// strategies (canary releases, dark launches, A/B tests, gradual rollouts),
+// reproducing Schermann, Schöni, Leitner & Gall, "Bifrost — Supporting
+// Continuous Deployment with Automated Enactment of Multi-Phase Live
+// Testing Strategies", Middleware 2016.
+//
+// The typical flow:
+//
+//	strategy, err := bifrost.CompileStrategy(yamlSource)
+//	eng := bifrost.NewEngine(bifrost.WithHTTPProxies())
+//	run, err := eng.Enact(strategy)
+//	run.Wait(ctx)
+//
+// Strategies are written in a YAML DSL (see package bifrost/internal/dsl
+// for the full grammar), validated against the formal model of the paper's
+// §3, and executed by an engine that reconfigures per-service Bifrost
+// proxies on every state change. See README.md for a guided tour and
+// examples/ for runnable programs.
+package bifrost
+
+import (
+	"context"
+	"time"
+
+	"bifrost/internal/analysis"
+	"bifrost/internal/clock"
+	"bifrost/internal/core"
+	"bifrost/internal/dsl"
+	"bifrost/internal/engine"
+	"bifrost/internal/metrics"
+	"bifrost/internal/proxy"
+)
+
+// Re-exported core model types. A Strategy is S = ⟨B, A⟩ of the paper's
+// formal model; see the internal/core documentation for the semantics.
+type (
+	// Strategy is a compiled, validated multi-phase live testing strategy.
+	Strategy = core.Strategy
+	// Service is one architectural component under live testing.
+	Service = core.Service
+	// Version is one deployed version of a service.
+	Version = core.Version
+	// State is one phase of the release automaton.
+	State = core.State
+	// Check is a timed basic or exception check.
+	Check = core.Check
+	// RoutingConfig is a state's dynamic routing configuration.
+	RoutingConfig = core.RoutingConfig
+	// ShadowRule duplicates traffic for dark launches.
+	ShadowRule = core.ShadowRule
+
+	// Engine enacts strategies.
+	Engine = engine.Engine
+	// Run tracks one strategy enactment.
+	Run = engine.Run
+	// Status is a run's progress snapshot.
+	Status = engine.Status
+	// Event is one observable engine occurrence.
+	Event = engine.Event
+
+	// Proxy is the per-service routing proxy.
+	Proxy = proxy.Proxy
+	// ProxyConfig is a proxy's routing configuration.
+	ProxyConfig = proxy.Config
+	// Backend is one routable version inside a ProxyConfig.
+	Backend = proxy.Backend
+)
+
+// CompileStrategy compiles YAML DSL source into a validated strategy,
+// resolving metric providers from the document's providers section.
+func CompileStrategy(src string) (*Strategy, error) {
+	return dsl.Compile(src)
+}
+
+// Compiler gives control over provider resolution (inject custom metric
+// queriers, set a default provider).
+type Compiler = dsl.Compiler
+
+// NewEngine creates a strategy-enactment engine.
+//
+// By default routing updates are delivered over HTTP to the proxies named
+// in the strategy's deployment section. Pass WithLocalProxies to wire
+// in-process proxies instead (tests, examples, single-binary setups).
+func NewEngine(opts ...EngineOption) *Engine {
+	cfg := engineConfig{
+		configurator: engine.HTTPConfigurator{},
+		clk:          clock.Real{},
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	engOpts := []engine.Option{
+		engine.WithConfigurator(cfg.configurator),
+		engine.WithClock(cfg.clk),
+	}
+	if cfg.registry != nil {
+		engOpts = append(engOpts, engine.WithRegistry(cfg.registry))
+	}
+	return engine.New(engOpts...)
+}
+
+type engineConfig struct {
+	configurator engine.Configurator
+	clk          clock.Clock
+	registry     *metrics.Registry
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*engineConfig)
+
+// WithHTTPProxies delivers routing updates over the proxies' admin APIs
+// (the default).
+func WithHTTPProxies() EngineOption {
+	return func(c *engineConfig) { c.configurator = engine.HTTPConfigurator{} }
+}
+
+// WithLocalProxies delivers routing updates directly to in-process proxies
+// registered on the returned registrar.
+func WithLocalProxies(reg *LocalProxies) EngineOption {
+	return func(c *engineConfig) { c.configurator = reg.lc }
+}
+
+// LocalProxies registers in-process proxies by service name.
+type LocalProxies struct {
+	lc *engine.LocalConfigurator
+}
+
+// NewLocalProxies creates an empty registrar.
+func NewLocalProxies() *LocalProxies {
+	return &LocalProxies{lc: engine.NewLocalConfigurator()}
+}
+
+// Register attaches the proxy fronting a service.
+func (l *LocalProxies) Register(service string, p *Proxy) {
+	l.lc.Register(service, p)
+}
+
+// NewProxy creates a Bifrost proxy for one service. The zero ProxyConfig
+// starts unconfigured; the engine pushes routing when a strategy runs.
+func NewProxy(service string, cfg ProxyConfig, opts ...proxy.Option) (*Proxy, error) {
+	return proxy.New(service, cfg, opts...)
+}
+
+// Validate checks a hand-built strategy against the formal model's
+// structural rules.
+func Validate(s *Strategy) error { return s.Validate() }
+
+// Analyze runs the strategy verification and reasoning tools: reachability
+// lints, rollout-time bounds, cycle detection.
+func Analyze(s *Strategy) (*analysis.Report, error) { return analysis.Analyze(s) }
+
+// ExpectedDuration estimates the expected rollout time under uniform
+// transition probabilities.
+func ExpectedDuration(s *Strategy) (time.Duration, error) {
+	return analysis.ExpectedDuration(s, analysis.UniformProbabilities(s))
+}
+
+// DOT renders the release automaton in Graphviz format.
+func DOT(s *Strategy) string { return analysis.DOT(s) }
+
+// WaitForCompletion blocks until the run finishes or the context expires,
+// returning the final status.
+func WaitForCompletion(ctx context.Context, r *Run) (Status, error) {
+	if err := r.Wait(ctx); err != nil {
+		return r.Status(), err
+	}
+	return r.Status(), nil
+}

@@ -1,0 +1,140 @@
+package bifrost
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bifrost/internal/engine"
+)
+
+// backendPair spins up two version backends and returns their URLs.
+func backendPair(t *testing.T) (string, string) {
+	t.Helper()
+	mk := func(name string) string {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("X-Served-By", name)
+			_, _ = w.Write([]byte(name))
+		}))
+		t.Cleanup(srv.Close)
+		return srv.URL
+	}
+	return mk("stable"), mk("canary")
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	stableURL, canaryURL := backendPair(t)
+
+	yaml := fmt.Sprintf(`
+name: public-api-demo
+deployment:
+  services:
+    - service: web
+      versions:
+        - name: stable
+          endpoint: %s
+        - name: canary
+          endpoint: %s
+strategy:
+  phases:
+    - phase: canary
+      duration: 300ms
+      routes:
+        - route:
+            service: web
+            weights: {stable: 95, canary: 5}
+      on:
+        success: full
+    - phase: full
+      routes:
+        - route:
+            service: web
+            weights: {canary: 100}
+`, stableURL, canaryURL)
+
+	strategy, err := CompileStrategy(yaml)
+	if err != nil {
+		t.Fatalf("CompileStrategy: %v", err)
+	}
+	if err := Validate(strategy); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	p, err := NewProxy("web", ProxyConfig{})
+	if err != nil {
+		t.Fatalf("NewProxy: %v", err)
+	}
+	defer p.Close()
+
+	local := NewLocalProxies()
+	local.Register("web", p)
+	eng := NewEngine(WithLocalProxies(local))
+	defer eng.Shutdown()
+
+	run, err := eng.Enact(strategy)
+	if err != nil {
+		t.Fatalf("Enact: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	status, err := WaitForCompletion(ctx, run)
+	if err != nil {
+		t.Fatalf("WaitForCompletion: %v", err)
+	}
+	if status.State != engine.RunCompleted {
+		t.Fatalf("state = %s (%s)", status.State, status.Error)
+	}
+	cfg := p.Config()
+	if len(cfg.Backends) != 1 || cfg.Backends[0].Version != "canary" {
+		t.Errorf("final proxy config = %+v, want canary 100%%", cfg.Backends)
+	}
+}
+
+func TestPublicAnalysisHelpers(t *testing.T) {
+	yaml := `
+name: tiny
+deployment:
+  services:
+    - service: s
+      versions:
+        - name: a
+          endpoint: h:1
+strategy:
+  phases:
+    - phase: only
+      duration: 10s
+      routes:
+        - route:
+            service: s
+            weights: {a: 100}
+      on: {}
+    - phase: end
+      routes:
+        - route:
+            service: s
+            weights: {a: 100}
+`
+	s, err := CompileStrategy(yaml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Analyze(s)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if report.MinDuration != 10*time.Second {
+		t.Errorf("min duration = %v", report.MinDuration)
+	}
+	d, err := ExpectedDuration(s)
+	if err != nil || d != 10*time.Second {
+		t.Errorf("expected duration = %v, %v", d, err)
+	}
+	dot := DOT(s)
+	if !strings.Contains(dot, `"only" -> "end"`) {
+		t.Errorf("DOT = %s", dot)
+	}
+}

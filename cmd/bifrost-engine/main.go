@@ -1,0 +1,78 @@
+// Command bifrost-engine runs the Bifrost engine daemon: the REST API the
+// CLI talks to, the live dashboard, and the engine's own /metrics endpoint.
+//
+// Usage:
+//
+//	bifrost-engine -listen 127.0.0.1:7000
+//
+// Strategies are scheduled via the API (see cmd/bifrost) as YAML documents
+// in the Bifrost DSL; routing updates are pushed over HTTP to the proxies
+// named in each strategy's deployment section.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bifrost/internal/dashboard"
+	"bifrost/internal/dsl"
+	"bifrost/internal/engine"
+	"bifrost/internal/httpx"
+	"bifrost/internal/metrics"
+	"bifrost/internal/sysmon"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bifrost-engine:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", "127.0.0.1:7000", "address to serve the API and dashboard on")
+	sampleEvery := flag.Duration("sysmon-interval", 5*time.Second, "resource sampling period (0 disables)")
+	flag.Parse()
+
+	registry := metrics.NewRegistry()
+	eng := engine.New(
+		engine.WithConfigurator(engine.HTTPConfigurator{}),
+		engine.WithRegistry(registry),
+	)
+	defer eng.Shutdown()
+
+	if *sampleEvery > 0 {
+		sampler := sysmon.New(registry, "engine", *sampleEvery, nil)
+		sampler.Start()
+		defer sampler.Stop()
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/api/", engine.NewAPI(eng, dsl.Compile).Handler())
+	mux.Handle("/-/healthy", engine.NewAPI(eng, dsl.Compile).Handler())
+	mux.Handle("/dashboard", dashboard.New(eng).Handler())
+	mux.Handle("/dashboard/", dashboard.New(eng).Handler())
+	mux.Handle("/metrics", registry.Handler())
+
+	srv, err := httpx.NewServer(*listen, mux)
+	if err != nil {
+		return err
+	}
+	srv.Start()
+	log.Printf("bifrost-engine listening on %s (dashboard at %s/dashboard)", srv.Addr(), srv.URL())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Println("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}

@@ -1,0 +1,86 @@
+// Command bifrost-proxy runs one Bifrost proxy: the per-service routing
+// component that live testing strategies reconfigure.
+//
+// Usage:
+//
+//	bifrost-proxy -service product -listen 127.0.0.1:8081 \
+//	    -backend product=http://127.0.0.1:9001 \
+//	    -backend productA=http://127.0.0.1:9002
+//
+// All traffic received on -listen is routed between the configured version
+// backends; the engine updates the configuration at runtime through the
+// admin API under /_bifrost/.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bifrost/internal/httpx"
+	"bifrost/internal/proxy"
+)
+
+type backendFlags []proxy.Backend
+
+func (b *backendFlags) String() string { return fmt.Sprint(*b) }
+
+func (b *backendFlags) Set(v string) error {
+	name, url, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("backend %q: want name=url", v)
+	}
+	weight := 0.0
+	if len(*b) == 0 {
+		weight = 1 // first backend starts with all traffic
+	}
+	*b = append(*b, proxy.Backend{Version: name, URL: url, Weight: weight})
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bifrost-proxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	service := flag.String("service", "", "service this proxy fronts (required)")
+	listen := flag.String("listen", "127.0.0.1:8081", "address to serve traffic on")
+	var backends backendFlags
+	flag.Var(&backends, "backend", "version backend as name=url (repeatable; first gets 100% until configured)")
+	flag.Parse()
+
+	if *service == "" {
+		return fmt.Errorf("missing -service")
+	}
+	cfg := proxy.Config{Service: *service, Generation: 0}
+	cfg.Backends = backends
+
+	p, err := proxy.New(*service, cfg)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+
+	srv, err := httpx.NewServer(*listen, p)
+	if err != nil {
+		return err
+	}
+	srv.Start()
+	log.Printf("bifrost-proxy for %q listening on %s (admin under /_bifrost/)", *service, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}

@@ -1,0 +1,168 @@
+// Command bifrost is the Bifrost CLI (paper §4.1): it connects to the
+// engine and schedules, inspects, and aborts release strategies — remotely
+// or from release scripts.
+//
+// Usage:
+//
+//	bifrost -engine http://127.0.0.1:7000 schedule strategy.yaml
+//	bifrost status [name]
+//	bifrost events [-n 50]
+//	bifrost abort name
+//	bifrost validate strategy.yaml     (local, no engine needed)
+//	bifrost graph strategy.yaml        (DOT to stdout)
+//	bifrost estimate strategy.yaml     (expected rollout time)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"bifrost/internal/analysis"
+	"bifrost/internal/dsl"
+	"bifrost/internal/engine"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bifrost:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bifrost", flag.ContinueOnError)
+	engineURL := fs.String("engine", "http://127.0.0.1:7000", "engine API base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: bifrost [-engine URL] <schedule|status|events|abort|validate|graph|estimate> [args]")
+	}
+	client := &engine.Client{BaseURL: *engineURL}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	switch cmd := rest[0]; cmd {
+	case "schedule":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: bifrost schedule <strategy.yaml>")
+		}
+		src, err := os.ReadFile(rest[1])
+		if err != nil {
+			return err
+		}
+		st, err := client.Schedule(ctx, string(src))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scheduled %s (state %s)\n", st.Strategy, st.State)
+		return nil
+
+	case "status":
+		if len(rest) == 2 {
+			st, err := client.Get(ctx, rest[1])
+			if err != nil {
+				return err
+			}
+			printStatus(st)
+			return nil
+		}
+		list, err := client.List(ctx)
+		if err != nil {
+			return err
+		}
+		if len(list) == 0 {
+			fmt.Println("no strategies")
+			return nil
+		}
+		for _, st := range list {
+			printStatus(st)
+		}
+		return nil
+
+	case "events":
+		n := 50
+		if len(rest) == 3 && rest[1] == "-n" {
+			if v, err := strconv.Atoi(rest[2]); err == nil {
+				n = v
+			}
+		}
+		events, err := client.Events(ctx, n)
+		if err != nil {
+			return err
+		}
+		for _, ev := range events {
+			fmt.Printf("%s  %-20s %-20s %s %s\n",
+				ev.Time.Format(time.RFC3339), ev.Strategy, ev.Type, ev.State, ev.Detail)
+		}
+		return nil
+
+	case "abort":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: bifrost abort <name>")
+		}
+		if err := client.Abort(ctx, rest[1]); err != nil {
+			return err
+		}
+		fmt.Printf("aborted %s\n", rest[1])
+		return nil
+
+	case "validate", "graph", "estimate":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: bifrost %s <strategy.yaml>", cmd)
+		}
+		src, err := os.ReadFile(rest[1])
+		if err != nil {
+			return err
+		}
+		strategy, err := dsl.Compile(string(src))
+		if err != nil {
+			return err
+		}
+		switch cmd {
+		case "validate":
+			report, err := analysis.Analyze(strategy)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("strategy %q is valid: %d states, rollout %v .. %v\n",
+				strategy.Name, len(strategy.Automaton.States),
+				report.MinDuration, report.MaxDuration)
+			if len(report.Unreachable) > 0 {
+				fmt.Printf("warning: unreachable states: %v\n", report.Unreachable)
+			}
+			if len(report.Trapped) > 0 {
+				fmt.Printf("warning: states that cannot finish: %v\n", report.Trapped)
+			}
+		case "graph":
+			fmt.Print(analysis.DOT(strategy))
+		case "estimate":
+			d, err := analysis.ExpectedDuration(strategy, analysis.UniformProbabilities(strategy))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("expected rollout time (uniform outcomes): %v\n", d)
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func printStatus(st engine.Status) {
+	fmt.Printf("%-24s %-10s current=%-16s transitions=%d delay=%v\n",
+		st.Strategy, st.State, st.Current, len(st.Path), st.Delay().Round(time.Millisecond))
+	for _, c := range st.Checks {
+		fmt.Printf("    check %-24s %s  %d/%d ok", c.Name, c.Kind, c.Successes, c.Executions)
+		if c.LastError != "" {
+			fmt.Printf("  last error: %s", c.LastError)
+		}
+		fmt.Println()
+	}
+}

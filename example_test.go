@@ -1,0 +1,120 @@
+package bifrost_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bifrost"
+)
+
+// ExampleCompileStrategy compiles a strategy written in the Bifrost DSL and
+// inspects the automaton the compiler produced.
+func ExampleCompileStrategy() {
+	strategy, err := bifrost.CompileStrategy(`
+name: docs-demo
+deployment:
+  services:
+    - service: api
+      versions:
+        - name: v1
+          endpoint: 10.0.0.1:80
+        - name: v2
+          endpoint: 10.0.0.2:80
+strategy:
+  phases:
+    - phase: canary
+      duration: 1h
+      routes:
+        - route:
+            service: api
+            weights: {v1: 95, v2: 5}
+      on:
+        success: full
+        failure: revert
+    - phase: full
+      routes:
+        - route: {service: api, weights: {v2: 100}}
+    - phase: revert
+      routes:
+        - route: {service: api, weights: {v1: 100}}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("name:", strategy.Name)
+	fmt.Println("states:", len(strategy.Automaton.States))
+	fmt.Println("start:", strategy.Automaton.Start)
+	fmt.Println("finals:", strategy.Automaton.Finals)
+	// Output:
+	// name: docs-demo
+	// states: 3
+	// start: canary
+	// finals: [full revert]
+}
+
+// ExampleAnalyze reasons about a strategy before enacting it: duration
+// bounds and the expected rollout time under uniform outcomes.
+func ExampleAnalyze() {
+	strategy, err := bifrost.CompileStrategy(`
+name: analysis-demo
+deployment:
+  services:
+    - service: api
+      versions:
+        - name: v1
+          endpoint: h:1
+        - name: v2
+          endpoint: h:2
+strategy:
+  phases:
+    - phase: canary
+      duration: 2h
+      routes:
+        - route: {service: api, weights: {v1: 95, v2: 5}}
+      on: {success: rollout}
+    - phase: rollout
+      gradual:
+        service: api
+        stable: v1
+        candidate: v2
+        from: 25
+        to: 100
+        step: 25
+        interval: 1h
+      on: {success: done}
+    - phase: done
+      routes:
+        - route: {service: api, weights: {v2: 100}}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := bifrost.Analyze(strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Without failure branches the single path takes 2h + 4×1h.
+	fmt.Println("fastest:", report.MinDuration)
+	fmt.Println("slowest:", report.MaxDuration)
+	expected, err := bifrost.ExpectedDuration(strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("expected ≤ slowest:", expected <= report.MaxDuration)
+	// Output:
+	// fastest: 6h0m0s
+	// slowest: 6h0m0s
+	// expected ≤ slowest: true
+}
+
+// ExampleValidate shows the aggregated error report for a broken strategy.
+func ExampleValidate() {
+	broken := &bifrost.Strategy{Name: "broken"}
+	err := bifrost.Validate(broken)
+	fmt.Println(err != nil)
+	// Output:
+	// true
+}
+
+var _ = time.Second // keep time imported for doc snippets above

@@ -1,0 +1,145 @@
+// Dark launch: duplicate production traffic to a shadow version.
+//
+// A redesigned recommendation engine must face production-like traffic
+// before any user sees it. The strategy keeps 100% of live traffic on the
+// stable version while duplicating every request to the shadow version,
+// whose responses are discarded — the Listing-2 scenario of the paper,
+// written in the paper's own route syntax.
+//
+//	go run ./examples/darklaunch
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"bifrost"
+	"bifrost/internal/httpx"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var liveHits, shadowHits atomic.Int64
+	live := serveCounting("recs-v1", &liveHits, 0)
+	shadow := serveCounting("recs-v2", &shadowHits, 3*time.Millisecond)
+	defer live.Shutdown(context.Background())
+	defer shadow.Shutdown(context.Background())
+
+	// The paper's Listing-2 form: from/to with a shadow traffic filter.
+	yaml := fmt.Sprintf(`
+name: recs-darklaunch
+deployment:
+  services:
+    - service: recs
+      versions:
+        - name: recs
+          endpoint: %s
+        - name: recsNext
+          endpoint: %s
+strategy:
+  phases:
+    - phase: dark
+      description: 100%% of traffic duplicated to the shadow version
+      duration: 3s
+      routes:
+        - route:
+            from: recs
+            to: recsNext
+            filters:
+              - traffic:
+                  percentage: 100
+                  shadow: true
+                  intervalTime: 60
+      on:
+        success: keep-stable
+    - phase: keep-stable
+      routes:
+        - route:
+            service: recs
+            weights: {recs: 100}
+`, live.URL(), shadow.URL())
+
+	strategy, err := bifrost.CompileStrategy(yaml)
+	if err != nil {
+		return err
+	}
+	proxy, err := bifrost.NewProxy("recs", bifrost.ProxyConfig{})
+	if err != nil {
+		return err
+	}
+	defer proxy.Close()
+	front, err := httpx.NewServer("127.0.0.1:0", proxy)
+	if err != nil {
+		return err
+	}
+	front.Start()
+	defer front.Shutdown(context.Background())
+
+	local := bifrost.NewLocalProxies()
+	local.Register("recs", proxy)
+	eng := bifrost.NewEngine(bifrost.WithLocalProxies(local))
+	defer eng.Shutdown()
+
+	run, err := eng.Enact(strategy)
+	if err != nil {
+		return err
+	}
+
+	// Production traffic during the dark phase. Every response must come
+	// from the live version — users never see the shadow.
+	const requests = 60
+	for i := 0; i < requests; i++ {
+		resp, rerr := http.Get(front.URL() + "/recommendations")
+		if rerr != nil {
+			continue
+		}
+		if v := resp.Header.Get("X-Bifrost-Version"); v != "recs" {
+			return fmt.Errorf("user-visible response from %q — dark launch leaked", v)
+		}
+		resp.Body.Close()
+		time.Sleep(30 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	status, err := bifrost.WaitForCompletion(ctx, run)
+	if err != nil {
+		return err
+	}
+	// Shadow delivery is asynchronous; give the queue a moment to drain.
+	time.Sleep(300 * time.Millisecond)
+
+	fmt.Printf("strategy finished: %s\n", status.State)
+	fmt.Printf("live version handled   %d requests\n", liveHits.Load())
+	fmt.Printf("shadow version endured %d duplicated requests (invisible to users)\n",
+		shadowHits.Load())
+	if shadowHits.Load() == 0 {
+		return fmt.Errorf("shadow never received traffic")
+	}
+	return nil
+}
+
+func serveCounting(name string, hits *atomic.Int64, delay time.Duration) *httpx.Server {
+	srv, err := httpx.NewServer("127.0.0.1:0", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			hits.Add(1)
+			if delay > 0 {
+				time.Sleep(delay) // the redesign is still slow under load
+			}
+			fmt.Fprintf(w, "recommendations from %s\n", name)
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.Start()
+	return srv
+}

@@ -1,0 +1,133 @@
+// Quickstart: canary-release a new version of one service in ~60 lines.
+//
+// Two toy backends stand in for the stable and canary versions; a Bifrost
+// proxy routes between them; the engine enacts a two-phase strategy that
+// sends 10% of traffic to the canary for two seconds and, if nothing looks
+// wrong, promotes it to 100%.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"bifrost"
+	"bifrost/internal/httpx"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	stable := serveVersion("v1")
+	canary := serveVersion("v2")
+	defer stable.Shutdown(context.Background())
+	defer canary.Shutdown(context.Background())
+
+	yaml := fmt.Sprintf(`
+name: quickstart
+deployment:
+  services:
+    - service: hello
+      versions:
+        - name: v1
+          endpoint: %s
+        - name: v2
+          endpoint: %s
+strategy:
+  phases:
+    - phase: canary
+      description: 10%% of traffic to v2
+      duration: 2s
+      routes:
+        - route:
+            service: hello
+            weights: {v1: 90, v2: 10}
+      on:
+        success: promoted
+    - phase: promoted
+      routes:
+        - route:
+            service: hello
+            weights: {v2: 100}
+`, stable.URL(), canary.URL())
+
+	strategy, err := bifrost.CompileStrategy(yaml)
+	if err != nil {
+		return err
+	}
+
+	proxy, err := bifrost.NewProxy("hello", bifrost.ProxyConfig{})
+	if err != nil {
+		return err
+	}
+	defer proxy.Close()
+	front, err := httpx.NewServer("127.0.0.1:0", proxy)
+	if err != nil {
+		return err
+	}
+	front.Start()
+	defer front.Shutdown(context.Background())
+
+	local := bifrost.NewLocalProxies()
+	local.Register("hello", proxy)
+	eng := bifrost.NewEngine(bifrost.WithLocalProxies(local))
+	defer eng.Shutdown()
+
+	run, err := eng.Enact(strategy)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("canary running — traffic through %s\n", front.URL())
+
+	// Poke the proxy while the canary phase runs.
+	hits := map[string]int{}
+	for i := 0; i < 40; i++ {
+		resp, err := http.Get(front.URL() + "/")
+		if err == nil {
+			hits[resp.Header.Get("X-Bifrost-Version")]++
+			resp.Body.Close()
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("during canary: %v\n", hits)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	status, err := bifrost.WaitForCompletion(ctx, run)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("strategy %s: %s, path:", status.Strategy, status.State)
+	for _, tr := range status.Path {
+		fmt.Printf(" %s→%s", tr.From, tr.To)
+	}
+	fmt.Println()
+
+	resp, err := http.Get(front.URL() + "/")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	fmt.Printf("after promotion every request hits: %s\n", resp.Header.Get("X-Bifrost-Version"))
+	return nil
+}
+
+func serveVersion(name string) *httpx.Server {
+	srv, err := httpx.NewServer("127.0.0.1:0", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, "hello from %s\n", name)
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.Start()
+	return srv
+}

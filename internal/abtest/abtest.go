@@ -1,0 +1,147 @@
+// Package abtest provides the statistical machinery for deciding A/B test
+// outcomes, following the practice the paper references (Kohavi et al.,
+// "Online Controlled Experiments at Large Scale"): two-proportion z-tests
+// for conversion-style metrics and Welch's t-test for continuous metrics,
+// with two-sided p-values from the normal approximation.
+package abtest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInsufficientData is returned when a test lacks the samples to reason.
+var ErrInsufficientData = errors.New("abtest: insufficient data")
+
+// Verdict summarizes a significance test.
+type Verdict struct {
+	// Winner is "A", "B", or "" when not significant.
+	Winner string
+	// Statistic is the z or t statistic.
+	Statistic float64
+	// PValue is the two-sided p-value.
+	PValue float64
+	// Significant reports PValue < alpha.
+	Significant bool
+	// Effect is the observed difference (A − B) in the tested quantity.
+	Effect float64
+}
+
+// String renders the verdict for status output.
+func (v Verdict) String() string {
+	if !v.Significant {
+		return fmt.Sprintf("no significant difference (p=%.4f)", v.PValue)
+	}
+	return fmt.Sprintf("%s wins (p=%.4f, effect=%+.4f)", v.Winner, v.PValue, v.Effect)
+}
+
+// Proportions compares conversion counts: successesA of trialsA vs
+// successesB of trialsB, at significance level alpha (e.g. 0.05), using the
+// pooled two-proportion z-test.
+func Proportions(successesA, trialsA, successesB, trialsB int, alpha float64) (Verdict, error) {
+	if trialsA <= 0 || trialsB <= 0 ||
+		successesA < 0 || successesB < 0 ||
+		successesA > trialsA || successesB > trialsB {
+		return Verdict{}, fmt.Errorf("%w: counts A=%d/%d B=%d/%d",
+			ErrInsufficientData, successesA, trialsA, successesB, trialsB)
+	}
+	pA := float64(successesA) / float64(trialsA)
+	pB := float64(successesB) / float64(trialsB)
+	pooled := float64(successesA+successesB) / float64(trialsA+trialsB)
+	se := math.Sqrt(pooled * (1 - pooled) * (1/float64(trialsA) + 1/float64(trialsB)))
+	if se == 0 {
+		// Identical all-or-nothing outcomes: no evidence of difference.
+		return Verdict{PValue: 1, Effect: pA - pB}, nil
+	}
+	z := (pA - pB) / se
+	return verdictFromStat(z, pA-pB, alpha), nil
+}
+
+// Summary holds the sufficient statistics of one variant's continuous
+// metric (e.g. basket value, response time).
+type Summary struct {
+	N    int
+	Mean float64
+	// Var is the sample variance (n−1 denominator).
+	Var float64
+}
+
+// Welch compares two continuous metrics with Welch's unequal-variance
+// t-test, using the normal approximation for the p-value (fine for the
+// sample sizes live testing produces).
+func Welch(a, b Summary, alpha float64) (Verdict, error) {
+	if a.N < 2 || b.N < 2 {
+		return Verdict{}, fmt.Errorf("%w: n_A=%d n_B=%d", ErrInsufficientData, a.N, b.N)
+	}
+	if a.Var < 0 || b.Var < 0 {
+		return Verdict{}, fmt.Errorf("abtest: negative variance")
+	}
+	se := math.Sqrt(a.Var/float64(a.N) + b.Var/float64(b.N))
+	diff := a.Mean - b.Mean
+	if se == 0 {
+		if diff == 0 {
+			return Verdict{PValue: 1}, nil
+		}
+		winner := "A"
+		if diff < 0 {
+			winner = "B"
+		}
+		return Verdict{Winner: winner, Statistic: math.Inf(sign(diff)),
+			PValue: 0, Significant: true, Effect: diff}, nil
+	}
+	t := diff / se
+	return verdictFromStat(t, diff, alpha), nil
+}
+
+// Summarize computes a Summary from raw samples.
+func Summarize(samples []float64) Summary {
+	n := len(samples)
+	if n == 0 {
+		return Summary{}
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return Summary{N: 1, Mean: mean}
+	}
+	var ss float64
+	for _, v := range samples {
+		d := v - mean
+		ss += d * d
+	}
+	return Summary{N: n, Mean: mean, Var: ss / float64(n-1)}
+}
+
+func verdictFromStat(stat, effect, alpha float64) Verdict {
+	p := 2 * (1 - normalCDF(math.Abs(stat)))
+	v := Verdict{
+		Statistic:   stat,
+		PValue:      p,
+		Significant: p < alpha,
+		Effect:      effect,
+	}
+	if v.Significant {
+		if effect > 0 {
+			v.Winner = "A"
+		} else {
+			v.Winner = "B"
+		}
+	}
+	return v
+}
+
+// normalCDF is the standard normal cumulative distribution function.
+func normalCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+func sign(f float64) int {
+	if f < 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,198 @@
+package abtest
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestProportionsClearWinner(t *testing.T) {
+	// A converts 15%, B converts 10%, large n → A wins.
+	v, err := Proportions(1500, 10000, 1000, 10000, 0.05)
+	if err != nil {
+		t.Fatalf("Proportions: %v", err)
+	}
+	if !v.Significant || v.Winner != "A" {
+		t.Errorf("verdict = %+v, want significant A win", v)
+	}
+	if v.PValue > 0.001 {
+		t.Errorf("p = %v, want tiny", v.PValue)
+	}
+	if math.Abs(v.Effect-0.05) > 1e-9 {
+		t.Errorf("effect = %v, want 0.05", v.Effect)
+	}
+	if !strings.Contains(v.String(), "A wins") {
+		t.Errorf("String = %q", v.String())
+	}
+}
+
+func TestProportionsNoDifference(t *testing.T) {
+	v, err := Proportions(100, 1000, 103, 1000, 0.05)
+	if err != nil {
+		t.Fatalf("Proportions: %v", err)
+	}
+	if v.Significant {
+		t.Errorf("verdict = %+v, want not significant", v)
+	}
+	if v.Winner != "" {
+		t.Errorf("winner = %q, want none", v.Winner)
+	}
+	if !strings.Contains(v.String(), "no significant") {
+		t.Errorf("String = %q", v.String())
+	}
+}
+
+func TestProportionsSmallSampleNotSignificant(t *testing.T) {
+	// 2/10 vs 1/10 looks like a 2× difference but cannot be significant.
+	v, err := Proportions(2, 10, 1, 10, 0.05)
+	if err != nil {
+		t.Fatalf("Proportions: %v", err)
+	}
+	if v.Significant {
+		t.Errorf("tiny sample significant: %+v", v)
+	}
+}
+
+func TestProportionsDegenerate(t *testing.T) {
+	v, err := Proportions(0, 100, 0, 100, 0.05)
+	if err != nil || v.Significant {
+		t.Errorf("all-zero: %+v, %v", v, err)
+	}
+	v, err = Proportions(100, 100, 100, 100, 0.05)
+	if err != nil || v.Significant {
+		t.Errorf("all-one: %+v, %v", v, err)
+	}
+}
+
+func TestProportionsErrors(t *testing.T) {
+	cases := [][4]int{
+		{0, 0, 0, 0},
+		{5, 4, 1, 10}, // successes > trials
+		{-1, 10, 1, 10},
+	}
+	for _, c := range cases {
+		if _, err := Proportions(c[0], c[1], c[2], c[3], 0.05); err == nil {
+			t.Errorf("Proportions(%v) succeeded", c)
+		}
+	}
+}
+
+func TestWelchDetectsMeanShift(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a := make([]float64, 500)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = 100 + r.NormFloat64()*10 // product A: mean basket 100
+		b[i] = 95 + r.NormFloat64()*10  // product B: mean basket 95
+	}
+	v, err := Welch(Summarize(a), Summarize(b), 0.05)
+	if err != nil {
+		t.Fatalf("Welch: %v", err)
+	}
+	if !v.Significant || v.Winner != "A" {
+		t.Errorf("verdict = %+v, want A wins", v)
+	}
+}
+
+func TestWelchNoShift(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	a := make([]float64, 200)
+	b := make([]float64, 200)
+	for i := range a {
+		a[i] = 50 + r.NormFloat64()*5
+		b[i] = 50 + r.NormFloat64()*5
+	}
+	v, err := Welch(Summarize(a), Summarize(b), 0.01)
+	if err != nil {
+		t.Fatalf("Welch: %v", err)
+	}
+	if v.Significant {
+		t.Errorf("verdict = %+v, want not significant", v)
+	}
+}
+
+func TestWelchZeroVariance(t *testing.T) {
+	a := Summarize([]float64{5, 5, 5})
+	b := Summarize([]float64{3, 3, 3})
+	v, err := Welch(a, b, 0.05)
+	if err != nil {
+		t.Fatalf("Welch: %v", err)
+	}
+	if !v.Significant || v.Winner != "A" {
+		t.Errorf("verdict = %+v", v)
+	}
+	same, err := Welch(a, a, 0.05)
+	if err != nil || same.Significant {
+		t.Errorf("identical: %+v, %v", same, err)
+	}
+}
+
+func TestWelchInsufficient(t *testing.T) {
+	if _, err := Welch(Summary{N: 1}, Summary{N: 5, Var: 1}, 0.05); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	// Sample variance with n−1 denominator: 32/7.
+	if math.Abs(s.Var-32.0/7.0) > 1e-9 {
+		t.Errorf("var = %v, want %v", s.Var, 32.0/7.0)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary wrong")
+	}
+	one := Summarize([]float64{42})
+	if one.N != 1 || one.Mean != 42 || one.Var != 0 {
+		t.Errorf("single = %+v", one)
+	}
+}
+
+// Property: p-values are valid probabilities and symmetric in A/B swap.
+func TestProportionSymmetryProperty(t *testing.T) {
+	f := func(sa, sb uint8) bool {
+		trials := 200
+		a, b := int(sa)%trials, int(sb)%trials
+		v1, err1 := Proportions(a, trials, b, trials, 0.05)
+		v2, err2 := Proportions(b, trials, a, trials, 0.05)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if v1.PValue < 0 || v1.PValue > 1 {
+			return false
+		}
+		if math.Abs(v1.PValue-v2.PValue) > 1e-12 {
+			return false
+		}
+		// Swapping the arms flips the winner.
+		if v1.Significant != v2.Significant {
+			return false
+		}
+		if v1.Significant && v1.Winner == v2.Winner {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.96, 0.975},
+		{-1.96, 0.025},
+		{3, 0.99865},
+	}
+	for _, c := range cases {
+		if got := normalCDF(c.x); math.Abs(got-c.want) > 0.001 {
+			t.Errorf("normalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}

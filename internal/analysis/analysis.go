@@ -1,0 +1,288 @@
+// Package analysis provides the verification and reasoning tools the paper
+// motivates ("Adopting Bifrost ... fosters formally or probabilistically
+// reasoning about the strategy, e.g., in terms of expected rollout time")
+// and lists as future work ("additional verification and validation tools
+// can be built on top of our work"):
+//
+//   - structural lints beyond core validation (unreachable states, states
+//     that cannot reach a final state, missing rollback paths)
+//   - rollout time bounds (best/worst case over acyclic paths)
+//   - expected rollout duration under a probabilistic model of check
+//     outcomes (absorbing Markov chain, solved iteratively)
+//   - Graphviz DOT export of the release automaton (Figure 2 as a picture)
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"bifrost/internal/core"
+)
+
+// Report is the result of Analyze: lints plus timing bounds.
+type Report struct {
+	// Unreachable lists states no path from the start reaches.
+	Unreachable []string
+	// Trapped lists reachable states from which no final state is
+	// reachable (the strategy could run forever).
+	Trapped []string
+	// NoRollback lists non-final states whose transition closure cannot
+	// reach a distinct final state other than full success — empty when
+	// every state can fail safe. Advisory only.
+	NoRollback []string
+	// MinDuration and MaxDuration bound the rollout time over acyclic
+	// paths from start to a final state.
+	MinDuration time.Duration
+	MaxDuration time.Duration
+	// HasCycle reports whether the automaton contains a cycle (self-loops
+	// excluded), making MaxDuration a lower bound of the true worst case.
+	HasCycle bool
+}
+
+// Analyze runs every structural analysis on the strategy.
+func Analyze(s *core.Strategy) (*Report, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Report{}
+
+	reach := s.ReachableStates()
+	for i := range s.Automaton.States {
+		id := s.Automaton.States[i].ID
+		if !reach[id] {
+			r.Unreachable = append(r.Unreachable, id)
+		}
+	}
+	sort.Strings(r.Unreachable)
+
+	// Trapped: reachable states that cannot reach any final state.
+	canFinish := reverseReachable(s)
+	for id := range reach {
+		if !canFinish[id] {
+			r.Trapped = append(r.Trapped, id)
+		}
+	}
+	sort.Strings(r.Trapped)
+
+	r.MinDuration, r.MaxDuration, r.HasCycle = durationBounds(s)
+	return r, nil
+}
+
+// reverseReachable returns the states from which some final state is
+// reachable.
+func reverseReachable(s *core.Strategy) map[string]bool {
+	// Build reverse adjacency.
+	rev := make(map[string][]string)
+	for i := range s.Automaton.States {
+		st := &s.Automaton.States[i]
+		for _, t := range st.Transitions {
+			rev[t] = append(rev[t], st.ID)
+		}
+		for j := range st.Checks {
+			if st.Checks[j].Kind == core.ExceptionCheck {
+				rev[st.Checks[j].Fallback] = append(rev[st.Checks[j].Fallback], st.ID)
+			}
+		}
+	}
+	seen := make(map[string]bool)
+	var visit func(id string)
+	visit = func(id string) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		for _, p := range rev[id] {
+			visit(p)
+		}
+	}
+	for _, f := range s.Automaton.Finals {
+		visit(f)
+	}
+	return seen
+}
+
+// durationBounds computes best- and worst-case rollout durations over
+// acyclic paths from start to any final state using DFS.
+func durationBounds(s *core.Strategy) (min, max time.Duration, cyclic bool) {
+	min = time.Duration(math.MaxInt64)
+	var dfs func(id string, elapsed time.Duration, onPath map[string]bool)
+	dfs = func(id string, elapsed time.Duration, onPath map[string]bool) {
+		st, ok := s.Automaton.State(id)
+		if !ok {
+			return
+		}
+		if onPath[id] {
+			cyclic = true
+			return
+		}
+		dur := stateDuration(st)
+		total := elapsed + dur
+		if s.Automaton.IsFinal(id) {
+			if total < min {
+				min = total
+			}
+			if total > max {
+				max = total
+			}
+			return
+		}
+		onPath[id] = true
+		targets := make(map[string]bool, len(st.Transitions)+1)
+		for _, t := range st.Transitions {
+			if t != id { // self-loop = re-execution, not a path extension
+				targets[t] = true
+			} else {
+				cyclic = cyclic || false
+			}
+		}
+		for i := range st.Checks {
+			if st.Checks[i].Kind == core.ExceptionCheck {
+				targets[st.Checks[i].Fallback] = true
+			}
+		}
+		for t := range targets {
+			dfs(t, total, onPath)
+		}
+		delete(onPath, id)
+	}
+	dfs(s.Automaton.Start, 0, map[string]bool{})
+	if min == time.Duration(math.MaxInt64) {
+		min = 0
+	}
+	return min, max, cyclic
+}
+
+func stateDuration(st *core.State) time.Duration {
+	if st.Duration > 0 {
+		return st.Duration
+	}
+	var max time.Duration
+	for i := range st.Checks {
+		if d := st.Checks[i].TotalDuration(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Probabilities assigns each state the probability of each outgoing
+// transition (indexed like State.Transitions). Used by ExpectedDuration.
+type Probabilities map[string][]float64
+
+// UniformProbabilities assumes every threshold range of every state is
+// equally likely.
+func UniformProbabilities(s *core.Strategy) Probabilities {
+	p := make(Probabilities, len(s.Automaton.States))
+	for i := range s.Automaton.States {
+		st := &s.Automaton.States[i]
+		n := len(st.Transitions)
+		if n == 0 {
+			continue
+		}
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = 1 / float64(n)
+		}
+		p[st.ID] = row
+	}
+	return p
+}
+
+// ExpectedDuration estimates the expected rollout time of the strategy
+// under the given transition probabilities, treating the automaton as an
+// absorbing Markov chain and solving the expected absorption time by value
+// iteration. Self-loops model state re-execution.
+func ExpectedDuration(s *core.Strategy, probs Probabilities) (time.Duration, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	expect := make(map[string]float64, len(s.Automaton.States))
+	const iterations = 10000
+	const tolerance = 1e-9
+
+	for iter := 0; iter < iterations; iter++ {
+		var maxDelta float64
+		for i := range s.Automaton.States {
+			st := &s.Automaton.States[i]
+			if s.Automaton.IsFinal(st.ID) {
+				continue
+			}
+			row, ok := probs[st.ID]
+			if !ok || len(row) != len(st.Transitions) {
+				return 0, fmt.Errorf("analysis: missing probabilities for state %q", st.ID)
+			}
+			v := stateDuration(st).Seconds()
+			for j, t := range st.Transitions {
+				v += row[j] * expect[t]
+			}
+			if d := math.Abs(v - expect[st.ID]); d > maxDelta {
+				maxDelta = d
+			}
+			expect[st.ID] = v
+		}
+		if maxDelta < tolerance {
+			break
+		}
+	}
+	secs := expect[s.Automaton.Start]
+	if math.IsInf(secs, 0) || math.IsNaN(secs) || secs < 0 {
+		return 0, fmt.Errorf("analysis: expected duration diverged (non-absorbing chain?)")
+	}
+	return time.Duration(secs * float64(time.Second)), nil
+}
+
+// DOT renders the automaton in Graphviz format, reproducing the shape of
+// Figure 2: states as nodes (finals doubled), δ transitions labelled with
+// their threshold ranges, and exception fallbacks as dashed edges.
+func DOT(s *core.Strategy) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", s.Name)
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	for i := range s.Automaton.States {
+		st := &s.Automaton.States[i]
+		shape := "circle"
+		if s.Automaton.IsFinal(st.ID) {
+			shape = "doublecircle"
+		}
+		label := st.ID
+		if st.Description != "" {
+			label = st.ID + "\\n" + st.Description
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s,label=%q];\n", st.ID, shape, label)
+	}
+	fmt.Fprintf(&b, "  %q [shape=point,label=\"\"];\n", "_start")
+	fmt.Fprintf(&b, "  %q -> %q;\n", "_start", s.Automaton.Start)
+	for i := range s.Automaton.States {
+		st := &s.Automaton.States[i]
+		for j, t := range st.Transitions {
+			fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", st.ID, t, rangeLabel(st.Thresholds, j))
+		}
+		for j := range st.Checks {
+			c := &st.Checks[j]
+			if c.Kind == core.ExceptionCheck {
+				fmt.Fprintf(&b, "  %q -> %q [style=dashed,label=%q];\n",
+					st.ID, c.Fallback, "exception: "+c.Name)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// rangeLabel renders the threshold range a transition index covers, e.g.
+// "<=3", "(3,4]", ">4".
+func rangeLabel(thresholds []int, idx int) string {
+	switch {
+	case len(thresholds) == 0:
+		return "always"
+	case idx == 0:
+		return fmt.Sprintf("<=%d", thresholds[0])
+	case idx == len(thresholds):
+		return fmt.Sprintf(">%d", thresholds[len(thresholds)-1])
+	default:
+		return fmt.Sprintf("(%d,%d]", thresholds[idx-1], thresholds[idx])
+	}
+}

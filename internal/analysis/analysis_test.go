@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bifrost/internal/core"
+)
+
+func TestAnalyzeRunningExampleClean(t *testing.T) {
+	s := core.RunningExample(time.Hour)
+	r, err := Analyze(s)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(r.Unreachable) != 0 {
+		t.Errorf("unreachable = %v", r.Unreachable)
+	}
+	if len(r.Trapped) != 0 {
+		t.Errorf("trapped = %v", r.Trapped)
+	}
+	// Shortest path: a(1 day) → g. Longest acyclic: a,b,c,d (1 day each)
+	// + e (5 days) → 9 days.
+	day := 24 * time.Hour
+	if r.MinDuration != day {
+		t.Errorf("min = %v, want %v", r.MinDuration, day)
+	}
+	if r.MaxDuration != 9*day {
+		t.Errorf("max = %v, want %v", r.MaxDuration, 9*day)
+	}
+}
+
+func TestAnalyzeFindsUnreachableAndTrapped(t *testing.T) {
+	s := &core.Strategy{
+		Name: "broken-ish",
+		Services: []core.Service{{
+			Name:     "s",
+			Versions: []core.Version{{Name: "v", Endpoint: "h:1"}},
+		}},
+		Automaton: core.Automaton{
+			Start:  "a",
+			Finals: []string{"end"},
+			States: []core.State{
+				{ID: "a", Duration: time.Second, Transitions: []string{"end"}},
+				{ID: "end"},
+				// orphan is never referenced.
+				{ID: "orphan", Duration: time.Second, Transitions: []string{"end"}},
+				// spin can only reach itself → trapped, but unreachable too.
+				{ID: "spin", Duration: time.Second, Transitions: []string{"spin"}},
+			},
+		},
+	}
+	r, err := Analyze(s)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(r.Unreachable) != 2 {
+		t.Errorf("unreachable = %v", r.Unreachable)
+	}
+}
+
+func TestAnalyzeTrappedReachable(t *testing.T) {
+	s := &core.Strategy{
+		Name: "trap",
+		Services: []core.Service{{
+			Name:     "s",
+			Versions: []core.Version{{Name: "v", Endpoint: "h:1"}},
+		}},
+		Automaton: core.Automaton{
+			Start:  "a",
+			Finals: []string{"end"},
+			States: []core.State{
+				{ID: "a", Duration: time.Second, Thresholds: []int{0},
+					Transitions: []string{"pit", "end"}},
+				{ID: "pit", Duration: time.Second, Transitions: []string{"pit2"}},
+				{ID: "pit2", Duration: time.Second, Transitions: []string{"pit"}},
+				{ID: "end"},
+			},
+		},
+	}
+	r, err := Analyze(s)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(r.Trapped) != 2 {
+		t.Errorf("trapped = %v, want [pit pit2]", r.Trapped)
+	}
+	if !r.HasCycle {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestExpectedDurationDeterministicChain(t *testing.T) {
+	s := &core.Strategy{
+		Name: "chain",
+		Services: []core.Service{{
+			Name:     "s",
+			Versions: []core.Version{{Name: "v", Endpoint: "h:1"}},
+		}},
+		Automaton: core.Automaton{
+			Start:  "a",
+			Finals: []string{"c"},
+			States: []core.State{
+				{ID: "a", Duration: 10 * time.Second, Transitions: []string{"b"}},
+				{ID: "b", Duration: 20 * time.Second, Transitions: []string{"c"}},
+				{ID: "c"},
+			},
+		},
+	}
+	d, err := ExpectedDuration(s, UniformProbabilities(s))
+	if err != nil {
+		t.Fatalf("ExpectedDuration: %v", err)
+	}
+	if d != 30*time.Second {
+		t.Errorf("expected = %v, want 30s", d)
+	}
+}
+
+func TestExpectedDurationSelfLoop(t *testing.T) {
+	// State re-executes with probability 1/2: expected visits = 2 →
+	// expected duration = 2 × 10s.
+	s := &core.Strategy{
+		Name: "loop",
+		Services: []core.Service{{
+			Name:     "s",
+			Versions: []core.Version{{Name: "v", Endpoint: "h:1"}},
+		}},
+		Automaton: core.Automaton{
+			Start:  "a",
+			Finals: []string{"end"},
+			States: []core.State{
+				{ID: "a", Duration: 10 * time.Second, Thresholds: []int{0},
+					Transitions: []string{"a", "end"}},
+				{ID: "end"},
+			},
+		},
+	}
+	d, err := ExpectedDuration(s, Probabilities{"a": {0.5, 0.5}})
+	if err != nil {
+		t.Fatalf("ExpectedDuration: %v", err)
+	}
+	if d < 19*time.Second || d > 21*time.Second {
+		t.Errorf("expected = %v, want ≈ 20s", d)
+	}
+}
+
+func TestExpectedDurationRunningExample(t *testing.T) {
+	s := core.RunningExample(time.Hour)
+	d, err := ExpectedDuration(s, UniformProbabilities(s))
+	if err != nil {
+		t.Fatalf("ExpectedDuration: %v", err)
+	}
+	day := 24 * time.Hour
+	// Must lie within the acyclic bounds (1 to 9 days).
+	if d < day || d > 9*day {
+		t.Errorf("expected = %v, outside [1d, 9d]", d)
+	}
+}
+
+func TestExpectedDurationMissingProbabilities(t *testing.T) {
+	s := core.RunningExample(time.Hour)
+	if _, err := ExpectedDuration(s, Probabilities{}); err == nil {
+		t.Error("missing probabilities accepted")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	s := core.RunningExample(time.Hour)
+	dot := DOT(s)
+	for _, want := range []string{
+		`digraph "fastsearch-rollout"`,
+		`"a" -> "b"`,
+		`"b" -> "c"`,
+		`"f" [shape=doublecircle`,
+		`"g" [shape=doublecircle`,
+		`style=dashed`,  // exception edge
+		`label="<=3"`,   // threshold range label
+		`label="(3,4]"`, // middle range of state b
+		`label=">4"`,    // top range of state b
+		`"_start" -> "a"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestAnalyzeRejectsInvalid(t *testing.T) {
+	if _, err := Analyze(&core.Strategy{Name: "x"}); err == nil {
+		t.Error("invalid strategy analyzed")
+	}
+	if _, err := ExpectedDuration(&core.Strategy{Name: "x"}, nil); err == nil {
+		t.Error("invalid strategy estimated")
+	}
+}

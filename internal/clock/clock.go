@@ -1,0 +1,224 @@
+// Package clock abstracts time for Bifrost's timer-driven components.
+//
+// The formal model (paper §3.2) makes check execution "controlled by a timer
+// mechanism τ". The engine therefore depends on this Clock interface rather
+// than the time package directly, so unit tests can drive the automaton
+// through days of simulated rollout in microseconds with a Manual clock.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the time-related operations the engine needs.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// NewTicker returns a ticker that fires every d.
+	NewTicker(d time.Duration) Ticker
+	// NewTimer returns a one-shot timer that fires after d.
+	NewTimer(d time.Duration) Timer
+	// After returns a channel that receives the time after d has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Since returns the elapsed time since t.
+	Since(t time.Time) time.Duration
+}
+
+// Ticker matches the subset of *time.Ticker behaviour Bifrost uses.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+// Timer matches the subset of *time.Timer behaviour Bifrost uses.
+type Timer interface {
+	C() <-chan time.Time
+	Stop() bool
+}
+
+// Real is a Clock backed by the time package. The zero value is ready to use.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// NewTicker implements Clock.
+func (Real) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
+
+// NewTimer implements Clock.
+func (Real) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+type realTicker struct{ t *time.Ticker }
+
+func (r realTicker) C() <-chan time.Time { return r.t.C }
+func (r realTicker) Stop()               { r.t.Stop() }
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) C() <-chan time.Time { return r.t.C }
+func (r realTimer) Stop() bool          { return r.t.Stop() }
+
+// Manual is a deterministic Clock whose time only moves when Advance is
+// called. Timers and tickers fire synchronously inside Advance, in timestamp
+// order, which makes timed behaviour fully reproducible in tests.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*manualWaiter
+}
+
+var _ Clock = (*Manual)(nil)
+
+// NewManual returns a Manual clock starting at the given instant.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Since implements Clock.
+func (m *Manual) Since(t time.Time) time.Duration { return m.Now().Sub(t) }
+
+// Advance moves the clock forward by d, firing every timer and ticker whose
+// deadline falls within the window, in chronological order.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	target := m.now.Add(d)
+	for {
+		w := m.earliestDue(target)
+		if w == nil {
+			break
+		}
+		m.now = w.deadline
+		w.fireLocked(m)
+	}
+	m.now = target
+	m.mu.Unlock()
+}
+
+// AdvanceUntilIdle repeatedly advances in steps of d until no timer fires
+// during a step, up to max steps. It returns the number of steps taken.
+// Useful for "run the strategy to completion" style tests.
+func (m *Manual) AdvanceUntilIdle(step time.Duration, maxSteps int) int {
+	for i := 0; i < maxSteps; i++ {
+		m.mu.Lock()
+		pending := len(m.activeWaiters())
+		m.mu.Unlock()
+		if pending == 0 {
+			return i
+		}
+		m.Advance(step)
+	}
+	return maxSteps
+}
+
+// earliestDue returns the waiter with the earliest deadline ≤ target, or nil.
+// Callers must hold mu.
+func (m *Manual) earliestDue(target time.Time) *manualWaiter {
+	var best *manualWaiter
+	for _, w := range m.waiters {
+		if w.stopped || w.deadline.After(target) {
+			continue
+		}
+		if best == nil || w.deadline.Before(best.deadline) {
+			best = w
+		}
+	}
+	return best
+}
+
+func (m *Manual) activeWaiters() []*manualWaiter {
+	live := m.waiters[:0]
+	for _, w := range m.waiters {
+		if !w.stopped {
+			live = append(live, w)
+		}
+	}
+	m.waiters = live
+	return live
+}
+
+// NewTicker implements Clock.
+func (m *Manual) NewTicker(d time.Duration) Ticker {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := &manualWaiter{
+		mu:       &m.mu,
+		ch:       make(chan time.Time, 1),
+		deadline: m.now.Add(d),
+		period:   d,
+	}
+	m.waiters = append(m.waiters, w)
+	return manualTicker{w}
+}
+
+// NewTimer implements Clock.
+func (m *Manual) NewTimer(d time.Duration) Timer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := &manualWaiter{
+		mu:       &m.mu,
+		ch:       make(chan time.Time, 1),
+		deadline: m.now.Add(d),
+	}
+	m.waiters = append(m.waiters, w)
+	return w
+}
+
+// After implements Clock.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	return m.NewTimer(d).C()
+}
+
+// manualTicker adapts manualWaiter's Stop() bool to the Ticker interface.
+type manualTicker struct{ *manualWaiter }
+
+// Stop implements Ticker.
+func (t manualTicker) Stop() { t.manualWaiter.Stop() }
+
+// manualWaiter is a timer or (when period > 0) ticker on a Manual clock.
+type manualWaiter struct {
+	mu       *sync.Mutex // the owning Manual clock's mutex
+	ch       chan time.Time
+	deadline time.Time
+	period   time.Duration
+	stopped  bool
+}
+
+func (w *manualWaiter) C() <-chan time.Time { return w.ch }
+
+func (w *manualWaiter) Stop() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	was := !w.stopped
+	w.stopped = true
+	return was
+}
+
+// fireLocked delivers a tick and reschedules periodic waiters. The Manual
+// clock's mutex must be held.
+func (w *manualWaiter) fireLocked(m *Manual) {
+	select {
+	case w.ch <- w.deadline:
+	default: // receiver not keeping up; drop, matching time.Ticker semantics
+	}
+	if w.period > 0 {
+		w.deadline = w.deadline.Add(w.period)
+	} else {
+		w.stopped = true
+	}
+}

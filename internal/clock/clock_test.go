@@ -1,0 +1,177 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func TestManualNowAdvance(t *testing.T) {
+	m := NewManual(epoch)
+	if !m.Now().Equal(epoch) {
+		t.Fatalf("Now = %v, want %v", m.Now(), epoch)
+	}
+	m.Advance(90 * time.Second)
+	want := epoch.Add(90 * time.Second)
+	if !m.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", m.Now(), want)
+	}
+}
+
+func TestManualTimerFiresOnce(t *testing.T) {
+	m := NewManual(epoch)
+	tm := m.NewTimer(10 * time.Second)
+	m.Advance(9 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired early")
+	default:
+	}
+	m.Advance(2 * time.Second)
+	select {
+	case at := <-tm.C():
+		if want := epoch.Add(10 * time.Second); !at.Equal(want) {
+			t.Errorf("fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("timer did not fire")
+	}
+	m.Advance(time.Minute)
+	select {
+	case <-tm.C():
+		t.Fatal("one-shot timer fired twice")
+	default:
+	}
+}
+
+func TestManualTimerStop(t *testing.T) {
+	m := NewManual(epoch)
+	tm := m.NewTimer(time.Second)
+	if !tm.Stop() {
+		t.Fatal("Stop on live timer returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	m.Advance(time.Minute)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestManualTickerPeriodic(t *testing.T) {
+	m := NewManual(epoch)
+	tk := m.NewTicker(5 * time.Second)
+	defer tk.Stop()
+
+	fired := 0
+	for i := 0; i < 3; i++ {
+		m.Advance(5 * time.Second)
+		select {
+		case <-tk.C():
+			fired++
+		default:
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3", fired)
+	}
+}
+
+func TestManualTickerDropsWhenNotDrained(t *testing.T) {
+	m := NewManual(epoch)
+	tk := m.NewTicker(time.Second)
+	defer tk.Stop()
+	// Three periods elapse without the receiver draining; like time.Ticker,
+	// only one tick must be buffered.
+	m.Advance(3 * time.Second)
+	got := 0
+	for {
+		select {
+		case <-tk.C():
+			got++
+			continue
+		default:
+		}
+		break
+	}
+	if got != 1 {
+		t.Fatalf("buffered ticks = %d, want 1", got)
+	}
+}
+
+func TestManualFiresInChronologicalOrder(t *testing.T) {
+	m := NewManual(epoch)
+	late := m.NewTimer(20 * time.Second)
+	early := m.NewTimer(10 * time.Second)
+	m.Advance(30 * time.Second)
+
+	at1 := <-early.C()
+	at2 := <-late.C()
+	if !at1.Before(at2) {
+		t.Fatalf("fire order wrong: early=%v late=%v", at1, at2)
+	}
+}
+
+func TestManualAfter(t *testing.T) {
+	m := NewManual(epoch)
+	ch := m.After(time.Minute)
+	m.Advance(time.Minute)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("After channel did not fire")
+	}
+}
+
+func TestManualSince(t *testing.T) {
+	m := NewManual(epoch)
+	start := m.Now()
+	m.Advance(42 * time.Second)
+	if got := m.Since(start); got != 42*time.Second {
+		t.Fatalf("Since = %v, want 42s", got)
+	}
+}
+
+func TestManualAdvanceUntilIdle(t *testing.T) {
+	m := NewManual(epoch)
+	tm := m.NewTimer(3 * time.Second)
+	steps := m.AdvanceUntilIdle(time.Second, 100)
+	if steps == 0 || steps == 100 {
+		t.Fatalf("steps = %d, want a small positive number", steps)
+	}
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("timer never fired during AdvanceUntilIdle")
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	var c Real
+	start := c.Now()
+	tm := c.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("real timer did not fire")
+	}
+	if c.Since(start) <= 0 {
+		t.Fatal("Since returned non-positive duration")
+	}
+	tk := c.NewTicker(time.Millisecond)
+	select {
+	case <-tk.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("real ticker did not fire")
+	}
+	tk.Stop()
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(2 * time.Second):
+		t.Fatal("After did not fire")
+	}
+}

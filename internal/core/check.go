@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// CheckKind distinguishes the two check types of the model (§3.2).
+type CheckKind int
+
+const (
+	// BasicCheck results are aggregated at the end of the state: the
+	// check is ⟨f, Ωi, τ, T, Out⟩ and its summed execution results are
+	// mapped through thresholds T and output mapping Out.
+	BasicCheck CheckKind = iota + 1
+	// ExceptionCheck is ⟨f, Ωi, τ, s_fallback⟩: any single failed
+	// execution immediately transitions the automaton to the fallback
+	// state, without waiting for the end of the state.
+	ExceptionCheck
+)
+
+// String implements fmt.Stringer.
+func (k CheckKind) String() string {
+	switch k {
+	case BasicCheck:
+		return "basic"
+	case ExceptionCheck:
+		return "exception"
+	default:
+		return fmt.Sprintf("CheckKind(%d)", int(k))
+	}
+}
+
+// Evaluator is the metric-evaluating function f_ci : Ωi → {0, 1}. The
+// monitoring data Ωi is whatever the implementation consults (typically a
+// metrics-provider query); the engine re-executes Evaluate on the check's
+// timer τ.
+type Evaluator interface {
+	// Evaluate returns whether this execution of the check succeeded.
+	// An error means the monitoring data was unavailable; the engine
+	// counts it as a failed execution and reports it separately.
+	Evaluate(ctx context.Context) (bool, error)
+}
+
+// EvaluatorFunc adapts a function to the Evaluator interface.
+type EvaluatorFunc func(ctx context.Context) (bool, error)
+
+var _ Evaluator = EvaluatorFunc(nil)
+
+// Evaluate implements Evaluator.
+func (f EvaluatorFunc) Evaluate(ctx context.Context) (bool, error) { return f(ctx) }
+
+// ConstEvaluator returns an Evaluator that always yields v; useful in tests
+// and for wiring placeholder checks.
+func ConstEvaluator(v bool) Evaluator {
+	return EvaluatorFunc(func(context.Context) (bool, error) { return v, nil })
+}
+
+// Check is one check c ∈ C of a state. The timer τ is (Interval,
+// Executions): the evaluator runs every Interval, Executions times in
+// total, while the state is active.
+type Check struct {
+	// Name identifies the check in status output ("search_error").
+	Name string
+	// Kind selects basic vs exception semantics.
+	Kind CheckKind
+	// Eval is f_ci, the metric-evaluating function.
+	Eval Evaluator
+	// Interval is the re-execution period of τ.
+	Interval time.Duration
+	// Executions is how many times τ fires (n in the paper's Σ f_j).
+	Executions int
+	// Weight is w_i in the state's weighted linear combination. Zero is
+	// treated as 1.
+	Weight float64
+
+	// Thresholds and Outputs define the basic check's output mapping
+	// Out_ci: the aggregated success count e is located in the threshold
+	// ranges and mapped to Outputs[RangeIndex(e, Thresholds)]. A basic
+	// check with no thresholds contributes its raw success count.
+	Thresholds []int
+	Outputs    []int
+
+	// Fallback is the exception check's fallback state s_j.
+	Fallback string
+}
+
+// MapOutcome maps the aggregated execution result e (the number of
+// successful executions) through the check's output mapping Out_ci.
+//
+// For the example in §3.2: thresholds ⟨75, 95⟩ with outputs ⟨-5, 4, 5⟩ map
+// e ≤ 75 → -5, 75 < e ≤ 95 → 4, e > 95 → 5.
+func (c *Check) MapOutcome(e int) (int, error) {
+	if len(c.Thresholds) == 0 {
+		return e, nil
+	}
+	if len(c.Outputs) != len(c.Thresholds)+1 {
+		return 0, fmt.Errorf("check %q: %d outputs for %d thresholds",
+			c.Name, len(c.Outputs), len(c.Thresholds))
+	}
+	return c.Outputs[RangeIndex(e, c.Thresholds)], nil
+}
+
+// ExecutionsOrDefault returns the scheduled execution count, defaulting to
+// a single execution for checks that run once at the end of the state.
+func (c *Check) ExecutionsOrDefault() int {
+	if c.Executions <= 0 {
+		return 1
+	}
+	return c.Executions
+}
+
+// TotalDuration is the wall time the check's timer needs to complete all
+// scheduled executions. The first execution happens at state entry (t0 in
+// the paper's Figure 3), so n executions span (n−1)·Interval.
+func (c *Check) TotalDuration() time.Duration {
+	return time.Duration(c.ExecutionsOrDefault()-1) * c.Interval
+}

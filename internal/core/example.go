@@ -1,0 +1,125 @@
+package core
+
+import "time"
+
+// RunningExample builds the paper's running example (Figures 1 and 2): the
+// fastSearch canary + gradual release + A/B test strategy with states a–g.
+// Check evaluators are placeholders (always succeeding); the dsl and engine
+// packages attach real metric evaluators. The durations follow the paper
+// (one day per rollout step, five days of A/B testing) scaled by unit, so
+// tests can pass unit = time.Millisecond and examples unit = time.Second.
+func RunningExample(unit time.Duration) *Strategy {
+	day := 24 * unit
+
+	searchVersions := []Version{
+		{Name: "search", Endpoint: "search:80"},
+		{Name: "fastSearch", Endpoint: "fastsearch:80"},
+	}
+
+	routing := func(searchPct, fastPct float64) []RoutingConfig {
+		return []RoutingConfig{{
+			Service: "search",
+			Weights: map[string]float64{"search": searchPct, "fastSearch": fastPct},
+			Sticky:  false,
+			Mode:    RouteCookie,
+		}}
+	}
+
+	// 96 executions every quarter-unit fill the state's one-day duration,
+	// matching the paper's "executed 100 times in intervals of 10 minutes"
+	// cadence scaled to the chosen unit.
+	mkChecks := func(withException bool) []Check {
+		checks := []Check{{
+			Name:       "response_time",
+			Kind:       BasicCheck,
+			Eval:       ConstEvaluator(true),
+			Interval:   unit / 4,
+			Executions: 96,
+			Weight:     1,
+			Thresholds: []int{75, 95},
+			Outputs:    []int{-5, 4, 5},
+		}}
+		if withException {
+			checks = append(checks, Check{
+				Name:       "error_explosion",
+				Kind:       ExceptionCheck,
+				Eval:       ConstEvaluator(true),
+				Interval:   unit / 4,
+				Executions: 96,
+				Fallback:   "g",
+			})
+		}
+		return checks
+	}
+
+	return &Strategy{
+		Name: "fastsearch-rollout",
+		Services: []Service{{
+			Name:     "search",
+			Versions: searchVersions,
+		}},
+		Automaton: Automaton{
+			Start:  "a",
+			Finals: []string{"f", "g"},
+			States: []State{
+				{
+					ID: "a", Description: "canary 1%", Duration: day,
+					Checks:      mkChecks(true),
+					Thresholds:  []int{3},
+					Transitions: []string{"g", "b"},
+					Routing:     routing(99, 1),
+				},
+				{
+					ID: "b", Description: "canary 5%", Duration: day,
+					Checks:      mkChecks(false),
+					Thresholds:  []int{3, 4},
+					Transitions: []string{"g", "c", "d"},
+					Routing:     routing(95, 5),
+				},
+				{
+					ID: "c", Description: "canary 10%", Duration: day,
+					Checks:      mkChecks(false),
+					Thresholds:  []int{3},
+					Transitions: []string{"g", "d"},
+					Routing:     routing(90, 10),
+				},
+				{
+					ID: "d", Description: "canary 20%", Duration: day,
+					Checks:      mkChecks(false),
+					Thresholds:  []int{3},
+					Transitions: []string{"g", "e"},
+					Routing:     routing(80, 20),
+				},
+				{
+					ID: "e", Description: "A/B test 50/50", Duration: 5 * day,
+					Checks: []Check{{
+						Name:       "ab_sales",
+						Kind:       BasicCheck,
+						Eval:       ConstEvaluator(true),
+						Interval:   day,
+						Executions: 5,
+						Weight:     4,
+						Thresholds: []int{3},
+						Outputs:    []int{2, 4},
+					}},
+					Thresholds:  []int{14},
+					Transitions: []string{"g", "f"},
+					Routing: []RoutingConfig{{
+						Service: "search",
+						Weights: map[string]float64{"search": 50, "fastSearch": 50},
+						Sticky:  true,
+						Mode:    RouteCookie,
+					}},
+				},
+				{
+					ID: "f", Description: "full rollout fastSearch",
+					Routing: routing(0, 100),
+				},
+				{
+					ID: "g", Description: "rollback to search",
+					Routing: routing(100, 0),
+				},
+			},
+		},
+	}
+}

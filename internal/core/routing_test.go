@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNormalizedWeights(t *testing.T) {
+	rc := RoutingConfig{
+		Service: "search",
+		Weights: map[string]float64{"search": 95, "fastSearch": 5},
+	}
+	names, shares, err := rc.NormalizedWeights()
+	if err != nil {
+		t.Fatalf("NormalizedWeights: %v", err)
+	}
+	if len(names) != 2 || names[0] != "fastSearch" || names[1] != "search" {
+		t.Fatalf("names = %v, want sorted [fastSearch search]", names)
+	}
+	if math.Abs(shares[0]-0.05) > 1e-12 || math.Abs(shares[1]-0.95) > 1e-12 {
+		t.Errorf("shares = %v", shares)
+	}
+}
+
+func TestNormalizedWeightsErrors(t *testing.T) {
+	cases := []RoutingConfig{
+		{Service: "s"},
+		{Service: "s", Weights: map[string]float64{"a": 0, "b": 0}},
+		{Service: "s", Weights: map[string]float64{"a": -1, "b": 2}},
+	}
+	for i, rc := range cases {
+		if _, _, err := rc.NormalizedWeights(); err == nil {
+			t.Errorf("case %d: no error for %v", i, rc.Weights)
+		}
+	}
+}
+
+func TestSelectorDeterministic(t *testing.T) {
+	rc := RoutingConfig{
+		Service: "search",
+		Weights: map[string]float64{"search": 50, "fastSearch": 50},
+	}
+	sel, err := NewSelector(&rc)
+	if err != nil {
+		t.Fatalf("NewSelector: %v", err)
+	}
+	// Property: η is a function — the same user always gets the same version.
+	f := func(user string) bool {
+		return sel.Assign(user) == sel.Assign(user)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectorAssignsOnlyKnownVersions(t *testing.T) {
+	rc := RoutingConfig{
+		Service: "product",
+		Weights: map[string]float64{"productA": 1, "productB": 1, "product": 2},
+	}
+	sel, err := NewSelector(&rc)
+	if err != nil {
+		t.Fatalf("NewSelector: %v", err)
+	}
+	known := map[string]bool{}
+	for _, v := range sel.Versions() {
+		known[v] = true
+	}
+	f := func(user string) bool { return known[sel.Assign(user)] }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectorDistributionRoughlyMatchesWeights(t *testing.T) {
+	rc := RoutingConfig{
+		Service: "search",
+		Weights: map[string]float64{"search": 95, "fastSearch": 5},
+	}
+	sel, err := NewSelector(&rc)
+	if err != nil {
+		t.Fatalf("NewSelector: %v", err)
+	}
+	const n = 20000
+	counts := map[string]int{}
+	for i := 0; i < n; i++ {
+		counts[sel.Assign(fmt.Sprintf("user-%d", i))]++
+	}
+	fastShare := float64(counts["fastSearch"]) / n
+	if fastShare < 0.035 || fastShare > 0.065 {
+		t.Errorf("fastSearch share = %.4f, want ≈ 0.05", fastShare)
+	}
+}
+
+func TestSelectorExtremeWeights(t *testing.T) {
+	rc := RoutingConfig{
+		Service: "search",
+		Weights: map[string]float64{"search": 0, "fastSearch": 100},
+	}
+	sel, err := NewSelector(&rc)
+	if err != nil {
+		t.Fatalf("NewSelector: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := sel.Assign(fmt.Sprintf("u%d", i)); got != "fastSearch" {
+			t.Fatalf("Assign = %q, want fastSearch (100%%)", got)
+		}
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	mk := func(mutate func(*Strategy)) *Strategy {
+		s := RunningExample(time.Millisecond)
+		mutate(s)
+		return s
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Strategy)
+	}{
+		{"empty name", func(s *Strategy) { s.Name = "" }},
+		{"missing start", func(s *Strategy) { s.Automaton.Start = "zz" }},
+		{"no finals", func(s *Strategy) { s.Automaton.Finals = nil }},
+		{"bad final", func(s *Strategy) { s.Automaton.Finals = []string{"nope"} }},
+		{"dup state", func(s *Strategy) {
+			s.Automaton.States = append(s.Automaton.States, State{ID: "a"})
+		}},
+		{"unsorted thresholds", func(s *Strategy) {
+			st, _ := s.Automaton.State("b")
+			st.Thresholds = []int{4, 3}
+		}},
+		{"transition count", func(s *Strategy) {
+			st, _ := s.Automaton.State("b")
+			st.Transitions = []string{"c"}
+		}},
+		{"unknown transition", func(s *Strategy) {
+			st, _ := s.Automaton.State("b")
+			st.Transitions[0] = "zz"
+		}},
+		{"bad fallback", func(s *Strategy) {
+			st, _ := s.Automaton.State("a")
+			st.Checks[1].Fallback = "zz"
+		}},
+		{"nil evaluator", func(s *Strategy) {
+			st, _ := s.Automaton.State("a")
+			st.Checks[0].Eval = nil
+		}},
+		{"bad output mapping", func(s *Strategy) {
+			st, _ := s.Automaton.State("a")
+			st.Checks[0].Outputs = []int{1}
+		}},
+		{"negative weight", func(s *Strategy) {
+			st, _ := s.Automaton.State("a")
+			st.Checks[0].Weight = -1
+		}},
+		{"dup check name", func(s *Strategy) {
+			st, _ := s.Automaton.State("a")
+			st.Checks[1].Name = st.Checks[0].Name
+		}},
+		{"unknown routed service", func(s *Strategy) {
+			st, _ := s.Automaton.State("a")
+			st.Routing[0].Service = "zz"
+		}},
+		{"unknown routed version", func(s *Strategy) {
+			st, _ := s.Automaton.State("a")
+			st.Routing[0].Weights = map[string]float64{"ghost": 1}
+		}},
+		{"no services", func(s *Strategy) { s.Services = nil }},
+		{"dup versions", func(s *Strategy) {
+			s.Services[0].Versions = append(s.Services[0].Versions, s.Services[0].Versions[0])
+		}},
+		{"shadow percent", func(s *Strategy) {
+			st, _ := s.Automaton.State("a")
+			st.Routing[0].Shadows = []ShadowRule{{Target: "fastSearch", Percent: 150}}
+		}},
+		{"shadow unknown target", func(s *Strategy) {
+			st, _ := s.Automaton.State("a")
+			st.Routing[0].Shadows = []ShadowRule{{Target: "ghost", Percent: 50}}
+		}},
+		{"header mode without header", func(s *Strategy) {
+			st, _ := s.Automaton.State("a")
+			st.Routing[0].Mode = RouteHeader
+		}},
+		{"executions without interval", func(s *Strategy) {
+			st, _ := s.Automaton.State("a")
+			st.Checks[0].Interval = 0
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := mk(c.mutate)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted mutated strategy (%s)", c.name)
+			}
+			var verr *ValidationError
+			if !asValidation(err, &verr) {
+				t.Fatalf("error type = %T", err)
+			}
+			if len(verr.Problems) == 0 {
+				t.Fatal("no problems recorded")
+			}
+		})
+	}
+}
+
+func asValidation(err error, target **ValidationError) bool {
+	v, ok := err.(*ValidationError)
+	if ok {
+		*target = v
+	}
+	return ok
+}
+
+func TestValidationErrorMessage(t *testing.T) {
+	err := &ValidationError{Strategy: "x", Problems: []string{"p1", "p2"}}
+	msg := err.Error()
+	if msg == "" || len(msg) < 10 {
+		t.Errorf("Error() = %q", msg)
+	}
+}
+
+func BenchmarkSelectorAssign(b *testing.B) {
+	rc := RoutingConfig{
+		Service: "search",
+		Weights: map[string]float64{"search": 95, "fastSearch": 5},
+	}
+	sel, err := NewSelector(&rc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sel.Assign("user-123e4567-e89b-12d3-a456-426614174000")
+	}
+}
+
+func BenchmarkValidateRunningExample(b *testing.B) {
+	s := RunningExample(time.Millisecond)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := s.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package core implements the formal model of multi-phase live testing from
+// section 3 of the Bifrost paper.
+//
+// A release strategy S is the 2-tuple ⟨B, A⟩: a set of services B (each
+// available in multiple versions with static endpoint configuration) and a
+// deterministic finite automaton A = ⟨Ω, S, s1, δ, F⟩ whose states are
+// phases of live testing. Each state s = ⟨C, T, W, Φ, η⟩ runs a set of
+// timed checks C with weights W; the aggregated, weighted outcome e ∈ ℤ is
+// mapped through the state's threshold ranges T by the transition function
+// δ to pick the next state. Entering a state applies the dynamic routing
+// configurations Φ (traffic splits and dark-launch duplication rules) to
+// the affected services' proxies, and η assigns users to versions.
+//
+// This package is pure model and semantics: no I/O, no timers, no HTTP.
+// The engine package animates it; the dsl package compiles YAML strategies
+// into it; the analysis package reasons about it.
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Strategy is a multi-phase live testing strategy: S = ⟨B, A⟩.
+type Strategy struct {
+	// Name identifies the strategy (unique within an engine).
+	Name string
+	// Services is B: the architectural components the strategy touches.
+	Services []Service
+	// Automaton is A: the execution state machine of the release process.
+	Automaton Automaton
+}
+
+// Service is an atomic architectural component b ∈ B, e.g. a microservice,
+// available in one or more versions.
+type Service struct {
+	// Name is the service identity, e.g. "search" or "product".
+	Name string
+	// Versions lists the deployed versions ⟨v1, …, vn⟩ of this service.
+	Versions []Version
+	// ProxyURL is the admin endpoint of the Bifrost proxy fronting this
+	// service (the DSL's deployment section). Empty for model-only use.
+	ProxyURL string
+}
+
+// Version is one deployed version v of a service, with its static
+// configuration sc (endpoint information).
+type Version struct {
+	// Name identifies the version, e.g. "stable", "canary", "productA".
+	Name string
+	// Endpoint is the static configuration sc: where the version's
+	// instances are reachable (host:port or a full URL).
+	Endpoint string
+	// Weight is the version's default traffic share used when a routing
+	// config does not override it. Shares are relative, not percentages.
+	Weight float64
+}
+
+// FindService returns the named service and whether it exists.
+func (s *Strategy) FindService(name string) (Service, bool) {
+	for _, svc := range s.Services {
+		if svc.Name == name {
+			return svc, true
+		}
+	}
+	return Service{}, false
+}
+
+// FindVersion returns the named version of a service.
+func (s Service) FindVersion(name string) (Version, bool) {
+	for _, v := range s.Versions {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return Version{}, false
+}
+
+// Automaton is A = ⟨Ω, S, s1, δ, F⟩. Ω (monitoring data) is external input
+// supplied at evaluation time; S, s1 and F are explicit; δ is encoded in
+// each state's thresholds and transition targets.
+type Automaton struct {
+	// States is S, keyed by State.ID in declaration order.
+	States []State
+	// Start is s1, the ID of the initial state.
+	Start string
+	// Finals is F ⊆ S: entering one of these states ends the strategy.
+	Finals []string
+}
+
+// State returns the state with the given ID.
+func (a *Automaton) State(id string) (*State, bool) {
+	for i := range a.States {
+		if a.States[i].ID == id {
+			return &a.States[i], true
+		}
+	}
+	return nil, false
+}
+
+// IsFinal reports whether id ∈ F.
+func (a *Automaton) IsFinal(id string) bool {
+	for _, f := range a.Finals {
+		if f == id {
+			return true
+		}
+	}
+	return false
+}
+
+// State is s = ⟨C, T, W, Φ, η⟩: one phase of live testing.
+//
+// The per-check weights W live on the checks themselves (Check.Weight), and
+// the user-selection function η is realized by the routing configurations'
+// split mode plus the proxy's sticky-session machinery.
+type State struct {
+	// ID uniquely identifies the state within the automaton.
+	ID string
+	// Description is free-form documentation, e.g. "canary 5%".
+	Description string
+	// Duration is how long the state runs before its basic checks are
+	// aggregated and δ fires. Zero means: as soon as every check has
+	// completed its scheduled executions.
+	Duration time.Duration
+	// Checks is C: the checks executed in parallel while in this state.
+	Checks []Check
+	// Thresholds is T: the ordered tuple ⟨t1, …, tn⟩ partitioning ℤ into
+	// n+1 disjoint ranges for δ.
+	Thresholds []int
+	// Transitions assigns a successor state ID to each threshold range;
+	// len(Transitions) == len(Thresholds)+1. Transitions[i] handles the
+	// range (t_i-1, t_i]; the last entry handles (t_n, +∞). A transition
+	// equal to the state's own ID re-executes the state with all timers
+	// and thresholds reset.
+	Transitions []string
+	// Routing is Φ: the dynamic routing configurations applied to the
+	// affected services when the automaton enters this state.
+	Routing []RoutingConfig
+}
+
+// NextState implements δ(s, e): it selects the successor for the weighted
+// aggregate outcome e. States with no thresholds keep a single transition.
+func (s *State) NextState(e int) (string, error) {
+	if len(s.Transitions) != len(s.Thresholds)+1 {
+		return "", fmt.Errorf("state %q: %d transitions for %d thresholds",
+			s.ID, len(s.Transitions), len(s.Thresholds))
+	}
+	return s.Transitions[RangeIndex(e, s.Thresholds)], nil
+}
+
+// RangeIndex returns the index of the threshold range containing e. The
+// ordered thresholds ⟨t1, …, tn⟩ form the ranges (-∞, t1], (t1, t2], …,
+// (tn, +∞), exactly as defined in §3.2 of the paper.
+func RangeIndex(e int, thresholds []int) int {
+	for i, t := range thresholds {
+		if e <= t {
+			return i
+		}
+	}
+	return len(thresholds)
+}
+
+// Outcome aggregates the mapped results of a state's checks as the weighted
+// linear combination Σ result_i · w_i → e ∈ ℤ, rounding half away from zero.
+// results must be indexed like the state's Checks.
+//
+// A zero weight defaults to 1 for basic checks (the common case of omitting
+// weights entirely). Exception checks with zero weight are excluded from
+// the combination: their primary role is the interrupt semantics, and the
+// paper's running example (Figure 2) computes state outcomes from the basic
+// checks only.
+func (s *State) Outcome(results []int) (int, error) {
+	if len(results) != len(s.Checks) {
+		return 0, fmt.Errorf("state %q: %d results for %d checks",
+			s.ID, len(results), len(s.Checks))
+	}
+	var sum float64
+	for i, r := range results {
+		w := s.Checks[i].Weight
+		if w == 0 {
+			if s.Checks[i].Kind == ExceptionCheck {
+				continue
+			}
+			w = 1
+		}
+		sum += float64(r) * w
+	}
+	return roundHalfAway(sum), nil
+}
+
+func roundHalfAway(f float64) int {
+	if f >= 0 {
+		return int(f + 0.5)
+	}
+	return -int(-f + 0.5)
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRangeIndexPaperExample(t *testing.T) {
+	// Thresholds ⟨2, 4⟩ form ranges (-∞,2], (2,4], (4,∞).
+	thresholds := []int{2, 4}
+	cases := []struct {
+		e    int
+		want int
+	}{
+		{-100, 0}, {0, 0}, {2, 0},
+		{3, 1}, {4, 1},
+		{5, 2}, {100, 2},
+	}
+	for _, c := range cases {
+		if got := RangeIndex(c.e, thresholds); got != c.want {
+			t.Errorf("RangeIndex(%d, %v) = %d, want %d", c.e, thresholds, got, c.want)
+		}
+	}
+}
+
+func TestRangeIndexEmptyThresholds(t *testing.T) {
+	for _, e := range []int{-5, 0, 7} {
+		if got := RangeIndex(e, nil); got != 0 {
+			t.Errorf("RangeIndex(%d, nil) = %d, want 0", e, got)
+		}
+	}
+}
+
+// Property: the ranges formed by n strictly increasing thresholds are a
+// partition of ℤ — every outcome lands in exactly one range, and range
+// index is monotone in e.
+func TestRangeIndexPartitionProperty(t *testing.T) {
+	f := func(raw [5]int16, e1, e2 int16) bool {
+		// Build strictly increasing thresholds from raw values.
+		vals := make([]int, 0, len(raw))
+		for _, v := range raw {
+			vals = append(vals, int(v))
+		}
+		sort.Ints(vals)
+		thresholds := vals[:0]
+		for i, v := range vals {
+			if i == 0 || v > thresholds[len(thresholds)-1] {
+				thresholds = append(thresholds, v)
+			}
+		}
+		i1 := RangeIndex(int(e1), thresholds)
+		i2 := RangeIndex(int(e2), thresholds)
+		if i1 < 0 || i1 > len(thresholds) {
+			return false
+		}
+		if e1 <= e2 && i1 > i2 {
+			return false // monotonicity violated
+		}
+		// Boundary property: e == threshold[i] maps to range i (closed
+		// upper bound), e == threshold[i]+1 maps to i+1.
+		for i, th := range thresholds {
+			if RangeIndex(th, thresholds) != i {
+				return false
+			}
+			if RangeIndex(th+1, thresholds) != i+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckMapOutcomePaperExample(t *testing.T) {
+	// §3.2: thresholds 75 and 95, mappings (-∞,75,-5), (75,95,4), (95,∞,5).
+	c := Check{
+		Name:       "response_time",
+		Kind:       BasicCheck,
+		Thresholds: []int{75, 95},
+		Outputs:    []int{-5, 4, 5},
+	}
+	cases := []struct{ e, want int }{
+		{0, -5}, {75, -5}, // "if the check fails more than 24 times" (e ≤ 75)
+		{76, 4}, {95, 4},
+		{96, 5}, {100, 5},
+	}
+	for _, tc := range cases {
+		got, err := c.MapOutcome(tc.e)
+		if err != nil {
+			t.Fatalf("MapOutcome(%d): %v", tc.e, err)
+		}
+		if got != tc.want {
+			t.Errorf("MapOutcome(%d) = %d, want %d", tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestCheckMapOutcomeNoThresholdsIsIdentity(t *testing.T) {
+	c := Check{Name: "raw", Kind: BasicCheck}
+	for _, e := range []int{-3, 0, 42} {
+		got, err := c.MapOutcome(e)
+		if err != nil || got != e {
+			t.Errorf("MapOutcome(%d) = %d, %v; want identity", e, got, err)
+		}
+	}
+}
+
+func TestCheckMapOutcomeBadShape(t *testing.T) {
+	c := Check{Name: "bad", Thresholds: []int{1, 2}, Outputs: []int{1}}
+	if _, err := c.MapOutcome(0); err == nil {
+		t.Fatal("MapOutcome accepted mismatched outputs")
+	}
+}
+
+// Property: output mapping is total — for any strictly increasing threshold
+// tuple with len+1 outputs, every e maps to some output that is an element
+// of Outputs.
+func TestMapOutcomeTotalProperty(t *testing.T) {
+	f := func(e int16, seed uint8) bool {
+		n := int(seed%4) + 1
+		thresholds := make([]int, n)
+		outputs := make([]int, n+1)
+		for i := range thresholds {
+			thresholds[i] = (i + 1) * 10
+		}
+		for i := range outputs {
+			outputs[i] = i * 7
+		}
+		c := Check{Name: "p", Thresholds: thresholds, Outputs: outputs}
+		got, err := c.MapOutcome(int(e))
+		if err != nil {
+			return false
+		}
+		for _, o := range outputs {
+			if got == o {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateOutcomeWeightedSum(t *testing.T) {
+	st := State{
+		ID: "b",
+		Checks: []Check{
+			{Name: "c1", Weight: 2},
+			{Name: "c2", Weight: 0.5},
+			{Name: "c3"}, // zero weight treated as 1
+		},
+	}
+	got, err := st.Outcome([]int{3, 4, -1})
+	if err != nil {
+		t.Fatalf("Outcome: %v", err)
+	}
+	// 3*2 + 4*0.5 + (-1)*1 = 7
+	if got != 7 {
+		t.Errorf("Outcome = %d, want 7", got)
+	}
+}
+
+func TestStateOutcomeRounding(t *testing.T) {
+	st := State{ID: "r", Checks: []Check{{Name: "c", Weight: 0.5}}}
+	got, err := st.Outcome([]int{3}) // 1.5 rounds to 2
+	if err != nil || got != 2 {
+		t.Errorf("Outcome = %d, %v; want 2", got, err)
+	}
+	st2 := State{ID: "r2", Checks: []Check{{Name: "c", Weight: 0.5}}}
+	got2, err := st2.Outcome([]int{-3}) // -1.5 rounds away from zero to -2
+	if err != nil || got2 != -2 {
+		t.Errorf("Outcome = %d, %v; want -2", got2, err)
+	}
+}
+
+// Property: outcome aggregation is linear — scaling all results by k scales
+// the (unrounded) outcome by k; verified through integer-exact cases.
+func TestOutcomeLinearityProperty(t *testing.T) {
+	f := func(r1, r2 int8, k int8) bool {
+		if k == 0 {
+			return true
+		}
+		st := State{ID: "l", Checks: []Check{{Name: "a", Weight: 1}, {Name: "b", Weight: 2}}}
+		base, err1 := st.Outcome([]int{int(r1), int(r2)})
+		scaled, err2 := st.Outcome([]int{int(r1) * int(k), int(r2) * int(k)})
+		return err1 == nil && err2 == nil && scaled == base*int(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateOutcomeLengthMismatch(t *testing.T) {
+	st := State{ID: "x", Checks: []Check{{Name: "only"}}}
+	if _, err := st.Outcome([]int{1, 2}); err == nil {
+		t.Fatal("Outcome accepted wrong result count")
+	}
+}
+
+func TestNextStateRunningExample(t *testing.T) {
+	s := RunningExample(time.Millisecond)
+	b, ok := s.Automaton.State("b")
+	if !ok {
+		t.Fatal("state b missing")
+	}
+	cases := []struct {
+		e    int
+		want string
+	}{
+		{3, "g"}, {0, "g"}, // ≤ 3 rollback
+		{4, "c"},           // = 4 slow increase
+		{5, "d"}, {9, "d"}, // > 4 fast path
+	}
+	for _, c := range cases {
+		got, err := b.NextState(c.e)
+		if err != nil {
+			t.Fatalf("NextState(%d): %v", c.e, err)
+		}
+		if got != c.want {
+			t.Errorf("δ(b, %d) = %q, want %q", c.e, got, c.want)
+		}
+	}
+}
+
+func TestRunningExampleValidates(t *testing.T) {
+	s := RunningExample(time.Millisecond)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestRunningExampleReachability(t *testing.T) {
+	s := RunningExample(time.Millisecond)
+	reach := s.ReachableStates()
+	for _, id := range []string{"a", "b", "c", "d", "e", "f", "g"} {
+		if !reach[id] {
+			t.Errorf("state %q unreachable", id)
+		}
+	}
+}
+
+func TestFindServiceAndVersion(t *testing.T) {
+	s := RunningExample(time.Millisecond)
+	svc, ok := s.FindService("search")
+	if !ok {
+		t.Fatal("search service missing")
+	}
+	if _, ok := svc.FindVersion("fastSearch"); !ok {
+		t.Error("fastSearch version missing")
+	}
+	if _, ok := svc.FindVersion("nope"); ok {
+		t.Error("found nonexistent version")
+	}
+	if _, ok := s.FindService("nope"); ok {
+		t.Error("found nonexistent service")
+	}
+}
+
+func TestCheckKindString(t *testing.T) {
+	if BasicCheck.String() != "basic" || ExceptionCheck.String() != "exception" {
+		t.Error("CheckKind.String wrong")
+	}
+	if CheckKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+	if RouteCookie.String() != "cookie" || RouteHeader.String() != "header" {
+		t.Error("RoutingMode.String wrong")
+	}
+	if RoutingMode(42).String() == "" {
+		t.Error("unknown mode should still render")
+	}
+}
+
+func TestCheckDurationHelpers(t *testing.T) {
+	c := Check{Interval: 10 * time.Second, Executions: 12}
+	if got := c.TotalDuration(); got != 110*time.Second {
+		t.Errorf("TotalDuration = %v, want 110s (first execution at t0)", got)
+	}
+	c0 := Check{Interval: time.Second}
+	if c0.ExecutionsOrDefault() != 1 {
+		t.Error("ExecutionsOrDefault != 1 for zero executions")
+	}
+}
+
+func TestOutcomeExcludesUnweightedExceptionChecks(t *testing.T) {
+	st := State{
+		ID: "a",
+		Checks: []Check{
+			{Name: "basic", Kind: BasicCheck, Weight: 1},
+			{Name: "exc", Kind: ExceptionCheck}, // zero weight: excluded
+			{Name: "exc-weighted", Kind: ExceptionCheck, Weight: 2},
+		},
+	}
+	// basic mapped 5, exception counts 96 (excluded) and 3 (weighted ×2).
+	got, err := st.Outcome([]int{5, 96, 3})
+	if err != nil {
+		t.Fatalf("Outcome: %v", err)
+	}
+	if got != 11 { // 5*1 + 3*2
+		t.Errorf("Outcome = %d, want 11", got)
+	}
+}

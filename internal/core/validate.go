@@ -1,0 +1,248 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ValidationError collects every structural problem found in a strategy so
+// authors can fix them all at once.
+type ValidationError struct {
+	Strategy string
+	Problems []string
+}
+
+// Error implements the error interface.
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("strategy %q: %d validation problem(s): %s",
+		e.Strategy, len(e.Problems), joinProblems(e.Problems))
+}
+
+func joinProblems(ps []string) string {
+	out := ""
+	for i, p := range ps {
+		if i > 0 {
+			out += "; "
+		}
+		out += p
+	}
+	return out
+}
+
+// Validate checks the structural well-formedness of a strategy: the
+// automaton must be a deterministic finite automaton over the declared
+// states, thresholds must be strictly increasing, output mappings total,
+// routing configurations must reference declared services and versions, and
+// exception fallbacks must exist. It returns nil or a *ValidationError.
+func (s *Strategy) Validate() error {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	if s.Name == "" {
+		addf("strategy has no name")
+	}
+
+	services := make(map[string]Service, len(s.Services))
+	for _, svc := range s.Services {
+		if svc.Name == "" {
+			addf("service with empty name")
+			continue
+		}
+		if _, dup := services[svc.Name]; dup {
+			addf("duplicate service %q", svc.Name)
+		}
+		services[svc.Name] = svc
+		seen := make(map[string]bool, len(svc.Versions))
+		if len(svc.Versions) == 0 {
+			addf("service %q has no versions", svc.Name)
+		}
+		for _, v := range svc.Versions {
+			if v.Name == "" {
+				addf("service %q: version with empty name", svc.Name)
+			}
+			if seen[v.Name] {
+				addf("service %q: duplicate version %q", svc.Name, v.Name)
+			}
+			seen[v.Name] = true
+		}
+	}
+
+	states := make(map[string]*State, len(s.Automaton.States))
+	for i := range s.Automaton.States {
+		st := &s.Automaton.States[i]
+		if st.ID == "" {
+			addf("state #%d has empty ID", i)
+			continue
+		}
+		if _, dup := states[st.ID]; dup {
+			addf("duplicate state %q", st.ID)
+		}
+		states[st.ID] = st
+	}
+
+	if len(s.Automaton.States) == 0 {
+		addf("automaton has no states")
+	}
+	if _, ok := states[s.Automaton.Start]; s.Automaton.Start == "" || !ok {
+		addf("start state %q does not exist", s.Automaton.Start)
+	}
+	if len(s.Automaton.Finals) == 0 {
+		addf("automaton has no final states")
+	}
+	for _, f := range s.Automaton.Finals {
+		if _, ok := states[f]; !ok {
+			addf("final state %q does not exist", f)
+		}
+	}
+
+	for i := range s.Automaton.States {
+		st := &s.Automaton.States[i]
+		validateState(st, states, services, s.Automaton.IsFinal(st.ID), addf)
+	}
+
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		return &ValidationError{Strategy: s.Name, Problems: problems}
+	}
+	return nil
+}
+
+func validateState(st *State, states map[string]*State, services map[string]Service,
+	isFinal bool, addf func(string, ...any)) {
+
+	if !strictlyIncreasing(st.Thresholds) {
+		addf("state %q: thresholds not strictly increasing: %v", st.ID, st.Thresholds)
+	}
+	if !isFinal {
+		if len(st.Transitions) != len(st.Thresholds)+1 {
+			addf("state %q: %d transitions for %d thresholds (want %d)",
+				st.ID, len(st.Transitions), len(st.Thresholds), len(st.Thresholds)+1)
+		}
+		if len(st.Checks) == 0 && st.Duration == 0 {
+			addf("state %q: non-final state with no checks and no duration", st.ID)
+		}
+	}
+	for _, target := range st.Transitions {
+		if _, ok := states[target]; !ok {
+			addf("state %q: transition to unknown state %q", st.ID, target)
+		}
+	}
+
+	checkNames := make(map[string]bool, len(st.Checks))
+	for i := range st.Checks {
+		c := &st.Checks[i]
+		if c.Name == "" {
+			addf("state %q: check #%d has empty name", st.ID, i)
+		} else if checkNames[c.Name] {
+			addf("state %q: duplicate check %q", st.ID, c.Name)
+		}
+		checkNames[c.Name] = true
+		switch c.Kind {
+		case BasicCheck:
+			if len(c.Thresholds) > 0 && len(c.Outputs) != len(c.Thresholds)+1 {
+				addf("state %q check %q: %d outputs for %d thresholds",
+					st.ID, c.Name, len(c.Outputs), len(c.Thresholds))
+			}
+			if !strictlyIncreasing(c.Thresholds) {
+				addf("state %q check %q: thresholds not strictly increasing",
+					st.ID, c.Name)
+			}
+		case ExceptionCheck:
+			if _, ok := states[c.Fallback]; c.Fallback == "" || !ok {
+				addf("state %q check %q: fallback state %q does not exist",
+					st.ID, c.Name, c.Fallback)
+			}
+		default:
+			addf("state %q check %q: invalid kind %d", st.ID, c.Name, int(c.Kind))
+		}
+		if c.Eval == nil {
+			addf("state %q check %q: no evaluator", st.ID, c.Name)
+		}
+		if c.Executions > 1 && c.Interval <= 0 {
+			addf("state %q check %q: %d executions but no interval",
+				st.ID, c.Name, c.Executions)
+		}
+		if c.Weight < 0 {
+			addf("state %q check %q: negative weight %v", st.ID, c.Name, c.Weight)
+		}
+	}
+
+	for _, rc := range st.Routing {
+		svc, ok := services[rc.Service]
+		if !ok {
+			addf("state %q: routing for unknown service %q", st.ID, rc.Service)
+			continue
+		}
+		if _, _, err := rc.NormalizedWeights(); err != nil {
+			addf("state %q: %v", st.ID, err)
+		}
+		for name := range rc.Weights {
+			if _, ok := svc.FindVersion(name); !ok {
+				addf("state %q: routing references unknown version %q of %q",
+					st.ID, name, rc.Service)
+			}
+		}
+		if rc.Mode == RouteHeader && rc.Header == "" {
+			addf("state %q: header routing for %q without header name", st.ID, rc.Service)
+		}
+		for _, sh := range rc.Shadows {
+			if sh.Percent < 0 || sh.Percent > 100 {
+				addf("state %q: shadow percent %v out of [0,100]", st.ID, sh.Percent)
+			}
+			if sh.Target == "" {
+				addf("state %q: shadow rule without target", st.ID)
+			} else if _, ok := svc.FindVersion(sh.Target); !ok {
+				addf("state %q: shadow target %q is not a version of %q",
+					st.ID, sh.Target, rc.Service)
+			}
+			if sh.Source != "" && sh.Source != "*" {
+				if _, ok := svc.FindVersion(sh.Source); !ok {
+					addf("state %q: shadow source %q is not a version of %q",
+						st.ID, sh.Source, rc.Service)
+				}
+			}
+		}
+	}
+}
+
+func strictlyIncreasing(xs []int) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrNoPath is returned by reachability helpers when no path exists.
+var ErrNoPath = errors.New("core: no path")
+
+// ReachableStates returns the set of state IDs reachable from the start
+// state by transitions and exception fallbacks.
+func (s *Strategy) ReachableStates() map[string]bool {
+	reach := make(map[string]bool)
+	var visit func(id string)
+	visit = func(id string) {
+		if reach[id] {
+			return
+		}
+		st, ok := s.Automaton.State(id)
+		if !ok {
+			return
+		}
+		reach[id] = true
+		for _, t := range st.Transitions {
+			visit(t)
+		}
+		for i := range st.Checks {
+			if st.Checks[i].Kind == ExceptionCheck {
+				visit(st.Checks[i].Fallback)
+			}
+		}
+	}
+	visit(s.Automaton.Start)
+	return reach
+}

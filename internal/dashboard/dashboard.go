@@ -1,0 +1,151 @@
+// Package dashboard implements the Bifrost dashboard (paper §4.1): a live
+// view of strategy execution state — current phase, check outcomes, and the
+// event stream. The original prototype pushed updates over Socket.IO; this
+// implementation uses Server-Sent Events, which cover the same
+// unidirectional status-update channel with plain net/http.
+package dashboard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"bifrost/internal/engine"
+	"bifrost/internal/httpx"
+)
+
+// Dashboard serves the live view for one engine.
+type Dashboard struct {
+	eng *engine.Engine
+}
+
+// New creates a dashboard over an engine.
+func New(eng *engine.Engine) *Dashboard { return &Dashboard{eng: eng} }
+
+// Handler returns the dashboard endpoints:
+//
+//	GET /dashboard         HTML page (auto-refreshing via SSE)
+//	GET /dashboard/status  JSON run statuses
+//	GET /dashboard/events  Server-Sent Events stream of engine events
+func (d *Dashboard) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /dashboard", d.handlePage)
+	mux.HandleFunc("GET /dashboard/status", d.handleStatus)
+	mux.HandleFunc("GET /dashboard/events", d.handleEvents)
+	return mux
+}
+
+func (d *Dashboard) handleStatus(w http.ResponseWriter, r *http.Request) {
+	runs := d.eng.Runs()
+	statuses := make([]engine.Status, 0, len(runs))
+	for _, run := range runs {
+		statuses = append(statuses, run.Status())
+	}
+	httpx.WriteJSON(w, http.StatusOK, statuses)
+}
+
+func (d *Dashboard) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpx.WriteError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	// Replay recent history so late-joining dashboards have context, then
+	// stream live events until the client goes away.
+	for _, ev := range d.eng.RecentEvents(64) {
+		writeSSE(w, ev)
+	}
+	flusher.Flush()
+
+	events, cancel := d.eng.Subscribe(256)
+	defer cancel()
+	for {
+		select {
+		case ev, open := <-events:
+			if !open {
+				return
+			}
+			writeSSE(w, ev)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, ev engine.Event) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+}
+
+func (d *Dashboard) handlePage(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(dashboardHTML))
+}
+
+const dashboardHTML = `<!DOCTYPE html>
+<html>
+<head>
+<title>Bifrost Dashboard</title>
+<style>
+body { font-family: system-ui, sans-serif; margin: 2rem; background: #101418; color: #e6edf3; }
+h1 { color: #7ee787; }
+table { border-collapse: collapse; width: 100%; margin-bottom: 2rem; }
+th, td { border: 1px solid #30363d; padding: 0.4rem 0.8rem; text-align: left; }
+th { background: #161b22; }
+#log { font-family: monospace; font-size: 0.85rem; white-space: pre-wrap;
+       background: #161b22; padding: 1rem; max-height: 24rem; overflow-y: auto; }
+.state-running { color: #58a6ff; } .state-completed { color: #7ee787; }
+.state-failed, .state-aborted { color: #ff7b72; }
+</style>
+</head>
+<body>
+<h1>Bifrost Dashboard</h1>
+<table id="strategies">
+<thead><tr><th>Strategy</th><th>State</th><th>Current phase</th><th>Transitions</th><th>Delay</th></tr></thead>
+<tbody></tbody>
+</table>
+<h2>Events</h2>
+<div id="log"></div>
+<script>
+async function refresh() {
+  const resp = await fetch('/dashboard/status');
+  const statuses = await resp.json();
+  const body = document.querySelector('#strategies tbody');
+  body.innerHTML = '';
+  for (const s of statuses) {
+    const tr = document.createElement('tr');
+    const delayMs = ((s.actualNanos - s.plannedNanos) / 1e6).toFixed(1);
+    tr.innerHTML = '<td>' + s.strategy + '</td>' +
+      '<td class="state-' + s.state + '">' + s.state + '</td>' +
+      '<td>' + (s.current || '') + '</td>' +
+      '<td>' + (s.path ? s.path.length : 0) + '</td>' +
+      '<td>' + (s.state === 'running' ? '…' : delayMs + ' ms') + '</td>';
+    body.appendChild(tr);
+  }
+}
+const log = document.getElementById('log');
+const source = new EventSource('/dashboard/events');
+source.onmessage = (e) => { append(e.data); };
+for (const type of ['state_entered','routing_applied','check_executed',
+                    'exception_triggered','transition','completed','aborted','error']) {
+  source.addEventListener(type, (e) => { append(e.data); refresh(); });
+}
+function append(data) {
+  log.textContent += data + '\n';
+  log.scrollTop = log.scrollHeight;
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,155 @@
+package dashboard
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bifrost/internal/core"
+	"bifrost/internal/engine"
+	"bifrost/internal/httpx"
+)
+
+func dashFixture(t *testing.T) (*engine.Engine, *httptest.Server) {
+	t.Helper()
+	eng := engine.New()
+	t.Cleanup(eng.Shutdown)
+	ts := httptest.NewServer(New(eng).Handler())
+	t.Cleanup(ts.Close)
+	return eng, ts
+}
+
+func quickStrategy(name string) *core.Strategy {
+	return &core.Strategy{
+		Name: name,
+		Services: []core.Service{{
+			Name:     "svc",
+			Versions: []core.Version{{Name: "v1", Endpoint: "h:1"}},
+		}},
+		Automaton: core.Automaton{
+			Start:  "go",
+			Finals: []string{"end"},
+			States: []core.State{
+				{
+					ID: "go",
+					Checks: []core.Check{{
+						Name: "ok", Kind: core.BasicCheck,
+						Eval: core.ConstEvaluator(true), Interval: time.Millisecond,
+						Executions: 2, Thresholds: []int{1}, Outputs: []int{0, 1},
+					}},
+					Thresholds:  []int{0},
+					Transitions: []string{"go", "end"},
+					Routing: []core.RoutingConfig{{
+						Service: "svc", Weights: map[string]float64{"v1": 1},
+					}},
+				},
+				{ID: "end"},
+			},
+		},
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	eng, ts := dashFixture(t)
+	run, err := eng.Enact(quickStrategy("dash-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := run.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var statuses []engine.Status
+	if err := httpx.GetJSON(context.Background(), ts.URL+"/dashboard/status", &statuses); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if len(statuses) != 1 || statuses[0].Strategy != "dash-test" {
+		t.Fatalf("statuses = %+v", statuses)
+	}
+	if statuses[0].State != engine.RunCompleted {
+		t.Errorf("state = %s", statuses[0].State)
+	}
+}
+
+func TestHTMLPage(t *testing.T) {
+	_, ts := dashFixture(t)
+	resp, err := http.Get(ts.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Errorf("content type = %q", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	page := string(buf[:n])
+	for _, want := range []string{"Bifrost Dashboard", "EventSource", "/dashboard/events"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+}
+
+func TestSSEStreamDeliversEvents(t *testing.T) {
+	eng, ts := dashFixture(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/dashboard/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	run, err := eng.Enact(quickStrategy("sse-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read until the completed event appears.
+	scanner := bufio.NewScanner(resp.Body)
+	sawCompleted := false
+	sawTransition := false
+	deadline := time.After(8 * time.Second)
+	lines := make(chan string, 64)
+	go func() {
+		for scanner.Scan() {
+			lines <- scanner.Text()
+		}
+		close(lines)
+	}()
+	for !sawCompleted {
+		select {
+		case line, open := <-lines:
+			if !open {
+				t.Fatal("stream closed before completed event")
+			}
+			if strings.Contains(line, "event: completed") {
+				sawCompleted = true
+			}
+			if strings.Contains(line, "event: transition") {
+				sawTransition = true
+			}
+		case <-deadline:
+			t.Fatal("no completed event on SSE stream")
+		}
+	}
+	if !sawTransition {
+		t.Error("no transition event on SSE stream")
+	}
+	cancel() // disconnect client; handler must return
+}

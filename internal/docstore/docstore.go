@@ -1,0 +1,351 @@
+// Package docstore implements the document database behind the case-study
+// application — the standard-library substitute for the MongoDB instance in
+// the paper's deployment (§5.1.1).
+//
+// It is a real service, not a mock: collections of JSON documents with
+// insert/find/update/delete, equality and comparison filters, optional
+// unique indexes, and an HTTP facade so the store can sit behind a Bifrost
+// proxy and receive shadowed traffic exactly like any other service (the
+// dark-launch phase duplicates requests "to the authentication service, the
+// product service, and the database").
+package docstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Document is one stored record. Every document has a string "_id" field,
+// assigned on insert when absent.
+type Document map[string]any
+
+// Common errors.
+var (
+	// ErrNotFound is returned when no document matches.
+	ErrNotFound = errors.New("docstore: not found")
+	// ErrDuplicateID is returned when inserting an existing _id or
+	// violating a unique index.
+	ErrDuplicateID = errors.New("docstore: duplicate key")
+)
+
+// Filter selects documents. A nil filter matches everything. Field values
+// match on equality; Ops add comparisons.
+type Filter struct {
+	// Equals matches fields by equality.
+	Equals map[string]any
+	// Ops matches fields by comparison.
+	Ops []FilterOp
+}
+
+// FilterOp is one comparison, e.g. {"price", "<", 100}.
+type FilterOp struct {
+	Field string
+	Op    string // <, <=, >, >=, !=, contains, prefix
+	Value any
+}
+
+// Store is an in-memory multi-collection document store, safe for
+// concurrent use.
+type Store struct {
+	mu          sync.RWMutex
+	collections map[string]*collection
+	idSeq       int64
+}
+
+type collection struct {
+	docs   map[string]Document
+	unique map[string]map[string]string // field -> value -> _id
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{collections: make(map[string]*collection, 4)}
+}
+
+func (s *Store) coll(name string) *collection {
+	c, ok := s.collections[name]
+	if !ok {
+		c = &collection{
+			docs:   make(map[string]Document, 64),
+			unique: make(map[string]map[string]string),
+		}
+		s.collections[name] = c
+	}
+	return c
+}
+
+// EnsureUniqueIndex enforces uniqueness of a string field in a collection.
+func (s *Store) EnsureUniqueIndex(collectionName, field string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.coll(collectionName)
+	if _, exists := c.unique[field]; exists {
+		return nil
+	}
+	idx := make(map[string]string, len(c.docs))
+	for id, doc := range c.docs {
+		v, _ := doc[field].(string)
+		if v == "" {
+			continue
+		}
+		if _, dup := idx[v]; dup {
+			return fmt.Errorf("docstore: existing duplicate %q=%q in %q",
+				field, v, collectionName)
+		}
+		idx[v] = id
+	}
+	c.unique[field] = idx
+	return nil
+}
+
+// Insert stores a document, assigning _id when missing, and returns the id.
+func (s *Store) Insert(collectionName string, doc Document) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.coll(collectionName)
+
+	id, _ := doc["_id"].(string)
+	if id == "" {
+		s.idSeq++
+		id = fmt.Sprintf("doc-%d", s.idSeq)
+	}
+	if _, exists := c.docs[id]; exists {
+		return "", fmt.Errorf("%w: _id %q", ErrDuplicateID, id)
+	}
+	for field, idx := range c.unique {
+		if v, _ := doc[field].(string); v != "" {
+			if _, dup := idx[v]; dup {
+				return "", fmt.Errorf("%w: %s=%q", ErrDuplicateID, field, v)
+			}
+		}
+	}
+
+	stored := cloneDoc(doc)
+	stored["_id"] = id
+	c.docs[id] = stored
+	for field, idx := range c.unique {
+		if v, _ := stored[field].(string); v != "" {
+			idx[v] = id
+		}
+	}
+	return id, nil
+}
+
+// Get fetches a document by id.
+func (s *Store) Get(collectionName, id string) (Document, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.collections[collectionName]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	doc, ok := c.docs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return cloneDoc(doc), nil
+}
+
+// Find returns all matching documents ordered by _id. limit ≤ 0 means all.
+func (s *Store) Find(collectionName string, f *Filter, limit int) ([]Document, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.collections[collectionName]
+	if !ok {
+		return nil, nil
+	}
+	ids := make([]string, 0, len(c.docs))
+	for id := range c.docs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]Document, 0, min(len(ids), 64))
+	for _, id := range ids {
+		doc := c.docs[id]
+		match, err := matches(doc, f)
+		if err != nil {
+			return nil, err
+		}
+		if !match {
+			continue
+		}
+		out = append(out, cloneDoc(doc))
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// FindOne returns the first match or ErrNotFound.
+func (s *Store) FindOne(collectionName string, f *Filter) (Document, error) {
+	docs, err := s.Find(collectionName, f, 1)
+	if err != nil {
+		return nil, err
+	}
+	if len(docs) == 0 {
+		return nil, ErrNotFound
+	}
+	return docs[0], nil
+}
+
+// Update merges fields into the document with the given id.
+func (s *Store) Update(collectionName, id string, fields Document) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.collections[collectionName]
+	if !ok {
+		return ErrNotFound
+	}
+	doc, ok := c.docs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	for k, v := range fields {
+		if k == "_id" {
+			continue
+		}
+		doc[k] = v
+	}
+	return nil
+}
+
+// Delete removes a document by id.
+func (s *Store) Delete(collectionName, id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.collections[collectionName]
+	if !ok {
+		return ErrNotFound
+	}
+	doc, ok := c.docs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	for field, idx := range c.unique {
+		if v, _ := doc[field].(string); v != "" {
+			delete(idx, v)
+		}
+	}
+	delete(c.docs, id)
+	return nil
+}
+
+// Count returns the number of matching documents.
+func (s *Store) Count(collectionName string, f *Filter) (int, error) {
+	docs, err := s.Find(collectionName, f, 0)
+	if err != nil {
+		return 0, err
+	}
+	return len(docs), nil
+}
+
+// Collections lists collection names.
+func (s *Store) Collections() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.collections))
+	for n := range s.collections {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func matches(doc Document, f *Filter) (bool, error) {
+	if f == nil {
+		return true, nil
+	}
+	for field, want := range f.Equals {
+		if !valuesEqual(doc[field], want) {
+			return false, nil
+		}
+	}
+	for _, op := range f.Ops {
+		ok, err := applyOp(doc[op.Field], op)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func applyOp(have any, op FilterOp) (bool, error) {
+	switch op.Op {
+	case "contains", "prefix":
+		hs, ok1 := have.(string)
+		ws, ok2 := op.Value.(string)
+		if !ok1 || !ok2 {
+			return false, nil
+		}
+		if op.Op == "contains" {
+			return strings.Contains(strings.ToLower(hs), strings.ToLower(ws)), nil
+		}
+		return strings.HasPrefix(strings.ToLower(hs), strings.ToLower(ws)), nil
+	case "!=":
+		return !valuesEqual(have, op.Value), nil
+	case "<", "<=", ">", ">=":
+		hf, ok1 := toFloat(have)
+		wf, ok2 := toFloat(op.Value)
+		if !ok1 || !ok2 {
+			return false, nil
+		}
+		switch op.Op {
+		case "<":
+			return hf < wf, nil
+		case "<=":
+			return hf <= wf, nil
+		case ">":
+			return hf > wf, nil
+		default:
+			return hf >= wf, nil
+		}
+	default:
+		return false, fmt.Errorf("docstore: unknown filter op %q", op.Op)
+	}
+}
+
+// valuesEqual compares with numeric tolerance across int/float types, which
+// JSON round-trips blur.
+func valuesEqual(a, b any) bool {
+	if af, ok := toFloat(a); ok {
+		if bf, ok := toFloat(b); ok {
+			return af == bf
+		}
+		return false
+	}
+	return a == b
+}
+
+func toFloat(v any) (float64, bool) {
+	switch t := v.(type) {
+	case int:
+		return float64(t), true
+	case int64:
+		return float64(t), true
+	case float64:
+		return t, true
+	}
+	return 0, false
+}
+
+func cloneDoc(doc Document) Document {
+	out := make(Document, len(doc))
+	for k, v := range doc {
+		out[k] = v
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,259 @@
+package docstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"testing/quick"
+
+	"bifrost/internal/httpx"
+)
+
+func TestInsertGetRoundTrip(t *testing.T) {
+	s := New()
+	id, err := s.Insert("products", Document{"name": "TV", "price": 499.0})
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	doc, err := s.Get("products", id)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if doc["name"] != "TV" || doc["price"] != 499.0 || doc["_id"] != id {
+		t.Errorf("doc = %v", doc)
+	}
+}
+
+func TestInsertExplicitAndDuplicateID(t *testing.T) {
+	s := New()
+	if _, err := s.Insert("c", Document{"_id": "x", "v": 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Insert("c", Document{"_id": "x", "v": 2})
+	if !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("err = %v, want ErrDuplicateID", err)
+	}
+}
+
+func TestInsertDoesNotAliasCallerDoc(t *testing.T) {
+	s := New()
+	doc := Document{"name": "radio"}
+	id, _ := s.Insert("c", doc)
+	doc["name"] = "mutated"
+	got, _ := s.Get("c", id)
+	if got["name"] != "radio" {
+		t.Error("store aliased caller document")
+	}
+	// Get must also return a copy.
+	got["name"] = "mutated-again"
+	got2, _ := s.Get("c", id)
+	if got2["name"] != "radio" {
+		t.Error("Get returned aliased document")
+	}
+}
+
+func TestFindFilters(t *testing.T) {
+	s := New()
+	for i, name := range []string{"TV", "Laptop", "Phone", "Tablet"} {
+		_, err := s.Insert("products", Document{
+			"name": name, "price": float64(100 * (i + 1)), "category": "electronics",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _ = s.Insert("products", Document{"name": "Sofa", "price": 999.0, "category": "furniture"})
+
+	all, err := s.Find("products", nil, 0)
+	if err != nil || len(all) != 5 {
+		t.Fatalf("all = %d, %v", len(all), err)
+	}
+	cheap, err := s.Find("products", &Filter{Ops: []FilterOp{{Field: "price", Op: "<=", Value: 200}}}, 0)
+	if err != nil || len(cheap) != 2 {
+		t.Fatalf("cheap = %d, %v", len(cheap), err)
+	}
+	elec, err := s.Find("products", &Filter{Equals: map[string]any{"category": "electronics"}}, 0)
+	if err != nil || len(elec) != 4 {
+		t.Fatalf("electronics = %d, %v", len(elec), err)
+	}
+	search, err := s.Find("products", &Filter{Ops: []FilterOp{{Field: "name", Op: "contains", Value: "ta"}}}, 0)
+	if err != nil || len(search) != 1 || search[0]["name"] != "Tablet" {
+		t.Fatalf("contains = %v, %v", search, err)
+	}
+	prefix, err := s.Find("products", &Filter{Ops: []FilterOp{{Field: "name", Op: "prefix", Value: "t"}}}, 0)
+	if err != nil || len(prefix) != 2 { // TV, Tablet
+		t.Fatalf("prefix = %v, %v", prefix, err)
+	}
+	ne, err := s.Find("products", &Filter{Ops: []FilterOp{{Field: "category", Op: "!=", Value: "furniture"}}}, 0)
+	if err != nil || len(ne) != 4 {
+		t.Fatalf("!= = %d, %v", len(ne), err)
+	}
+	limited, err := s.Find("products", nil, 2)
+	if err != nil || len(limited) != 2 {
+		t.Fatalf("limit = %d, %v", len(limited), err)
+	}
+	if _, err := s.Find("products", &Filter{Ops: []FilterOp{{Field: "x", Op: "~~", Value: 1}}}, 0); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestFindOneAndCount(t *testing.T) {
+	s := New()
+	_, _ = s.Insert("users", Document{"email": "a@example.com"})
+	_, _ = s.Insert("users", Document{"email": "b@example.com"})
+	doc, err := s.FindOne("users", &Filter{Equals: map[string]any{"email": "b@example.com"}})
+	if err != nil || doc["email"] != "b@example.com" {
+		t.Fatalf("FindOne = %v, %v", doc, err)
+	}
+	if _, err := s.FindOne("users", &Filter{Equals: map[string]any{"email": "z@x"}}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing FindOne err = %v", err)
+	}
+	n, err := s.Count("users", nil)
+	if err != nil || n != 2 {
+		t.Errorf("Count = %d, %v", n, err)
+	}
+}
+
+func TestUpdateAndDelete(t *testing.T) {
+	s := New()
+	id, _ := s.Insert("c", Document{"v": 1})
+	if err := s.Update("c", id, Document{"v": 2, "_id": "ignored"}); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	doc, _ := s.Get("c", id)
+	if doc["v"] != 2 || doc["_id"] != id {
+		t.Errorf("doc = %v", doc)
+	}
+	if err := s.Delete("c", id); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := s.Get("c", id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after delete = %v", err)
+	}
+	if err := s.Delete("c", id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete = %v", err)
+	}
+	if err := s.Update("c", "ghost", Document{}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("update ghost = %v", err)
+	}
+}
+
+func TestUniqueIndex(t *testing.T) {
+	s := New()
+	if err := s.EnsureUniqueIndex("users", "email"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert("users", Document{"email": "a@example.com"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert("users", Document{"email": "a@example.com"}); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate email accepted: %v", err)
+	}
+	// Deleting frees the key.
+	doc, _ := s.FindOne("users", nil)
+	if err := s.Delete("users", doc["_id"].(string)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert("users", Document{"email": "a@example.com"}); err != nil {
+		t.Fatalf("reinsert after delete: %v", err)
+	}
+	// Index creation over existing duplicates fails.
+	s2 := New()
+	_, _ = s2.Insert("u", Document{"email": "x"})
+	_, _ = s2.Insert("u", Document{"email": "x"})
+	if err := s2.EnsureUniqueIndex("u", "email"); err == nil {
+		t.Error("index created over duplicates")
+	}
+}
+
+// Property: every inserted document is findable by its id and by equality
+// on any of its string fields.
+func TestInsertFindProperty(t *testing.T) {
+	f := func(names [8]string) bool {
+		s := New()
+		ids := make([]string, 0, len(names))
+		for i, n := range names {
+			id, err := s.Insert("c", Document{"name": n, "rank": float64(i)})
+			if err != nil {
+				return false
+			}
+			ids = append(ids, id)
+		}
+		for i, id := range ids {
+			doc, err := s.Get("c", id)
+			if err != nil || doc["name"] != names[i] {
+				return false
+			}
+			found, err := s.Find("c", &Filter{Equals: map[string]any{"rank": float64(i)}}, 0)
+			if err != nil || len(found) != 1 || found[0]["_id"] != id {
+				return false
+			}
+		}
+		n, err := s.Count("c", nil)
+		return err == nil && n == len(names)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHTTPFacade(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(NewServer(s).Handler())
+	defer ts.Close()
+	ctx := context.Background()
+
+	var ins map[string]string
+	err := httpx.PostJSON(ctx, ts.URL+"/db/products", Document{"name": "TV", "price": 499}, &ins)
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	id := ins["_id"]
+	if id == "" {
+		t.Fatal("no id returned")
+	}
+
+	var doc Document
+	if err := httpx.GetJSON(ctx, ts.URL+"/db/products/"+id, &doc); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if doc["name"] != "TV" {
+		t.Errorf("doc = %v", doc)
+	}
+
+	var found []Document
+	err = httpx.PostJSON(ctx, ts.URL+"/db/products/find", FindRequest{
+		Ops: []OpRequest{{Field: "price", Op: ">=", Value: 100}},
+	}, &found)
+	if err != nil || len(found) != 1 {
+		t.Fatalf("find = %v, %v", found, err)
+	}
+
+	// Update via PATCH.
+	req := httptest.NewRequest("PATCH", "/db/products/"+id, nil)
+	_ = req
+	if err := patchJSON(ctx, ts.URL+"/db/products/"+id, Document{"price": 399}); err != nil {
+		t.Fatalf("patch: %v", err)
+	}
+	if err := httpx.GetJSON(ctx, ts.URL+"/db/products/"+id, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(doc["price"]) != "399" {
+		t.Errorf("price = %v", doc["price"])
+	}
+
+	if err := httpx.GetJSON(ctx, ts.URL+"/db/products/ghost", &doc); err == nil {
+		t.Error("get ghost succeeded")
+	}
+	var health map[string]string
+	if err := httpx.GetJSON(ctx, ts.URL+"/-/healthy", &health); err != nil {
+		t.Errorf("health: %v", err)
+	}
+}
+
+func patchJSON(ctx context.Context, url string, body any) error {
+	// httpx has no PATCH helper; reuse its machinery via a manual request.
+	return httpx.DoJSON(ctx, "PATCH", url, body, nil)
+}

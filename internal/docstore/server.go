@@ -1,0 +1,124 @@
+package docstore
+
+import (
+	"errors"
+	"net/http"
+
+	"bifrost/internal/httpx"
+)
+
+// Server exposes the store over HTTP so it behaves like the MongoDB
+// container in the paper's deployment: another web-based service that can
+// sit behind a Bifrost proxy and receive shadowed traffic.
+//
+//	POST   /db/{collection}            insert document
+//	GET    /db/{collection}/{id}       fetch by id
+//	POST   /db/{collection}/find       query (JSON filter body)
+//	PATCH  /db/{collection}/{id}       merge fields
+//	DELETE /db/{collection}/{id}       delete
+//	GET    /-/healthy                  liveness
+type Server struct {
+	store *Store
+}
+
+// NewServer wraps a store.
+func NewServer(store *Store) *Server { return &Server{store: store} }
+
+// FindRequest is the query body of POST /db/{collection}/find.
+type FindRequest struct {
+	Equals map[string]any `json:"equals,omitempty"`
+	Ops    []OpRequest    `json:"ops,omitempty"`
+	Limit  int            `json:"limit,omitempty"`
+}
+
+// OpRequest is one comparison in a FindRequest.
+type OpRequest struct {
+	Field string `json:"field"`
+	Op    string `json:"op"`
+	Value any    `json:"value"`
+}
+
+// Handler returns the HTTP facade.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /db/{collection}/find", s.handleFind)
+	mux.HandleFunc("POST /db/{collection}", s.handleInsert)
+	mux.HandleFunc("GET /db/{collection}/{id}", s.handleGet)
+	mux.HandleFunc("PATCH /db/{collection}/{id}", s.handleUpdate)
+	mux.HandleFunc("DELETE /db/{collection}/{id}", s.handleDelete)
+	mux.HandleFunc("GET /-/healthy", func(w http.ResponseWriter, r *http.Request) {
+		httpx.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var doc Document
+	if err := httpx.ReadJSON(r, &doc); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	id, err := s.store.Insert(r.PathValue("collection"), doc)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrDuplicateID) {
+			status = http.StatusConflict
+		}
+		httpx.WriteError(w, status, err.Error())
+		return
+	}
+	httpx.WriteJSON(w, http.StatusCreated, map[string]string{"_id": id})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	doc, err := s.store.Get(r.PathValue("collection"), r.PathValue("id"))
+	if err != nil {
+		httpx.WriteError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleFind(w http.ResponseWriter, r *http.Request) {
+	var req FindRequest
+	if err := httpx.ReadJSON(r, &req); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	f := &Filter{Equals: req.Equals}
+	for _, op := range req.Ops {
+		f.Ops = append(f.Ops, FilterOp(op))
+	}
+	docs, err := s.store.Find(r.PathValue("collection"), f, req.Limit)
+	if err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if docs == nil {
+		docs = []Document{}
+	}
+	httpx.WriteJSON(w, http.StatusOK, docs)
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var fields Document
+	if err := httpx.ReadJSON(r, &fields); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	err := s.store.Update(r.PathValue("collection"), r.PathValue("id"), fields)
+	if err != nil {
+		httpx.WriteError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, map[string]string{"updated": r.PathValue("id")})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	err := s.store.Delete(r.PathValue("collection"), r.PathValue("id"))
+	if err != nil {
+		httpx.WriteError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("id")})
+}

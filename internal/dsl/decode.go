@@ -1,0 +1,224 @@
+package dsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// decoder navigates the untyped tree the yaml package produces, collecting
+// every problem instead of stopping at the first, so strategy authors get a
+// complete report.
+type decoder struct {
+	problems []string
+}
+
+func (d *decoder) errf(format string, args ...any) {
+	d.problems = append(d.problems, fmt.Sprintf(format, args...))
+}
+
+func (d *decoder) err() error {
+	if len(d.problems) == 0 {
+		return nil
+	}
+	return &CompileError{Problems: append([]string(nil), d.problems...)}
+}
+
+// CompileError aggregates all DSL compilation problems.
+type CompileError struct {
+	Problems []string
+}
+
+// Error implements the error interface.
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("dsl: %d problem(s): %s", len(e.Problems),
+		strings.Join(e.Problems, "; "))
+}
+
+func (d *decoder) getMap(m map[string]any, key, ctx string) map[string]any {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return nil
+	}
+	mm, ok := v.(map[string]any)
+	if !ok {
+		d.errf("%s: %q must be a mapping, got %T", ctx, key, v)
+		return nil
+	}
+	return mm
+}
+
+func (d *decoder) getSlice(m map[string]any, key, ctx string) []any {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return nil
+	}
+	s, ok := v.([]any)
+	if !ok {
+		d.errf("%s: %q must be a sequence, got %T", ctx, key, v)
+		return nil
+	}
+	return s
+}
+
+func (d *decoder) getString(m map[string]any, key, ctx string) string {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return ""
+	}
+	s, ok := v.(string)
+	if !ok {
+		d.errf("%s: %q must be a string, got %T", ctx, key, v)
+		return ""
+	}
+	return s
+}
+
+func (d *decoder) requireString(m map[string]any, key, ctx string) string {
+	s := d.getString(m, key, ctx)
+	if s == "" {
+		if _, present := m[key]; !present {
+			d.errf("%s: missing required field %q", ctx, key)
+		}
+	}
+	return s
+}
+
+func (d *decoder) getBool(m map[string]any, key, ctx string, def bool) bool {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return def
+	}
+	b, ok := v.(bool)
+	if !ok {
+		d.errf("%s: %q must be a boolean, got %T", ctx, key, v)
+		return def
+	}
+	return b
+}
+
+func (d *decoder) getInt(m map[string]any, key, ctx string, def int) int {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return def
+	}
+	switch t := v.(type) {
+	case int64:
+		return int(t)
+	case float64:
+		if t == float64(int64(t)) {
+			return int(t)
+		}
+	}
+	d.errf("%s: %q must be an integer, got %v", ctx, key, v)
+	return def
+}
+
+func (d *decoder) getFloat(m map[string]any, key, ctx string, def float64) float64 {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return def
+	}
+	switch t := v.(type) {
+	case int64:
+		return float64(t)
+	case float64:
+		return t
+	}
+	d.errf("%s: %q must be a number, got %T", ctx, key, v)
+	return def
+}
+
+// getDuration accepts either a bare number (seconds, matching the paper's
+// "intervalTime: 5") or a Go duration string ("500ms", "2m").
+func (d *decoder) getDuration(m map[string]any, key, ctx string) time.Duration {
+	v, ok := m[key]
+	if !ok || v == nil {
+		return 0
+	}
+	switch t := v.(type) {
+	case int64:
+		return time.Duration(t) * time.Second
+	case float64:
+		return time.Duration(t * float64(time.Second))
+	case string:
+		dur, err := time.ParseDuration(t)
+		if err != nil {
+			d.errf("%s: bad duration %q for %q: %v", ctx, t, key, err)
+			return 0
+		}
+		return dur
+	default:
+		d.errf("%s: %q must be seconds or a duration string, got %T", ctx, key, v)
+		return 0
+	}
+}
+
+func (d *decoder) getWeights(m map[string]any, key, ctx string) map[string]float64 {
+	raw := d.getMap(m, key, ctx)
+	if raw == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(raw))
+	for name, v := range raw {
+		switch t := v.(type) {
+		case int64:
+			out[name] = float64(t)
+		case float64:
+			out[name] = t
+		default:
+			d.errf("%s: weight for %q must be a number, got %T", ctx, name, v)
+		}
+	}
+	return out
+}
+
+func (d *decoder) getIntSlice(m map[string]any, key, ctx string) []int {
+	raw := d.getSlice(m, key, ctx)
+	if raw == nil {
+		return nil
+	}
+	out := make([]int, 0, len(raw))
+	for i, v := range raw {
+		n, ok := v.(int64)
+		if !ok {
+			d.errf("%s: %q[%d] must be an integer, got %T", ctx, key, i, v)
+			continue
+		}
+		out = append(out, int(n))
+	}
+	return out
+}
+
+func (d *decoder) getStringSlice(m map[string]any, key, ctx string) []string {
+	raw := d.getSlice(m, key, ctx)
+	if raw == nil {
+		return nil
+	}
+	out := make([]string, 0, len(raw))
+	for i, v := range raw {
+		s, ok := v.(string)
+		if !ok {
+			d.errf("%s: %q[%d] must be a string, got %T", ctx, key, i, v)
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// unknownKeys reports fields not in the allowed set, catching typos early.
+func (d *decoder) unknownKeys(m map[string]any, ctx string, allowed ...string) {
+	ok := make(map[string]bool, len(allowed))
+	for _, a := range allowed {
+		ok[a] = true
+	}
+	for k := range m {
+		if !ok[k] {
+			d.errf("%s: unknown field %q (allowed: %s)", ctx, k, strings.Join(allowed, ", "))
+		}
+	}
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }

@@ -1,0 +1,367 @@
+// Package dsl implements the Bifrost domain-specific language (paper
+// §4.2.2): a YAML-based, version-controllable description of multi-phase
+// live testing strategies, compiled into the formal model of internal/core.
+//
+// A strategy file has three parts:
+//
+//	name: product-release
+//
+//	deployment:                    # static configuration: services, versions,
+//	  services:                    # and where each service's Bifrost proxy is
+//	    - service: product
+//	      proxy: 127.0.0.1:8081
+//	      versions:
+//	        - name: product
+//	          endpoint: 127.0.0.1:9001
+//	        - name: productA
+//	          endpoint: 127.0.0.1:9002
+//
+//	providers:                     # metric provider access information
+//	  prometheus: http://127.0.0.1:9090
+//
+//	strategy:                      # the phases of the release automaton
+//	  phases:
+//	    - phase: canary
+//	      duration: 60s
+//	      routes:
+//	        - route:
+//	            service: product
+//	            weights: {product: 90, productA: 5, productB: 5}
+//	      checks:
+//	        - metric:
+//	            name: productA_errors
+//	            provider: prometheus
+//	            query: proxy_request_errors_total{version="productA"}
+//	            intervalTime: 12
+//	            intervalLimit: 5
+//	            threshold: 5
+//	            validator: "<5"
+//	        - exception:
+//	            name: error_explosion
+//	            provider: prometheus
+//	            query: rate(request_errors[30s])
+//	            intervalTime: 5
+//	            intervalLimit: 12
+//	            validator: "<100"
+//	            fallback: rollback
+//	      on:
+//	        success: darklaunch
+//	        failure: rollback
+//	    - phase: rollout
+//	      gradual:
+//	        service: product
+//	        stable: product
+//	        candidate: productA
+//	        from: 5
+//	        to: 100
+//	        step: 5
+//	        interval: 10s
+//	      on:
+//	        success: done
+//	        failure: rollback
+//	    - phase: done
+//	    - phase: rollback
+//	      routes: [...]
+//
+// Phase transitions can use the success/failure sugar shown above or the
+// fully general thresholds/transitions form of the model:
+//
+//	thresholds: [3, 4]
+//	transitions: [rollback, canary, darklaunch]
+//
+// The paper's route syntax (Listing 2: from/to + traffic filters) is also
+// accepted, so published strategies compile unchanged.
+package dsl
+
+import (
+	"context"
+	"sort"
+
+	"bifrost/internal/core"
+	"bifrost/internal/metrics"
+	"bifrost/internal/yaml"
+)
+
+// Querier answers metric queries for checks; *metrics.Client implements it,
+// and tests inject fakes.
+type Querier interface {
+	Query(ctx context.Context, expr string) (float64, error)
+}
+
+var _ Querier = (*metrics.Client)(nil)
+
+// Compiler turns DSL source into executable strategies.
+type Compiler struct {
+	// Providers maps provider names to queriers, overriding (or standing
+	// in for) the file's providers section.
+	Providers map[string]Querier
+	// DefaultProvider is used by checks that omit "provider".
+	DefaultProvider string
+}
+
+// Compile is a convenience for a zero-config compiler, resolving providers
+// from the file's providers section only.
+func Compile(src string) (*core.Strategy, error) {
+	return (&Compiler{}).Compile(src)
+}
+
+// Compile parses, compiles, and validates one strategy document.
+func (c *Compiler) Compile(src string) (*core.Strategy, error) {
+	doc, err := yaml.ParseMap(src)
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{}
+	d.unknownKeys(doc, "document", "name", "deployment", "providers", "strategy")
+
+	s := &core.Strategy{Name: d.requireString(doc, "name", "document")}
+
+	providers := c.resolveProviders(d, doc)
+	s.Services = compileDeployment(d, doc)
+	compileStrategy(d, doc, s, providers, c.defaultProviderName(providers))
+
+	if err := d.err(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (c *Compiler) resolveProviders(d *decoder, doc map[string]any) map[string]Querier {
+	out := make(map[string]Querier, 4)
+	for name, q := range c.Providers {
+		out[name] = q
+	}
+	section := d.getMap(doc, "providers", "document")
+	for name, v := range section {
+		if _, injected := out[name]; injected {
+			continue // injected queriers win over file URLs
+		}
+		baseURL, ok := v.(string)
+		if !ok {
+			d.errf("providers: %q must map to a base URL string, got %T", name, v)
+			continue
+		}
+		out[name] = &metrics.Client{BaseURL: baseURL}
+	}
+	return out
+}
+
+func (c *Compiler) defaultProviderName(providers map[string]Querier) string {
+	if c.DefaultProvider != "" {
+		return c.DefaultProvider
+	}
+	if len(providers) == 1 {
+		for name := range providers {
+			return name
+		}
+	}
+	return ""
+}
+
+func compileDeployment(d *decoder, doc map[string]any) []core.Service {
+	dep := d.getMap(doc, "deployment", "document")
+	if dep == nil {
+		d.errf("document: missing deployment section")
+		return nil
+	}
+	d.unknownKeys(dep, "deployment", "services")
+	rawServices := d.getSlice(dep, "services", "deployment")
+	if len(rawServices) == 0 {
+		d.errf("deployment: no services declared")
+		return nil
+	}
+	services := make([]core.Service, 0, len(rawServices))
+	for i, raw := range rawServices {
+		ctx := "deployment.services[" + itoa(i) + "]"
+		m, ok := raw.(map[string]any)
+		if !ok {
+			d.errf("%s: must be a mapping", ctx)
+			continue
+		}
+		d.unknownKeys(m, ctx, "service", "proxy", "versions")
+		svc := core.Service{
+			Name:     d.requireString(m, "service", ctx),
+			ProxyURL: d.getString(m, "proxy", ctx),
+		}
+		for j, rawV := range d.getSlice(m, "versions", ctx) {
+			vctx := ctx + ".versions[" + itoa(j) + "]"
+			vm, ok := rawV.(map[string]any)
+			if !ok {
+				d.errf("%s: must be a mapping", vctx)
+				continue
+			}
+			d.unknownKeys(vm, vctx, "name", "endpoint", "weight")
+			svc.Versions = append(svc.Versions, core.Version{
+				Name:     d.requireString(vm, "name", vctx),
+				Endpoint: d.requireString(vm, "endpoint", vctx),
+				Weight:   d.getFloat(vm, "weight", vctx, 0),
+			})
+		}
+		services = append(services, svc)
+	}
+	return services
+}
+
+func compileStrategy(d *decoder, doc map[string]any, s *core.Strategy,
+	providers map[string]Querier, defaultProvider string) {
+
+	strat := d.getMap(doc, "strategy", "document")
+	if strat == nil {
+		d.errf("document: missing strategy section")
+		return
+	}
+	d.unknownKeys(strat, "strategy", "start", "phases")
+	rawPhases := d.getSlice(strat, "phases", "strategy")
+	if len(rawPhases) == 0 {
+		d.errf("strategy: no phases declared")
+		return
+	}
+
+	pc := &phaseCompiler{d: d, providers: providers, defaultProvider: defaultProvider}
+	for i, raw := range rawPhases {
+		ctx := "strategy.phases[" + itoa(i) + "]"
+		m, ok := raw.(map[string]any)
+		if !ok {
+			d.errf("%s: must be a mapping", ctx)
+			continue
+		}
+		pc.compilePhase(m, ctx, i, rawPhases)
+	}
+
+	s.Automaton.States = pc.states
+	start := d.getString(strat, "start", "strategy")
+	if start == "" && len(pc.states) > 0 {
+		start = pc.states[0].ID
+	}
+	s.Automaton.Start = start
+
+	// Final states are the ones with no outgoing transitions.
+	finals := make([]string, 0, 2)
+	for i := range pc.states {
+		if len(pc.states[i].Transitions) == 0 {
+			finals = append(finals, pc.states[i].ID)
+		}
+	}
+	sort.Strings(finals)
+	s.Automaton.Finals = finals
+}
+
+type phaseCompiler struct {
+	d               *decoder
+	providers       map[string]Querier
+	defaultProvider string
+	states          []core.State
+}
+
+// nextPhaseName returns the name of the phase after index i, used as the
+// implicit success target when a phase omits transitions.
+func nextPhaseName(d *decoder, rawPhases []any, i int) string {
+	if i+1 >= len(rawPhases) {
+		return ""
+	}
+	if m, ok := rawPhases[i+1].(map[string]any); ok {
+		return d.getString(m, "phase", "strategy.phases["+itoa(i+1)+"]")
+	}
+	return ""
+}
+
+func (pc *phaseCompiler) compilePhase(m map[string]any, ctx string, idx int, rawPhases []any) {
+	d := pc.d
+	d.unknownKeys(m, ctx, "phase", "description", "duration", "routes", "checks",
+		"on", "thresholds", "transitions", "gradual")
+
+	name := d.requireString(m, "phase", ctx)
+	if name == "" {
+		return
+	}
+
+	if gradual := d.getMap(m, "gradual", ctx); gradual != nil {
+		pc.expandGradual(m, gradual, name, ctx, idx, rawPhases)
+		return
+	}
+
+	st := core.State{
+		ID:          name,
+		Description: d.getString(m, "description", ctx),
+		Duration:    d.getDuration(m, "duration", ctx),
+		Routing:     pc.compileRoutes(m, ctx),
+		Checks:      pc.compileChecks(m, ctx),
+	}
+	pc.attachTransitions(&st, m, ctx, idx, rawPhases)
+	pc.states = append(pc.states, st)
+}
+
+// attachTransitions wires the phase's δ slice from either the general
+// thresholds/transitions form or the success/failure sugar.
+func (pc *phaseCompiler) attachTransitions(st *core.State, m map[string]any, ctx string,
+	idx int, rawPhases []any) {
+
+	d := pc.d
+	thresholds := d.getIntSlice(m, "thresholds", ctx)
+	transitions := d.getStringSlice(m, "transitions", ctx)
+	on := d.getMap(m, "on", ctx)
+
+	switch {
+	case len(transitions) > 0:
+		if on != nil {
+			d.errf("%s: use either transitions or on, not both", ctx)
+		}
+		st.Thresholds = thresholds
+		st.Transitions = transitions
+	case on != nil:
+		d.unknownKeys(on, ctx+".on", "success", "failure")
+		success := d.getString(on, "success", ctx+".on")
+		failure := d.getString(on, "failure", ctx+".on")
+		if success == "" {
+			success = nextPhaseName(d, rawPhases, idx)
+		}
+		if success == "" {
+			d.errf("%s: on.success missing and no following phase", ctx)
+			return
+		}
+		if failure == "" {
+			// Success-only: a pure timed step.
+			st.Transitions = []string{success}
+			return
+		}
+		// success ⇔ every weighted basic check mapped to its success
+		// output: outcome == Σ weights. Anything lower is a failure.
+		sum, ok := basicWeightSum(st.Checks)
+		if !ok {
+			d.errf("%s: on success/failure sugar requires integer check weights; use thresholds/transitions", ctx)
+			return
+		}
+		if sum == 0 {
+			// No basic checks: a timed step that can only succeed.
+			st.Transitions = []string{success}
+			return
+		}
+		st.Thresholds = []int{sum - 1}
+		st.Transitions = []string{failure, success}
+	default:
+		// No transitions at all: final state.
+	}
+}
+
+// basicWeightSum sums the (defaulted) weights of basic checks, reporting
+// whether the sum is integral.
+func basicWeightSum(checks []core.Check) (int, bool) {
+	var sum float64
+	for i := range checks {
+		if checks[i].Kind != core.BasicCheck {
+			continue
+		}
+		w := checks[i].Weight
+		if w == 0 {
+			w = 1
+		}
+		sum += w
+	}
+	if sum != float64(int(sum)) {
+		return 0, false
+	}
+	return int(sum), true
+}

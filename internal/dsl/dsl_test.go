@@ -1,0 +1,575 @@
+package dsl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeQuerier returns canned values per query.
+type fakeQuerier struct {
+	values map[string]float64
+	calls  int
+}
+
+func (f *fakeQuerier) Query(_ context.Context, expr string) (float64, error) {
+	f.calls++
+	v, ok := f.values[expr]
+	if !ok {
+		return 0, errors.New("no data")
+	}
+	return v, nil
+}
+
+const productStrategy = `
+name: product-release
+deployment:
+  services:
+    - service: product
+      proxy: 127.0.0.1:8081
+      versions:
+        - name: product
+          endpoint: 127.0.0.1:9001
+        - name: productA
+          endpoint: 127.0.0.1:9002
+        - name: productB
+          endpoint: 127.0.0.1:9003
+providers:
+  prometheus: http://127.0.0.1:9090
+strategy:
+  start: canary
+  phases:
+    - phase: canary
+      description: canary launch for A and B
+      duration: 60s
+      routes:
+        - route:
+            service: product
+            weights: {product: 90, productA: 5, productB: 5}
+      checks:
+        - metric:
+            name: a_errors
+            provider: prometheus
+            query: request_errors{version="productA"}
+            intervalTime: 12
+            intervalLimit: 5
+            threshold: 5
+            validator: "<5"
+        - metric:
+            name: b_errors
+            query: request_errors{version="productB"}
+            intervalTime: 12
+            intervalLimit: 5
+            validator: "<5"
+      on:
+        success: darklaunch
+        failure: rollback
+    - phase: darklaunch
+      duration: 60s
+      routes:
+        - route:
+            service: product
+            weights: {product: 100}
+            shadows:
+              - target: productA
+                percent: 100
+              - target: productB
+                percent: 100
+      on:
+        success: abtest
+        failure: rollback
+    - phase: abtest
+      duration: 60s
+      routes:
+        - route:
+            service: product
+            weights: {productA: 50, productB: 50}
+            sticky: true
+      checks:
+        - metric:
+            name: sales_compare
+            query: sales{version="productA"} - sales{version="productB"}
+            intervalLimit: 1
+            validator: ">=0"
+      thresholds: [0]
+      transitions: [rollout-b, rollout-a]
+    - phase: rollout-a
+      gradual:
+        service: product
+        stable: product
+        candidate: productA
+        from: 5
+        to: 100
+        step: 5
+        interval: 10s
+      on:
+        success: done
+        failure: rollback
+    - phase: rollout-b
+      gradual:
+        service: product
+        stable: product
+        candidate: productB
+        from: 5
+        to: 100
+        step: 5
+        interval: 10s
+      on:
+        success: done
+        failure: rollback
+    - phase: done
+      routes:
+        - route:
+            service: product
+            weights: {productA: 50, productB: 50}
+    - phase: rollback
+      routes:
+        - route:
+            service: product
+            weights: {product: 100}
+`
+
+func testCompiler() (*Compiler, *fakeQuerier) {
+	fq := &fakeQuerier{values: map[string]float64{
+		`request_errors{version="productA"}`:                    0,
+		`request_errors{version="productB"}`:                    0,
+		`sales{version="productA"} - sales{version="productB"}`: 3,
+	}}
+	return &Compiler{Providers: map[string]Querier{"prometheus": fq}}, fq
+}
+
+func TestCompileProductStrategy(t *testing.T) {
+	c, _ := testCompiler()
+	s, err := c.Compile(productStrategy)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if s.Name != "product-release" {
+		t.Errorf("name = %q", s.Name)
+	}
+	if len(s.Services) != 1 || s.Services[0].Name != "product" {
+		t.Fatalf("services = %+v", s.Services)
+	}
+	if len(s.Services[0].Versions) != 3 {
+		t.Errorf("versions = %d", len(s.Services[0].Versions))
+	}
+	if s.Services[0].ProxyURL != "127.0.0.1:8081" {
+		t.Errorf("proxy = %q", s.Services[0].ProxyURL)
+	}
+	if s.Automaton.Start != "canary" {
+		t.Errorf("start = %q", s.Automaton.Start)
+	}
+
+	// 3 explicit + 2×20 gradual + done + rollback = 45 states.
+	if len(s.Automaton.States) != 45 {
+		t.Errorf("states = %d, want 45", len(s.Automaton.States))
+	}
+	if len(s.Automaton.Finals) != 2 {
+		t.Errorf("finals = %v", s.Automaton.Finals)
+	}
+
+	canary, ok := s.Automaton.State("canary")
+	if !ok {
+		t.Fatal("canary state missing")
+	}
+	if canary.Duration != 60*time.Second {
+		t.Errorf("duration = %v", canary.Duration)
+	}
+	if len(canary.Checks) != 2 {
+		t.Fatalf("canary checks = %d", len(canary.Checks))
+	}
+	ch := canary.Checks[0]
+	if ch.Interval != 12*time.Second || ch.Executions != 5 {
+		t.Errorf("check timer = %v × %d", ch.Interval, ch.Executions)
+	}
+	// threshold 5 → thresholds [4], outputs [0,1].
+	if len(ch.Thresholds) != 1 || ch.Thresholds[0] != 4 {
+		t.Errorf("check thresholds = %v", ch.Thresholds)
+	}
+	// Success sugar: 2 basic checks × weight 1 → threshold [1].
+	if len(canary.Thresholds) != 1 || canary.Thresholds[0] != 1 {
+		t.Errorf("canary thresholds = %v", canary.Thresholds)
+	}
+	if canary.Transitions[0] != "rollback" || canary.Transitions[1] != "darklaunch" {
+		t.Errorf("canary transitions = %v", canary.Transitions)
+	}
+
+	dark, _ := s.Automaton.State("darklaunch")
+	if len(dark.Routing) != 1 || len(dark.Routing[0].Shadows) != 2 {
+		t.Fatalf("dark routing = %+v", dark.Routing)
+	}
+	if dark.Routing[0].Shadows[0].Percent != 100 {
+		t.Errorf("shadow percent = %v", dark.Routing[0].Shadows[0].Percent)
+	}
+
+	ab, _ := s.Automaton.State("abtest")
+	if !ab.Routing[0].Sticky {
+		t.Error("abtest not sticky")
+	}
+	if ab.Transitions[0] != "rollout-b" || ab.Transitions[1] != "rollout-a" {
+		t.Errorf("ab transitions = %v", ab.Transitions)
+	}
+	if ab.Checks[0].Interval != 0 || ab.Checks[0].Executions != 1 {
+		t.Errorf("ab check = %+v (want single end-of-state execution)", ab.Checks[0])
+	}
+
+	// Gradual expansion: rollout-a alias + rollout-a-10 … rollout-a-100.
+	first, ok := s.Automaton.State("rollout-a")
+	if !ok {
+		t.Fatal("rollout-a missing")
+	}
+	if first.Routing[0].Weights["productA"] != 5 {
+		t.Errorf("first step weights = %v", first.Routing[0].Weights)
+	}
+	if first.Transitions[0] != "rollout-a-10" {
+		t.Errorf("first step transitions = %v", first.Transitions)
+	}
+	last, ok := s.Automaton.State("rollout-a-100")
+	if !ok {
+		t.Fatal("rollout-a-100 missing")
+	}
+	if last.Routing[0].Weights["productA"] != 100 || last.Routing[0].Weights["product"] != 0 {
+		t.Errorf("last step weights = %v", last.Routing[0].Weights)
+	}
+	if last.Transitions[len(last.Transitions)-1] != "done" {
+		t.Errorf("last step transitions = %v", last.Transitions)
+	}
+	mid, ok := s.Automaton.State("rollout-a-55")
+	if !ok {
+		t.Fatal("rollout-a-55 missing")
+	}
+	if mid.Duration != 10*time.Second {
+		t.Errorf("step duration = %v", mid.Duration)
+	}
+}
+
+func TestCompiledEvaluatorQueriesProvider(t *testing.T) {
+	c, fq := testCompiler()
+	s, err := c.Compile(productStrategy)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	canary, _ := s.Automaton.State("canary")
+	ok, err := canary.Checks[0].Eval.Evaluate(context.Background())
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if !ok {
+		t.Error("0 errors should satisfy <5")
+	}
+	if fq.calls != 1 {
+		t.Errorf("querier calls = %d", fq.calls)
+	}
+
+	// Failing validator.
+	fq.values[`request_errors{version="productA"}`] = 10
+	ok, err = canary.Checks[0].Eval.Evaluate(context.Background())
+	if err != nil || ok {
+		t.Errorf("10 errors: ok=%v err=%v, want false,nil", ok, err)
+	}
+
+	// Missing data surfaces as an error.
+	delete(fq.values, `request_errors{version="productA"}`)
+	if _, err := canary.Checks[0].Eval.Evaluate(context.Background()); err == nil {
+		t.Error("missing data did not error")
+	}
+}
+
+const paperListingStrategy = `
+name: fastsearch-darklaunch
+deployment:
+  services:
+    - service: search
+      proxy: 127.0.0.1:8091
+      versions:
+        - name: search
+          endpoint: 127.0.0.1:9101
+        - name: fastSearch
+          endpoint: 127.0.0.1:9102
+providers:
+  prometheus: http://127.0.0.1:9090
+strategy:
+  phases:
+    - phase: dark
+      duration: 60s
+      routes:
+        - route:
+            from: search
+            to: fastSearch
+            filters:
+              - traffic:
+                  percentage: 100
+                  shadow: true
+                  intervalTime: 60
+      checks:
+        - metric:
+            providers:
+              - prometheus:
+                  name: search_error
+                  query: request_errors{instance="search:80"}
+            name: search_error
+            intervalTime: 5
+            intervalLimit: 12
+            threshold: 12
+            validator: "<5"
+      on:
+        success: finish
+        failure: abort
+    - phase: finish
+      routes:
+        - route:
+            service: search
+            weights: {search: 0, fastSearch: 100}
+    - phase: abort
+      routes:
+        - route:
+            service: search
+            weights: {search: 100}
+`
+
+func TestCompilePaperListings(t *testing.T) {
+	fq := &fakeQuerier{values: map[string]float64{
+		`request_errors{instance="search:80"}`: 2,
+	}}
+	c := &Compiler{Providers: map[string]Querier{"prometheus": fq}}
+	s, err := c.Compile(paperListingStrategy)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	dark, ok := s.Automaton.State("dark")
+	if !ok {
+		t.Fatal("dark state missing")
+	}
+	// Listing 2: all traffic stays on search, 100% duplicated to fastSearch.
+	rc := dark.Routing[0]
+	if rc.Service != "search" {
+		t.Errorf("service = %q", rc.Service)
+	}
+	if rc.Weights["search"] != 100 {
+		t.Errorf("weights = %v", rc.Weights)
+	}
+	if len(rc.Shadows) != 1 || rc.Shadows[0].Target != "fastSearch" || rc.Shadows[0].Percent != 100 {
+		t.Errorf("shadows = %+v", rc.Shadows)
+	}
+	// Listing 1: 12 executions every 5 seconds, all must pass.
+	ch := dark.Checks[0]
+	if ch.Name != "search_error" {
+		t.Errorf("check name = %q", ch.Name)
+	}
+	if ch.Interval != 5*time.Second || ch.Executions != 12 {
+		t.Errorf("timer = %v × %d", ch.Interval, ch.Executions)
+	}
+	if len(ch.Thresholds) != 1 || ch.Thresholds[0] != 11 {
+		t.Errorf("thresholds = %v (threshold 12 → range bound 11)", ch.Thresholds)
+	}
+	ok2, err := ch.Eval.Evaluate(context.Background())
+	if err != nil || !ok2 {
+		t.Errorf("evaluate = %v, %v", ok2, err)
+	}
+}
+
+func TestCompileErrorsAreAggregated(t *testing.T) {
+	src := `
+name: broken
+deployment:
+  services:
+    - service: s1
+      versions:
+        - name: v1
+          endpoint: 127.0.0.1:1
+strategy:
+  phases:
+    - phase: p1
+      checks:
+        - metric:
+            name: m1
+            provider: nope
+            query: x
+            validator: "<<bad"
+      on:
+        success: ghost-phase
+`
+	c, _ := testCompiler()
+	_, err := c.Compile(src)
+	if err == nil {
+		t.Fatal("broken strategy compiled")
+	}
+	var cerr *CompileError
+	if errors.As(err, &cerr) {
+		if len(cerr.Problems) < 2 {
+			t.Errorf("problems = %v, want ≥ 2", cerr.Problems)
+		}
+	}
+	// Validation errors (unknown transition target) also surface.
+	if !strings.Contains(err.Error(), "nope") && !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("error lacks detail: %v", err)
+	}
+}
+
+func TestCompileRejectsUnknownFields(t *testing.T) {
+	src := strings.Replace(productStrategy, "duration: 60s", "duraton: 60s", 1)
+	c, _ := testCompiler()
+	_, err := c.Compile(src)
+	if err == nil {
+		t.Fatal("typo field accepted")
+	}
+	if !strings.Contains(err.Error(), "duraton") {
+		t.Errorf("error does not name the typo: %v", err)
+	}
+}
+
+func TestCompileMissingSections(t *testing.T) {
+	cases := []string{
+		"",        // empty
+		"name: x", // no deployment/strategy
+		"name: x\ndeployment:\n  services: []\nstrategy:\n  phases: []",
+	}
+	c, _ := testCompiler()
+	for _, src := range cases {
+		if _, err := c.Compile(src); err == nil {
+			t.Errorf("Compile(%q) succeeded", src)
+		}
+	}
+}
+
+func TestDurationForms(t *testing.T) {
+	src := `
+name: durations
+deployment:
+  services:
+    - service: s
+      versions:
+        - name: a
+          endpoint: h:1
+        - name: b
+          endpoint: h:2
+strategy:
+  phases:
+    - phase: p1
+      duration: 90
+      routes:
+        - route:
+            service: s
+            weights: {a: 50, b: 50}
+      on:
+        success: p2
+    - phase: p2
+      duration: 1500ms
+      routes:
+        - route:
+            service: s
+            weights: {a: 100}
+`
+	s, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	p1, _ := s.Automaton.State("p1")
+	if p1.Duration != 90*time.Second {
+		t.Errorf("p1 duration = %v, want 90s (bare number = seconds)", p1.Duration)
+	}
+	p2, _ := s.Automaton.State("p2")
+	if p2.Duration != 1500*time.Millisecond {
+		t.Errorf("p2 duration = %v", p2.Duration)
+	}
+}
+
+func TestImplicitSuccessorAndFinals(t *testing.T) {
+	src := `
+name: implicit
+deployment:
+  services:
+    - service: s
+      versions:
+        - name: a
+          endpoint: h:1
+strategy:
+  phases:
+    - phase: first
+      duration: 1s
+      routes:
+        - route:
+            service: s
+            weights: {a: 100}
+      on: {}
+    - phase: second
+      routes:
+        - route:
+            service: s
+            weights: {a: 100}
+`
+	s, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	first, _ := s.Automaton.State("first")
+	if len(first.Transitions) != 1 || first.Transitions[0] != "second" {
+		t.Errorf("first transitions = %v (implicit successor)", first.Transitions)
+	}
+	if len(s.Automaton.Finals) != 1 || s.Automaton.Finals[0] != "second" {
+		t.Errorf("finals = %v", s.Automaton.Finals)
+	}
+}
+
+func TestGradualStepCount(t *testing.T) {
+	for _, tc := range []struct {
+		from, to, step float64
+		want           int
+	}{
+		{5, 100, 5, 20},
+		{10, 100, 10, 10},
+		{50, 50, 5, 1},
+		{5, 100, 30, 4}, // 5, 35, 65, 95→clamped 100? (5,35,65,95, then 100)
+	} {
+		src := fmt.Sprintf(`
+name: g
+deployment:
+  services:
+    - service: s
+      versions:
+        - name: old
+          endpoint: h:1
+        - name: new
+          endpoint: h:2
+strategy:
+  phases:
+    - phase: roll
+      gradual:
+        service: s
+        stable: old
+        candidate: new
+        from: %g
+        to: %g
+        step: %g
+        interval: 1s
+      on:
+        success: done
+    - phase: done
+      routes:
+        - route:
+            service: s
+            weights: {new: 100}
+`, tc.from, tc.to, tc.step)
+		s, err := Compile(src)
+		if err != nil {
+			t.Fatalf("Compile(%+v): %v", tc, err)
+		}
+		steps := 0
+		for _, st := range s.Automaton.States {
+			if st.ID == "roll" || strings.HasPrefix(st.ID, "roll-") {
+				steps++
+			}
+		}
+		if tc.want == 4 {
+			// 5,35,65,95 then clamp adds 100 → 5 states.
+			tc.want = 5
+		}
+		if steps != tc.want {
+			t.Errorf("from=%g to=%g step=%g: steps = %d, want %d",
+				tc.from, tc.to, tc.step, steps, tc.want)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package dsl
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"bifrost/internal/engine"
+)
+
+// degradingQuerier reports healthy metrics for the first several queries,
+// then degrades — simulating a version that falls over partway through a
+// gradual rollout.
+type degradingQuerier struct {
+	mu      sync.Mutex
+	calls   int
+	healthy int // number of initial healthy responses
+}
+
+func (d *degradingQuerier) Query(_ context.Context, expr string) (float64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.calls++
+	if d.calls <= d.healthy {
+		return 0, nil // no errors yet
+	}
+	return 100, nil // error counter explodes
+}
+
+const gradualRollbackStrategy = `
+name: degrading-rollout
+deployment:
+  services:
+    - service: svc
+      versions:
+        - name: old
+          endpoint: 127.0.0.1:9001
+        - name: new
+          endpoint: 127.0.0.1:9002
+providers:
+  prometheus: http://unused.invalid
+strategy:
+  phases:
+    - phase: roll
+      gradual:
+        service: svc
+        stable: old
+        candidate: new
+        from: 25
+        to: 100
+        step: 25
+        interval: 80ms
+      checks:
+        - metric:
+            name: errors
+            provider: prometheus
+            query: request_errors{version="new"}
+            intervalTime: 20ms
+            intervalLimit: 3
+            validator: "<5"
+      on:
+        success: done
+        failure: rollback
+    - phase: done
+      routes:
+        - route:
+            service: svc
+            weights: {new: 100}
+    - phase: rollback
+      routes:
+        - route:
+            service: svc
+            weights: {old: 100}
+`
+
+// TestGradualRolloutRollsBackWhenChecksDegrade drives a compiled gradual
+// rollout through the engine: the first step's checks pass, a later step's
+// checks fail, and the strategy must divert to the rollback state.
+func TestGradualRolloutRollsBackWhenChecksDegrade(t *testing.T) {
+	// 3 executions per step; stay healthy through step one (25%), degrade
+	// during step two (50%).
+	q := &degradingQuerier{healthy: 4}
+	c := &Compiler{Providers: map[string]Querier{"prometheus": q}}
+	s, err := c.Compile(gradualRollbackStrategy)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+
+	eng := engine.New()
+	defer eng.Shutdown()
+	run, err := eng.Enact(s)
+	if err != nil {
+		t.Fatalf("Enact: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := run.Wait(ctx); err != nil {
+		t.Fatalf("wait: %v (status %+v)", err, run.Status())
+	}
+
+	st := run.Status()
+	if st.State != engine.RunCompleted {
+		t.Fatalf("state = %s (%s)", st.State, st.Error)
+	}
+	last := st.Path[len(st.Path)-1]
+	if last.To != "rollback" {
+		t.Fatalf("final transition = %+v, want → rollback; path %+v", last, st.Path)
+	}
+	// The rollout must have advanced at least one step before failing.
+	if st.Path[0].To == "rollback" {
+		t.Errorf("rolled back immediately; degradation should hit a later step: %+v", st.Path)
+	}
+}
+
+// TestGradualRolloutCompletesWhenHealthy is the control: with permanently
+// healthy metrics the same strategy walks every step and finishes at done.
+func TestGradualRolloutCompletesWhenHealthy(t *testing.T) {
+	q := &degradingQuerier{healthy: 1 << 30}
+	c := &Compiler{Providers: map[string]Querier{"prometheus": q}}
+	s, err := c.Compile(gradualRollbackStrategy)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	eng := engine.New()
+	defer eng.Shutdown()
+	run, err := eng.Enact(s)
+	if err != nil {
+		t.Fatalf("Enact: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := run.Wait(ctx); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	st := run.Status()
+	last := st.Path[len(st.Path)-1]
+	if last.To != "done" {
+		t.Fatalf("final transition = %+v, want → done; path %+v", last, st.Path)
+	}
+	// 25 → 50 → 75 → 100 → done: four steps, four transitions.
+	if len(st.Path) != 4 {
+		t.Errorf("transitions = %d, want 4 (%+v)", len(st.Path), st.Path)
+	}
+}

@@ -1,0 +1,366 @@
+package dsl
+
+import (
+	"context"
+	"fmt"
+
+	"bifrost/internal/core"
+	"bifrost/internal/metrics"
+)
+
+// compileRoutes parses a phase's routes into dynamic routing configs. Two
+// syntaxes are accepted: the structured form (service/weights/shadows) and
+// the paper's Listing-2 form (from/to/filters with traffic percentages).
+func (pc *phaseCompiler) compileRoutes(m map[string]any, ctx string) []core.RoutingConfig {
+	d := pc.d
+	raw := d.getSlice(m, "routes", ctx)
+	out := make([]core.RoutingConfig, 0, len(raw))
+	for i, rv := range raw {
+		rctx := ctx + ".routes[" + itoa(i) + "]"
+		rm, ok := rv.(map[string]any)
+		if !ok {
+			d.errf("%s: must be a mapping", rctx)
+			continue
+		}
+		route := d.getMap(rm, "route", rctx)
+		if route == nil {
+			d.errf("%s: missing route element", rctx)
+			continue
+		}
+		if _, paperForm := route["from"]; paperForm {
+			if rc, ok := pc.compilePaperRoute(route, rctx); ok {
+				out = append(out, rc)
+			}
+			continue
+		}
+		d.unknownKeys(route, rctx, "service", "weights", "sticky", "mode", "header", "shadows")
+		rc := core.RoutingConfig{
+			Service: d.requireString(route, "service", rctx),
+			Weights: d.getWeights(route, "weights", rctx),
+			Sticky:  d.getBool(route, "sticky", rctx, false),
+			Mode:    core.RouteCookie,
+			Header:  d.getString(route, "header", rctx),
+		}
+		switch mode := d.getString(route, "mode", rctx); mode {
+		case "", "cookie":
+		case "header":
+			rc.Mode = core.RouteHeader
+		default:
+			d.errf("%s: unknown mode %q (cookie or header)", rctx, mode)
+		}
+		for j, sv := range d.getSlice(route, "shadows", rctx) {
+			sctx := rctx + ".shadows[" + itoa(j) + "]"
+			sm, ok := sv.(map[string]any)
+			if !ok {
+				d.errf("%s: must be a mapping", sctx)
+				continue
+			}
+			d.unknownKeys(sm, sctx, "source", "target", "percent")
+			rc.Shadows = append(rc.Shadows, core.ShadowRule{
+				Source:  d.getString(sm, "source", sctx),
+				Target:  d.requireString(sm, "target", sctx),
+				Percent: d.getFloat(sm, "percent", sctx, 100),
+			})
+		}
+		out = append(out, rc)
+	}
+	return out
+}
+
+// compilePaperRoute handles the exact syntax of the paper's Listing 2:
+//
+//   - route:
+//     from: search
+//     to: fastSearch
+//     filters:
+//   - traffic:
+//     percentage: 100
+//     shadow: true
+//     sticky: false
+//     intervalTime: 60
+//
+// from is the service (and its stable version), to is the version that the
+// filter's percentage of traffic targets. shadow: true duplicates instead
+// of splitting.
+func (pc *phaseCompiler) compilePaperRoute(route map[string]any, rctx string) (core.RoutingConfig, bool) {
+	d := pc.d
+	d.unknownKeys(route, rctx, "from", "to", "filters")
+	from := d.requireString(route, "from", rctx)
+	to := d.requireString(route, "to", rctx)
+	rc := core.RoutingConfig{
+		Service: from,
+		Mode:    core.RouteCookie,
+		Weights: map[string]float64{from: 100},
+	}
+	filters := d.getSlice(route, "filters", rctx)
+	if len(filters) == 0 {
+		d.errf("%s: paper-form route needs at least one traffic filter", rctx)
+		return rc, false
+	}
+	for i, fv := range filters {
+		fctx := rctx + ".filters[" + itoa(i) + "]"
+		fm, ok := fv.(map[string]any)
+		if !ok {
+			d.errf("%s: must be a mapping", fctx)
+			continue
+		}
+		traffic := d.getMap(fm, "traffic", fctx)
+		if traffic == nil {
+			d.errf("%s: only traffic filters are supported", fctx)
+			continue
+		}
+		d.unknownKeys(traffic, fctx, "percentage", "shadow", "sticky", "intervalTime")
+		pct := d.getFloat(traffic, "percentage", fctx, 100)
+		rc.Sticky = d.getBool(traffic, "sticky", fctx, rc.Sticky)
+		if d.getBool(traffic, "shadow", fctx, false) {
+			rc.Shadows = append(rc.Shadows, core.ShadowRule{
+				Source: "*", Target: to, Percent: pct,
+			})
+			continue
+		}
+		rc.Weights[from] = 100 - pct
+		rc.Weights[to] = pct
+	}
+	return rc, true
+}
+
+// compileChecks parses a phase's checks (metric and exception elements).
+func (pc *phaseCompiler) compileChecks(m map[string]any, ctx string) []core.Check {
+	d := pc.d
+	raw := d.getSlice(m, "checks", ctx)
+	out := make([]core.Check, 0, len(raw))
+	for i, cv := range raw {
+		cctx := ctx + ".checks[" + itoa(i) + "]"
+		cm, ok := cv.(map[string]any)
+		if !ok {
+			d.errf("%s: must be a mapping", cctx)
+			continue
+		}
+		switch {
+		case cm["metric"] != nil:
+			if c, ok := pc.compileMetricCheck(d.getMap(cm, "metric", cctx), cctx+".metric", false); ok {
+				out = append(out, c)
+			}
+		case cm["exception"] != nil:
+			if c, ok := pc.compileMetricCheck(d.getMap(cm, "exception", cctx), cctx+".exception", true); ok {
+				out = append(out, c)
+			}
+		default:
+			d.errf("%s: check must be a metric or exception element", cctx)
+		}
+	}
+	return out
+}
+
+func (pc *phaseCompiler) compileMetricCheck(m map[string]any, ctx string, exception bool) (core.Check, bool) {
+	d := pc.d
+	if m == nil {
+		return core.Check{}, false
+	}
+	d.unknownKeys(m, ctx, "name", "provider", "providers", "query", "intervalTime",
+		"intervalLimit", "threshold", "validator", "weight", "fallback",
+		"thresholds", "outputs")
+
+	c := core.Check{
+		Name:       d.requireString(m, "name", ctx),
+		Kind:       core.BasicCheck,
+		Interval:   d.getDuration(m, "intervalTime", ctx),
+		Executions: d.getInt(m, "intervalLimit", ctx, 1),
+		Weight:     d.getFloat(m, "weight", ctx, 0),
+	}
+	if exception {
+		c.Kind = core.ExceptionCheck
+		c.Fallback = d.requireString(m, "fallback", ctx)
+	}
+
+	query := d.getString(m, "query", ctx)
+	validatorSrc := d.requireString(m, "validator", ctx)
+	var validator metrics.Validator
+	if validatorSrc != "" {
+		v, err := metrics.ParseValidator(validatorSrc)
+		if err != nil {
+			d.errf("%s: %v", ctx, err)
+		} else {
+			validator = v
+		}
+	}
+
+	providerName := d.getString(m, "provider", ctx)
+	// The paper's Listing-1 nests providers as a list; accept the first.
+	if providerName == "" {
+		if provs := d.getSlice(m, "providers", ctx); len(provs) > 0 {
+			if pm, ok := provs[0].(map[string]any); ok {
+				for name, inner := range pm {
+					providerName = name
+					if im, ok := inner.(map[string]any); ok {
+						if q := d.getString(im, "query", ctx); q != "" {
+							query = q
+						}
+						if n := d.getString(im, "name", ctx); n != "" && c.Name == "" {
+							c.Name = n
+						}
+					}
+				}
+			}
+		}
+	}
+	if providerName == "" {
+		providerName = pc.defaultProvider
+	}
+	querier, ok := pc.providers[providerName]
+	if !ok {
+		d.errf("%s: unknown metric provider %q", ctx, providerName)
+		return core.Check{}, false
+	}
+	if query == "" {
+		d.errf("%s: missing required field %q", ctx, "query")
+		return core.Check{}, false
+	}
+	if validator.IsZero() {
+		return core.Check{}, false
+	}
+	c.Eval = &metricEvaluator{querier: querier, query: query, validator: validator}
+
+	if !exception {
+		// Basic-check output mapping. The DSL default follows §4.2.2:
+		// one threshold equal to intervalLimit; the check is true only
+		// when at least that many executions succeeded.
+		if explicit := d.getIntSlice(m, "thresholds", ctx); len(explicit) > 0 {
+			c.Thresholds = explicit
+			c.Outputs = d.getIntSlice(m, "outputs", ctx)
+		} else {
+			threshold := d.getInt(m, "threshold", ctx, c.Executions)
+			c.Thresholds = []int{threshold - 1}
+			c.Outputs = []int{0, 1}
+		}
+	}
+	return c, c.Name != ""
+}
+
+// metricEvaluator is the metric evaluating function f_ci of a DSL check: it
+// queries the provider and applies the validator, yielding {0, 1}.
+type metricEvaluator struct {
+	querier   Querier
+	query     string
+	validator metrics.Validator
+}
+
+var _ core.Evaluator = (*metricEvaluator)(nil)
+
+// Evaluate implements core.Evaluator.
+func (e *metricEvaluator) Evaluate(ctx context.Context) (bool, error) {
+	v, err := e.querier.Query(ctx, e.query)
+	if err != nil {
+		return false, fmt.Errorf("evaluate %q: %w", e.query, err)
+	}
+	return e.validator.Apply(v), nil
+}
+
+// expandGradual turns a gradual-rollout phase into the chain of automaton
+// states the formal model prescribes ("Corresponds to 20 states in the
+// model", §5.1.2).
+func (pc *phaseCompiler) expandGradual(phase, gradual map[string]any, name, ctx string,
+	idx int, rawPhases []any) {
+
+	d := pc.d
+	d.unknownKeys(gradual, ctx+".gradual", "service", "stable", "candidate",
+		"from", "to", "step", "interval", "sticky")
+
+	service := d.requireString(gradual, "service", ctx+".gradual")
+	stable := d.requireString(gradual, "stable", ctx+".gradual")
+	candidate := d.requireString(gradual, "candidate", ctx+".gradual")
+	fromPct := d.getFloat(gradual, "from", ctx+".gradual", 5)
+	toPct := d.getFloat(gradual, "to", ctx+".gradual", 100)
+	step := d.getFloat(gradual, "step", ctx+".gradual", 5)
+	interval := d.getDuration(gradual, "interval", ctx+".gradual")
+	sticky := d.getBool(gradual, "sticky", ctx+".gradual", false)
+
+	if step <= 0 || toPct < fromPct {
+		d.errf("%s.gradual: need step > 0 and to ≥ from (got from=%v to=%v step=%v)",
+			ctx, fromPct, toPct, step)
+		return
+	}
+	if interval <= 0 {
+		d.errf("%s.gradual: missing interval", ctx)
+		return
+	}
+
+	on := d.getMap(phase, "on", ctx)
+	success := d.getString(on, "success", ctx+".on")
+	failure := d.getString(on, "failure", ctx+".on")
+	if success == "" {
+		success = nextPhaseName(d, rawPhases, idx)
+	}
+	if success == "" {
+		d.errf("%s: gradual phase needs on.success or a following phase", ctx)
+		return
+	}
+	checks := pc.compileChecks(phase, ctx)
+
+	// Build one state per traffic step: name-5, name-10, …, name-100. The
+	// final step is clamped to the target percentage, so a from/to range
+	// that is not a multiple of step still ends exactly at "to".
+	var stepStates []core.State
+	for pct, done := fromPct, false; !done; pct += step {
+		if pct >= toPct-1e-9 {
+			pct = toPct
+			done = true
+		}
+		id := fmt.Sprintf("%s-%g", name, pct)
+		st := core.State{
+			ID:          id,
+			Description: fmt.Sprintf("gradual rollout %s=%g%%", candidate, pct),
+			Duration:    interval,
+			Routing: []core.RoutingConfig{{
+				Service: service,
+				Weights: map[string]float64{stable: 100 - pct, candidate: pct},
+				Sticky:  sticky,
+				Mode:    core.RouteCookie,
+			}},
+			Checks: cloneChecks(checks),
+		}
+		stepStates = append(stepStates, st)
+	}
+
+	for i := range stepStates {
+		next := success
+		if i+1 < len(stepStates) {
+			next = stepStates[i+1].ID
+		}
+		st := &stepStates[i]
+		sum, ok := basicWeightSum(st.Checks)
+		if !ok {
+			d.errf("%s: gradual checks need integer weights", ctx)
+			return
+		}
+		if failure != "" && sum > 0 {
+			st.Thresholds = []int{sum - 1}
+			st.Transitions = []string{failure, next}
+		} else {
+			st.Transitions = []string{next}
+		}
+	}
+	// The first step keeps the phase name as an alias so start/transition
+	// references to the phase work.
+	if len(stepStates) > 0 {
+		alias := stepStates[0]
+		alias.ID = name
+		pc.states = append(pc.states, alias)
+		pc.states = append(pc.states, stepStates[1:]...)
+		if len(stepStates) > 1 {
+			// Re-point the alias's self-chain: alias transitions to the
+			// second step (it already does, copied from stepStates[0]).
+			_ = alias
+		}
+	}
+}
+
+func cloneChecks(checks []core.Check) []core.Check {
+	out := make([]core.Check, len(checks))
+	copy(out, checks)
+	for i := range out {
+		out[i].Thresholds = append([]int(nil), checks[i].Thresholds...)
+		out[i].Outputs = append([]int(nil), checks[i].Outputs...)
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package dsl
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bifrost/internal/analysis"
+)
+
+// TestShippedStrategiesCompile guards the YAML files under /strategies: they
+// must compile, validate, and pass the structural analyses, so users can
+// copy them as starting points.
+func TestShippedStrategiesCompile(t *testing.T) {
+	dir := filepath.Join("..", "..", "strategies")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read strategies dir: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no shipped strategies")
+	}
+	for _, e := range entries {
+		t.Run(e.Name(), func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := Compile(string(src))
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			report, err := analysis.Analyze(s)
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			if len(report.Unreachable) > 0 {
+				t.Errorf("unreachable states: %v", report.Unreachable)
+			}
+			if len(report.Trapped) > 0 {
+				t.Errorf("trapped states: %v", report.Trapped)
+			}
+			if report.MaxDuration <= 0 {
+				t.Errorf("max duration = %v", report.MaxDuration)
+			}
+		})
+	}
+}
+
+// TestFastsearchStrategyMatchesPaperShape pins the key properties of the
+// running-example file to the paper's Figure 1: 1% start, growth steps,
+// a five-day sticky A/B phase, and two final states.
+func TestFastsearchStrategyMatchesPaperShape(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "strategies", "fastsearch.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Compile(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, ok := s.Automaton.State("canary-1")
+	if !ok {
+		t.Fatal("canary-1 missing")
+	}
+	if start.Routing[0].Weights["fastSearch"] != 1 {
+		t.Errorf("canary share = %v, want 1%%", start.Routing[0].Weights["fastSearch"])
+	}
+	if start.Duration != 24*time.Hour {
+		t.Errorf("canary duration = %v, want 24h", start.Duration)
+	}
+	ab, ok := s.Automaton.State("abtest")
+	if !ok {
+		t.Fatal("abtest missing")
+	}
+	if ab.Duration != 120*time.Hour {
+		t.Errorf("A/B duration = %v, want 120h (5 days)", ab.Duration)
+	}
+	if !ab.Routing[0].Sticky {
+		t.Error("A/B phase not sticky")
+	}
+	if len(s.Automaton.Finals) != 2 {
+		t.Errorf("finals = %v, want rollout + fallback", s.Automaton.Finals)
+	}
+	// Growth steps 5/10/15/20 exist.
+	for _, id := range []string{"grow", "grow-10", "grow-15", "grow-20"} {
+		if _, ok := s.Automaton.State(id); !ok {
+			t.Errorf("growth step %q missing", id)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"bifrost/internal/core"
+	"bifrost/internal/httpx"
+)
+
+// CompileFunc turns DSL source into an executable strategy. The API takes
+// it as a dependency so the engine package does not import the dsl package
+// (cmd wiring passes dsl-based compilation in).
+type CompileFunc func(src string) (*core.Strategy, error)
+
+// API is the engine's REST interface, used by the Bifrost CLI and any
+// release automation (the paper mentions Jenkins jobs driving the CLI).
+type API struct {
+	eng     *Engine
+	compile CompileFunc
+}
+
+// NewAPI wraps an engine in the REST API.
+func NewAPI(eng *Engine, compile CompileFunc) *API {
+	return &API{eng: eng, compile: compile}
+}
+
+// ScheduleRequest is the POST /api/v1/strategies payload.
+type ScheduleRequest struct {
+	// YAML is the strategy in the Bifrost DSL.
+	YAML string `json:"yaml"`
+}
+
+// Handler returns the API handler.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/strategies", a.handleSchedule)
+	mux.HandleFunc("GET /api/v1/strategies", a.handleList)
+	mux.HandleFunc("GET /api/v1/strategies/{name}", a.handleGet)
+	mux.HandleFunc("DELETE /api/v1/strategies/{name}", a.handleAbort)
+	mux.HandleFunc("GET /api/v1/events", a.handleEvents)
+	mux.HandleFunc("GET /-/healthy", func(w http.ResponseWriter, r *http.Request) {
+		httpx.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (a *API) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if a.compile == nil {
+		httpx.WriteError(w, http.StatusNotImplemented, "engine has no strategy compiler")
+		return
+	}
+	var req ScheduleRequest
+	if err := httpx.ReadJSON(r, &req); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	strategy, err := a.compile(req.YAML)
+	if err != nil {
+		httpx.WriteError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	run, err := a.eng.Enact(strategy)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if isAlreadyRunning(err) {
+			status = http.StatusConflict
+		}
+		httpx.WriteError(w, status, err.Error())
+		return
+	}
+	httpx.WriteJSON(w, http.StatusAccepted, run.Status())
+}
+
+func (a *API) handleList(w http.ResponseWriter, r *http.Request) {
+	runs := a.eng.Runs()
+	statuses := make([]Status, 0, len(runs))
+	for _, run := range runs {
+		statuses = append(statuses, run.Status())
+	}
+	httpx.WriteJSON(w, http.StatusOK, statuses)
+}
+
+func (a *API) handleGet(w http.ResponseWriter, r *http.Request) {
+	run, ok := a.eng.Run(r.PathValue("name"))
+	if !ok {
+		httpx.WriteError(w, http.StatusNotFound, "strategy not found")
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, run.Status())
+}
+
+func (a *API) handleAbort(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := a.eng.Abort(name); err != nil {
+		httpx.WriteError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, map[string]string{"aborted": name})
+}
+
+func (a *API) handleEvents(w http.ResponseWriter, r *http.Request) {
+	n := 100
+	if s := r.URL.Query().Get("n"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	httpx.WriteJSON(w, http.StatusOK, a.eng.RecentEvents(n))
+}
+
+func isAlreadyRunning(err error) bool {
+	for err != nil {
+		if err == ErrAlreadyRunning {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// Client talks to a remote engine API; the CLI is a thin wrapper over it.
+type Client struct {
+	// BaseURL is the engine root, e.g. "http://127.0.0.1:7000".
+	BaseURL string
+}
+
+// Schedule submits DSL source for enactment.
+func (c *Client) Schedule(ctx context.Context, yamlSrc string) (Status, error) {
+	var st Status
+	err := httpx.PostJSON(ctx, c.BaseURL+"/api/v1/strategies", ScheduleRequest{YAML: yamlSrc}, &st)
+	return st, err
+}
+
+// List returns all run statuses.
+func (c *Client) List(ctx context.Context) ([]Status, error) {
+	var out []Status
+	err := httpx.GetJSON(ctx, c.BaseURL+"/api/v1/strategies", &out)
+	return out, err
+}
+
+// Get returns one run status.
+func (c *Client) Get(ctx context.Context, name string) (Status, error) {
+	var st Status
+	err := httpx.GetJSON(ctx, c.BaseURL+"/api/v1/strategies/"+url.PathEscape(name), &st)
+	return st, err
+}
+
+// Abort stops a running strategy.
+func (c *Client) Abort(ctx context.Context, name string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		c.BaseURL+"/api/v1/strategies/"+url.PathEscape(name), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := httpx.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("abort %s: status %d", name, resp.StatusCode)
+	}
+	return nil
+}
+
+// Events fetches recent engine events.
+func (c *Client) Events(ctx context.Context, n int) ([]Event, error) {
+	var out []Event
+	err := httpx.GetJSON(ctx, fmt.Sprintf("%s/api/v1/events?n=%d", c.BaseURL, n), &out)
+	return out, err
+}
+
+// Healthy checks engine liveness.
+func (c *Client) Healthy(ctx context.Context) error {
+	var out map[string]string
+	return httpx.GetJSON(ctx, c.BaseURL+"/-/healthy", &out)
+}

@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bifrost/internal/core"
+	"bifrost/internal/httpx"
+)
+
+func apiFixture(t *testing.T) (*Engine, *Client) {
+	t.Helper()
+	eng := New()
+	t.Cleanup(eng.Shutdown)
+	compile := func(src string) (*core.Strategy, error) {
+		if src == "" {
+			return nil, errors.New("empty strategy source")
+		}
+		s := canaryStrategy(core.ConstEvaluator(true), 2*time.Millisecond, 4)
+		s.Name = src // test shim: the "source" is the strategy name
+		return s, nil
+	}
+	ts := httptest.NewServer(NewAPI(eng, compile).Handler())
+	t.Cleanup(ts.Close)
+	return eng, &Client{BaseURL: ts.URL}
+}
+
+func TestAPIScheduleAndGet(t *testing.T) {
+	eng, c := apiFixture(t)
+	ctx := context.Background()
+
+	st, err := c.Schedule(ctx, "release-1")
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if st.Strategy != "release-1" {
+		t.Errorf("strategy = %q", st.Strategy)
+	}
+
+	run, ok := eng.Run("release-1")
+	if !ok {
+		t.Fatal("run not registered")
+	}
+	waitDone(t, run)
+
+	got, err := c.Get(ctx, "release-1")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got.State != RunCompleted {
+		t.Errorf("state = %s", got.State)
+	}
+	if len(got.Path) != 1 || got.Path[0].To != "done" {
+		t.Errorf("path = %+v", got.Path)
+	}
+}
+
+func TestAPIListAndEvents(t *testing.T) {
+	eng, c := apiFixture(t)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Schedule(ctx, fmt.Sprintf("s-%d", i)); err != nil {
+			t.Fatalf("Schedule %d: %v", i, err)
+		}
+	}
+	for _, r := range eng.Runs() {
+		waitDone(t, r)
+	}
+	list, err := c.List(ctx)
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(list) != 3 {
+		t.Errorf("list = %d entries", len(list))
+	}
+	events, err := c.Events(ctx, 500)
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if len(events) == 0 {
+		t.Error("no events")
+	}
+	completed := 0
+	for _, ev := range events {
+		if ev.Type == EventCompleted {
+			completed++
+		}
+	}
+	if completed != 3 {
+		t.Errorf("completed events = %d, want 3", completed)
+	}
+}
+
+func TestAPIAbort(t *testing.T) {
+	eng, c := apiFixture(t)
+	ctx := context.Background()
+	compileSlow := func() *core.Strategy {
+		s := canaryStrategy(core.ConstEvaluator(true), 50*time.Millisecond, 1000)
+		s.Name = "slow"
+		return s
+	}
+	if _, err := eng.Enact(compileSlow()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Abort(ctx, "slow"); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+	run, _ := eng.Run("slow")
+	st := waitDone(t, run)
+	if st.State != RunAborted {
+		t.Errorf("state = %s", st.State)
+	}
+	if err := c.Abort(ctx, "ghost"); err == nil {
+		t.Error("abort of unknown strategy succeeded")
+	}
+}
+
+func TestAPIErrors(t *testing.T) {
+	_, c := apiFixture(t)
+	ctx := context.Background()
+
+	// Empty source → compile error → 422.
+	_, err := c.Schedule(ctx, "")
+	var apiErr *httpx.Error
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 422 {
+		t.Errorf("schedule empty: %v, want 422", err)
+	}
+
+	// Duplicate while running → 409.
+	if _, err := c.Schedule(ctx, "dup"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Schedule(ctx, "dup")
+	// The first may already have finished on a slow machine; accept 409
+	// or success-after-completion.
+	if err != nil {
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != 409 {
+			t.Errorf("duplicate schedule: %v, want 409", err)
+		}
+	}
+
+	// Unknown strategy → 404.
+	_, err = c.Get(ctx, "ghost")
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Errorf("get ghost: %v, want 404", err)
+	}
+
+	if err := c.Healthy(ctx); err != nil {
+		t.Errorf("Healthy: %v", err)
+	}
+}

@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"bifrost/internal/clock"
+	"bifrost/internal/core"
+)
+
+// checkRunner executes one check's timed (re-)executions within a state,
+// implementing the τ timer mechanism of §3.2 and Figure 3 of the paper.
+type checkRunner struct {
+	run       *Run
+	check     *core.Check
+	interrupt chan<- string
+
+	mu         sync.Mutex
+	executions int
+	successes  int
+	failures   int
+	lastError  string
+}
+
+func newCheckRunner(r *Run, c *core.Check, interrupt chan<- string) *checkRunner {
+	return &checkRunner{run: r, check: c, interrupt: interrupt}
+}
+
+// runTimed executes the check every Interval until the scheduled number of
+// executions is reached or the state context ends. Following Figure 3 of
+// the paper, the first execution happens immediately on state entry (a1
+// starts at t0), so n executions span (n−1)·Interval and always fit inside
+// a state whose duration is n·Interval.
+func (cr *checkRunner) runTimed(ctx context.Context, clk clock.Clock) {
+	if ctx.Err() != nil {
+		return
+	}
+	cr.executeOnce(ctx)
+	total := cr.check.ExecutionsOrDefault()
+	if total <= 1 {
+		return
+	}
+	ticker := clk.NewTicker(cr.check.Interval)
+	defer ticker.Stop()
+	for i := 1; i < total; i++ {
+		select {
+		case <-ticker.C():
+			cr.executeOnce(ctx)
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// runOnce performs a single end-of-state execution (checks without timers).
+func (cr *checkRunner) runOnce(ctx context.Context) {
+	cr.executeOnce(ctx)
+}
+
+func (cr *checkRunner) executeOnce(ctx context.Context) {
+	ok, err := cr.check.Eval.Evaluate(ctx)
+	cr.run.engine.mChecks.Inc()
+
+	cr.mu.Lock()
+	cr.executions++
+	if err != nil {
+		cr.lastError = err.Error()
+		ok = false
+	}
+	if ok {
+		cr.successes++
+	} else {
+		cr.failures++
+	}
+	cr.mu.Unlock()
+
+	cr.run.engine.bus.publish(Event{
+		Strategy: cr.run.strategy.Name,
+		Type:     EventCheckExecuted,
+		State:    cr.currentState(),
+		Check:    cr.check.Name,
+		Outcome:  boolToInt(ok),
+		Time:     cr.run.engine.clk.Now(),
+	})
+
+	// Exception semantics: a single failed execution triggers the state
+	// transition immediately (first failure wins; later ones are no-ops).
+	if !ok && cr.check.Kind == core.ExceptionCheck {
+		select {
+		case cr.interrupt <- cr.check.Fallback:
+			cr.run.engine.bus.publish(Event{
+				Strategy: cr.run.strategy.Name,
+				Type:     EventExceptionTriggered,
+				State:    cr.currentState(),
+				Check:    cr.check.Name,
+				Detail:   cr.check.Fallback,
+				Time:     cr.run.engine.clk.Now(),
+			})
+		default:
+		}
+	}
+}
+
+// mappedOutcome aggregates the execution results (Σ f_j) and maps basic
+// checks through their output mapping Out_ci. Exception checks contribute
+// their raw success count, which equals n when all executions succeeded.
+func (cr *checkRunner) mappedOutcome() (int, error) {
+	cr.mu.Lock()
+	successes := cr.successes
+	cr.mu.Unlock()
+	if cr.check.Kind == core.ExceptionCheck {
+		return successes, nil
+	}
+	return cr.check.MapOutcome(successes)
+}
+
+func (cr *checkRunner) snapshot() CheckStatus {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	return CheckStatus{
+		Name:       cr.check.Name,
+		Kind:       cr.check.Kind.String(),
+		Executions: cr.executions,
+		Successes:  cr.successes,
+		Failures:   cr.failures,
+		LastError:  cr.lastError,
+	}
+}
+
+func (cr *checkRunner) currentState() string {
+	cr.run.mu.Lock()
+	defer cr.run.mu.Unlock()
+	return cr.run.status.Current
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"bifrost/internal/core"
+	"bifrost/internal/proxy"
+)
+
+// Configurator delivers a state's dynamic routing configuration to the
+// proxy fronting the affected service. The engine calls Configure once per
+// routing config whenever the automaton enters a state.
+type Configurator interface {
+	Configure(ctx context.Context, s *core.Strategy, state *core.State,
+		rc core.RoutingConfig, generation int64) error
+}
+
+// NopConfigurator ignores routing updates; useful for model-only engines
+// and the pure-scalability experiments (§5.2 removes app load entirely).
+type NopConfigurator struct{}
+
+var _ Configurator = NopConfigurator{}
+
+// Configure implements Configurator.
+func (NopConfigurator) Configure(context.Context, *core.Strategy, *core.State,
+	core.RoutingConfig, int64) error {
+	return nil
+}
+
+// BuildProxyConfig materializes a core.RoutingConfig into the wire config a
+// proxy consumes, resolving version names to endpoints.
+func BuildProxyConfig(s *core.Strategy, rc core.RoutingConfig, generation int64) (proxy.Config, error) {
+	svc, ok := s.FindService(rc.Service)
+	if !ok {
+		return proxy.Config{}, fmt.Errorf("engine: routing for unknown service %q", rc.Service)
+	}
+	cfg := proxy.Config{
+		Service:    rc.Service,
+		Generation: generation,
+		Sticky:     rc.Sticky,
+	}
+	if rc.Mode == core.RouteHeader {
+		cfg.Mode = "header"
+		cfg.Header = rc.Header
+	}
+	// Keep zero-weighted versions routable so shadows and header groups
+	// can reference them.
+	names, shares, err := rc.NormalizedWeights()
+	if err != nil {
+		return proxy.Config{}, fmt.Errorf("engine: %w", err)
+	}
+	shareOf := make(map[string]float64, len(names))
+	for i, n := range names {
+		shareOf[n] = shares[i]
+	}
+	for name := range rc.Weights {
+		v, ok := svc.FindVersion(name)
+		if !ok {
+			return proxy.Config{}, fmt.Errorf("engine: unknown version %q of %q", name, rc.Service)
+		}
+		cfg.Backends = append(cfg.Backends, proxy.Backend{
+			Version: name,
+			URL:     endpointURL(v.Endpoint),
+			Weight:  shareOf[name],
+		})
+	}
+	for _, sh := range rc.Shadows {
+		psh := proxy.Shadow{Source: sh.Source, Target: sh.Target, Percent: sh.Percent}
+		if _, routable := rc.Weights[sh.Target]; !routable {
+			v, ok := svc.FindVersion(sh.Target)
+			if !ok {
+				return proxy.Config{}, fmt.Errorf("engine: unknown shadow target %q", sh.Target)
+			}
+			psh.TargetURL = endpointURL(v.Endpoint)
+		}
+		cfg.Shadows = append(cfg.Shadows, psh)
+	}
+	return cfg, nil
+}
+
+func endpointURL(endpoint string) string {
+	if strings.Contains(endpoint, "://") {
+		return endpoint
+	}
+	return "http://" + endpoint
+}
+
+// LocalConfigurator pushes configs directly into in-process proxies, used
+// by tests, examples and the experiment harness (everything runs on one
+// machine, like the paper's Docker Swarm but without the containers).
+type LocalConfigurator struct {
+	mu      sync.RWMutex
+	proxies map[string]*proxy.Proxy
+}
+
+var _ Configurator = (*LocalConfigurator)(nil)
+
+// NewLocalConfigurator creates an empty local configurator.
+func NewLocalConfigurator() *LocalConfigurator {
+	return &LocalConfigurator{proxies: make(map[string]*proxy.Proxy, 4)}
+}
+
+// Register attaches the proxy serving a service.
+func (lc *LocalConfigurator) Register(service string, p *proxy.Proxy) {
+	lc.mu.Lock()
+	lc.proxies[service] = p
+	lc.mu.Unlock()
+}
+
+// Configure implements Configurator.
+func (lc *LocalConfigurator) Configure(ctx context.Context, s *core.Strategy,
+	state *core.State, rc core.RoutingConfig, generation int64) error {
+	lc.mu.RLock()
+	p, ok := lc.proxies[rc.Service]
+	lc.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("engine: no proxy registered for service %q", rc.Service)
+	}
+	cfg, err := BuildProxyConfig(s, rc, generation)
+	if err != nil {
+		return err
+	}
+	return p.SetConfig(cfg)
+}
+
+// HTTPConfigurator pushes configs to remote proxies over their admin API,
+// using the proxy locations from the strategy's deployment section.
+type HTTPConfigurator struct{}
+
+var _ Configurator = HTTPConfigurator{}
+
+// Configure implements Configurator.
+func (HTTPConfigurator) Configure(ctx context.Context, s *core.Strategy,
+	state *core.State, rc core.RoutingConfig, generation int64) error {
+	svc, ok := s.FindService(rc.Service)
+	if !ok {
+		return fmt.Errorf("engine: routing for unknown service %q", rc.Service)
+	}
+	if svc.ProxyURL == "" {
+		return fmt.Errorf("engine: service %q has no proxy URL in deployment", rc.Service)
+	}
+	cfg, err := BuildProxyConfig(s, rc, generation)
+	if err != nil {
+		return err
+	}
+	client := &proxy.Client{BaseURL: endpointURL(svc.ProxyURL)}
+	return client.SetConfig(ctx, cfg)
+}

@@ -1,0 +1,199 @@
+// Package engine implements the Bifrost engine: the control plane that
+// enacts release strategies (paper §4.1).
+//
+// The engine "executes the state machine of the formal release model": for
+// every enacted strategy it walks the automaton, runs each state's checks
+// on their timers, aggregates weighted outcomes, fires the transition
+// function δ, and reconfigures the affected Bifrost proxies whenever a
+// state change happens. Many strategies run in parallel — the paper's
+// scalability evaluation (§5.2) drives exactly this code path.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bifrost/internal/clock"
+	"bifrost/internal/core"
+	"bifrost/internal/metrics"
+)
+
+// Common engine errors.
+var (
+	// ErrAlreadyRunning is returned by Enact when a strategy with the
+	// same name is currently executing.
+	ErrAlreadyRunning = errors.New("engine: strategy already running")
+	// ErrNotFound is returned when referencing an unknown strategy.
+	ErrNotFound = errors.New("engine: strategy not found")
+)
+
+// Engine enacts release strategies. Create with New; Shutdown aborts every
+// run and waits for the run loops to exit.
+type Engine struct {
+	clk          clock.Clock
+	registry     *metrics.Registry
+	configurator Configurator
+	bus          *eventBus
+
+	mu   sync.Mutex
+	runs map[string]*Run
+
+	generation atomic.Int64
+	wg         sync.WaitGroup
+
+	mActive      *metrics.Gauge
+	mEnacted     *metrics.Counter
+	mTransitions *metrics.Counter
+	mChecks      *metrics.Counter
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithClock injects the clock driving timers (tests use clock.Manual).
+func WithClock(c clock.Clock) Option {
+	return func(e *Engine) { e.clk = c }
+}
+
+// WithRegistry attaches the registry for the engine's self-metrics.
+func WithRegistry(r *metrics.Registry) Option {
+	return func(e *Engine) { e.registry = r }
+}
+
+// WithConfigurator sets how routing configs reach the proxies.
+func WithConfigurator(c Configurator) Option {
+	return func(e *Engine) { e.configurator = c }
+}
+
+// New creates an engine. By default it uses the real clock, a private
+// metrics registry, and a no-op configurator.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		clk:          clock.Real{},
+		registry:     metrics.NewRegistry(),
+		configurator: NopConfigurator{},
+		bus:          newEventBus(1024),
+		runs:         make(map[string]*Run, 8),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	e.mActive = e.registry.Gauge("engine_active_strategies", nil)
+	e.mEnacted = e.registry.Counter("engine_strategies_enacted_total", nil)
+	e.mTransitions = e.registry.Counter("engine_transitions_total", nil)
+	e.mChecks = e.registry.Counter("engine_check_executions_total", nil)
+	return e
+}
+
+// Registry exposes the engine's self-metrics for scraping.
+func (e *Engine) Registry() *metrics.Registry { return e.registry }
+
+// Subscribe returns a channel of engine events and a cancel function. The
+// channel is closed after cancel. Slow subscribers drop events rather than
+// blocking enactment.
+func (e *Engine) Subscribe(buffer int) (<-chan Event, func()) {
+	return e.bus.subscribe(buffer)
+}
+
+// RecentEvents returns up to n of the most recent events, oldest first.
+func (e *Engine) RecentEvents(n int) []Event { return e.bus.recent(n) }
+
+// Enact validates the strategy and starts executing it. The returned Run
+// tracks progress; the engine keeps running it in the background.
+func (e *Engine) Enact(s *core.Strategy) (*Run, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if r, exists := e.runs[s.Name]; exists && !r.Done() {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrAlreadyRunning, s.Name)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Run{
+		engine:   e,
+		strategy: s,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		status: Status{
+			Strategy: s.Name,
+			State:    RunPending,
+		},
+	}
+	e.runs[s.Name] = r
+	e.mu.Unlock()
+
+	e.mEnacted.Inc()
+	e.mActive.Add(1)
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		defer e.mActive.Add(-1)
+		r.loop(ctx)
+	}()
+	return r, nil
+}
+
+// Run returns the run for a strategy name.
+func (e *Engine) Run(name string) (*Run, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.runs[name]
+	return r, ok
+}
+
+// Runs snapshots all known runs.
+func (e *Engine) Runs() []*Run {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Run, 0, len(e.runs))
+	for _, r := range e.runs {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Abort stops a running strategy.
+func (e *Engine) Abort(name string) error {
+	e.mu.Lock()
+	r, ok := e.runs[name]
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	r.Abort()
+	return nil
+}
+
+// Remove forgets a finished run (keeps the registry tidy between tests and
+// long engine uptimes). Running strategies cannot be removed.
+func (e *Engine) Remove(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.runs[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	if !r.Done() {
+		return fmt.Errorf("engine: strategy %s still running", name)
+	}
+	delete(e.runs, name)
+	return nil
+}
+
+// Shutdown aborts everything and waits for run loops to stop.
+func (e *Engine) Shutdown() {
+	e.mu.Lock()
+	for _, r := range e.runs {
+		r.Abort()
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+	e.bus.close()
+}
+
+// nextGeneration issues monotonically increasing proxy config generations.
+func (e *Engine) nextGeneration() int64 { return e.generation.Add(1) }

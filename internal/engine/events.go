@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+// EventType classifies engine events.
+type EventType string
+
+// Engine event types, published on the event bus and shown by the CLI and
+// dashboard.
+const (
+	EventStateEntered       EventType = "state_entered"
+	EventRoutingApplied     EventType = "routing_applied"
+	EventCheckExecuted      EventType = "check_executed"
+	EventExceptionTriggered EventType = "exception_triggered"
+	EventTransition         EventType = "transition"
+	EventCompleted          EventType = "completed"
+	EventAborted            EventType = "aborted"
+	EventError              EventType = "error"
+)
+
+// Event is one observable engine occurrence.
+type Event struct {
+	Seq      int64     `json:"seq"`
+	Strategy string    `json:"strategy"`
+	Type     EventType `json:"type"`
+	State    string    `json:"state,omitempty"`
+	Check    string    `json:"check,omitempty"`
+	// Detail is type-specific: transition target, routing service,
+	// exception fallback, or error text.
+	Detail  string    `json:"detail,omitempty"`
+	Outcome int       `json:"outcome,omitempty"`
+	Time    time.Time `json:"time"`
+}
+
+// eventBus fans events out to subscribers and keeps a bounded replay
+// buffer for the status API.
+type eventBus struct {
+	mu     sync.Mutex
+	seq    int64
+	ring   []Event
+	next   int
+	full   bool
+	subs   map[int]chan Event
+	subSeq int
+	closed bool
+}
+
+func newEventBus(ringSize int) *eventBus {
+	return &eventBus{
+		ring: make([]Event, ringSize),
+		subs: make(map[int]chan Event),
+	}
+}
+
+func (b *eventBus) publish(ev Event) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.seq++
+	ev.Seq = b.seq
+	b.ring[b.next] = ev
+	b.next = (b.next + 1) % len(b.ring)
+	if b.next == 0 {
+		b.full = true
+	}
+	for _, ch := range b.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop rather than stall the engine
+		}
+	}
+	b.mu.Unlock()
+}
+
+func (b *eventBus) subscribe(buffer int) (<-chan Event, func()) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	ch := make(chan Event, buffer)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	id := b.subSeq
+	b.subSeq++
+	b.subs[id] = ch
+	b.mu.Unlock()
+
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			b.mu.Lock()
+			if _, ok := b.subs[id]; ok {
+				delete(b.subs, id)
+				close(ch)
+			}
+			b.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+func (b *eventBus) recent(n int) []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	size := b.next
+	if b.full {
+		size = len(b.ring)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]Event, 0, n)
+	start := b.next - n
+	if start < 0 {
+		start += len(b.ring)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, b.ring[(start+i)%len(b.ring)])
+	}
+	return out
+}
+
+func (b *eventBus) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, ch := range b.subs {
+		delete(b.subs, id)
+		close(ch)
+	}
+}

@@ -1,0 +1,366 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"bifrost/internal/core"
+	"bifrost/internal/metrics"
+)
+
+// RunState is the lifecycle state of one strategy enactment.
+type RunState string
+
+// Run lifecycle states.
+const (
+	RunPending   RunState = "pending"
+	RunRunning   RunState = "running"
+	RunCompleted RunState = "completed"
+	RunAborted   RunState = "aborted"
+	RunFailed    RunState = "failed"
+)
+
+// Run is one executing (or finished) strategy enactment.
+type Run struct {
+	engine   *Engine
+	strategy *core.Strategy
+	cancel   context.CancelFunc
+	done     chan struct{}
+
+	mu     sync.Mutex
+	status Status
+}
+
+// Status is a snapshot of a run's progress.
+type Status struct {
+	Strategy string   `json:"strategy"`
+	State    RunState `json:"state"`
+	// Current is the automaton state being executed.
+	Current string `json:"current,omitempty"`
+	// EnteredAt is when Current was entered.
+	EnteredAt time.Time `json:"enteredAt,omitempty"`
+	// StartedAt / FinishedAt bracket the whole enactment.
+	StartedAt  time.Time `json:"startedAt,omitempty"`
+	FinishedAt time.Time `json:"finishedAt,omitempty"`
+	// PlannedNanos accumulates the specified duration of every state the
+	// run entered; ActualNanos is wall time. Their difference is the
+	// enactment delay studied in Figures 8 and 10 of the paper.
+	PlannedNanos int64 `json:"plannedNanos"`
+	ActualNanos  int64 `json:"actualNanos"`
+	// Path records every transition taken.
+	Path []Transition `json:"path"`
+	// Checks reports progress of the current state's checks.
+	Checks []CheckStatus `json:"checks,omitempty"`
+	// Error holds the failure cause for RunFailed.
+	Error string `json:"error,omitempty"`
+}
+
+// Delay returns the enactment delay: wall time beyond the specified
+// execution time of the states the run passed through.
+func (s Status) Delay() time.Duration {
+	return time.Duration(s.ActualNanos - s.PlannedNanos)
+}
+
+// Transition is one δ firing.
+type Transition struct {
+	From    string    `json:"from"`
+	To      string    `json:"to"`
+	Outcome int       `json:"outcome"`
+	At      time.Time `json:"at"`
+}
+
+// CheckStatus reports one check's progress within the current state.
+type CheckStatus struct {
+	Name       string `json:"name"`
+	Kind       string `json:"kind"`
+	Executions int    `json:"executions"`
+	Successes  int    `json:"successes"`
+	Failures   int    `json:"failures"`
+	LastError  string `json:"lastError,omitempty"`
+}
+
+// Strategy returns the strategy this run enacts.
+func (r *Run) Strategy() *core.Strategy { return r.strategy }
+
+// Status snapshots the run.
+func (r *Run) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.status
+	st.Path = append([]Transition(nil), r.status.Path...)
+	st.Checks = append([]CheckStatus(nil), r.status.Checks...)
+	return st
+}
+
+// Done reports whether the run has finished.
+func (r *Run) Done() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the run finishes or ctx is cancelled.
+func (r *Run) Wait(ctx context.Context) error {
+	select {
+	case <-r.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Abort cancels the run.
+func (r *Run) Abort() { r.cancel() }
+
+func (r *Run) setRunState(s RunState, errMsg string) {
+	r.mu.Lock()
+	r.status.State = s
+	if errMsg != "" {
+		r.status.Error = errMsg
+	}
+	r.mu.Unlock()
+}
+
+// loop is the run's main goroutine: it walks the automaton until a final
+// state, an abort, or a failure.
+func (r *Run) loop(ctx context.Context) {
+	defer close(r.done)
+	clk := r.engine.clk
+	start := clk.Now()
+
+	r.mu.Lock()
+	r.status.State = RunRunning
+	r.status.StartedAt = start
+	r.mu.Unlock()
+
+	finish := func(state RunState, errMsg string) {
+		now := clk.Now()
+		r.mu.Lock()
+		r.status.State = state
+		r.status.FinishedAt = now
+		r.status.ActualNanos = int64(now.Sub(start))
+		if errMsg != "" {
+			r.status.Error = errMsg
+		}
+		r.mu.Unlock()
+		r.engine.registry.Gauge("engine_enactment_delay_seconds",
+			metrics.Labels{"strategy": r.strategy.Name}).
+			Set(r.Status().Delay().Seconds())
+		switch state {
+		case RunCompleted:
+			r.engine.bus.publish(Event{Strategy: r.strategy.Name, Type: EventCompleted, Time: now})
+		case RunAborted:
+			r.engine.bus.publish(Event{Strategy: r.strategy.Name, Type: EventAborted, Time: now})
+		case RunFailed:
+			r.engine.bus.publish(Event{Strategy: r.strategy.Name, Type: EventError,
+				Detail: errMsg, Time: now})
+		}
+	}
+
+	current := r.strategy.Automaton.Start
+	for {
+		select {
+		case <-ctx.Done():
+			finish(RunAborted, "")
+			return
+		default:
+		}
+
+		state, ok := r.strategy.Automaton.State(current)
+		if !ok {
+			finish(RunFailed, "unknown state "+current)
+			return
+		}
+
+		if err := r.enterState(ctx, state); err != nil {
+			if ctx.Err() != nil {
+				finish(RunAborted, "")
+				return
+			}
+			finish(RunFailed, err.Error())
+			return
+		}
+
+		if r.strategy.Automaton.IsFinal(state.ID) {
+			finish(RunCompleted, "")
+			return
+		}
+
+		next, outcome, err := r.executeState(ctx, state)
+		if err != nil {
+			if ctx.Err() != nil {
+				finish(RunAborted, "")
+				return
+			}
+			finish(RunFailed, err.Error())
+			return
+		}
+
+		now := clk.Now()
+		r.mu.Lock()
+		r.status.Path = append(r.status.Path, Transition{
+			From: state.ID, To: next, Outcome: outcome, At: now,
+		})
+		r.mu.Unlock()
+		r.engine.mTransitions.Inc()
+		r.engine.bus.publish(Event{
+			Strategy: r.strategy.Name, Type: EventTransition,
+			State: state.ID, Detail: next, Outcome: outcome, Time: now,
+		})
+		current = next
+	}
+}
+
+// enterState applies the state's routing configurations and records entry.
+func (r *Run) enterState(ctx context.Context, state *core.State) error {
+	clk := r.engine.clk
+	now := clk.Now()
+	r.mu.Lock()
+	r.status.Current = state.ID
+	r.status.EnteredAt = now
+	if len(state.Checks) > 0 {
+		// Keep the previous state's check results visible while passing
+		// through checkless states (e.g. final rollout/rollback states).
+		r.status.Checks = nil
+	}
+	r.mu.Unlock()
+	r.engine.bus.publish(Event{
+		Strategy: r.strategy.Name, Type: EventStateEntered,
+		State: state.ID, Detail: state.Description, Time: now,
+	})
+
+	for i := range state.Routing {
+		rc := state.Routing[i]
+		gen := r.engine.nextGeneration()
+		if err := r.engine.configurator.Configure(ctx, r.strategy, state, rc, gen); err != nil {
+			return err
+		}
+		r.engine.bus.publish(Event{
+			Strategy: r.strategy.Name, Type: EventRoutingApplied,
+			State: state.ID, Detail: rc.Service, Time: clk.Now(),
+		})
+	}
+	return nil
+}
+
+// executeState runs the state's checks to completion (or interrupt) and
+// returns the successor chosen by δ together with the aggregated outcome.
+func (r *Run) executeState(ctx context.Context, state *core.State) (string, int, error) {
+	clk := r.engine.clk
+
+	// Book the state's specified duration for delay accounting.
+	planned := statePlannedDuration(state)
+	r.mu.Lock()
+	r.status.PlannedNanos += int64(planned)
+	r.mu.Unlock()
+
+	stateCtx, cancelState := context.WithCancel(ctx)
+	defer cancelState()
+
+	interrupt := make(chan string, 1)
+	runners := make([]*checkRunner, 0, len(state.Checks))
+	var wg sync.WaitGroup
+	for i := range state.Checks {
+		c := &state.Checks[i]
+		cr := newCheckRunner(r, c, interrupt)
+		runners = append(runners, cr)
+		if c.Interval > 0 {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cr.runTimed(stateCtx, clk)
+			}()
+		}
+	}
+
+	allDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(allDone)
+	}()
+
+	// The state ends when: its explicit duration elapses; otherwise when
+	// every timed check finishes; an exception check interrupts; or the
+	// run is aborted.
+	var timerC <-chan time.Time
+	if state.Duration > 0 {
+		timer := clk.NewTimer(state.Duration)
+		defer timer.Stop()
+		timerC = timer.C()
+	}
+
+	fallback := ""
+	if timerC == nil {
+		select {
+		case <-allDone:
+		case fallback = <-interrupt:
+		case <-ctx.Done():
+			return "", 0, ctx.Err()
+		}
+	} else {
+		select {
+		case <-timerC:
+		case fallback = <-interrupt:
+		case <-ctx.Done():
+			return "", 0, ctx.Err()
+		}
+	}
+
+	// Stop timed checks and wait for them so counts are settled.
+	cancelState()
+	wg.Wait()
+
+	if fallback != "" {
+		// Exception semantics: jump immediately to the fallback state.
+		return fallback, 0, nil
+	}
+
+	// Execute end-of-state checks (no timer: run once now), then
+	// aggregate the weighted outcome and fire δ.
+	results := make([]int, len(state.Checks))
+	r.mu.Lock()
+	r.status.Checks = r.status.Checks[:0]
+	r.mu.Unlock()
+	for i, cr := range runners {
+		if state.Checks[i].Interval <= 0 {
+			cr.runOnce(ctx)
+		}
+		mapped, err := cr.mappedOutcome()
+		if err != nil {
+			return "", 0, err
+		}
+		results[i] = mapped
+		r.mu.Lock()
+		r.status.Checks = append(r.status.Checks, cr.snapshot())
+		r.mu.Unlock()
+	}
+
+	outcome, err := state.Outcome(results)
+	if err != nil {
+		return "", 0, err
+	}
+	next, err := state.NextState(outcome)
+	if err != nil {
+		return "", 0, err
+	}
+	return next, outcome, nil
+}
+
+// statePlannedDuration is the specified execution time of a state: its
+// explicit duration, or the longest check schedule.
+func statePlannedDuration(state *core.State) time.Duration {
+	if state.Duration > 0 {
+		return state.Duration
+	}
+	var max time.Duration
+	for i := range state.Checks {
+		if d := state.Checks[i].TotalDuration(); d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"bifrost/internal/engine"
+	"bifrost/internal/loadgen"
+)
+
+// Variation is one of the three test-run configurations of §5.1.2.
+type Variation string
+
+// The paper's three variations.
+const (
+	// Baseline runs the load test "without the middleware and proxies
+	// deployed".
+	Baseline Variation = "baseline"
+	// Inactive deploys the proxies "but without executing any strategy".
+	Inactive Variation = "inactive"
+	// Active executes the four-phase release strategy during the test.
+	Active Variation = "active"
+)
+
+// EndUserConfig parameterizes the Figure 6 / Table 1 reproduction.
+type EndUserConfig struct {
+	// Plan is the phase timing (QuickPhases or PaperPhases).
+	Plan PhasePlan
+	// RPS is the steady load (paper: 35 req/s).
+	RPS float64
+	// RampUp precedes the measurement (paper: 30s; compressed here).
+	RampUp time.Duration
+	// Users is the synthetic user pool size.
+	Users int
+	// Window is the moving-average window (paper: 3s).
+	Window time.Duration
+	// Seed fixes workload randomness.
+	Seed int64
+}
+
+func (c EndUserConfig) withDefaults() EndUserConfig {
+	if c.Plan == (PhasePlan{}) {
+		c.Plan = QuickPhases()
+	}
+	if c.RPS == 0 {
+		c.RPS = 35
+	}
+	if c.RampUp == 0 {
+		c.RampUp = 2 * time.Second
+	}
+	if c.Users == 0 {
+		c.Users = 20
+	}
+	if c.Window == 0 {
+		c.Window = 3 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// PhaseStats is one Table-1 cell group: summary statistics of the response
+// times observed during one release phase under one variation.
+type PhaseStats struct {
+	Phase string
+	Stats loadgen.Stats
+}
+
+// EndUserResult is the outcome of one variation run.
+type EndUserResult struct {
+	Variation Variation
+	// Series is the Figure-6 moving-average curve.
+	Series []loadgen.SeriesPoint
+	// Phases holds Table-1 statistics, one entry per release phase.
+	Phases []PhaseStats
+	// Strategy reports the enacted strategy's final status (Active only).
+	Strategy *engine.Status
+	// Err counts failed requests across the run.
+	Errors int
+}
+
+// RunEndUser executes one variation of the §5.1 experiment and returns its
+// series and per-phase statistics.
+func RunEndUser(ctx context.Context, variation Variation, cfg EndUserConfig) (*EndUserResult, error) {
+	cfg = cfg.withDefaults()
+	tb, err := NewTestbed(TestbedConfig{
+		WithProxies: variation != Baseline,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Close()
+
+	plan := cfg.Plan
+	phaseWindows := phaseWindows(cfg, plan)
+	total := cfg.RampUp + plan.Total() + time.Second
+
+	// For the active variation, enact the strategy after the ramp-up.
+	var run *engine.Run
+	if variation == Active {
+		strategy, cerr := CompileReleaseStrategy("product-release", tb, plan)
+		if cerr != nil {
+			return nil, cerr
+		}
+		timer := time.AfterFunc(cfg.RampUp, func() {
+			r, eerr := tb.Engine.Enact(strategy)
+			if eerr == nil {
+				run = r
+			}
+		})
+		defer timer.Stop()
+	}
+
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:     tb.Gateway.URL(),
+		RPS:         cfg.RPS,
+		Duration:    total - cfg.RampUp,
+		RampUp:      cfg.RampUp,
+		Users:       cfg.Users,
+		ProductIDs:  tb.ProductIDs,
+		SearchTerms: []string{"tv", "laptop", "phone", "camera"},
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &EndUserResult{
+		Variation: variation,
+		Series:    res.MovingAverage(cfg.Window),
+	}
+	for _, pw := range phaseWindows {
+		out.Phases = append(out.Phases, PhaseStats{
+			Phase: pw.name,
+			Stats: res.StatsWindow(pw.from, pw.to),
+		})
+	}
+	out.Errors = loadgen.StatsOf(res.Samples).Errors
+
+	if variation == Active && run != nil {
+		waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		defer cancel()
+		_ = run.Wait(waitCtx)
+		st := run.Status()
+		out.Strategy = &st
+	}
+	return out, nil
+}
+
+type phaseWindow struct {
+	name     string
+	from, to time.Duration
+}
+
+// phaseWindows derives the measurement windows of the four phases from the
+// plan; the same wall windows are used for all three variations so Table 1
+// compares like with like.
+func phaseWindows(cfg EndUserConfig, plan PhasePlan) []phaseWindow {
+	start := cfg.RampUp
+	canaryEnd := start + plan.Canary
+	darkEnd := canaryEnd + plan.Dark
+	abEnd := darkEnd + plan.AB
+	rolloutEnd := abEnd + time.Duration(int(100/plan.RolloutStepPct))*plan.RolloutStep
+	return []phaseWindow{
+		{"Canary", start, canaryEnd},
+		{"Dark Launch", canaryEnd, darkEnd},
+		{"A/B Test", darkEnd, abEnd},
+		{"Gradual Rollout", abEnd, rolloutEnd},
+	}
+}
+
+// Table1 bundles the three variations of the experiment.
+type Table1 struct {
+	Results map[Variation]*EndUserResult
+}
+
+// RunTable1 runs baseline, inactive, and active back to back.
+func RunTable1(ctx context.Context, cfg EndUserConfig) (*Table1, error) {
+	t := &Table1{Results: make(map[Variation]*EndUserResult, 3)}
+	for _, v := range []Variation{Baseline, Inactive, Active} {
+		r, err := RunEndUser(ctx, v, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("variation %s: %w", v, err)
+		}
+		t.Results[v] = r
+	}
+	return t, nil
+}
+
+// Print renders the paper's Table 1 layout: rows mean/min/max/sd/median,
+// grouped per phase × variation.
+func (t *Table1) Print(w io.Writer) {
+	phases := []string{"Canary", "Dark Launch", "A/B Test", "Gradual Rollout"}
+	variations := []Variation{Baseline, Inactive, Active}
+
+	fmt.Fprintf(w, "Table 1: response time statistics (ms) per release phase\n\n")
+	for _, phase := range phases {
+		fmt.Fprintf(w, "%-16s %10s %10s %10s\n", phase, "baseline", "inactive", "active")
+		rows := []struct {
+			label string
+			pick  func(loadgen.Stats) float64
+		}{
+			{"mean", func(s loadgen.Stats) float64 { return s.Mean }},
+			{"min", func(s loadgen.Stats) float64 { return s.Min }},
+			{"max", func(s loadgen.Stats) float64 { return s.Max }},
+			{"sd", func(s loadgen.Stats) float64 { return s.SD }},
+			{"median", func(s loadgen.Stats) float64 { return s.Median }},
+		}
+		for _, row := range rows {
+			fmt.Fprintf(w, "  %-14s", row.label)
+			for _, v := range variations {
+				st := t.stats(v, phase)
+				fmt.Fprintf(w, " %10.2f", row.pick(st))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func (t *Table1) stats(v Variation, phase string) loadgen.Stats {
+	r, ok := t.Results[v]
+	if !ok {
+		return loadgen.Stats{}
+	}
+	for _, p := range r.Phases {
+		if p.Phase == phase {
+			return p.Stats
+		}
+	}
+	return loadgen.Stats{}
+}
+
+// PrintFigure6 renders the moving-average series of every variation as CSV
+// (offset_s, baseline_ms, inactive_ms, active_ms), the data behind the
+// paper's Figure 6 plot.
+func (t *Table1) PrintFigure6(w io.Writer) {
+	fmt.Fprintln(w, "Figure 6: 3s moving average of response times (CSV)")
+	fmt.Fprintln(w, "offset_s,baseline_ms,inactive_ms,active_ms")
+	series := map[Variation][]loadgen.SeriesPoint{}
+	maxLen := 0
+	for v, r := range t.Results {
+		series[v] = r.Series
+		if len(r.Series) > maxLen {
+			maxLen = len(r.Series)
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		var offset float64
+		cols := make([]string, 0, 3)
+		for _, v := range []Variation{Baseline, Inactive, Active} {
+			s := series[v]
+			if i < len(s) {
+				offset = s[i].OffsetSeconds
+				cols = append(cols, fmt.Sprintf("%.2f", s[i].MeanMillis))
+			} else {
+				cols = append(cols, "")
+			}
+		}
+		fmt.Fprintf(w, "%.0f,%s,%s,%s\n", offset, cols[0], cols[1], cols[2])
+	}
+}

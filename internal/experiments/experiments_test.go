@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"bifrost/internal/engine"
+	"bifrost/internal/loadgen"
+)
+
+func TestTestbedDeploysAndServes(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{WithProxies: true, Products: 10, Users: 3})
+	if err != nil {
+		t.Fatalf("NewTestbed: %v", err)
+	}
+	defer tb.Close()
+
+	ctx := context.Background()
+	// The gateway serves the frontend.
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:    tb.Gateway.URL(),
+		RPS:        50,
+		Duration:   400 * time.Millisecond,
+		Users:      3,
+		ProductIDs: tb.ProductIDs,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	st := loadgen.StatsOf(res.Samples)
+	if st.Count == 0 {
+		t.Fatal("no samples")
+	}
+	if st.Errors > st.Count/10 {
+		t.Errorf("errors = %d of %d", st.Errors, st.Count)
+	}
+
+	// The scraper collected service metrics into the metrics store.
+	tb.Scraper.ScrapeOnce(ctx)
+	v, err := tb.MetricsStore.QueryNow(`sum(shop_requests_total)`)
+	if err != nil {
+		t.Fatalf("metrics query: %v", err)
+	}
+	if v <= 0 {
+		t.Errorf("shop_requests_total = %v", v)
+	}
+}
+
+func TestReleaseStrategyCompilesAgainstTestbed(t *testing.T) {
+	tb, err := NewTestbed(TestbedConfig{WithProxies: true, Products: 4, Users: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	s, err := CompileReleaseStrategy("compile-check", tb, QuickPhases())
+	if err != nil {
+		t.Fatalf("CompileReleaseStrategy: %v", err)
+	}
+	// canary, dark, ab + 2 gradual chains (10 steps each at 10%) +
+	// done-a, done-b, rollback = 3 + 20 + 3.
+	if len(s.Automaton.States) != 26 {
+		t.Errorf("states = %d, want 26", len(s.Automaton.States))
+	}
+	if s.Automaton.Start != "canary" {
+		t.Errorf("start = %q", s.Automaton.Start)
+	}
+}
+
+func TestEndUserActiveRunsFullStrategy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	plan := PhasePlan{
+		Canary: 1500 * time.Millisecond, Dark: 1500 * time.Millisecond,
+		AB:          1500 * time.Millisecond,
+		RolloutStep: 200 * time.Millisecond, RolloutStepPct: 25,
+		CheckInterval: 300 * time.Millisecond, CheckCount: 4,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	res, err := RunEndUser(ctx, Active, EndUserConfig{
+		Plan: plan, RPS: 25, RampUp: time.Second, Users: 8, Seed: 13,
+	})
+	if err != nil {
+		t.Fatalf("RunEndUser: %v", err)
+	}
+	if res.Strategy == nil {
+		t.Fatal("no strategy status recorded")
+	}
+	if res.Strategy.State != engine.RunCompleted {
+		t.Fatalf("strategy state = %s (%s); path %+v",
+			res.Strategy.State, res.Strategy.Error, res.Strategy.Path)
+	}
+	// The winner rollout must have happened: last transition ends in a
+	// done state (product A is biased to win, but either is legal).
+	last := res.Strategy.Path[len(res.Strategy.Path)-1]
+	if !strings.HasPrefix(last.To, "done-") {
+		t.Errorf("final state = %q, want done-*; path %+v", last.To, res.Strategy.Path)
+	}
+	if len(res.Phases) != 4 {
+		t.Fatalf("phases = %d", len(res.Phases))
+	}
+	for _, p := range res.Phases {
+		if p.Stats.Count == 0 {
+			t.Errorf("phase %s has no samples", p.Phase)
+		}
+	}
+	if len(res.Series) == 0 {
+		t.Error("no moving-average series")
+	}
+}
+
+func TestParallelStrategiesSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	plan := PhasePlan{
+		Canary: 800 * time.Millisecond, Dark: 800 * time.Millisecond,
+		AB:          800 * time.Millisecond,
+		RolloutStep: 200 * time.Millisecond, RolloutStepPct: 50,
+		CheckInterval: 200 * time.Millisecond, CheckCount: 3,
+	}
+	points, err := RunParallelStrategies(ctx, ParallelStrategiesConfig{
+		Counts: []int{1, 5}, Plan: plan,
+	})
+	if err != nil {
+		t.Fatalf("RunParallelStrategies: %v", err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Failed > 0 {
+			t.Errorf("n=%d: %d failed runs", p.N, p.Failed)
+		}
+		if p.Completed != p.N {
+			t.Errorf("n=%d: completed = %d", p.N, p.Completed)
+		}
+		if p.DelayMeanSeconds < 0 {
+			t.Errorf("n=%d: negative delay %v", p.N, p.DelayMeanSeconds)
+		}
+	}
+	var sb strings.Builder
+	PrintSweep(&sb, "Figure 7/8", "strategies", points)
+	if !strings.Contains(sb.String(), "delay_mean_s") {
+		t.Errorf("PrintSweep output:\n%s", sb.String())
+	}
+}
+
+func TestParallelChecksSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	points, err := RunParallelChecks(ctx, ParallelChecksConfig{
+		GroupCounts:   []int{1, 3},
+		PhaseDuration: 1200 * time.Millisecond,
+		CheckInterval: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("RunParallelChecks: %v", err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].N != 8 || points[1].N != 24 {
+		t.Errorf("check counts = %d, %d; want 8, 24", points[0].N, points[1].N)
+	}
+	for _, p := range points {
+		if p.Failed > 0 {
+			t.Errorf("n=%d failed", p.N)
+		}
+	}
+}
+
+func TestSummarizeCPU(t *testing.T) {
+	st := summarizeCPU([]float64{10, 20, 30, 40, 50})
+	if st.N != 5 || st.Min != 10 || st.Max != 50 || st.Median != 30 || st.Mean != 30 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Q1 != 20 || st.Q3 != 40 {
+		t.Errorf("quartiles = %v/%v", st.Q1, st.Q3)
+	}
+	if summarizeCPU(nil).N != 0 {
+		t.Error("empty stats wrong")
+	}
+}
+
+func TestPhaseWindowsCoverPlan(t *testing.T) {
+	cfg := EndUserConfig{RampUp: 2 * time.Second}.withDefaults()
+	plan := QuickPhases()
+	ws := phaseWindows(cfg, plan)
+	if len(ws) != 4 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	if ws[0].from != cfg.RampUp {
+		t.Errorf("first window starts at %v", ws[0].from)
+	}
+	for i := 1; i < len(ws); i++ {
+		if ws[i].from != ws[i-1].to {
+			t.Errorf("gap between %s and %s", ws[i-1].name, ws[i].name)
+		}
+	}
+	if got := ws[3].to - cfg.RampUp; got != plan.Total() {
+		t.Errorf("total = %v, plan total = %v", got, plan.Total())
+	}
+}

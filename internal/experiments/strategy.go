@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bifrost/internal/core"
+	"bifrost/internal/dsl"
+)
+
+// PhasePlan captures the compressed timing of the §5.1 release strategy.
+// The paper ran 60-second phases and a 200-second gradual rollout; the
+// defaults here compress that 380-second schedule by a configurable factor
+// so tests and benches finish quickly, exactly as the paper itself
+// compressed real-world multi-day phases into seconds.
+type PhasePlan struct {
+	// Canary, Dark, AB are the three fixed phase durations.
+	Canary time.Duration
+	Dark   time.Duration
+	AB     time.Duration
+	// RolloutStep is the per-step duration of the gradual rollout and
+	// RolloutStepPct its traffic increment (paper: 10s and 5%).
+	RolloutStep    time.Duration
+	RolloutStepPct float64
+	// CheckInterval is the canary checks' re-execution period (paper:
+	// 12 seconds, re-executed 5 times inside the 60-second phase).
+	CheckInterval time.Duration
+	CheckCount    int
+}
+
+// PaperPhases returns the literal timing of §5.1.2: 60s+60s+60s+200s.
+func PaperPhases() PhasePlan {
+	return PhasePlan{
+		Canary: 60 * time.Second, Dark: 60 * time.Second, AB: 60 * time.Second,
+		RolloutStep: 10 * time.Second, RolloutStepPct: 5,
+		CheckInterval: 12 * time.Second, CheckCount: 5,
+	}
+}
+
+// QuickPhases compresses the schedule to roughly 1/20 for tests/benches.
+func QuickPhases() PhasePlan {
+	return PhasePlan{
+		Canary: 3 * time.Second, Dark: 3 * time.Second, AB: 3 * time.Second,
+		RolloutStep: 500 * time.Millisecond, RolloutStepPct: 10,
+		CheckInterval: 600 * time.Millisecond, CheckCount: 5,
+	}
+}
+
+// Total returns the specified execution time of the full strategy along
+// its success path.
+func (p PhasePlan) Total() time.Duration {
+	steps := int(100/p.RolloutStepPct) + 0
+	return p.Canary + p.Dark + p.AB + time.Duration(steps)*p.RolloutStep
+}
+
+// ReleaseStrategyYAML renders the §5.1.2 four-phase release strategy
+// (canary → dark launch → A/B test → gradual rollout of the winner) in the
+// Bifrost DSL, parameterized with the testbed's endpoints.
+func ReleaseStrategyYAML(name string, tb *Testbed, plan PhasePlan) string {
+	return fmt.Sprintf(`
+name: %s
+deployment:
+  services:
+    - service: product
+      proxy: %s
+      versions:
+        - name: product
+          endpoint: %s
+        - name: productA
+          endpoint: %s
+        - name: productB
+          endpoint: %s
+providers:
+  prometheus: %s
+strategy:
+  start: canary
+  phases:
+    - phase: canary
+      description: canary launch of product A and B at 5%% each
+      duration: %s
+      routes:
+        - route:
+            service: product
+            weights: {product: 90, productA: 5, productB: 5}
+      checks:
+        - metric:
+            name: a_errors
+            provider: prometheus
+            query: shop_request_errors_total{version="productA"}
+            intervalTime: %s
+            intervalLimit: %d
+            threshold: %d
+            validator: "<5"
+        - metric:
+            name: b_errors
+            provider: prometheus
+            query: shop_request_errors_total{version="productB"}
+            intervalTime: %s
+            intervalLimit: %d
+            threshold: %d
+            validator: "<5"
+      on:
+        success: darklaunch
+        failure: rollback
+    - phase: darklaunch
+      description: 100%% of product traffic duplicated to A and B
+      duration: %s
+      routes:
+        - route:
+            service: product
+            weights: {product: 100}
+            shadows:
+              - target: productA
+                percent: 100
+              - target: productB
+                percent: 100
+      on:
+        success: abtest
+        failure: rollback
+    - phase: abtest
+      description: sticky 50/50 A/B test on sales performance
+      duration: %s
+      routes:
+        - route:
+            service: product
+            weights: {productA: 50, productB: 50}
+            sticky: true
+      checks:
+        - metric:
+            name: sales_compare
+            provider: prometheus
+            query: shop_sales_total{version="productA"} - shop_sales_total{version="productB"}
+            intervalLimit: 1
+            validator: ">=0"
+      thresholds: [0]
+      transitions: [rollout-b, rollout-a]
+    - phase: rollout-a
+      gradual:
+        service: product
+        stable: product
+        candidate: productA
+        from: %g
+        to: 100
+        step: %g
+        interval: %s
+      on:
+        success: done-a
+    - phase: rollout-b
+      gradual:
+        service: product
+        stable: product
+        candidate: productB
+        from: %g
+        to: 100
+        step: %g
+        interval: %s
+      on:
+        success: done-b
+    - phase: done-a
+      description: product A fully rolled out, traffic reverted for teardown
+      routes:
+        - route:
+            service: product
+            weights: {product: 100}
+    - phase: done-b
+      routes:
+        - route:
+            service: product
+            weights: {product: 100}
+    - phase: rollback
+      routes:
+        - route:
+            service: product
+            weights: {product: 100}
+`,
+		name,
+		tb.ProductProxySrv.URL(),
+		tb.ProductVersions["product"].URL(),
+		tb.ProductVersions["productA"].URL(),
+		tb.ProductVersions["productB"].URL(),
+		tb.MetricsSrv.URL(),
+		plan.Canary,
+		plan.CheckInterval, plan.CheckCount, plan.CheckCount,
+		plan.CheckInterval, plan.CheckCount, plan.CheckCount,
+		plan.Dark,
+		plan.AB,
+		plan.RolloutStepPct, plan.RolloutStepPct, plan.RolloutStep,
+		plan.RolloutStepPct, plan.RolloutStepPct, plan.RolloutStep,
+	)
+}
+
+// CompileReleaseStrategy compiles the release strategy against the testbed.
+func CompileReleaseStrategy(name string, tb *Testbed, plan PhasePlan) (*core.Strategy, error) {
+	return dsl.Compile(ReleaseStrategyYAML(name, tb, plan))
+}

@@ -1,0 +1,131 @@
+package httpx
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+type echo struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}
+
+func TestServerStartShutdown(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ping", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, map[string]string{"pong": "ok"})
+	})
+	srv, err := NewServer("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	srv.Start()
+
+	var out map[string]string
+	if err := GetJSON(context.Background(), srv.URL()+"/ping", &out); err != nil {
+		t.Fatalf("GetJSON: %v", err)
+	}
+	if out["pong"] != "ok" {
+		t.Errorf("pong = %q", out["pong"])
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := GetJSON(context.Background(), srv.URL()+"/ping", &out); err == nil {
+		t.Fatal("request after shutdown succeeded")
+	}
+}
+
+func TestPostJSONRoundTrip(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var in echo
+		if err := ReadJSON(r, &in); err != nil {
+			WriteError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		in.Count++
+		WriteJSON(w, http.StatusOK, in)
+	}))
+	defer ts.Close()
+
+	var out echo
+	err := PostJSON(context.Background(), ts.URL, echo{Name: "fastSearch", Count: 1}, &out)
+	if err != nil {
+		t.Fatalf("PostJSON: %v", err)
+	}
+	if out.Name != "fastSearch" || out.Count != 2 {
+		t.Errorf("out = %+v", out)
+	}
+}
+
+func TestErrorEnvelope(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteError(w, http.StatusConflict, "strategy already running")
+	}))
+	defer ts.Close()
+
+	err := GetJSON(context.Background(), ts.URL, &struct{}{})
+	var apiErr *Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error type = %T (%v), want *Error", err, err)
+	}
+	if apiErr.StatusCode != http.StatusConflict {
+		t.Errorf("status = %d, want 409", apiErr.StatusCode)
+	}
+	if !strings.Contains(apiErr.Message, "already running") {
+		t.Errorf("message = %q", apiErr.Message)
+	}
+}
+
+func TestReadJSONRejectsUnknownFieldsAndTrailing(t *testing.T) {
+	mk := func(body string) *http.Request {
+		r := httptest.NewRequest(http.MethodPost, "/", strings.NewReader(body))
+		return r
+	}
+	var v echo
+	if err := ReadJSON(mk(`{"name":"a","bogus":1}`), &v); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if err := ReadJSON(mk(`{"name":"a"} {"name":"b"}`), &v); err == nil {
+		t.Error("trailing data accepted")
+	}
+	if err := ReadJSON(mk(`{"name":"a","count":3}`), &v); err != nil {
+		t.Errorf("valid body rejected: %v", err)
+	}
+}
+
+func TestPutJSON(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPut {
+			WriteError(w, http.StatusMethodNotAllowed, "want PUT")
+			return
+		}
+		WriteJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	}))
+	defer ts.Close()
+	var out map[string]bool
+	if err := PutJSON(context.Background(), ts.URL, echo{}, &out); err != nil {
+		t.Fatalf("PutJSON: %v", err)
+	}
+	if !out["ok"] {
+		t.Error("ok = false")
+	}
+}
+
+func TestGetJSONNilTarget(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, map[string]int{"n": 1})
+	}))
+	defer ts.Close()
+	if err := PostJSON(context.Background(), ts.URL, nil, nil); err != nil {
+		t.Fatalf("PostJSON nil target: %v", err)
+	}
+}

@@ -1,0 +1,239 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func queryStore() (*Store, time.Time) {
+	s := NewStore()
+	at := t0.Add(2 * time.Minute)
+	// Counter that grows 2/s for two minutes on two instances.
+	for i := 0; i <= 120; i++ {
+		tm := t0.Add(time.Duration(i) * time.Second)
+		s.Append("http_requests_total", Labels{"instance": "search:80"}, float64(2*i), tm)
+		s.Append("http_requests_total", Labels{"instance": "product:80"}, float64(3*i), tm)
+	}
+	// Response time samples.
+	for i, v := range []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100} {
+		s.Append("response_ms", Labels{"instance": "search:80"}, v,
+			at.Add(-time.Duration(10-i)*time.Second))
+	}
+	s.Append("request_errors", Labels{"instance": "search:80"}, 4, at)
+	return s, at
+}
+
+func TestQueryInstant(t *testing.T) {
+	s, at := queryStore()
+	got, err := s.Query(`request_errors{instance="search:80"}`, at)
+	if err != nil || got != 4 {
+		t.Fatalf("got %v, %v; want 4", got, err)
+	}
+}
+
+func TestQueryAggregations(t *testing.T) {
+	s, at := queryStore()
+	cases := []struct {
+		expr string
+		want float64
+	}{
+		{`sum(http_requests_total)`, 600}, // 240 + 360
+		{`avg(http_requests_total)`, 300}, //
+		{`min(http_requests_total)`, 240}, //
+		{`max(http_requests_total)`, 360}, //
+		{`count(http_requests_total)`, 2}, //
+		{`sum(http_requests_total{instance="search:80"})`, 240},
+	}
+	for _, c := range cases {
+		got, err := s.Query(c.expr, at)
+		if err != nil {
+			t.Errorf("%s: %v", c.expr, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestQueryRateAndIncrease(t *testing.T) {
+	s, at := queryStore()
+	inc, err := s.Query(`increase(http_requests_total{instance="search:80"}[60s])`, at)
+	if err != nil {
+		t.Fatalf("increase: %v", err)
+	}
+	// 2/s over 60s window: samples at 61..120s → increase 118 (59 steps of 2).
+	if inc < 110 || inc > 122 {
+		t.Errorf("increase = %v, want ≈ 118", inc)
+	}
+	rate, err := s.Query(`rate(http_requests_total{instance="search:80"}[60s])`, at)
+	if err != nil {
+		t.Fatalf("rate: %v", err)
+	}
+	if rate < 1.8 || rate > 2.1 {
+		t.Errorf("rate = %v, want ≈ 2", rate)
+	}
+}
+
+func TestQueryCounterReset(t *testing.T) {
+	s := NewStore()
+	at := t0.Add(time.Minute)
+	// Counter: 10, 20, 5 (reset), 15 → increase = 10 + 5 + 10 = 25.
+	vals := []float64{10, 20, 5, 15}
+	for i, v := range vals {
+		s.Append("c", nil, v, t0.Add(time.Duration(i)*time.Second))
+	}
+	got, err := s.Query("increase(c[5m])", at)
+	if err != nil || got != 25 {
+		t.Fatalf("increase = %v, %v; want 25", got, err)
+	}
+}
+
+func TestQueryOverTimeFunctions(t *testing.T) {
+	s, at := queryStore()
+	cases := []struct {
+		expr string
+		want float64
+	}{
+		{`avg_over_time(response_ms{instance="search:80"}[1m])`, 55},
+		{`min_over_time(response_ms{instance="search:80"}[1m])`, 10},
+		{`max_over_time(response_ms{instance="search:80"}[1m])`, 100},
+		{`sum_over_time(response_ms{instance="search:80"}[1m])`, 550},
+		{`count_over_time(response_ms{instance="search:80"}[1m])`, 10},
+		{`quantile_over_time(0.5, response_ms{instance="search:80"}[1m])`, 55},
+		{`quantile_over_time(0, response_ms{instance="search:80"}[1m])`, 10},
+		{`quantile_over_time(1, response_ms{instance="search:80"}[1m])`, 100},
+	}
+	for _, c := range cases {
+		got, err := s.Query(c.expr, at)
+		if err != nil {
+			t.Errorf("%s: %v", c.expr, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestQueryArithmetic(t *testing.T) {
+	s, at := queryStore()
+	got, err := s.Query(`request_errors{instance="search:80"} * 2 + 1`, at)
+	if err != nil || got != 9 {
+		t.Fatalf("got %v, %v; want 9", got, err)
+	}
+	got, err = s.Query(`(request_errors{instance="search:80"} + 4) / 2`, at)
+	if err != nil || got != 4 {
+		t.Fatalf("got %v, %v; want 4", got, err)
+	}
+	// Error ratio idiom.
+	got, err = s.Query(`request_errors{instance="search:80"} / sum(http_requests_total{instance="search:80"})`, at)
+	if err != nil {
+		t.Fatalf("ratio: %v", err)
+	}
+	if math.Abs(got-4.0/240.0) > 1e-9 {
+		t.Errorf("ratio = %v", got)
+	}
+	// Division by zero yields NaN, not a crash.
+	got, err = s.Query(`4 / 0`, at)
+	if err != nil || !math.IsNaN(got) {
+		t.Fatalf("4/0 = %v, %v; want NaN", got, err)
+	}
+	// Operator precedence: 2 + 3 * 4 = 14.
+	got, err = s.Query(`2 + 3 * 4`, at)
+	if err != nil || got != 14 {
+		t.Fatalf("precedence = %v, %v; want 14", got, err)
+	}
+}
+
+func TestQueryNoData(t *testing.T) {
+	s, at := queryStore()
+	for _, expr := range []string{
+		`ghost_metric`,
+		`rate(ghost_metric[1m])`,
+		`sum(ghost_metric{instance="x"})`,
+	} {
+		if _, err := s.Query(expr, at); !errors.Is(err, ErrNoData) {
+			t.Errorf("%s: err = %v, want ErrNoData", expr, err)
+		}
+	}
+}
+
+func TestQuerySyntaxErrors(t *testing.T) {
+	s, at := queryStore()
+	for _, expr := range []string{
+		``,
+		`{instance="x"}`,
+		`m{instance=}`,
+		`m{instance="x"`,
+		`rate(m)`,    // rate needs a window
+		`sum(m[1m])`, // sum takes an instant selector
+		`m[notaduration]`,
+		`m{} trailing`,
+		`quantile_over_time(m[1m])`, // missing q
+		`m{label~"x"}`,
+		`1 +`,
+	} {
+		if _, err := s.Query(expr, at); err == nil {
+			t.Errorf("Query(%q) succeeded, want error", expr)
+		}
+	}
+}
+
+func TestQueryIdentifiersWithColons(t *testing.T) {
+	s := NewStore()
+	s.Append("node:cpu:busy", nil, 0.5, t0)
+	got, err := s.Query("node:cpu:busy", t0)
+	if err != nil || got != 0.5 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuantileProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		vals := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		q1 = math.Abs(math.Mod(q1, 1))
+		q2 = math.Abs(math.Mod(q2, 1))
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		lo, hi := quantile(vals, 0), quantile(vals, 1)
+		v1, v2 := quantile(vals, q1), quantile(vals, q2)
+		return v1 <= v2 && v1 >= lo && v2 <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkQueryInstant(b *testing.B) {
+	s, at := queryStore()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query(`request_errors{instance="search:80"}`, at); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryRate(b *testing.B) {
+	s, at := queryStore()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query(`rate(http_requests_total{instance="search:80"}[60s])`, at); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

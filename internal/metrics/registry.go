@@ -1,0 +1,286 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is the instrumentation side of the metrics substrate: services
+// create counters and gauges on it and expose them via Handler(), which the
+// scraper collects into the central Store — the same division of labour as
+// client_golang vs the Prometheus server.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter, 16),
+		gauges:   make(map[string]*Gauge, 16),
+	}
+}
+
+// Counter returns (creating if needed) the counter for name+labels.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	key := name + "\x00" + labels.Key()
+	r.mu.RLock()
+	c, ok := r.counters[key]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[key]; ok {
+		return c
+	}
+	c = &Counter{name: name, labels: labels.Clone()}
+	r.counters[key] = c
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge for name+labels.
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	key := name + "\x00" + labels.Key()
+	r.mu.RLock()
+	g, ok := r.gauges[key]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[key]; ok {
+		return g
+	}
+	g = &Gauge{name: name, labels: labels.Clone()}
+	r.gauges[key] = g
+	return g
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	mu     sync.Mutex
+	name   string
+	labels Labels
+	value  float64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d (negative deltas are ignored; counters are monotonic).
+func (c *Counter) Add(d float64) {
+	if d < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.value += d
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.value
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	mu     sync.Mutex
+	name   string
+	labels Labels
+	value  float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.value = v
+	g.mu.Unlock()
+}
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	g.mu.Lock()
+	g.value += d
+	g.mu.Unlock()
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.value
+}
+
+// Point is one exposed metric value, the unit of exposition and scraping.
+type Point struct {
+	Name   string
+	Labels Labels
+	Value  float64
+	Type   string // "counter" or "gauge"
+}
+
+// Gather snapshots every metric in deterministic order.
+func (r *Registry) Gather() []Point {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	points := make([]Point, 0, len(r.counters)+len(r.gauges))
+	for _, c := range r.counters {
+		points = append(points, Point{Name: c.name, Labels: c.labels.Clone(), Value: c.Value(), Type: "counter"})
+	}
+	for _, g := range r.gauges {
+		points = append(points, Point{Name: g.name, Labels: g.labels.Clone(), Value: g.Value(), Type: "gauge"})
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].Name != points[j].Name {
+			return points[i].Name < points[j].Name
+		}
+		return points[i].Labels.Key() < points[j].Labels.Key()
+	})
+	return points
+}
+
+// WriteExposition renders the registry in the text exposition format:
+//
+//	# TYPE http_requests_total counter
+//	http_requests_total{service="product",version="A"} 42
+func (r *Registry) WriteExposition(w io.Writer) error {
+	points := r.Gather()
+	lastName := ""
+	for _, p := range points {
+		if p.Name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, p.Type); err != nil {
+				return err
+			}
+			lastName = p.Name
+		}
+		label := ""
+		if len(p.Labels) > 0 {
+			label = p.Labels.String()
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", p.Name, label,
+			strconv.FormatFloat(p.Value, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the text exposition format over HTTP (the /metrics
+// endpoint every instrumented service exposes).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = r.WriteExposition(w)
+	})
+}
+
+// ParseExposition parses the text exposition format back into points; the
+// scraper uses it on /metrics responses.
+func ParseExposition(r io.Reader) ([]Point, error) {
+	var points []Point
+	types := map[string]string{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		p, err := parseExpositionLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: exposition line %d: %w", lineNo, err)
+		}
+		if math.IsNaN(p.Value) {
+			continue
+		}
+		p.Type = types[p.Name]
+		points = append(points, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("metrics: read exposition: %w", err)
+	}
+	return points, nil
+}
+
+func parseExpositionLine(line string) (Point, error) {
+	var p Point
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd < 0 {
+		return p, fmt.Errorf("malformed line %q", line)
+	}
+	p.Name = line[:nameEnd]
+	rest := line[nameEnd:]
+	p.Labels = Labels{}
+	if rest[0] == '{' {
+		close := strings.Index(rest, "}")
+		if close < 0 {
+			return p, fmt.Errorf("unterminated labels in %q", line)
+		}
+		inner := rest[1:close]
+		rest = rest[close+1:]
+		for _, part := range splitLabelPairs(inner) {
+			eq := strings.Index(part, "=")
+			if eq < 0 {
+				return p, fmt.Errorf("bad label pair %q", part)
+			}
+			val := strings.Trim(part[eq+1:], `"`)
+			p.Labels[strings.TrimSpace(part[:eq])] = val
+		}
+	}
+	valStr := strings.TrimSpace(rest)
+	// Ignore an optional timestamp suffix.
+	if sp := strings.IndexByte(valStr, ' '); sp >= 0 {
+		valStr = valStr[:sp]
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return p, fmt.Errorf("bad value %q", valStr)
+	}
+	p.Value = v
+	return p, nil
+}
+
+// splitLabelPairs splits label pairs on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var parts []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		parts = append(parts, s[start:])
+	}
+	return parts
+}

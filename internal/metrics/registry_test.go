@@ -1,0 +1,199 @@
+package metrics
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bifrost/internal/clock"
+	"bifrost/internal/httpx"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs", Labels{"service": "product"})
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if c.Value() != 5 {
+		t.Errorf("counter = %v, want 5", c.Value())
+	}
+	g := r.Gauge("temp", nil)
+	g.Set(20)
+	g.Add(2.5)
+	if g.Value() != 22.5 {
+		t.Errorf("gauge = %v, want 22.5", g.Value())
+	}
+	// Same name+labels returns the same instance.
+	if r.Counter("reqs", Labels{"service": "product"}) != c {
+		t.Error("Counter not idempotent")
+	}
+	if r.Gauge("temp", nil) != g {
+		t.Error("Gauge not idempotent")
+	}
+	// Different labels are distinct series.
+	c2 := r.Counter("reqs", Labels{"service": "search"})
+	if c2 == c {
+		t.Error("distinct labels share a counter")
+	}
+}
+
+func TestCounterConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %v, want 8000", c.Value())
+	}
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("http_requests_total", Labels{"service": "product", "version": "A"}).Add(42)
+	r.Counter("http_requests_total", Labels{"service": "product", "version": "B"}).Add(17)
+	r.Gauge("cpu_busy_ratio", Labels{"container": "engine"}).Set(0.625)
+	r.Counter("plain_total", nil).Add(3)
+
+	var sb strings.Builder
+	if err := r.WriteExposition(&sb); err != nil {
+		t.Fatalf("WriteExposition: %v", err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, "# TYPE http_requests_total counter") {
+		t.Errorf("missing TYPE line:\n%s", text)
+	}
+
+	points, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v", err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4\n%s", len(points), text)
+	}
+	found := false
+	for _, p := range points {
+		if p.Name == "http_requests_total" && p.Labels["version"] == "A" {
+			found = true
+			if p.Value != 42 {
+				t.Errorf("value = %v, want 42", p.Value)
+			}
+			if p.Type != "counter" {
+				t.Errorf("type = %q, want counter", p.Type)
+			}
+		}
+	}
+	if !found {
+		t.Error("series version=A not parsed")
+	}
+}
+
+func TestParseExpositionErrors(t *testing.T) {
+	for _, src := range []string{
+		"no_value_here",
+		`metric{unterminated="x" 5`,
+		`metric{x} 5`,
+		"metric notanumber",
+	} {
+		if _, err := ParseExposition(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseExposition(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseExpositionTolerance(t *testing.T) {
+	src := `
+# HELP something informative
+# TYPE m counter
+m{a="b"} 1 1462104000000
+
+m 2
+`
+	points, err := ParseExposition(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v", err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	if points[0].Value != 1 || points[1].Value != 2 {
+		t.Errorf("values = %v, %v", points[0].Value, points[1].Value)
+	}
+}
+
+func TestScraperCollectsIntoStore(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("request_errors", nil).Add(4)
+	srv, err := httpx.NewServer("127.0.0.1:0", reg.Handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	clk := clock.NewManual(t0)
+	store := NewStore(WithClock(clk))
+	sc := NewScraper(store, time.Second, clk)
+	sc.AddTarget(Target{URL: srv.URL(), Instance: "search:80", Extra: Labels{"job": "shop"}})
+	sc.ScrapeOnce(context.Background())
+
+	got, err := store.Query(`request_errors{instance="search:80",job="shop"}`, clk.Now())
+	if err != nil || got != 4 {
+		t.Fatalf("scraped value = %v, %v; want 4", got, err)
+	}
+}
+
+func TestScraperRecordsErrors(t *testing.T) {
+	clk := clock.NewManual(t0)
+	store := NewStore(WithClock(clk))
+	sc := NewScraper(store, time.Second, clk)
+	sc.AddTarget(Target{URL: "http://127.0.0.1:1/metrics", Instance: "dead:1"})
+	sc.ScrapeOnce(context.Background())
+	got, err := store.Query(`scrape_errors_total{instance="dead:1"}`, clk.Now())
+	if err != nil || got != 1 {
+		t.Fatalf("scrape_errors_total = %v, %v; want 1", got, err)
+	}
+}
+
+func TestScraperStartStop(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", nil).Add(1)
+	srv, err := httpx.NewServer("127.0.0.1:0", reg.Handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	store := NewStore()
+	sc := NewScraper(store, 5*time.Millisecond, clock.Real{})
+	sc.AddTarget(Target{URL: srv.URL(), Instance: "i"})
+	sc.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for store.SeriesCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	sc.Stop() // must not hang, and must wait for the loop to exit
+	if store.SeriesCount() == 0 {
+		t.Fatal("scraper never scraped")
+	}
+}

@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"bifrost/internal/clock"
+	"bifrost/internal/httpx"
+)
+
+func startMetricsServer(t *testing.T, store *Store) (*httpx.Server, func()) {
+	t.Helper()
+	srv, err := httpx.NewServer("127.0.0.1:0", NewServer(store).Handler())
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	srv.Start()
+	return srv, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+}
+
+func TestServerQueryEndpoint(t *testing.T) {
+	clk := clock.NewManual(t0)
+	store := NewStore(WithClock(clk))
+	store.Append("request_errors", Labels{"instance": "search:80"}, 4, clk.Now())
+	srv, stop := startMetricsServer(t, store)
+	defer stop()
+
+	c := &Client{BaseURL: srv.URL()}
+	got, err := c.Query(context.Background(), `request_errors{instance="search:80"}`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if got != 4 {
+		t.Errorf("got %v, want 4", got)
+	}
+}
+
+func TestServerQueryErrors(t *testing.T) {
+	store := NewStore()
+	srv, stop := startMetricsServer(t, store)
+	defer stop()
+	c := &Client{BaseURL: srv.URL()}
+
+	if _, err := c.Query(context.Background(), "ghost"); err == nil {
+		t.Error("no-data query succeeded")
+	} else if !strings.Contains(err.Error(), "no data") {
+		t.Errorf("error = %v, want no-data message", err)
+	}
+	if _, err := c.Query(context.Background(), "m{bad"); err == nil {
+		t.Error("syntax-error query succeeded")
+	}
+	if _, err := c.Query(context.Background(), ""); err == nil {
+		t.Error("empty query succeeded")
+	}
+}
+
+func TestServerIngest(t *testing.T) {
+	clk := clock.NewManual(t0)
+	store := NewStore(WithClock(clk))
+	srv, stop := startMetricsServer(t, store)
+	defer stop()
+	c := &Client{BaseURL: srv.URL()}
+
+	err := c.Push(context.Background(), []IngestSample{
+		{Name: "cpu_busy", Labels: map[string]string{"container": "engine"}, Value: 0.4},
+		{Name: "cpu_busy", Labels: map[string]string{"container": "proxy"}, Value: 0.2,
+			UnixNanos: t0.UnixNano()},
+	})
+	if err != nil {
+		t.Fatalf("Push: %v", err)
+	}
+	got, err := c.Query(context.Background(), "sum(cpu_busy)")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if got < 0.6-1e-9 || got > 0.6+1e-9 {
+		t.Errorf("sum = %v, want ≈ 0.6", got)
+	}
+}
+
+func TestServerSeriesAndHealth(t *testing.T) {
+	store := NewStore()
+	store.Append("alpha", nil, 1, time.Now())
+	store.Append("beta", nil, 1, time.Now())
+	srv, stop := startMetricsServer(t, store)
+	defer stop()
+
+	var names []string
+	if err := httpx.GetJSON(context.Background(), srv.URL()+"/api/v1/series", &names); err != nil {
+		t.Fatalf("series: %v", err)
+	}
+	if len(names) != 2 || names[0] != "alpha" {
+		t.Errorf("names = %v", names)
+	}
+	var health map[string]string
+	if err := httpx.GetJSON(context.Background(), srv.URL()+"/-/healthy", &health); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("health = %v", health)
+	}
+}

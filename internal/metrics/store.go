@@ -1,0 +1,242 @@
+package metrics
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"bifrost/internal/clock"
+)
+
+// DefaultMaxSamples bounds the ring buffer per series. At one sample per
+// second this covers well over an hour of history, far more than any check
+// window in the evaluation.
+const DefaultMaxSamples = 8192
+
+// DefaultStaleness is how far back an instant query looks for the latest
+// sample of a series before considering it stale.
+const DefaultStaleness = 5 * time.Minute
+
+// ErrNoData is returned by queries that match no fresh samples. The engine
+// counts such checks as failed and surfaces the error in status output.
+var ErrNoData = errors.New("metrics: no data for query")
+
+// Sample is one observation of a series.
+type Sample struct {
+	T time.Time
+	V float64
+}
+
+// Store is the time-series database at the heart of the metrics provider.
+// It is safe for concurrent use.
+type Store struct {
+	mu         sync.RWMutex
+	series     map[string]*series // key: name + "\x00" + labels.Key()
+	maxSamples int
+	staleness  time.Duration
+	clk        clock.Clock
+}
+
+type series struct {
+	name   string
+	labels Labels
+	// ring buffer of samples in append order
+	buf   []Sample
+	start int // index of oldest sample once the ring is full
+}
+
+// StoreOption configures a Store.
+type StoreOption func(*Store)
+
+// WithMaxSamples bounds each series' retained history.
+func WithMaxSamples(n int) StoreOption {
+	return func(s *Store) { s.maxSamples = n }
+}
+
+// WithStaleness sets the instant-query staleness window.
+func WithStaleness(d time.Duration) StoreOption {
+	return func(s *Store) { s.staleness = d }
+}
+
+// WithClock injects the clock used for relative windows.
+func WithClock(c clock.Clock) StoreOption {
+	return func(s *Store) { s.clk = c }
+}
+
+// NewStore creates an empty time-series store.
+func NewStore(opts ...StoreOption) *Store {
+	s := &Store{
+		series:     make(map[string]*series, 64),
+		maxSamples: DefaultMaxSamples,
+		staleness:  DefaultStaleness,
+		clk:        clock.Real{},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Append records a sample for the series identified by name and labels.
+func (s *Store) Append(name string, labels Labels, v float64, t time.Time) {
+	key := name + "\x00" + labels.Key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr, ok := s.series[key]
+	if !ok {
+		sr = &series{
+			name:   name,
+			labels: labels.Clone(),
+			buf:    make([]Sample, 0, 64),
+		}
+		s.series[key] = sr
+	}
+	sr.append(Sample{T: t, V: v}, s.maxSamples)
+}
+
+func (sr *series) append(sm Sample, maxSamples int) {
+	if len(sr.buf) < maxSamples {
+		sr.buf = append(sr.buf, sm)
+		return
+	}
+	// Ring is full: overwrite the oldest slot.
+	sr.buf[sr.start] = sm
+	sr.start = (sr.start + 1) % len(sr.buf)
+}
+
+// at returns the i-th oldest valid sample.
+func (sr *series) at(i int) Sample {
+	return sr.buf[(sr.start+i)%len(sr.buf)]
+}
+
+func (sr *series) len() int { return len(sr.buf) }
+
+// latestBefore returns the most recent sample at or before t, if any.
+func (sr *series) latestBefore(t time.Time) (Sample, bool) {
+	for i := sr.len() - 1; i >= 0; i-- {
+		sm := sr.at(i)
+		if !sm.T.After(t) {
+			return sm, true
+		}
+	}
+	return Sample{}, false
+}
+
+// window returns the samples with from < T ≤ to in chronological order.
+func (sr *series) window(from, to time.Time) []Sample {
+	out := make([]Sample, 0, 16)
+	for i := 0; i < sr.len(); i++ {
+		sm := sr.at(i)
+		if sm.T.After(from) && !sm.T.After(to) {
+			out = append(out, sm)
+		}
+	}
+	return out
+}
+
+// SeriesCount returns the number of distinct series in the store.
+func (s *Store) SeriesCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.series)
+}
+
+// SeriesNames returns the sorted distinct metric names.
+func (s *Store) SeriesNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[string]bool, len(s.series))
+	for _, sr := range s.series {
+		seen[sr.name] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// selectSeries returns the series matching name and selector.
+func (s *Store) selectSeries(name string, selector []LabelMatch) []*series {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*series
+	for _, sr := range s.series {
+		if sr.name == name && sr.labels.Matches(selector) {
+			out = append(out, sr)
+		}
+	}
+	return out
+}
+
+// InstantValue evaluates an instant vector selector at time t and reduces
+// it with the given aggregation (default sum).
+func (s *Store) InstantValue(name string, selector []LabelMatch, agg string, at time.Time) (float64, error) {
+	matched := s.selectSeries(name, selector)
+	vals := make([]float64, 0, len(matched))
+	s.mu.RLock()
+	for _, sr := range matched {
+		if sm, ok := sr.latestBefore(at); ok && at.Sub(sm.T) <= s.staleness {
+			vals = append(vals, sm.V)
+		}
+	}
+	s.mu.RUnlock()
+	if len(vals) == 0 {
+		return 0, ErrNoData
+	}
+	return reduce(vals, agg)
+}
+
+// RangeSamples pools the samples of every matching series over (at-d, at].
+func (s *Store) RangeSamples(name string, selector []LabelMatch, d time.Duration, at time.Time) [][]Sample {
+	matched := s.selectSeries(name, selector)
+	out := make([][]Sample, 0, len(matched))
+	s.mu.RLock()
+	for _, sr := range matched {
+		w := sr.window(at.Add(-d), at)
+		if len(w) > 0 {
+			out = append(out, w)
+		}
+	}
+	s.mu.RUnlock()
+	return out
+}
+
+func reduce(vals []float64, agg string) (float64, error) {
+	switch agg {
+	case "", "sum":
+		var t float64
+		for _, v := range vals {
+			t += v
+		}
+		return t, nil
+	case "avg":
+		var t float64
+		for _, v := range vals {
+			t += v
+		}
+		return t / float64(len(vals)), nil
+	case "min":
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m, nil
+	case "max":
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m, nil
+	case "count":
+		return float64(len(vals)), nil
+	default:
+		return 0, errors.New("metrics: unknown aggregation " + agg)
+	}
+}

@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bifrost/internal/clock"
+)
+
+var t0 = time.Date(2016, 5, 1, 12, 0, 0, 0, time.UTC)
+
+func fill(s *Store, name string, labels Labels, start time.Time, step time.Duration, vals ...float64) {
+	for i, v := range vals {
+		s.Append(name, labels, v, start.Add(time.Duration(i)*step))
+	}
+}
+
+func TestInstantValueLatest(t *testing.T) {
+	s := NewStore()
+	fill(s, "request_errors", Labels{"instance": "search:80"}, t0, time.Second, 1, 2, 3)
+	got, err := s.InstantValue("request_errors", []LabelMatch{
+		{Name: "instance", Op: MatchEqual, Value: "search:80"},
+	}, "", t0.Add(time.Minute))
+	if err != nil {
+		t.Fatalf("InstantValue: %v", err)
+	}
+	if got != 3 {
+		t.Errorf("got %v, want 3 (latest)", got)
+	}
+}
+
+func TestInstantValueSumsAcrossSeries(t *testing.T) {
+	s := NewStore()
+	fill(s, "errs", Labels{"version": "A"}, t0, time.Second, 5)
+	fill(s, "errs", Labels{"version": "B"}, t0, time.Second, 7)
+	got, err := s.InstantValue("errs", nil, "", t0.Add(time.Second))
+	if err != nil || got != 12 {
+		t.Fatalf("got %v, %v; want 12", got, err)
+	}
+	avg, err := s.InstantValue("errs", nil, "avg", t0.Add(time.Second))
+	if err != nil || avg != 6 {
+		t.Fatalf("avg = %v, %v; want 6", avg, err)
+	}
+	mn, _ := s.InstantValue("errs", nil, "min", t0.Add(time.Second))
+	mx, _ := s.InstantValue("errs", nil, "max", t0.Add(time.Second))
+	ct, _ := s.InstantValue("errs", nil, "count", t0.Add(time.Second))
+	if mn != 5 || mx != 7 || ct != 2 {
+		t.Errorf("min/max/count = %v/%v/%v, want 5/7/2", mn, mx, ct)
+	}
+}
+
+func TestInstantValueStaleness(t *testing.T) {
+	s := NewStore(WithStaleness(10 * time.Second))
+	fill(s, "m", nil, t0, time.Second, 1)
+	if _, err := s.InstantValue("m", nil, "", t0.Add(time.Hour)); !errors.Is(err, ErrNoData) {
+		t.Fatalf("stale sample served: err = %v", err)
+	}
+	if _, err := s.InstantValue("m", nil, "", t0.Add(5*time.Second)); err != nil {
+		t.Fatalf("fresh sample rejected: %v", err)
+	}
+}
+
+func TestInstantValueNoData(t *testing.T) {
+	s := NewStore()
+	if _, err := s.InstantValue("ghost", nil, "", t0); !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestSelectorSemantics(t *testing.T) {
+	s := NewStore()
+	fill(s, "rt", Labels{"instance": "search:80", "version": "stable"}, t0, time.Second, 100)
+	fill(s, "rt", Labels{"instance": "fastsearch:80", "version": "canary"}, t0, time.Second, 50)
+
+	eq := []LabelMatch{{Name: "version", Op: MatchEqual, Value: "canary"}}
+	got, err := s.InstantValue("rt", eq, "", t0.Add(time.Second))
+	if err != nil || got != 50 {
+		t.Fatalf("eq: got %v, %v", got, err)
+	}
+	ne := []LabelMatch{{Name: "version", Op: MatchNotEqual, Value: "canary"}}
+	got, err = s.InstantValue("rt", ne, "", t0.Add(time.Second))
+	if err != nil || got != 100 {
+		t.Fatalf("ne: got %v, %v", got, err)
+	}
+	pre := []LabelMatch{{Name: "instance", Op: MatchPrefix, Value: "fast"}}
+	got, err = s.InstantValue("rt", pre, "", t0.Add(time.Second))
+	if err != nil || got != 50 {
+		t.Fatalf("prefix: got %v, %v", got, err)
+	}
+}
+
+func TestRingBufferEviction(t *testing.T) {
+	s := NewStore(WithMaxSamples(4))
+	for i := 0; i < 10; i++ {
+		s.Append("m", nil, float64(i), t0.Add(time.Duration(i)*time.Second))
+	}
+	// Only the last 4 samples (6..9) must remain.
+	windows := s.RangeSamples("m", nil, time.Hour, t0.Add(time.Hour))
+	if len(windows) != 1 {
+		t.Fatalf("windows = %d", len(windows))
+	}
+	w := windows[0]
+	if len(w) != 4 || w[0].V != 6 || w[3].V != 9 {
+		t.Fatalf("window = %+v, want values 6..9", w)
+	}
+	// Chronological order must be preserved through wrap-around.
+	for i := 1; i < len(w); i++ {
+		if !w[i-1].T.Before(w[i].T) {
+			t.Fatal("window not chronological")
+		}
+	}
+}
+
+func TestSeriesNamesAndCount(t *testing.T) {
+	s := NewStore()
+	fill(s, "b_metric", nil, t0, time.Second, 1)
+	fill(s, "a_metric", Labels{"x": "1"}, t0, time.Second, 1)
+	fill(s, "a_metric", Labels{"x": "2"}, t0, time.Second, 1)
+	names := s.SeriesNames()
+	if len(names) != 2 || names[0] != "a_metric" || names[1] != "b_metric" {
+		t.Errorf("names = %v", names)
+	}
+	if s.SeriesCount() != 3 {
+		t.Errorf("count = %d, want 3", s.SeriesCount())
+	}
+}
+
+func TestLabelsKeyOrderIndependent(t *testing.T) {
+	a := Labels{"x": "1", "y": "2"}
+	b := Labels{"y": "2", "x": "1"}
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	if a.String() != `{x="1",y="2"}` {
+		t.Errorf("String = %q", a.String())
+	}
+	if (Labels{}).String() != "{}" {
+		t.Errorf("empty String = %q", Labels{}.String())
+	}
+}
+
+func TestLabelsMergeClone(t *testing.T) {
+	a := Labels{"x": "1"}
+	m := a.Merge(Labels{"y": "2"})
+	if len(a) != 1 {
+		t.Error("Merge mutated receiver")
+	}
+	if m["x"] != "1" || m["y"] != "2" {
+		t.Errorf("merged = %v", m)
+	}
+	c := a.Clone()
+	c["x"] = "mutated"
+	if a["x"] != "1" {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestStoreWithManualClock(t *testing.T) {
+	clk := clock.NewManual(t0)
+	s := NewStore(WithClock(clk))
+	s.Append("m", nil, 42, clk.Now())
+	got, err := s.QueryNow("m")
+	if err != nil || got != 42 {
+		t.Fatalf("QueryNow = %v, %v", got, err)
+	}
+	clk.Advance(DefaultStaleness + time.Minute)
+	if _, err := s.QueryNow("m"); !errors.Is(err, ErrNoData) {
+		t.Fatalf("stale QueryNow err = %v", err)
+	}
+}

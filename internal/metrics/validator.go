@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Validator is the compiled form of a DSL check validator such as "<5",
+// ">=150", "==0", "!=1" or "10..20" (inclusive range). A check's metric
+// evaluating function f_ci applies the validator to the query result to
+// produce the {0, 1} outcome of one execution.
+type Validator struct {
+	op  string
+	lhs float64 // lower bound for ranges, otherwise the comparison operand
+	rhs float64 // upper bound for ranges
+	src string
+}
+
+// ParseValidator compiles a validator expression.
+func ParseValidator(src string) (Validator, error) {
+	s := strings.TrimSpace(src)
+	if s == "" {
+		return Validator{}, fmt.Errorf("metrics: empty validator")
+	}
+	if i := strings.Index(s, ".."); i >= 0 {
+		lo, err1 := strconv.ParseFloat(strings.TrimSpace(s[:i]), 64)
+		hi, err2 := strconv.ParseFloat(strings.TrimSpace(s[i+2:]), 64)
+		if err1 != nil || err2 != nil {
+			return Validator{}, fmt.Errorf("metrics: bad range validator %q", src)
+		}
+		if hi < lo {
+			return Validator{}, fmt.Errorf("metrics: empty range validator %q", src)
+		}
+		return Validator{op: "..", lhs: lo, rhs: hi, src: src}, nil
+	}
+	for _, op := range []string{"<=", ">=", "==", "!=", "<", ">", "="} {
+		if strings.HasPrefix(s, op) {
+			operand := strings.TrimSpace(s[len(op):])
+			v, err := strconv.ParseFloat(operand, 64)
+			if err != nil {
+				return Validator{}, fmt.Errorf("metrics: bad validator operand %q in %q", operand, src)
+			}
+			if op == "=" {
+				op = "=="
+			}
+			return Validator{op: op, lhs: v, src: src}, nil
+		}
+	}
+	return Validator{}, fmt.Errorf("metrics: unrecognized validator %q", src)
+}
+
+// Apply reports whether the value satisfies the validator.
+func (v Validator) Apply(value float64) bool {
+	switch v.op {
+	case "<":
+		return value < v.lhs
+	case "<=":
+		return value <= v.lhs
+	case ">":
+		return value > v.lhs
+	case ">=":
+		return value >= v.lhs
+	case "==":
+		return value == v.lhs
+	case "!=":
+		return value != v.lhs
+	case "..":
+		return value >= v.lhs && value <= v.rhs
+	default:
+		return false
+	}
+}
+
+// String returns the original validator source.
+func (v Validator) String() string { return v.src }
+
+// IsZero reports whether the validator is uninitialized.
+func (v Validator) IsZero() bool { return v.op == "" }

@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidatorComparisons(t *testing.T) {
+	cases := []struct {
+		src   string
+		value float64
+		want  bool
+	}{
+		{"<5", 4, true},
+		{"<5", 5, false},
+		{"<=5", 5, true},
+		{">150", 151, true},
+		{">150", 150, false},
+		{">=150", 150, true},
+		{"==0", 0, true},
+		{"==0", 0.1, false},
+		{"=0", 0, true}, // single '=' alias
+		{"!=1", 2, true},
+		{"!=1", 1, false},
+		{" < 5 ", 4, true}, // whitespace tolerated
+		{"10..20", 10, true},
+		{"10..20", 20, true},
+		{"10..20", 9.99, false},
+		{"10..20", 20.01, false},
+		{"<-3", -4, true},
+		{"<-3", 0, false},
+	}
+	for _, c := range cases {
+		v, err := ParseValidator(c.src)
+		if err != nil {
+			t.Errorf("ParseValidator(%q): %v", c.src, err)
+			continue
+		}
+		if got := v.Apply(c.value); got != c.want {
+			t.Errorf("(%q).Apply(%v) = %v, want %v", c.src, c.value, got, c.want)
+		}
+	}
+}
+
+func TestValidatorParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "   ", "<", "<abc", "~5", "5", "1..", "..2", "20..10", "== five",
+	} {
+		if _, err := ParseValidator(src); err == nil {
+			t.Errorf("ParseValidator(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestValidatorStringAndZero(t *testing.T) {
+	v, err := ParseValidator("<5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "<5" {
+		t.Errorf("String = %q", v.String())
+	}
+	if v.IsZero() {
+		t.Error("parsed validator IsZero")
+	}
+	var zero Validator
+	if !zero.IsZero() {
+		t.Error("zero validator not IsZero")
+	}
+	if zero.Apply(1) {
+		t.Error("zero validator matched")
+	}
+}
+
+// Property: "<x" and ">=x" are complementary for every value, as are
+// "<=x"/">x" and "==x"/"!=x".
+func TestValidatorComplementProperty(t *testing.T) {
+	f := func(bound int16, value float64) bool {
+		b := strconv.FormatFloat(float64(bound), 'g', -1, 64)
+		pairs := [][2]string{
+			{"<", ">="},
+			{"<=", ">"},
+			{"==", "!="},
+		}
+		for _, pair := range pairs {
+			v1, err1 := ParseValidator(pair[0] + b)
+			v2, err2 := ParseValidator(pair[1] + b)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if v1.Apply(value) == v2.Apply(value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: range validator a..b accepts exactly the values that satisfy
+// both >=a and <=b.
+func TestValidatorRangeConjunctionProperty(t *testing.T) {
+	f := func(a, b int16, value float64) bool {
+		lo, hi := float64(a), float64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		los := strconv.FormatFloat(lo, 'g', -1, 64)
+		his := strconv.FormatFloat(hi, 'g', -1, 64)
+		rng, err := ParseValidator(los + ".." + his)
+		if err != nil {
+			return false
+		}
+		ge, _ := ParseValidator(">=" + los)
+		le, _ := ParseValidator("<=" + his)
+		return rng.Apply(value) == (ge.Apply(value) && le.Apply(value))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkValidatorApply(b *testing.B) {
+	v, err := ParseValidator("<150")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.Apply(float64(i % 300))
+	}
+}

@@ -1,0 +1,76 @@
+package proxy
+
+import (
+	"context"
+	"net/http"
+
+	"bifrost/internal/httpx"
+)
+
+// Admin API, served under /_bifrost/ on the proxy's listener:
+//
+//	PUT /_bifrost/config    — engine pushes a routing configuration
+//	GET /_bifrost/config    — inspect the active configuration
+//	GET /_bifrost/mappings  — materialized sticky user mappings (M)
+//	GET /_bifrost/metrics   — text exposition of proxy metrics
+//	GET /_bifrost/healthy   — liveness
+func (p *Proxy) adminHandler() http.Handler {
+	p.adminOnce.Do(func() {
+		mux := http.NewServeMux()
+		mux.HandleFunc("PUT /_bifrost/config", func(w http.ResponseWriter, r *http.Request) {
+			var cfg Config
+			if err := httpx.ReadJSON(r, &cfg); err != nil {
+				httpx.WriteError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			if err := p.SetConfig(cfg); err != nil {
+				httpx.WriteError(w, http.StatusConflict, err.Error())
+				return
+			}
+			httpx.WriteJSON(w, http.StatusOK, map[string]any{
+				"service":    p.service,
+				"generation": cfg.Generation,
+			})
+		})
+		mux.HandleFunc("GET /_bifrost/config", func(w http.ResponseWriter, r *http.Request) {
+			httpx.WriteJSON(w, http.StatusOK, p.Config())
+		})
+		mux.HandleFunc("GET /_bifrost/mappings", func(w http.ResponseWriter, r *http.Request) {
+			httpx.WriteJSON(w, http.StatusOK, p.Mappings())
+		})
+		mux.Handle("GET /_bifrost/metrics", p.registry.Handler())
+		mux.HandleFunc("GET /_bifrost/healthy", func(w http.ResponseWriter, r *http.Request) {
+			httpx.WriteJSON(w, http.StatusOK, map[string]string{
+				"status":  "ok",
+				"service": p.service,
+			})
+		})
+		p.adminMux = mux
+	})
+	return p.adminMux
+}
+
+// Client configures remote proxies over their admin API; this is the
+// engine-side counterpart ("the engine updates the affected proxies").
+type Client struct {
+	// BaseURL is the proxy root, e.g. "http://127.0.0.1:8081".
+	BaseURL string
+}
+
+// SetConfig pushes a routing configuration.
+func (c *Client) SetConfig(ctx context.Context, cfg Config) error {
+	return httpx.PutJSON(ctx, c.BaseURL+"/_bifrost/config", cfg, nil)
+}
+
+// GetConfig fetches the active configuration.
+func (c *Client) GetConfig(ctx context.Context) (Config, error) {
+	var cfg Config
+	err := httpx.GetJSON(ctx, c.BaseURL+"/_bifrost/config", &cfg)
+	return cfg, err
+}
+
+// Healthy checks proxy liveness.
+func (c *Client) Healthy(ctx context.Context) error {
+	var out map[string]string
+	return httpx.GetJSON(ctx, c.BaseURL+"/_bifrost/healthy", &out)
+}

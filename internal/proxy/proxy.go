@@ -1,0 +1,560 @@
+// Package proxy implements the Bifrost proxy: the per-service routing
+// component that live testing rides on (paper §4.1–4.2).
+//
+// One proxy fronts one service. The Bifrost engine pushes routing
+// configurations (traffic weights per version, stickiness, cookie vs header
+// mode, dark-launch shadow rules); the proxy enforces them on every request:
+//
+//   - cookie-based routing: the proxy buckets clients itself, identifying
+//     them with a Set-Cookie UUID, optionally pinning the assignment for
+//     the duration of the state (sticky sessions, required for A/B tests)
+//   - header-based routing: an externally injected header names the version
+//   - dark launches: a percentage of traffic to a source version is
+//     duplicated to a shadow version whose response is discarded
+//
+// The proxy also instruments every request (request counts, error counts,
+// upstream latency) on a metrics registry so the engine's checks can reason
+// about the versions it is routing to.
+package proxy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"bifrost/internal/core"
+	"bifrost/internal/metrics"
+	"bifrost/internal/uuid"
+)
+
+// CookieName is the client re-identification cookie the proxy sets.
+const CookieName = "bifrost-id"
+
+// maxShadowQueue bounds the asynchronous shadow-delivery queue; beyond it
+// shadow requests are dropped (and counted), never blocking live traffic.
+const maxShadowQueue = 1024
+
+// maxBodyBytes bounds buffered request bodies. Shadowing requires the body
+// to be replayable, so the proxy reads it fully; e-commerce style requests
+// are far below this.
+const maxBodyBytes = 8 << 20
+
+// Config is the routing configuration the engine pushes to a proxy. It is
+// the wire form of one core.RoutingConfig materialized with endpoints.
+type Config struct {
+	// Service names the fronted service; informational.
+	Service string `json:"service"`
+	// Generation orders config updates; a proxy rejects configs older
+	// than the one it runs.
+	Generation int64 `json:"generation"`
+	// Backends lists the routable versions with their traffic weights.
+	Backends []Backend `json:"backends"`
+	// Sticky pins client→version assignments until the next config.
+	Sticky bool `json:"sticky"`
+	// Mode is "cookie" (default) or "header".
+	Mode string `json:"mode,omitempty"`
+	// Header is the routing header for header mode, e.g. "X-Bifrost-Group".
+	Header string `json:"header,omitempty"`
+	// Shadows lists dark-launch duplication rules.
+	Shadows []Shadow `json:"shadows,omitempty"`
+}
+
+// Backend is one routable version of the fronted service.
+type Backend struct {
+	Version string  `json:"version"`
+	URL     string  `json:"url"`
+	Weight  float64 `json:"weight"`
+}
+
+// Shadow duplicates Percent% of the traffic served by Source to Target.
+type Shadow struct {
+	// Source version whose traffic is duplicated; "*" or "" = any.
+	Source string `json:"source,omitempty"`
+	// Target version receiving the duplicate (must be a backend or have
+	// TargetURL set).
+	Target string `json:"target"`
+	// TargetURL overrides the backend lookup for targets that are not
+	// normally routable.
+	TargetURL string `json:"targetUrl,omitempty"`
+	// Percent of matching requests to duplicate, in [0,100].
+	Percent float64 `json:"percent"`
+}
+
+// Proxy is a single-service Bifrost proxy. Create with New, route traffic
+// through ServeHTTP (admin endpoints live under /_bifrost/), and Close when
+// done to drain shadow workers.
+type Proxy struct {
+	service   string
+	transport http.RoundTripper
+	registry  *metrics.Registry
+
+	mu       sync.RWMutex
+	cfg      Config
+	backends map[string]*url.URL // version -> base URL
+	selector *core.Selector      // nil when fewer than 1 weighted backend
+	sticky   map[string]string   // cookie ID -> version
+	rng      *rand.Rand
+
+	shadowCh     chan shadowJob
+	wg           sync.WaitGroup
+	closed       chan struct{}
+	shadowCtx    context.Context
+	shadowCancel context.CancelFunc
+
+	adminOnce sync.Once
+	adminMux  http.Handler
+
+	// metrics
+	mRequests *metricsSet
+}
+
+type shadowJob struct {
+	req    *http.Request
+	target *url.URL
+	vers   string
+}
+
+// Option configures a Proxy.
+type Option func(*Proxy)
+
+// WithRegistry attaches the metrics registry the proxy instruments.
+func WithRegistry(r *metrics.Registry) Option {
+	return func(p *Proxy) { p.registry = r }
+}
+
+// WithTransport overrides the upstream round tripper (tests).
+func WithTransport(rt http.RoundTripper) Option {
+	return func(p *Proxy) { p.transport = rt }
+}
+
+// WithSeed makes the proxy's randomized routing decisions deterministic.
+func WithSeed(seed int64) Option {
+	return func(p *Proxy) { p.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New creates a proxy for the named service with an initial configuration.
+// cfg may be the zero Config for a proxy that starts unconfigured (requests
+// fail 503 until the engine pushes a config).
+func New(service string, cfg Config, opts ...Option) (*Proxy, error) {
+	shadowCtx, shadowCancel := context.WithCancel(context.Background())
+	p := &Proxy{
+		service:      service,
+		transport:    http.DefaultTransport,
+		registry:     metrics.NewRegistry(),
+		rng:          rand.New(rand.NewSource(time.Now().UnixNano())),
+		shadowCh:     make(chan shadowJob, maxShadowQueue),
+		closed:       make(chan struct{}),
+		shadowCtx:    shadowCtx,
+		shadowCancel: shadowCancel,
+		sticky:       make(map[string]string),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	p.mRequests = newMetricsSet(p.registry, service)
+	if len(cfg.Backends) > 0 {
+		if err := p.applyConfig(cfg); err != nil {
+			return nil, err
+		}
+	}
+	const shadowWorkers = 8
+	for i := 0; i < shadowWorkers; i++ {
+		p.wg.Add(1)
+		go p.shadowWorker()
+	}
+	return p, nil
+}
+
+// Close stops the shadow workers promptly: queued shadow jobs are
+// discarded and in-flight shadow requests are cancelled. Shadow responses
+// are discarded by design, so dropping them on shutdown loses nothing.
+func (p *Proxy) Close() {
+	close(p.closed)
+	p.shadowCancel()
+	p.wg.Wait()
+}
+
+// Registry exposes the proxy's metrics registry for scraping.
+func (p *Proxy) Registry() *metrics.Registry { return p.registry }
+
+// Service returns the fronted service name.
+func (p *Proxy) Service() string { return p.service }
+
+// SetConfig atomically replaces the routing configuration. Configurations
+// older than the current generation are rejected; sticky assignments are
+// cleared because they are scoped to one state of the release automaton.
+func (p *Proxy) SetConfig(cfg Config) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cfg.Generation < p.cfg.Generation {
+		return fmt.Errorf("proxy %s: stale config generation %d < %d",
+			p.service, cfg.Generation, p.cfg.Generation)
+	}
+	return p.applyConfigLocked(cfg)
+}
+
+func (p *Proxy) applyConfig(cfg Config) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.applyConfigLocked(cfg)
+}
+
+func (p *Proxy) applyConfigLocked(cfg Config) error {
+	if len(cfg.Backends) == 0 {
+		return errors.New("proxy: config has no backends")
+	}
+	backends := make(map[string]*url.URL, len(cfg.Backends))
+	weights := make(map[string]float64, len(cfg.Backends))
+	for _, b := range cfg.Backends {
+		u, err := url.Parse(b.URL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return fmt.Errorf("proxy: bad backend URL %q for version %q", b.URL, b.Version)
+		}
+		backends[b.Version] = u
+		weights[b.Version] = b.Weight
+	}
+	var selector *core.Selector
+	rc := core.RoutingConfig{Service: cfg.Service, Weights: weights}
+	sel, err := core.NewSelector(&rc)
+	if err != nil {
+		return fmt.Errorf("proxy: %w", err)
+	}
+	selector = sel
+	for _, sh := range cfg.Shadows {
+		if sh.Percent < 0 || sh.Percent > 100 {
+			return fmt.Errorf("proxy: shadow percent %v out of range", sh.Percent)
+		}
+		if sh.TargetURL == "" {
+			if _, ok := backends[sh.Target]; !ok {
+				return fmt.Errorf("proxy: shadow target %q has no backend", sh.Target)
+			}
+		} else if _, err := url.Parse(sh.TargetURL); err != nil {
+			return fmt.Errorf("proxy: bad shadow target URL %q", sh.TargetURL)
+		}
+	}
+	if cfg.Mode == "header" && cfg.Header == "" {
+		return errors.New("proxy: header mode without header name")
+	}
+	p.cfg = cfg
+	p.backends = backends
+	p.selector = selector
+	p.sticky = make(map[string]string) // assignments are per-state
+	p.registry.Gauge("proxy_config_generation", metrics.Labels{"service": p.service}).
+		Set(float64(cfg.Generation))
+	return nil
+}
+
+// Config returns a copy of the active configuration.
+func (p *Proxy) Config() Config {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	cfg := p.cfg
+	cfg.Backends = append([]Backend(nil), p.cfg.Backends...)
+	cfg.Shadows = append([]Shadow(nil), p.cfg.Shadows...)
+	return cfg
+}
+
+// Mappings returns the materialized sticky user mappings M of the current
+// state, for the dashboard and for tests of the formal model's ⟨u,v,sticky⟩
+// triples.
+func (p *Proxy) Mappings() []core.UserMapping {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]core.UserMapping, 0, len(p.sticky))
+	for user, version := range p.sticky {
+		out = append(out, core.UserMapping{User: user, Version: version, Sticky: true})
+	}
+	return out
+}
+
+var _ http.Handler = (*Proxy)(nil)
+
+// ServeHTTP routes one request according to the active configuration.
+// Admin endpoints are served under /_bifrost/ (see Handler in admin.go).
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/_bifrost/") {
+		p.adminHandler().ServeHTTP(w, r)
+		return
+	}
+	p.routeRequest(w, r)
+}
+
+func (p *Proxy) routeRequest(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+
+	body, err := readReplayableBody(r)
+	if err != nil {
+		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+
+	version, target, setCookie, ok := p.decide(w, r)
+	if !ok {
+		p.mRequests.unrouted.Inc()
+		http.Error(w, "no routable backend configured", http.StatusServiceUnavailable)
+		return
+	}
+	if setCookie != "" {
+		http.SetCookie(w, &http.Cookie{Name: CookieName, Value: setCookie, Path: "/"})
+	}
+
+	p.scheduleShadows(r, body, version)
+
+	outReq := cloneRequest(r, target, body)
+	resp, err := p.transport.RoundTrip(outReq)
+	elapsed := time.Since(start)
+	p.observe(version, elapsed, resp, err)
+	if err != nil {
+		http.Error(w, "upstream error: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	copyHeader(w.Header(), resp.Header)
+	w.Header().Set("X-Bifrost-Version", version)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// decide picks the version for this request. It returns the chosen version,
+// its backend URL, a cookie value to set (when a new client ID was minted),
+// and whether routing is possible at all.
+func (p *Proxy) decide(w http.ResponseWriter, r *http.Request) (string, *url.URL, string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.backends) == 0 {
+		return "", nil, "", false
+	}
+
+	// Header-based routing: the proxy acts solely on its configuration;
+	// the header is injected elsewhere in the process (paper §4.2.2).
+	if p.cfg.Mode == "header" {
+		version := r.Header.Get(p.cfg.Header)
+		if u, ok := p.backends[version]; ok {
+			return version, u, "", true
+		}
+		// No (or unknown) group header: fall through to weighted routing.
+	}
+
+	clientID, newCookie := p.clientID(r)
+
+	if p.cfg.Sticky {
+		if v, ok := p.sticky[clientID]; ok {
+			if u, ok := p.backends[v]; ok {
+				return v, u, newCookie, true
+			}
+		}
+		v := p.selector.Assign(clientID)
+		p.sticky[clientID] = v
+		return v, p.backends[v], newCookie, true
+	}
+
+	// Non-sticky: every request runs through the decision process again
+	// with a fresh weighted draw.
+	v := p.weightedDraw()
+	return v, p.backends[v], newCookie, true
+}
+
+// clientID extracts the UUID cookie or mints a new one. Callers hold p.mu.
+func (p *Proxy) clientID(r *http.Request) (id string, newCookie string) {
+	if c, err := r.Cookie(CookieName); err == nil && uuid.Valid(c.Value) {
+		return c.Value, ""
+	}
+	u, err := uuid.NewV4()
+	if err != nil {
+		// Entropy failure: fall back to a time-based pseudo ID rather
+		// than refusing traffic.
+		id := strconv.FormatInt(time.Now().UnixNano(), 36)
+		return id, id
+	}
+	s := u.String()
+	return s, s
+}
+
+// weightedDraw picks a version at random according to the configured
+// weights. Callers hold p.mu.
+func (p *Proxy) weightedDraw() string {
+	versions := p.selector.Versions()
+	x := p.rng.Float64()
+	var acc float64
+	total := 0.0
+	for _, v := range versions {
+		total += p.weightOf(v)
+	}
+	for _, v := range versions {
+		acc += p.weightOf(v) / total
+		if x < acc {
+			return v
+		}
+	}
+	return versions[len(versions)-1]
+}
+
+func (p *Proxy) weightOf(version string) float64 {
+	for _, b := range p.cfg.Backends {
+		if b.Version == version {
+			return b.Weight
+		}
+	}
+	return 0
+}
+
+// scheduleShadows enqueues dark-launch duplicates for the request.
+func (p *Proxy) scheduleShadows(r *http.Request, body []byte, servedVersion string) {
+	p.mu.RLock()
+	shadows := p.cfg.Shadows
+	backends := p.backends
+	p.mu.RUnlock()
+	for _, sh := range shadows {
+		if sh.Source != "" && sh.Source != "*" && sh.Source != servedVersion {
+			continue
+		}
+		if sh.Percent < 100 {
+			p.mu.Lock()
+			draw := p.rng.Float64() * 100
+			p.mu.Unlock()
+			if draw >= sh.Percent {
+				continue
+			}
+		}
+		target := backends[sh.Target]
+		if sh.TargetURL != "" {
+			if u, err := url.Parse(sh.TargetURL); err == nil {
+				target = u
+			}
+		}
+		if target == nil {
+			continue
+		}
+		req := cloneRequest(r, target, body)
+		job := shadowJob{req: req.WithContext(p.shadowCtx), target: target, vers: sh.Target}
+		select {
+		case p.shadowCh <- job:
+		default:
+			p.mRequests.shadowDropped.Inc()
+		}
+	}
+}
+
+func (p *Proxy) shadowWorker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case job := <-p.shadowCh:
+			resp, err := p.transport.RoundTrip(job.req)
+			if err == nil {
+				_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxBodyBytes))
+				_ = resp.Body.Close()
+			}
+			p.registry.Counter("proxy_shadow_requests_total",
+				metrics.Labels{"service": p.service, "version": job.vers}).Inc()
+		case <-p.closed:
+			return
+		}
+	}
+}
+
+func (p *Proxy) observe(version string, elapsed time.Duration, resp *http.Response, err error) {
+	labels := metrics.Labels{"service": p.service, "version": version}
+	p.registry.Counter("proxy_requests_total", labels).Inc()
+	ms := float64(elapsed.Microseconds()) / 1000.0
+	p.registry.Counter("proxy_upstream_ms_sum", labels).Add(ms)
+	p.registry.Counter("proxy_upstream_ms_count", labels).Inc()
+	p.registry.Gauge("proxy_upstream_ms_last", labels).Set(ms)
+	if err != nil || (resp != nil && resp.StatusCode >= 500) {
+		p.registry.Counter("proxy_request_errors_total", labels).Inc()
+	}
+}
+
+type metricsSet struct {
+	unrouted      *metrics.Counter
+	shadowDropped *metrics.Counter
+}
+
+func newMetricsSet(r *metrics.Registry, service string) *metricsSet {
+	labels := metrics.Labels{"service": service}
+	return &metricsSet{
+		unrouted:      r.Counter("proxy_unrouted_total", labels),
+		shadowDropped: r.Counter("proxy_shadow_dropped_total", labels),
+	}
+}
+
+// readReplayableBody drains the request body into memory so it can be sent
+// both to the chosen backend and to shadow targets.
+func readReplayableBody(r *http.Request) ([]byte, error) {
+	if r.Body == nil || r.Body == http.NoBody {
+		return nil, nil
+	}
+	defer r.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > maxBodyBytes {
+		return nil, errors.New("proxy: body too large")
+	}
+	return body, nil
+}
+
+// cloneRequest builds the upstream request for target from the inbound one.
+func cloneRequest(r *http.Request, target *url.URL, body []byte) *http.Request {
+	outURL := *target
+	outURL.Path = singleJoin(target.Path, r.URL.Path)
+	outURL.RawQuery = r.URL.RawQuery
+	out, _ := http.NewRequestWithContext(context.Background(), r.Method, outURL.String(), bodyReader(body))
+	out.Header = r.Header.Clone()
+	out.Header.Del("Connection")
+	if prior := r.Header.Get("X-Forwarded-For"); prior != "" {
+		out.Header.Set("X-Forwarded-For", prior+", "+remoteIP(r))
+	} else if ip := remoteIP(r); ip != "" {
+		out.Header.Set("X-Forwarded-For", ip)
+	}
+	out.ContentLength = int64(len(body))
+	return out
+}
+
+func bodyReader(body []byte) io.Reader {
+	if len(body) == 0 {
+		return nil
+	}
+	return strings.NewReader(string(body))
+}
+
+func remoteIP(r *http.Request) string {
+	host := r.RemoteAddr
+	if i := strings.LastIndexByte(host, ':'); i > 0 {
+		host = host[:i]
+	}
+	return host
+}
+
+func singleJoin(a, b string) string {
+	switch {
+	case a == "" || a == "/":
+		if b == "" {
+			return "/"
+		}
+		return b
+	case strings.HasSuffix(a, "/") && strings.HasPrefix(b, "/"):
+		return a + b[1:]
+	case !strings.HasSuffix(a, "/") && !strings.HasPrefix(b, "/") && b != "":
+		return a + "/" + b
+	default:
+		return a + b
+	}
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vv := range src {
+		for _, v := range vv {
+			dst.Add(k, v)
+		}
+	}
+}

@@ -1,0 +1,486 @@
+package proxy
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bifrost/internal/httpx"
+)
+
+// backend spins up a test HTTP server that tags responses with its name and
+// counts requests.
+type backend struct {
+	name  string
+	srv   *httptest.Server
+	hits  atomic.Int64
+	bodys sync.Map // path -> last body
+	code  atomic.Int64
+}
+
+func newBackend(t *testing.T, name string) *backend {
+	t.Helper()
+	b := &backend{name: name}
+	b.code.Store(http.StatusOK)
+	b.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b.hits.Add(1)
+		if r.Body != nil {
+			data, _ := io.ReadAll(r.Body)
+			if len(data) > 0 {
+				b.bodys.Store(r.URL.Path, string(data))
+			}
+		}
+		w.Header().Set("X-Backend", name)
+		w.WriteHeader(int(b.code.Load()))
+		fmt.Fprintf(w, "served by %s", name)
+	}))
+	t.Cleanup(b.srv.Close)
+	return b
+}
+
+func twoBackendConfig(a, b *backend, wa, wb float64, sticky bool) Config {
+	return Config{
+		Service:    "product",
+		Generation: 1,
+		Sticky:     sticky,
+		Backends: []Backend{
+			{Version: a.name, URL: a.srv.URL, Weight: wa},
+			{Version: b.name, URL: b.srv.URL, Weight: wb},
+		},
+	}
+}
+
+func newTestProxy(t *testing.T, cfg Config) (*Proxy, *httptest.Server) {
+	t.Helper()
+	p, err := New("product", cfg, WithSeed(42))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(p.Close)
+	ts := httptest.NewServer(p)
+	t.Cleanup(ts.Close)
+	return p, ts
+}
+
+func get(t *testing.T, client *http.Client, url string) *http.Response {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestWeightedSplitRoughlyHonored(t *testing.T) {
+	a := newBackend(t, "stable")
+	b := newBackend(t, "canary")
+	_, ts := newTestProxy(t, twoBackendConfig(a, b, 95, 5, false))
+
+	client := ts.Client() // no cookie jar: every request draws fresh
+	const n = 1000
+	for i := 0; i < n; i++ {
+		resp := get(t, client, ts.URL+"/products")
+		io.Copy(io.Discard, resp.Body)
+	}
+	canaryShare := float64(b.hits.Load()) / n
+	if canaryShare < 0.02 || canaryShare > 0.09 {
+		t.Errorf("canary share = %.3f, want ≈ 0.05", canaryShare)
+	}
+	if a.hits.Load()+b.hits.Load() != n {
+		t.Errorf("hits = %d + %d, want %d", a.hits.Load(), b.hits.Load(), n)
+	}
+}
+
+func TestResponseCarriesVersionHeaderAndBody(t *testing.T) {
+	a := newBackend(t, "only")
+	_, ts := newTestProxy(t, Config{
+		Service: "product", Generation: 1,
+		Backends: []Backend{{Version: "only", URL: a.srv.URL, Weight: 1}},
+	})
+	resp := get(t, ts.Client(), ts.URL+"/x")
+	if got := resp.Header.Get("X-Bifrost-Version"); got != "only" {
+		t.Errorf("X-Bifrost-Version = %q", got)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "served by only" {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestCookieSetAndStickySessions(t *testing.T) {
+	a := newBackend(t, "A")
+	b := newBackend(t, "B")
+	_, ts := newTestProxy(t, twoBackendConfig(a, b, 50, 50, true))
+
+	// First request mints a cookie.
+	resp := get(t, ts.Client(), ts.URL+"/buy")
+	io.Copy(io.Discard, resp.Body)
+	var cookie *http.Cookie
+	for _, c := range resp.Cookies() {
+		if c.Name == CookieName {
+			cookie = c
+		}
+	}
+	if cookie == nil {
+		t.Fatal("no bifrost-id cookie set")
+	}
+	firstVersion := resp.Header.Get("X-Bifrost-Version")
+
+	// Subsequent requests with the cookie stick to the same version.
+	for i := 0; i < 20; i++ {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/buy", nil)
+		req.AddCookie(cookie)
+		r2, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r2.Body)
+		r2.Body.Close()
+		if v := r2.Header.Get("X-Bifrost-Version"); v != firstVersion {
+			t.Fatalf("request %d routed to %q, sticky session started on %q", i, v, firstVersion)
+		}
+	}
+}
+
+func TestStickyMappingsExposed(t *testing.T) {
+	a := newBackend(t, "A")
+	b := newBackend(t, "B")
+	p, ts := newTestProxy(t, twoBackendConfig(a, b, 50, 50, true))
+	resp := get(t, ts.Client(), ts.URL+"/")
+	io.Copy(io.Discard, resp.Body)
+	maps := p.Mappings()
+	if len(maps) != 1 {
+		t.Fatalf("mappings = %d, want 1", len(maps))
+	}
+	if !maps[0].Sticky || (maps[0].Version != "A" && maps[0].Version != "B") {
+		t.Errorf("mapping = %+v", maps[0])
+	}
+}
+
+func TestConfigChangeClearsSticky(t *testing.T) {
+	a := newBackend(t, "A")
+	b := newBackend(t, "B")
+	p, ts := newTestProxy(t, twoBackendConfig(a, b, 50, 50, true))
+	resp := get(t, ts.Client(), ts.URL+"/")
+	io.Copy(io.Discard, resp.Body)
+	if len(p.Mappings()) != 1 {
+		t.Fatal("precondition: one mapping")
+	}
+	cfg := twoBackendConfig(a, b, 50, 50, true)
+	cfg.Generation = 2
+	if err := p.SetConfig(cfg); err != nil {
+		t.Fatalf("SetConfig: %v", err)
+	}
+	if len(p.Mappings()) != 0 {
+		t.Error("sticky table survived state change")
+	}
+}
+
+func TestHeaderBasedRouting(t *testing.T) {
+	a := newBackend(t, "A")
+	b := newBackend(t, "B")
+	cfg := twoBackendConfig(a, b, 50, 50, false)
+	cfg.Mode = "header"
+	cfg.Header = "X-Bifrost-Group"
+	_, ts := newTestProxy(t, cfg)
+
+	for _, want := range []string{"A", "B", "A"} {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/", nil)
+		req.Header.Set("X-Bifrost-Group", want)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Bifrost-Version"); got != want {
+			t.Errorf("routed to %q, want %q", got, want)
+		}
+	}
+	// Unknown group falls back to weighted routing rather than failing.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/", nil)
+	req.Header.Set("X-Bifrost-Group", "nope")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("fallback status = %d", resp.StatusCode)
+	}
+}
+
+func TestShadowDuplication(t *testing.T) {
+	live := newBackend(t, "live")
+	dark := newBackend(t, "dark")
+	cfg := Config{
+		Service: "product", Generation: 1,
+		Backends: []Backend{
+			{Version: "live", URL: live.srv.URL, Weight: 1},
+			{Version: "dark", URL: dark.srv.URL, Weight: 0},
+		},
+		Shadows: []Shadow{{Source: "*", Target: "dark", Percent: 100}},
+	}
+	_, ts := newTestProxy(t, cfg)
+
+	const n = 25
+	for i := 0; i < n; i++ {
+		resp, err := ts.Client().Post(ts.URL+"/buy", "application/json",
+			strings.NewReader(`{"product":"tv"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		// All client traffic must be served by the live version only.
+		if v := resp.Header.Get("X-Bifrost-Version"); v != "live" {
+			t.Fatalf("client routed to %q", v)
+		}
+	}
+	// Shadow delivery is async; wait for it.
+	deadline := time.Now().Add(5 * time.Second)
+	for dark.hits.Load() < n && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := dark.hits.Load(); got != n {
+		t.Errorf("dark hits = %d, want %d (100%% duplication)", got, n)
+	}
+	if got := live.hits.Load(); got != n {
+		t.Errorf("live hits = %d, want %d", got, n)
+	}
+	// The duplicated request carries the body.
+	if body, ok := dark.bodys.Load("/buy"); !ok || body != `{"product":"tv"}` {
+		t.Errorf("shadow body = %v", body)
+	}
+}
+
+func TestShadowPartialPercent(t *testing.T) {
+	live := newBackend(t, "live")
+	dark := newBackend(t, "dark")
+	cfg := Config{
+		Service: "product", Generation: 1,
+		Backends: []Backend{
+			{Version: "live", URL: live.srv.URL, Weight: 1},
+		},
+		Shadows: []Shadow{{Target: "dark", TargetURL: dark.srv.URL, Percent: 30}},
+	}
+	_, ts := newTestProxy(t, cfg)
+	const n = 500
+	for i := 0; i < n; i++ {
+		resp := get(t, ts.Client(), ts.URL+"/d")
+		io.Copy(io.Discard, resp.Body)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		h := dark.hits.Load()
+		if h > n/5 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	share := float64(dark.hits.Load()) / n
+	if share < 0.2 || share > 0.42 {
+		t.Errorf("shadow share = %.3f, want ≈ 0.30", share)
+	}
+}
+
+func TestUnconfiguredProxyReturns503(t *testing.T) {
+	p, err := New("empty", Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(p.Close)
+	ts := httptest.NewServer(p)
+	t.Cleanup(ts.Close)
+	resp := get(t, ts.Client(), ts.URL+"/")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestStaleGenerationRejected(t *testing.T) {
+	a := newBackend(t, "A")
+	b := newBackend(t, "B")
+	p, _ := newTestProxy(t, twoBackendConfig(a, b, 1, 1, false))
+	cfg := twoBackendConfig(a, b, 1, 1, false)
+	cfg.Generation = 5
+	if err := p.SetConfig(cfg); err != nil {
+		t.Fatalf("gen 5: %v", err)
+	}
+	cfg.Generation = 3
+	if err := p.SetConfig(cfg); err == nil {
+		t.Fatal("stale generation accepted")
+	}
+	cfg.Generation = 5 // same generation is allowed (idempotent retry)
+	if err := p.SetConfig(cfg); err != nil {
+		t.Fatalf("same gen rejected: %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	a := newBackend(t, "A")
+	cases := []Config{
+		{Service: "s", Backends: []Backend{{Version: "v", URL: "://bad", Weight: 1}}},
+		{Service: "s", Backends: []Backend{{Version: "v", URL: a.srv.URL, Weight: 1}},
+			Shadows: []Shadow{{Target: "ghost", Percent: 10}}},
+		{Service: "s", Backends: []Backend{{Version: "v", URL: a.srv.URL, Weight: 1}},
+			Shadows: []Shadow{{Target: "v", Percent: 200}}},
+		{Service: "s", Backends: []Backend{{Version: "v", URL: a.srv.URL, Weight: 1}},
+			Mode: "header"},
+		{Service: "s", Backends: []Backend{{Version: "v", URL: a.srv.URL, Weight: 0}}},
+	}
+	for i, cfg := range cases {
+		if _, err := New("s", cfg); err == nil {
+			t.Errorf("case %d: config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestErrorMetricsRecorded(t *testing.T) {
+	a := newBackend(t, "A")
+	a.code.Store(http.StatusInternalServerError)
+	p, ts := newTestProxy(t, Config{
+		Service: "product", Generation: 1,
+		Backends: []Backend{{Version: "A", URL: a.srv.URL, Weight: 1}},
+	})
+	for i := 0; i < 3; i++ {
+		resp := get(t, ts.Client(), ts.URL+"/")
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+	}
+	points := p.Registry().Gather()
+	var errCount float64
+	for _, pt := range points {
+		if pt.Name == "proxy_request_errors_total" && pt.Labels["version"] == "A" {
+			errCount = pt.Value
+		}
+	}
+	if errCount != 3 {
+		t.Errorf("proxy_request_errors_total = %v, want 3", errCount)
+	}
+}
+
+func TestAdminAPIOverHTTP(t *testing.T) {
+	a := newBackend(t, "A")
+	b := newBackend(t, "B")
+	_, ts := newTestProxy(t, twoBackendConfig(a, b, 95, 5, false))
+	c := &Client{BaseURL: ts.URL}
+	ctx := context.Background()
+
+	if err := c.Healthy(ctx); err != nil {
+		t.Fatalf("Healthy: %v", err)
+	}
+	cfg, err := c.GetConfig(ctx)
+	if err != nil {
+		t.Fatalf("GetConfig: %v", err)
+	}
+	if cfg.Service != "product" || len(cfg.Backends) != 2 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+
+	newCfg := twoBackendConfig(a, b, 50, 50, true)
+	newCfg.Generation = 2
+	if err := c.SetConfig(ctx, newCfg); err != nil {
+		t.Fatalf("SetConfig: %v", err)
+	}
+	got, err := c.GetConfig(ctx)
+	if err != nil || !got.Sticky {
+		t.Errorf("updated cfg = %+v, %v", got, err)
+	}
+
+	// Stale push surfaces as an HTTP 409 error.
+	stale := twoBackendConfig(a, b, 1, 1, false)
+	stale.Generation = 1
+	err = c.SetConfig(ctx, stale)
+	var apiErr *httpx.Error
+	if !asErr(err, &apiErr) || apiErr.StatusCode != http.StatusConflict {
+		t.Errorf("stale push error = %v, want 409", err)
+	}
+
+	// Exposition endpoint serves metrics.
+	resp := get(t, ts.Client(), ts.URL+"/_bifrost/metrics")
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "proxy_config_generation") {
+		t.Errorf("metrics exposition missing gauge:\n%s", body)
+	}
+}
+
+func asErr(err error, target **httpx.Error) bool {
+	for err != nil {
+		if e, ok := err.(*httpx.Error); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func TestQueryStringAndPathForwarded(t *testing.T) {
+	var gotPath, gotQuery string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath = r.URL.Path
+		gotQuery = r.URL.RawQuery
+	}))
+	t.Cleanup(srv.Close)
+	_, ts := newTestProxy(t, Config{
+		Service: "search", Generation: 1,
+		Backends: []Backend{{Version: "v", URL: srv.URL, Weight: 1}},
+	})
+	resp := get(t, ts.Client(), ts.URL+"/search/items?q=tv&limit=10")
+	io.Copy(io.Discard, resp.Body)
+	if gotPath != "/search/items" {
+		t.Errorf("path = %q", gotPath)
+	}
+	if gotQuery != "q=tv&limit=10" {
+		t.Errorf("query = %q", gotQuery)
+	}
+}
+
+func BenchmarkRoutingDecisionCookie(b *testing.B) {
+	a := newBackendB(b, "A")
+	bb := newBackendB(b, "B")
+	p, err := New("product", Config{
+		Service: "product", Generation: 1, Sticky: true,
+		Backends: []Backend{
+			{Version: "A", URL: a, Weight: 50},
+			{Version: "B", URL: bb, Weight: 50},
+		},
+	}, WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	req := httptest.NewRequest(http.MethodGet, "/x", nil)
+	req.AddCookie(&http.Cookie{Name: CookieName, Value: "123e4567-e89b-42d3-a456-426614174000"})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _, ok := p.decide(nil, req)
+		if !ok {
+			b.Fatal("decide failed")
+		}
+	}
+}
+
+func newBackendB(b *testing.B, name string) string {
+	b.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	b.Cleanup(srv.Close)
+	return srv.URL
+}

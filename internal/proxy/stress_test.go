@@ -1,0 +1,160 @@
+package proxy
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestConcurrentTrafficDuringReconfiguration hammers a proxy with parallel
+// traffic while the configuration is replaced repeatedly — the situation of
+// a gradual rollout under load. Every request must get a well-formed answer
+// (200 from a backend) and the proxy must end on the last configuration.
+func TestConcurrentTrafficDuringReconfiguration(t *testing.T) {
+	a := newBackend(t, "A")
+	b := newBackend(t, "B")
+	p, ts := newTestProxy(t, twoBackendConfig(a, b, 100, 0, false))
+
+	const (
+		workers          = 8
+		requestsEach     = 100
+		reconfigurations = 40
+	)
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{}
+			for i := 0; i < requestsEach; i++ {
+				resp, err := client.Get(ts.URL + "/stress")
+				if err != nil {
+					bad.Add(1)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					bad.Add(1)
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+
+	// Concurrent reconfiguration: walk the weights 100/0 → 0/100, paced so
+	// the sweep overlaps the whole traffic window.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= reconfigurations; i++ {
+			pct := float64(i) * 100 / reconfigurations
+			cfg := twoBackendConfig(a, b, 100-pct, pct, false)
+			cfg.Generation = int64(i + 1)
+			if err := p.SetConfig(cfg); err != nil {
+				t.Errorf("reconfig %d: %v", i, err)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+
+	if n := bad.Load(); n != 0 {
+		t.Errorf("%d bad responses under reconfiguration", n)
+	}
+	cfg := p.Config()
+	if cfg.Generation != reconfigurations+1 {
+		t.Errorf("final generation = %d, want %d", cfg.Generation, reconfigurations+1)
+	}
+	// Both backends must have served traffic across the sweep.
+	if a.hits.Load() == 0 || b.hits.Load() == 0 {
+		t.Errorf("hits A=%d B=%d; the sweep should touch both", a.hits.Load(), b.hits.Load())
+	}
+}
+
+// TestStickyUnderConcurrency verifies that parallel requests with the same
+// cookie never split across versions — M really is a function (u → v).
+func TestStickyUnderConcurrency(t *testing.T) {
+	a := newBackend(t, "A")
+	b := newBackend(t, "B")
+	_, ts := newTestProxy(t, twoBackendConfig(a, b, 50, 50, true))
+
+	cookie := &http.Cookie{Name: CookieName, Value: "123e4567-e89b-42d3-a456-426614174000"}
+	versions := make(chan string, 200)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{}
+			for i := 0; i < 25; i++ {
+				req, _ := http.NewRequest(http.MethodGet, ts.URL+"/s", nil)
+				req.AddCookie(cookie)
+				resp, err := client.Do(req)
+				if err != nil {
+					continue
+				}
+				versions <- resp.Header.Get("X-Bifrost-Version")
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(versions)
+
+	seen := map[string]bool{}
+	for v := range versions {
+		seen[v] = true
+	}
+	if len(seen) != 1 {
+		t.Errorf("one sticky client reached %d versions: %v", len(seen), seen)
+	}
+}
+
+// TestShadowQueueOverflowDoesNotBlock floods the shadow queue with a slow
+// shadow target; live traffic must stay fast and drops must be counted.
+func TestShadowQueueOverflowDoesNotBlock(t *testing.T) {
+	live := newBackend(t, "live")
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {} // never answers; worker slots stay occupied
+	}))
+	// Note: no Cleanup close for `slow` — closing would hang on the stuck
+	// handlers. The unclosed test server dies with the process.
+
+	p, ts := newTestProxy(t, Config{
+		Service: "product", Generation: 1,
+		Backends: []Backend{{Version: "live", URL: live.srv.URL, Weight: 1}},
+		Shadows:  []Shadow{{Target: "dark", TargetURL: slow.URL, Percent: 100}},
+	})
+
+	// More requests than queue + workers can absorb.
+	client := ts.Client()
+	for i := 0; i < maxShadowQueue+200; i++ {
+		resp, err := client.Get(ts.URL + "/x")
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	var dropped float64
+	for _, pt := range p.Registry().Gather() {
+		if pt.Name == "proxy_shadow_dropped_total" {
+			dropped = pt.Value
+		}
+	}
+	if dropped == 0 {
+		t.Error("no shadow drops recorded despite a wedged shadow target")
+	}
+}

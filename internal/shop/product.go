@@ -1,0 +1,218 @@
+package shop
+
+import (
+	"net/http"
+	"net/url"
+	"time"
+
+	"bifrost/internal/docstore"
+	"bifrost/internal/httpx"
+	"bifrost/internal/metrics"
+)
+
+// ProductConfig wires one product-service version.
+type ProductConfig struct {
+	// Profile shapes the variant's behaviour and labels its metrics.
+	Profile VariantProfile
+	// DBURL is the document store HTTP endpoint.
+	DBURL string
+	// AuthURL is the auth service (or its proxy).
+	AuthURL string
+	// SearchURL is the search service (or its Bifrost proxy, so search
+	// traffic participates in live testing).
+	SearchURL string
+	// Registry collects the service's metrics.
+	Registry *metrics.Registry
+	// BaseConversion is the probability a Buy request records a sale
+	// (default 0.6); variants scale it by ConversionBoost.
+	BaseConversion float64
+}
+
+// Product implements the product service: catalog browsing, buying, and
+// delegated search — the four request types of the JMeter test suite (Buy,
+// Details, Products, Search).
+type Product struct {
+	cfg  ProductConfig
+	gate *variantGate
+}
+
+// NewProduct creates a product-service version.
+func NewProduct(cfg ProductConfig) *Product {
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.NewRegistry()
+	}
+	if cfg.BaseConversion == 0 {
+		cfg.BaseConversion = 0.6
+	}
+	p := &Product{cfg: cfg, gate: newVariantGate(cfg.Profile)}
+	// Pre-register the series live-testing checks query, so a version that
+	// has not yet failed (or sold) exposes an explicit zero instead of no
+	// data at all.
+	labels := p.labels()
+	cfg.Registry.Counter("shop_request_errors_total", labels)
+	cfg.Registry.Counter("shop_sales_total", labels)
+	cfg.Registry.Counter("shop_revenue_total", labels)
+	return p
+}
+
+// Registry exposes the service's metrics.
+func (p *Product) Registry() *metrics.Registry { return p.cfg.Registry }
+
+// Handler returns the HTTP interface.
+func (p *Product) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /products/buy", p.instrumented("buy", p.handleBuy))
+	mux.HandleFunc("GET /products/search", p.instrumented("search", p.handleSearch))
+	mux.HandleFunc("GET /products/{id}", p.instrumented("details", p.handleDetails))
+	mux.HandleFunc("GET /products", p.instrumented("products", p.handleList))
+	mux.HandleFunc("GET /-/healthy", healthy("product"))
+	mux.Handle("GET /metrics", p.cfg.Registry.Handler())
+	return mux
+}
+
+func (p *Product) labels() metrics.Labels {
+	return metrics.Labels{"service": "product", "version": p.cfg.Profile.Version}
+}
+
+// instrumented wraps a handler with auth validation, variant behaviour
+// injection and metrics.
+func (p *Product) instrumented(op string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		labels := p.labels()
+		opLabels := labels.Merge(metrics.Labels{"op": op})
+		p.cfg.Registry.Counter("shop_requests_total", opLabels).Inc()
+
+		if err := validateWith(r.Context(), p.cfg.AuthURL, r); err != nil {
+			p.cfg.Registry.Counter("shop_auth_denied_total", labels).Inc()
+			httpx.WriteError(w, http.StatusUnauthorized, err.Error())
+			return
+		}
+		if !p.gate.pass(w) {
+			p.cfg.Registry.Counter("shop_request_errors_total", labels).Inc()
+			return
+		}
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		if rec.code >= 500 {
+			p.cfg.Registry.Counter("shop_request_errors_total", labels).Inc()
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		p.cfg.Registry.Counter("shop_processing_ms_sum", opLabels).Add(ms)
+		p.cfg.Registry.Counter("shop_processing_ms_count", opLabels).Inc()
+	}
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+type buyRequest struct {
+	ProductID string `json:"productId"`
+}
+
+func (p *Product) handleBuy(w http.ResponseWriter, r *http.Request) {
+	var req buyRequest
+	if err := httpx.ReadJSON(r, &req); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Look the product up, then write the order — both via the DB service.
+	var product docstore.Document
+	err := httpx.GetJSON(r.Context(), p.cfg.DBURL+"/db/products/"+url.PathEscape(req.ProductID), &product)
+	if err != nil {
+		httpx.WriteError(w, http.StatusNotFound, "product lookup: "+err.Error())
+		return
+	}
+	var ins map[string]string
+	err = httpx.PostJSON(r.Context(), p.cfg.DBURL+"/db/orders", docstore.Document{
+		"productId": req.ProductID,
+		"version":   p.cfg.Profile.Version,
+		"price":     product["price"],
+	}, &ins)
+	if err != nil {
+		httpx.WriteError(w, http.StatusBadGateway, "order write: "+err.Error())
+		return
+	}
+	labels := p.labels()
+	if p.gate.converts(p.cfg.BaseConversion) {
+		p.cfg.Registry.Counter("shop_sales_total", labels).Inc()
+		if price, ok := product["price"].(float64); ok {
+			p.cfg.Registry.Counter("shop_revenue_total", labels).Add(price)
+		}
+	}
+	// The paper's Buy request sends no response body back.
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (p *Product) handleDetails(w http.ResponseWriter, r *http.Request) {
+	var product docstore.Document
+	err := httpx.GetJSON(r.Context(), p.cfg.DBURL+"/db/products/"+url.PathEscape(r.PathValue("id")), &product)
+	if err != nil {
+		httpx.WriteError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, product)
+}
+
+func (p *Product) handleList(w http.ResponseWriter, r *http.Request) {
+	// Returns the full catalog including buyers: the "large response
+	// body" request of the test suite.
+	var products []docstore.Document
+	err := httpx.PostJSON(r.Context(), p.cfg.DBURL+"/db/products/find",
+		docstore.FindRequest{}, &products)
+	if err != nil {
+		httpx.WriteError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	var orders []docstore.Document
+	err = httpx.PostJSON(r.Context(), p.cfg.DBURL+"/db/orders/find",
+		docstore.FindRequest{}, &orders)
+	if err != nil {
+		httpx.WriteError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	buyers := make(map[string]int, len(orders))
+	for _, o := range orders {
+		if id, ok := o["productId"].(string); ok {
+			buyers[id]++
+		}
+	}
+	for _, prod := range products {
+		if id, ok := prod["_id"].(string); ok {
+			prod["buyers"] = buyers[id]
+		}
+	}
+	httpx.WriteJSON(w, http.StatusOK, products)
+}
+
+func (p *Product) handleSearch(w http.ResponseWriter, r *http.Request) {
+	// Delegate to the search service, forwarding auth and query.
+	u := p.cfg.SearchURL + "/search?q=" + url.QueryEscape(r.URL.Query().Get("q"))
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, u, nil)
+	if err != nil {
+		httpx.WriteError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	req.Header.Set("Authorization", r.Header.Get("Authorization"))
+	// Forward the routing cookie so sticky search sessions survive the
+	// product-service hop.
+	if c, cerr := r.Cookie("bifrost-id"); cerr == nil {
+		req.AddCookie(c)
+	}
+	resp, err := httpx.Client.Do(req)
+	if err != nil {
+		httpx.WriteError(w, http.StatusBadGateway, "search unreachable: "+err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.WriteHeader(resp.StatusCode)
+	copyBody(w, resp)
+}

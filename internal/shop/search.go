@@ -1,0 +1,172 @@
+package shop
+
+import (
+	"io"
+	"net/http"
+	"time"
+
+	"bifrost/internal/docstore"
+	"bifrost/internal/httpx"
+	"bifrost/internal/metrics"
+)
+
+// SearchConfig wires one search-service version. The paper's running
+// example contrasts the stable "search" (slow but working) with the
+// redesigned "fastSearch"; model that with ExtraLatency on the stable
+// profile.
+type SearchConfig struct {
+	Profile  VariantProfile
+	DBURL    string
+	AuthURL  string
+	Registry *metrics.Registry
+}
+
+// Search implements the text-based product search service.
+type Search struct {
+	cfg  SearchConfig
+	gate *variantGate
+}
+
+// NewSearch creates a search-service version.
+func NewSearch(cfg SearchConfig) *Search {
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.NewRegistry()
+	}
+	s := &Search{cfg: cfg, gate: newVariantGate(cfg.Profile)}
+	labels := metrics.Labels{"service": "search", "version": cfg.Profile.Version}
+	cfg.Registry.Counter("shop_request_errors_total", labels)
+	cfg.Registry.Counter("shop_searches_total", labels)
+	return s
+}
+
+// Registry exposes the service's metrics.
+func (s *Search) Registry() *metrics.Registry { return s.cfg.Registry }
+
+// Handler returns the HTTP interface.
+func (s *Search) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /search", s.handleSearch)
+	mux.HandleFunc("GET /-/healthy", healthy("search"))
+	mux.Handle("GET /metrics", s.cfg.Registry.Handler())
+	return mux
+}
+
+func (s *Search) handleSearch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	labels := metrics.Labels{"service": "search", "version": s.cfg.Profile.Version}
+	s.cfg.Registry.Counter("shop_requests_total", labels).Inc()
+	s.cfg.Registry.Counter("shop_searches_total", labels).Inc()
+
+	if err := validateWith(r.Context(), s.cfg.AuthURL, r); err != nil {
+		s.cfg.Registry.Counter("shop_auth_denied_total", labels).Inc()
+		httpx.WriteError(w, http.StatusUnauthorized, err.Error())
+		return
+	}
+	if !s.gate.pass(w) {
+		s.cfg.Registry.Counter("shop_request_errors_total", labels).Inc()
+		return
+	}
+
+	q := r.URL.Query().Get("q")
+	var results []docstore.Document
+	filter := docstore.FindRequest{}
+	if q != "" {
+		filter.Ops = []docstore.OpRequest{{Field: "name", Op: "contains", Value: q}}
+	}
+	err := httpx.PostJSON(r.Context(), s.cfg.DBURL+"/db/products/find", filter, &results)
+	if err != nil {
+		s.cfg.Registry.Counter("shop_request_errors_total", labels).Inc()
+		httpx.WriteError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, results)
+
+	ms := float64(time.Since(start).Microseconds()) / 1000
+	s.cfg.Registry.Counter("shop_processing_ms_sum", labels).Add(ms)
+	s.cfg.Registry.Counter("shop_processing_ms_count", labels).Inc()
+	s.cfg.Registry.Gauge("shop_processing_ms_last", labels).Set(ms)
+}
+
+// Frontend is the HTML/JavaScript entry page; the gateway serves it at /.
+type Frontend struct{}
+
+// NewFrontend creates the frontend service.
+func NewFrontend() *Frontend { return &Frontend{} }
+
+// Handler returns the HTTP interface.
+func (f *Frontend) Handler() http.Handler {
+	mux := http.NewServeMux()
+	page := []byte(`<!DOCTYPE html>
+<html><head><title>Bifrost Electronics</title></head>
+<body>
+<h1>Bifrost Electronics</h1>
+<p>Consumer electronics, live-tested with Bifrost.</p>
+<ul>
+  <li><a href="/products">Product catalog</a></li>
+  <li><a href="/products/search?q=tv">Search TVs</a></li>
+</ul>
+</body></html>`)
+	mux.HandleFunc("GET /", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write(page)
+	})
+	mux.HandleFunc("GET /-/healthy", healthy("frontend"))
+	return mux
+}
+
+// Gateway is the nginx substitute: the central entry point that forwards
+// requests to the frontend, product, or auth service based on path.
+type Gateway struct {
+	frontendURL string
+	productURL  string
+	authURL     string
+}
+
+// NewGateway creates the entry-point reverse proxy. productURL should be
+// the product service's Bifrost proxy when a strategy is live.
+func NewGateway(frontendURL, productURL, authURL string) *Gateway {
+	return &Gateway{frontendURL: frontendURL, productURL: productURL, authURL: authURL}
+}
+
+// Handler returns the HTTP interface.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/products", g.forward(func() string { return g.productURL }))
+	mux.HandleFunc("/products/", g.forward(func() string { return g.productURL }))
+	mux.HandleFunc("/auth/", g.forward(func() string { return g.authURL }))
+	mux.HandleFunc("GET /-/healthy", healthy("gateway"))
+	mux.HandleFunc("/", g.forward(func() string { return g.frontendURL }))
+	return mux
+}
+
+func (g *Gateway) forward(target func() string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		u := target() + r.URL.Path
+		if r.URL.RawQuery != "" {
+			u += "?" + r.URL.RawQuery
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, u, r.Body)
+		if err != nil {
+			httpx.WriteError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		req.Header = r.Header.Clone()
+		resp, err := httpx.Client.Do(req)
+		if err != nil {
+			httpx.WriteError(w, http.StatusBadGateway, err.Error())
+			return
+		}
+		defer resp.Body.Close()
+		for k, vv := range resp.Header {
+			for _, v := range vv {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		copyBody(w, resp)
+	}
+}
+
+func copyBody(w http.ResponseWriter, resp *http.Response) {
+	_, _ = io.Copy(w, resp.Body)
+}

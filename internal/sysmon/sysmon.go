@@ -1,0 +1,163 @@
+// Package sysmon samples process resource usage into the metrics substrate
+// — the standard-library substitute for the cAdvisor containers in the
+// paper's deployment, which "collect the containers' performance metrics
+// (e.g., CPU utilization, memory consumption)" for Prometheus.
+//
+// On Linux it reads /proc/self/stat for CPU time and uses runtime memory
+// statistics; both are exported as gauges on a metrics registry under a
+// configurable "container" label, so the engine-CPU experiments (Figures 7
+// and 9) query the same metric names the paper's setup produced.
+package sysmon
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"bifrost/internal/clock"
+	"bifrost/internal/metrics"
+)
+
+// Sampler periodically publishes CPU and memory gauges.
+type Sampler struct {
+	registry  *metrics.Registry
+	container string
+	interval  time.Duration
+	clk       clock.Clock
+
+	mu           sync.Mutex
+	lastCPU      time.Duration
+	lastSampleAt time.Time
+
+	stop chan struct{}
+	done chan struct{}
+
+	// readCPU is swappable for tests and non-Linux fallback.
+	readCPU func() (time.Duration, error)
+}
+
+// New creates a sampler publishing under the given container label.
+func New(registry *metrics.Registry, container string, interval time.Duration, clk clock.Clock) *Sampler {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Sampler{
+		registry:  registry,
+		container: container,
+		interval:  interval,
+		clk:       clk,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		readCPU:   ProcessCPUTime,
+	}
+}
+
+// Start launches the sampling loop.
+func (s *Sampler) Start() {
+	go func() {
+		defer close(s.done)
+		ticker := s.clk.NewTicker(s.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C():
+				s.SampleOnce()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for it.
+func (s *Sampler) Stop() {
+	close(s.stop)
+	<-s.done
+}
+
+// SampleOnce publishes one sample immediately.
+func (s *Sampler) SampleOnce() {
+	labels := metrics.Labels{"container": s.container}
+	now := s.clk.Now()
+
+	if cpu, err := s.readCPU(); err == nil {
+		s.mu.Lock()
+		if !s.lastSampleAt.IsZero() {
+			wall := now.Sub(s.lastSampleAt)
+			if wall > 0 {
+				busy := float64(cpu-s.lastCPU) / float64(wall)
+				if busy < 0 {
+					busy = 0
+				}
+				s.registry.Gauge("container_cpu_busy_ratio", labels).Set(busy)
+				s.registry.Gauge("container_cpu_usage_percent", labels).Set(busy * 100)
+			}
+		}
+		s.lastCPU = cpu
+		s.lastSampleAt = now
+		s.mu.Unlock()
+		s.registry.Gauge("container_cpu_seconds_total", labels).Set(cpu.Seconds())
+	}
+
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	s.registry.Gauge("container_memory_bytes", labels).Set(float64(mem.Alloc))
+	s.registry.Gauge("container_memory_sys_bytes", labels).Set(float64(mem.Sys))
+	s.registry.Gauge("container_goroutines", labels).Set(float64(runtime.NumGoroutine()))
+}
+
+// ProcessCPUTime returns the process's cumulative user+system CPU time from
+// /proc/self/stat. It fails gracefully on non-Linux systems.
+func ProcessCPUTime() (time.Duration, error) {
+	data, err := os.ReadFile("/proc/self/stat")
+	if err != nil {
+		return 0, fmt.Errorf("sysmon: read /proc/self/stat: %w", err)
+	}
+	return parseProcStat(string(data))
+}
+
+// parseProcStat extracts utime+stime (fields 14 and 15, 1-based) from a
+// /proc/<pid>/stat line. The command field (2) may contain spaces and is
+// parenthesized, so parsing starts after the closing parenthesis.
+func parseProcStat(stat string) (time.Duration, error) {
+	close := strings.LastIndexByte(stat, ')')
+	if close < 0 {
+		return 0, fmt.Errorf("sysmon: malformed stat line")
+	}
+	fields := strings.Fields(stat[close+1:])
+	// fields[0] is field 3 ("state"); utime is field 14 → index 11.
+	if len(fields) < 13 {
+		return 0, fmt.Errorf("sysmon: short stat line (%d fields)", len(fields))
+	}
+	utime, err1 := strconv.ParseUint(fields[11], 10, 64)
+	stime, err2 := strconv.ParseUint(fields[12], 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0, fmt.Errorf("sysmon: parse utime/stime: %v %v", err1, err2)
+	}
+	ticks := utime + stime
+	const hz = 100 // USER_HZ on all supported platforms
+	return time.Duration(ticks) * time.Second / hz, nil
+}
+
+// CPUUtilization measures average process CPU utilization (0..1 per core)
+// over the given wall window; the experiment harness uses it to produce
+// Figure 7/9 style samples without a full sampler loop.
+func CPUUtilization(window time.Duration) (float64, error) {
+	before, err := ProcessCPUTime()
+	if err != nil {
+		return 0, err
+	}
+	time.Sleep(window)
+	after, err := ProcessCPUTime()
+	if err != nil {
+		return 0, err
+	}
+	if window <= 0 {
+		return 0, nil
+	}
+	return float64(after-before) / float64(window), nil
+}

@@ -1,0 +1,93 @@
+package sysmon
+
+import (
+	"testing"
+	"time"
+
+	"bifrost/internal/clock"
+	"bifrost/internal/metrics"
+)
+
+const statLine = "1234 (bifrost engine) S 1 1 1 0 -1 4194560 500 0 0 0 250 150 0 0 20 0 8 0 12345 1000000 2000 18446744073709551615 1 1 0 0 0 0 0 0 0 0 0 0 17 3 0 0 0 0 0"
+
+func TestParseProcStat(t *testing.T) {
+	d, err := parseProcStat(statLine)
+	if err != nil {
+		t.Fatalf("parseProcStat: %v", err)
+	}
+	// utime=250 + stime=150 = 400 ticks at 100 Hz = 4s.
+	if d != 4*time.Second {
+		t.Errorf("cpu time = %v, want 4s", d)
+	}
+}
+
+func TestParseProcStatErrors(t *testing.T) {
+	for _, s := range []string{"", "no parens here", "1 (x) S 1 2 3"} {
+		if _, err := parseProcStat(s); err == nil {
+			t.Errorf("parseProcStat(%q) succeeded", s)
+		}
+	}
+}
+
+func TestProcessCPUTimeOnLinux(t *testing.T) {
+	d, err := ProcessCPUTime()
+	if err != nil {
+		t.Skipf("not on Linux procfs: %v", err)
+	}
+	if d < 0 {
+		t.Errorf("cpu time = %v", d)
+	}
+}
+
+func TestSamplerPublishesGauges(t *testing.T) {
+	reg := metrics.NewRegistry()
+	clk := clock.NewManual(time.Date(2016, 5, 1, 0, 0, 0, 0, time.UTC))
+	s := New(reg, "engine", time.Second, clk)
+
+	// Fake CPU: 100ms of CPU per 1s wall → 10% utilization.
+	var fake time.Duration
+	s.readCPU = func() (time.Duration, error) {
+		fake += 100 * time.Millisecond
+		return fake, nil
+	}
+	s.SampleOnce()
+	clk.Advance(time.Second)
+	s.SampleOnce()
+
+	points := reg.Gather()
+	vals := map[string]float64{}
+	for _, p := range points {
+		if p.Labels["container"] == "engine" {
+			vals[p.Name] = p.Value
+		}
+	}
+	if got := vals["container_cpu_busy_ratio"]; got < 0.09 || got > 0.11 {
+		t.Errorf("busy ratio = %v, want ≈ 0.1", got)
+	}
+	if got := vals["container_cpu_usage_percent"]; got < 9 || got > 11 {
+		t.Errorf("usage percent = %v, want ≈ 10", got)
+	}
+	if vals["container_memory_bytes"] <= 0 {
+		t.Error("memory gauge missing")
+	}
+	if vals["container_goroutines"] <= 0 {
+		t.Error("goroutine gauge missing")
+	}
+}
+
+func TestSamplerStartStop(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := New(reg, "x", time.Millisecond, clock.Real{})
+	s.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(reg.Gather()) > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop() // must not hang
+	if len(reg.Gather()) == 0 {
+		t.Skip("sampler produced nothing (no procfs?)")
+	}
+}

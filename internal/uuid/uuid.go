@@ -1,0 +1,105 @@
+// Package uuid generates RFC 4122 version 4 (random) UUIDs.
+//
+// Bifrost proxies use UUIDs to re-identify clients across requests: the
+// proxy sets a Set-Cookie header containing a v4 UUID, exactly as described
+// in section 4.2.2 of the paper ("The cookie contains a RFC-compliant UUID
+// that is used to re-identify the client in subsequent requests").
+package uuid
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// UUID is a 128-bit RFC 4122 universally unique identifier.
+type UUID [16]byte
+
+// ErrInvalidFormat is returned by Parse when the input is not a canonical
+// 36-character UUID string.
+var ErrInvalidFormat = errors.New("uuid: invalid format")
+
+// NewV4 returns a new random (version 4, variant 10) UUID. It draws entropy
+// from crypto/rand and only fails if the system entropy source fails.
+func NewV4() (UUID, error) {
+	var u UUID
+	if _, err := io.ReadFull(rand.Reader, u[:]); err != nil {
+		return UUID{}, fmt.Errorf("uuid: read random: %w", err)
+	}
+	u[6] = (u[6] & 0x0f) | 0x40 // version 4
+	u[8] = (u[8] & 0x3f) | 0x80 // variant 10
+	return u, nil
+}
+
+// MustNewV4 is like NewV4 but panics if entropy is unavailable. It is meant
+// for program initialization and tests, never for request handling paths.
+func MustNewV4() UUID {
+	u, err := NewV4()
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// String renders the UUID in canonical 8-4-4-4-12 lowercase hex form.
+func (u UUID) String() string {
+	const hexDigits = "0123456789abcdef"
+	buf := make([]byte, 36)
+	i := 0
+	for b := 0; b < 16; b++ {
+		switch b {
+		case 4, 6, 8, 10:
+			buf[i] = '-'
+			i++
+		}
+		buf[i] = hexDigits[u[b]>>4]
+		buf[i+1] = hexDigits[u[b]&0x0f]
+		i += 2
+	}
+	return string(buf)
+}
+
+// Version reports the UUID version number encoded in the value.
+func (u UUID) Version() int { return int(u[6] >> 4) }
+
+// Parse decodes a canonical UUID string produced by String.
+func Parse(s string) (UUID, error) {
+	var u UUID
+	if len(s) != 36 || s[8] != '-' || s[13] != '-' || s[18] != '-' || s[23] != '-' {
+		return UUID{}, ErrInvalidFormat
+	}
+	i := 0
+	for b := 0; b < 16; b++ {
+		switch b {
+		case 4, 6, 8, 10:
+			i++
+		}
+		hi, ok1 := hexVal(s[i])
+		lo, ok2 := hexVal(s[i+1])
+		if !ok1 || !ok2 {
+			return UUID{}, ErrInvalidFormat
+		}
+		u[b] = hi<<4 | lo
+		i += 2
+	}
+	return u, nil
+}
+
+// Valid reports whether s parses as a canonical UUID string.
+func Valid(s string) bool {
+	_, err := Parse(s)
+	return err == nil
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}

@@ -1,0 +1,102 @@
+package uuid
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewV4Format(t *testing.T) {
+	u, err := NewV4()
+	if err != nil {
+		t.Fatalf("NewV4: %v", err)
+	}
+	s := u.String()
+	if len(s) != 36 {
+		t.Fatalf("length = %d, want 36 (%q)", len(s), s)
+	}
+	if u.Version() != 4 {
+		t.Errorf("version = %d, want 4", u.Version())
+	}
+	if v := u[8] >> 6; v != 0b10 {
+		t.Errorf("variant bits = %02b, want 10", v)
+	}
+	for _, pos := range []int{8, 13, 18, 23} {
+		if s[pos] != '-' {
+			t.Errorf("s[%d] = %c, want '-'", pos, s[pos])
+		}
+	}
+	if s != strings.ToLower(s) {
+		t.Errorf("String not lowercase: %q", s)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	f := func(raw [16]byte) bool {
+		u := UUID(raw)
+		got, err := Parse(u.String())
+		return err == nil && got == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not-a-uuid",
+		"00000000-0000-0000-0000-00000000000",   // too short
+		"00000000-0000-0000-0000-0000000000000", // too long
+		"00000000x0000-0000-0000-000000000000",  // bad dash
+		"0000000g-0000-0000-0000-000000000000",  // bad hex
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c)
+		}
+		if Valid(c) {
+			t.Errorf("Valid(%q) = true, want false", c)
+		}
+	}
+}
+
+func TestParseAcceptsUppercase(t *testing.T) {
+	u := MustNewV4()
+	got, err := Parse(strings.ToUpper(u.String()))
+	if err != nil {
+		t.Fatalf("Parse(upper): %v", err)
+	}
+	if got != u {
+		t.Errorf("got %v, want %v", got, u)
+	}
+}
+
+func TestUniqueness(t *testing.T) {
+	const n = 4096
+	seen := make(map[UUID]bool, n)
+	for i := 0; i < n; i++ {
+		u := MustNewV4()
+		if seen[u] {
+			t.Fatalf("duplicate UUID after %d draws: %v", i, u)
+		}
+		seen[u] = true
+	}
+}
+
+func BenchmarkNewV4(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewV4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkString(b *testing.B) {
+	u := MustNewV4()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = u.String()
+	}
+}

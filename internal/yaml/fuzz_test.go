@@ -1,0 +1,48 @@
+package yaml
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParse exercises the parser with arbitrary input: it must never panic,
+// and any successfully parsed document must re-encode and re-parse to the
+// same value (Encode∘Parse is a retraction on the parser's image).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"key: value",
+		"- a\n- b\n",
+		"a:\n  b:\n    - 1\n    - {x: y}\n",
+		"- metric:\n    providers:\n      - prometheus:\n          name: e\n",
+		"literal: |\n  line\n  line2\n",
+		"flow: [1, 2.5, true, null, \"s\"]\n",
+		"q: \"with \\\"escape\\\" and \\u00e9\"\n",
+		"# comment only\n",
+		"---\nkey: value\n",
+		"weights: {a: 95, b: 5}\n",
+		"bad: [unterminated\n",
+		"\t tab",
+		"a: &anchor x",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		v, err := Parse(src)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		enc, err := Encode(v)
+		if err != nil {
+			return // values with unsupported shapes cannot occur from Parse
+		}
+		back, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\nencoded:\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(back, v) {
+			t.Fatalf("round trip mismatch:\nfirst:  %#v\nsecond: %#v\nencoded:\n%s", v, back, enc)
+		}
+	})
+}

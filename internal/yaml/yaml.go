@@ -1,0 +1,744 @@
+// Package yaml implements the YAML subset that hosts the Bifrost DSL.
+//
+// The paper (§4.2.2) builds the strategy language as an internal DSL "on top
+// of YAML as a host language". Since this repository is standard-library
+// only, the host language is implemented from scratch. The subset covers
+// everything release strategies need:
+//
+//   - block mappings and block sequences with indentation structure,
+//     including "- key:"-style mapping items inside sequences
+//   - plain, single-quoted and double-quoted scalars
+//   - scalar type inference (bool, int, float, null) with strings otherwise
+//   - flow sequences [a, b] and flow mappings {a: b} (nested)
+//   - literal (|) and folded (>) block scalars
+//   - comments, blank lines, and an optional leading document marker (---)
+//
+// Values decode into untyped Go data: map[string]any, []any, string, int64,
+// float64, bool, and nil. Encode renders the same shapes back into block
+// YAML; Parse(Encode(v)) round-trips for all canonical values (see tests).
+//
+// Anchors, aliases, tags, multi-document streams and tab indentation are
+// intentionally unsupported and produce errors.
+package yaml
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SyntaxError reports a parse failure with a 1-based line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("yaml: line %d: %s", e.Line, e.Msg)
+}
+
+func errAt(line int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse decodes a YAML document into untyped Go data.
+func Parse(src string) (any, error) {
+	lines, err := splitLines(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, nil
+	}
+	p := &parser{lines: lines}
+	v, err := p.parseBlock(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		return nil, errAt(p.lines[p.pos].num, "unexpected content at indent %d", p.lines[p.pos].indent)
+	}
+	return v, nil
+}
+
+// ParseMap decodes a YAML document and requires the top level to be a
+// mapping, which is what every Bifrost strategy file is.
+func ParseMap(src string) (map[string]any, error) {
+	v, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("yaml: document root is %T, want mapping", v)
+	}
+	return m, nil
+}
+
+type line struct {
+	num     int // 1-based source line
+	indent  int
+	content string // comment-stripped, right-trimmed, non-empty
+}
+
+// splitLines preprocesses the source: strips comments (respecting quotes),
+// drops blank lines and the leading document marker, rejects tab indents.
+func splitLines(src string) ([]line, error) {
+	raw := strings.Split(src, "\n")
+	out := make([]line, 0, len(raw))
+	for i, l := range raw {
+		num := i + 1
+		indent := 0
+		for indent < len(l) && l[indent] == ' ' {
+			indent++
+		}
+		if indent < len(l) && l[indent] == '\t' {
+			return nil, errAt(num, "tab character in indentation")
+		}
+		content := stripComment(l[indent:])
+		content = strings.TrimRight(content, " \r")
+		if content == "" {
+			continue
+		}
+		if content == "---" && len(out) == 0 {
+			continue
+		}
+		out = append(out, line{num: num, indent: indent, content: content})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing "#"-comment that is outside quotes and at
+// the start of the content or preceded by whitespace.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle:
+			if !inDouble || !isEscaped(s, i) {
+				inDouble = !inDouble
+			}
+		case c == '#' && !inSingle && !inDouble:
+			if i == 0 || s[i-1] == ' ' || s[i-1] == '\t' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func isEscaped(s string, i int) bool {
+	backslashes := 0
+	for j := i - 1; j >= 0 && s[j] == '\\'; j-- {
+		backslashes++
+	}
+	return backslashes%2 == 1
+}
+
+type parser struct {
+	lines []line
+	pos   int
+}
+
+func (p *parser) cur() line { return p.lines[p.pos] }
+
+func (p *parser) atEnd() bool { return p.pos >= len(p.lines) }
+
+// parseBlock parses the value beginning at the current line, whose indent
+// must be >= minIndent. The block's own indent is the first line's indent.
+func (p *parser) parseBlock(minIndent int) (any, error) {
+	if p.atEnd() {
+		return nil, nil
+	}
+	l := p.cur()
+	if l.indent < minIndent {
+		return nil, nil
+	}
+	if l.content == "-" || strings.HasPrefix(l.content, "- ") {
+		return p.parseSequence(l.indent)
+	}
+	if keyEnd, ok := findKeyColon(l.content); ok {
+		return p.parseMapping(l.indent, keyEnd)
+	}
+	// Bare scalar document (or scalar block member).
+	p.pos++
+	return parseScalar(l.content, l.num)
+}
+
+// parseSequence parses "- item" lines at exactly indent.
+func (p *parser) parseSequence(indent int) (any, error) {
+	items := make([]any, 0, 4)
+	for !p.atEnd() {
+		l := p.cur()
+		if l.indent != indent || (l.content != "-" && !strings.HasPrefix(l.content, "- ")) {
+			if l.indent > indent {
+				return nil, errAt(l.num, "unexpected indent inside sequence")
+			}
+			break
+		}
+		if l.content == "-" {
+			// Value is the nested block on following lines.
+			p.pos++
+			v, err := p.parseBlock(indent + 1)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, v)
+			continue
+		}
+		// Rewrite "- rest" as a virtual line indented past the dash, then
+		// parse a block that may continue on following deeper lines.
+		rest := strings.TrimLeft(l.content[1:], " ")
+		dashOffset := len(l.content) - len(rest)
+		p.lines[p.pos] = line{num: l.num, indent: l.indent + dashOffset, content: rest}
+		v, err := p.parseBlock(indent + 1)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, v)
+	}
+	return items, nil
+}
+
+// parseMapping parses "key: value" lines at exactly indent. firstKeyEnd is
+// the colon index in the current line, already located by the caller.
+func (p *parser) parseMapping(indent, firstKeyEnd int) (any, error) {
+	m := make(map[string]any, 8)
+	keyEnd := firstKeyEnd
+	first := true
+	for !p.atEnd() {
+		l := p.cur()
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, errAt(l.num, "unexpected indent inside mapping")
+			}
+			break
+		}
+		if !first {
+			var ok bool
+			keyEnd, ok = findKeyColon(l.content)
+			if !ok {
+				return nil, errAt(l.num, "expected \"key:\" in mapping, got %q", l.content)
+			}
+		}
+		first = false
+		key, err := parseKey(l.content[:keyEnd], l.num)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, errAt(l.num, "duplicate mapping key %q", key)
+		}
+		rest := strings.TrimLeft(l.content[keyEnd+1:], " ")
+		switch {
+		case rest == "":
+			p.pos++
+			v, err := p.parseBlock(indent + 1)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		case rest == "|" || rest == ">":
+			p.pos++
+			v, err := p.parseBlockScalar(indent, rest == "|")
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		default:
+			p.pos++
+			v, err := parseScalar(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		}
+	}
+	return m, nil
+}
+
+// parseBlockScalar consumes the indented lines of a literal (|) or folded
+// (>) scalar whose introducing key sat at parentIndent.
+func (p *parser) parseBlockScalar(parentIndent int, literal bool) (string, error) {
+	var parts []string
+	blockIndent := -1
+	for !p.atEnd() {
+		l := p.cur()
+		if l.indent <= parentIndent {
+			break
+		}
+		if blockIndent == -1 {
+			blockIndent = l.indent
+		}
+		if l.indent < blockIndent {
+			return "", errAt(l.num, "inconsistent indentation in block scalar")
+		}
+		parts = append(parts, strings.Repeat(" ", l.indent-blockIndent)+l.content)
+		p.pos++
+	}
+	if literal {
+		return strings.Join(parts, "\n"), nil
+	}
+	return strings.Join(parts, " "), nil
+}
+
+// findKeyColon locates the colon terminating a mapping key: the first
+// unquoted ':' that is at end-of-line or followed by a space.
+func findKeyColon(s string) (int, bool) {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle:
+			if !inDouble || !isEscaped(s, i) {
+				inDouble = !inDouble
+			}
+		case c == ':' && !inSingle && !inDouble:
+			if i == len(s)-1 || s[i+1] == ' ' {
+				return i, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func parseKey(s string, num int) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '\'') {
+		v, rest, err := parseQuoted(s, num)
+		if err != nil {
+			return "", err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return "", errAt(num, "trailing characters after quoted key")
+		}
+		return v, nil
+	}
+	if s == "" {
+		return "", errAt(num, "empty mapping key")
+	}
+	return s, nil
+}
+
+// parseScalar parses a flow value: quoted string, flow collection, or plain
+// scalar with type inference.
+func parseScalar(s string, num int) (any, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return nil, nil
+	case s[0] == '"' || s[0] == '\'':
+		v, rest, err := parseQuoted(s, num)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, errAt(num, "trailing characters after quoted scalar")
+		}
+		return v, nil
+	case s[0] == '[':
+		v, rest, err := parseFlow(s, num)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, errAt(num, "trailing characters after flow sequence")
+		}
+		return v, nil
+	case s[0] == '{':
+		v, rest, err := parseFlow(s, num)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, errAt(num, "trailing characters after flow mapping")
+		}
+		return v, nil
+	case s[0] == '&' || s[0] == '*' || s[0] == '!':
+		return nil, errAt(num, "anchors, aliases and tags are not supported")
+	default:
+		return inferScalar(s), nil
+	}
+}
+
+// parseQuoted parses a leading quoted string and returns the remainder.
+func parseQuoted(s string, num int) (string, string, error) {
+	quote := s[0]
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case quote == '\'' && c == '\'':
+			if i+1 < len(s) && s[i+1] == '\'' { // escaped quote
+				b.WriteByte('\'')
+				i += 2
+				continue
+			}
+			return b.String(), s[i+1:], nil
+		case quote == '"' && c == '\\':
+			if i+1 >= len(s) {
+				return "", "", errAt(num, "dangling escape in double-quoted string")
+			}
+			esc, width, err := decodeEscape(s[i+1:], num)
+			if err != nil {
+				return "", "", err
+			}
+			b.WriteString(esc)
+			i += 1 + width
+		case quote == '"' && c == '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", "", errAt(num, "unterminated quoted string")
+}
+
+func decodeEscape(s string, num int) (string, int, error) {
+	switch s[0] {
+	case 'n':
+		return "\n", 1, nil
+	case 't':
+		return "\t", 1, nil
+	case 'r':
+		return "\r", 1, nil
+	case '0':
+		return "\x00", 1, nil
+	case '\\':
+		return "\\", 1, nil
+	case '"':
+		return "\"", 1, nil
+	case 'u':
+		if len(s) < 5 {
+			return "", 0, errAt(num, "truncated \\u escape")
+		}
+		code, err := strconv.ParseUint(s[1:5], 16, 32)
+		if err != nil {
+			return "", 0, errAt(num, "invalid \\u escape %q", s[1:5])
+		}
+		return string(rune(code)), 5, nil
+	default:
+		return "", 0, errAt(num, "unsupported escape \\%c", s[0])
+	}
+}
+
+// parseFlow parses a flow collection starting at s[0] ('[' or '{').
+func parseFlow(s string, num int) (any, string, error) {
+	if s[0] == '[' {
+		items := make([]any, 0, 4)
+		rest := strings.TrimLeft(s[1:], " ")
+		if strings.HasPrefix(rest, "]") {
+			return items, rest[1:], nil
+		}
+		for {
+			v, r, err := parseFlowValue(rest, num)
+			if err != nil {
+				return nil, "", err
+			}
+			items = append(items, v)
+			rest = strings.TrimLeft(r, " ")
+			switch {
+			case strings.HasPrefix(rest, ","):
+				rest = strings.TrimLeft(rest[1:], " ")
+			case strings.HasPrefix(rest, "]"):
+				return items, rest[1:], nil
+			default:
+				return nil, "", errAt(num, "expected ',' or ']' in flow sequence")
+			}
+		}
+	}
+	// Flow mapping.
+	m := make(map[string]any, 4)
+	rest := strings.TrimLeft(s[1:], " ")
+	if strings.HasPrefix(rest, "}") {
+		return m, rest[1:], nil
+	}
+	for {
+		colon := strings.Index(rest, ":")
+		if colon < 0 {
+			return nil, "", errAt(num, "expected ':' in flow mapping")
+		}
+		key, err := parseKey(rest[:colon], num)
+		if err != nil {
+			return nil, "", err
+		}
+		v, r, err := parseFlowValue(strings.TrimLeft(rest[colon+1:], " "), num)
+		if err != nil {
+			return nil, "", err
+		}
+		m[key] = v
+		rest = strings.TrimLeft(r, " ")
+		switch {
+		case strings.HasPrefix(rest, ","):
+			rest = strings.TrimLeft(rest[1:], " ")
+		case strings.HasPrefix(rest, "}"):
+			return m, rest[1:], nil
+		default:
+			return nil, "", errAt(num, "expected ',' or '}' in flow mapping")
+		}
+	}
+}
+
+func parseFlowValue(s string, num int) (any, string, error) {
+	if s == "" {
+		return nil, "", errAt(num, "missing value in flow collection")
+	}
+	switch s[0] {
+	case '[', '{':
+		return parseFlow(s, num)
+	case '"', '\'':
+		v, rest, err := parseQuoted(s, num)
+		return v, rest, err
+	default:
+		end := strings.IndexAny(s, ",]}")
+		if end < 0 {
+			end = len(s)
+		}
+		return inferScalar(strings.TrimSpace(s[:end])), s[end:], nil
+	}
+}
+
+// inferScalar applies YAML-style type inference to a plain scalar.
+func inferScalar(s string) any {
+	switch s {
+	case "null", "Null", "NULL", "~":
+		return nil
+	case "true", "True", "TRUE":
+		return true
+	case "false", "False", "FALSE":
+		return false
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		if i, err := strconv.ParseInt(s[2:], 16, 64); err == nil {
+			return i
+		}
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil &&
+		strings.ContainsAny(s, ".eE") && !strings.ContainsAny(s, " ") {
+		return f
+	}
+	return s
+}
+
+// Encode renders v as a block-style YAML document.
+// Supported value types are the ones Parse produces; unsupported types
+// return an error.
+func Encode(v any) (string, error) {
+	var b strings.Builder
+	if err := encodeValue(&b, v, 0, false); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+var errUnsupported = errors.New("yaml: unsupported value type")
+
+func encodeValue(b *strings.Builder, v any, indent int, inline bool) error {
+	switch t := v.(type) {
+	case nil:
+		b.WriteString("null\n")
+	case bool:
+		b.WriteString(strconv.FormatBool(t))
+		b.WriteByte('\n')
+	case int:
+		b.WriteString(strconv.Itoa(t))
+		b.WriteByte('\n')
+	case int64:
+		b.WriteString(strconv.FormatInt(t, 10))
+		b.WriteByte('\n')
+	case float64:
+		b.WriteString(formatFloat(t))
+		b.WriteByte('\n')
+	case string:
+		b.WriteString(quoteIfNeeded(t))
+		b.WriteByte('\n')
+	case []any:
+		if len(t) == 0 {
+			b.WriteString("[]\n")
+			return nil
+		}
+		if inline {
+			b.WriteByte('\n')
+		}
+		for _, item := range t {
+			pad(b, indent)
+			b.WriteString("- ")
+			if isComposite(item) {
+				// Render the composite starting on the same line.
+				if err := encodeInlineComposite(b, item, indent+2); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := encodeValue(b, item, indent+2, false); err != nil {
+				return err
+			}
+		}
+	case map[string]any:
+		if len(t) == 0 {
+			b.WriteString("{}\n")
+			return nil
+		}
+		if inline {
+			b.WriteByte('\n')
+		}
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			pad(b, indent)
+			b.WriteString(quoteIfNeeded(k))
+			b.WriteByte(':')
+			val := t[k]
+			if isComposite(val) && !isEmptyComposite(val) {
+				b.WriteByte('\n')
+				if err := encodeValue(b, val, indent+2, false); err != nil {
+					return err
+				}
+				continue
+			}
+			b.WriteByte(' ')
+			if err := encodeValue(b, val, indent+2, false); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("%w: %T", errUnsupported, v)
+	}
+	return nil
+}
+
+// encodeInlineComposite writes a composite value whose first line shares the
+// "- " prefix already emitted by the caller.
+func encodeInlineComposite(b *strings.Builder, v any, indent int) error {
+	switch t := v.(type) {
+	case map[string]any:
+		if len(t) == 0 {
+			b.WriteString("{}\n")
+			return nil
+		}
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			if i > 0 {
+				pad(b, indent)
+			}
+			b.WriteString(quoteIfNeeded(k))
+			b.WriteByte(':')
+			val := t[k]
+			if isComposite(val) && !isEmptyComposite(val) {
+				b.WriteByte('\n')
+				if err := encodeValue(b, val, indent+2, false); err != nil {
+					return err
+				}
+				continue
+			}
+			b.WriteByte(' ')
+			if err := encodeValue(b, val, indent+2, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	case []any:
+		if len(t) == 0 {
+			b.WriteString("[]\n")
+			return nil
+		}
+		for i, item := range t {
+			if i > 0 {
+				pad(b, indent)
+			}
+			b.WriteString("- ")
+			if isComposite(item) {
+				if err := encodeInlineComposite(b, item, indent+2); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := encodeValue(b, item, indent+2, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return encodeValue(b, v, indent, false)
+	}
+}
+
+func isComposite(v any) bool {
+	switch v.(type) {
+	case map[string]any, []any:
+		return true
+	}
+	return false
+}
+
+func isEmptyComposite(v any) bool {
+	switch t := v.(type) {
+	case map[string]any:
+		return len(t) == 0
+	case []any:
+		return len(t) == 0
+	}
+	return false
+}
+
+func pad(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteByte(' ')
+	}
+}
+
+func formatFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	// Force a float marker so Parse round-trips the type.
+	if !strings.ContainsAny(s, ".eE") && !strings.Contains(s, "Inf") && !strings.Contains(s, "NaN") {
+		s += ".0"
+	}
+	return s
+}
+
+// quoteIfNeeded quotes strings that would otherwise be re-typed or
+// structurally misread by Parse.
+func quoteIfNeeded(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if _, isPlain := inferScalar(s).(string); !isPlain {
+		return strconv.Quote(s)
+	}
+	if strings.ContainsAny(s, "\n\t\"'#") || findNeedsQuote(s) {
+		return strconv.Quote(s)
+	}
+	if s != strings.TrimSpace(s) {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+func findNeedsQuote(s string) bool {
+	if idx, ok := findKeyColon(s); ok && idx >= 0 {
+		return true
+	}
+	switch s[0] {
+	case '[', '{', ']', '}', '&', '*', '!', '-', '>', '|', '%', '@', ',':
+		return true
+	}
+	return strings.HasPrefix(s, "- ")
+}

@@ -1,0 +1,411 @@
+package yaml
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseListing1Metric(t *testing.T) {
+	// Listing 1 of the paper, the canonical basic check.
+	src := `
+- metric:
+    providers:
+      - prometheus:
+          name: search_error
+          query: request_errors{instance="search:80"}
+    intervalTime: 5
+    intervalLimit: 12
+    threshold: 12
+    validator: "<5"
+`
+	v, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	seq, ok := v.([]any)
+	if !ok || len(seq) != 1 {
+		t.Fatalf("top level = %#v, want 1-element sequence", v)
+	}
+	item, ok := seq[0].(map[string]any)
+	if !ok {
+		t.Fatalf("item = %#v, want mapping", seq[0])
+	}
+	metric, ok := item["metric"].(map[string]any)
+	if !ok {
+		t.Fatalf("metric = %#v", item["metric"])
+	}
+	if got := metric["intervalTime"]; got != int64(5) {
+		t.Errorf("intervalTime = %#v, want int64(5)", got)
+	}
+	if got := metric["validator"]; got != "<5" {
+		t.Errorf("validator = %#v, want \"<5\"", got)
+	}
+	providers, ok := metric["providers"].([]any)
+	if !ok || len(providers) != 1 {
+		t.Fatalf("providers = %#v", metric["providers"])
+	}
+	prom := providers[0].(map[string]any)["prometheus"].(map[string]any)
+	if prom["name"] != "search_error" {
+		t.Errorf("name = %#v", prom["name"])
+	}
+	if prom["query"] != `request_errors{instance="search:80"}` {
+		t.Errorf("query = %#v", prom["query"])
+	}
+}
+
+func TestParseListing2Route(t *testing.T) {
+	src := `
+- route:
+    from: search
+    to: fastSearch
+    filters:
+      - traffic:
+          percentage: 100
+          shadow: true
+          intervalTime: 60
+`
+	v, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	route := v.([]any)[0].(map[string]any)["route"].(map[string]any)
+	if route["from"] != "search" || route["to"] != "fastSearch" {
+		t.Errorf("from/to = %#v/%#v", route["from"], route["to"])
+	}
+	traffic := route["filters"].([]any)[0].(map[string]any)["traffic"].(map[string]any)
+	if traffic["percentage"] != int64(100) {
+		t.Errorf("percentage = %#v", traffic["percentage"])
+	}
+	if traffic["shadow"] != true {
+		t.Errorf("shadow = %#v", traffic["shadow"])
+	}
+}
+
+func TestScalarInference(t *testing.T) {
+	cases := []struct {
+		in   string
+		want any
+	}{
+		{"key: 42", int64(42)},
+		{"key: -17", int64(-17)},
+		{"key: 3.14", 3.14},
+		{"key: 1e3", 1000.0},
+		{"key: true", true},
+		{"key: False", false},
+		{"key: null", nil},
+		{"key: ~", nil},
+		{"key: hello", "hello"},
+		{"key: 0x1F", int64(31)},
+		{`key: "42"`, "42"},
+		{`key: 'single'`, "single"},
+		{`key: "esc\nape"`, "esc\nape"},
+		{`key: "unié"`, "unié"},
+		{`key: 'it''s'`, "it's"},
+		{"key: 150ms", "150ms"},
+		{"key: <5", "<5"},
+	}
+	for _, c := range cases {
+		m, err := ParseMap(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(m["key"], c.want) {
+			t.Errorf("Parse(%q) = %#v, want %#v", c.in, m["key"], c.want)
+		}
+	}
+}
+
+func TestFlowCollections(t *testing.T) {
+	m, err := ParseMap(`
+thresholds: [3, 4]
+mapping: {low: -5, high: 5}
+nested: [[1, 2], {a: b}]
+empty_seq: []
+empty_map: {}
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !reflect.DeepEqual(m["thresholds"], []any{int64(3), int64(4)}) {
+		t.Errorf("thresholds = %#v", m["thresholds"])
+	}
+	if !reflect.DeepEqual(m["mapping"], map[string]any{"low": int64(-5), "high": int64(5)}) {
+		t.Errorf("mapping = %#v", m["mapping"])
+	}
+	nested := m["nested"].([]any)
+	if !reflect.DeepEqual(nested[0], []any{int64(1), int64(2)}) {
+		t.Errorf("nested[0] = %#v", nested[0])
+	}
+	if !reflect.DeepEqual(nested[1], map[string]any{"a": "b"}) {
+		t.Errorf("nested[1] = %#v", nested[1])
+	}
+	if len(m["empty_seq"].([]any)) != 0 {
+		t.Errorf("empty_seq = %#v", m["empty_seq"])
+	}
+	if len(m["empty_map"].(map[string]any)) != 0 {
+		t.Errorf("empty_map = %#v", m["empty_map"])
+	}
+}
+
+func TestBlockScalars(t *testing.T) {
+	m, err := ParseMap(`
+literal: |
+  line one
+  line two
+    indented
+folded: >
+  word one
+  word two
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if m["literal"] != "line one\nline two\n  indented" {
+		t.Errorf("literal = %q", m["literal"])
+	}
+	if m["folded"] != "word one word two" {
+		t.Errorf("folded = %q", m["folded"])
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	m, err := ParseMap(`
+# leading comment
+name: bifrost   # trailing comment
+
+version: 2 #comment directly after space
+query: "contains # hash"
+anchor: 'single # hash'
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if m["name"] != "bifrost" {
+		t.Errorf("name = %#v", m["name"])
+	}
+	if m["version"] != int64(2) {
+		t.Errorf("version = %#v", m["version"])
+	}
+	if m["query"] != "contains # hash" {
+		t.Errorf("query = %#v", m["query"])
+	}
+	if m["anchor"] != "single # hash" {
+		t.Errorf("anchor = %#v", m["anchor"])
+	}
+}
+
+func TestDocumentMarker(t *testing.T) {
+	m, err := ParseMap("---\nname: x\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if m["name"] != "x" {
+		t.Errorf("name = %#v", m["name"])
+	}
+}
+
+func TestSequenceOfScalars(t *testing.T) {
+	v, err := Parse("- a\n- 2\n- true\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := []any{"a", int64(2), true}
+	if !reflect.DeepEqual(v, want) {
+		t.Errorf("got %#v, want %#v", v, want)
+	}
+}
+
+func TestDashOnlySequenceItems(t *testing.T) {
+	v, err := Parse(`
+-
+  name: first
+-
+  name: second
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	seq := v.([]any)
+	if len(seq) != 2 {
+		t.Fatalf("len = %d, want 2", len(seq))
+	}
+	if seq[1].(map[string]any)["name"] != "second" {
+		t.Errorf("seq[1] = %#v", seq[1])
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"tab indent", "key:\n\tsub: 1"},
+		{"duplicate key", "a: 1\na: 2"},
+		{"unterminated quote", `key: "oops`},
+		{"anchor", "key: &a 1"},
+		{"alias", "key: *a"},
+		{"tag", "key: !!str x"},
+		{"bad flow", "key: [1, 2"},
+		{"trailing after quote", `key: "x" y`},
+		{"bad escape", `key: "\q"`},
+		{"stray deeper indent", "a: 1\n    b: 2"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(c.src); err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", c.src)
+			}
+		})
+	}
+}
+
+func TestSyntaxErrorHasLine(t *testing.T) {
+	_, err := Parse("ok: 1\nbad: \"unterminated")
+	var syn *SyntaxError
+	if !errors.As(err, &syn) {
+		t.Fatalf("error = %T (%v), want *SyntaxError", err, err)
+	}
+	if syn.Line != 2 {
+		t.Errorf("line = %d, want 2", syn.Line)
+	}
+	if !strings.Contains(syn.Error(), "line 2") {
+		t.Errorf("Error() = %q", syn.Error())
+	}
+}
+
+func TestParseMapRejectsSequenceRoot(t *testing.T) {
+	if _, err := ParseMap("- a\n- b\n"); err == nil {
+		t.Fatal("ParseMap accepted sequence root")
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	v, err := Parse("")
+	if err != nil || v != nil {
+		t.Fatalf("Parse(\"\") = %#v, %v", v, err)
+	}
+	v, err = Parse("\n# only comments\n\n")
+	if err != nil || v != nil {
+		t.Fatalf("Parse(comments) = %#v, %v", v, err)
+	}
+}
+
+// genValue builds a random canonical YAML value of bounded depth.
+func genValue(r *rand.Rand, depth int) any {
+	if depth <= 0 {
+		return genScalar(r)
+	}
+	switch r.Intn(4) {
+	case 0:
+		n := r.Intn(4)
+		seq := make([]any, n)
+		for i := range seq {
+			seq[i] = genValue(r, depth-1)
+		}
+		return seq
+	case 1:
+		n := r.Intn(4)
+		m := make(map[string]any, n)
+		for i := 0; i < n; i++ {
+			m[genKey(r, i)] = genValue(r, depth-1)
+		}
+		return m
+	default:
+		return genScalar(r)
+	}
+}
+
+func genKey(r *rand.Rand, i int) string {
+	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	return keys[i%len(keys)]
+}
+
+func genScalar(r *rand.Rand) any {
+	switch r.Intn(6) {
+	case 0:
+		return int64(r.Intn(10000) - 5000)
+	case 1:
+		return float64(r.Intn(1000))/8 + 0.5
+	case 2:
+		return r.Intn(2) == 0
+	case 3:
+		return nil
+	case 4:
+		words := []string{"search", "fastSearch", "canary release", "a#b", "x: y", "- dash", "150ms", "", "true-ish", "0x", "über"}
+		return words[r.Intn(len(words))]
+	default:
+		return "plain" + string(rune('a'+r.Intn(26)))
+	}
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		orig := map[string]any{"root": genValue(r, 3)}
+		enc, err := Encode(orig)
+		if err != nil {
+			t.Logf("Encode error: %v", err)
+			return false
+		}
+		back, err := Parse(enc)
+		if err != nil {
+			t.Logf("Parse error on:\n%s\n%v", enc, err)
+			return false
+		}
+		if !reflect.DeepEqual(back, orig) {
+			t.Logf("round trip mismatch:\norig: %#v\nenc:\n%s\nback: %#v", orig, enc, back)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDeterministicKeyOrder(t *testing.T) {
+	m := map[string]any{"b": int64(1), "a": int64(2), "c": int64(3)}
+	e1, err1 := Encode(m)
+	e2, err2 := Encode(m)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("Encode: %v %v", err1, err2)
+	}
+	if e1 != e2 {
+		t.Error("Encode not deterministic")
+	}
+	if strings.Index(e1, "a:") > strings.Index(e1, "b:") {
+		t.Errorf("keys not sorted:\n%s", e1)
+	}
+}
+
+func TestEncodeUnsupportedType(t *testing.T) {
+	if _, err := Encode(map[string]any{"ch": make(chan int)}); err == nil {
+		t.Fatal("Encode(chan) succeeded")
+	}
+}
+
+func BenchmarkParseStrategySized(b *testing.B) {
+	src := strings.Repeat(`
+- metric:
+    providers:
+      - prometheus:
+          name: search_error
+          query: request_errors{instance="search:80"}
+    intervalTime: 5
+    intervalLimit: 12
+    threshold: 12
+    validator: "<5"
+`, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
