@@ -58,6 +58,10 @@ type (
 	Status = engine.Status
 	// Event is one observable engine occurrence.
 	Event = engine.Event
+	// Client talks to a remote engine's /api/v2 REST interface, including
+	// the operator controls (pause/resume, promote/rollback) and the live
+	// SSE event stream via Watch.
+	Client = engine.Client
 
 	// Proxy is the per-service routing proxy.
 	Proxy = proxy.Proxy

@@ -54,11 +54,15 @@ func run() error {
 		defer sampler.Stop()
 	}
 
+	// The API serves /api/v2 (run lifecycle resources, SSE event stream)
+	// plus the /api/v1 aliases; the dashboard's page drives the v2 API.
+	api := engine.NewAPI(eng, dsl.Compile).Handler()
+	dash := dashboard.New(eng).Handler()
 	mux := http.NewServeMux()
-	mux.Handle("/api/", engine.NewAPI(eng, dsl.Compile).Handler())
-	mux.Handle("/-/healthy", engine.NewAPI(eng, dsl.Compile).Handler())
-	mux.Handle("/dashboard", dashboard.New(eng).Handler())
-	mux.Handle("/dashboard/", dashboard.New(eng).Handler())
+	mux.Handle("/api/", api)
+	mux.Handle("/-/healthy", api)
+	mux.Handle("/dashboard", dash)
+	mux.Handle("/dashboard/", dash)
 	mux.Handle("/metrics", registry.Handler())
 
 	srv, err := httpx.NewServer(*listen, mux)

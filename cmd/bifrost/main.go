@@ -1,12 +1,18 @@
 // Command bifrost is the Bifrost CLI (paper §4.1): it connects to the
-// engine and schedules, inspects, and aborts release strategies — remotely
-// or from release scripts.
+// engine and schedules, inspects, controls, and aborts release strategies —
+// remotely or from release scripts.
 //
 // Usage:
 //
 //	bifrost -engine http://127.0.0.1:7000 schedule strategy.yaml
+//	bifrost schedule -dry-run strategy.yaml   (engine-side validate + analyze)
 //	bifrost status [name]
 //	bifrost events [-n 50]
+//	bifrost watch [name]               (live SSE event stream, no polling)
+//	bifrost pause name
+//	bifrost resume name [gen]
+//	bifrost promote name [state]       (manual success gate decision)
+//	bifrost rollback name [state]      (manual failure gate decision)
 //	bifrost abort name
 //	bifrost validate strategy.yaml     (local, no engine needed)
 //	bifrost graph strategy.yaml        (DOT to stdout)
@@ -41,7 +47,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: bifrost [-engine URL] <schedule|status|events|abort|validate|graph|estimate> [args]")
+		return fmt.Errorf("usage: bifrost [-engine URL] <schedule|status|events|watch|pause|resume|promote|rollback|abort|validate|graph|estimate> [args]")
 	}
 	client := &engine.Client{BaseURL: *engineURL}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -49,12 +55,32 @@ func run(args []string) error {
 
 	switch cmd := rest[0]; cmd {
 	case "schedule":
-		if len(rest) != 2 {
-			return fmt.Errorf("usage: bifrost schedule <strategy.yaml>")
+		sub := flag.NewFlagSet("schedule", flag.ContinueOnError)
+		dryRun := sub.Bool("dry-run", false, "validate and analyze on the engine without enacting")
+		if err := sub.Parse(rest[1:]); err != nil {
+			return err
 		}
-		src, err := os.ReadFile(rest[1])
+		if sub.NArg() != 1 {
+			return fmt.Errorf("usage: bifrost schedule [-dry-run] <strategy.yaml>")
+		}
+		src, err := os.ReadFile(sub.Arg(0))
 		if err != nil {
 			return err
+		}
+		if *dryRun {
+			res, err := client.DryRun(ctx, string(src))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("strategy %q is valid: rollout %v .. %v\n", res.Strategy,
+				res.Analysis.MinDuration, res.Analysis.MaxDuration)
+			if len(res.Analysis.Unreachable) > 0 {
+				fmt.Printf("warning: unreachable states: %v\n", res.Analysis.Unreachable)
+			}
+			if len(res.Analysis.Trapped) > 0 {
+				fmt.Printf("warning: states that cannot finish: %v\n", res.Analysis.Trapped)
+			}
+			return nil
 		}
 		st, err := client.Schedule(ctx, string(src))
 		if err != nil {
@@ -97,9 +123,66 @@ func run(args []string) error {
 			return err
 		}
 		for _, ev := range events {
-			fmt.Printf("%s  %-20s %-20s %s %s\n",
-				ev.Time.Format(time.RFC3339), ev.Strategy, ev.Type, ev.State, ev.Detail)
+			printEvent(ev)
 		}
+		return nil
+
+	case "watch":
+		name := ""
+		if len(rest) == 2 {
+			name = rest[1]
+		}
+		return watch(client, name)
+
+	case "pause":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: bifrost pause <name>")
+		}
+		gen, err := client.Pause(ctx, rest[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("paused %s (resume with: bifrost resume %s %d)\n", rest[1], rest[1], gen)
+		return nil
+
+	case "resume":
+		if len(rest) != 2 && len(rest) != 3 {
+			return fmt.Errorf("usage: bifrost resume <name> [generation]")
+		}
+		gen := 0
+		if len(rest) == 3 {
+			v, err := strconv.Atoi(rest[2])
+			if err != nil {
+				return fmt.Errorf("bad generation %q: %v", rest[2], err)
+			}
+			gen = v
+		}
+		st, err := client.Resume(ctx, rest[1], gen)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resumed %s (state %s, current %s)\n", st.Strategy, st.State, st.Current)
+		return nil
+
+	case "promote", "rollback":
+		if len(rest) != 2 && len(rest) != 3 {
+			return fmt.Errorf("usage: bifrost %s <name> [target-state]", cmd)
+		}
+		target := ""
+		if len(rest) == 3 {
+			target = rest[2]
+		}
+		var st engine.Status
+		var err error
+		if cmd == "promote" {
+			st, err = client.Promote(ctx, rest[1], target)
+		} else {
+			st, err = client.Rollback(ctx, rest[1], target)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s applied to %s (state %s)\n", cmd, st.Strategy, st.State)
 		return nil
 
 	case "abort":
@@ -153,6 +236,40 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// watch streams live engine events over SSE until interrupted — or, when a
+// strategy name is given, until that run reaches a terminal state.
+func watch(client *engine.Client, name string) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if name != "" {
+		// Fail fast on typos: the stream filter would otherwise wait
+		// silently for a run that does not exist.
+		if _, err := client.Get(ctx, name); err != nil {
+			return err
+		}
+	}
+	events, stop, err := client.Watch(ctx, name, 64)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	for ev := range events {
+		printEvent(ev)
+		if name != "" {
+			switch ev.Type {
+			case engine.EventCompleted, engine.EventAborted, engine.EventError:
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+func printEvent(ev engine.Event) {
+	fmt.Printf("%s  %-20s %-20s %s %s\n",
+		ev.Time.Format(time.RFC3339), ev.Strategy, ev.Type, ev.State, ev.Detail)
 }
 
 func printStatus(st engine.Status) {

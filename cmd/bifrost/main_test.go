@@ -97,6 +97,86 @@ func TestCLIScheduleStatusEventsAbort(t *testing.T) {
 	}
 }
 
+// slowStrategy holds its first phase for 30s so CLI operator verbs can act
+// mid-phase deterministically.
+const slowStrategy = `
+name: cli-slow
+deployment:
+  services:
+    - service: svc
+      versions:
+        - name: v1
+          endpoint: 127.0.0.1:9001
+        - name: v2
+          endpoint: 127.0.0.1:9002
+strategy:
+  phases:
+    - phase: canary
+      duration: 30s
+      routes:
+        - route:
+            service: svc
+            weights: {v1: 90, v2: 10}
+      on:
+        success: end
+    - phase: end
+      routes:
+        - route:
+            service: svc
+            weights: {v2: 100}
+`
+
+func TestCLIOperatorVerbsAndWatch(t *testing.T) {
+	eng, url := startEngineAPI(t)
+	path := filepath.Join(t.TempDir(), "slow.yaml")
+	if err := os.WriteFile(path, []byte(slowStrategy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run([]string{"-engine", url, "schedule", "-dry-run", path}); err != nil {
+		t.Fatalf("schedule -dry-run: %v", err)
+	}
+	if len(eng.Runs()) != 0 {
+		t.Fatal("dry-run enacted a strategy")
+	}
+
+	if err := run([]string{"-engine", url, "schedule", path}); err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	r, ok := eng.Run("cli-slow")
+	if !ok {
+		t.Fatal("strategy not enacted")
+	}
+
+	if err := run([]string{"-engine", url, "pause", "cli-slow"}); err != nil {
+		t.Fatalf("pause: %v", err)
+	}
+	if st := r.Status(); st.State != engine.RunPaused {
+		t.Fatalf("state after pause = %s", st.State)
+	}
+	// A stale generation is refused; the current one resumes.
+	if err := run([]string{"-engine", url, "resume", "cli-slow", "42"}); err == nil {
+		t.Error("stale resume accepted")
+	}
+	if err := run([]string{"-engine", url, "resume", "cli-slow", "1"}); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if err := run([]string{"-engine", url, "promote", "cli-slow", "end"}); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !r.Done() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := r.Status(); st.State != engine.RunCompleted {
+		t.Fatalf("state = %s (%s)", st.State, st.Error)
+	}
+	// watch replays the finished run's events and exits on its completion.
+	if err := run([]string{"-engine", url, "watch", "cli-slow"}); err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	if err := run([]string{}); err == nil {
 		t.Error("no args accepted")

@@ -1,0 +1,3 @@
+module bifrost
+
+go 1.22

@@ -22,24 +22,26 @@ import (
 	"bifrost/internal/core"
 )
 
-// Report is the result of Analyze: lints plus timing bounds.
+// Report is the result of Analyze: lints plus timing bounds. The JSON shape
+// is part of the engine API's dry-run response; durations serialize as
+// nanoseconds.
 type Report struct {
 	// Unreachable lists states no path from the start reaches.
-	Unreachable []string
+	Unreachable []string `json:"unreachable,omitempty"`
 	// Trapped lists reachable states from which no final state is
 	// reachable (the strategy could run forever).
-	Trapped []string
+	Trapped []string `json:"trapped,omitempty"`
 	// NoRollback lists non-final states whose transition closure cannot
 	// reach a distinct final state other than full success — empty when
 	// every state can fail safe. Advisory only.
-	NoRollback []string
+	NoRollback []string `json:"noRollback,omitempty"`
 	// MinDuration and MaxDuration bound the rollout time over acyclic
 	// paths from start to a final state.
-	MinDuration time.Duration
-	MaxDuration time.Duration
+	MinDuration time.Duration `json:"minDurationNanos"`
+	MaxDuration time.Duration `json:"maxDurationNanos"`
 	// HasCycle reports whether the automaton contains a cycle (self-loops
 	// excluded), making MaxDuration a lower bound of the true worst case.
-	HasCycle bool
+	HasCycle bool `json:"hasCycle"`
 }
 
 // Analyze runs every structural analysis on the strategy.

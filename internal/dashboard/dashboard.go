@@ -1,13 +1,13 @@
 // Package dashboard implements the Bifrost dashboard (paper §4.1): a live
 // view of strategy execution state — current phase, check outcomes, and the
-// event stream. The original prototype pushed updates over Socket.IO; this
-// implementation uses Server-Sent Events, which cover the same
-// unidirectional status-update channel with plain net/http.
+// event stream — plus operator controls for the enactment lifecycle
+// (pause/resume and manual promote/rollback gate decisions). The original
+// prototype pushed updates over Socket.IO; this implementation rides the
+// engine API's /api/v2/events/stream Server-Sent Events endpoint, which
+// covers the same unidirectional status-update channel with plain net/http.
 package dashboard
 
 import (
-	"encoding/json"
-	"fmt"
 	"net/http"
 
 	"bifrost/internal/engine"
@@ -24,9 +24,13 @@ func New(eng *engine.Engine) *Dashboard { return &Dashboard{eng: eng} }
 
 // Handler returns the dashboard endpoints:
 //
-//	GET /dashboard         HTML page (auto-refreshing via SSE)
-//	GET /dashboard/status  JSON run statuses
-//	GET /dashboard/events  Server-Sent Events stream of engine events
+//	GET /dashboard         HTML page driving the /api/v2 endpoints
+//	GET /dashboard/status  JSON run statuses (alias of GET /api/v2/runs)
+//	GET /dashboard/events  SSE stream (alias of GET /api/v2/events/stream)
+//
+// The status and events aliases remain for one release; the page itself
+// talks to the v2 API, so it must be mounted alongside engine.API (as
+// cmd/bifrost-engine does).
 func (d *Dashboard) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /dashboard", d.handlePage)
@@ -45,45 +49,7 @@ func (d *Dashboard) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *Dashboard) handleEvents(w http.ResponseWriter, r *http.Request) {
-	flusher, ok := w.(http.Flusher)
-	if !ok {
-		httpx.WriteError(w, http.StatusInternalServerError, "streaming unsupported")
-		return
-	}
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("Connection", "keep-alive")
-	w.WriteHeader(http.StatusOK)
-
-	// Replay recent history so late-joining dashboards have context, then
-	// stream live events until the client goes away.
-	for _, ev := range d.eng.RecentEvents(64) {
-		writeSSE(w, ev)
-	}
-	flusher.Flush()
-
-	events, cancel := d.eng.Subscribe(256)
-	defer cancel()
-	for {
-		select {
-		case ev, open := <-events:
-			if !open {
-				return
-			}
-			writeSSE(w, ev)
-			flusher.Flush()
-		case <-r.Context().Done():
-			return
-		}
-	}
-}
-
-func writeSSE(w http.ResponseWriter, ev engine.Event) {
-	data, err := json.Marshal(ev)
-	if err != nil {
-		return
-	}
-	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+	d.eng.ServeEventStream(w, r, "", 64)
 }
 
 func (d *Dashboard) handlePage(w http.ResponseWriter, r *http.Request) {
@@ -101,42 +67,68 @@ h1 { color: #7ee787; }
 table { border-collapse: collapse; width: 100%; margin-bottom: 2rem; }
 th, td { border: 1px solid #30363d; padding: 0.4rem 0.8rem; text-align: left; }
 th { background: #161b22; }
+button { background: #21262d; color: #e6edf3; border: 1px solid #30363d;
+         border-radius: 4px; padding: 0.15rem 0.5rem; margin-right: 0.25rem; cursor: pointer; }
+button:hover { background: #30363d; }
 #log { font-family: monospace; font-size: 0.85rem; white-space: pre-wrap;
        background: #161b22; padding: 1rem; max-height: 24rem; overflow-y: auto; }
 .state-running { color: #58a6ff; } .state-completed { color: #7ee787; }
+.state-paused { color: #d29922; }
 .state-failed, .state-aborted { color: #ff7b72; }
 </style>
 </head>
 <body>
 <h1>Bifrost Dashboard</h1>
 <table id="strategies">
-<thead><tr><th>Strategy</th><th>State</th><th>Current phase</th><th>Transitions</th><th>Delay</th></tr></thead>
+<thead><tr><th>Strategy</th><th>State</th><th>Current phase</th><th>Transitions</th><th>Delay</th><th>Controls</th></tr></thead>
 <tbody></tbody>
 </table>
 <h2>Events</h2>
 <div id="log"></div>
 <script>
+async function control(name, verb) {
+  await fetch('/api/v2/runs/' + encodeURIComponent(name) + '/' + verb, {method: 'POST'});
+  refresh();
+}
 async function refresh() {
-  const resp = await fetch('/dashboard/status');
+  const resp = await fetch('/api/v2/runs');
   const statuses = await resp.json();
   const body = document.querySelector('#strategies tbody');
   body.innerHTML = '';
   for (const s of statuses) {
+    // Strategy names are user-supplied: build cells via textContent, never
+    // string-interpolated markup.
     const tr = document.createElement('tr');
     const delayMs = ((s.actualNanos - s.plannedNanos) / 1e6).toFixed(1);
-    tr.innerHTML = '<td>' + s.strategy + '</td>' +
-      '<td class="state-' + s.state + '">' + s.state + '</td>' +
-      '<td>' + (s.current || '') + '</td>' +
-      '<td>' + (s.path ? s.path.length : 0) + '</td>' +
-      '<td>' + (s.state === 'running' ? '…' : delayMs + ' ms') + '</td>';
+    const live = s.state === 'running' || s.state === 'paused';
+    const cells = [s.strategy, s.state, s.current || '',
+                   String(s.path ? s.path.length : 0),
+                   live ? '…' : delayMs + ' ms'];
+    cells.forEach((text, i) => {
+      const td = document.createElement('td');
+      td.textContent = text;
+      if (i === 1) td.className = 'state-' + s.state;
+      tr.appendChild(td);
+    });
+    const ctl = document.createElement('td');
+    if (live) {
+      for (const verb of [s.state === 'paused' ? 'resume' : 'pause', 'promote', 'rollback']) {
+        const btn = document.createElement('button');
+        btn.textContent = verb;
+        btn.addEventListener('click', () => control(s.strategy, verb));
+        ctl.appendChild(btn);
+      }
+    }
+    tr.appendChild(ctl);
     body.appendChild(tr);
   }
 }
 const log = document.getElementById('log');
-const source = new EventSource('/dashboard/events');
+const source = new EventSource('/api/v2/events/stream?replay=64');
 source.onmessage = (e) => { append(e.data); };
 for (const type of ['state_entered','routing_applied','check_executed',
-                    'exception_triggered','transition','completed','aborted','error']) {
+                    'exception_triggered','transition','paused','resumed',
+                    'gate_decision','completed','aborted','error']) {
   source.addEventListener(type, (e) => { append(e.data); refresh(); });
 }
 function append(data) {
@@ -144,7 +136,6 @@ function append(data) {
   log.scrollTop = log.scrollHeight;
 }
 refresh();
-setInterval(refresh, 2000);
 </script>
 </body>
 </html>

@@ -90,7 +90,7 @@ func TestHTMLPage(t *testing.T) {
 	buf := make([]byte, 1<<16)
 	n, _ := resp.Body.Read(buf)
 	page := string(buf[:n])
-	for _, want := range []string{"Bifrost Dashboard", "EventSource", "/dashboard/events"} {
+	for _, want := range []string{"Bifrost Dashboard", "EventSource", "/api/v2/events/stream", "/api/v2/runs"} {
 		if !strings.Contains(page, want) {
 			t.Errorf("page missing %q", want)
 		}

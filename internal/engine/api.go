@@ -2,11 +2,14 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
 	"strconv"
 
+	"bifrost/internal/analysis"
 	"bifrost/internal/core"
 	"bifrost/internal/httpx"
 )
@@ -16,8 +19,28 @@ import (
 // (cmd wiring passes dsl-based compilation in).
 type CompileFunc func(src string) (*core.Strategy, error)
 
-// API is the engine's REST interface, used by the Bifrost CLI and any
-// release automation (the paper mentions Jenkins jobs driving the CLI).
+// API is the engine's REST interface (v2), used by the Bifrost CLI, the
+// dashboard, and any release automation (the paper mentions Jenkins jobs
+// driving the CLI). Runs are first-class lifecycle resources under
+// /api/v2/runs:
+//
+//	POST   /api/v2/runs                 schedule (body {"yaml": ...}); ?dry-run=true
+//	                                    validates and returns the analysis report
+//	                                    without enacting
+//	GET    /api/v2/runs                 list run statuses
+//	GET    /api/v2/runs/{name}          one run status
+//	DELETE /api/v2/runs/{name}          abort
+//	POST   /api/v2/runs/{name}/pause    suspend at the current state
+//	POST   /api/v2/runs/{name}/resume   continue (body {"gen": N} optional)
+//	POST   /api/v2/runs/{name}/promote  manual success gate decision (body {"target": ...} optional)
+//	POST   /api/v2/runs/{name}/rollback manual failure gate decision
+//	GET    /api/v2/runs/{name}/events   per-run event history (?n=)
+//	GET    /api/v2/events               recent events across runs (?n=)
+//	GET    /api/v2/events/stream        live Server-Sent Events (?strategy=, ?replay=)
+//
+// Errors are application/problem+json documents with a machine-readable
+// "code" field (see httpx.Problem). The v1 routes remain mounted as thin
+// aliases of their v2 counterparts for one release.
 type API struct {
 	eng     *Engine
 	compile CompileFunc
@@ -28,48 +51,148 @@ func NewAPI(eng *Engine, compile CompileFunc) *API {
 	return &API{eng: eng, compile: compile}
 }
 
-// ScheduleRequest is the POST /api/v1/strategies payload.
+// ScheduleRequest is the POST /api/v2/runs payload.
 type ScheduleRequest struct {
 	// YAML is the strategy in the Bifrost DSL.
 	YAML string `json:"yaml"`
 }
 
-// Handler returns the API handler.
+// DryRunResponse is the result of POST /api/v2/runs?dry-run=true: the
+// strategy compiled and analyzed, but not enacted.
+type DryRunResponse struct {
+	Strategy string           `json:"strategy"`
+	Valid    bool             `json:"valid"`
+	Analysis *analysis.Report `json:"analysis"`
+}
+
+// ResumeRequest is the POST /api/v2/runs/{name}/resume payload. Gen is the
+// pause generation from PauseResponse; zero resumes unconditionally.
+type ResumeRequest struct {
+	Gen int `json:"gen"`
+}
+
+// DecisionRequest is the payload of the promote and rollback endpoints.
+// Target optionally names the successor state; empty picks the current
+// state's success (promote) or failure (rollback) path.
+type DecisionRequest struct {
+	Target string `json:"target"`
+}
+
+// PauseResponse is returned by the pause endpoint.
+type PauseResponse struct {
+	Strategy string `json:"strategy"`
+	PauseGen int    `json:"pauseGen"`
+}
+
+// Stable machine-readable error codes of the problem+json contract.
+const (
+	CodeBadRequest      = "bad_request"
+	CodeCompileFailed   = "compile_failed"
+	CodeInvalidStrategy = "invalid_strategy"
+	CodeAlreadyRunning  = "already_running"
+	CodeNotFound        = "not_found"
+	CodeRunFinished     = "run_finished"
+	CodeNotPaused       = "not_paused"
+	CodeAlreadyPaused   = "already_paused"
+	CodeStaleResume     = "stale_resume"
+	CodeUnknownState    = "unknown_state"
+	CodeNotImplemented  = "not_implemented"
+)
+
+// Handler returns the API handler (v2 routes plus v1 aliases).
 func (a *API) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v2/runs", a.handleSchedule)
+	mux.HandleFunc("GET /api/v2/runs", a.handleList)
+	mux.HandleFunc("GET /api/v2/runs/{name}", a.handleGet)
+	mux.HandleFunc("DELETE /api/v2/runs/{name}", a.handleAbort)
+	mux.HandleFunc("POST /api/v2/runs/{name}/pause", a.handlePause)
+	mux.HandleFunc("POST /api/v2/runs/{name}/resume", a.handleResume)
+	mux.HandleFunc("POST /api/v2/runs/{name}/promote", a.handlePromote)
+	mux.HandleFunc("POST /api/v2/runs/{name}/rollback", a.handleRollback)
+	mux.HandleFunc("GET /api/v2/runs/{name}/events", a.handleRunEvents)
+	mux.HandleFunc("GET /api/v2/events", a.handleEvents)
+	mux.HandleFunc("GET /api/v2/events/stream", a.handleEventStream)
+
+	// v1 aliases, kept for one release while CLIs migrate.
 	mux.HandleFunc("POST /api/v1/strategies", a.handleSchedule)
 	mux.HandleFunc("GET /api/v1/strategies", a.handleList)
 	mux.HandleFunc("GET /api/v1/strategies/{name}", a.handleGet)
 	mux.HandleFunc("DELETE /api/v1/strategies/{name}", a.handleAbort)
 	mux.HandleFunc("GET /api/v1/events", a.handleEvents)
+
 	mux.HandleFunc("GET /-/healthy", func(w http.ResponseWriter, r *http.Request) {
 		httpx.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return mux
 }
 
+// problem writes one typed API error.
+func (a *API) problem(w http.ResponseWriter, status int, code, detail string) {
+	httpx.WriteProblem(w, httpx.Problem{Status: status, Code: code, Detail: detail})
+}
+
+// engineProblem maps a typed engine error onto the problem contract.
+func (a *API) engineProblem(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		a.problem(w, http.StatusNotFound, CodeNotFound, err.Error())
+	case errors.Is(err, ErrAlreadyRunning):
+		a.problem(w, http.StatusConflict, CodeAlreadyRunning, err.Error())
+	case errors.Is(err, ErrFinished):
+		a.problem(w, http.StatusConflict, CodeRunFinished, err.Error())
+	case errors.Is(err, ErrNotPaused):
+		a.problem(w, http.StatusConflict, CodeNotPaused, err.Error())
+	case errors.Is(err, ErrAlreadyPaused):
+		a.problem(w, http.StatusConflict, CodeAlreadyPaused, err.Error())
+	case errors.Is(err, ErrStaleResume):
+		a.problem(w, http.StatusConflict, CodeStaleResume, err.Error())
+	case errors.Is(err, ErrUnknownState):
+		a.problem(w, http.StatusUnprocessableEntity, CodeUnknownState, err.Error())
+	default:
+		a.problem(w, http.StatusUnprocessableEntity, CodeInvalidStrategy, err.Error())
+	}
+}
+
+func isDryRun(r *http.Request) bool {
+	switch r.URL.Query().Get("dry-run") {
+	case "", "0", "false":
+		return false
+	default:
+		return true
+	}
+}
+
 func (a *API) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if a.compile == nil {
-		httpx.WriteError(w, http.StatusNotImplemented, "engine has no strategy compiler")
+		a.problem(w, http.StatusNotImplemented, CodeNotImplemented,
+			"engine has no strategy compiler")
 		return
 	}
 	var req ScheduleRequest
 	if err := httpx.ReadJSON(r, &req); err != nil {
-		httpx.WriteError(w, http.StatusBadRequest, err.Error())
+		a.problem(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 	strategy, err := a.compile(req.YAML)
 	if err != nil {
-		httpx.WriteError(w, http.StatusUnprocessableEntity, err.Error())
+		a.problem(w, http.StatusUnprocessableEntity, CodeCompileFailed, err.Error())
+		return
+	}
+	if isDryRun(r) {
+		report, err := analysis.Analyze(strategy)
+		if err != nil {
+			a.problem(w, http.StatusUnprocessableEntity, CodeInvalidStrategy, err.Error())
+			return
+		}
+		httpx.WriteJSON(w, http.StatusOK, DryRunResponse{
+			Strategy: strategy.Name, Valid: true, Analysis: report,
+		})
 		return
 	}
 	run, err := a.eng.Enact(strategy)
 	if err != nil {
-		status := http.StatusUnprocessableEntity
-		if isAlreadyRunning(err) {
-			status = http.StatusConflict
-		}
-		httpx.WriteError(w, status, err.Error())
+		a.engineProblem(w, err)
 		return
 	}
 	httpx.WriteJSON(w, http.StatusAccepted, run.Status())
@@ -87,7 +210,7 @@ func (a *API) handleList(w http.ResponseWriter, r *http.Request) {
 func (a *API) handleGet(w http.ResponseWriter, r *http.Request) {
 	run, ok := a.eng.Run(r.PathValue("name"))
 	if !ok {
-		httpx.WriteError(w, http.StatusNotFound, "strategy not found")
+		a.problem(w, http.StatusNotFound, CodeNotFound, "run not found")
 		return
 	}
 	httpx.WriteJSON(w, http.StatusOK, run.Status())
@@ -96,86 +219,300 @@ func (a *API) handleGet(w http.ResponseWriter, r *http.Request) {
 func (a *API) handleAbort(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if err := a.eng.Abort(name); err != nil {
-		httpx.WriteError(w, http.StatusNotFound, err.Error())
+		a.engineProblem(w, err)
 		return
 	}
 	httpx.WriteJSON(w, http.StatusOK, map[string]string{"aborted": name})
 }
 
+func (a *API) handlePause(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	gen, err := a.eng.Pause(name)
+	if err != nil {
+		a.engineProblem(w, err)
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, PauseResponse{Strategy: name, PauseGen: gen})
+}
+
+func (a *API) handleResume(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req ResumeRequest
+	if r.ContentLength != 0 {
+		if err := httpx.ReadJSON(r, &req); err != nil {
+			a.problem(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+			return
+		}
+	}
+	if err := a.eng.Resume(name, req.Gen); err != nil {
+		a.engineProblem(w, err)
+		return
+	}
+	a.writeStatus(w, name)
+}
+
+func (a *API) handlePromote(w http.ResponseWriter, r *http.Request) {
+	a.handleDecision(w, r, a.eng.Promote)
+}
+
+func (a *API) handleRollback(w http.ResponseWriter, r *http.Request) {
+	a.handleDecision(w, r, a.eng.Rollback)
+}
+
+func (a *API) handleDecision(w http.ResponseWriter, r *http.Request,
+	decide func(name, target string) error) {
+
+	name := r.PathValue("name")
+	var req DecisionRequest
+	if r.ContentLength != 0 {
+		if err := httpx.ReadJSON(r, &req); err != nil {
+			a.problem(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+			return
+		}
+	}
+	if err := decide(name, req.Target); err != nil {
+		a.engineProblem(w, err)
+		return
+	}
+	a.writeStatus(w, name)
+}
+
+func (a *API) writeStatus(w http.ResponseWriter, name string) {
+	run, ok := a.eng.Run(name)
+	if !ok {
+		a.problem(w, http.StatusNotFound, CodeNotFound, "run not found")
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, run.Status())
+}
+
+func queryInt(r *http.Request, key string, def int) int {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 {
+		return def
+	}
+	return v
+}
+
 func (a *API) handleEvents(w http.ResponseWriter, r *http.Request) {
-	n := 100
-	if s := r.URL.Query().Get("n"); s != "" {
-		if v, err := strconv.Atoi(s); err == nil && v > 0 {
-			n = v
-		}
-	}
-	httpx.WriteJSON(w, http.StatusOK, a.eng.RecentEvents(n))
+	httpx.WriteJSON(w, http.StatusOK, a.eng.RecentEvents(queryInt(r, "n", 100)))
 }
 
-func isAlreadyRunning(err error) bool {
-	for err != nil {
-		if err == ErrAlreadyRunning {
-			return true
-		}
-		u, ok := err.(interface{ Unwrap() error })
-		if !ok {
-			return false
-		}
-		err = u.Unwrap()
+func (a *API) handleRunEvents(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, ok := a.eng.Run(name); !ok {
+		a.problem(w, http.StatusNotFound, CodeNotFound, "run not found")
+		return
 	}
-	return false
+	httpx.WriteJSON(w, http.StatusOK, a.eng.RunEvents(name, queryInt(r, "n", 100)))
 }
 
-// Client talks to a remote engine API; the CLI is a thin wrapper over it.
+// handleEventStream pushes engine events as Server-Sent Events so clients
+// (CLI watch, dashboard) stop polling. ?strategy= filters to one run and
+// ?replay=N prefixes up to N buffered events for late joiners.
+func (a *API) handleEventStream(w http.ResponseWriter, r *http.Request) {
+	a.eng.ServeEventStream(w, r, r.URL.Query().Get("strategy"), queryInt(r, "replay", 0))
+}
+
+// ServeEventStream streams engine events to w as Server-Sent Events until
+// the request context ends: subscribe-before-replay with sequence-number
+// dedup, so late joiners get up to replay buffered events and never miss or
+// repeat one across the replay/live seam. strategy filters to one run (""
+// streams everything). Shared by the API's /api/v2/events/stream endpoint
+// and the dashboard's /dashboard/events alias.
+func (e *Engine) ServeEventStream(w http.ResponseWriter, r *http.Request, strategy string, replay int) {
+	events, cancel := e.Subscribe(256)
+	defer cancel()
+
+	sse, err := httpx.NewSSEWriter(w)
+	if err != nil {
+		httpx.WriteProblem(w, httpx.Problem{
+			Status: http.StatusInternalServerError, Detail: err.Error(),
+		})
+		return
+	}
+
+	var lastSeq int64
+	if replay > 0 {
+		var history []Event
+		if strategy != "" {
+			history = e.RunEvents(strategy, replay)
+		} else {
+			history = e.RecentEvents(replay)
+		}
+		for _, ev := range history {
+			if sse.Send(string(ev.Type), strconv.FormatInt(ev.Seq, 10), ev) != nil {
+				return
+			}
+			lastSeq = ev.Seq
+		}
+	}
+	for {
+		select {
+		case ev, open := <-events:
+			if !open {
+				return
+			}
+			if ev.Seq <= lastSeq || (strategy != "" && ev.Strategy != strategy) {
+				continue
+			}
+			if sse.Send(string(ev.Type), strconv.FormatInt(ev.Seq, 10), ev) != nil {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// Client talks to a remote engine API over /api/v2; the CLI is a thin
+// wrapper over it.
 type Client struct {
 	// BaseURL is the engine root, e.g. "http://127.0.0.1:7000".
 	BaseURL string
 }
 
+func (c *Client) runURL(name string, parts ...string) string {
+	u := c.BaseURL + "/api/v2/runs/" + url.PathEscape(name)
+	for _, p := range parts {
+		u += "/" + p
+	}
+	return u
+}
+
 // Schedule submits DSL source for enactment.
 func (c *Client) Schedule(ctx context.Context, yamlSrc string) (Status, error) {
 	var st Status
-	err := httpx.PostJSON(ctx, c.BaseURL+"/api/v1/strategies", ScheduleRequest{YAML: yamlSrc}, &st)
+	err := httpx.PostJSON(ctx, c.BaseURL+"/api/v2/runs", ScheduleRequest{YAML: yamlSrc}, &st)
 	return st, err
+}
+
+// DryRun validates DSL source on the engine and returns the analysis report
+// without enacting anything.
+func (c *Client) DryRun(ctx context.Context, yamlSrc string) (DryRunResponse, error) {
+	var out DryRunResponse
+	err := httpx.PostJSON(ctx, c.BaseURL+"/api/v2/runs?dry-run=true",
+		ScheduleRequest{YAML: yamlSrc}, &out)
+	return out, err
 }
 
 // List returns all run statuses.
 func (c *Client) List(ctx context.Context) ([]Status, error) {
 	var out []Status
-	err := httpx.GetJSON(ctx, c.BaseURL+"/api/v1/strategies", &out)
+	err := httpx.GetJSON(ctx, c.BaseURL+"/api/v2/runs", &out)
 	return out, err
 }
 
 // Get returns one run status.
 func (c *Client) Get(ctx context.Context, name string) (Status, error) {
 	var st Status
-	err := httpx.GetJSON(ctx, c.BaseURL+"/api/v1/strategies/"+url.PathEscape(name), &st)
+	err := httpx.GetJSON(ctx, c.runURL(name), &st)
 	return st, err
 }
 
 // Abort stops a running strategy.
 func (c *Client) Abort(ctx context.Context, name string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
-		c.BaseURL+"/api/v1/strategies/"+url.PathEscape(name), nil)
-	if err != nil {
-		return err
-	}
-	resp, err := httpx.Client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 400 {
-		return fmt.Errorf("abort %s: status %d", name, resp.StatusCode)
-	}
-	return nil
+	return httpx.DoJSON(ctx, http.MethodDelete, c.runURL(name), nil, nil)
+}
+
+// Pause suspends a run at its current state and returns the pause
+// generation to pass to Resume.
+func (c *Client) Pause(ctx context.Context, name string) (int, error) {
+	var out PauseResponse
+	err := httpx.PostJSON(ctx, c.runURL(name, "pause"), struct{}{}, &out)
+	return out.PauseGen, err
+}
+
+// Resume continues a paused run. gen > 0 must match the generation returned
+// by the pause being resumed; gen <= 0 resumes unconditionally.
+func (c *Client) Resume(ctx context.Context, name string, gen int) (Status, error) {
+	var st Status
+	err := httpx.PostJSON(ctx, c.runURL(name, "resume"), ResumeRequest{Gen: gen}, &st)
+	return st, err
+}
+
+// Promote applies a manual success gate decision on the run's current state.
+func (c *Client) Promote(ctx context.Context, name, target string) (Status, error) {
+	var st Status
+	err := httpx.PostJSON(ctx, c.runURL(name, "promote"), DecisionRequest{Target: target}, &st)
+	return st, err
+}
+
+// Rollback applies a manual failure gate decision on the run's current state.
+func (c *Client) Rollback(ctx context.Context, name, target string) (Status, error) {
+	var st Status
+	err := httpx.PostJSON(ctx, c.runURL(name, "rollback"), DecisionRequest{Target: target}, &st)
+	return st, err
 }
 
 // Events fetches recent engine events.
 func (c *Client) Events(ctx context.Context, n int) ([]Event, error) {
 	var out []Event
-	err := httpx.GetJSON(ctx, fmt.Sprintf("%s/api/v1/events?n=%d", c.BaseURL, n), &out)
+	err := httpx.GetJSON(ctx, fmt.Sprintf("%s/api/v2/events?n=%d", c.BaseURL, n), &out)
 	return out, err
+}
+
+// RunEvents fetches one run's event history.
+func (c *Client) RunEvents(ctx context.Context, name string, n int) ([]Event, error) {
+	var out []Event
+	err := httpx.GetJSON(ctx, fmt.Sprintf("%s?n=%d", c.runURL(name, "events"), n), &out)
+	return out, err
+}
+
+// Watch subscribes to the engine's live SSE event stream. strategy filters
+// to one run ("" streams everything); replay > 0 prefixes buffered history.
+// The returned channel closes when the stream ends; the cancel function
+// tears the stream down.
+func (c *Client) Watch(ctx context.Context, strategy string, replay int) (<-chan Event, func(), error) {
+	q := url.Values{}
+	if strategy != "" {
+		q.Set("strategy", strategy)
+	}
+	if replay > 0 {
+		q.Set("replay", strconv.Itoa(replay))
+	}
+	u := c.BaseURL + "/api/v2/events/stream"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	resp, err := httpx.StreamClient.Do(req)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		cancel()
+		return nil, nil, fmt.Errorf("watch %s: status %d", u, resp.StatusCode)
+	}
+	ch := make(chan Event, 64)
+	go func() {
+		defer close(ch)
+		defer resp.Body.Close()
+		_ = httpx.ReadSSE(resp.Body, func(se httpx.SSEEvent) error {
+			var ev Event
+			if json.Unmarshal(se.Data, &ev) != nil {
+				return nil // skip non-event frames (keep-alives)
+			}
+			select {
+			case ch <- ev:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+	}()
+	return ch, cancel, nil
 }
 
 // Healthy checks engine liveness.

@@ -123,11 +123,11 @@ func TestAPIErrors(t *testing.T) {
 	_, c := apiFixture(t)
 	ctx := context.Background()
 
-	// Empty source → compile error → 422.
+	// Empty source → compile error → 422 problem with a typed code.
 	_, err := c.Schedule(ctx, "")
-	var apiErr *httpx.Error
-	if !errors.As(err, &apiErr) || apiErr.StatusCode != 422 {
-		t.Errorf("schedule empty: %v, want 422", err)
+	var problem *httpx.Problem
+	if !errors.As(err, &problem) || problem.Status != 422 || problem.Code != CodeCompileFailed {
+		t.Errorf("schedule empty: %v, want 422 %s", err, CodeCompileFailed)
 	}
 
 	// Duplicate while running → 409.
@@ -138,15 +138,15 @@ func TestAPIErrors(t *testing.T) {
 	// The first may already have finished on a slow machine; accept 409
 	// or success-after-completion.
 	if err != nil {
-		if !errors.As(err, &apiErr) || apiErr.StatusCode != 409 {
-			t.Errorf("duplicate schedule: %v, want 409", err)
+		if !errors.As(err, &problem) || problem.Status != 409 || problem.Code != CodeAlreadyRunning {
+			t.Errorf("duplicate schedule: %v, want 409 %s", err, CodeAlreadyRunning)
 		}
 	}
 
 	// Unknown strategy → 404.
 	_, err = c.Get(ctx, "ghost")
-	if !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
-		t.Errorf("get ghost: %v, want 404", err)
+	if !errors.As(err, &problem) || problem.Status != 404 || problem.Code != CodeNotFound {
+		t.Errorf("get ghost: %v, want 404 %s", err, CodeNotFound)
 	}
 
 	if err := c.Healthy(ctx); err != nil {

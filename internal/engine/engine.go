@@ -21,13 +21,27 @@ import (
 	"bifrost/internal/metrics"
 )
 
-// Common engine errors.
+// Common engine errors. The API layer maps each to a machine-readable
+// problem+json code, so clients dispatch on these rather than on message
+// strings.
 var (
 	// ErrAlreadyRunning is returned by Enact when a strategy with the
 	// same name is currently executing.
 	ErrAlreadyRunning = errors.New("engine: strategy already running")
 	// ErrNotFound is returned when referencing an unknown strategy.
 	ErrNotFound = errors.New("engine: strategy not found")
+	// ErrFinished is returned by operator controls on a finished run.
+	ErrFinished = errors.New("engine: run already finished")
+	// ErrNotPaused is returned by Resume when the run is not paused.
+	ErrNotPaused = errors.New("engine: run is not paused")
+	// ErrAlreadyPaused is returned by Pause on an already-paused run.
+	ErrAlreadyPaused = errors.New("engine: run already paused")
+	// ErrStaleResume is returned when a resume carries a pause generation
+	// that is no longer current (another pause/resume cycle intervened).
+	ErrStaleResume = errors.New("engine: stale resume")
+	// ErrUnknownState is returned when a manual gate decision names a state
+	// outside the strategy's automaton (or none can be inferred).
+	ErrUnknownState = errors.New("engine: unknown automaton state")
 )
 
 // Engine enacts release strategies. Create with New; Shutdown aborts every
@@ -118,6 +132,7 @@ func (e *Engine) Enact(s *core.Strategy) (*Run, error) {
 		strategy: s,
 		cancel:   cancel,
 		done:     make(chan struct{}),
+		controls: make(chan controlMsg),
 		status: Status{
 			Strategy: s.Name,
 			State:    RunPending,
@@ -166,6 +181,48 @@ func (e *Engine) Abort(name string) error {
 	}
 	r.Abort()
 	return nil
+}
+
+// Pause suspends a running strategy at its current state, returning the new
+// pause generation (see Run.Pause).
+func (e *Engine) Pause(name string) (int, error) {
+	r, ok := e.Run(name)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return r.Pause()
+}
+
+// Resume continues a paused strategy (see Run.Resume).
+func (e *Engine) Resume(name string, gen int) error {
+	r, ok := e.Run(name)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return r.Resume(gen)
+}
+
+// Promote applies a manual success gate decision (see Run.Promote).
+func (e *Engine) Promote(name, target string) error {
+	r, ok := e.Run(name)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return r.Promote(target)
+}
+
+// Rollback applies a manual failure gate decision (see Run.Rollback).
+func (e *Engine) Rollback(name, target string) error {
+	r, ok := e.Run(name)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return r.Rollback(target)
+}
+
+// RunEvents returns up to n buffered events for one strategy, oldest first.
+func (e *Engine) RunEvents(name string, n int) []Event {
+	return e.bus.recentFiltered(name, n)
 }
 
 // Remove forgets a finished run (keeps the registry tidy between tests and

@@ -16,6 +16,9 @@ const (
 	EventCheckExecuted      EventType = "check_executed"
 	EventExceptionTriggered EventType = "exception_triggered"
 	EventTransition         EventType = "transition"
+	EventPaused             EventType = "paused"
+	EventResumed            EventType = "resumed"
+	EventGateDecision       EventType = "gate_decision"
 	EventCompleted          EventType = "completed"
 	EventAborted            EventType = "aborted"
 	EventError              EventType = "error"
@@ -124,6 +127,32 @@ func (b *eventBus) recent(n int) []Event {
 	}
 	for i := 0; i < n; i++ {
 		out = append(out, b.ring[(start+i)%len(b.ring)])
+	}
+	return out
+}
+
+// recentFiltered returns up to n of the most recent events for one strategy,
+// oldest first. n <= 0 means all buffered events for that strategy.
+func (b *eventBus) recentFiltered(strategy string, n int) []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	size := b.next
+	if b.full {
+		size = len(b.ring)
+	}
+	start := b.next - size
+	if start < 0 {
+		start += len(b.ring)
+	}
+	out := make([]Event, 0, 16)
+	for i := 0; i < size; i++ {
+		ev := b.ring[(start+i)%len(b.ring)]
+		if ev.Strategy == strategy {
+			out = append(out, ev)
+		}
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
 	}
 	return out
 }

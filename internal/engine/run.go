@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -16,6 +17,7 @@ type RunState string
 const (
 	RunPending   RunState = "pending"
 	RunRunning   RunState = "running"
+	RunPaused    RunState = "paused"
 	RunCompleted RunState = "completed"
 	RunAborted   RunState = "aborted"
 	RunFailed    RunState = "failed"
@@ -27,9 +29,71 @@ type Run struct {
 	strategy *core.Strategy
 	cancel   context.CancelFunc
 	done     chan struct{}
+	// controls carries operator commands (pause, resume, manual gate
+	// decisions) into the run loop, which consumes them while a state is
+	// executing or paused.
+	controls chan controlMsg
 
 	mu     sync.Mutex
 	status Status
+}
+
+// controlKind enumerates operator commands on a run.
+type controlKind int
+
+const (
+	ctrlPause controlKind = iota
+	ctrlResume
+	ctrlPromote
+	ctrlRollback
+)
+
+func (k controlKind) String() string {
+	switch k {
+	case ctrlPause:
+		return "pause"
+	case ctrlResume:
+		return "resume"
+	case ctrlPromote:
+		return "promote"
+	default:
+		return "rollback"
+	}
+}
+
+// controlMsg is one operator command delivered to the run loop.
+type controlMsg struct {
+	kind controlKind
+	// target optionally names the successor state for promote/rollback.
+	target string
+	// gen is the pause generation a resume must match (<= 0: unconditional).
+	gen   int
+	reply chan ctrlReply
+}
+
+// ctrlReply is the run loop's verdict on one control message.
+type ctrlReply struct {
+	err error
+	// gen is the pause generation created by the acknowledged pause. It is
+	// carried in the reply (not re-read from status afterwards) so a Pause
+	// racing another operator's pause/resume cycle still returns its own
+	// generation.
+	gen int
+}
+
+// stepResult is the outcome of executing one automaton state.
+type stepResult struct {
+	// next is the successor state chosen by δ, an exception fallback, or a
+	// manual gate decision.
+	next    string
+	outcome int
+	// cause records how the transition was decided: "" for δ, "exception"
+	// for an exception-check interrupt, "promote"/"rollback" for manual
+	// operator decisions.
+	cause string
+	// reenter asks the loop to re-enter the current state (after a
+	// pause/resume cycle: routing is re-applied and all timers reset).
+	reenter bool
 }
 
 // Status is a snapshot of a run's progress.
@@ -52,6 +116,9 @@ type Status struct {
 	Path []Transition `json:"path"`
 	// Checks reports progress of the current state's checks.
 	Checks []CheckStatus `json:"checks,omitempty"`
+	// PauseGen counts completed Pause calls. A Resume carrying a non-zero
+	// generation only succeeds while that pause is still the current one.
+	PauseGen int `json:"pauseGen,omitempty"`
 	// Error holds the failure cause for RunFailed.
 	Error string `json:"error,omitempty"`
 }
@@ -68,6 +135,10 @@ type Transition struct {
 	To      string    `json:"to"`
 	Outcome int       `json:"outcome"`
 	At      time.Time `json:"at"`
+	// Cause is empty for automatic δ transitions, "exception" for
+	// exception-check interrupts, and "promote"/"rollback" for manual
+	// operator gate decisions.
+	Cause string `json:"cause,omitempty"`
 }
 
 // CheckStatus reports one check's progress within the current state.
@@ -116,6 +187,54 @@ func (r *Run) Wait(ctx context.Context) error {
 // Abort cancels the run.
 func (r *Run) Abort() { r.cancel() }
 
+// Pause suspends enactment at the current state: running checks are stopped
+// and the automaton holds position until Resume, a manual gate decision, or
+// an abort. It returns the new pause generation, which a later Resume can
+// pass to guard against racing another operator's pause/resume cycle.
+func (r *Run) Pause() (int, error) {
+	rep := r.control(controlMsg{kind: ctrlPause})
+	return rep.gen, rep.err
+}
+
+// Resume continues a paused run by re-entering the current state (routing is
+// re-applied, check timers reset). gen > 0 must match the generation returned
+// by the Pause being resumed; gen <= 0 resumes unconditionally.
+func (r *Run) Resume(gen int) error {
+	return r.control(controlMsg{kind: ctrlResume, gen: gen}).err
+}
+
+// Promote forces the transition the operator chose instead of waiting for δ:
+// the run leaves the current state for target immediately. An empty target
+// selects the state's highest-outcome successor (its success path). Promote
+// works both while the state is executing and while the run is paused —
+// the paper's "release engineer intervenes when checks are ambiguous" case.
+func (r *Run) Promote(target string) error {
+	return r.control(controlMsg{kind: ctrlPromote, target: target}).err
+}
+
+// Rollback is Promote's counterpart for failing a gate manually: an empty
+// target selects the state's lowest-outcome successor (its failure path).
+func (r *Run) Rollback(target string) error {
+	return r.control(controlMsg{kind: ctrlRollback, target: target}).err
+}
+
+// control delivers one operator command to the run loop and waits for its
+// verdict. Finished runs reject every command.
+func (r *Run) control(msg controlMsg) ctrlReply {
+	msg.reply = make(chan ctrlReply, 1)
+	select {
+	case r.controls <- msg:
+		select {
+		case rep := <-msg.reply:
+			return rep
+		case <-r.done:
+			return ctrlReply{err: ErrFinished}
+		}
+	case <-r.done:
+		return ctrlReply{err: ErrFinished}
+	}
+}
+
 func (r *Run) setRunState(s RunState, errMsg string) {
 	r.mu.Lock()
 	r.status.State = s
@@ -162,6 +281,10 @@ func (r *Run) loop(ctx context.Context) {
 	}
 
 	current := r.strategy.Automaton.Start
+	// reentered marks a re-entry of the current state after a pause/resume
+	// cycle: the state's specified duration was already booked for delay
+	// accounting, so executeState must not book it again.
+	reentered := false
 	for {
 		select {
 		case <-ctx.Done():
@@ -190,7 +313,7 @@ func (r *Run) loop(ctx context.Context) {
 			return
 		}
 
-		next, outcome, err := r.executeState(ctx, state)
+		res, err := r.executeState(ctx, state, !reentered)
 		if err != nil {
 			if ctx.Err() != nil {
 				finish(RunAborted, "")
@@ -199,19 +322,26 @@ func (r *Run) loop(ctx context.Context) {
 			finish(RunFailed, err.Error())
 			return
 		}
+		if res.reenter {
+			// Resumed from a pause: re-enter the same state so routing is
+			// re-applied and every check timer restarts from zero.
+			reentered = true
+			continue
+		}
+		reentered = false
 
 		now := clk.Now()
 		r.mu.Lock()
 		r.status.Path = append(r.status.Path, Transition{
-			From: state.ID, To: next, Outcome: outcome, At: now,
+			From: state.ID, To: res.next, Outcome: res.outcome, At: now, Cause: res.cause,
 		})
 		r.mu.Unlock()
 		r.engine.mTransitions.Inc()
 		r.engine.bus.publish(Event{
 			Strategy: r.strategy.Name, Type: EventTransition,
-			State: state.ID, Detail: next, Outcome: outcome, Time: now,
+			State: state.ID, Detail: res.next, Outcome: res.outcome, Time: now,
 		})
-		current = next
+		current = res.next
 	}
 }
 
@@ -249,14 +379,20 @@ func (r *Run) enterState(ctx context.Context, state *core.State) error {
 
 // executeState runs the state's checks to completion (or interrupt) and
 // returns the successor chosen by δ together with the aggregated outcome.
-func (r *Run) executeState(ctx context.Context, state *core.State) (string, int, error) {
+// While the state executes, the run loop also consumes operator controls:
+// pause suspends it, and manual promote/rollback decisions override δ.
+// book is false on a pause/resume re-entry, whose specified duration was
+// already accounted for.
+func (r *Run) executeState(ctx context.Context, state *core.State, book bool) (stepResult, error) {
 	clk := r.engine.clk
 
 	// Book the state's specified duration for delay accounting.
-	planned := statePlannedDuration(state)
-	r.mu.Lock()
-	r.status.PlannedNanos += int64(planned)
-	r.mu.Unlock()
+	if book {
+		planned := statePlannedDuration(state)
+		r.mu.Lock()
+		r.status.PlannedNanos += int64(planned)
+		r.mu.Unlock()
+	}
 
 	stateCtx, cancelState := context.WithCancel(ctx)
 	defer cancelState()
@@ -284,29 +420,51 @@ func (r *Run) executeState(ctx context.Context, state *core.State) (string, int,
 	}()
 
 	// The state ends when: its explicit duration elapses; otherwise when
-	// every timed check finishes; an exception check interrupts; or the
-	// run is aborted.
+	// every timed check finishes; an exception check interrupts; an operator
+	// issues a gate decision or pause; or the run is aborted.
 	var timerC <-chan time.Time
+	allDoneC := allDone
 	if state.Duration > 0 {
 		timer := clk.NewTimer(state.Duration)
 		defer timer.Stop()
 		timerC = timer.C()
+		allDoneC = nil // explicit duration governs even if checks finish early
 	}
 
 	fallback := ""
-	if timerC == nil {
-		select {
-		case <-allDone:
-		case fallback = <-interrupt:
-		case <-ctx.Done():
-			return "", 0, ctx.Err()
-		}
-	} else {
+wait:
+	for {
 		select {
 		case <-timerC:
+			break wait
+		case <-allDoneC:
+			break wait
 		case fallback = <-interrupt:
+			break wait
+		case msg := <-r.controls:
+			switch msg.kind {
+			case ctrlResume:
+				msg.reply <- ctrlReply{err: ErrNotPaused}
+			case ctrlPromote, ctrlRollback:
+				target, err := r.manualTarget(state, msg)
+				if err != nil {
+					msg.reply <- ctrlReply{err: err}
+					continue
+				}
+				cancelState()
+				wg.Wait()
+				r.publishGateDecision(state, msg.kind, target)
+				msg.reply <- ctrlReply{}
+				return stepResult{next: target, cause: msg.kind.String()}, nil
+			case ctrlPause:
+				cancelState()
+				wg.Wait()
+				gen := r.beginPause(state)
+				msg.reply <- ctrlReply{gen: gen}
+				return r.pausedWait(ctx, state, gen)
+			}
 		case <-ctx.Done():
-			return "", 0, ctx.Err()
+			return stepResult{}, ctx.Err()
 		}
 	}
 
@@ -316,7 +474,7 @@ func (r *Run) executeState(ctx context.Context, state *core.State) (string, int,
 
 	if fallback != "" {
 		// Exception semantics: jump immediately to the fallback state.
-		return fallback, 0, nil
+		return stepResult{next: fallback, cause: "exception"}, nil
 	}
 
 	// Execute end-of-state checks (no timer: run once now), then
@@ -331,7 +489,7 @@ func (r *Run) executeState(ctx context.Context, state *core.State) (string, int,
 		}
 		mapped, err := cr.mappedOutcome()
 		if err != nil {
-			return "", 0, err
+			return stepResult{}, err
 		}
 		results[i] = mapped
 		r.mu.Lock()
@@ -341,13 +499,102 @@ func (r *Run) executeState(ctx context.Context, state *core.State) (string, int,
 
 	outcome, err := state.Outcome(results)
 	if err != nil {
-		return "", 0, err
+		return stepResult{}, err
 	}
 	next, err := state.NextState(outcome)
 	if err != nil {
-		return "", 0, err
+		return stepResult{}, err
 	}
-	return next, outcome, nil
+	return stepResult{next: next, outcome: outcome}, nil
+}
+
+// pausedWait holds the run in the Paused state until an operator resumes it,
+// issues a manual gate decision, or aborts the run. gen is the pause
+// generation a conditional resume must match.
+func (r *Run) pausedWait(ctx context.Context, state *core.State, gen int) (stepResult, error) {
+	for {
+		select {
+		case msg := <-r.controls:
+			switch msg.kind {
+			case ctrlPause:
+				msg.reply <- ctrlReply{err: ErrAlreadyPaused}
+			case ctrlResume:
+				if msg.gen > 0 && msg.gen != gen {
+					msg.reply <- ctrlReply{err: fmt.Errorf(
+						"%w: run is at pause generation %d, resume asked for %d",
+						ErrStaleResume, gen, msg.gen)}
+					continue
+				}
+				r.endPause(state, "resumed")
+				msg.reply <- ctrlReply{}
+				return stepResult{reenter: true}, nil
+			case ctrlPromote, ctrlRollback:
+				target, err := r.manualTarget(state, msg)
+				if err != nil {
+					msg.reply <- ctrlReply{err: err}
+					continue
+				}
+				r.endPause(state, msg.kind.String()+" to "+target)
+				r.publishGateDecision(state, msg.kind, target)
+				msg.reply <- ctrlReply{}
+				return stepResult{next: target, cause: msg.kind.String()}, nil
+			}
+		case <-ctx.Done():
+			return stepResult{}, ctx.Err()
+		}
+	}
+}
+
+// manualTarget resolves the successor of a manual gate decision. An explicit
+// target must exist in the automaton; without one, promote selects the
+// state's highest-outcome successor and rollback its lowest.
+func (r *Run) manualTarget(state *core.State, msg controlMsg) (string, error) {
+	if msg.target != "" {
+		if _, ok := r.strategy.Automaton.State(msg.target); !ok {
+			return "", fmt.Errorf("%w: %q", ErrUnknownState, msg.target)
+		}
+		return msg.target, nil
+	}
+	if len(state.Transitions) == 0 {
+		return "", fmt.Errorf("%w: state %q has no successors; pass an explicit target",
+			ErrUnknownState, state.ID)
+	}
+	if msg.kind == ctrlPromote {
+		return state.Transitions[len(state.Transitions)-1], nil
+	}
+	return state.Transitions[0], nil
+}
+
+func (r *Run) beginPause(state *core.State) int {
+	now := r.engine.clk.Now()
+	r.mu.Lock()
+	r.status.State = RunPaused
+	r.status.PauseGen++
+	gen := r.status.PauseGen
+	r.mu.Unlock()
+	r.engine.bus.publish(Event{
+		Strategy: r.strategy.Name, Type: EventPaused, State: state.ID,
+		Detail: fmt.Sprintf("pause generation %d", gen), Time: now,
+	})
+	return gen
+}
+
+func (r *Run) endPause(state *core.State, detail string) {
+	now := r.engine.clk.Now()
+	r.mu.Lock()
+	r.status.State = RunRunning
+	r.mu.Unlock()
+	r.engine.bus.publish(Event{
+		Strategy: r.strategy.Name, Type: EventResumed, State: state.ID,
+		Detail: detail, Time: now,
+	})
+}
+
+func (r *Run) publishGateDecision(state *core.State, kind controlKind, target string) {
+	r.engine.bus.publish(Event{
+		Strategy: r.strategy.Name, Type: EventGateDecision, State: state.ID,
+		Detail: kind.String() + " to " + target, Time: r.engine.clk.Now(),
+	})
 }
 
 // statePlannedDuration is the specified execution time of a state: its

@@ -14,6 +14,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 )
@@ -200,8 +201,17 @@ func doJSON(req *http.Request, v any) error {
 		_ = resp.Body.Close()
 	}()
 	if resp.StatusCode >= 400 {
-		var apiErr Error
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, MaxBodyBytes))
+		// Typed problem+json errors carry a machine-readable code; the
+		// legacy envelope remains for components not yet migrated.
+		if strings.HasPrefix(resp.Header.Get("Content-Type"), ProblemContentType) {
+			var p Problem
+			if json.Unmarshal(data, &p) == nil && (p.Title != "" || p.Code != "") {
+				p.Status = resp.StatusCode
+				return &p
+			}
+		}
+		var apiErr Error
 		if json.Unmarshal(data, &apiErr) == nil && apiErr.Message != "" {
 			apiErr.StatusCode = resp.StatusCode
 			return &apiErr

@@ -1,0 +1,64 @@
+package httpx
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// ProblemContentType is the RFC 9457 media type for typed API errors.
+const ProblemContentType = "application/problem+json"
+
+// Problem is the typed error contract of the Bifrost APIs: an RFC 9457
+// problem document extended with a stable machine-readable Code. Clients
+// dispatch on Code instead of matching error message strings.
+type Problem struct {
+	// Type is a URI reference identifying the problem class (optional).
+	Type string `json:"type,omitempty"`
+	// Title is a short human-readable summary of the problem class.
+	Title string `json:"title"`
+	// Status echoes the HTTP status code of the response.
+	Status int `json:"status"`
+	// Detail explains this specific occurrence of the problem.
+	Detail string `json:"detail,omitempty"`
+	// Code is the stable machine-readable error identifier, e.g.
+	// "already_running", "stale_resume", "compile_failed".
+	Code string `json:"code,omitempty"`
+}
+
+// Error implements the error interface.
+func (p *Problem) Error() string {
+	msg := p.Detail
+	if msg == "" {
+		msg = p.Title
+	}
+	if p.Code != "" {
+		return fmt.Sprintf("http %d [%s]: %s", p.Status, p.Code, msg)
+	}
+	return fmt.Sprintf("http %d: %s", p.Status, msg)
+}
+
+// WriteProblem writes p as an application/problem+json response. A missing
+// Title is filled from the status text.
+func WriteProblem(w http.ResponseWriter, p Problem) {
+	if p.Status == 0 {
+		p.Status = http.StatusInternalServerError
+	}
+	if p.Title == "" {
+		p.Title = http.StatusText(p.Status)
+	}
+	w.Header().Set("Content-Type", ProblemContentType)
+	w.WriteHeader(p.Status)
+	_ = json.NewEncoder(w).Encode(p)
+}
+
+// ProblemCode extracts the machine-readable code when err is (or wraps) a
+// *Problem, and "" otherwise.
+func ProblemCode(err error) string {
+	var p *Problem
+	if errors.As(err, &p) {
+		return p.Code
+	}
+	return ""
+}

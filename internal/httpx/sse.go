@@ -1,0 +1,131 @@
+package httpx
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// SSE support shared by the engine's /api/v2/events/stream endpoint and the
+// dashboard: a server-side writer and a client-side parser, so the CLI and
+// dashboard receive live engine events instead of polling.
+
+// SSEWriter streams Server-Sent Events over one HTTP response.
+type SSEWriter struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+}
+
+// NewSSEWriter prepares w for an SSE stream (headers, immediate flush). It
+// fails when the underlying writer cannot stream.
+func NewSSEWriter(w http.ResponseWriter) (*SSEWriter, error) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		return nil, errors.New("httpx: response writer does not support streaming")
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	return &SSEWriter{w: w, flusher: flusher}, nil
+}
+
+// Send writes one event with v JSON-encoded as its data, flushing so the
+// client sees it immediately. name and id are optional per the SSE format.
+func (s *SSEWriter) Send(name, id string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if name != "" {
+		if _, err := fmt.Fprintf(s.w, "event: %s\n", name); err != nil {
+			return err
+		}
+	}
+	if id != "" {
+		if _, err := fmt.Fprintf(s.w, "id: %s\n", id); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(s.w, "data: %s\n\n", data); err != nil {
+		return err
+	}
+	s.flusher.Flush()
+	return nil
+}
+
+// Comment writes an SSE comment line; clients ignore it, so it doubles as a
+// keep-alive for idle streams.
+func (s *SSEWriter) Comment(text string) {
+	_, _ = fmt.Fprintf(s.w, ": %s\n\n", text)
+	s.flusher.Flush()
+}
+
+// SSEEvent is one parsed server-sent event.
+type SSEEvent struct {
+	Name string
+	ID   string
+	Data []byte
+}
+
+// ReadSSE parses a Server-Sent Events stream, calling fn for every complete
+// event until the stream ends or fn returns an error. A clean end of stream
+// returns nil.
+func ReadSSE(r io.Reader, fn func(SSEEvent) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 16<<10), 1<<20)
+	var ev SSEEvent
+	var data []byte
+	dispatch := func() error {
+		if ev.Name == "" && ev.ID == "" && data == nil {
+			return nil // empty separator lines between events
+		}
+		ev.Data = data
+		err := fn(ev)
+		ev, data = SSEEvent{}, nil
+		return err
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := dispatch(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, ":"): // comment / keep-alive
+		case strings.HasPrefix(line, "event:"):
+			ev.Name = strings.TrimSpace(line[len("event:"):])
+		case strings.HasPrefix(line, "id:"):
+			ev.ID = strings.TrimSpace(line[len("id:"):])
+		case strings.HasPrefix(line, "data:"):
+			chunk := strings.TrimPrefix(line[len("data:"):], " ")
+			if data != nil {
+				data = append(data, '\n')
+			}
+			data = append(data, chunk...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return dispatch() // stream ended without a trailing blank line
+}
+
+// StreamClient is the HTTP client for long-lived streaming responses (SSE):
+// unlike Client it has no overall timeout, so streams stay open until the
+// caller cancels the request context.
+var StreamClient = &http.Client{
+	Transport: &http.Transport{
+		MaxIdleConns:          64,
+		IdleConnTimeout:       90 * time.Second,
+		ResponseHeaderTimeout: 30 * time.Second,
+	},
+}

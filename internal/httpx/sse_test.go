@@ -1,0 +1,148 @@
+package httpx
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestProblemRoundTrip(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteProblem(w, Problem{
+			Status: http.StatusConflict,
+			Code:   "already_running",
+			Detail: "strategy x already running",
+		})
+	}))
+	defer ts.Close()
+
+	err := GetJSON(context.Background(), ts.URL, &struct{}{})
+	var p *Problem
+	if !errors.As(err, &p) {
+		t.Fatalf("err = %v (%T), want *Problem", err, err)
+	}
+	if p.Status != http.StatusConflict || p.Code != "already_running" {
+		t.Errorf("problem = %+v", p)
+	}
+	if p.Title != http.StatusText(http.StatusConflict) {
+		t.Errorf("title = %q, want filled from status text", p.Title)
+	}
+	if ProblemCode(err) != "already_running" {
+		t.Errorf("ProblemCode = %q", ProblemCode(err))
+	}
+	if !strings.Contains(p.Error(), "already_running") {
+		t.Errorf("Error() = %q, want code included", p.Error())
+	}
+}
+
+func TestProblemContentTypeIsRFC9457(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteProblem(rec, Problem{Status: 422, Code: "compile_failed", Detail: "boom"})
+	if ct := rec.Header().Get("Content-Type"); ct != ProblemContentType {
+		t.Errorf("content type = %q, want %q", ct, ProblemContentType)
+	}
+	if !strings.Contains(rec.Body.String(), `"code":"compile_failed"`) {
+		t.Errorf("body = %s", rec.Body.String())
+	}
+}
+
+func TestLegacyErrorEnvelopeStillParses(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteError(w, http.StatusNotFound, "nope")
+	}))
+	defer ts.Close()
+
+	err := GetJSON(context.Background(), ts.URL, &struct{}{})
+	var e *Error
+	if !errors.As(err, &e) || e.StatusCode != http.StatusNotFound {
+		t.Fatalf("err = %v (%T), want legacy *Error with 404", err, err)
+	}
+}
+
+func TestSSEWriteAndRead(t *testing.T) {
+	type payload struct {
+		N int    `json:"n"`
+		S string `json:"s"`
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sse, err := NewSSEWriter(w)
+		if err != nil {
+			t.Errorf("NewSSEWriter: %v", err)
+			return
+		}
+		sse.Comment("keep-alive")
+		for i := 1; i <= 3; i++ {
+			if err := sse.Send("tick", "", payload{N: i, S: "event"}); err != nil {
+				t.Errorf("Send: %v", err)
+				return
+			}
+		}
+	}))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	var got []SSEEvent
+	if err := ReadSSE(resp.Body, func(ev SSEEvent) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("ReadSSE: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("events = %d, want 3 (comments must be skipped)", len(got))
+	}
+	for i, ev := range got {
+		if ev.Name != "tick" {
+			t.Errorf("event %d name = %q", i, ev.Name)
+		}
+		if want := `{"n":` + string(rune('1'+i)) + `,"s":"event"}`; string(ev.Data) != want {
+			t.Errorf("event %d data = %s, want %s", i, ev.Data, want)
+		}
+	}
+}
+
+func TestReadSSEStopsOnCallbackError(t *testing.T) {
+	stream := "event: a\ndata: {}\n\nevent: b\ndata: {}\n\n"
+	sentinel := errors.New("stop")
+	n := 0
+	err := ReadSSE(strings.NewReader(stream), func(ev SSEEvent) error {
+		n++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || n != 1 {
+		t.Errorf("err = %v after %d events, want sentinel after 1", err, n)
+	}
+}
+
+func TestReadSSEMultiLineDataAndFinalEvent(t *testing.T) {
+	// Two data lines join with \n; a stream ending without a trailing blank
+	// line still dispatches the last event.
+	stream := "data: line1\ndata: line2\n\nevent: last\ndata: x"
+	var got []SSEEvent
+	if err := ReadSSE(strings.NewReader(stream), func(ev SSEEvent) error {
+		got = append(got, ev)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("events = %d, want 2", len(got))
+	}
+	if string(got[0].Data) != "line1\nline2" {
+		t.Errorf("multi-line data = %q", got[0].Data)
+	}
+	if got[1].Name != "last" || string(got[1].Data) != "x" {
+		t.Errorf("final event = %+v", got[1])
+	}
+}
