@@ -17,6 +17,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -516,3 +517,57 @@ func BenchmarkAblationCheckTimerFanout(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkProxyRoutingParallel measures routing throughput under
+// contention with the network removed (stub round tripper): many
+// goroutines in ServeHTTP at once, sticky and non-sticky, which is the
+// regime the lock-free snapshot data plane is built for. The in-package
+// contention benches live in internal/proxy (BenchmarkServeHTTPParallel,
+// BenchmarkServeHTTPUnderReconfiguration, BenchmarkStickyStore).
+func BenchmarkProxyRoutingParallel(b *testing.B) {
+	for _, sticky := range []bool{false, true} {
+		name := "weighted"
+		if sticky {
+			name = "sticky"
+		}
+		b.Run(name, func(b *testing.B) {
+			p, err := proxy.New("bench", proxy.Config{
+				Service: "bench", Generation: 1, Sticky: sticky,
+				Backends: []proxy.Backend{
+					{Version: "v1", URL: "http://v1.invalid", Weight: 90},
+					{Version: "v2", URL: "http://v2.invalid", Weight: 10},
+				},
+			}, proxy.WithSeed(1), proxy.WithTransport(nullTransport{}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			var id atomic.Int64
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				cookie := fmt.Sprintf("123e4567-e89b-42d3-a456-4266141%05d", id.Add(1))
+				req, _ := http.NewRequest(http.MethodGet, "http://front/x", nil)
+				req.AddCookie(&http.Cookie{Name: proxy.CookieName, Value: cookie})
+				for pb.Next() {
+					p.ServeHTTP(nullResponseWriter{h: http.Header{}}, req)
+				}
+			})
+		})
+	}
+}
+
+// nullTransport answers round trips in-process so the benchmark isolates
+// the proxy's own per-request work.
+type nullTransport struct{}
+
+func (nullTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	return &http.Response{StatusCode: http.StatusOK, Proto: "HTTP/1.1",
+		ProtoMajor: 1, ProtoMinor: 1, Header: make(http.Header),
+		Body: http.NoBody, Request: r}, nil
+}
+
+type nullResponseWriter struct{ h http.Header }
+
+func (w nullResponseWriter) Header() http.Header         { return w.h }
+func (w nullResponseWriter) WriteHeader(int)             {}
+func (w nullResponseWriter) Write(b []byte) (int, error) { return len(b), nil }

@@ -54,6 +54,8 @@ func main() {
 func run() error {
 	service := flag.String("service", "", "service this proxy fronts (required)")
 	listen := flag.String("listen", "127.0.0.1:8081", "address to serve traffic on")
+	stickyCap := flag.Int("sticky-capacity", proxy.DefaultStickyCapacity,
+		"max pinned sticky assignments before clock eviction (evictions surface on proxy_sticky_evictions_total)")
 	var backends backendFlags
 	flag.Var(&backends, "backend", "version backend as name=url (repeatable; first gets 100% until configured)")
 	flag.Parse()
@@ -64,7 +66,7 @@ func run() error {
 	cfg := proxy.Config{Service: *service, Generation: 0}
 	cfg.Backends = backends
 
-	p, err := proxy.New(*service, cfg)
+	p, err := proxy.New(*service, cfg, proxy.WithStickyCapacity(*stickyCap))
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Registry is the instrumentation side of the metrics substrate: services
@@ -68,12 +69,14 @@ func (r *Registry) Gauge(name string, labels Labels) *Gauge {
 	return g
 }
 
-// Counter is a monotonically increasing metric.
+// Counter is a monotonically increasing metric. The value is stored as
+// float64 bits in an atomic word, so handle holders (e.g. the proxy's
+// per-snapshot metric sets) increment without taking any lock — the hot
+// path of per-request instrumentation.
 type Counter struct {
-	mu     sync.Mutex
 	name   string
 	labels Labels
-	value  float64
+	bits   atomic.Uint64
 }
 
 // Inc adds 1.
@@ -84,45 +87,44 @@ func (c *Counter) Add(d float64) {
 	if d < 0 {
 		return
 	}
-	c.mu.Lock()
-	c.value += d
-	c.mu.Unlock()
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
 }
 
 // Value returns the current count.
 func (c *Counter) Value() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.value
+	return math.Float64frombits(c.bits.Load())
 }
 
-// Gauge is a metric that can go up and down.
+// Gauge is a metric that can go up and down, stored lock-free like Counter.
 type Gauge struct {
-	mu     sync.Mutex
 	name   string
 	labels Labels
-	value  float64
+	bits   atomic.Uint64
 }
 
 // Set replaces the gauge value.
 func (g *Gauge) Set(v float64) {
-	g.mu.Lock()
-	g.value = v
-	g.mu.Unlock()
+	g.bits.Store(math.Float64bits(v))
 }
 
 // Add adjusts the gauge by d.
 func (g *Gauge) Add(d float64) {
-	g.mu.Lock()
-	g.value += d
-	g.mu.Unlock()
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
 }
 
 // Value returns the current gauge value.
 func (g *Gauge) Value() float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.value
+	return math.Float64frombits(g.bits.Load())
 }
 
 // Point is one exposed metric value, the unit of exposition and scraping.

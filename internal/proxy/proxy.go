@@ -15,9 +15,24 @@
 // The proxy also instruments every request (request counts, error counts,
 // upstream latency) on a metrics registry so the engine's checks can reason
 // about the versions it is routing to.
+//
+// # Data plane
+//
+// The hot path is lock-free. The active configuration lives in an
+// immutable routeState snapshot behind an atomic pointer (see
+// snapshot.go): every request loads the pointer once and works on that
+// snapshot — parsed backend URLs, the cumulative-weight selector,
+// precompiled shadow rules, and pre-resolved metric handles. SetConfig
+// builds a new snapshot off the hot path and swaps it in; in-flight
+// requests finish on the snapshot they started with. Randomized draws use
+// a pool of per-goroutine generators, and sticky assignments live in a
+// sharded, capacity-bounded clock-eviction store (sticky.go), so neither
+// a shared rand.Rand nor an unbounded map serializes or sinks the proxy
+// under heavy traffic.
 package proxy
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -28,6 +43,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bifrost/internal/core"
@@ -44,7 +60,8 @@ const maxShadowQueue = 1024
 
 // maxBodyBytes bounds buffered request bodies. Shadowing requires the body
 // to be replayable, so the proxy reads it fully; e-commerce style requests
-// are far below this.
+// are far below this. Without shadow rules bodies stream through unbuffered
+// and this limit does not apply.
 const maxBodyBytes = 8 << 20
 
 // Config is the routing configuration the engine pushes to a proxy. It is
@@ -95,31 +112,39 @@ type Proxy struct {
 	service   string
 	transport http.RoundTripper
 	registry  *metrics.Registry
+	stickyCap int
 
-	mu       sync.RWMutex
-	cfg      Config
-	backends map[string]*url.URL // version -> base URL
-	selector *core.Selector      // nil when fewer than 1 weighted backend
-	sticky   map[string]string   // cookie ID -> version
-	rng      *rand.Rand
+	// state is the active routing snapshot; nil until the first valid
+	// config. The data plane loads it once per request and never locks.
+	state atomic.Pointer[routeState]
+	// cfgMu serializes control-plane updates (generation check + swap)
+	// only; it is never taken on the request path.
+	cfgMu sync.Mutex
+
+	// rngPool hands each goroutine its own generator for weighted and
+	// shadow-percent draws; seedBase keeps tests reproducible via WithSeed.
+	rngPool  sync.Pool
+	seedBase int64
+	seedSeq  atomic.Int64
 
 	shadowCh     chan shadowJob
 	wg           sync.WaitGroup
 	closed       chan struct{}
+	closeOnce    sync.Once
 	shadowCtx    context.Context
 	shadowCancel context.CancelFunc
 
 	adminOnce sync.Once
 	adminMux  http.Handler
 
-	// metrics
+	// mRequests holds the service-level metric handles (per-version
+	// handles live in each snapshot's backendRefs).
 	mRequests *metricsSet
 }
 
 type shadowJob struct {
-	req    *http.Request
-	target *url.URL
-	vers   string
+	req     *http.Request
+	counter *metrics.Counter
 }
 
 // Option configures a Proxy.
@@ -135,9 +160,18 @@ func WithTransport(rt http.RoundTripper) Option {
 	return func(p *Proxy) { p.transport = rt }
 }
 
-// WithSeed makes the proxy's randomized routing decisions deterministic.
+// WithSeed makes the proxy's randomized routing decisions reproducible:
+// the per-goroutine generators are seeded deterministically from seed.
 func WithSeed(seed int64) Option {
-	return func(p *Proxy) { p.rng = rand.New(rand.NewSource(seed)) }
+	return func(p *Proxy) { p.seedBase = seed }
+}
+
+// WithStickyCapacity bounds the sticky assignment store to n entries
+// (default DefaultStickyCapacity). When full, cold assignments are evicted
+// (clock sweep) and counted on proxy_sticky_evictions_total; evicted
+// clients are deterministically re-assigned on their next request.
+func WithStickyCapacity(n int) Option {
+	return func(p *Proxy) { p.stickyCap = n }
 }
 
 // New creates a proxy for the named service with an initial configuration.
@@ -149,19 +183,22 @@ func New(service string, cfg Config, opts ...Option) (*Proxy, error) {
 		service:      service,
 		transport:    http.DefaultTransport,
 		registry:     metrics.NewRegistry(),
-		rng:          rand.New(rand.NewSource(time.Now().UnixNano())),
+		seedBase:     time.Now().UnixNano(),
 		shadowCh:     make(chan shadowJob, maxShadowQueue),
 		closed:       make(chan struct{}),
 		shadowCtx:    shadowCtx,
 		shadowCancel: shadowCancel,
-		sticky:       make(map[string]string),
 	}
 	for _, o := range opts {
 		o(p)
 	}
+	p.rngPool.New = func() any {
+		return rand.New(rand.NewSource(p.seedBase + p.seedSeq.Add(1)*0x9E3779B9))
+	}
 	p.mRequests = newMetricsSet(p.registry, service)
 	if len(cfg.Backends) > 0 {
-		if err := p.applyConfig(cfg); err != nil {
+		if err := p.SetConfig(cfg); err != nil {
+			shadowCancel()
 			return nil, err
 		}
 	}
@@ -176,10 +213,13 @@ func New(service string, cfg Config, opts ...Option) (*Proxy, error) {
 // Close stops the shadow workers promptly: queued shadow jobs are
 // discarded and in-flight shadow requests are cancelled. Shadow responses
 // are discarded by design, so dropping them on shutdown loses nothing.
+// Close is idempotent.
 func (p *Proxy) Close() {
-	close(p.closed)
-	p.shadowCancel()
-	p.wg.Wait()
+	p.closeOnce.Do(func() {
+		close(p.closed)
+		p.shadowCancel()
+		p.wg.Wait()
+	})
 }
 
 // Registry exposes the proxy's metrics registry for scraping.
@@ -191,74 +231,33 @@ func (p *Proxy) Service() string { return p.service }
 // SetConfig atomically replaces the routing configuration. Configurations
 // older than the current generation are rejected; sticky assignments are
 // cleared because they are scoped to one state of the release automaton.
+// The new snapshot is built off the hot path; in-flight requests complete
+// on the snapshot they loaded.
 func (p *Proxy) SetConfig(cfg Config) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if cfg.Generation < p.cfg.Generation {
+	p.cfgMu.Lock()
+	defer p.cfgMu.Unlock()
+	if cur := p.state.Load(); cur != nil && cfg.Generation < cur.cfg.Generation {
 		return fmt.Errorf("proxy %s: stale config generation %d < %d",
-			p.service, cfg.Generation, p.cfg.Generation)
+			p.service, cfg.Generation, cur.cfg.Generation)
 	}
-	return p.applyConfigLocked(cfg)
-}
-
-func (p *Proxy) applyConfig(cfg Config) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.applyConfigLocked(cfg)
-}
-
-func (p *Proxy) applyConfigLocked(cfg Config) error {
-	if len(cfg.Backends) == 0 {
-		return errors.New("proxy: config has no backends")
-	}
-	backends := make(map[string]*url.URL, len(cfg.Backends))
-	weights := make(map[string]float64, len(cfg.Backends))
-	for _, b := range cfg.Backends {
-		u, err := url.Parse(b.URL)
-		if err != nil || u.Scheme == "" || u.Host == "" {
-			return fmt.Errorf("proxy: bad backend URL %q for version %q", b.URL, b.Version)
-		}
-		backends[b.Version] = u
-		weights[b.Version] = b.Weight
-	}
-	var selector *core.Selector
-	rc := core.RoutingConfig{Service: cfg.Service, Weights: weights}
-	sel, err := core.NewSelector(&rc)
+	st, err := p.buildRouteState(cfg)
 	if err != nil {
-		return fmt.Errorf("proxy: %w", err)
+		return err
 	}
-	selector = sel
-	for _, sh := range cfg.Shadows {
-		if sh.Percent < 0 || sh.Percent > 100 {
-			return fmt.Errorf("proxy: shadow percent %v out of range", sh.Percent)
-		}
-		if sh.TargetURL == "" {
-			if _, ok := backends[sh.Target]; !ok {
-				return fmt.Errorf("proxy: shadow target %q has no backend", sh.Target)
-			}
-		} else if _, err := url.Parse(sh.TargetURL); err != nil {
-			return fmt.Errorf("proxy: bad shadow target URL %q", sh.TargetURL)
-		}
-	}
-	if cfg.Mode == "header" && cfg.Header == "" {
-		return errors.New("proxy: header mode without header name")
-	}
-	p.cfg = cfg
-	p.backends = backends
-	p.selector = selector
-	p.sticky = make(map[string]string) // assignments are per-state
-	p.registry.Gauge("proxy_config_generation", metrics.Labels{"service": p.service}).
-		Set(float64(cfg.Generation))
+	p.state.Store(st)
+	p.mRequests.generation.Set(float64(cfg.Generation))
 	return nil
 }
 
 // Config returns a copy of the active configuration.
 func (p *Proxy) Config() Config {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	cfg := p.cfg
-	cfg.Backends = append([]Backend(nil), p.cfg.Backends...)
-	cfg.Shadows = append([]Shadow(nil), p.cfg.Shadows...)
+	st := p.state.Load()
+	if st == nil {
+		return Config{}
+	}
+	cfg := st.cfg
+	cfg.Backends = append([]Backend(nil), st.cfg.Backends...)
+	cfg.Shadows = append([]Shadow(nil), st.cfg.Shadows...)
 	return cfg
 }
 
@@ -266,13 +265,11 @@ func (p *Proxy) Config() Config {
 // state, for the dashboard and for tests of the formal model's ⟨u,v,sticky⟩
 // triples.
 func (p *Proxy) Mappings() []core.UserMapping {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	out := make([]core.UserMapping, 0, len(p.sticky))
-	for user, version := range p.sticky {
-		out = append(out, core.UserMapping{User: user, Version: version, Sticky: true})
+	st := p.state.Load()
+	if st == nil {
+		return []core.UserMapping{} // non-nil: /_bifrost/mappings serves []
 	}
-	return out
+	return st.sticky.mappings()
 }
 
 var _ http.Handler = (*Proxy)(nil)
@@ -288,82 +285,92 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (p *Proxy) routeRequest(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-
-	body, err := readReplayableBody(r)
-	if err != nil {
-		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
-		return
-	}
-
-	version, target, setCookie, ok := p.decide(w, r)
-	if !ok {
+	st := p.state.Load()
+	if st == nil {
 		p.mRequests.unrouted.Inc()
 		http.Error(w, "no routable backend configured", http.StatusServiceUnavailable)
 		return
 	}
+
+	// Shadowing needs a replayable body; without shadow rules the body
+	// streams straight through to the upstream, unbuffered and unbounded.
+	var body []byte
+	buffered := false
+	if len(st.shadows) > 0 {
+		var err error
+		body, err = readReplayableBody(r)
+		if err != nil {
+			http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		buffered = true
+	}
+
+	version, ref, setCookie := p.decide(st, r)
 	if setCookie != "" {
 		http.SetCookie(w, &http.Cookie{Name: CookieName, Value: setCookie, Path: "/"})
 	}
 
-	p.scheduleShadows(r, body, version)
+	p.scheduleShadows(st, r, body, version)
 
-	outReq := cloneRequest(r, target, body)
+	outReq := upstreamRequest(r, ref.url, body, buffered)
+	start := time.Now()
 	resp, err := p.transport.RoundTrip(outReq)
-	elapsed := time.Since(start)
-	p.observe(version, elapsed, resp, err)
+	observe(ref.m, time.Since(start), resp, err)
 	if err != nil {
 		http.Error(w, "upstream error: "+err.Error(), http.StatusBadGateway)
 		return
 	}
 	defer resp.Body.Close()
-	copyHeader(w.Header(), resp.Header)
+	copyEndToEndHeader(w.Header(), resp.Header)
 	w.Header().Set("X-Bifrost-Version", version)
 	w.WriteHeader(resp.StatusCode)
-	_, _ = io.Copy(w, resp.Body)
+	copyResponseBody(w, resp)
 }
 
-// decide picks the version for this request. It returns the chosen version,
-// its backend URL, a cookie value to set (when a new client ID was minted),
-// and whether routing is possible at all.
-func (p *Proxy) decide(w http.ResponseWriter, r *http.Request) (string, *url.URL, string, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(p.backends) == 0 {
-		return "", nil, "", false
-	}
-
+// decide picks the version for this request on one routing snapshot. It
+// returns the chosen version, its backend ref, and a cookie value to set
+// (when a new client ID was minted). It takes no locks: sticky lookups hit
+// the sharded store, weighted draws use a pooled generator.
+func (p *Proxy) decide(st *routeState, r *http.Request) (string, *backendRef, string) {
 	// Header-based routing: the proxy acts solely on its configuration;
 	// the header is injected elsewhere in the process (paper §4.2.2).
-	if p.cfg.Mode == "header" {
-		version := r.Header.Get(p.cfg.Header)
-		if u, ok := p.backends[version]; ok {
-			return version, u, "", true
+	if st.cfg.Mode == "header" {
+		if ref, ok := st.backends[r.Header.Get(st.cfg.Header)]; ok {
+			return ref.version, ref, ""
 		}
 		// No (or unknown) group header: fall through to weighted routing.
 	}
 
-	clientID, newCookie := p.clientID(r)
+	id, newCookie := clientID(r)
 
-	if p.cfg.Sticky {
-		if v, ok := p.sticky[clientID]; ok {
-			if u, ok := p.backends[v]; ok {
-				return v, u, newCookie, true
+	if st.cfg.Sticky {
+		if v, ok := st.sticky.get(id); ok {
+			if ref, ok := st.backends[v]; ok {
+				return v, ref, newCookie
 			}
 		}
-		v := p.selector.Assign(clientID)
-		p.sticky[clientID] = v
-		return v, p.backends[v], newCookie, true
+		v := st.selector.Assign(id)
+		st.sticky.put(id, v)
+		return v, st.backends[v], newCookie
 	}
 
 	// Non-sticky: every request runs through the decision process again
 	// with a fresh weighted draw.
-	v := p.weightedDraw()
-	return v, p.backends[v], newCookie, true
+	v := st.selector.Pick(p.randFloat())
+	return v, st.backends[v], newCookie
 }
 
-// clientID extracts the UUID cookie or mints a new one. Callers hold p.mu.
-func (p *Proxy) clientID(r *http.Request) (id string, newCookie string) {
+// randFloat draws from a pooled per-goroutine generator.
+func (p *Proxy) randFloat() float64 {
+	rng := p.rngPool.Get().(*rand.Rand)
+	x := rng.Float64()
+	p.rngPool.Put(rng)
+	return x
+}
+
+// clientID extracts the UUID cookie or mints a new one.
+func clientID(r *http.Request) (id string, newCookie string) {
 	if c, err := r.Cookie(CookieName); err == nil && uuid.Valid(c.Value) {
 		return c.Value, ""
 	}
@@ -378,65 +385,21 @@ func (p *Proxy) clientID(r *http.Request) (id string, newCookie string) {
 	return s, s
 }
 
-// weightedDraw picks a version at random according to the configured
-// weights. Callers hold p.mu.
-func (p *Proxy) weightedDraw() string {
-	versions := p.selector.Versions()
-	x := p.rng.Float64()
-	var acc float64
-	total := 0.0
-	for _, v := range versions {
-		total += p.weightOf(v)
-	}
-	for _, v := range versions {
-		acc += p.weightOf(v) / total
-		if x < acc {
-			return v
-		}
-	}
-	return versions[len(versions)-1]
-}
-
-func (p *Proxy) weightOf(version string) float64 {
-	for _, b := range p.cfg.Backends {
-		if b.Version == version {
-			return b.Weight
-		}
-	}
-	return 0
-}
-
-// scheduleShadows enqueues dark-launch duplicates for the request.
-func (p *Proxy) scheduleShadows(r *http.Request, body []byte, servedVersion string) {
-	p.mu.RLock()
-	shadows := p.cfg.Shadows
-	backends := p.backends
-	p.mu.RUnlock()
-	for _, sh := range shadows {
-		if sh.Source != "" && sh.Source != "*" && sh.Source != servedVersion {
+// scheduleShadows enqueues dark-launch duplicates for the request. Rules
+// were precompiled at snapshot build time, so this only draws percentages
+// and enqueues.
+func (p *Proxy) scheduleShadows(st *routeState, r *http.Request, body []byte, servedVersion string) {
+	for i := range st.shadows {
+		sh := &st.shadows[i]
+		if sh.source != "" && sh.source != "*" && sh.source != servedVersion {
 			continue
 		}
-		if sh.Percent < 100 {
-			p.mu.Lock()
-			draw := p.rng.Float64() * 100
-			p.mu.Unlock()
-			if draw >= sh.Percent {
-				continue
-			}
-		}
-		target := backends[sh.Target]
-		if sh.TargetURL != "" {
-			if u, err := url.Parse(sh.TargetURL); err == nil {
-				target = u
-			}
-		}
-		if target == nil {
+		if sh.percent < 100 && p.randFloat()*100 >= sh.percent {
 			continue
 		}
-		req := cloneRequest(r, target, body)
-		job := shadowJob{req: req.WithContext(p.shadowCtx), target: target, vers: sh.Target}
+		req := shadowRequest(p.shadowCtx, r, sh.url, body)
 		select {
-		case p.shadowCh <- job:
+		case p.shadowCh <- shadowJob{req: req, counter: sh.counter}:
 		default:
 			p.mRequests.shadowDropped.Inc()
 		}
@@ -453,29 +416,31 @@ func (p *Proxy) shadowWorker() {
 				_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxBodyBytes))
 				_ = resp.Body.Close()
 			}
-			p.registry.Counter("proxy_shadow_requests_total",
-				metrics.Labels{"service": p.service, "version": job.vers}).Inc()
+			job.counter.Inc()
 		case <-p.closed:
 			return
 		}
 	}
 }
 
-func (p *Proxy) observe(version string, elapsed time.Duration, resp *http.Response, err error) {
-	labels := metrics.Labels{"service": p.service, "version": version}
-	p.registry.Counter("proxy_requests_total", labels).Inc()
+// observe records one upstream exchange on the snapshot's pre-resolved
+// handles; no registry map lookups on the request path.
+func observe(m *versionMetrics, elapsed time.Duration, resp *http.Response, err error) {
+	m.requests.Inc()
 	ms := float64(elapsed.Microseconds()) / 1000.0
-	p.registry.Counter("proxy_upstream_ms_sum", labels).Add(ms)
-	p.registry.Counter("proxy_upstream_ms_count", labels).Inc()
-	p.registry.Gauge("proxy_upstream_ms_last", labels).Set(ms)
+	m.msSum.Add(ms)
+	m.msCount.Inc()
+	m.msLast.Set(ms)
 	if err != nil || (resp != nil && resp.StatusCode >= 500) {
-		p.registry.Counter("proxy_request_errors_total", labels).Inc()
+		m.errors.Inc()
 	}
 }
 
 type metricsSet struct {
 	unrouted      *metrics.Counter
 	shadowDropped *metrics.Counter
+	stickyEvicted *metrics.Counter
+	generation    *metrics.Gauge
 }
 
 func newMetricsSet(r *metrics.Registry, service string) *metricsSet {
@@ -483,6 +448,8 @@ func newMetricsSet(r *metrics.Registry, service string) *metricsSet {
 	return &metricsSet{
 		unrouted:      r.Counter("proxy_unrouted_total", labels),
 		shadowDropped: r.Counter("proxy_shadow_dropped_total", labels),
+		stickyEvicted: r.Counter("proxy_sticky_evictions_total", labels),
+		generation:    r.Gauge("proxy_config_generation", labels),
 	}
 }
 
@@ -503,28 +470,82 @@ func readReplayableBody(r *http.Request) ([]byte, error) {
 	return body, nil
 }
 
-// cloneRequest builds the upstream request for target from the inbound one.
-func cloneRequest(r *http.Request, target *url.URL, body []byte) *http.Request {
+// upstreamRequest builds the live upstream request. With a buffered body
+// (shadowing active) it replays the bytes; otherwise the inbound body
+// streams through directly. The request inherits the client's context so
+// a disconnect cancels the upstream exchange.
+func upstreamRequest(r *http.Request, target *url.URL, body []byte, buffered bool) *http.Request {
+	var rd io.Reader
+	var length int64
+	if buffered {
+		if len(body) > 0 {
+			rd = bytes.NewReader(body)
+		}
+		length = int64(len(body))
+	} else if r.Body != nil && r.Body != http.NoBody {
+		rd = r.Body
+		length = r.ContentLength
+	}
+	out := buildRequest(r.Context(), r, target, rd)
+	out.ContentLength = length
+	return out
+}
+
+// shadowRequest builds a dark-launch duplicate carrying the buffered body,
+// bound to the proxy's shadow context (cancelled on Close).
+func shadowRequest(ctx context.Context, r *http.Request, target *url.URL, body []byte) *http.Request {
+	var rd io.Reader
+	if len(body) > 0 {
+		rd = bytes.NewReader(body)
+	}
+	out := buildRequest(ctx, r, target, rd)
+	out.ContentLength = int64(len(body))
+	return out
+}
+
+// buildRequest assembles an outbound request for target from the inbound
+// one: rewritten URL, end-to-end headers only, X-Forwarded-For appended.
+func buildRequest(ctx context.Context, r *http.Request, target *url.URL, body io.Reader) *http.Request {
 	outURL := *target
 	outURL.Path = singleJoin(target.Path, r.URL.Path)
 	outURL.RawQuery = r.URL.RawQuery
-	out, _ := http.NewRequestWithContext(context.Background(), r.Method, outURL.String(), bodyReader(body))
-	out.Header = r.Header.Clone()
-	out.Header.Del("Connection")
+	out, _ := http.NewRequestWithContext(ctx, r.Method, outURL.String(), body)
+	out.Header = make(http.Header, len(r.Header))
+	copyEndToEndHeader(out.Header, r.Header)
 	if prior := r.Header.Get("X-Forwarded-For"); prior != "" {
 		out.Header.Set("X-Forwarded-For", prior+", "+remoteIP(r))
 	} else if ip := remoteIP(r); ip != "" {
 		out.Header.Set("X-Forwarded-For", ip)
 	}
-	out.ContentLength = int64(len(body))
 	return out
 }
 
-func bodyReader(body []byte) io.Reader {
-	if len(body) == 0 {
-		return nil
+// copyResponseBody relays the upstream body. Responses of unknown length
+// (chunked — SSE and other incremental streams) are flushed chunk by
+// chunk so data reaches the client as it arrives instead of sitting in
+// the ResponseWriter's buffer; fixed-length responses take the plain copy
+// path.
+func copyResponseBody(w http.ResponseWriter, resp *http.Response) {
+	if resp.ContentLength >= 0 {
+		_, _ = io.Copy(w, resp.Body)
+		return
 	}
-	return strings.NewReader(string(body))
+	rc := http.NewResponseController(w)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			// ErrNotSupported (e.g. a plain recorder) degrades to
+			// buffered copying; anything else ends the relay below.
+			_ = rc.Flush()
+		}
+		if err != nil {
+			return
+		}
+	}
 }
 
 func remoteIP(r *http.Request) string {
@@ -551,10 +572,51 @@ func singleJoin(a, b string) string {
 	}
 }
 
-func copyHeader(dst, src http.Header) {
+// hopByHopHeaders is the RFC 9110 §7.6.1 connection-scoped set; these
+// fields describe one hop and must not be forwarded by an intermediary.
+var hopByHopHeaders = []string{
+	"Connection",
+	"Keep-Alive",
+	"Proxy-Authenticate",
+	"Proxy-Authorization",
+	"Proxy-Connection", // non-standard but widely sent
+	"Te",
+	"Trailer",
+	"Transfer-Encoding",
+	"Upgrade",
+}
+
+// copyEndToEndHeader copies src into dst, dropping hop-by-hop fields and
+// any field nominated by src's Connection header.
+func copyEndToEndHeader(dst, src http.Header) {
+	var connNamed map[string]bool
+	for _, f := range src.Values("Connection") {
+		for _, name := range strings.Split(f, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if connNamed == nil {
+				connNamed = make(map[string]bool, 2)
+			}
+			connNamed[http.CanonicalHeaderKey(name)] = true
+		}
+	}
 	for k, vv := range src {
+		if isHopByHop(k) || connNamed[k] {
+			continue
+		}
 		for _, v := range vv {
 			dst.Add(k, v)
 		}
 	}
+}
+
+func isHopByHop(canonicalKey string) bool {
+	for _, h := range hopByHopHeaders {
+		if canonicalKey == h {
+			return true
+		}
+	}
+	return false
 }

@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"io"
@@ -468,11 +469,11 @@ func BenchmarkRoutingDecisionCookie(b *testing.B) {
 	defer p.Close()
 	req := httptest.NewRequest(http.MethodGet, "/x", nil)
 	req.AddCookie(&http.Cookie{Name: CookieName, Value: "123e4567-e89b-42d3-a456-426614174000"})
+	st := p.state.Load()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, _, _, ok := p.decide(nil, req)
-		if !ok {
+		if v, _, _ := p.decide(st, req); v == "" {
 			b.Fatal("decide failed")
 		}
 	}
@@ -483,4 +484,212 @@ func newBackendB(b *testing.B, name string) string {
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
 	b.Cleanup(srv.Close)
 	return srv.URL
+}
+
+// TestStreamingResponseFlushedIncrementally proves SSE-style responses
+// pass through the proxy as they are produced: the first event must reach
+// the client while the upstream handler is still holding the connection
+// open. Before the ResponseController fix the proxy's io.Copy sat on the
+// ResponseWriter's buffer until the upstream closed.
+func TestStreamingResponseFlushedIncrementally(t *testing.T) {
+	release := make(chan struct{})
+	sse := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "data: first\n\n")
+		w.(http.Flusher).Flush()
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+		fmt.Fprint(w, "data: second\n\n")
+	}))
+	t.Cleanup(sse.Close)
+	t.Cleanup(func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	})
+
+	_, ts := newTestProxy(t, Config{
+		Service: "events", Generation: 1,
+		Backends: []Backend{{Version: "v", URL: sse.URL, Weight: 1}},
+	})
+
+	resp, err := ts.Client().Get(ts.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	type read struct {
+		line string
+		err  error
+	}
+	lines := make(chan read, 4)
+	go func() {
+		br := bufio.NewReader(resp.Body)
+		for {
+			l, err := br.ReadString('\n')
+			lines <- read{line: l, err: err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	// The first event must arrive while the upstream handler is blocked.
+	select {
+	case got := <-lines:
+		if got.err != nil || !strings.Contains(got.line, "first") {
+			t.Fatalf("first read = %q, %v", got.line, got.err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no data flushed through the proxy while the stream is open")
+	}
+	close(release)
+}
+
+// TestHopByHopHeadersStripped checks RFC 9110 §7.6.1: connection-scoped
+// fields, and fields nominated by Connection, must not traverse the proxy
+// in either direction.
+func TestHopByHopHeadersStripped(t *testing.T) {
+	var got http.Header
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Clone()
+		w.Header().Set("Keep-Alive", "timeout=5")
+		w.Header().Set("X-Secret", "upstream-internal")
+		w.Header().Set("X-Public", "yes")
+		w.Header().Add("Connection", "X-Secret")
+		w.Write([]byte("ok"))
+	}))
+	t.Cleanup(upstream.Close)
+
+	_, ts := newTestProxy(t, Config{
+		Service: "product", Generation: 1,
+		Backends: []Backend{{Version: "v", URL: upstream.URL, Weight: 1}},
+	})
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/h", nil)
+	req.Header.Set("Keep-Alive", "timeout=9")
+	req.Header.Set("Proxy-Connection", "keep-alive")
+	req.Header.Set("X-Private", "client-hop")
+	req.Header.Set("X-App", "fine")
+	req.Header.Add("Connection", "X-Private")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	for _, h := range []string{"Keep-Alive", "Proxy-Connection", "X-Private"} {
+		if v := got.Get(h); v != "" {
+			t.Errorf("hop-by-hop request header %s = %q forwarded upstream", h, v)
+		}
+	}
+	if got.Get("X-App") != "fine" {
+		t.Errorf("end-to-end request header dropped; upstream saw %v", got)
+	}
+	for _, h := range []string{"Keep-Alive", "X-Secret"} {
+		if v := resp.Header.Get(h); v != "" {
+			t.Errorf("hop-by-hop response header %s = %q leaked to client", h, v)
+		}
+	}
+	if resp.Header.Get("X-Public") != "yes" {
+		t.Errorf("end-to-end response header dropped; client saw %v", resp.Header)
+	}
+}
+
+// TestCopyEndToEndHeaderFullSet unit-tests the whole RFC 9110 hop-by-hop
+// set, including fields Go's HTTP client would refuse to send end-to-end.
+func TestCopyEndToEndHeaderFullSet(t *testing.T) {
+	src := http.Header{}
+	for _, h := range []string{"Connection", "Keep-Alive", "Proxy-Authenticate",
+		"Proxy-Authorization", "Proxy-Connection", "Te", "Trailer",
+		"Transfer-Encoding", "Upgrade"} {
+		src.Set(h, "x")
+	}
+	src.Set("Connection", "x-named, other-named")
+	src.Set("X-Named", "hop")
+	src.Set("Other-Named", "hop")
+	src.Set("Content-Type", "application/json")
+	dst := http.Header{}
+	copyEndToEndHeader(dst, src)
+	if len(dst) != 1 || dst.Get("Content-Type") != "application/json" {
+		t.Errorf("copied headers = %v, want only Content-Type", dst)
+	}
+}
+
+// TestShadowTargetURLValidated closes the validation gap: a scheme-less
+// shadow TargetURL parsed fine but was silently dropped at enqueue time.
+func TestShadowTargetURLValidated(t *testing.T) {
+	a := newBackend(t, "A")
+	cfg := Config{
+		Service: "s", Generation: 1,
+		Backends: []Backend{{Version: "A", URL: a.srv.URL, Weight: 1}},
+		Shadows:  []Shadow{{Target: "dark", TargetURL: "127.0.0.1:9", Percent: 10}},
+	}
+	if _, err := New("s", cfg); err == nil {
+		t.Error("scheme-less shadow TargetURL accepted")
+	}
+	cfg.Shadows[0].TargetURL = "http://127.0.0.1:9"
+	p, err := New("s", cfg)
+	if err != nil {
+		t.Errorf("valid shadow TargetURL rejected: %v", err)
+	} else {
+		p.Close()
+	}
+}
+
+// TestCloseIdempotent: a second Close used to panic on the double-close of
+// the workers' stop channel.
+func TestCloseIdempotent(t *testing.T) {
+	p, err := New("s", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close()
+}
+
+// TestLargeBodyStreamsWithoutShadows: request bodies are only buffered
+// (and therefore size-capped) when shadow rules need to replay them; with
+// no shadows configured a body beyond maxBodyBytes streams through.
+func TestLargeBodyStreamsWithoutShadows(t *testing.T) {
+	var received int64
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n, _ := io.Copy(io.Discard, r.Body)
+		received = n
+	}))
+	t.Cleanup(upstream.Close)
+	_, ts := newTestProxy(t, Config{
+		Service: "s", Generation: 1,
+		Backends: []Backend{{Version: "v", URL: upstream.URL, Weight: 1}},
+	})
+
+	size := int64(maxBodyBytes + 1024)
+	resp, err := ts.Client().Post(ts.URL+"/up", "application/octet-stream",
+		io.LimitReader(neverEndingReader{}, size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 for streamed large body", resp.StatusCode)
+	}
+	if received != size {
+		t.Errorf("upstream received %d bytes, want %d", received, size)
+	}
+}
+
+type neverEndingReader struct{}
+
+func (neverEndingReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 'a'
+	}
+	return len(p), nil
 }

@@ -1,0 +1,183 @@
+package proxy
+
+import (
+	"sync"
+
+	"bifrost/internal/core"
+	"bifrost/internal/metrics"
+)
+
+// DefaultStickyCapacity bounds the sticky assignment store when the proxy
+// is not configured otherwise. Assignments are ⟨cookie UUID, version⟩
+// pairs (~60 bytes each), so the default costs a few megabytes while
+// covering far more concurrently active clients than one service instance
+// sees between config generations.
+const DefaultStickyCapacity = 1 << 17
+
+// stickyShardCount shards the store to keep lock contention negligible
+// under parallel ServeHTTP. Must be a power of two.
+const stickyShardCount = 16
+
+// stickyStore is a sharded, capacity-bounded client→version assignment
+// table. Entries are evicted with a clock (second-chance) sweep per shard,
+// so millions of distinct client IDs cannot grow the proxy without bound;
+// evictions are counted on the proxy's metrics registry. An evicted client
+// that returns is simply re-assigned by the deterministic selector, so
+// eviction costs correctness nothing for cookie-routed clients — the same
+// cookie hashes to the same version within one config generation.
+type stickyStore struct {
+	shards    []stickyShard
+	evictions *metrics.Counter
+}
+
+type stickyShard struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*stickyEntry
+	ring    []*stickyEntry // clock ring over the live entries
+	hand    int
+}
+
+type stickyEntry struct {
+	key     string
+	version string
+	ref     bool // second-chance bit, set on lookup
+}
+
+// newStickyStore builds a store with the given total capacity spread over
+// shards. evictions may be nil (tests).
+func newStickyStore(capacity, shards int, evictions *metrics.Counter) *stickyStore {
+	if capacity <= 0 {
+		capacity = DefaultStickyCapacity
+	}
+	if shards <= 0 {
+		shards = stickyShardCount
+	}
+	// Shard caps sum to exactly capacity: the first capacity%shards
+	// shards take one extra entry. Shard maps grow on demand — snapshots
+	// are rebuilt on every config push, so preallocating full capacity
+	// would make reconfiguration cost O(capacity) even for proxies that
+	// never see that many clients.
+	base, extra := capacity/shards, capacity%shards
+	s := &stickyStore{shards: make([]stickyShard, shards), evictions: evictions}
+	for i := range s.shards {
+		cap := base
+		if i < extra {
+			cap++
+		}
+		hint := cap
+		if hint > 1024 {
+			hint = 1024
+		}
+		s.shards[i] = stickyShard{
+			cap:     cap,
+			entries: make(map[string]*stickyEntry, hint),
+		}
+	}
+	return s
+}
+
+func (s *stickyStore) shard(key string) *stickyShard {
+	// Inline FNV-1a over the string: hash/fnv would heap-allocate the
+	// hasher and a byte copy of the key on every sticky lookup.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &s.shards[int(h)%len(s.shards)]
+}
+
+// get returns the pinned version for key, if any.
+func (s *stickyStore) get(key string) (string, bool) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	if ok {
+		e.ref = true
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return "", false
+	}
+	return e.version, true
+}
+
+// put pins key→version, evicting one entry (clock sweep) when the shard is
+// full. Racing puts for the same key keep the first value; callers derive
+// version deterministically from key, so both racers agree anyway.
+func (s *stickyStore) put(key, version string) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	if _, ok := sh.entries[key]; ok {
+		sh.mu.Unlock()
+		return
+	}
+	if len(sh.ring) >= sh.cap {
+		if sh.evictLocked() && s.evictions != nil {
+			s.evictions.Inc()
+		}
+		if len(sh.ring) >= sh.cap {
+			// Zero-cap shard (capacity below the shard count): nothing to
+			// pin; the deterministic selector still keeps the client on
+			// one version within this config generation.
+			sh.mu.Unlock()
+			return
+		}
+	}
+	e := &stickyEntry{key: key, version: version}
+	sh.ring = append(sh.ring, e)
+	sh.entries[key] = e
+	sh.mu.Unlock()
+}
+
+// evictLocked frees one slot: advance the clock hand, clearing reference
+// bits, until an unreferenced entry is found. Bounded by two revolutions.
+// It reports whether an entry was evicted (false only on an empty ring).
+func (sh *stickyShard) evictLocked() bool {
+	for i := 0; i < 2*len(sh.ring); i++ {
+		if sh.hand >= len(sh.ring) {
+			sh.hand = 0
+		}
+		e := sh.ring[sh.hand]
+		if e.ref {
+			e.ref = false
+			sh.hand++
+			continue
+		}
+		// Evict: swap the last entry into this slot.
+		delete(sh.entries, e.key)
+		last := len(sh.ring) - 1
+		sh.ring[sh.hand] = sh.ring[last]
+		sh.ring = sh.ring[:last]
+		return true
+	}
+	return false
+}
+
+// len reports the number of pinned assignments.
+func (s *stickyStore) len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// mappings materializes the store as the formal model's ⟨u, v, sticky⟩
+// triples for the dashboard and tests.
+func (s *stickyStore) mappings() []core.UserMapping {
+	out := make([]core.UserMapping, 0, s.len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			out = append(out, core.UserMapping{User: e.key, Version: e.version, Sticky: true})
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -157,4 +158,196 @@ func TestShadowQueueOverflowDoesNotBlock(t *testing.T) {
 	if dropped == 0 {
 		t.Error("no shadow drops recorded despite a wedged shadow target")
 	}
+}
+
+// TestSetConfigServeHTTPRace interleaves config swaps with full-speed
+// in-process traffic (stub transport, no pacing) — the test the race
+// detector needs to vouch for the lock-free snapshot data plane. Every
+// request must route to a version of one of the two configs.
+func TestSetConfigServeHTTPRace(t *testing.T) {
+	cfgA := Config{
+		Service: "product", Generation: 1, Sticky: true,
+		Backends: []Backend{
+			{Version: "A1", URL: "http://a1.test", Weight: 50},
+			{Version: "A2", URL: "http://a2.test", Weight: 50},
+		},
+	}
+	cfgB := Config{
+		Service: "product", Generation: 1,
+		Backends: []Backend{
+			{Version: "B1", URL: "http://b1.test", Weight: 100},
+		},
+		Shadows: []Shadow{{Target: "B1", Percent: 50}},
+	}
+	p, err := New("product", cfgA, WithTransport(stubTransport{}), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var stop atomic.Bool
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			req, _ := http.NewRequest(http.MethodGet, "http://front/x", nil)
+			req.AddCookie(&http.Cookie{Name: CookieName,
+				Value: "123e4567-e89b-42d3-a456-426614174000"})
+			for i := 0; !stop.Load(); i++ {
+				rec := newStatusRecorder()
+				p.ServeHTTP(rec, req)
+				if rec.status != http.StatusOK {
+					bad.Add(1)
+				}
+				switch v := rec.h.Get("X-Bifrost-Version"); v {
+				case "A1", "A2", "B1":
+				default:
+					bad.Add(1)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		cfg := cfgA
+		if i%2 == 1 {
+			cfg = cfgB
+		}
+		cfg.Generation = int64(i + 2)
+		if err := p.SetConfig(cfg); err != nil {
+			t.Fatalf("reconfig %d: %v", i, err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Errorf("%d bad responses while snapshots were swapped", n)
+	}
+}
+
+// --- Routing-throughput and contention benchmarks --------------------------
+//
+// These measure the data plane alone: a stub transport answers round trips
+// in-process, so the numbers isolate decide() + observe() + header
+// handling — the per-request overhead the paper's Table 1 attributes to
+// the proxy. Run with -cpu to see scaling, e.g.:
+//
+//	go test ./internal/proxy -bench ServeHTTPParallel -cpu 1,4,8
+
+func benchProxy(b *testing.B, sticky bool, mode string) *Proxy {
+	b.Helper()
+	cfg := Config{
+		Service: "bench", Generation: 1, Sticky: sticky,
+		Backends: []Backend{
+			{Version: "v1", URL: "http://v1.test", Weight: 90},
+			{Version: "v2", URL: "http://v2.test", Weight: 10},
+		},
+	}
+	if mode == "header" {
+		cfg.Mode = "header"
+		cfg.Header = "X-Group"
+	}
+	p, err := New("bench", cfg, WithTransport(stubTransport{}), WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(p.Close)
+	return p
+}
+
+// BenchmarkServeHTTPParallel is the headline contention benchmark: many
+// goroutines in ServeHTTP at once, as under production load.
+func BenchmarkServeHTTPParallel(b *testing.B) {
+	b.Run("weighted", func(b *testing.B) {
+		p := benchProxy(b, false, "")
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			req, _ := http.NewRequest(http.MethodGet, "http://front/x", nil)
+			req.AddCookie(&http.Cookie{Name: CookieName,
+				Value: "123e4567-e89b-42d3-a456-426614174000"})
+			for pb.Next() {
+				p.ServeHTTP(newStatusRecorder(), req)
+			}
+		})
+	})
+	b.Run("sticky", func(b *testing.B) {
+		p := benchProxy(b, true, "")
+		var n atomic.Int64
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			// Each goroutine simulates a distinct returning client.
+			id := n.Add(1)
+			req, _ := http.NewRequest(http.MethodGet, "http://front/x", nil)
+			req.AddCookie(&http.Cookie{Name: CookieName,
+				Value: fmt.Sprintf("123e4567-e89b-42d3-a456-4266141%05d", id)})
+			for pb.Next() {
+				p.ServeHTTP(newStatusRecorder(), req)
+			}
+		})
+	})
+	b.Run("header", func(b *testing.B) {
+		p := benchProxy(b, false, "header")
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			req, _ := http.NewRequest(http.MethodGet, "http://front/x", nil)
+			req.Header.Set("X-Group", "v1")
+			for pb.Next() {
+				p.ServeHTTP(newStatusRecorder(), req)
+			}
+		})
+	})
+}
+
+// BenchmarkServeHTTPUnderReconfiguration measures data-plane throughput
+// while the control plane swaps snapshots continuously — the worst case
+// for any lock-based design.
+func BenchmarkServeHTTPUnderReconfiguration(b *testing.B) {
+	p := benchProxy(b, true, "")
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cfg := p.Config()
+		for gen := cfg.Generation + 1; ; gen++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cfg.Generation = gen
+			_ = p.SetConfig(cfg)
+		}
+	}()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		req, _ := http.NewRequest(http.MethodGet, "http://front/x", nil)
+		req.AddCookie(&http.Cookie{Name: CookieName,
+			Value: "123e4567-e89b-42d3-a456-426614174000"})
+		for pb.Next() {
+			p.ServeHTTP(newStatusRecorder(), req)
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
+// BenchmarkStickyStore isolates the sharded assignment store.
+func BenchmarkStickyStore(b *testing.B) {
+	s := newStickyStore(1<<16, stickyShardCount, nil)
+	for i := 0; i < 1<<15; i++ {
+		s.put(fmt.Sprintf("warm-%d", i), "v1")
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			key := fmt.Sprintf("warm-%d", i&(1<<15-1))
+			if _, ok := s.get(key); !ok {
+				s.put(key, "v1")
+			}
+			i++
+		}
+	})
 }
