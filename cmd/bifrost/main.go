@@ -268,8 +268,16 @@ func watch(client *engine.Client, name string) error {
 }
 
 func printEvent(ev engine.Event) {
-	fmt.Printf("%s  %-20s %-20s %s %s\n",
+	fmt.Printf("%s  %-20s %-20s %s %s",
 		ev.Time.Format(time.RFC3339), ev.Strategy, ev.Type, ev.State, ev.Detail)
+	if v := ev.Verdict; v != nil {
+		fmt.Printf("  [%s", v.Decision)
+		if v.Detail != "" {
+			fmt.Printf(": %s", v.Detail)
+		}
+		fmt.Print("]")
+	}
+	fmt.Println()
 }
 
 func printStatus(st engine.Status) {
@@ -277,9 +285,30 @@ func printStatus(st engine.Status) {
 		st.Strategy, st.State, st.Current, len(st.Path), st.Delay().Round(time.Millisecond))
 	for _, c := range st.Checks {
 		fmt.Printf("    check %-24s %s  %d/%d ok", c.Name, c.Kind, c.Successes, c.Executions)
+		if c.Inconclusive > 0 {
+			fmt.Printf("  %d inconclusive", c.Inconclusive)
+		}
 		if c.LastError != "" {
 			fmt.Printf("  last error: %s", c.LastError)
 		}
 		fmt.Println()
+		if v := c.Verdict; v != nil {
+			fmt.Printf("      verdict %-8s", v.Decision)
+			switch c.Kind {
+			case "compare":
+				fmt.Printf(" t=%.3f p=%.4f", v.Statistic, v.PValue)
+			case "sequential":
+				fmt.Printf(" llr=%.3f", v.LLR)
+			case "burnrate":
+				fmt.Printf(" burn=%.2fx", v.Statistic)
+			}
+			for _, w := range v.Windows {
+				fmt.Printf("  %s[%v]=%.4g (n=%g)", w.Name, w.Window, w.Value, w.Count)
+			}
+			if v.Detail != "" {
+				fmt.Printf("  %s", v.Detail)
+			}
+			fmt.Println()
+		}
 	}
 }

@@ -84,8 +84,8 @@ func reverseReachable(s *core.Strategy) map[string]bool {
 			rev[t] = append(rev[t], st.ID)
 		}
 		for j := range st.Checks {
-			if st.Checks[j].Kind == core.ExceptionCheck {
-				rev[st.Checks[j].Fallback] = append(rev[st.Checks[j].Fallback], st.ID)
+			if fb := st.Checks[j].Fallback; fb != "" {
+				rev[fb] = append(rev[fb], st.ID)
 			}
 		}
 	}
@@ -141,8 +141,8 @@ func durationBounds(s *core.Strategy) (min, max time.Duration, cyclic bool) {
 			}
 		}
 		for i := range st.Checks {
-			if st.Checks[i].Kind == core.ExceptionCheck {
-				targets[st.Checks[i].Fallback] = true
+			if fb := st.Checks[i].Fallback; fb != "" {
+				targets[fb] = true
 			}
 		}
 		for t := range targets {
@@ -264,9 +264,9 @@ func DOT(s *core.Strategy) string {
 		}
 		for j := range st.Checks {
 			c := &st.Checks[j]
-			if c.Kind == core.ExceptionCheck {
+			if c.Fallback != "" {
 				fmt.Fprintf(&b, "  %q -> %q [style=dashed,label=%q];\n",
-					st.ID, c.Fallback, "exception: "+c.Name)
+					st.ID, c.Fallback, c.Kind.String()+": "+c.Name)
 			}
 		}
 	}

@@ -6,7 +6,8 @@ import (
 	"time"
 )
 
-// CheckKind distinguishes the two check types of the model (§3.2).
+// CheckKind distinguishes the check types: the paper's two (§3.2) plus
+// the statistical verdict checks layered on top of them.
 type CheckKind int
 
 const (
@@ -18,6 +19,18 @@ const (
 	// execution immediately transitions the automaton to the fallback
 	// state, without waiting for the end of the state.
 	ExceptionCheck
+	// CompareCheck runs a two-sample statistical comparison (Welch's
+	// t-test) between a baseline and a candidate population on every
+	// timer tick; its final verdict contributes to δ like a basic check.
+	CompareCheck
+	// SequentialCheck is a sequential A/B gate (Wald's SPRT): it
+	// accumulates evidence across executions and, once it concludes
+	// either way, ends the state early — before the state timer expires.
+	SequentialCheck
+	// BurnRateCheck watches multi-window SLO error-budget burn rates and,
+	// like an exception check, transitions to its fallback state the
+	// moment both windows burn too fast (automatic rollback).
+	BurnRateCheck
 )
 
 // String implements fmt.Stringer.
@@ -27,9 +40,29 @@ func (k CheckKind) String() string {
 		return "basic"
 	case ExceptionCheck:
 		return "exception"
+	case CompareCheck:
+		return "compare"
+	case SequentialCheck:
+		return "sequential"
+	case BurnRateCheck:
+		return "burnrate"
 	default:
 		return fmt.Sprintf("CheckKind(%d)", int(k))
 	}
+}
+
+// Statistical reports whether the kind carries a Verdict (its evaluator
+// is an Analyzer rather than a boolean Evaluator).
+func (k CheckKind) Statistical() bool {
+	return k == CompareCheck || k == SequentialCheck || k == BurnRateCheck
+}
+
+// InterruptOnly reports whether the kind exists purely for its interrupt
+// semantics and is excluded from the state's weighted outcome when its
+// weight is zero (exception checks in the paper's running example, and
+// burn-rate guards which behave the same way).
+func (k CheckKind) InterruptOnly() bool {
+	return k == ExceptionCheck || k == BurnRateCheck
 }
 
 // Evaluator is the metric-evaluating function f_ci : Ωi → {0, 1}. The
@@ -63,10 +96,18 @@ func ConstEvaluator(v bool) Evaluator {
 type Check struct {
 	// Name identifies the check in status output ("search_error").
 	Name string
-	// Kind selects basic vs exception semantics.
+	// Kind selects the check's semantics.
 	Kind CheckKind
-	// Eval is f_ci, the metric-evaluating function.
+	// Eval is f_ci, the metric-evaluating function of basic and exception
+	// checks. Statistical kinds use Analyze instead.
 	Eval Evaluator
+	// Analyze is the statistical analysis of compare, sequential, and
+	// burnrate checks, producing a Verdict per execution.
+	Analyze Analyzer
+	// InconclusivePass controls how a statistical check that is still
+	// DecisionContinue when the state ends maps into the outcome: false
+	// (the default) maps it to 0 like a failure, true to 1.
+	InconclusivePass bool
 	// Interval is the re-execution period of τ.
 	Interval time.Duration
 	// Executions is how many times τ fires (n in the paper's Σ f_j).
@@ -82,7 +123,9 @@ type Check struct {
 	Thresholds []int
 	Outputs    []int
 
-	// Fallback is the exception check's fallback state s_j.
+	// Fallback is the fallback state s_j of an exception or burnrate
+	// check. On a sequential check it is optional: when set, a failing
+	// early conclusion jumps straight to it instead of going through δ.
 	Fallback string
 }
 

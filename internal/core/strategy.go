@@ -11,6 +11,11 @@
 // configurations Φ (traffic splits and dark-launch duplication rules) to
 // the affected services' proxies, and η assigns users to versions.
 //
+// Beyond the paper's basic and exception checks, the model carries
+// statistical checks (compare, sequential, burnrate) whose evaluator is
+// an Analyzer producing a typed Verdict — decision, test statistic, and
+// per-window detail — instead of a bare boolean; see verdict.go.
+//
 // This package is pure model and semantics: no I/O, no timers, no HTTP.
 // The engine package animates it; the dsl package compiles YAML strategies
 // into it; the analysis package reasons about it.
@@ -164,11 +169,12 @@ func RangeIndex(e int, thresholds []int) int {
 // linear combination Σ result_i · w_i → e ∈ ℤ, rounding half away from zero.
 // results must be indexed like the state's Checks.
 //
-// A zero weight defaults to 1 for basic checks (the common case of omitting
-// weights entirely). Exception checks with zero weight are excluded from
-// the combination: their primary role is the interrupt semantics, and the
-// paper's running example (Figure 2) computes state outcomes from the basic
-// checks only.
+// A zero weight defaults to 1 for basic, compare, and sequential checks
+// (the common case of omitting weights entirely). Interrupt-only checks
+// (exception, burnrate) with zero weight are excluded from the
+// combination: their primary role is the interrupt semantics, and the
+// paper's running example (Figure 2) computes state outcomes from the
+// basic checks only.
 func (s *State) Outcome(results []int) (int, error) {
 	if len(results) != len(s.Checks) {
 		return 0, fmt.Errorf("state %q: %d results for %d checks",
@@ -178,7 +184,7 @@ func (s *State) Outcome(results []int) (int, error) {
 	for i, r := range results {
 		w := s.Checks[i].Weight
 		if w == 0 {
-			if s.Checks[i].Kind == ExceptionCheck {
+			if s.Checks[i].Kind.InterruptOnly() {
 				continue
 			}
 			w = 1

@@ -150,20 +150,41 @@ func validateState(st *State, states map[string]*State, services map[string]Serv
 				addf("state %q check %q: thresholds not strictly increasing",
 					st.ID, c.Name)
 			}
-		case ExceptionCheck:
+		case ExceptionCheck, BurnRateCheck:
 			if _, ok := states[c.Fallback]; c.Fallback == "" || !ok {
 				addf("state %q check %q: fallback state %q does not exist",
 					st.ID, c.Name, c.Fallback)
 			}
+		case CompareCheck:
+		case SequentialCheck:
+			// Fallback is optional: set, it must name a real state.
+			if c.Fallback != "" {
+				if _, ok := states[c.Fallback]; !ok {
+					addf("state %q check %q: fallback state %q does not exist",
+						st.ID, c.Name, c.Fallback)
+				}
+			}
 		default:
 			addf("state %q check %q: invalid kind %d", st.ID, c.Name, int(c.Kind))
 		}
-		if c.Eval == nil {
+		if c.Kind.Statistical() {
+			if c.Analyze == nil {
+				addf("state %q check %q: %s check without analyzer", st.ID, c.Name, c.Kind)
+			}
+		} else if c.Eval == nil {
 			addf("state %q check %q: no evaluator", st.ID, c.Name)
 		}
 		if c.Executions > 1 && c.Interval <= 0 {
 			addf("state %q check %q: %d executions but no interval",
 				st.ID, c.Name, c.Executions)
+		}
+		// Interrupting kinds only fire their interrupt while the state is
+		// executing; without a timer they would run once at the end of the
+		// state, where an interrupt has nowhere to go — an emergency brake
+		// that can never engage.
+		if (c.Kind.InterruptOnly() || c.Kind == SequentialCheck) && c.Interval <= 0 {
+			addf("state %q check %q: %s check needs an interval (its interrupt only fires while the state runs)",
+				st.ID, c.Name, c.Kind)
 		}
 		if c.Weight < 0 {
 			addf("state %q check %q: negative weight %v", st.ID, c.Name, c.Weight)
@@ -221,7 +242,8 @@ func strictlyIncreasing(xs []int) bool {
 var ErrNoPath = errors.New("core: no path")
 
 // ReachableStates returns the set of state IDs reachable from the start
-// state by transitions and exception fallbacks.
+// state by transitions and check fallbacks (exception, burnrate, and
+// sequential checks).
 func (s *Strategy) ReachableStates() map[string]bool {
 	reach := make(map[string]bool)
 	var visit func(id string)
@@ -238,8 +260,8 @@ func (s *Strategy) ReachableStates() map[string]bool {
 			visit(t)
 		}
 		for i := range st.Checks {
-			if st.Checks[i].Kind == ExceptionCheck {
-				visit(st.Checks[i].Fallback)
+			if fb := st.Checks[i].Fallback; fb != "" {
+				visit(fb)
 			}
 		}
 	}

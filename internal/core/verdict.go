@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// Decision is the conclusion of one statistical check analysis.
+type Decision string
+
+// Decisions. A verdict check contributes to the state's weighted outcome
+// like a basic check: DecisionPass maps to 1, DecisionFail to 0, and a
+// check still DecisionContinue when the state ends maps through
+// Check.InconclusivePass.
+const (
+	// DecisionContinue means the analysis has not accumulated enough
+	// evidence to conclude either way.
+	DecisionContinue Decision = "continue"
+	// DecisionPass means the analysis concluded in favor of the candidate.
+	DecisionPass Decision = "pass"
+	// DecisionFail means the analysis concluded against the candidate.
+	DecisionFail Decision = "fail"
+)
+
+// WindowStat describes one window (or population) an analysis looked at,
+// for status output and events: the baseline/candidate populations of a
+// compare check, or the short/long windows of a burn-rate check.
+type WindowStat struct {
+	// Name identifies the window: "baseline", "candidate", "short", "long".
+	Name string `json:"name"`
+	// Window is the time span the statistics were computed over.
+	Window time.Duration `json:"window"`
+	// Count is the number of samples (or trials) in the window.
+	Count float64 `json:"count"`
+	// Value is the window's headline number: a mean for compare
+	// populations, a burn-rate factor for burnrate windows.
+	Value float64 `json:"value"`
+}
+
+// Verdict is the typed result of one execution of a statistical check:
+// what the engine carries instead of a bare pass/fail bit. It surfaces in
+// run status, engine events, the v2 API run resource, and CLI output.
+type Verdict struct {
+	// Decision is the analysis conclusion for this execution.
+	Decision Decision `json:"decision"`
+	// Statistic is the test statistic behind the decision: Welch's t for
+	// compare checks, the burn-rate factor for burnrate checks, the
+	// log-likelihood ratio for sequential checks.
+	Statistic float64 `json:"statistic,omitempty"`
+	// PValue is the one-sided p-value of a compare check's t-test.
+	PValue float64 `json:"pValue,omitempty"`
+	// LLR is the accumulated log-likelihood ratio of a sequential check.
+	LLR float64 `json:"llr,omitempty"`
+	// Windows describes the windows/populations the analysis consulted.
+	Windows []WindowStat `json:"windows,omitempty"`
+	// Detail is a human-readable summary of the decision.
+	Detail string `json:"detail,omitempty"`
+	// Err records why an execution was inconclusive for lack of data
+	// (e.g. a metrics query matched no samples). It does not abort the
+	// run: the analysis simply continues on the next timer tick.
+	Err string `json:"err,omitempty"`
+}
+
+// Analyzer is the statistical counterpart of Evaluator: instead of a
+// boolean it produces a Verdict, and it may keep state across the
+// executions of one automaton state (the sequential check's accumulated
+// likelihood ratio). Implementations that accumulate must also implement
+// Reset so the engine can clear them when a state is (re-)entered.
+//
+// An error return means the analysis itself is broken (misconfiguration);
+// unavailable monitoring data is reported in Verdict.Err instead, with
+// DecisionContinue.
+type Analyzer interface {
+	Analyze(ctx context.Context) (Verdict, error)
+}
+
+// AnalyzerFunc adapts a function to the Analyzer interface.
+type AnalyzerFunc func(ctx context.Context) (Verdict, error)
+
+var _ Analyzer = AnalyzerFunc(nil)
+
+// Analyze implements Analyzer.
+func (f AnalyzerFunc) Analyze(ctx context.Context) (Verdict, error) { return f(ctx) }
+
+// ResettableAnalyzer is implemented by analyzers that accumulate evidence
+// across executions; the engine resets them when their state is entered.
+type ResettableAnalyzer interface {
+	Analyzer
+	Reset()
+}

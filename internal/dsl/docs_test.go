@@ -1,0 +1,118 @@
+package dsl
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// readAuthoringDoc loads docs/strategy-authoring.md, the DSL reference
+// these tests keep honest.
+func readAuthoringDoc(t *testing.T) string {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", "docs", "strategy-authoring.md"))
+	if err != nil {
+		t.Fatalf("docs/strategy-authoring.md must exist: %v", err)
+	}
+	return string(src)
+}
+
+// TestDocsCheckKindsMatchCompiler fails when docs/strategy-authoring.md
+// and the compiler disagree about the set of check kinds: every `### `x“
+// heading must be a kind the DSL compiles, and every compiled kind must
+// be documented. This is the CI docs job's consistency check — docs
+// cannot silently rot when a kind is added or renamed.
+func TestDocsCheckKindsMatchCompiler(t *testing.T) {
+	doc := readAuthoringDoc(t)
+	// Check kinds are documented under headings of the form
+	// "### `kind` — summary"; other backticked headings don't match.
+	headings := regexp.MustCompile("(?m)^### `([a-z]+)` — ").FindAllStringSubmatch(doc, -1)
+	documented := make([]string, 0, len(headings))
+	for _, h := range headings {
+		documented = append(documented, h[1])
+	}
+	known := KnownCheckKinds()
+
+	sortedDoc := append([]string(nil), documented...)
+	sortedKnown := append([]string(nil), known...)
+	sort.Strings(sortedDoc)
+	sort.Strings(sortedKnown)
+	if strings.Join(sortedDoc, ",") != strings.Join(sortedKnown, ",") {
+		t.Fatalf("documented check kinds %v != compiler's %v", documented, known)
+	}
+}
+
+// yamlBlocks extracts the fenced YAML blocks of a markdown document.
+func yamlBlocks(doc string) []string {
+	var blocks []string
+	for _, m := range regexp.MustCompile("(?s)```yaml\n(.*?)```").FindAllStringSubmatch(doc, -1) {
+		blocks = append(blocks, m[1])
+	}
+	return blocks
+}
+
+// TestDocsExamplesCompile compiles every complete strategy in the
+// authoring reference (the YAML blocks that begin with `name:`), so the
+// documented examples are guaranteed runnable, and checks that each
+// check kind is exercised by at least one of them.
+func TestDocsExamplesCompile(t *testing.T) {
+	doc := readAuthoringDoc(t)
+	exercised := map[string]bool{}
+	complete := 0
+	for i, block := range yamlBlocks(doc) {
+		if !strings.HasPrefix(strings.TrimSpace(block), "name:") {
+			continue // fragment, not a full strategy
+		}
+		complete++
+		s, err := Compile(block)
+		if err != nil {
+			t.Errorf("docs yaml block #%d does not compile: %v", i, err)
+			continue
+		}
+		for si := range s.Automaton.States {
+			for ci := range s.Automaton.States[si].Checks {
+				k := s.Automaton.States[si].Checks[ci].Kind.String()
+				// The model kind "basic" is the DSL element "metric".
+				if k == "basic" {
+					k = "metric"
+				}
+				exercised[k] = true
+			}
+		}
+	}
+	if complete < len(KnownCheckKinds()) {
+		t.Errorf("only %d complete strategies in docs, want ≥ one per check kind (%d)",
+			complete, len(KnownCheckKinds()))
+	}
+	for _, kind := range KnownCheckKinds() {
+		if !exercised[kind] {
+			t.Errorf("no runnable docs example exercises check kind %q", kind)
+		}
+	}
+}
+
+// TestDocsLinkTargetsExist keeps the docs tree's relative references
+// valid: the files docs/ and README link to must exist.
+func TestDocsLinkTargetsExist(t *testing.T) {
+	for _, path := range []string{
+		filepath.Join("..", "..", "docs", "architecture.md"),
+		filepath.Join("..", "..", "docs", "strategy-authoring.md"),
+		filepath.Join("..", "..", "strategies", "slo-guarded-canary.yaml"),
+	} {
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("referenced file missing: %v", err)
+		}
+	}
+	readme, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, link := range []string{"docs/architecture.md", "docs/strategy-authoring.md"} {
+		if !strings.Contains(string(readme), link) {
+			t.Errorf("README does not link %s", link)
+		}
+	}
+}

@@ -44,6 +44,14 @@
 //	            intervalLimit: 12
 //	            validator: "<100"
 //	            fallback: rollback
+//	        - burnrate:
+//	            name: slo_guard
+//	            errors: proxy_request_errors_total{version="productA"}
+//	            total: proxy_requests_total{version="productA"}
+//	            slo: 99.9
+//	            intervalTime: 30
+//	            intervalLimit: 20
+//	            fallback: rollback
 //	      on:
 //	        success: darklaunch
 //	        failure: rollback
@@ -71,6 +79,13 @@
 //
 // The paper's route syntax (Listing 2: from/to + traffic filters) is also
 // accepted, so published strategies compile unchanged.
+//
+// Five check elements exist: the paper's metric and exception checks
+// (routes.go) plus the statistical verdict checks compare (Welch's
+// t-test between baseline and candidate), sequential (an SPRT A/B gate
+// that can conclude before the state timer), and burnrate (multi-window
+// SLO burn-rate rollback) — see verdict_checks.go and
+// docs/strategy-authoring.md for the full field reference.
 package dsl
 
 import (
@@ -346,12 +361,14 @@ func (pc *phaseCompiler) attachTransitions(st *core.State, m map[string]any, ctx
 	}
 }
 
-// basicWeightSum sums the (defaulted) weights of basic checks, reporting
-// whether the sum is integral.
+// basicWeightSum sums the (defaulted) weights of the checks that gate the
+// state's outcome — basic, compare, and sequential checks; interrupt-only
+// kinds (exception, burnrate) are excluded — reporting whether the sum is
+// integral.
 func basicWeightSum(checks []core.Check) (int, bool) {
 	var sum float64
 	for i := range checks {
-		if checks[i].Kind != core.BasicCheck {
+		if checks[i].Kind.InterruptOnly() {
 			continue
 		}
 		w := checks[i].Weight

@@ -136,17 +136,32 @@ func (pc *phaseCompiler) compileChecks(m map[string]any, ctx string) []core.Chec
 			d.errf("%s: must be a mapping", cctx)
 			continue
 		}
-		switch {
-		case cm["metric"] != nil:
-			if c, ok := pc.compileMetricCheck(d.getMap(cm, "metric", cctx), cctx+".metric", false); ok {
-				out = append(out, c)
+		// A check element holds exactly one kind; extra keys (a second
+		// kind, or a mis-indented field) are errors so no guard is ever
+		// silently dropped.
+		var kinds []string
+		for _, kind := range KnownCheckKinds() {
+			if cm[kind] != nil {
+				kinds = append(kinds, kind)
 			}
-		case cm["exception"] != nil:
-			if c, ok := pc.compileMetricCheck(d.getMap(cm, "exception", cctx), cctx+".exception", true); ok {
+		}
+		switch {
+		case len(kinds) == 0:
+			d.errf("%s: check must be a metric, exception, compare, sequential, or burnrate element", cctx)
+			continue
+		case len(kinds) > 1 || len(cm) > 1:
+			d.unknownKeys(cm, cctx, kinds[0])
+			continue
+		}
+		switch kind := kinds[0]; kind {
+		case "metric", "exception":
+			if c, ok := pc.compileMetricCheck(d.getMap(cm, kind, cctx), cctx+"."+kind, kind == "exception"); ok {
 				out = append(out, c)
 			}
 		default:
-			d.errf("%s: check must be a metric or exception element", cctx)
+			if c, ok := pc.compileVerdictCheck(kind, d.getMap(cm, kind, cctx), cctx+"."+kind); ok {
+				out = append(out, c)
+			}
 		}
 	}
 	return out

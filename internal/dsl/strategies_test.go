@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"bifrost/internal/analysis"
+	"bifrost/internal/core"
 )
 
 // TestShippedStrategiesCompile guards the YAML files under /strategies: they
@@ -45,6 +46,71 @@ func TestShippedStrategiesCompile(t *testing.T) {
 				t.Errorf("max duration = %v", report.MaxDuration)
 			}
 		})
+	}
+}
+
+// TestSLOGuardedCanaryShape pins the statistical-check structure of the
+// shipped slo-guarded-canary strategy: the canary phase guarded by a
+// burnrate rollback plus a latency compare, and the A/B phase gated by a
+// sequential check that can conclude before the 2h timer.
+func TestSLOGuardedCanaryShape(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "strategies", "slo-guarded-canary.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Compile(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	canary, ok := s.Automaton.State("canary")
+	if !ok {
+		t.Fatal("canary phase missing")
+	}
+	kinds := map[string]string{}
+	for i := range canary.Checks {
+		kinds[canary.Checks[i].Name] = canary.Checks[i].Kind.String()
+	}
+	if kinds["slo-guard"] != "burnrate" || kinds["latency-ab"] != "compare" {
+		t.Errorf("canary checks = %v, want burnrate slo-guard + compare latency-ab", kinds)
+	}
+	for i := range canary.Checks {
+		c := &canary.Checks[i]
+		if c.Analyze == nil {
+			t.Errorf("check %q has no analyzer", c.Name)
+		}
+		if c.Kind == core.BurnRateCheck && c.Fallback != "rollback" {
+			t.Errorf("burnrate fallback = %q, want rollback", c.Fallback)
+		}
+	}
+
+	ab, ok := s.Automaton.State("abgate")
+	if !ok {
+		t.Fatal("abgate phase missing")
+	}
+	if ab.Duration != 2*time.Hour {
+		t.Errorf("abgate duration = %v, want 2h", ab.Duration)
+	}
+	if !ab.Routing[0].Sticky {
+		t.Error("A/B phase not sticky")
+	}
+	var seq *core.Check
+	for i := range ab.Checks {
+		if ab.Checks[i].Kind == core.SequentialCheck {
+			seq = &ab.Checks[i]
+		}
+	}
+	if seq == nil {
+		t.Fatal("abgate has no sequential check")
+	}
+	if seq.Fallback != "rollback" {
+		t.Errorf("sequential fallback = %q, want rollback", seq.Fallback)
+	}
+	if _, ok := seq.Analyze.(core.ResettableAnalyzer); !ok {
+		t.Error("sequential analyzer is not resettable")
+	}
+	if len(s.Automaton.Finals) != 2 {
+		t.Errorf("finals = %v, want rollout + rollback", s.Automaton.Finals)
 	}
 }
 

@@ -1,0 +1,456 @@
+package dsl
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"bifrost/internal/core"
+	"bifrost/internal/metrics"
+	"bifrost/internal/stats"
+)
+
+// MomentsQuerier is the richer provider interface the `compare` check
+// needs: pooled window moments (count/mean/variance) of a population
+// addressed by a range selector such as `response_ms{version="b"}[30s]`.
+// *metrics.Client and metrics.StoreQuerier implement it.
+type MomentsQuerier interface {
+	Moments(ctx context.Context, rangeExpr string) (metrics.Moments, error)
+}
+
+var (
+	_ MomentsQuerier = (*metrics.Client)(nil)
+	_ MomentsQuerier = metrics.StoreQuerier{}
+)
+
+// KnownCheckKinds lists every check element the DSL compiles, in the
+// order they are documented. docs/strategy-authoring.md must describe
+// exactly these kinds; internal/dsl/docs_test.go enforces that.
+func KnownCheckKinds() []string {
+	return []string{"metric", "exception", "compare", "sequential", "burnrate"}
+}
+
+// compileVerdictCheck dispatches the statistical check elements.
+func (pc *phaseCompiler) compileVerdictCheck(kind string, m map[string]any, ctx string) (core.Check, bool) {
+	switch kind {
+	case "compare":
+		return pc.compileCompareCheck(m, ctx)
+	case "sequential":
+		return pc.compileSequentialCheck(m, ctx)
+	case "burnrate":
+		return pc.compileBurnRateCheck(m, ctx)
+	}
+	return core.Check{}, false
+}
+
+// commonVerdictFields decodes the fields every statistical check shares.
+func (pc *phaseCompiler) commonVerdictFields(m map[string]any, ctx string, kind core.CheckKind) (core.Check, Querier, bool) {
+	d := pc.d
+	c := core.Check{
+		Name:       d.requireString(m, "name", ctx),
+		Kind:       kind,
+		Interval:   d.getDuration(m, "intervalTime", ctx),
+		Executions: d.getInt(m, "intervalLimit", ctx, 1),
+		Weight:     d.getFloat(m, "weight", ctx, 0),
+	}
+	switch v := d.getString(m, "onInconclusive", ctx); v {
+	case "", "fail":
+	case "pass":
+		c.InconclusivePass = true
+	default:
+		d.errf("%s: onInconclusive must be pass or fail, got %q", ctx, v)
+	}
+	providerName := d.getString(m, "provider", ctx)
+	if providerName == "" {
+		providerName = pc.defaultProvider
+	}
+	querier, ok := pc.providers[providerName]
+	if !ok {
+		d.errf("%s: unknown metric provider %q", ctx, providerName)
+		return c, nil, false
+	}
+	return c, querier, c.Name != ""
+}
+
+// instantSelector validates that expr is a bare instant vector selector
+// (metric name plus optional label matchers), the form the statistical
+// checks window themselves.
+func (d *decoder) instantSelector(m map[string]any, key, ctx string) string {
+	sel := d.requireString(m, key, ctx)
+	if sel == "" {
+		return ""
+	}
+	if _, _, _, err := metrics.ParseRangeSelector(sel + "[1s]"); err != nil {
+		d.errf("%s: %q must be a selector like metric{label=\"v\"}: %v", ctx, key, err)
+		return ""
+	}
+	return sel
+}
+
+// compileCompareCheck builds a `compare` element: a baseline-vs-candidate
+// two-sample Welch t-test on windowed means.
+func (pc *phaseCompiler) compileCompareCheck(m map[string]any, ctx string) (core.Check, bool) {
+	d := pc.d
+	d.unknownKeys(m, ctx, "name", "provider", "baseline", "candidate", "window",
+		"confidence", "direction", "minSamples", "intervalTime", "intervalLimit",
+		"weight", "onInconclusive")
+
+	c, querier, ok := pc.commonVerdictFields(m, ctx, core.CompareCheck)
+	if !ok {
+		return core.Check{}, false
+	}
+	baseline := d.instantSelector(m, "baseline", ctx)
+	candidate := d.instantSelector(m, "candidate", ctx)
+	window := d.getDuration(m, "window", ctx)
+	if window <= 0 {
+		d.errf("%s: missing required field %q", ctx, "window")
+	}
+	confidence := d.getFloat(m, "confidence", ctx, 0.95)
+	if confidence <= 0 || confidence >= 1 {
+		d.errf("%s: confidence must be in (0,1), got %v", ctx, confidence)
+	}
+	direction := d.getString(m, "direction", ctx)
+	switch direction {
+	case "":
+		direction = "<"
+	case "<", ">":
+	default:
+		d.errf("%s: direction must be \"<\" (lower is better) or \">\", got %q", ctx, direction)
+	}
+	minSamples := d.getInt(m, "minSamples", ctx, 5)
+	if minSamples < 2 {
+		d.errf("%s: minSamples must be ≥ 2 (variance needs two samples), got %d", ctx, minSamples)
+	}
+	mq, hasMoments := querier.(MomentsQuerier)
+	if !hasMoments {
+		d.errf("%s: provider does not support moments queries (needed by compare checks)", ctx)
+	}
+	if len(d.problems) > 0 || baseline == "" || candidate == "" || !hasMoments {
+		return core.Check{}, false
+	}
+	c.Analyze = &compareAnalyzer{
+		querier:    mq,
+		baseline:   baseline + "[" + window.String() + "]",
+		candidate:  candidate + "[" + window.String() + "]",
+		window:     window,
+		alpha:      1 - confidence,
+		direction:  direction,
+		minSamples: minSamples,
+	}
+	return c, true
+}
+
+// compareAnalyzer is the compare check's analysis: pull both populations'
+// window moments and run Welch's t-test for a significant degradation.
+type compareAnalyzer struct {
+	querier    MomentsQuerier
+	baseline   string
+	candidate  string
+	window     time.Duration
+	alpha      float64
+	direction  string // "<": candidate should not be greater; ">": not lower
+	minSamples int
+}
+
+var _ core.Analyzer = (*compareAnalyzer)(nil)
+
+// Analyze implements core.Analyzer.
+func (a *compareAnalyzer) Analyze(ctx context.Context) (core.Verdict, error) {
+	base, err := a.querier.Moments(ctx, a.baseline)
+	if err != nil {
+		return core.Verdict{Decision: core.DecisionContinue,
+			Err: fmt.Sprintf("baseline %s: %v", a.baseline, err)}, nil
+	}
+	cand, err := a.querier.Moments(ctx, a.candidate)
+	if err != nil {
+		return core.Verdict{Decision: core.DecisionContinue,
+			Err: fmt.Sprintf("candidate %s: %v", a.candidate, err)}, nil
+	}
+	v := core.Verdict{Windows: []core.WindowStat{
+		{Name: "baseline", Window: a.window, Count: float64(base.Count), Value: base.Mean},
+		{Name: "candidate", Window: a.window, Count: float64(cand.Count), Value: cand.Mean},
+	}}
+	if base.Count < a.minSamples || cand.Count < a.minSamples {
+		v.Decision = core.DecisionContinue
+		v.Detail = fmt.Sprintf("need ≥ %d samples per arm (baseline %d, candidate %d)",
+			a.minSamples, base.Count, cand.Count)
+		return v, nil
+	}
+	// Order the arms so a positive statistic always means "candidate is
+	// worse" in the configured direction.
+	var res stats.TTest
+	if a.direction == "<" {
+		res, err = stats.Welch(cand.Count, cand.Mean, cand.Variance,
+			base.Count, base.Mean, base.Variance)
+	} else {
+		res, err = stats.Welch(base.Count, base.Mean, base.Variance,
+			cand.Count, cand.Mean, cand.Variance)
+	}
+	if err != nil {
+		return core.Verdict{Decision: core.DecisionContinue, Windows: v.Windows,
+			Err: err.Error()}, nil
+	}
+	v.Statistic = res.T
+	v.PValue = res.P
+	if res.P <= a.alpha {
+		v.Decision = core.DecisionFail
+		v.Detail = fmt.Sprintf("candidate significantly worse (t=%.3f, p=%.4f ≤ α=%.4f)",
+			res.T, res.P, a.alpha)
+	} else {
+		v.Decision = core.DecisionPass
+		v.Detail = fmt.Sprintf("no significant degradation (t=%.3f, p=%.4f)", res.T, res.P)
+	}
+	return v, nil
+}
+
+// compileSequentialCheck builds a `sequential` element: an SPRT gate on a
+// candidate's failure rate that can conclude before the state timer.
+func (pc *phaseCompiler) compileSequentialCheck(m map[string]any, ctx string) (core.Check, bool) {
+	d := pc.d
+	d.unknownKeys(m, ctx, "name", "provider", "errors", "total",
+		"p0", "p1", "effect", "alpha", "beta", "intervalTime", "intervalLimit",
+		"weight", "fallback", "onInconclusive")
+
+	c, querier, ok := pc.commonVerdictFields(m, ctx, core.SequentialCheck)
+	if !ok {
+		return core.Check{}, false
+	}
+	c.Fallback = d.getString(m, "fallback", ctx)
+	errSel := d.instantSelector(m, "errors", ctx)
+	totSel := d.instantSelector(m, "total", ctx)
+	p0 := d.getFloat(m, "p0", ctx, 0.01)
+	p1 := d.getFloat(m, "p1", ctx, 0)
+	if p1 == 0 {
+		p1 = p0 * d.getFloat(m, "effect", ctx, 2)
+	}
+	alpha := d.getFloat(m, "alpha", ctx, 0.05)
+	beta := d.getFloat(m, "beta", ctx, 0.10)
+	sprt, err := stats.NewSPRT(p0, p1, alpha, beta)
+	if err != nil {
+		d.errf("%s: %v", ctx, err)
+	}
+	if len(d.problems) > 0 || errSel == "" || totSel == "" || sprt == nil {
+		return core.Check{}, false
+	}
+	c.Analyze = &sequentialAnalyzer{
+		querier:  querier,
+		errSel:   errSel,
+		totSel:   totSel,
+		interval: c.Interval,
+		sprt:     sprt,
+	}
+	return c, true
+}
+
+// sequentialAnalyzer accumulates failure/trial counts into an SPRT until
+// it concludes. Each execution reads the cumulative counters and feeds
+// the delta since the previous execution into the test, so every request
+// is counted exactly once regardless of the execution cadence — windowed
+// queries would double-count overlapping windows and void the SPRT's
+// α/β guarantees. It implements core.ResettableAnalyzer so the engine
+// clears the accumulated evidence on state (re-)entry.
+type sequentialAnalyzer struct {
+	querier  Querier
+	errSel   string
+	totSel   string
+	interval time.Duration
+	sprt     *stats.SPRT
+
+	// baselined marks that the cumulative counters have been read once;
+	// prevErr/prevTot are their values at the previous execution.
+	baselined bool
+	prevErr   float64
+	prevTot   float64
+}
+
+var _ core.ResettableAnalyzer = (*sequentialAnalyzer)(nil)
+
+// Reset implements core.ResettableAnalyzer.
+func (a *sequentialAnalyzer) Reset() {
+	a.sprt.Reset()
+	a.baselined = false
+	a.prevErr, a.prevTot = 0, 0
+}
+
+// Analyze implements core.Analyzer.
+func (a *sequentialAnalyzer) Analyze(ctx context.Context) (core.Verdict, error) {
+	errNow, err := a.querier.Query(ctx, a.errSel)
+	if err != nil {
+		return a.verdict(core.DecisionContinue,
+			fmt.Sprintf("%s: %v", a.errSel, err)), nil
+	}
+	totNow, err := a.querier.Query(ctx, a.totSel)
+	if err != nil {
+		return a.verdict(core.DecisionContinue,
+			fmt.Sprintf("%s: %v", a.totSel, err)), nil
+	}
+	if !a.baselined || errNow < a.prevErr || totNow < a.prevTot {
+		// First execution, or a counter reset: record the baseline and
+		// start observing from here.
+		a.baselined = true
+		a.prevErr, a.prevTot = errNow, totNow
+		v := a.verdict(core.DecisionContinue, "")
+		v.Detail = "baselined counters"
+		return v, nil
+	}
+	failures := int(math.Round(errNow - a.prevErr))
+	trials := int(math.Round(totNow - a.prevTot))
+	a.prevErr, a.prevTot = errNow, totNow
+	if trials <= 0 {
+		v := a.verdict(core.DecisionContinue, "")
+		v.Detail = "no traffic since last observation"
+		return v, nil
+	}
+	switch a.sprt.Observe(failures, trials) {
+	case stats.AcceptH0:
+		v := a.verdict(core.DecisionPass, "")
+		v.Detail = fmt.Sprintf("accepted H0 (healthy): llr %.3f ≤ %.3f", a.sprt.LLR(), a.sprt.Lower)
+		return v, nil
+	case stats.AcceptH1:
+		v := a.verdict(core.DecisionFail, "")
+		v.Detail = fmt.Sprintf("accepted H1 (degraded): llr %.3f ≥ %.3f", a.sprt.LLR(), a.sprt.Upper)
+		return v, nil
+	}
+	v := a.verdict(core.DecisionContinue, "")
+	v.Detail = fmt.Sprintf("undecided: llr %.3f in (%.3f, %.3f)", a.sprt.LLR(), a.sprt.Lower, a.sprt.Upper)
+	return v, nil
+}
+
+// verdict snapshots the SPRT's accumulated evidence into a Verdict.
+func (a *sequentialAnalyzer) verdict(d core.Decision, errMsg string) core.Verdict {
+	totalFailures, totalTrials := a.sprt.Totals()
+	ratio := 0.0
+	if totalTrials > 0 {
+		ratio = float64(totalFailures) / float64(totalTrials)
+	}
+	return core.Verdict{
+		Decision:  d,
+		Statistic: a.sprt.LLR(),
+		LLR:       a.sprt.LLR(),
+		Err:       errMsg,
+		Windows: []core.WindowStat{{
+			Name: "candidate", Window: a.interval,
+			Count: float64(totalTrials), Value: ratio,
+		}},
+	}
+}
+
+// compileBurnRateCheck builds a `burnrate` element: the multi-window SLO
+// error-budget burn-rate alert of SRE practice, wired to an automatic
+// rollback.
+func (pc *phaseCompiler) compileBurnRateCheck(m map[string]any, ctx string) (core.Check, bool) {
+	d := pc.d
+	d.unknownKeys(m, ctx, "name", "provider", "errors", "total", "slo",
+		"shortWindow", "longWindow", "factor", "intervalTime", "intervalLimit",
+		"weight", "fallback", "onInconclusive")
+
+	c, querier, ok := pc.commonVerdictFields(m, ctx, core.BurnRateCheck)
+	if !ok {
+		return core.Check{}, false
+	}
+	c.Fallback = d.requireString(m, "fallback", ctx)
+	errSel := d.instantSelector(m, "errors", ctx)
+	totSel := d.instantSelector(m, "total", ctx)
+	slo := d.getFloat(m, "slo", ctx, 0)
+	if slo <= 0 || slo >= 100 {
+		d.errf("%s: slo must be a success percentage in (0,100), got %v", ctx, slo)
+	}
+	short := d.getDuration(m, "shortWindow", ctx)
+	long := d.getDuration(m, "longWindow", ctx)
+	if short <= 0 {
+		short = 5 * time.Minute
+	}
+	if long <= 0 {
+		long = 12 * short
+	}
+	if long <= short {
+		d.errf("%s: longWindow %v must exceed shortWindow %v", ctx, long, short)
+	}
+	factor := d.getFloat(m, "factor", ctx, 14.4)
+	if factor <= 0 {
+		d.errf("%s: factor must be positive, got %v", ctx, factor)
+	}
+	if len(d.problems) > 0 || errSel == "" || totSel == "" || c.Fallback == "" {
+		return core.Check{}, false
+	}
+	c.Analyze = &burnRateAnalyzer{
+		querier: querier,
+		errSel:  errSel,
+		totSel:  totSel,
+		budget:  1 - slo/100,
+		short:   short,
+		long:    long,
+		factor:  factor,
+	}
+	return c, true
+}
+
+// burnRateAnalyzer evaluates the two-window burn rate: the error budget
+// consumption speed over a short and a long window. Only when both burn
+// faster than `factor` does it fail — the short window makes detection
+// fast, the long window keeps a brief spike from triggering rollback.
+type burnRateAnalyzer struct {
+	querier Querier
+	errSel  string
+	totSel  string
+	budget  float64
+	short   time.Duration
+	long    time.Duration
+	factor  float64
+}
+
+var _ core.Analyzer = (*burnRateAnalyzer)(nil)
+
+// Analyze implements core.Analyzer.
+func (a *burnRateAnalyzer) Analyze(ctx context.Context) (core.Verdict, error) {
+	shortBurn, shortN, err := a.burn(ctx, a.short)
+	if err != nil {
+		return core.Verdict{Decision: core.DecisionContinue, Err: err.Error()}, nil
+	}
+	longBurn, longN, err := a.burn(ctx, a.long)
+	if err != nil {
+		return core.Verdict{Decision: core.DecisionContinue, Err: err.Error()}, nil
+	}
+	v := core.Verdict{
+		Statistic: math.Min(shortBurn, longBurn),
+		Windows: []core.WindowStat{
+			{Name: "short", Window: a.short, Count: shortN, Value: shortBurn},
+			{Name: "long", Window: a.long, Count: longN, Value: longBurn},
+		},
+	}
+	if shortN <= 0 || longN <= 0 {
+		v.Decision = core.DecisionContinue
+		v.Detail = "no traffic in window"
+		return v, nil
+	}
+	if shortBurn >= a.factor && longBurn >= a.factor {
+		v.Decision = core.DecisionFail
+		v.Detail = fmt.Sprintf("error budget burning %.1f×/%.1f× (short/long) ≥ %.1f×",
+			shortBurn, longBurn, a.factor)
+	} else {
+		v.Decision = core.DecisionPass
+		v.Detail = fmt.Sprintf("burn %.2f×/%.2f× (short/long) below %.1f×",
+			shortBurn, longBurn, a.factor)
+	}
+	return v, nil
+}
+
+// burn computes the burn-rate factor over one window: the observed error
+// ratio divided by the SLO's error budget. It also returns the window's
+// request count so callers can tell "no traffic" from "no errors".
+func (a *burnRateAnalyzer) burn(ctx context.Context, window time.Duration) (float64, float64, error) {
+	w := window.String()
+	errInc, err := a.querier.Query(ctx, "increase("+a.errSel+"["+w+"])")
+	if err != nil {
+		return 0, 0, fmt.Errorf("errors over %s: %w", w, err)
+	}
+	totInc, err := a.querier.Query(ctx, "increase("+a.totSel+"["+w+"])")
+	if err != nil {
+		return 0, 0, fmt.Errorf("total over %s: %w", w, err)
+	}
+	if totInc <= 0 {
+		return 0, 0, nil
+	}
+	return (errInc / totInc) / a.budget, totInc, nil
+}

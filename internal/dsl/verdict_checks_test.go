@@ -1,0 +1,453 @@
+package dsl
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"bifrost/internal/clock"
+	"bifrost/internal/core"
+	"bifrost/internal/metrics"
+)
+
+// verdictDoc wraps one checks snippet in a minimal two-phase strategy.
+func verdictDoc(checks string) string {
+	return `
+name: verdict-test
+deployment:
+  services:
+    - service: svc
+      proxy: 127.0.0.1:8081
+      versions:
+        - name: stable
+          endpoint: 127.0.0.1:9001
+        - name: candidate
+          endpoint: 127.0.0.1:9002
+strategy:
+  phases:
+    - phase: canary
+      duration: 60s
+      routes:
+        - route:
+            service: svc
+            weights: {stable: 90, candidate: 10}
+      checks:
+` + checks + `
+      on:
+        success: done
+        failure: rollback
+    - phase: done
+    - phase: rollback
+`
+}
+
+func verdictCompiler(store *metrics.Store) *Compiler {
+	return &Compiler{Providers: map[string]Querier{
+		"prom": metrics.StoreQuerier{Store: store},
+	}}
+}
+
+func compileVerdict(t *testing.T, store *metrics.Store, checks string) *core.Check {
+	t.Helper()
+	s, err := verdictCompiler(store).Compile(verdictDoc(checks))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	st, ok := s.Automaton.State("canary")
+	if !ok || len(st.Checks) != 1 {
+		t.Fatalf("canary state: %+v", st)
+	}
+	return &st.Checks[0]
+}
+
+func seedLatency(store *metrics.Store, clk clock.Clock, version string, base float64, n int) {
+	now := clk.Now()
+	for i := 0; i < n; i++ {
+		store.Append("response_ms", metrics.Labels{"version": version},
+			base+float64(i%5), now.Add(-time.Duration(n-i)*100*time.Millisecond))
+	}
+}
+
+const compareYAML = `
+        - compare:
+            name: latency-ab
+            provider: prom
+            baseline: response_ms{version="stable"}
+            candidate: response_ms{version="candidate"}
+            window: 30s
+            confidence: 0.99
+            intervalTime: 5
+            intervalLimit: 3
+`
+
+func TestCompareCheckVerdicts(t *testing.T) {
+	clk := clock.NewManual(time.Date(2026, 7, 30, 10, 0, 0, 0, time.UTC))
+	store := metrics.NewStore(metrics.WithClock(clk))
+	c := compileVerdict(t, store, compareYAML)
+	if c.Kind != core.CompareCheck || c.Analyze == nil {
+		t.Fatalf("check = %+v", c)
+	}
+
+	// No data at all: inconclusive, ErrNoData surfaced in the verdict.
+	v, err := c.Analyze.Analyze(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Decision != core.DecisionContinue || !strings.Contains(v.Err, "no data") {
+		t.Errorf("empty-store verdict = %+v, want continue with no-data error", v)
+	}
+
+	// Comparable populations: pass.
+	seedLatency(store, clk, "stable", 100, 40)
+	seedLatency(store, clk, "candidate", 100.5, 40)
+	v, _ = c.Analyze.Analyze(context.Background())
+	if v.Decision != core.DecisionPass {
+		t.Errorf("similar populations: %+v, want pass", v)
+	}
+	if len(v.Windows) != 2 || v.Windows[0].Name != "baseline" || v.Windows[1].Name != "candidate" {
+		t.Errorf("windows = %+v", v.Windows)
+	}
+
+	// Candidate clearly slower: fail with a small p-value.
+	store2 := metrics.NewStore(metrics.WithClock(clk))
+	c2 := compileVerdict(t, store2, compareYAML)
+	seedLatency(store2, clk, "stable", 100, 40)
+	seedLatency(store2, clk, "candidate", 150, 40)
+	v, _ = c2.Analyze.Analyze(context.Background())
+	if v.Decision != core.DecisionFail {
+		t.Errorf("degraded candidate: %+v, want fail", v)
+	}
+	if v.Statistic <= 0 || v.PValue > 0.01 {
+		t.Errorf("t = %v, p = %v; want positive t, p ≤ 0.01", v.Statistic, v.PValue)
+	}
+}
+
+func TestCompareCheckMinSamples(t *testing.T) {
+	clk := clock.NewManual(time.Date(2026, 7, 30, 10, 0, 0, 0, time.UTC))
+	store := metrics.NewStore(metrics.WithClock(clk))
+	c := compileVerdict(t, store, compareYAML)
+	seedLatency(store, clk, "stable", 100, 40)
+	seedLatency(store, clk, "candidate", 150, 3) // below the default 5
+	v, _ := c.Analyze.Analyze(context.Background())
+	if v.Decision != core.DecisionContinue {
+		t.Errorf("thin candidate arm: %+v, want continue", v)
+	}
+}
+
+func TestSequentialCheckConcludes(t *testing.T) {
+	clk := clock.NewManual(time.Date(2026, 7, 30, 10, 0, 0, 0, time.UTC))
+	store := metrics.NewStore(metrics.WithClock(clk))
+	c := compileVerdict(t, store, `
+        - sequential:
+            name: ab-gate
+            provider: prom
+            errors: request_errors_total{version="candidate"}
+            total: requests_total{version="candidate"}
+            p0: 0.01
+            p1: 0.10
+            intervalTime: 5
+            intervalLimit: 12
+            fallback: rollback
+`)
+	if c.Kind != core.SequentialCheck || c.Fallback != "rollback" {
+		t.Fatalf("check = %+v", c)
+	}
+	ra, ok := c.Analyze.(core.ResettableAnalyzer)
+	if !ok {
+		t.Fatal("sequential analyzer is not resettable")
+	}
+
+	// No data yet: inconclusive with the query error noted.
+	v, _ := ra.Analyze(context.Background())
+	if v.Decision != core.DecisionContinue || !strings.Contains(v.Err, "no data") {
+		t.Errorf("empty-store verdict = %+v", v)
+	}
+
+	// The first data-bearing execution only baselines the cumulative
+	// counters; the next one observes the delta — 30% failures, far
+	// above p1 = 10% — and the gate concludes degraded.
+	now := clk.Now()
+	seed := func(step int, errs, total float64) {
+		at := now.Add(time.Duration(step) * time.Second)
+		store.Append("request_errors_total", metrics.Labels{"version": "candidate"}, errs, at)
+		store.Append("requests_total", metrics.Labels{"version": "candidate"}, total, at)
+	}
+	seed(0, 0, 0)
+	clk.Advance(time.Second)
+	v, _ = ra.Analyze(context.Background())
+	if v.Decision != core.DecisionContinue {
+		t.Errorf("baseline execution: %+v, want continue", v)
+	}
+	seed(1, 30, 100)
+	clk.Advance(time.Second)
+	v, _ = ra.Analyze(context.Background())
+	if v.Decision != core.DecisionFail {
+		t.Errorf("30%% failures: %+v, want fail", v)
+	}
+	if v.LLR < 0 {
+		t.Errorf("llr = %v, want positive (evidence of degradation)", v.LLR)
+	}
+
+	// Each request is counted exactly once: the observed trials equal the
+	// counter delta, not a window re-count.
+	if n := v.Windows[0].Count; n != 100 {
+		t.Errorf("trials = %v, want 100", n)
+	}
+
+	// Reset clears all accumulated evidence and the counter baseline.
+	ra.Reset()
+	v, _ = ra.Analyze(context.Background())
+	if v.Decision != core.DecisionContinue || v.LLR != 0 {
+		t.Errorf("after reset: %+v, want fresh baseline with llr 0", v)
+	}
+}
+
+func TestSequentialCheckPassesOnHealthy(t *testing.T) {
+	clk := clock.NewManual(time.Date(2026, 7, 30, 10, 0, 0, 0, time.UTC))
+	store := metrics.NewStore(metrics.WithClock(clk))
+	c := compileVerdict(t, store, `
+        - sequential:
+            name: ab-gate
+            provider: prom
+            errors: request_errors_total{version="candidate"}
+            total: requests_total{version="candidate"}
+            p0: 0.02
+            effect: 10
+            intervalTime: 5
+            intervalLimit: 12
+`)
+	now := clk.Now()
+	store.Append("request_errors_total", metrics.Labels{"version": "candidate"}, 0, now)
+	store.Append("requests_total", metrics.Labels{"version": "candidate"}, 0, now)
+	if v, _ := c.Analyze.Analyze(context.Background()); v.Decision != core.DecisionContinue {
+		t.Fatalf("baseline execution: %+v, want continue", v)
+	}
+	store.Append("request_errors_total", metrics.Labels{"version": "candidate"}, 0, now.Add(time.Second))
+	store.Append("requests_total", metrics.Labels{"version": "candidate"}, 200, now.Add(time.Second))
+	clk.Advance(2 * time.Second)
+	v, _ := c.Analyze.Analyze(context.Background())
+	if v.Decision != core.DecisionPass {
+		t.Errorf("zero failures over 200 trials: %+v, want pass", v)
+	}
+}
+
+func TestBurnRateCheckVerdicts(t *testing.T) {
+	clk := clock.NewManual(time.Date(2026, 7, 30, 10, 0, 0, 0, time.UTC))
+	store := metrics.NewStore(metrics.WithClock(clk))
+	c := compileVerdict(t, store, `
+        - burnrate:
+            name: slo-guard
+            provider: prom
+            errors: request_errors_total{service="svc"}
+            total: requests_total{service="svc"}
+            slo: 99
+            shortWindow: 30s
+            longWindow: 2m
+            factor: 10
+            intervalTime: 5
+            intervalLimit: 12
+            fallback: rollback
+`)
+	if c.Kind != core.BurnRateCheck || c.Fallback != "rollback" {
+		t.Fatalf("check = %+v", c)
+	}
+
+	// Empty store: inconclusive with ErrNoData noted.
+	v, _ := c.Analyze.Analyze(context.Background())
+	if v.Decision != core.DecisionContinue || !strings.Contains(v.Err, "no data") {
+		t.Errorf("empty-store verdict = %+v", v)
+	}
+
+	// Healthy traffic: ≈0.1% errors against a 1% budget. Both windows
+	// need at least two samples for a counter increase to exist.
+	now := clk.Now()
+	seed := func(offset time.Duration, errs, total float64) {
+		store.Append("request_errors_total", metrics.Labels{"service": "svc"}, errs, now.Add(offset))
+		store.Append("requests_total", metrics.Labels{"service": "svc"}, total, now.Add(offset))
+	}
+	seed(-2*time.Minute, 0, 0)
+	seed(-20*time.Second, 0, 500)
+	seed(-time.Second, 1, 1000)
+	v, _ = c.Analyze.Analyze(context.Background())
+	if v.Decision != core.DecisionPass {
+		t.Errorf("healthy traffic: %+v, want pass", v)
+	}
+
+	// Error explosion: 50% errors burns the budget 50× in both windows.
+	seed(time.Second, 501, 2000)
+	clk.Advance(2 * time.Second)
+	v, _ = c.Analyze.Analyze(context.Background())
+	if v.Decision != core.DecisionFail {
+		t.Errorf("error explosion: %+v, want fail", v)
+	}
+	if len(v.Windows) != 2 || v.Windows[0].Value < 10 || v.Windows[1].Value < 10 {
+		t.Errorf("windows = %+v, want both burning ≥ 10×", v.Windows)
+	}
+}
+
+func TestVerdictCheckCompileErrors(t *testing.T) {
+	store := metrics.NewStore()
+	cases := map[string]string{
+		"unknown provider": `
+        - compare:
+            name: x
+            provider: ghost
+            baseline: m{v="a"}
+            candidate: m{v="b"}
+            window: 30s
+`,
+		"missing window": `
+        - compare:
+            name: x
+            provider: prom
+            baseline: m{v="a"}
+            candidate: m{v="b"}
+`,
+		"bad selector": `
+        - compare:
+            name: x
+            provider: prom
+            baseline: rate(m[1m])
+            candidate: m{v="b"}
+            window: 30s
+`,
+		"bad confidence": `
+        - compare:
+            name: x
+            provider: prom
+            baseline: m{v="a"}
+            candidate: m{v="b"}
+            window: 30s
+            confidence: 1.5
+`,
+		"bad direction": `
+        - compare:
+            name: x
+            provider: prom
+            baseline: m{v="a"}
+            candidate: m{v="b"}
+            window: 30s
+            direction: "<="
+`,
+		"sequential p0 ≥ p1": `
+        - sequential:
+            name: x
+            provider: prom
+            errors: e{v="b"}
+            total: t{v="b"}
+            p0: 0.2
+            p1: 0.1
+            intervalTime: 5
+`,
+		"burnrate without fallback": `
+        - burnrate:
+            name: x
+            provider: prom
+            errors: e{v="b"}
+            total: t{v="b"}
+            slo: 99
+            intervalTime: 5
+`,
+		"burnrate slo out of range": `
+        - burnrate:
+            name: x
+            provider: prom
+            errors: e{v="b"}
+            total: t{v="b"}
+            slo: 120
+            fallback: rollback
+            intervalTime: 5
+`,
+		"burnrate windows inverted": `
+        - burnrate:
+            name: x
+            provider: prom
+            errors: e{v="b"}
+            total: t{v="b"}
+            slo: 99
+            shortWindow: 10m
+            longWindow: 1m
+            fallback: rollback
+            intervalTime: 5
+`,
+		"unknown field": `
+        - sequential:
+            name: x
+            provider: prom
+            errors: e{v="b"}
+            total: t{v="b"}
+            typo: true
+            intervalTime: 5
+`,
+		"two kinds in one element": `
+        - compare:
+            name: x
+            provider: prom
+            baseline: m{v="a"}
+            candidate: m{v="b"}
+            window: 30s
+          burnrate:
+            name: y
+            provider: prom
+            errors: e{v="b"}
+            total: t{v="b"}
+            slo: 99
+            fallback: rollback
+            intervalTime: 5
+`,
+		"stray key beside the kind": `
+        - metric:
+            name: x
+            provider: prom
+            query: m
+            validator: "<5"
+          fallback: rollback
+`,
+		"onInconclusive typo": `
+        - compare:
+            name: x
+            provider: prom
+            baseline: m{v="a"}
+            candidate: m{v="b"}
+            window: 30s
+            onInconclusive: maybe
+`,
+	}
+	for name, checks := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := verdictCompiler(store).Compile(verdictDoc(checks)); err == nil {
+				t.Errorf("compiled successfully, want error")
+			}
+		})
+	}
+}
+
+// queryOnlyQuerier implements Querier but not MomentsQuerier.
+type queryOnlyQuerier struct{}
+
+func (queryOnlyQuerier) Query(context.Context, string) (float64, error) { return 0, nil }
+
+func TestCompareNeedsMomentsCapableProvider(t *testing.T) {
+	c := &Compiler{Providers: map[string]Querier{"prom": queryOnlyQuerier{}}}
+	_, err := c.Compile(verdictDoc(compareYAML))
+	if err == nil || !strings.Contains(err.Error(), "moments") {
+		t.Errorf("err = %v, want moments-capability error", err)
+	}
+}
+
+func TestOnInconclusivePassDecodes(t *testing.T) {
+	store := metrics.NewStore()
+	c := compileVerdict(t, store, `
+        - compare:
+            name: latency-ab
+            provider: prom
+            baseline: m{v="a"}
+            candidate: m{v="b"}
+            window: 30s
+            onInconclusive: pass
+`)
+	if !c.InconclusivePass {
+		t.Error("onInconclusive: pass not decoded")
+	}
+}

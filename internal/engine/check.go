@@ -8,21 +8,42 @@ import (
 	"bifrost/internal/core"
 )
 
+// interruptMsg asks the state loop to end the current state before its
+// timer: target names the state to jump to directly (exception fallbacks,
+// burn-rate rollbacks), or is empty to end the state now and let δ decide
+// from the aggregated outcomes (a sequential check concluding early).
+type interruptMsg struct {
+	target string
+	// cause labels the transition: "exception", "burnrate", "sequential".
+	cause string
+}
+
 // checkRunner executes one check's timed (re-)executions within a state,
 // implementing the τ timer mechanism of §3.2 and Figure 3 of the paper.
+// Statistical checks (compare, sequential, burnrate) run their Analyzer
+// instead of the boolean evaluator and carry a typed Verdict.
 type checkRunner struct {
 	run       *Run
 	check     *core.Check
-	interrupt chan<- string
+	interrupt chan<- interruptMsg
 
-	mu         sync.Mutex
-	executions int
-	successes  int
-	failures   int
-	lastError  string
+	mu           sync.Mutex
+	executions   int
+	successes    int
+	failures     int
+	inconclusive int
+	lastError    string
+	lastVerdict  core.Verdict
+	concluded    bool
 }
 
-func newCheckRunner(r *Run, c *core.Check, interrupt chan<- string) *checkRunner {
+func newCheckRunner(r *Run, c *core.Check, interrupt chan<- interruptMsg) *checkRunner {
+	// Analyzers that accumulate evidence across executions (the
+	// sequential check's SPRT) restart fresh each time the state is
+	// (re-)entered.
+	if ra, ok := c.Analyze.(core.ResettableAnalyzer); ok {
+		ra.Reset()
+	}
 	return &checkRunner{run: r, check: c, interrupt: interrupt}
 }
 
@@ -58,6 +79,10 @@ func (cr *checkRunner) runOnce(ctx context.Context) {
 }
 
 func (cr *checkRunner) executeOnce(ctx context.Context) {
+	if cr.check.Analyze != nil {
+		cr.executeAnalysis(ctx)
+		return
+	}
 	ok, err := cr.check.Eval.Evaluate(ctx)
 	cr.run.engine.mChecks.Inc()
 
@@ -87,7 +112,7 @@ func (cr *checkRunner) executeOnce(ctx context.Context) {
 	// transition immediately (first failure wins; later ones are no-ops).
 	if !ok && cr.check.Kind == core.ExceptionCheck {
 		select {
-		case cr.interrupt <- cr.check.Fallback:
+		case cr.interrupt <- interruptMsg{target: cr.check.Fallback, cause: "exception"}:
 			cr.run.engine.bus.publish(Event{
 				Strategy: cr.run.strategy.Name,
 				Type:     EventExceptionTriggered,
@@ -101,13 +126,128 @@ func (cr *checkRunner) executeOnce(ctx context.Context) {
 	}
 }
 
+// executeAnalysis runs one execution of a statistical check: the analyzer
+// produces a Verdict, which is tallied, published, and — for sequential
+// conclusions and burn-rate alarms — turned into a state interrupt.
+func (cr *checkRunner) executeAnalysis(ctx context.Context) {
+	v, err := cr.check.Analyze.Analyze(ctx)
+	if ctx.Err() != nil {
+		// The state ended while the analysis was in flight (timer expiry,
+		// another check's interrupt, an operator decision). Discard this
+		// execution entirely: a query aborted mid-request must not
+		// overwrite the check's last real verdict with an inconclusive
+		// one right before the outcomes are aggregated.
+		return
+	}
+	cr.run.engine.mChecks.Inc()
+	if err != nil {
+		// A broken analysis (misconfiguration, unreachable provider) is
+		// inconclusive for this execution; the error surfaces in status.
+		v = core.Verdict{Decision: core.DecisionContinue, Err: err.Error()}
+	}
+
+	cr.mu.Lock()
+	cr.executions++
+	cr.lastVerdict = v
+	switch v.Decision {
+	case core.DecisionPass:
+		cr.successes++
+	case core.DecisionFail:
+		cr.failures++
+	default:
+		cr.inconclusive++
+	}
+	if v.Err != "" {
+		cr.lastError = v.Err
+	}
+	firstConclusion := false
+	if cr.check.Kind == core.SequentialCheck &&
+		v.Decision != core.DecisionContinue && !cr.concluded {
+		cr.concluded = true
+		firstConclusion = true
+	}
+	cr.mu.Unlock()
+
+	now := cr.run.engine.clk.Now()
+	cr.run.engine.bus.publish(Event{
+		Strategy: cr.run.strategy.Name,
+		Type:     EventCheckExecuted,
+		State:    cr.currentState(),
+		Check:    cr.check.Name,
+		Outcome:  boolToInt(v.Decision == core.DecisionPass),
+		Verdict:  &v,
+		Time:     now,
+	})
+
+	switch cr.check.Kind {
+	case core.SequentialCheck:
+		if !firstConclusion {
+			return
+		}
+		// The gate concluded: end the state now. A failing conclusion
+		// with a configured fallback jumps there directly; otherwise the
+		// early end goes through the normal δ aggregation, where this
+		// check maps to 1 (pass) or 0 (fail).
+		msg := interruptMsg{cause: "sequential"}
+		if v.Decision == core.DecisionFail {
+			msg.target = cr.check.Fallback
+		}
+		select {
+		case cr.interrupt <- msg:
+			cr.run.engine.bus.publish(Event{
+				Strategy: cr.run.strategy.Name,
+				Type:     EventCheckConcluded,
+				State:    cr.currentState(),
+				Check:    cr.check.Name,
+				Detail:   string(v.Decision),
+				Verdict:  &v,
+				Time:     now,
+			})
+		default:
+		}
+	case core.BurnRateCheck:
+		if v.Decision != core.DecisionFail {
+			return
+		}
+		select {
+		case cr.interrupt <- interruptMsg{target: cr.check.Fallback, cause: "burnrate"}:
+			cr.run.engine.bus.publish(Event{
+				Strategy: cr.run.strategy.Name,
+				Type:     EventBurnRateTriggered,
+				State:    cr.currentState(),
+				Check:    cr.check.Name,
+				Detail:   cr.check.Fallback,
+				Verdict:  &v,
+				Time:     now,
+			})
+		default:
+		}
+	}
+}
+
 // mappedOutcome aggregates the execution results (Σ f_j) and maps basic
 // checks through their output mapping Out_ci. Exception checks contribute
 // their raw success count, which equals n when all executions succeeded.
+// Statistical checks contribute their latest verdict: pass → 1, fail → 0,
+// still-continue → InconclusivePass.
 func (cr *checkRunner) mappedOutcome() (int, error) {
 	cr.mu.Lock()
 	successes := cr.successes
+	verdict := cr.lastVerdict
 	cr.mu.Unlock()
+	if cr.check.Kind.Statistical() {
+		switch verdict.Decision {
+		case core.DecisionPass:
+			return 1, nil
+		case core.DecisionFail:
+			return 0, nil
+		default:
+			if cr.check.InconclusivePass {
+				return 1, nil
+			}
+			return 0, nil
+		}
+	}
 	if cr.check.Kind == core.ExceptionCheck {
 		return successes, nil
 	}
@@ -117,14 +257,28 @@ func (cr *checkRunner) mappedOutcome() (int, error) {
 func (cr *checkRunner) snapshot() CheckStatus {
 	cr.mu.Lock()
 	defer cr.mu.Unlock()
-	return CheckStatus{
-		Name:       cr.check.Name,
-		Kind:       cr.check.Kind.String(),
-		Executions: cr.executions,
-		Successes:  cr.successes,
-		Failures:   cr.failures,
-		LastError:  cr.lastError,
+	st := CheckStatus{
+		Name:         cr.check.Name,
+		Kind:         cr.check.Kind.String(),
+		Executions:   cr.executions,
+		Successes:    cr.successes,
+		Failures:     cr.failures,
+		Inconclusive: cr.inconclusive,
+		LastError:    cr.lastError,
 	}
+	if cr.check.Kind.Statistical() && cr.executions > 0 {
+		v := cr.lastVerdict
+		st.Verdict = &v
+	}
+	return st
+}
+
+// hasConcluded reports whether a sequential check has reached its sticky
+// decision.
+func (cr *checkRunner) hasConcluded() bool {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	return cr.concluded
 }
 
 func (cr *checkRunner) currentState() string {

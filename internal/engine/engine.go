@@ -7,6 +7,17 @@
 // function δ, and reconfigures the affected Bifrost proxies whenever a
 // state change happens. Many strategies run in parallel — the paper's
 // scalability evaluation (§5.2) drives exactly this code path.
+//
+// Statistical checks carry a typed core.Verdict through the same
+// machinery: verdicts surface in run status and engine events, a
+// concluding sequential gate or a tripped burn-rate guard interrupts the
+// state ahead of its timer (check.go), and operators can pause, resume,
+// or override any gate manually (run.go).
+//
+// Runs are exposed as lifecycle resources by the REST API v2 (api.go):
+// schedule with dry-run analysis, pause/resume with generation-checked
+// resumes, manual promote/rollback, per-run event history, and a live
+// Server-Sent-Events stream shared by the CLI and the dashboard.
 package engine
 
 import (

@@ -3,6 +3,8 @@ package engine
 import (
 	"sync"
 	"time"
+
+	"bifrost/internal/core"
 )
 
 // EventType classifies engine events.
@@ -15,13 +17,21 @@ const (
 	EventRoutingApplied     EventType = "routing_applied"
 	EventCheckExecuted      EventType = "check_executed"
 	EventExceptionTriggered EventType = "exception_triggered"
-	EventTransition         EventType = "transition"
-	EventPaused             EventType = "paused"
-	EventResumed            EventType = "resumed"
-	EventGateDecision       EventType = "gate_decision"
-	EventCompleted          EventType = "completed"
-	EventAborted            EventType = "aborted"
-	EventError              EventType = "error"
+	// EventCheckConcluded marks a sequential check reaching a decision
+	// before the state timer: the state ends early and either δ fires or
+	// the check's fallback is taken.
+	EventCheckConcluded EventType = "check_concluded"
+	// EventBurnRateTriggered marks a burnrate check detecting SLO
+	// error-budget burn in both of its windows; the run transitions to
+	// the check's fallback state (automatic rollback).
+	EventBurnRateTriggered EventType = "burnrate_triggered"
+	EventTransition        EventType = "transition"
+	EventPaused            EventType = "paused"
+	EventResumed           EventType = "resumed"
+	EventGateDecision      EventType = "gate_decision"
+	EventCompleted         EventType = "completed"
+	EventAborted           EventType = "aborted"
+	EventError             EventType = "error"
 )
 
 // Event is one observable engine occurrence.
@@ -33,9 +43,13 @@ type Event struct {
 	Check    string    `json:"check,omitempty"`
 	// Detail is type-specific: transition target, routing service,
 	// exception fallback, or error text.
-	Detail  string    `json:"detail,omitempty"`
-	Outcome int       `json:"outcome,omitempty"`
-	Time    time.Time `json:"time"`
+	Detail  string `json:"detail,omitempty"`
+	Outcome int    `json:"outcome,omitempty"`
+	// Verdict carries the statistical result of check_executed,
+	// check_concluded, and burnrate_triggered events for compare,
+	// sequential, and burnrate checks.
+	Verdict *core.Verdict `json:"verdict,omitempty"`
+	Time    time.Time     `json:"time"`
 }
 
 // eventBus fans events out to subscribers and keeps a bounded replay

@@ -88,8 +88,9 @@ type stepResult struct {
 	next    string
 	outcome int
 	// cause records how the transition was decided: "" for δ, "exception"
-	// for an exception-check interrupt, "promote"/"rollback" for manual
-	// operator decisions.
+	// for an exception-check interrupt, "burnrate" for an SLO burn-rate
+	// rollback, "sequential" for a failing sequential gate with a
+	// fallback, "promote"/"rollback" for manual operator decisions.
 	cause string
 	// reenter asks the loop to re-enter the current state (after a
 	// pause/resume cycle: routing is re-applied and all timers reset).
@@ -136,8 +137,9 @@ type Transition struct {
 	Outcome int       `json:"outcome"`
 	At      time.Time `json:"at"`
 	// Cause is empty for automatic δ transitions, "exception" for
-	// exception-check interrupts, and "promote"/"rollback" for manual
-	// operator gate decisions.
+	// exception-check interrupts, "burnrate" for SLO burn-rate rollbacks,
+	// "sequential" for failing sequential gates with a fallback, and
+	// "promote"/"rollback" for manual operator gate decisions.
 	Cause string `json:"cause,omitempty"`
 }
 
@@ -148,7 +150,13 @@ type CheckStatus struct {
 	Executions int    `json:"executions"`
 	Successes  int    `json:"successes"`
 	Failures   int    `json:"failures"`
-	LastError  string `json:"lastError,omitempty"`
+	// Inconclusive counts executions of a statistical check that could
+	// not conclude (insufficient data in the window, provider errors).
+	Inconclusive int    `json:"inconclusive,omitempty"`
+	LastError    string `json:"lastError,omitempty"`
+	// Verdict is the latest statistical verdict of a compare, sequential,
+	// or burnrate check.
+	Verdict *core.Verdict `json:"verdict,omitempty"`
 }
 
 // Strategy returns the strategy this run enacts.
@@ -397,7 +405,7 @@ func (r *Run) executeState(ctx context.Context, state *core.State, book bool) (s
 	stateCtx, cancelState := context.WithCancel(ctx)
 	defer cancelState()
 
-	interrupt := make(chan string, 1)
+	interrupt := make(chan interruptMsg, 1)
 	runners := make([]*checkRunner, 0, len(state.Checks))
 	var wg sync.WaitGroup
 	for i := range state.Checks {
@@ -420,8 +428,9 @@ func (r *Run) executeState(ctx context.Context, state *core.State, book bool) (s
 	}()
 
 	// The state ends when: its explicit duration elapses; otherwise when
-	// every timed check finishes; an exception check interrupts; an operator
-	// issues a gate decision or pause; or the run is aborted.
+	// every timed check finishes; an exception, burnrate, or concluding
+	// sequential check interrupts; an operator issues a gate decision or
+	// pause; or the run is aborted.
 	var timerC <-chan time.Time
 	allDoneC := allDone
 	if state.Duration > 0 {
@@ -431,7 +440,7 @@ func (r *Run) executeState(ctx context.Context, state *core.State, book bool) (s
 		allDoneC = nil // explicit duration governs even if checks finish early
 	}
 
-	fallback := ""
+	var intr *interruptMsg
 wait:
 	for {
 		select {
@@ -439,7 +448,8 @@ wait:
 			break wait
 		case <-allDoneC:
 			break wait
-		case fallback = <-interrupt:
+		case msg := <-interrupt:
+			intr = &msg
 			break wait
 		case msg := <-r.controls:
 			switch msg.kind {
@@ -472,19 +482,33 @@ wait:
 	cancelState()
 	wg.Wait()
 
-	if fallback != "" {
-		// Exception semantics: jump immediately to the fallback state.
-		return stepResult{next: fallback, cause: "exception"}, nil
+	if intr != nil && intr.target != "" {
+		// Exception/burn-rate semantics: jump immediately to the named
+		// fallback state. An interrupt without a target (a sequential
+		// check concluding early) instead falls through to the normal
+		// end-of-state aggregation, just earlier than the timer.
+		return stepResult{next: intr.target, cause: intr.cause}, nil
 	}
 
 	// Execute end-of-state checks (no timer: run once now), then
-	// aggregate the weighted outcome and fire δ.
+	// aggregate the weighted outcome and fire δ. When a sequential check
+	// ended the state early, the other outcome-gating statistical checks'
+	// schedules were cancelled mid-flight — give each unconcluded one a
+	// final fresh execution so the aggregation sees its verdict as of
+	// *now* rather than a stale mid-schedule "continue" that would
+	// spuriously fail the phase the gate just passed. Interrupt-only
+	// kinds (burnrate) are excluded: their interrupt channel is no longer
+	// read here, so re-executing them could announce a rollback that
+	// never happens.
+	earlyConcluded := intr != nil
 	results := make([]int, len(state.Checks))
 	r.mu.Lock()
 	r.status.Checks = r.status.Checks[:0]
 	r.mu.Unlock()
 	for i, cr := range runners {
-		if state.Checks[i].Interval <= 0 {
+		kind := state.Checks[i].Kind
+		if state.Checks[i].Interval <= 0 ||
+			(earlyConcluded && kind.Statistical() && !kind.InterruptOnly() && !cr.hasConcluded()) {
 			cr.runOnce(ctx)
 		}
 		mapped, err := cr.mappedOutcome()

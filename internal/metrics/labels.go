@@ -4,6 +4,14 @@
 // HTTP query API, a query-expression language, and the check "validator"
 // expressions from the DSL (e.g. "<5").
 //
+// Each series keeps, next to its bounded ring of raw samples, a ring of
+// pre-aggregated bucket summaries (summary.go); windowed queries — rate,
+// increase, the *_over_time family — combine whole buckets and touch raw
+// samples only at the window edges, and wide-window quantiles stream
+// through a P² estimator. The store also answers moments queries
+// (count/mean/variance of a population window, store and HTTP API), the
+// raw material of the DSL's statistical compare checks.
+//
 // The paper's prototype is "primarily built for Prometheus" (§4.2.2); this
 // package is the standard-library-only stand-in, serving the same queries
 // over the same kind of scraped counters and gauges.

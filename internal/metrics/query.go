@@ -20,9 +20,14 @@ import (
 //	increase(http_requests{...}[30s])           counter delta over window
 //	avg_over_time(response_ms{...}[1m])         pooled window aggregations:
 //	min_over_time, max_over_time,
-//	sum_over_time, count_over_time
+//	sum_over_time, count_over_time,
+//	stddev_over_time, var_over_time
 //	quantile_over_time(0.95, response_ms{...}[1m])
 //	scalar arithmetic: a / b, a + b, a - b, a * b, parentheses, numbers
+//
+// Window functions are answered from the per-series pre-aggregated bucket
+// summaries where possible (see summary.go); wide-window quantiles stream
+// through a P² estimator instead of sorting a copy of the window.
 //
 // A query that matches no fresh data returns ErrNoData.
 func (s *Store) Query(expr string, at time.Time) (float64, error) {
@@ -100,47 +105,16 @@ type rangeNode struct {
 }
 
 func (n *rangeNode) eval(s *Store, at time.Time) (float64, error) {
-	perSeries := s.RangeSamples(n.name, n.selector, n.window, at)
-	if len(perSeries) == 0 {
-		return 0, ErrNoData
+	if !rangeFuncs[n.fn] {
+		return 0, errUnknownRangeFn(n.fn)
 	}
-	switch n.fn {
-	case "rate", "increase":
-		var total float64
-		for _, samples := range perSeries {
-			total += counterIncrease(samples)
-		}
-		if n.fn == "rate" {
-			secs := n.window.Seconds()
-			if secs <= 0 {
-				return 0, fmt.Errorf("metrics: zero range window")
-			}
-			return total / secs, nil
-		}
-		return total, nil
-	}
-	// Pooled window aggregations.
-	pool := make([]float64, 0, 64)
-	for _, samples := range perSeries {
-		for _, sm := range samples {
-			pool = append(pool, sm.V)
-		}
-	}
-	switch n.fn {
-	case "avg_over_time":
-		return reduce(pool, "avg")
-	case "min_over_time":
-		return reduce(pool, "min")
-	case "max_over_time":
-		return reduce(pool, "max")
-	case "sum_over_time":
-		return reduce(pool, "sum")
-	case "count_over_time":
-		return reduce(pool, "count")
-	case "quantile_over_time":
-		return quantile(pool, n.q), nil
-	}
-	return 0, fmt.Errorf("metrics: unknown range function %q", n.fn)
+	return s.WindowAggregate(n.fn, n.q, n.name, n.selector, n.window, at)
+}
+
+var errZeroWindow = fmt.Errorf("metrics: zero range window")
+
+func errUnknownRangeFn(fn string) error {
+	return fmt.Errorf("metrics: unknown range function %q", fn)
 }
 
 // counterIncrease computes the increase of a counter over its samples,
@@ -193,6 +167,8 @@ var rangeFuncs = map[string]bool{
 	"max_over_time":      true,
 	"sum_over_time":      true,
 	"count_over_time":    true,
+	"stddev_over_time":   true,
+	"var_over_time":      true,
 	"quantile_over_time": true,
 }
 
@@ -465,6 +441,31 @@ func (p *queryParser) parseIdent() string {
 		p.pos++
 	}
 	return p.input[start:p.pos]
+}
+
+// ParseRangeSelector parses a bare range-vector selector such as
+// `response_ms{version="candidate"}[30s]` into its metric name, label
+// matches, and window. The moments API and the DSL's compare checks use
+// it to address one population window.
+func ParseRangeSelector(expr string) (name string, selector []LabelMatch, window time.Duration, err error) {
+	p := &queryParser{input: expr}
+	p.skipSpace()
+	if !isIdentStart(p.peek()) {
+		return "", nil, 0, p.errf("expected metric name in range selector %q", expr)
+	}
+	node, err := p.parseSelectorTail(p.parseIdent(), "")
+	if err != nil {
+		return "", nil, 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return "", nil, 0, p.errf("trailing input in range selector %q", expr)
+	}
+	rn, ok := node.(*rangeNode)
+	if !ok {
+		return "", nil, 0, fmt.Errorf("metrics: %q has no range window (expected m{...}[30s])", expr)
+	}
+	return rn.name, rn.selector, rn.window, nil
 }
 
 func isIdentStart(c byte) bool {

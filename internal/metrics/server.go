@@ -15,6 +15,9 @@ import (
 // Server exposes a Store over HTTP with a Prometheus-shaped API:
 //
 //	GET  /api/v1/query?query=EXPR     → {"status":"success","data":{"value":N}}
+//	GET  /api/v1/moments?query=SEL    → window moments of a range selector
+//	                                    (count/mean/variance/min/max), the
+//	                                    populations of a `compare` check
 //	POST /api/v1/ingest               → bulk sample ingestion (JSON)
 //	GET  /api/v1/series               → distinct metric names
 //	GET  /-/healthy                   → liveness
@@ -36,6 +39,13 @@ type queryData struct {
 	Value float64 `json:"value"`
 }
 
+// momentsResponse is the JSON envelope of /api/v1/moments.
+type momentsResponse struct {
+	Status string  `json:"status"`
+	Data   Moments `json:"data"`
+	Error  string  `json:"error,omitempty"`
+}
+
 // IngestSample is one pushed sample in an ingest request.
 type IngestSample struct {
 	Name   string            `json:"name"`
@@ -49,6 +59,7 @@ type IngestSample struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/v1/query", s.handleQuery)
+	mux.HandleFunc("GET /api/v1/moments", s.handleMoments)
 	mux.HandleFunc("POST /api/v1/ingest", s.handleIngest)
 	mux.HandleFunc("GET /api/v1/series", s.handleSeries)
 	mux.HandleFunc("GET /-/healthy", func(w http.ResponseWriter, r *http.Request) {
@@ -73,6 +84,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	httpx.WriteJSON(w, http.StatusOK, queryResponse{
 		Status: "success", Data: queryData{Value: v},
 	})
+}
+
+func (s *Server) handleMoments(w http.ResponseWriter, r *http.Request) {
+	expr := r.URL.Query().Get("query")
+	if expr == "" {
+		httpx.WriteError(w, http.StatusBadRequest, "missing query parameter")
+		return
+	}
+	name, selector, window, err := ParseRangeSelector(expr)
+	if err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	m, err := s.store.WindowMoments(name, selector, window, s.store.clk.Now())
+	if err != nil {
+		httpx.WriteJSON(w, http.StatusUnprocessableEntity, momentsResponse{
+			Status: "error", Error: err.Error(),
+		})
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, momentsResponse{Status: "success", Data: m})
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -121,9 +153,48 @@ func (c *Client) Query(ctx context.Context, expr string) (float64, error) {
 	return resp.Data.Value, nil
 }
 
+// Moments evaluates a range selector like `response_ms{version="x"}[30s]`
+// remotely and returns the pooled window moments of the matched samples.
+func (c *Client) Moments(ctx context.Context, rangeExpr string) (Moments, error) {
+	u := c.BaseURL + "/api/v1/moments?query=" + url.QueryEscape(rangeExpr)
+	var resp momentsResponse
+	if err := httpx.GetJSON(ctx, u, &resp); err != nil {
+		var apiErr *httpx.Error
+		if asHTTPError(err, &apiErr) {
+			return Moments{}, fmt.Errorf("metrics moments %q: %s", rangeExpr, apiErr.Message)
+		}
+		return Moments{}, fmt.Errorf("metrics moments %q: %w", rangeExpr, err)
+	}
+	if resp.Status != "success" {
+		return Moments{}, fmt.Errorf("metrics moments %q: %s", rangeExpr, resp.Error)
+	}
+	return resp.Data, nil
+}
+
 // Push ingests samples remotely.
 func (c *Client) Push(ctx context.Context, samples []IngestSample) error {
 	return httpx.PostJSON(ctx, c.BaseURL+"/api/v1/ingest", samples, nil)
+}
+
+// StoreQuerier adapts an in-process Store to the query interfaces the
+// DSL's checks use (dsl.Querier and dsl.MomentsQuerier), so an engine and
+// its metrics store can be embedded in one process without HTTP.
+type StoreQuerier struct {
+	Store *Store
+}
+
+// Query evaluates expr at the store clock's current time.
+func (q StoreQuerier) Query(_ context.Context, expr string) (float64, error) {
+	return q.Store.QueryNow(expr)
+}
+
+// Moments evaluates a range selector at the store clock's current time.
+func (q StoreQuerier) Moments(_ context.Context, rangeExpr string) (Moments, error) {
+	name, selector, window, err := ParseRangeSelector(rangeExpr)
+	if err != nil {
+		return Moments{}, err
+	}
+	return q.Store.WindowMoments(name, selector, window, q.Store.clk.Now())
 }
 
 func asHTTPError(err error, target **httpx.Error) bool {

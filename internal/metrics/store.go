@@ -10,8 +10,10 @@ import (
 )
 
 // DefaultMaxSamples bounds the ring buffer per series. At one sample per
-// second this covers well over an hour of history, far more than any check
-// window in the evaluation.
+// second 8192 samples cover roughly 2¼ hours of history, comfortably more
+// than any check window in the evaluation; deployments with longer
+// windows or denser sampling raise it with WithMaxSamples (or the metrics
+// server's -max-samples flag).
 const DefaultMaxSamples = 8192
 
 // DefaultStaleness is how far back an instant query looks for the latest
@@ -31,11 +33,12 @@ type Sample struct {
 // Store is the time-series database at the heart of the metrics provider.
 // It is safe for concurrent use.
 type Store struct {
-	mu         sync.RWMutex
-	series     map[string]*series // key: name + "\x00" + labels.Key()
-	maxSamples int
-	staleness  time.Duration
-	clk        clock.Clock
+	mu          sync.RWMutex
+	series      map[string]*series // key: name + "\x00" + labels.Key()
+	maxSamples  int
+	staleness   time.Duration
+	bucketWidth time.Duration
+	clk         clock.Clock
 }
 
 type series struct {
@@ -44,6 +47,14 @@ type series struct {
 	// ring buffer of samples in append order
 	buf   []Sample
 	start int // index of oldest sample once the ring is full
+	// ordered is true while appends arrive in chronological order; only
+	// then are the pre-aggregated bucket summaries maintained and the
+	// binary-search window scans valid.
+	ordered bool
+	// buckets is the pre-aggregation ring (see summary.go), bounded by
+	// the same maxSamples (at most one bucket per sample).
+	buckets []bucket
+	bstart  int
 }
 
 // StoreOption configures a Store.
@@ -64,13 +75,22 @@ func WithClock(c clock.Clock) StoreOption {
 	return func(s *Store) { s.clk = c }
 }
 
+// WithSummaryBucket sets the width of the per-series pre-aggregation
+// buckets window queries are answered from (see DefaultSummaryBucket).
+// Zero or negative disables summaries; every window query then rescans
+// raw samples.
+func WithSummaryBucket(d time.Duration) StoreOption {
+	return func(s *Store) { s.bucketWidth = d }
+}
+
 // NewStore creates an empty time-series store.
 func NewStore(opts ...StoreOption) *Store {
 	s := &Store{
-		series:     make(map[string]*series, 64),
-		maxSamples: DefaultMaxSamples,
-		staleness:  DefaultStaleness,
-		clk:        clock.Real{},
+		series:      make(map[string]*series, 64),
+		maxSamples:  DefaultMaxSamples,
+		staleness:   DefaultStaleness,
+		bucketWidth: DefaultSummaryBucket,
+		clk:         clock.Real{},
 	}
 	for _, o := range opts {
 		o(s)
@@ -86,13 +106,26 @@ func (s *Store) Append(name string, labels Labels, v float64, t time.Time) {
 	sr, ok := s.series[key]
 	if !ok {
 		sr = &series{
-			name:   name,
-			labels: labels.Clone(),
-			buf:    make([]Sample, 0, 64),
+			name:    name,
+			labels:  labels.Clone(),
+			buf:     make([]Sample, 0, 64),
+			ordered: true,
 		}
 		s.series[key] = sr
 	}
-	sr.append(Sample{T: t, V: v}, s.maxSamples)
+	sr.add(Sample{T: t, V: v}, s.maxSamples, s.bucketWidth)
+}
+
+// add appends the sample to the raw ring and folds it into the bucket
+// summaries.
+func (sr *series) add(sm Sample, maxSamples int, bucketWidth time.Duration) {
+	if n := sr.len(); n > 0 && sm.T.Before(sr.at(n-1).T) {
+		sr.ordered = false
+	}
+	sr.append(sm, maxSamples)
+	if bucketWidth > 0 {
+		sr.summarize(sm, bucketWidth, maxSamples)
+	}
 }
 
 func (sr *series) append(sm Sample, maxSamples int) {
@@ -125,6 +158,18 @@ func (sr *series) latestBefore(t time.Time) (Sample, bool) {
 
 // window returns the samples with from < T ≤ to in chronological order.
 func (sr *series) window(from, to time.Time) []Sample {
+	if sr.ordered {
+		lo := sr.searchTime(from.Add(time.Nanosecond))
+		hi := sr.searchTime(to.Add(time.Nanosecond))
+		if lo >= hi {
+			return nil
+		}
+		out := make([]Sample, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, sr.at(i))
+		}
+		return out
+	}
 	out := make([]Sample, 0, 16)
 	for i := 0; i < sr.len(); i++ {
 		sm := sr.at(i)

@@ -29,6 +29,9 @@
 // sharded, capacity-bounded clock-eviction store (sticky.go), so neither
 // a shared rand.Rand nor an unbounded map serializes or sinks the proxy
 // under heavy traffic.
+//
+// docs/architecture.md describes how the proxy, the engine, and the
+// metrics provider fit together in a running deployment.
 package proxy
 
 import (

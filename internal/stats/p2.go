@@ -1,0 +1,126 @@
+package stats
+
+import "sort"
+
+// P2 is the P² (piecewise-parabolic) streaming quantile estimator of Jain
+// & Chlamtac (1985): it tracks a single quantile q of a stream with five
+// markers and O(1) memory, no sample buffer. The metrics store uses it for
+// quantile_over_time over large windows, where sorting a copy of every
+// window sample on each query would dominate the hot path.
+//
+// For streams shorter than five observations the estimate falls back to
+// the exact order statistic.
+type P2 struct {
+	q    float64
+	n    int
+	pos  [5]float64 // marker positions (1-based)
+	des  [5]float64 // desired marker positions
+	h    [5]float64 // marker heights (the running quantile estimates)
+	init [5]float64 // first five observations, sorted lazily
+}
+
+// NewP2 creates an estimator for quantile q ∈ [0, 1].
+func NewP2(q float64) *P2 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return &P2{q: q}
+}
+
+// Count returns the number of observations seen.
+func (p *P2) Count() int { return p.n }
+
+// Add feeds one observation.
+func (p *P2) Add(x float64) {
+	if p.n < 5 {
+		p.init[p.n] = x
+		p.n++
+		if p.n == 5 {
+			sort.Float64s(p.init[:])
+			copy(p.h[:], p.init[:])
+			for i := 0; i < 5; i++ {
+				p.pos[i] = float64(i + 1)
+			}
+			p.des = [5]float64{1, 1 + 2*p.q, 1 + 4*p.q, 3 + 2*p.q, 5}
+		}
+		return
+	}
+
+	// Locate the cell containing x and update extreme heights.
+	var k int
+	switch {
+	case x < p.h[0]:
+		p.h[0] = x
+		k = 0
+	case x >= p.h[4]:
+		p.h[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < p.h[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	p.n++
+	// Desired positions advance by their quantile-proportional increments.
+	inc := [5]float64{0, p.q / 2, p.q, (1 + p.q) / 2, 1}
+	for i := 0; i < 5; i++ {
+		p.des[i] += inc[i]
+	}
+
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := p.des[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			hp := p.parabolic(i, sign)
+			if p.h[i-1] < hp && hp < p.h[i+1] {
+				p.h[i] = hp
+			} else {
+				p.h[i] = p.linear(i, sign)
+			}
+			p.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for marker i
+// moved by d ∈ {−1, +1}.
+func (p *P2) parabolic(i int, d float64) float64 {
+	return p.h[i] + d/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+d)*(p.h[i+1]-p.h[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-d)*(p.h[i]-p.h[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+// linear is the fallback linear height prediction.
+func (p *P2) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return p.h[i] + d*(p.h[j]-p.h[i])/(p.pos[j]-p.pos[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it returns the exact order statistic (NaN-free for any
+// non-empty stream); with none it returns 0.
+func (p *P2) Value() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	if p.n < 5 {
+		vals := make([]float64, p.n)
+		copy(vals, p.init[:p.n])
+		sort.Float64s(vals)
+		idx := int(p.q * float64(p.n-1))
+		return vals[idx]
+	}
+	return p.h[2]
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// SPRTDecision is the state of a sequential probability ratio test.
+type SPRTDecision int
+
+// SPRT outcomes. AcceptH0 means the null hypothesis (healthy, error rate
+// p0) is accepted; AcceptH1 means the alternative (degraded, error rate
+// p1) is accepted; Undecided means more data is needed.
+const (
+	Undecided SPRTDecision = iota
+	AcceptH0
+	AcceptH1
+)
+
+// String implements fmt.Stringer.
+func (d SPRTDecision) String() string {
+	switch d {
+	case AcceptH0:
+		return "accept-h0"
+	case AcceptH1:
+		return "accept-h1"
+	default:
+		return "undecided"
+	}
+}
+
+// SPRT is Wald's sequential probability ratio test for a Bernoulli
+// parameter: it watches a stream of (failures, trials) batches and decides
+// between H0: p = P0 (healthy) and H1: p = P1 (degraded) as soon as the
+// accumulated log-likelihood ratio crosses a boundary — typically long
+// before a fixed-horizon test would conclude. This is the engine of the
+// DSL's `sequential` check.
+//
+// SPRT is not safe for concurrent use; the engine executes a state's
+// checks from a single runner goroutine.
+type SPRT struct {
+	// P0 and P1 are the hypothesized Bernoulli parameters, 0 < P0 < P1 < 1.
+	P0, P1 float64
+	// Upper and Lower are the decision boundaries on the log-likelihood
+	// ratio: crossing Upper accepts H1, crossing Lower accepts H0.
+	Upper, Lower float64
+
+	llr       float64
+	trials    int
+	failures  int
+	concluded SPRTDecision
+}
+
+// NewSPRT builds a test of H0: p = p0 against H1: p = p1 with the given
+// type-I error α (accepting H1 when H0 holds) and type-II error β
+// (accepting H0 when H1 holds), using Wald's boundary approximations
+// A = ln((1−β)/α) and B = ln(β/(1−α)).
+func NewSPRT(p0, p1, alpha, beta float64) (*SPRT, error) {
+	if !(0 < p0 && p0 < p1 && p1 < 1) {
+		return nil, fmt.Errorf("stats: sprt needs 0 < p0 < p1 < 1 (got p0=%v p1=%v)", p0, p1)
+	}
+	if !(0 < alpha && alpha < 1) || !(0 < beta && beta < 1) {
+		return nil, fmt.Errorf("stats: sprt needs α, β in (0,1) (got %v, %v)", alpha, beta)
+	}
+	return &SPRT{
+		P0:    p0,
+		P1:    p1,
+		Upper: math.Log((1 - beta) / alpha),
+		Lower: math.Log(beta / (1 - alpha)),
+	}, nil
+}
+
+// Observe folds a batch of trials (failures of them failed) into the
+// log-likelihood ratio and returns the updated decision. Once the test has
+// concluded, further batches do not change the decision.
+func (s *SPRT) Observe(failures, trials int) SPRTDecision {
+	if s.concluded != Undecided || trials <= 0 {
+		return s.concluded
+	}
+	if failures < 0 {
+		failures = 0
+	}
+	if failures > trials {
+		failures = trials
+	}
+	k, n := float64(failures), float64(trials)
+	s.llr += k*math.Log(s.P1/s.P0) + (n-k)*math.Log((1-s.P1)/(1-s.P0))
+	s.trials += trials
+	s.failures += failures
+	switch {
+	case s.llr >= s.Upper:
+		s.concluded = AcceptH1
+	case s.llr <= s.Lower:
+		s.concluded = AcceptH0
+	}
+	return s.concluded
+}
+
+// LLR returns the accumulated log-likelihood ratio.
+func (s *SPRT) LLR() float64 { return s.llr }
+
+// Decision returns the current decision without observing new data.
+func (s *SPRT) Decision() SPRTDecision { return s.concluded }
+
+// Totals returns the accumulated failure and trial counts.
+func (s *SPRT) Totals() (failures, trials int) { return s.failures, s.trials }
+
+// Reset clears all accumulated evidence so the test can be reused, e.g.
+// when the engine re-enters an automaton state after a pause or a
+// self-transition.
+func (s *SPRT) Reset() {
+	s.llr = 0
+	s.trials = 0
+	s.failures = 0
+	s.concluded = Undecided
+}
