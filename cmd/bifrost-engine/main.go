@@ -3,11 +3,18 @@
 //
 // Usage:
 //
-//	bifrost-engine -listen 127.0.0.1:7000
+//	bifrost-engine -listen 127.0.0.1:7000 -journal-dir /var/lib/bifrost/journal
 //
 // Strategies are scheduled via the API (see cmd/bifrost) as YAML documents
 // in the Bifrost DSL; routing updates are pushed over HTTP to the proxies
 // named in each strategy's deployment section.
+//
+// With -journal-dir set, every run is recorded in a durable journal and the
+// daemon recovers on startup: unfinished strategies resume from their
+// recorded state (same phase, elapsed time preserved, routing re-applied)
+// instead of being silently aborted by the restart. SIGTERM suspends runs
+// without ending them, so rolling the control plane is safe mid-release.
+// See docs/operations.md.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"bifrost/internal/dsl"
 	"bifrost/internal/engine"
 	"bifrost/internal/httpx"
+	"bifrost/internal/journal"
 	"bifrost/internal/metrics"
 	"bifrost/internal/sysmon"
 )
@@ -39,14 +47,45 @@ func main() {
 func run() error {
 	listen := flag.String("listen", "127.0.0.1:7000", "address to serve the API and dashboard on")
 	sampleEvery := flag.Duration("sysmon-interval", 5*time.Second, "resource sampling period (0 disables)")
+	journalDir := flag.String("journal-dir", "",
+		"directory for the durable run journal; restarts resume unfinished runs (empty disables)")
 	flag.Parse()
 
 	registry := metrics.NewRegistry()
-	eng := engine.New(
+	opts := []engine.Option{
 		engine.WithConfigurator(engine.HTTPConfigurator{}),
 		engine.WithRegistry(registry),
-	)
-	defer eng.Shutdown()
+	}
+	if *journalDir != "" {
+		j, err := journal.Open(*journalDir, journal.Options{})
+		if err != nil {
+			return err
+		}
+		opts = append(opts, engine.WithJournal(j))
+	}
+	eng := engine.New(opts...)
+	if *journalDir != "" {
+		// A journaled engine suspends on exit (runs stay resumable);
+		// without a journal, stopping the daemon ends its runs.
+		defer eng.Suspend()
+		report, err := eng.Recover(dsl.Compile)
+		if err != nil {
+			return fmt.Errorf("journal recovery: %w", err)
+		}
+		for _, r := range report.Resumed {
+			st := r.Status()
+			log.Printf("recovered run %s: resumed in state %q (%s)",
+				st.Strategy, st.Current, st.State)
+		}
+		if report.Finished > 0 {
+			log.Printf("recovered %d finished run(s) as history", report.Finished)
+		}
+		for name, reason := range report.Skipped {
+			log.Printf("warning: cannot resume run %s: %s", name, reason)
+		}
+	} else {
+		defer eng.Shutdown()
+	}
 
 	if *sampleEvery > 0 {
 		sampler := sysmon.New(registry, "engine", *sampleEvery, nil)

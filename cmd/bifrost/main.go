@@ -6,7 +6,7 @@
 //
 //	bifrost -engine http://127.0.0.1:7000 schedule strategy.yaml
 //	bifrost schedule -dry-run strategy.yaml   (engine-side validate + analyze)
-//	bifrost status [name]
+//	bifrost status [name]              (alias: runs; recovered runs are marked)
 //	bifrost events [-n 50]
 //	bifrost watch [name]               (live SSE event stream, no polling)
 //	bifrost pause name
@@ -47,7 +47,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: bifrost [-engine URL] <schedule|status|events|watch|pause|resume|promote|rollback|abort|validate|graph|estimate> [args]")
+		return fmt.Errorf("usage: bifrost [-engine URL] <schedule|status|runs|events|watch|pause|resume|promote|rollback|abort|validate|graph|estimate> [args]")
 	}
 	client := &engine.Client{BaseURL: *engineURL}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -89,7 +89,7 @@ func run(args []string) error {
 		fmt.Printf("scheduled %s (state %s)\n", st.Strategy, st.State)
 		return nil
 
-	case "status":
+	case "status", "runs":
 		if len(rest) == 2 {
 			st, err := client.Get(ctx, rest[1])
 			if err != nil {
@@ -281,8 +281,14 @@ func printEvent(ev engine.Event) {
 }
 
 func printStatus(st engine.Status) {
-	fmt.Printf("%-24s %-10s current=%-16s transitions=%d delay=%v\n",
-		st.Strategy, st.State, st.Current, len(st.Path), st.Delay().Round(time.Millisecond))
+	marker := ""
+	if st.Recovered {
+		// The run survived an engine restart: it was rebuilt from the run
+		// journal and resumed mid-strategy.
+		marker = "  [recovered]"
+	}
+	fmt.Printf("%-24s %-10s current=%-16s transitions=%d delay=%v%s\n",
+		st.Strategy, st.State, st.Current, len(st.Path), st.Delay().Round(time.Millisecond), marker)
 	for _, c := range st.Checks {
 		fmt.Printf("    check %-24s %s  %d/%d ok", c.Name, c.Kind, c.Successes, c.Executions)
 		if c.Inconclusive > 0 {

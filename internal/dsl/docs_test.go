@@ -100,6 +100,7 @@ func TestDocsLinkTargetsExist(t *testing.T) {
 	for _, path := range []string{
 		filepath.Join("..", "..", "docs", "architecture.md"),
 		filepath.Join("..", "..", "docs", "strategy-authoring.md"),
+		filepath.Join("..", "..", "docs", "operations.md"),
 		filepath.Join("..", "..", "strategies", "slo-guarded-canary.yaml"),
 	} {
 		if _, err := os.Stat(path); err != nil {
@@ -110,7 +111,7 @@ func TestDocsLinkTargetsExist(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, link := range []string{"docs/architecture.md", "docs/strategy-authoring.md"} {
+	for _, link := range []string{"docs/architecture.md", "docs/strategy-authoring.md", "docs/operations.md"} {
 		if !strings.Contains(string(readme), link) {
 			t.Errorf("README does not link %s", link)
 		}

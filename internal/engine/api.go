@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"time"
 
 	"bifrost/internal/analysis"
 	"bifrost/internal/core"
@@ -96,6 +97,7 @@ const (
 	CodeAlreadyPaused   = "already_paused"
 	CodeStaleResume     = "stale_resume"
 	CodeUnknownState    = "unknown_state"
+	CodeEngineClosed    = "engine_closed"
 	CodeNotImplemented  = "not_implemented"
 )
 
@@ -149,6 +151,10 @@ func (a *API) engineProblem(w http.ResponseWriter, err error) {
 		a.problem(w, http.StatusConflict, CodeStaleResume, err.Error())
 	case errors.Is(err, ErrUnknownState):
 		a.problem(w, http.StatusUnprocessableEntity, CodeUnknownState, err.Error())
+	case errors.Is(err, ErrEngineClosed):
+		// The engine is draining for a restart; the strategy itself is
+		// fine — clients should retry against the replacement.
+		a.problem(w, http.StatusServiceUnavailable, CodeEngineClosed, err.Error())
 	default:
 		a.problem(w, http.StatusUnprocessableEntity, CodeInvalidStrategy, err.Error())
 	}
@@ -190,7 +196,9 @@ func (a *API) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	run, err := a.eng.Enact(strategy)
+	// The source rides into the run journal so a restarted engine can
+	// recompile and resume this run.
+	run, err := a.eng.EnactSource(strategy, req.YAML)
 	if err != nil {
 		a.engineProblem(w, err)
 		return
@@ -313,9 +321,22 @@ func (a *API) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 
 // handleEventStream pushes engine events as Server-Sent Events so clients
 // (CLI watch, dashboard) stop polling. ?strategy= filters to one run and
-// ?replay=N prefixes up to N buffered events for late joiners.
+// ?replay=N prefixes up to N buffered events for late joiners. A reconnect
+// carrying the standard Last-Event-ID header (sent automatically by
+// EventSource and by engine.Client.Watch) resumes from that sequence
+// number instead: the gap is replayed from retained history, or an
+// explicit events_dropped marker is sent when it exceeds retention.
 func (a *API) handleEventStream(w http.ResponseWriter, r *http.Request) {
 	a.eng.ServeEventStream(w, r, r.URL.Query().Get("strategy"), queryInt(r, "replay", 0))
+}
+
+// lastEventID parses the SSE Last-Event-ID reconnect header (0: none).
+func lastEventID(r *http.Request) int64 {
+	id, err := strconv.ParseInt(r.Header.Get("Last-Event-ID"), 10, 64)
+	if err != nil || id < 0 {
+		return 0
+	}
+	return id
 }
 
 // ServeEventStream streams engine events to w as Server-Sent Events until
@@ -324,9 +345,20 @@ func (a *API) handleEventStream(w http.ResponseWriter, r *http.Request) {
 // repeat one across the replay/live seam. strategy filters to one run (""
 // streams everything). Shared by the API's /api/v2/events/stream endpoint
 // and the dashboard's /dashboard/events alias.
+//
+// Every event carries its sequence number as the SSE id, and the stream is
+// loss-free end to end: a reconnect with Last-Event-ID resumes from the
+// durable history (which survives engine restarts), and gaps introduced by
+// the bus dropping on a slow subscriber channel are backfilled from the
+// replay ring before newer events are sent. When part of a gap is beyond
+// retention, an events_dropped marker makes the loss explicit instead of
+// silent.
 func (e *Engine) ServeEventStream(w http.ResponseWriter, r *http.Request, strategy string, replay int) {
 	events, cancel := e.Subscribe(256)
 	defer cancel()
+	// Sequence at subscription: every event fanned to this channel is
+	// newer, so any later jump past subSeq+1 in received seqs is a drop.
+	subSeq := e.bus.currentSeq()
 
 	sse, err := httpx.NewSSEWriter(w)
 	if err != nil {
@@ -336,8 +368,69 @@ func (e *Engine) ServeEventStream(w http.ResponseWriter, r *http.Request, strate
 		return
 	}
 
-	var lastSeq int64
-	if replay > 0 {
+	send := func(ev Event) bool {
+		return sse.Send(string(ev.Type), strconv.FormatInt(ev.Seq, 10), ev) == nil
+	}
+	// sendSince replays retained events after afterSeq (filtered), with an
+	// explicit drop marker when the gap reaches beyond retention. Returns
+	// the new high-water mark and whether the stream is still writable.
+	sendSince := func(afterSeq int64) (int64, bool) {
+		history, dropped := e.eventsSince(strategy, afterSeq)
+		if dropped {
+			first := e.bus.currentSeq()
+			if len(history) > 0 {
+				first = history[0].Seq - 1
+			}
+			marker := Event{
+				Seq: first, Strategy: strategy, Type: EventEventsDropped,
+				Detail: fmt.Sprintf("events after sequence %d are beyond retention and were not replayed", afterSeq),
+				Time:   e.clk.Now(),
+			}
+			if !send(marker) {
+				return afterSeq, false
+			}
+			afterSeq = first
+		}
+		for _, ev := range history {
+			if ev.Seq <= afterSeq {
+				continue
+			}
+			if !send(ev) {
+				return afterSeq, false
+			}
+			afterSeq = ev.Seq
+		}
+		return afterSeq, true
+	}
+
+	// A purely live stream (no resume, no replay) starts at the current
+	// sequence: gap backfill then only ever replays events published after
+	// the client connected, never historical ones.
+	lastSeq := e.bus.currentSeq()
+	if id := lastEventID(r); id > 0 {
+		if id > e.bus.currentSeq() {
+			// The client is ahead of this engine's sequence: the engine
+			// restarted without its journal and the numbering reset. Say
+			// so explicitly and resume live — silently discarding every
+			// event below the stale id would wedge the stream forever.
+			marker := Event{
+				Seq: lastSeq, Strategy: strategy, Type: EventEventsDropped,
+				Detail: fmt.Sprintf("event sequence reset below %d (engine restarted without its journal); resuming live", id),
+				Time:   e.clk.Now(),
+			}
+			if !send(marker) {
+				return
+			}
+		} else {
+			// Reconnect: replay exactly what was missed since the
+			// client's last received event (Last-Event-ID wins over
+			// ?replay).
+			var ok bool
+			if lastSeq, ok = sendSince(id); !ok {
+				return
+			}
+		}
+	} else if replay > 0 {
 		var history []Event
 		if strategy != "" {
 			history = e.RunEvents(strategy, replay)
@@ -345,24 +438,48 @@ func (e *Engine) ServeEventStream(w http.ResponseWriter, r *http.Request, strate
 			history = e.RecentEvents(replay)
 		}
 		for _, ev := range history {
-			if sse.Send(string(ev.Type), strconv.FormatInt(ev.Seq, 10), ev) != nil {
+			if !send(ev) {
 				return
 			}
 			lastSeq = ev.Seq
 		}
 	}
+	// lastRecv tracks the newest sequence received from the subscriber
+	// channel across all strategies; a jump of more than one means the bus
+	// dropped on this channel and the gap must be backfilled from history.
+	// It starts at the subscription-time sequence so drops during a slow
+	// history replay (before the first channel receive) are detected too.
+	lastRecv := subSeq
 	for {
 		select {
 		case ev, open := <-events:
 			if !open {
 				return
 			}
-			if ev.Seq <= lastSeq || (strategy != "" && ev.Strategy != strategy) {
+			gap := ev.Seq > lastRecv+1
+			lastRecv = ev.Seq
+			if ev.Seq <= lastSeq {
 				continue
 			}
-			if sse.Send(string(ev.Type), strconv.FormatInt(ev.Seq, 10), ev) != nil {
+			if gap {
+				// The subscriber channel dropped under pressure; recover
+				// the lost events from retained history so watchers cannot
+				// miss a transition.
+				var ok bool
+				if lastSeq, ok = sendSince(lastSeq); !ok {
+					return
+				}
+				if ev.Seq <= lastSeq {
+					continue
+				}
+			}
+			if strategy != "" && ev.Strategy != strategy {
+				continue
+			}
+			if !send(ev) {
 				return
 			}
+			lastSeq = ev.Seq
 		case <-r.Context().Done():
 			return
 		}
@@ -467,6 +584,12 @@ func (c *Client) RunEvents(ctx context.Context, name string, n int) ([]Event, er
 // to one run ("" streams everything); replay > 0 prefixes buffered history.
 // The returned channel closes when the stream ends; the cancel function
 // tears the stream down.
+//
+// Like a browser EventSource, Watch reconnects when the stream breaks —
+// sending Last-Event-ID so the engine replays everything missed (sequence
+// numbers survive engine restarts via the run journal, so a watcher rides
+// through a control-plane restart without losing a transition). It gives up
+// after watchMaxRetries consecutive failed connection attempts.
 func (c *Client) Watch(ctx context.Context, strategy string, replay int) (<-chan Event, func(), error) {
 	q := url.Values{}
 	if strategy != "" {
@@ -480,39 +603,86 @@ func (c *Client) Watch(ctx context.Context, strategy string, replay int) (<-chan
 		u += "?" + q.Encode()
 	}
 	ctx, cancel := context.WithCancel(ctx)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	resp, err := streamRequest(ctx, u, 0)
 	if err != nil {
 		cancel()
 		return nil, nil, err
-	}
-	resp, err := httpx.StreamClient.Do(req)
-	if err != nil {
-		cancel()
-		return nil, nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		resp.Body.Close()
-		cancel()
-		return nil, nil, fmt.Errorf("watch %s: status %d", u, resp.StatusCode)
 	}
 	ch := make(chan Event, 64)
 	go func() {
 		defer close(ch)
-		defer resp.Body.Close()
-		_ = httpx.ReadSSE(resp.Body, func(se httpx.SSEEvent) error {
+		var lastID int64
+		forward := func(se httpx.SSEEvent) error {
 			var ev Event
 			if json.Unmarshal(se.Data, &ev) != nil {
 				return nil // skip non-event frames (keep-alives)
 			}
 			select {
 			case ch <- ev:
+				if ev.Seq > lastID {
+					lastID = ev.Seq
+				}
 				return nil
 			case <-ctx.Done():
 				return ctx.Err()
 			}
-		})
+		}
+		for {
+			_ = httpx.ReadSSE(resp.Body, forward)
+			resp.Body.Close()
+			if ctx.Err() != nil {
+				return
+			}
+			// The stream broke (engine restart, network blip): reconnect
+			// with Last-Event-ID so nothing is missed in between.
+			resp = nil
+			for attempt := 0; attempt < watchMaxRetries && resp == nil; attempt++ {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(watchRetryDelay(attempt)):
+				}
+				resp, _ = streamRequest(ctx, u, lastID)
+			}
+			if resp == nil {
+				return
+			}
+		}
 	}()
 	return ch, cancel, nil
+}
+
+// watchMaxRetries bounds consecutive failed reconnect attempts of Watch.
+const watchMaxRetries = 10
+
+// watchRetryDelay backs reconnects off to 5s.
+func watchRetryDelay(attempt int) time.Duration {
+	d := 250 * time.Millisecond << attempt
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}
+
+// streamRequest opens one SSE connection, optionally resuming after a
+// sequence number via the standard Last-Event-ID header.
+func streamRequest(ctx context.Context, u string, lastID int64) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	if lastID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(lastID, 10))
+	}
+	resp, err := httpx.StreamClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("watch %s: status %d", u, resp.StatusCode)
+	}
+	return resp, nil
 }
 
 // Healthy checks engine liveness.

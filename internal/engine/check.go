@@ -35,6 +35,12 @@ type checkRunner struct {
 	lastError    string
 	lastVerdict  core.Verdict
 	concluded    bool
+	// fired marks that this runner already sent its one interrupt. The
+	// state's interrupt channel has one buffer slot per runner, so a
+	// claimFire-guarded send can never block — even when several runners
+	// conclude in the same instant (the first message consumed wins; the
+	// rest are drained unread when the state ends).
+	fired bool
 }
 
 func newCheckRunner(r *Run, c *core.Check, interrupt chan<- interruptMsg) *checkRunner {
@@ -99,31 +105,39 @@ func (cr *checkRunner) executeOnce(ctx context.Context) {
 	}
 	cr.mu.Unlock()
 
-	cr.run.engine.bus.publish(Event{
-		Strategy: cr.run.strategy.Name,
-		Type:     EventCheckExecuted,
-		State:    cr.currentState(),
-		Check:    cr.check.Name,
-		Outcome:  boolToInt(ok),
-		Time:     cr.run.engine.clk.Now(),
+	cr.run.publish(Event{
+		Type:    EventCheckExecuted,
+		State:   cr.currentState(),
+		Check:   cr.check.Name,
+		Outcome: boolToInt(ok),
+		Time:    cr.run.engine.clk.Now(),
 	})
 
 	// Exception semantics: a single failed execution triggers the state
 	// transition immediately (first failure wins; later ones are no-ops).
-	if !ok && cr.check.Kind == core.ExceptionCheck {
-		select {
-		case cr.interrupt <- interruptMsg{target: cr.check.Fallback, cause: "exception"}:
-			cr.run.engine.bus.publish(Event{
-				Strategy: cr.run.strategy.Name,
-				Type:     EventExceptionTriggered,
-				State:    cr.currentState(),
-				Check:    cr.check.Name,
-				Detail:   cr.check.Fallback,
-				Time:     cr.run.engine.clk.Now(),
-			})
-		default:
-		}
+	if !ok && cr.check.Kind == core.ExceptionCheck && cr.claimFire() {
+		cr.interrupt <- interruptMsg{target: cr.check.Fallback, cause: "exception"}
+		cr.run.publish(Event{
+			Type:   EventExceptionTriggered,
+			State:  cr.currentState(),
+			Check:  cr.check.Name,
+			Detail: cr.check.Fallback,
+			Time:   cr.run.engine.clk.Now(),
+		})
 	}
+}
+
+// claimFire reserves this runner's single interrupt send; only the first
+// caller wins. With the interrupt channel sized to the number of runners,
+// a claimed send is guaranteed buffer space and cannot wedge the runner.
+func (cr *checkRunner) claimFire() bool {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	if cr.fired {
+		return false
+	}
+	cr.fired = true
+	return true
 }
 
 // executeAnalysis runs one execution of a statistical check: the analyzer
@@ -169,59 +183,52 @@ func (cr *checkRunner) executeAnalysis(ctx context.Context) {
 	cr.mu.Unlock()
 
 	now := cr.run.engine.clk.Now()
-	cr.run.engine.bus.publish(Event{
-		Strategy: cr.run.strategy.Name,
-		Type:     EventCheckExecuted,
-		State:    cr.currentState(),
-		Check:    cr.check.Name,
-		Outcome:  boolToInt(v.Decision == core.DecisionPass),
-		Verdict:  &v,
-		Time:     now,
+	cr.run.publish(Event{
+		Type:    EventCheckExecuted,
+		State:   cr.currentState(),
+		Check:   cr.check.Name,
+		Outcome: boolToInt(v.Decision == core.DecisionPass),
+		Verdict: &v,
+		Time:    now,
 	})
 
 	switch cr.check.Kind {
 	case core.SequentialCheck:
-		if !firstConclusion {
+		if !firstConclusion || !cr.claimFire() {
 			return
 		}
 		// The gate concluded: end the state now. A failing conclusion
 		// with a configured fallback jumps there directly; otherwise the
 		// early end goes through the normal δ aggregation, where this
-		// check maps to 1 (pass) or 0 (fail).
+		// check maps to 1 (pass) or 0 (fail). The conclusion event is
+		// published even when another runner's interrupt already ended the
+		// state: the decision was reached and must be observable.
 		msg := interruptMsg{cause: "sequential"}
 		if v.Decision == core.DecisionFail {
 			msg.target = cr.check.Fallback
 		}
-		select {
-		case cr.interrupt <- msg:
-			cr.run.engine.bus.publish(Event{
-				Strategy: cr.run.strategy.Name,
-				Type:     EventCheckConcluded,
-				State:    cr.currentState(),
-				Check:    cr.check.Name,
-				Detail:   string(v.Decision),
-				Verdict:  &v,
-				Time:     now,
-			})
-		default:
-		}
+		cr.interrupt <- msg
+		cr.run.publish(Event{
+			Type:    EventCheckConcluded,
+			State:   cr.currentState(),
+			Check:   cr.check.Name,
+			Detail:  string(v.Decision),
+			Verdict: &v,
+			Time:    now,
+		})
 	case core.BurnRateCheck:
-		if v.Decision != core.DecisionFail {
+		if v.Decision != core.DecisionFail || !cr.claimFire() {
 			return
 		}
-		select {
-		case cr.interrupt <- interruptMsg{target: cr.check.Fallback, cause: "burnrate"}:
-			cr.run.engine.bus.publish(Event{
-				Strategy: cr.run.strategy.Name,
-				Type:     EventBurnRateTriggered,
-				State:    cr.currentState(),
-				Check:    cr.check.Name,
-				Detail:   cr.check.Fallback,
-				Verdict:  &v,
-				Time:     now,
-			})
-		default:
-		}
+		cr.interrupt <- interruptMsg{target: cr.check.Fallback, cause: "burnrate"}
+		cr.run.publish(Event{
+			Type:    EventBurnRateTriggered,
+			State:   cr.currentState(),
+			Check:   cr.check.Name,
+			Detail:  cr.check.Fallback,
+			Verdict: &v,
+			Time:    now,
+		})
 	}
 }
 

@@ -22,13 +22,16 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bifrost/internal/clock"
 	"bifrost/internal/core"
+	"bifrost/internal/journal"
 	"bifrost/internal/metrics"
 )
 
@@ -53,18 +56,42 @@ var (
 	// ErrUnknownState is returned when a manual gate decision names a state
 	// outside the strategy's automaton (or none can be inferred).
 	ErrUnknownState = errors.New("engine: unknown automaton state")
+	// ErrEngineClosed is returned by Enact once Shutdown or Suspend began.
+	ErrEngineClosed = errors.New("engine: shut down")
 )
 
+// errSuspended is the run loop's internal signal that the engine is
+// suspending: the loop exits without a terminal record so the journal still
+// shows the run mid-state and a restart resumes it.
+var errSuspended = errors.New("engine: suspended")
+
 // Engine enacts release strategies. Create with New; Shutdown aborts every
-// run and waits for the run loops to exit.
+// run and waits for the run loops to exit, while Suspend stops them without
+// terminal records so a journal-backed restart resumes them.
 type Engine struct {
 	clk          clock.Clock
 	registry     *metrics.Registry
 	configurator Configurator
 	bus          *eventBus
+	ringSize     int
 
-	mu   sync.Mutex
-	runs map[string]*Run
+	mu     sync.Mutex
+	runs   map[string]*Run
+	closed bool
+	// stopping is closed by Suspend; run loops exit without terminal
+	// records when they observe it.
+	stopping chan struct{}
+	// hbQuit stops the journal heartbeat goroutine (nil without journal).
+	hbQuit chan struct{}
+
+	// pubMu serializes the publish pipeline: sequence assignment, mirror
+	// reduction, journal append, and bus fan-out happen atomically with
+	// respect to each other, so snapshots taken under pubMu are consistent
+	// with a journal position.
+	pubMu      sync.Mutex
+	mirror     *engineMirror
+	journal    *journal.Journal
+	compacting atomic.Bool
 
 	generation atomic.Int64
 	wg         sync.WaitGroup
@@ -73,6 +100,9 @@ type Engine struct {
 	mEnacted     *metrics.Counter
 	mTransitions *metrics.Counter
 	mChecks      *metrics.Counter
+	mJournaled   *metrics.Counter
+	mCompactions *metrics.Counter
+	mRecovered   *metrics.Counter
 }
 
 // Option configures an Engine.
@@ -93,6 +123,24 @@ func WithConfigurator(c Configurator) Option {
 	return func(e *Engine) { e.configurator = c }
 }
 
+// WithJournal attaches a durable run journal: every engine event is
+// appended to it, and Recover replays it after a restart so unfinished
+// strategies resume instead of being silently aborted. The engine owns the
+// journal from here on (Shutdown/Suspend close it).
+func WithJournal(j *journal.Journal) Option {
+	return func(e *Engine) { e.journal = j }
+}
+
+// WithEventRingSize overrides the global event replay ring (default 1024
+// events); mainly for tests exercising retention-exceeded SSE resumes.
+func WithEventRingSize(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.ringSize = n
+		}
+	}
+}
+
 // New creates an engine. By default it uses the real clock, a private
 // metrics registry, and a no-op configurator.
 func New(opts ...Option) *Engine {
@@ -100,16 +148,26 @@ func New(opts ...Option) *Engine {
 		clk:          clock.Real{},
 		registry:     metrics.NewRegistry(),
 		configurator: NopConfigurator{},
-		bus:          newEventBus(1024),
+		ringSize:     1024,
 		runs:         make(map[string]*Run, 8),
+		stopping:     make(chan struct{}),
+		mirror:       newEngineMirror(),
 	}
 	for _, o := range opts {
 		o(e)
 	}
+	e.bus = newEventBus(e.ringSize)
 	e.mActive = e.registry.Gauge("engine_active_strategies", nil)
 	e.mEnacted = e.registry.Counter("engine_strategies_enacted_total", nil)
 	e.mTransitions = e.registry.Counter("engine_transitions_total", nil)
 	e.mChecks = e.registry.Counter("engine_check_executions_total", nil)
+	e.mJournaled = e.registry.Counter("engine_journal_records_total", nil)
+	e.mCompactions = e.registry.Counter("engine_journal_compactions_total", nil)
+	e.mRecovered = e.registry.Counter("engine_runs_recovered_total", nil)
+	if e.journal != nil {
+		e.hbQuit = make(chan struct{})
+		go e.heartbeatLoop(e.clk.NewTicker(journalHeartbeatInterval))
+	}
 	return e
 }
 
@@ -127,12 +185,24 @@ func (e *Engine) Subscribe(buffer int) (<-chan Event, func()) {
 func (e *Engine) RecentEvents(n int) []Event { return e.bus.recent(n) }
 
 // Enact validates the strategy and starts executing it. The returned Run
-// tracks progress; the engine keeps running it in the background.
+// tracks progress; the engine keeps running it in the background. Runs
+// enacted without source cannot be resumed after a restart — the REST API
+// uses EnactSource so the journal can recompile the strategy on recovery.
 func (e *Engine) Enact(s *core.Strategy) (*Run, error) {
+	return e.EnactSource(s, "")
+}
+
+// EnactSource is Enact with the strategy's DSL source attached: the journal
+// records the source so a restarted engine can recompile and resume the run.
+func (e *Engine) EnactSource(s *core.Strategy, source string) (*Run, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrEngineClosed
+	}
 	if r, exists := e.runs[s.Name]; exists && !r.Done() {
 		e.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrAlreadyRunning, s.Name)
@@ -150,17 +220,177 @@ func (e *Engine) Enact(s *core.Strategy) (*Run, error) {
 		},
 	}
 	e.runs[s.Name] = r
+	// wg.Add under e.mu so Shutdown/Suspend (which set closed under the
+	// same lock before waiting) can never miss a newly enacted run.
+	e.wg.Add(1)
 	e.mu.Unlock()
 
+	e.scheduleRecord(s, source)
 	e.mEnacted.Inc()
 	e.mActive.Add(1)
-	e.wg.Add(1)
 	go func() {
 		defer e.wg.Done()
 		defer e.mActive.Add(-1)
 		r.loop(ctx)
 	}()
 	return r, nil
+}
+
+// scheduleRecord publishes the scheduled event and journals the strategy
+// source alongside it (same sequence number, so replay pairs them up).
+func (e *Engine) scheduleRecord(s *core.Strategy, source string) {
+	e.pubMu.Lock()
+	defer e.pubMu.Unlock()
+	ev := e.bus.publish(Event{Strategy: s.Name, Type: EventScheduled, Time: e.clk.Now()})
+	e.mirror.apply(s, ev) // resets any previous enactment under this name
+	e.mirror.setSource(s.Name, source)
+	e.journalEvent(ev)
+	if source != "" {
+		e.journalAppend(journal.Record{
+			Seq: ev.Seq, Time: ev.Time, Type: recSource, Run: s.Name,
+			Data: mustJSON(sourceRecord{Source: source}),
+		})
+	}
+}
+
+// publish runs one event through the pipeline: stamp a sequence number, fan
+// out to subscribers and the replay ring, reduce into the durable per-run
+// mirror, and append to the journal. strategy is used by the mirror's
+// planned-duration accounting and may be nil.
+func (e *Engine) publish(strategy *core.Strategy, ev Event) {
+	e.pubMu.Lock()
+	ev = e.bus.publish(ev)
+	e.mirror.apply(strategy, ev)
+	e.journalEvent(ev)
+	shouldCompact := e.journal != nil && e.journal.ShouldCompact()
+	e.pubMu.Unlock()
+
+	if shouldCompact && e.compacting.CompareAndSwap(false, true) {
+		go e.compact()
+	}
+}
+
+// Journal record types and payloads.
+const (
+	recEvent  = "event"
+	recSource = "source"
+	// recHeartbeat records only the passage of time: recovery measures
+	// elapsed-in-state up to the newest journaled record so downtime never
+	// counts against a phase, and phases without chatty checks would
+	// otherwise appear frozen at their entry time. Heartbeats reuse the
+	// current sequence number (they are not events and must not create
+	// gaps in the event numbering).
+	recHeartbeat = "heartbeat"
+)
+
+// journalHeartbeatInterval paces heartbeat records on journaled engines.
+const journalHeartbeatInterval = 30 * time.Second
+
+// heartbeatLoop appends heartbeat records until the engine closes. The
+// ticker is created by New (synchronously, so tests driving a manual clock
+// can rely on it existing before any Advance). Fully idle engines (no
+// unfinished runs) skip the append: nothing needs a crash-time estimate,
+// and an idle journal should not grow.
+func (e *Engine) heartbeatLoop(t clock.Ticker) {
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C():
+			if !e.hasUnfinishedRuns() {
+				continue
+			}
+			e.pubMu.Lock()
+			now := e.clk.Now()
+			if seq := e.bus.currentSeq(); seq > 0 && e.journal != nil {
+				e.journalAppend(journal.Record{Seq: seq, Time: now, Type: recHeartbeat})
+				if now.After(e.mirror.LastTime) {
+					e.mirror.LastTime = now
+				}
+			}
+			e.pubMu.Unlock()
+		case <-e.hbQuit:
+			return
+		}
+	}
+}
+
+// hasUnfinishedRuns reports whether any registered run is still live.
+func (e *Engine) hasUnfinishedRuns() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range e.runs {
+		if !r.Done() {
+			return true
+		}
+	}
+	return false
+}
+
+// sourceRecord is the payload of a recSource journal record.
+type sourceRecord struct {
+	Source string `json:"source"`
+}
+
+func mustJSON(v any) json.RawMessage {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		panic(err) // engine payloads are always marshalable
+	}
+	return raw
+}
+
+// journalEvent appends one published event to the journal; terminal events
+// are synced through immediately so a crash right after a run finishes can
+// never resurrect it. Callers hold pubMu.
+func (e *Engine) journalEvent(ev Event) {
+	if e.journal == nil {
+		return
+	}
+	e.journalAppend(journal.Record{
+		Seq: ev.Seq, Time: ev.Time, Type: recEvent, Run: ev.Strategy,
+		Data: mustJSON(ev),
+	})
+	switch ev.Type {
+	case EventCompleted, EventAborted, EventError:
+		_ = e.journal.Sync()
+	}
+}
+
+// journalAppend writes one record, counting it. Callers hold pubMu.
+func (e *Engine) journalAppend(rec journal.Record) {
+	if e.journal == nil {
+		return
+	}
+	if err := e.journal.Append(rec); err == nil {
+		e.mJournaled.Inc()
+	}
+}
+
+// compact snapshots the mirror and asks the journal to drop the records the
+// snapshot covers. Runs in its own goroutine, one at a time.
+func (e *Engine) compact() {
+	defer e.compacting.Store(false)
+	e.pubMu.Lock()
+	// Capture the journal under pubMu: closeJournal nils the field during
+	// Suspend/Shutdown, possibly between our unlock and the Compact call.
+	j := e.journal
+	if j == nil {
+		e.pubMu.Unlock()
+		return
+	}
+	e.mirror.Generation = e.generation.Load()
+	// Clone under the lock, marshal outside it: JSON-encoding a large
+	// mirror must not stall the publish pipeline.
+	mirror := e.mirror.clone()
+	seq := e.bus.currentSeq()
+	e.pubMu.Unlock()
+	snap, err := json.Marshal(mirror)
+	if err != nil {
+		return
+	}
+	if j.Compact(snap, seq) == nil {
+		e.mCompactions.Inc()
+	}
 }
 
 // Run returns the run for a strategy name.
@@ -231,36 +461,126 @@ func (e *Engine) Rollback(name, target string) error {
 	return r.Rollback(target)
 }
 
-// RunEvents returns up to n buffered events for one strategy, oldest first.
+// RunEvents returns up to n events of one strategy's durable history,
+// oldest first. The history is journal-backed: it is rebuilt on recovery,
+// so it spans engine restarts (bounded per run, unlike the global ring that
+// other runs' chatter can evict).
 func (e *Engine) RunEvents(name string, n int) []Event {
-	return e.bus.recentFiltered(name, n)
+	e.pubMu.Lock()
+	defer e.pubMu.Unlock()
+	return e.mirror.events(name, n)
+}
+
+// eventsSince returns retained events with Seq > afterSeq for SSE resume:
+// from the per-run durable history when strategy is set, from the global
+// replay ring otherwise. dropped reports that part of the gap is beyond
+// retention.
+func (e *Engine) eventsSince(strategy string, afterSeq int64) ([]Event, bool) {
+	if strategy == "" {
+		return e.bus.since(afterSeq)
+	}
+	e.pubMu.Lock()
+	defer e.pubMu.Unlock()
+	return e.mirror.eventsSince(strategy, afterSeq)
 }
 
 // Remove forgets a finished run (keeps the registry tidy between tests and
-// long engine uptimes). Running strategies cannot be removed.
+// long engine uptimes). Running strategies cannot be removed. The run's
+// journaled history is dropped at the next compaction. Journal entries
+// that Recover could not resume (source lost or no longer compiling) have
+// no registered run but can still be removed by name, so they don't haunt
+// every future snapshot.
 func (e *Engine) Remove(name string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	r, ok := e.runs[name]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrNotFound, name)
-	}
-	if !r.Done() {
+	if ok && !r.Done() {
 		return fmt.Errorf("engine: strategy %s still running", name)
 	}
+	if !ok {
+		e.pubMu.Lock()
+		_, inMirror := e.mirror.Runs[name]
+		e.pubMu.Unlock()
+		if !inMirror {
+			return fmt.Errorf("%w: %s", ErrNotFound, name)
+		}
+	}
 	delete(e.runs, name)
+
+	// The removal is published as a regular event so it is journaled in
+	// sequence order: a restart before the next compaction replays it and
+	// does not resurrect the run from its still-journaled history. Done
+	// under e.mu so a concurrent re-enactment of the name cannot schedule
+	// between the map delete and the mirror removal.
+	e.publish(nil, Event{Strategy: name, Type: EventRemoved, Time: e.clk.Now()})
 	return nil
 }
 
-// Shutdown aborts everything and waits for run loops to stop.
+// Shutdown aborts everything and waits for run loops to stop. The aborts
+// are journaled as terminal records: after Shutdown the strategies are
+// over, and a later restart will not resume them. Use Suspend to restart
+// the control plane without ending its runs.
 func (e *Engine) Shutdown() {
 	e.mu.Lock()
+	if !e.closed && e.hbQuit != nil {
+		close(e.hbQuit)
+	}
+	e.closed = true
 	for _, r := range e.runs {
 		r.Abort()
 	}
 	e.mu.Unlock()
 	e.wg.Wait()
+	e.closeJournal()
 	e.bus.close()
+}
+
+// Suspend stops every run loop without terminal records: the journal keeps
+// showing the runs mid-state, so an engine restarted on the same journal
+// directory resumes them via Recover. This is the graceful half of crash
+// recovery — SIGTERM during a deploy behaves like a crash with zero lost
+// records.
+func (e *Engine) Suspend() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	if e.hbQuit != nil {
+		close(e.hbQuit)
+	}
+	close(e.stopping)
+	e.mu.Unlock()
+	e.wg.Wait()
+	e.closeJournal()
+	e.bus.close()
+}
+
+// closeJournal takes a final snapshot (so restarts replay a compact prefix)
+// and closes the journal. Run loops have already stopped.
+func (e *Engine) closeJournal() {
+	e.pubMu.Lock()
+	j := e.journal
+	var mirror *engineMirror
+	var seq int64
+	if j != nil {
+		e.mirror.Generation = e.generation.Load()
+		mirror = e.mirror.clone()
+		seq = e.bus.currentSeq()
+		e.journal = nil
+	}
+	e.pubMu.Unlock()
+	if j == nil {
+		return
+	}
+	if seq > 0 {
+		if snap, err := json.Marshal(mirror); err == nil {
+			_ = j.Compact(snap, seq)
+		}
+	}
+	_ = j.Close()
 }
 
 // nextGeneration issues monotonically increasing proxy config generations.

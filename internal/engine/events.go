@@ -13,6 +13,9 @@ type EventType string
 // Engine event types, published on the event bus and shown by the CLI and
 // dashboard.
 const (
+	// EventScheduled marks a strategy entering the engine (Enact accepted
+	// it); the run journal stores the strategy source alongside it.
+	EventScheduled          EventType = "scheduled"
 	EventStateEntered       EventType = "state_entered"
 	EventRoutingApplied     EventType = "routing_applied"
 	EventCheckExecuted      EventType = "check_executed"
@@ -32,6 +35,17 @@ const (
 	EventCompleted         EventType = "completed"
 	EventAborted           EventType = "aborted"
 	EventError             EventType = "error"
+	// EventRecovered marks a run resuming after an engine restart: the
+	// journal was replayed and the automaton continues from its recorded
+	// state with elapsed-in-state time preserved.
+	EventRecovered EventType = "recovered"
+	// EventRemoved marks a finished run being forgotten (Engine.Remove);
+	// journaled so restarts do not resurrect the run's history.
+	EventRemoved EventType = "removed"
+	// EventEventsDropped is a per-stream marker (never journaled as part of
+	// a run): the SSE client's Last-Event-ID points before the retained
+	// history, so a gap could not be replayed.
+	EventEventsDropped EventType = "events_dropped"
 )
 
 // Event is one observable engine occurrence.
@@ -45,6 +59,25 @@ type Event struct {
 	// exception fallback, or error text.
 	Detail  string `json:"detail,omitempty"`
 	Outcome int    `json:"outcome,omitempty"`
+	// Cause labels transition events like Transition.Cause: empty for δ,
+	// "exception", "burnrate", "sequential", "promote", "rollback".
+	Cause string `json:"cause,omitempty"`
+	// PauseGen is the pause generation announced by paused events; a
+	// conditional resume must present it.
+	PauseGen int `json:"pauseGen,omitempty"`
+	// Elapsed is the preserved elapsed-in-state time announced by
+	// recovered events, so the journal's reduction backdates the state
+	// entry exactly like the live run does — keeping the invariant across
+	// any number of restarts.
+	Elapsed time.Duration `json:"elapsed,omitempty"`
+	// Active is the run's cumulative active wall time before this
+	// recovery (recovered events only): delay accounting resumes from it,
+	// excluding every restart's downtime.
+	Active time.Duration `json:"active,omitempty"`
+	// Generation is the proxy config generation of routing_applied events;
+	// recovery restores the engine's generation counter from it so
+	// re-applied configs are not rejected as stale by surviving proxies.
+	Generation int64 `json:"generation,omitempty"`
 	// Verdict carries the statistical result of check_executed,
 	// check_concluded, and burnrate_triggered events for compare,
 	// sequential, and burnrate checks.
@@ -72,11 +105,11 @@ func newEventBus(ringSize int) *eventBus {
 	}
 }
 
-func (b *eventBus) publish(ev Event) {
+func (b *eventBus) publish(ev Event) Event {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
-		return
+		return ev
 	}
 	b.seq++
 	ev.Seq = b.seq
@@ -88,10 +121,76 @@ func (b *eventBus) publish(ev Event) {
 	for _, ch := range b.subs {
 		select {
 		case ch <- ev:
-		default: // slow subscriber: drop rather than stall the engine
+		default: // slow subscriber: drop; ServeEventStream backfills from the ring
 		}
 	}
 	b.mu.Unlock()
+	return ev
+}
+
+// restore replays a journaled event into the ring during recovery, without
+// fanning it out, and advances the sequence counter so new events continue
+// the pre-restart numbering (SSE Last-Event-ID stays valid across restarts).
+func (b *eventBus) restore(ev Event) {
+	b.mu.Lock()
+	if ev.Seq > b.seq {
+		b.seq = ev.Seq
+	}
+	b.ring[b.next] = ev
+	b.next = (b.next + 1) % len(b.ring)
+	if b.next == 0 {
+		b.full = true
+	}
+	b.mu.Unlock()
+}
+
+// setSeq fast-forwards the sequence counter (recovery from a snapshot whose
+// events are no longer individually available).
+func (b *eventBus) setSeq(seq int64) {
+	b.mu.Lock()
+	if seq > b.seq {
+		b.seq = seq
+	}
+	b.mu.Unlock()
+}
+
+// currentSeq returns the sequence number of the newest published event.
+func (b *eventBus) currentSeq() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}
+
+// since returns the buffered events with Seq > afterSeq, oldest first, and
+// whether events in that range were already evicted from the ring (the gap
+// exceeds retention and cannot be fully replayed).
+func (b *eventBus) since(afterSeq int64) ([]Event, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	size := b.next
+	if b.full {
+		size = len(b.ring)
+	}
+	start := b.next - size
+	if start < 0 {
+		start += len(b.ring)
+	}
+	var out []Event
+	for i := 0; i < size; i++ {
+		ev := b.ring[(start+i)%len(b.ring)]
+		if ev.Seq > afterSeq {
+			out = append(out, ev)
+		}
+	}
+	var oldest int64
+	if size > 0 {
+		oldest = b.ring[start%len(b.ring)].Seq
+	} else {
+		// Empty ring: everything up to the current counter is gone.
+		oldest = b.seq + 1
+	}
+	dropped := oldest > afterSeq+1
+	return out, dropped
 }
 
 func (b *eventBus) subscribe(buffer int) (<-chan Event, func()) {
@@ -141,32 +240,6 @@ func (b *eventBus) recent(n int) []Event {
 	}
 	for i := 0; i < n; i++ {
 		out = append(out, b.ring[(start+i)%len(b.ring)])
-	}
-	return out
-}
-
-// recentFiltered returns up to n of the most recent events for one strategy,
-// oldest first. n <= 0 means all buffered events for that strategy.
-func (b *eventBus) recentFiltered(strategy string, n int) []Event {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	size := b.next
-	if b.full {
-		size = len(b.ring)
-	}
-	start := b.next - size
-	if start < 0 {
-		start += len(b.ring)
-	}
-	out := make([]Event, 0, 16)
-	for i := 0; i < size; i++ {
-		ev := b.ring[(start+i)%len(b.ring)]
-		if ev.Strategy == strategy {
-			out = append(out, ev)
-		}
-	}
-	if n > 0 && len(out) > n {
-		out = out[len(out)-n:]
 	}
 	return out
 }

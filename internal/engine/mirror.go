@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"time"
+
+	"bifrost/internal/core"
+)
+
+// maxMirrorEvents bounds the per-run durable event history kept in memory
+// (and in journal snapshots). Older events are trimmed; DroppedBefore
+// records the trim point so SSE resume can report an explicit gap instead
+// of silently skipping.
+const maxMirrorEvents = 1024
+
+// maxFinishedEvents is the smaller history tail kept once a run finishes:
+// finished runs linger until Remove, and a long-lived engine enacting many
+// short strategies must not accumulate a kilobuffer per run forever.
+const maxFinishedEvents = 256
+
+// runMirror is the journal's view of one run, reduced purely from the event
+// stream. It is maintained incrementally on every publish and rebuilt by
+// replaying the journal on recovery — the same reduction both times, so
+// what the engine snapshots is exactly what a restart reconstructs.
+type runMirror struct {
+	// Source is the strategy's DSL source, recorded at schedule time;
+	// recovery recompiles it. Empty for strategies enacted programmatically
+	// (those cannot be resumed after a restart).
+	Source string `json:"source,omitempty"`
+	// Status is the run status as reduced from events (not a copy of the
+	// live Run's status).
+	Status Status `json:"status"`
+	// Events is the bounded per-run history, oldest first.
+	Events []Event `json:"events,omitempty"`
+	// DroppedBefore is the seq of the newest trimmed-away event (0: none).
+	DroppedBefore int64 `json:"droppedBefore,omitempty"`
+
+	// NoBookState names a state whose next state_entered must not book its
+	// planned duration again: the entry re-enters a state that was already
+	// booked (resume after pause, recovery after restart). A gate decision
+	// issued from a pause enters a *different* state, which books normally.
+	// Persisted: a snapshot can land between the resumed/recovered event
+	// and the re-entry.
+	NoBookState string `json:"noBookState,omitempty"`
+	// Reenter marks the next state_entered as a recovery re-entry of the
+	// current state: EnteredAt is then backdated by ResumeElapsed — the
+	// elapsed time the recovered event preserved — so a second restart
+	// still sees the cumulative elapsed-in-state (downtime excluded each
+	// time).
+	Reenter       bool          `json:"reenter,omitempty"`
+	ResumeElapsed time.Duration `json:"resumeElapsed,omitempty"`
+	// PriorActive and ResumedAt anchor delay accounting across restarts:
+	// the run had accumulated PriorActive of active wall time when its
+	// current life began at ResumedAt. Zero ResumedAt means the first
+	// life, anchored at Status.StartedAt.
+	PriorActive time.Duration `json:"priorActive,omitempty"`
+	ResumedAt   time.Time     `json:"resumedAt,omitempty"`
+}
+
+// engineMirror is the reduced journal state across runs: the payload of
+// snapshot compaction and the backing store of per-run event history.
+type engineMirror struct {
+	// LastTime is the timestamp of the newest reduced event — the best
+	// available "crash time" when recovering from this state, used to
+	// compute elapsed-in-state without counting downtime.
+	LastTime time.Time `json:"lastTime,omitempty"`
+	// Generation is the engine's routing-generation counter at snapshot
+	// time; recovery restores it so re-applied configs outrank the ones
+	// surviving proxies already hold.
+	Generation int64                 `json:"generation,omitempty"`
+	Runs       map[string]*runMirror `json:"runs"`
+}
+
+func newEngineMirror() *engineMirror {
+	return &engineMirror{Runs: make(map[string]*runMirror, 8)}
+}
+
+func (m *engineMirror) run(name string) *runMirror {
+	rm, ok := m.Runs[name]
+	if !ok {
+		rm = &runMirror{Status: Status{Strategy: name, State: RunPending}}
+		m.Runs[name] = rm
+	}
+	return rm
+}
+
+// setSource records the DSL source of a scheduled strategy. It is applied
+// right after the scheduled event's reduction, which reset the mirror.
+func (m *engineMirror) setSource(name, source string) {
+	m.run(name).Source = source
+}
+
+// terminal reports whether a run state is final.
+func (s RunState) terminal() bool {
+	return s == RunCompleted || s == RunAborted || s == RunFailed
+}
+
+// apply reduces one event into the mirror. strategy may be nil (planned
+// duration booking is then skipped); it is needed only for state_entered.
+func (m *engineMirror) apply(strategy *core.Strategy, ev Event) {
+	if ev.Time.After(m.LastTime) {
+		m.LastTime = ev.Time
+	}
+	if ev.Type == EventRemoved {
+		// The run was forgotten; its reduction (and history) goes with it.
+		delete(m.Runs, ev.Strategy)
+		return
+	}
+	rm := m.run(ev.Strategy)
+	st := &rm.Status
+
+	switch ev.Type {
+	case EventScheduled:
+		// Every schedule starts a fresh enactment: drop any previous
+		// reduction under this name, finished or not (a run Recover had to
+		// skip leaves a non-terminal mirror behind; its history must not
+		// merge into the replacement). The source record that follows the
+		// scheduled event re-establishes Source.
+		*rm = runMirror{Status: Status{Strategy: ev.Strategy, State: RunPending}}
+		st = &rm.Status
+		st.StartedAt = ev.Time
+	case EventStateEntered:
+		// A recovery re-entry of a paused run stays paused (the restored
+		// pause was re-asserted just before); every other entry runs.
+		if !(rm.Reenter && st.State == RunPaused) {
+			st.State = RunRunning
+		}
+		st.Current = ev.State
+		st.EnteredAt = ev.Time
+		if rm.Reenter {
+			st.EnteredAt = ev.Time.Add(-rm.ResumeElapsed)
+			rm.Reenter, rm.ResumeElapsed = false, 0
+		}
+		skipBook := rm.NoBookState != "" && rm.NoBookState == ev.State
+		rm.NoBookState = ""
+		if !skipBook && strategy != nil && !strategy.Automaton.IsFinal(ev.State) {
+			// Final states are never executed (the live loop finishes on
+			// entry without booking them), so the reduction must not book
+			// them either.
+			if state, ok := strategy.Automaton.State(ev.State); ok {
+				st.PlannedNanos += int64(statePlannedDuration(state))
+			}
+		}
+	case EventPaused:
+		st.State = RunPaused
+		if ev.PauseGen > 0 {
+			st.PauseGen = ev.PauseGen
+		} else {
+			st.PauseGen++
+		}
+	case EventResumed:
+		// A pause/resume re-entry restarts the phase in full (checks and
+		// state timer reset), so EnteredAt is not backdated here.
+		st.State = RunRunning
+		rm.NoBookState = ev.State
+	case EventRecovered:
+		st.Recovered = true
+		rm.PriorActive = ev.Active
+		rm.ResumedAt = ev.Time
+		// Only an actual re-entry skips booking and backdates; a run that
+		// crashed before entering any state starts its first state fresh.
+		if st.Current != "" && ev.State == st.Current {
+			rm.NoBookState = ev.State
+			rm.Reenter = true
+			rm.ResumeElapsed = ev.Elapsed
+			// Re-anchor immediately, not just at the re-entry: a crash
+			// between this event and state_entered (a crash loop during
+			// Configure) must not count the downtime as in-state time.
+			st.EnteredAt = ev.Time.Add(-ev.Elapsed)
+		}
+	case EventTransition:
+		st.Path = append(st.Path, Transition{
+			From: ev.State, To: ev.Detail, Outcome: ev.Outcome,
+			At: ev.Time, Cause: ev.Cause,
+		})
+	case EventCompleted:
+		st.State = RunCompleted
+		st.FinishedAt = ev.Time
+	case EventAborted:
+		st.State = RunAborted
+		st.FinishedAt = ev.Time
+	case EventError:
+		st.State = RunFailed
+		st.FinishedAt = ev.Time
+		st.Error = ev.Detail
+	}
+
+	rm.Events = append(rm.Events, ev)
+	limit := maxMirrorEvents
+	if st.State.terminal() {
+		limit = maxFinishedEvents
+	}
+	if len(rm.Events) > limit {
+		// Trim a quarter past the limit at once so the copy amortizes to
+		// O(1) per event instead of an O(limit) memmove on every publish
+		// of a capped run (this runs under pubMu, the engine-wide publish
+		// pipeline).
+		keep := limit - limit/4
+		cut := len(rm.Events) - keep
+		rm.DroppedBefore = rm.Events[cut-1].Seq
+		rm.Events = append(rm.Events[:0], rm.Events[cut:]...)
+	}
+}
+
+// clone deep-copies the mirror so snapshot marshaling can happen outside
+// pubMu: struct copies plus fresh slices (shared Verdict pointers are safe,
+// they are never mutated after publish).
+func (m *engineMirror) clone() *engineMirror {
+	c := &engineMirror{
+		LastTime:   m.LastTime,
+		Generation: m.Generation,
+		Runs:       make(map[string]*runMirror, len(m.Runs)),
+	}
+	for name, rm := range m.Runs {
+		cp := *rm
+		cp.Events = append([]Event(nil), rm.Events...)
+		cp.Status.Path = append([]Transition(nil), rm.Status.Path...)
+		cp.Status.Checks = append([]CheckStatus(nil), rm.Status.Checks...)
+		c.Runs[name] = &cp
+	}
+	return c
+}
+
+// events returns up to n of a run's retained events, oldest first (n <= 0:
+// all of them).
+func (m *engineMirror) events(name string, n int) []Event {
+	rm, ok := m.Runs[name]
+	if !ok {
+		return nil
+	}
+	evs := rm.Events
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return append([]Event(nil), evs...)
+}
+
+// eventsSince returns a run's retained events with Seq > afterSeq, oldest
+// first, and whether events in that range were already trimmed.
+func (m *engineMirror) eventsSince(name string, afterSeq int64) ([]Event, bool) {
+	rm, ok := m.Runs[name]
+	if !ok {
+		return nil, false
+	}
+	var out []Event
+	for _, ev := range rm.Events {
+		if ev.Seq > afterSeq {
+			out = append(out, ev)
+		}
+	}
+	return out, afterSeq < rm.DroppedBefore
+}

@@ -1,0 +1,263 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"bifrost/internal/core"
+	"bifrost/internal/journal"
+)
+
+// RecoveryReport summarizes what Recover found in the journal.
+type RecoveryReport struct {
+	// Resumed are the unfinished runs whose loops are executing again.
+	Resumed []*Run
+	// Finished counts runs the journal shows as already terminal; they are
+	// registered (visible to the API with their durable history) but not
+	// resumed — replaying a finished run must never re-fire its side
+	// effects.
+	Finished int
+	// Skipped maps unfinished-but-unrecoverable runs to the reason (no
+	// DSL source journaled, or the source no longer compiles).
+	Skipped map[string]string
+}
+
+// recovered carries a resumed run's journal-derived position into its loop.
+type recovered struct {
+	// current is the automaton state to re-enter ("" restarts from the
+	// automaton's start state: the run was scheduled but never entered one).
+	current string
+	// elapsed is how long the run had already spent in current before the
+	// crash (downtime excluded); the state timer resumes from here instead
+	// of restarting the phase.
+	elapsed time.Duration
+	// paused restores a paused run into its paused wait, with pauseGen as
+	// the generation conditional resumes must match.
+	paused   bool
+	pauseGen int
+	// priorActual is the wall time the run had accumulated before the
+	// crash, for delay accounting across the restart.
+	priorActual time.Duration
+}
+
+// Recover replays the engine's journal and resumes every unfinished run:
+// same automaton state, elapsed-in-state preserved, pause generation and
+// path intact, and the last routing configuration re-applied through the
+// Configurator (proxies may have restarted too). It must be called once,
+// after New and before any Enact. compile recompiles the journaled strategy
+// sources (cmd wiring passes dsl.Compile).
+func (e *Engine) Recover(compile CompileFunc) (*RecoveryReport, error) {
+	if e.journal == nil {
+		return nil, errors.New("engine: Recover requires WithJournal")
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrEngineClosed
+	}
+	if len(e.runs) > 0 {
+		e.mu.Unlock()
+		return nil, errors.New("engine: Recover must run before strategies are enacted")
+	}
+	e.mu.Unlock()
+
+	e.pubMu.Lock()
+	snap, snapSeq := e.journal.Snapshot()
+	if snap != nil {
+		if err := json.Unmarshal(snap, e.mirror); err != nil {
+			e.pubMu.Unlock()
+			return nil, fmt.Errorf("engine: corrupt journal snapshot: %w", err)
+		}
+		if e.mirror.Runs == nil {
+			e.mirror.Runs = make(map[string]*runMirror, 8)
+		}
+	}
+	e.bus.setSeq(snapSeq)
+
+	// Strategies recompile lazily, once per run; nil means unrecoverable.
+	strategies := make(map[string]*core.Strategy)
+	compileFor := func(name string) *core.Strategy {
+		if s, ok := strategies[name]; ok {
+			return s
+		}
+		var s *core.Strategy
+		if rm, ok := e.mirror.Runs[name]; ok && rm.Source != "" && compile != nil {
+			if cs, err := compile(rm.Source); err == nil {
+				s = cs
+			}
+		}
+		strategies[name] = s
+		return s
+	}
+
+	maxGen := e.mirror.Generation
+	err := e.journal.Replay(func(rec journal.Record) error {
+		switch rec.Type {
+		case recHeartbeat:
+			// Heartbeats share the newest event's seq, so they may sit on
+			// (or behind) the snapshot boundary and are always applied:
+			// they only push the crash-time estimate forward.
+			if rec.Time.After(e.mirror.LastTime) {
+				e.mirror.LastTime = rec.Time
+			}
+		case recSource:
+			if rec.Seq <= snapSeq {
+				return nil // already reduced into the snapshot
+			}
+			var sr sourceRecord
+			if json.Unmarshal(rec.Data, &sr) == nil {
+				e.mirror.setSource(rec.Run, sr.Source)
+				delete(strategies, rec.Run) // compile against the new source
+			}
+		case recEvent:
+			if rec.Seq <= snapSeq {
+				return nil // already reduced into the snapshot
+			}
+			var ev Event
+			if json.Unmarshal(rec.Data, &ev) != nil {
+				return nil // tolerate unknown/garbled records, like a torn tail
+			}
+			e.mirror.apply(compileFor(ev.Strategy), ev)
+			e.bus.restore(ev)
+			if ev.Generation > maxGen {
+				maxGen = ev.Generation
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		e.pubMu.Unlock()
+		return nil, err
+	}
+	// Retained history may hold routing generations newer than the
+	// snapshot counter (snapshot counters only advance at compaction).
+	for _, rm := range e.mirror.Runs {
+		for _, ev := range rm.Events {
+			if ev.Generation > maxGen {
+				maxGen = ev.Generation
+			}
+		}
+	}
+	if maxGen > e.generation.Load() {
+		e.generation.Store(maxGen)
+	}
+	lastTime := e.mirror.LastTime
+
+	// Snapshot the per-run states and compile every remaining strategy
+	// before releasing pubMu; the run loops started below publish events,
+	// which mutate the mirror under that lock.
+	type pending struct {
+		name string
+		rm   runMirror
+	}
+	pendings := make([]pending, 0, len(e.mirror.Runs))
+	for name := range e.mirror.Runs {
+		// Terminal runs too: Run.Strategy() should work on a replayed
+		// finished run whose source is journaled.
+		compileFor(name)
+	}
+	for name, rm := range e.mirror.Runs {
+		pendings = append(pendings, pending{name, *rm})
+	}
+	e.pubMu.Unlock()
+
+	report := &RecoveryReport{Skipped: make(map[string]string)}
+	for _, p := range pendings {
+		st := p.rm.Status
+		st.Path = append([]Transition(nil), st.Path...)
+		if st.State.terminal() {
+			report.Finished++
+			e.registerRun(newFinishedRun(e, strategies[p.name], st))
+			continue
+		}
+		s := strategies[p.name]
+		if s == nil {
+			reason := "no strategy source journaled (enacted programmatically)"
+			if p.rm.Source != "" {
+				reason = "journaled strategy source no longer compiles"
+			}
+			report.Skipped[p.name] = reason
+			continue
+		}
+		var elapsed, prior time.Duration
+		if !st.EnteredAt.IsZero() && lastTime.After(st.EnteredAt) {
+			elapsed = lastTime.Sub(st.EnteredAt)
+		}
+		// Active wall time accumulates per life: everything before the
+		// last recovery is in PriorActive, plus this life's span up to the
+		// newest record — inter-restart downtime never counts.
+		anchor, base := st.StartedAt, time.Duration(0)
+		if !p.rm.ResumedAt.IsZero() {
+			anchor, base = p.rm.ResumedAt, p.rm.PriorActive
+		}
+		prior = base
+		if !anchor.IsZero() && lastTime.After(anchor) {
+			prior += lastTime.Sub(anchor)
+		}
+		st.Recovered = true
+		ctx, cancel := context.WithCancel(context.Background())
+		r := &Run{
+			engine:   e,
+			strategy: s,
+			cancel:   cancel,
+			done:     make(chan struct{}),
+			controls: make(chan controlMsg),
+			status:   st,
+			recov: &recovered{
+				current:     st.Current,
+				elapsed:     elapsed,
+				paused:      st.State == RunPaused,
+				pauseGen:    st.PauseGen,
+				priorActual: prior,
+			},
+		}
+		if !e.registerRun(r) {
+			cancel()
+			return report, ErrEngineClosed
+		}
+		report.Resumed = append(report.Resumed, r)
+		e.mRecovered.Inc()
+		e.mActive.Add(1)
+		go func() {
+			defer e.wg.Done()
+			defer e.mActive.Add(-1)
+			r.loop(ctx)
+		}()
+	}
+	return report, nil
+}
+
+// registerRun inserts a run into the registry; for live runs the waitgroup
+// slot is taken under e.mu so Shutdown cannot miss it. Reports false once
+// the engine closed.
+func (e *Engine) registerRun(r *Run) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	e.runs[r.status.Strategy] = r
+	if !r.Done() {
+		e.wg.Add(1)
+	}
+	return true
+}
+
+// newFinishedRun materializes a terminal run from its journaled status so a
+// restarted engine still lists it and serves its history. It has no loop;
+// every control is rejected with ErrFinished.
+func newFinishedRun(e *Engine, s *core.Strategy, st Status) *Run {
+	done := make(chan struct{})
+	close(done)
+	return &Run{
+		engine:   e,
+		strategy: s,
+		cancel:   func() {},
+		done:     done,
+		controls: make(chan controlMsg),
+		status:   st,
+	}
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -33,6 +34,13 @@ type Run struct {
 	// decisions) into the run loop, which consumes them while a state is
 	// executing or paused.
 	controls chan controlMsg
+	// recov is set on runs rebuilt from the journal: the loop re-enters
+	// the recorded state with its elapsed time instead of starting over.
+	recov *recovered
+	// resumeBackdate, consumed by the next enterState, backdates
+	// Status.EnteredAt by the recovered elapsed time so the preserved
+	// progress is visible atomically with the re-entry. Loop-local.
+	resumeBackdate time.Duration
 
 	mu     sync.Mutex
 	status Status
@@ -120,6 +128,9 @@ type Status struct {
 	// PauseGen counts completed Pause calls. A Resume carrying a non-zero
 	// generation only succeeds while that pause is still the current one.
 	PauseGen int `json:"pauseGen,omitempty"`
+	// Recovered marks a run rebuilt from the journal after an engine
+	// restart: it resumed its recorded state rather than starting fresh.
+	Recovered bool `json:"recovered,omitempty"`
 	// Error holds the failure cause for RunFailed.
 	Error string `json:"error,omitempty"`
 }
@@ -232,12 +243,12 @@ func (r *Run) control(msg controlMsg) ctrlReply {
 	msg.reply = make(chan ctrlReply, 1)
 	select {
 	case r.controls <- msg:
-		select {
-		case rep := <-msg.reply:
-			return rep
-		case <-r.done:
-			return ctrlReply{err: ErrFinished}
-		}
+		// The send completed, so the loop received the command, and every
+		// receive path replies (the reply channel is buffered). Waiting on
+		// the reply alone avoids mis-reporting ErrFinished when the
+		// command itself finished the run (a promote into a final state
+		// closes done right after replying).
+		return <-msg.reply
 	case <-r.done:
 		return ctrlReply{err: ErrFinished}
 	}
@@ -252,16 +263,37 @@ func (r *Run) setRunState(s RunState, errMsg string) {
 	r.mu.Unlock()
 }
 
+// publish stamps the run's strategy name onto ev and sends it through the
+// engine's publish pipeline (sequencing, subscribers, durable history,
+// journal).
+func (r *Run) publish(ev Event) {
+	ev.Strategy = r.strategy.Name
+	r.engine.publish(r.strategy, ev)
+}
+
 // loop is the run's main goroutine: it walks the automaton until a final
-// state, an abort, or a failure.
+// state, an abort, or a failure. A recovered run (r.recov set) re-enters
+// its journaled state, resuming the state timer from the recorded elapsed
+// time; its checks re-arm from zero.
 func (r *Run) loop(ctx context.Context) {
 	defer close(r.done)
 	clk := r.engine.clk
 	start := clk.Now()
+	rc := r.recov
+	var priorActual time.Duration
+	if rc != nil {
+		priorActual = rc.priorActual
+	}
 
 	r.mu.Lock()
-	r.status.State = RunRunning
-	r.status.StartedAt = start
+	if rc == nil {
+		r.status.State = RunRunning
+		r.status.StartedAt = start
+	} else if !rc.paused {
+		// Recovered runs keep their original StartedAt (and, when paused,
+		// their paused state and generation).
+		r.status.State = RunRunning
+	}
 	r.mu.Unlock()
 
 	finish := func(state RunState, errMsg string) {
@@ -269,7 +301,7 @@ func (r *Run) loop(ctx context.Context) {
 		r.mu.Lock()
 		r.status.State = state
 		r.status.FinishedAt = now
-		r.status.ActualNanos = int64(now.Sub(start))
+		r.status.ActualNanos = int64(priorActual + now.Sub(start))
 		if errMsg != "" {
 			r.status.Error = errMsg
 		}
@@ -279,16 +311,19 @@ func (r *Run) loop(ctx context.Context) {
 			Set(r.Status().Delay().Seconds())
 		switch state {
 		case RunCompleted:
-			r.engine.bus.publish(Event{Strategy: r.strategy.Name, Type: EventCompleted, Time: now})
+			r.publish(Event{Type: EventCompleted, Time: now})
 		case RunAborted:
-			r.engine.bus.publish(Event{Strategy: r.strategy.Name, Type: EventAborted, Time: now})
+			r.publish(Event{Type: EventAborted, Time: now})
 		case RunFailed:
-			r.engine.bus.publish(Event{Strategy: r.strategy.Name, Type: EventError,
-				Detail: errMsg, Time: now})
+			r.publish(Event{Type: EventError, Detail: errMsg, Time: now})
 		}
 	}
 
 	current := r.strategy.Automaton.Start
+	resuming := rc != nil
+	if resuming && rc.current != "" {
+		current = rc.current
+	}
 	// reentered marks a re-entry of the current state after a pause/resume
 	// cycle: the state's specified duration was already booked for delay
 	// accounting, so executeState must not book it again.
@@ -298,6 +333,8 @@ func (r *Run) loop(ctx context.Context) {
 		case <-ctx.Done():
 			finish(RunAborted, "")
 			return
+		case <-r.engine.stopping:
+			return // suspended: no terminal record, the journal resumes us
 		default:
 		}
 
@@ -305,6 +342,31 @@ func (r *Run) loop(ctx context.Context) {
 		if !ok {
 			finish(RunFailed, "unknown state "+current)
 			return
+		}
+
+		if resuming {
+			r.publish(Event{
+				Type: EventRecovered, State: current,
+				Elapsed: rc.elapsed, Active: rc.priorActual,
+				Detail: fmt.Sprintf("resumed after restart (%s elapsed in state)",
+					rc.elapsed.Round(time.Millisecond)),
+				Time: clk.Now(),
+			})
+			// The re-entry keeps the preserved elapsed time visible: the
+			// state was entered before the restart, not just now.
+			r.resumeBackdate = rc.elapsed
+			if rc.paused {
+				// Re-assert the pause before re-entering the state: if the
+				// engine dies again mid-re-entry (Configure calls proxies
+				// that may be down right after an outage), the journal's
+				// last word must still be "paused" — an operator's hold is
+				// never silently released by a crash loop.
+				r.publish(Event{
+					Type: EventPaused, State: current, PauseGen: rc.pauseGen,
+					Detail: fmt.Sprintf("pause generation %d (restored after restart)", rc.pauseGen),
+					Time:   clk.Now(),
+				})
+			}
 		}
 
 		if err := r.enterState(ctx, state); err != nil {
@@ -321,8 +383,29 @@ func (r *Run) loop(ctx context.Context) {
 			return
 		}
 
-		res, err := r.executeState(ctx, state, !reentered)
+		var res stepResult
+		var err error
+		if resuming && rc.paused {
+			// The run was paused when the engine went down: hold position
+			// again (routing above was re-asserted), same pause generation.
+			r.setRunState(RunPaused, "")
+			res, err = r.pausedWait(ctx, state, rc.pauseGen)
+		} else {
+			var elapsed time.Duration
+			// A true re-entry (the state was entered before the crash) was
+			// already booked and keeps its elapsed time; a run recovered
+			// before entering any state starts its first state fresh.
+			reentry := resuming && rc.current != ""
+			if reentry {
+				elapsed = rc.elapsed
+			}
+			res, err = r.executeState(ctx, state, !reentered && !reentry, elapsed)
+		}
+		resuming = false
 		if err != nil {
+			if errors.Is(err, errSuspended) {
+				return
+			}
 			if ctx.Err() != nil {
 				finish(RunAborted, "")
 				return
@@ -345,9 +428,9 @@ func (r *Run) loop(ctx context.Context) {
 		})
 		r.mu.Unlock()
 		r.engine.mTransitions.Inc()
-		r.engine.bus.publish(Event{
-			Strategy: r.strategy.Name, Type: EventTransition,
-			State: state.ID, Detail: res.next, Outcome: res.outcome, Time: now,
+		r.publish(Event{
+			Type: EventTransition, State: state.ID,
+			Detail: res.next, Outcome: res.outcome, Cause: res.cause, Time: now,
 		})
 		current = res.next
 	}
@@ -357,18 +440,23 @@ func (r *Run) loop(ctx context.Context) {
 func (r *Run) enterState(ctx context.Context, state *core.State) error {
 	clk := r.engine.clk
 	now := clk.Now()
+	entered := now
+	if d := r.resumeBackdate; d > 0 {
+		entered = now.Add(-d)
+		r.resumeBackdate = 0
+	}
 	r.mu.Lock()
 	r.status.Current = state.ID
-	r.status.EnteredAt = now
+	r.status.EnteredAt = entered
 	if len(state.Checks) > 0 {
 		// Keep the previous state's check results visible while passing
 		// through checkless states (e.g. final rollout/rollback states).
 		r.status.Checks = nil
 	}
 	r.mu.Unlock()
-	r.engine.bus.publish(Event{
-		Strategy: r.strategy.Name, Type: EventStateEntered,
-		State: state.ID, Detail: state.Description, Time: now,
+	r.publish(Event{
+		Type: EventStateEntered, State: state.ID,
+		Detail: state.Description, Time: now,
 	})
 
 	for i := range state.Routing {
@@ -377,9 +465,9 @@ func (r *Run) enterState(ctx context.Context, state *core.State) error {
 		if err := r.engine.configurator.Configure(ctx, r.strategy, state, rc, gen); err != nil {
 			return err
 		}
-		r.engine.bus.publish(Event{
-			Strategy: r.strategy.Name, Type: EventRoutingApplied,
-			State: state.ID, Detail: rc.Service, Time: clk.Now(),
+		r.publish(Event{
+			Type: EventRoutingApplied, State: state.ID,
+			Detail: rc.Service, Generation: gen, Time: clk.Now(),
 		})
 	}
 	return nil
@@ -390,8 +478,12 @@ func (r *Run) enterState(ctx context.Context, state *core.State) error {
 // While the state executes, the run loop also consumes operator controls:
 // pause suspends it, and manual promote/rollback decisions override δ.
 // book is false on a pause/resume re-entry, whose specified duration was
-// already accounted for.
-func (r *Run) executeState(ctx context.Context, state *core.State, book bool) (stepResult, error) {
+// already accounted for. elapsed is the time already spent in this state
+// before an engine restart: the state timer runs only for the remainder,
+// while checks re-arm their full schedules.
+func (r *Run) executeState(ctx context.Context, state *core.State, book bool,
+	elapsed time.Duration) (stepResult, error) {
+
 	clk := r.engine.clk
 
 	// Book the state's specified duration for delay accounting.
@@ -405,7 +497,10 @@ func (r *Run) executeState(ctx context.Context, state *core.State, book bool) (s
 	stateCtx, cancelState := context.WithCancel(ctx)
 	defer cancelState()
 
-	interrupt := make(chan interruptMsg, 1)
+	// One buffer slot per check: every runner fires at most one interrupt
+	// (claimFire), so a send can never block or be lost even when several
+	// runners conclude simultaneously.
+	interrupt := make(chan interruptMsg, max(1, len(state.Checks)))
 	runners := make([]*checkRunner, 0, len(state.Checks))
 	var wg sync.WaitGroup
 	for i := range state.Checks {
@@ -434,7 +529,13 @@ func (r *Run) executeState(ctx context.Context, state *core.State, book bool) (s
 	var timerC <-chan time.Time
 	allDoneC := allDone
 	if state.Duration > 0 {
-		timer := clk.NewTimer(state.Duration)
+		remaining := state.Duration - elapsed
+		if remaining < time.Nanosecond {
+			// The recorded elapsed time already covers the whole phase; the
+			// timer fires immediately and δ decides on the re-armed checks.
+			remaining = time.Nanosecond
+		}
+		timer := clk.NewTimer(remaining)
 		defer timer.Stop()
 		timerC = timer.C()
 		allDoneC = nil // explicit duration governs even if checks finish early
@@ -451,6 +552,10 @@ wait:
 		case msg := <-interrupt:
 			intr = &msg
 			break wait
+		case <-r.engine.stopping:
+			cancelState()
+			wg.Wait()
+			return stepResult{}, errSuspended
 		case msg := <-r.controls:
 			switch msg.kind {
 			case ctrlResume:
@@ -538,6 +643,8 @@ wait:
 func (r *Run) pausedWait(ctx context.Context, state *core.State, gen int) (stepResult, error) {
 	for {
 		select {
+		case <-r.engine.stopping:
+			return stepResult{}, errSuspended
 		case msg := <-r.controls:
 			switch msg.kind {
 			case ctrlPause:
@@ -596,8 +703,8 @@ func (r *Run) beginPause(state *core.State) int {
 	r.status.PauseGen++
 	gen := r.status.PauseGen
 	r.mu.Unlock()
-	r.engine.bus.publish(Event{
-		Strategy: r.strategy.Name, Type: EventPaused, State: state.ID,
+	r.publish(Event{
+		Type: EventPaused, State: state.ID, PauseGen: gen,
 		Detail: fmt.Sprintf("pause generation %d", gen), Time: now,
 	})
 	return gen
@@ -608,15 +715,15 @@ func (r *Run) endPause(state *core.State, detail string) {
 	r.mu.Lock()
 	r.status.State = RunRunning
 	r.mu.Unlock()
-	r.engine.bus.publish(Event{
-		Strategy: r.strategy.Name, Type: EventResumed, State: state.ID,
+	r.publish(Event{
+		Type: EventResumed, State: state.ID,
 		Detail: detail, Time: now,
 	})
 }
 
 func (r *Run) publishGateDecision(state *core.State, kind controlKind, target string) {
-	r.engine.bus.publish(Event{
-		Strategy: r.strategy.Name, Type: EventGateDecision, State: state.ID,
+	r.publish(Event{
+		Type: EventGateDecision, State: state.ID, Cause: kind.String(),
 		Detail: kind.String() + " to " + target, Time: r.engine.clk.Now(),
 	})
 }
