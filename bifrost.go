@@ -84,11 +84,13 @@ type Compiler = dsl.Compiler
 // NewEngine creates a strategy-enactment engine.
 //
 // By default routing updates are delivered over HTTP to the proxies named
-// in the strategy's deployment section. Pass WithLocalProxies to wire
-// in-process proxies instead (tests, examples, single-binary setups).
+// in the strategy's deployment section — all replicas of a `proxies:`
+// fleet, with bounded retries and background anti-entropy reconciliation.
+// Pass WithLocalProxies to wire in-process proxies instead (tests,
+// examples, single-binary setups).
 func NewEngine(opts ...EngineOption) *Engine {
 	cfg := engineConfig{
-		configurator: engine.HTTPConfigurator{},
+		configurator: engine.NewFleetConfigurator(),
 		clk:          clock.Real{},
 	}
 	for _, o := range opts {
@@ -114,9 +116,11 @@ type engineConfig struct {
 type EngineOption func(*engineConfig)
 
 // WithHTTPProxies delivers routing updates over the proxies' admin APIs
-// (the default).
+// (the default): pushes fan out to every replica of a service's proxy
+// fleet with retries, and a per-run reconciler re-pushes the current
+// generation to replicas that lag or restart mid-phase.
 func WithHTTPProxies() EngineOption {
-	return func(c *engineConfig) { c.configurator = engine.HTTPConfigurator{} }
+	return func(c *engineConfig) { c.configurator = engine.NewFleetConfigurator() }
 }
 
 // WithLocalProxies delivers routing updates directly to in-process proxies

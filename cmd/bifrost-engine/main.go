@@ -7,7 +7,12 @@
 //
 // Strategies are scheduled via the API (see cmd/bifrost) as YAML documents
 // in the Bifrost DSL; routing updates are pushed over HTTP to the proxies
-// named in each strategy's deployment section.
+// named in each strategy's deployment section. Services fronted by a
+// multi-replica proxy fleet (`proxies:` list) get every routing change
+// fanned out to all replicas with bounded retries (-push-timeout,
+// -push-retries), state entries succeed once -fleet-quorum replicas ack
+// (0 = all), and a background reconciler re-pushes the current generation
+// to lagging or restarted replicas every -reconcile-interval.
 //
 // With -journal-dir set, every run is recorded in a durable journal and the
 // daemon recovers on startup: unfinished strategies resume from their
@@ -49,11 +54,24 @@ func run() error {
 	sampleEvery := flag.Duration("sysmon-interval", 5*time.Second, "resource sampling period (0 disables)")
 	journalDir := flag.String("journal-dir", "",
 		"directory for the durable run journal; restarts resume unfinished runs (empty disables)")
+	fleetQuorum := flag.Int("fleet-quorum", 0,
+		"proxy replica acks required per config push (0 = all replicas)")
+	pushTimeout := flag.Duration("push-timeout", 5*time.Second,
+		"per-attempt deadline for one proxy config push")
+	pushRetries := flag.Int("push-retries", 4,
+		"attempts per proxy config push (transient failures back off exponentially)")
+	reconcileEvery := flag.Duration("reconcile-interval", 10*time.Second,
+		"anti-entropy cadence: how often lagging/restarted proxy replicas are re-pushed")
 	flag.Parse()
 
 	registry := metrics.NewRegistry()
+	configurator := engine.NewFleetConfigurator(
+		engine.FleetQuorum(*fleetQuorum),
+		engine.FleetRetry(engine.RetryPolicy{PushTimeout: *pushTimeout, MaxAttempts: *pushRetries}),
+		engine.FleetReconcileInterval(*reconcileEvery),
+	)
 	opts := []engine.Option{
-		engine.WithConfigurator(engine.HTTPConfigurator{}),
+		engine.WithConfigurator(configurator),
 		engine.WithRegistry(registry),
 	}
 	if *journalDir != "" {

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"bifrost/internal/analysis"
@@ -289,6 +290,19 @@ func printStatus(st engine.Status) {
 	}
 	fmt.Printf("%-24s %-10s current=%-16s transitions=%d delay=%v%s\n",
 		st.Strategy, st.State, st.Current, len(st.Path), st.Delay().Round(time.Millisecond), marker)
+	for _, f := range st.Fleet {
+		fmt.Printf("    fleet %-24s %d/%d replicas at generation %d",
+			f.Service, f.Acked, f.Replicas, f.Generation)
+		switch {
+		case f.Converged:
+			fmt.Print("  [converged]")
+		case len(f.Lagging) > 0:
+			fmt.Printf("  [degraded: %s]", strings.Join(f.Lagging, ", "))
+		default:
+			fmt.Print("  [degraded]")
+		}
+		fmt.Println()
+	}
 	for _, c := range st.Checks {
 		fmt.Printf("    check %-24s %s  %d/%d ok", c.Name, c.Kind, c.Successes, c.Executions)
 		if c.Inconclusive > 0 {

@@ -44,8 +44,26 @@ type Service struct {
 	// Versions lists the deployed versions ⟨v1, …, vn⟩ of this service.
 	Versions []Version
 	// ProxyURL is the admin endpoint of the Bifrost proxy fronting this
-	// service (the DSL's deployment section). Empty for model-only use.
+	// service (the DSL's `proxy:` shorthand for a single-replica fleet).
+	// Empty for model-only use.
 	ProxyURL string
+	// ProxyURLs lists the admin endpoints of every proxy replica fronting
+	// this service (the DSL's `proxies:` list). At most one of ProxyURL and
+	// ProxyURLs is set; use ProxyEndpoints to read either.
+	ProxyURLs []string
+}
+
+// ProxyEndpoints returns the admin endpoints of the proxy fleet fronting
+// the service: the ProxyURLs list when set, otherwise the single ProxyURL
+// (or nothing for model-only services).
+func (s Service) ProxyEndpoints() []string {
+	if len(s.ProxyURLs) > 0 {
+		return s.ProxyURLs
+	}
+	if s.ProxyURL != "" {
+		return []string{s.ProxyURL}
+	}
+	return nil
 }
 
 // Version is one deployed version v of a service, with its static

@@ -55,6 +55,20 @@ func (s *Strategy) Validate() error {
 			addf("duplicate service %q", svc.Name)
 		}
 		services[svc.Name] = svc
+		if svc.ProxyURL != "" && len(svc.ProxyURLs) > 0 {
+			addf("service %q: both ProxyURL and ProxyURLs set; use one", svc.Name)
+		}
+		replicas := make(map[string]bool, len(svc.ProxyURLs))
+		for _, u := range svc.ProxyURLs {
+			if u == "" {
+				addf("service %q: empty proxy replica URL", svc.Name)
+				continue
+			}
+			if replicas[u] {
+				addf("service %q: duplicate proxy replica %q", svc.Name, u)
+			}
+			replicas[u] = true
+		}
 		seen := make(map[string]bool, len(svc.Versions))
 		if len(svc.Versions) == 0 {
 			addf("service %q has no versions", svc.Name)

@@ -126,9 +126,11 @@ async function refresh() {
 const log = document.getElementById('log');
 const source = new EventSource('/api/v2/events/stream?replay=64');
 source.onmessage = (e) => { append(e.data); };
-for (const type of ['state_entered','routing_applied','check_executed',
-                    'exception_triggered','transition','paused','resumed',
-                    'gate_decision','completed','aborted','error']) {
+for (const type of ['state_entered','routing_applied','routing_converged',
+                    'routing_degraded','check_executed','check_concluded',
+                    'burnrate_triggered','exception_triggered','transition',
+                    'paused','resumed','gate_decision','recovered',
+                    'completed','aborted','error']) {
   source.addEventListener(type, (e) => { append(e.data); refresh(); });
 }
 function append(data) {

@@ -102,6 +102,7 @@ func TestDocsLinkTargetsExist(t *testing.T) {
 		filepath.Join("..", "..", "docs", "strategy-authoring.md"),
 		filepath.Join("..", "..", "docs", "operations.md"),
 		filepath.Join("..", "..", "strategies", "slo-guarded-canary.yaml"),
+		filepath.Join("..", "..", "strategies", "fleet-canary.yaml"),
 	} {
 		if _, err := os.Stat(path); err != nil {
 			t.Errorf("referenced file missing: %v", err)

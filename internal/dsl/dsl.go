@@ -9,8 +9,8 @@
 //	deployment:                    # static configuration: services, versions,
 //	  services:                    # and where each service's Bifrost proxy is
 //	    - service: product
-//	      proxy: 127.0.0.1:8081
-//	      versions:
+//	      proxy: 127.0.0.1:8081    # or proxies: [127.0.0.1:8081, ...] for a
+//	      versions:                # multi-replica proxy fleet
 //	        - name: product
 //	          endpoint: 127.0.0.1:9001
 //	        - name: productA
@@ -196,10 +196,14 @@ func compileDeployment(d *decoder, doc map[string]any) []core.Service {
 			d.errf("%s: must be a mapping", ctx)
 			continue
 		}
-		d.unknownKeys(m, ctx, "service", "proxy", "versions")
+		d.unknownKeys(m, ctx, "service", "proxy", "proxies", "versions")
 		svc := core.Service{
-			Name:     d.requireString(m, "service", ctx),
-			ProxyURL: d.getString(m, "proxy", ctx),
+			Name:      d.requireString(m, "service", ctx),
+			ProxyURL:  d.getString(m, "proxy", ctx),
+			ProxyURLs: d.getStringSlice(m, "proxies", ctx),
+		}
+		if svc.ProxyURL != "" && len(svc.ProxyURLs) > 0 {
+			d.errf("%s: use either proxy (single replica) or proxies (fleet), not both", ctx)
 		}
 		for j, rawV := range d.getSlice(m, "versions", ctx) {
 			vctx := ctx + ".versions[" + itoa(j) + "]"

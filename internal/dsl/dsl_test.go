@@ -141,6 +141,58 @@ func testCompiler() (*Compiler, *fakeQuerier) {
 	return &Compiler{Providers: map[string]Querier{"prometheus": fq}}, fq
 }
 
+// TestDeploymentProxiesList covers the fleet syntax: `proxies:` compiles
+// to Service.ProxyURLs, coexists with the `proxy:` single-replica
+// shorthand on other services, and declaring both on one service is
+// rejected — as are duplicate replicas.
+func TestDeploymentProxiesList(t *testing.T) {
+	const src = `
+name: fleet
+deployment:
+  services:
+    - service: shop
+      proxies: [127.0.0.1:8081, 127.0.0.1:8082, 127.0.0.1:8083]
+      versions:
+        - name: stable
+          endpoint: 127.0.0.1:9001
+strategy:
+  phases:
+    - phase: hold
+      duration: 1m
+      routes:
+        - route:
+            service: shop
+            weights: {stable: 100}
+      on:
+        success: done
+    - phase: done
+`
+	s, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	want := []string{"127.0.0.1:8081", "127.0.0.1:8082", "127.0.0.1:8083"}
+	got := s.Services[0].ProxyEndpoints()
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("ProxyEndpoints = %v, want %v", got, want)
+	}
+	if s.Services[0].ProxyURL != "" {
+		t.Errorf("ProxyURL = %q, want empty with proxies list", s.Services[0].ProxyURL)
+	}
+
+	both := strings.Replace(src, "proxies: [127.0.0.1:8081, 127.0.0.1:8082, 127.0.0.1:8083]",
+		"proxy: 127.0.0.1:8080\n      proxies: [127.0.0.1:8081]", 1)
+	if _, err := Compile(both); err == nil || !strings.Contains(err.Error(), "not both") {
+		t.Errorf("proxy+proxies compiled, err = %v", err)
+	}
+
+	dup := strings.Replace(src, "127.0.0.1:8082, 127.0.0.1:8083",
+		"127.0.0.1:8081, 127.0.0.1:8083", 1)
+	if _, err := Compile(dup); err == nil || !strings.Contains(err.Error(), "duplicate proxy replica") {
+		t.Errorf("duplicate replicas compiled, err = %v", err)
+	}
+}
+
 func TestCompileProductStrategy(t *testing.T) {
 	c, _ := testCompiler()
 	s, err := c.Compile(productStrategy)

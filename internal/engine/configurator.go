@@ -3,9 +3,11 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
+	"bifrost/internal/clock"
 	"bifrost/internal/core"
 	"bifrost/internal/proxy"
 )
@@ -31,7 +33,11 @@ func (NopConfigurator) Configure(context.Context, *core.Strategy, *core.State,
 }
 
 // BuildProxyConfig materializes a core.RoutingConfig into the wire config a
-// proxy consumes, resolving version names to endpoints.
+// proxy consumes, resolving version names to endpoints. The rendering is
+// deterministic — backends in sorted version order, shadows in sorted
+// (source, target) order — so identical states produce byte-identical wire
+// configs no matter how Go's map iteration shuffles the weights; the fleet
+// reconciler's convergence comparison depends on that stability.
 func BuildProxyConfig(s *core.Strategy, rc core.RoutingConfig, generation int64) (proxy.Config, error) {
 	svc, ok := s.FindService(rc.Service)
 	if !ok {
@@ -47,16 +53,12 @@ func BuildProxyConfig(s *core.Strategy, rc core.RoutingConfig, generation int64)
 		cfg.Header = rc.Header
 	}
 	// Keep zero-weighted versions routable so shadows and header groups
-	// can reference them.
+	// can reference them. NormalizedWeights returns names sorted.
 	names, shares, err := rc.NormalizedWeights()
 	if err != nil {
 		return proxy.Config{}, fmt.Errorf("engine: %w", err)
 	}
-	shareOf := make(map[string]float64, len(names))
-	for i, n := range names {
-		shareOf[n] = shares[i]
-	}
-	for name := range rc.Weights {
+	for i, name := range names {
 		v, ok := svc.FindVersion(name)
 		if !ok {
 			return proxy.Config{}, fmt.Errorf("engine: unknown version %q of %q", name, rc.Service)
@@ -64,7 +66,7 @@ func BuildProxyConfig(s *core.Strategy, rc core.RoutingConfig, generation int64)
 		cfg.Backends = append(cfg.Backends, proxy.Backend{
 			Version: name,
 			URL:     endpointURL(v.Endpoint),
-			Weight:  shareOf[name],
+			Weight:  shares[i],
 		})
 	}
 	for _, sh := range rc.Shadows {
@@ -78,6 +80,15 @@ func BuildProxyConfig(s *core.Strategy, rc core.RoutingConfig, generation int64)
 		}
 		cfg.Shadows = append(cfg.Shadows, psh)
 	}
+	// Shadow rules are independent of each other, so ordering them is
+	// purely cosmetic for the proxy but load-bearing for convergence
+	// comparisons between renders.
+	sort.SliceStable(cfg.Shadows, func(i, j int) bool {
+		if cfg.Shadows[i].Source != cfg.Shadows[j].Source {
+			return cfg.Shadows[i].Source < cfg.Shadows[j].Source
+		}
+		return cfg.Shadows[i].Target < cfg.Shadows[j].Target
+	})
 	return cfg, nil
 }
 
@@ -127,25 +138,40 @@ func (lc *LocalConfigurator) Configure(ctx context.Context, s *core.Strategy,
 }
 
 // HTTPConfigurator pushes configs to remote proxies over their admin API,
-// using the proxy locations from the strategy's deployment section.
-type HTTPConfigurator struct{}
+// using the proxy locations from the strategy's deployment section. Every
+// push is bounded by a per-attempt timeout and transient failures are
+// retried with exponential backoff (Retry), so one flaky admin call or a
+// hung proxy can no longer fail — or wedge — a multi-day run. Services
+// with multiple proxy replicas are delivered to every replica and all must
+// ack; use FleetConfigurator for quorum semantics and background
+// anti-entropy reconciliation.
+type HTTPConfigurator struct {
+	// Retry bounds and retries each replica push; zero-value fields take
+	// the DefaultRetryPolicy defaults.
+	Retry RetryPolicy
+	// Clock drives the retry backoff waits; nil means the real clock.
+	// (FleetConfigurator gets the engine clock via New; this value type
+	// takes it explicitly.)
+	Clock clock.Clock
+}
 
 var _ Configurator = HTTPConfigurator{}
 
 // Configure implements Configurator.
-func (HTTPConfigurator) Configure(ctx context.Context, s *core.Strategy,
+func (hc HTTPConfigurator) Configure(ctx context.Context, s *core.Strategy,
 	state *core.State, rc core.RoutingConfig, generation int64) error {
 	svc, ok := s.FindService(rc.Service)
 	if !ok {
 		return fmt.Errorf("engine: routing for unknown service %q", rc.Service)
 	}
-	if svc.ProxyURL == "" {
+	endpoints := svc.ProxyEndpoints()
+	if len(endpoints) == 0 {
 		return fmt.Errorf("engine: service %q has no proxy URL in deployment", rc.Service)
 	}
 	cfg, err := BuildProxyConfig(s, rc, generation)
 	if err != nil {
 		return err
 	}
-	client := &proxy.Client{BaseURL: endpointURL(svc.ProxyURL)}
-	return client.SetConfig(ctx, cfg)
+	return deliver(ctx, clockOrReal(hc.Clock), dialProxy, endpoints, cfg,
+		hc.Retry.withDefaults(), len(endpoints), nil)
 }

@@ -156,6 +156,11 @@ func New(opts ...Option) *Engine {
 	for _, o := range opts {
 		o(e)
 	}
+	// Fleet-aware configurators borrow the engine's clock (deterministic
+	// backoff in tests) and registry (per-replica generation gauges).
+	if b, ok := e.configurator.(interface{ bindEngine(*Engine) }); ok {
+		b.bindEngine(e)
+	}
 	e.bus = newEventBus(e.ringSize)
 	e.mActive = e.registry.Gauge("engine_active_strategies", nil)
 	e.mEnacted = e.registry.Counter("engine_strategies_enacted_total", nil)

@@ -15,9 +15,15 @@ type EventType string
 const (
 	// EventScheduled marks a strategy entering the engine (Enact accepted
 	// it); the run journal stores the strategy source alongside it.
-	EventScheduled          EventType = "scheduled"
-	EventStateEntered       EventType = "state_entered"
-	EventRoutingApplied     EventType = "routing_applied"
+	EventScheduled      EventType = "scheduled"
+	EventStateEntered   EventType = "state_entered"
+	EventRoutingApplied EventType = "routing_applied"
+	// EventRoutingConverged marks every proxy replica of a service
+	// reporting the run's current routing generation again after a
+	// degradation; EventRoutingDegraded marks one or more replicas lagging
+	// or unreachable (the reconciler keeps re-pushing until they return).
+	EventRoutingConverged   EventType = "routing_converged"
+	EventRoutingDegraded    EventType = "routing_degraded"
 	EventCheckExecuted      EventType = "check_executed"
 	EventExceptionTriggered EventType = "exception_triggered"
 	// EventCheckConcluded marks a sequential check reaching a decision
@@ -74,10 +80,20 @@ type Event struct {
 	// recovery (recovered events only): delay accounting resumes from it,
 	// excluding every restart's downtime.
 	Active time.Duration `json:"active,omitempty"`
-	// Generation is the proxy config generation of routing_applied events;
-	// recovery restores the engine's generation counter from it so
-	// re-applied configs are not rejected as stale by surviving proxies.
+	// Generation is the proxy config generation of routing_applied,
+	// routing_converged, and routing_degraded events; recovery restores
+	// the engine's generation counter from it so re-applied configs are
+	// not rejected as stale by surviving proxies.
 	Generation int64 `json:"generation,omitempty"`
+	// Service, Replicas, and Acked describe fleet convergence on
+	// routing_converged and routing_degraded events: the affected
+	// service, its fleet size, and how many replicas run Generation.
+	// Lagging names the replicas behind Generation (degraded only), so
+	// status reduced from events identifies them across restarts.
+	Service  string   `json:"service,omitempty"`
+	Replicas int      `json:"replicas,omitempty"`
+	Acked    int      `json:"acked,omitempty"`
+	Lagging  []string `json:"lagging,omitempty"`
 	// Verdict carries the statistical result of check_executed,
 	// check_concluded, and burnrate_triggered events for compare,
 	// sequential, and burnrate checks.

@@ -167,6 +167,27 @@ func (m *engineMirror) apply(strategy *core.Strategy, ev Event) {
 			// Configure) must not count the downtime as in-state time.
 			st.EnteredAt = ev.Time.Add(-ev.Elapsed)
 		}
+	case EventRoutingConverged, EventRoutingDegraded:
+		// Reduce fleet convergence into Status.Fleet so a recovered run's
+		// status shows the last known fleet state until its own
+		// reconciler reports fresh numbers.
+		fs := FleetStatus{
+			Service: ev.Service, Generation: ev.Generation,
+			Replicas: ev.Replicas, Acked: ev.Acked,
+			Lagging:   append([]string(nil), ev.Lagging...),
+			Converged: ev.Type == EventRoutingConverged,
+		}
+		replaced := false
+		for i := range st.Fleet {
+			if st.Fleet[i].Service == ev.Service {
+				st.Fleet[i] = fs
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			st.Fleet = append(st.Fleet, fs)
+		}
 	case EventTransition:
 		st.Path = append(st.Path, Transition{
 			From: ev.State, To: ev.Detail, Outcome: ev.Outcome,
@@ -215,6 +236,7 @@ func (m *engineMirror) clone() *engineMirror {
 		cp.Events = append([]Event(nil), rm.Events...)
 		cp.Status.Path = append([]Transition(nil), rm.Status.Path...)
 		cp.Status.Checks = append([]CheckStatus(nil), rm.Status.Checks...)
+		cp.Status.Fleet = append([]FleetStatus(nil), rm.Status.Fleet...)
 		c.Runs[name] = &cp
 	}
 	return c

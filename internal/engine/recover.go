@@ -30,6 +30,12 @@ type recovered struct {
 	// current is the automaton state to re-enter ("" restarts from the
 	// automaton's start state: the run was scheduled but never entered one).
 	current string
+	// routing is the set of routing configurations in force at the crash
+	// (latest per service along the executed path). The re-entry applies
+	// the ones the re-entered state does not itself declare — routing
+	// persists across routeless states, and proxies may have restarted
+	// during the downtime.
+	routing []core.RoutingConfig
 	// elapsed is how long the run had already spent in current before the
 	// crash (downtime excluded); the state timer resumes from here instead
 	// of restarting the phase.
@@ -208,6 +214,7 @@ func (e *Engine) Recover(compile CompileFunc) (*RecoveryReport, error) {
 			status:   st,
 			recov: &recovered{
 				current:     st.Current,
+				routing:     effectiveRouting(s, st.Path, st.Current),
 				elapsed:     elapsed,
 				paused:      st.State == RunPaused,
 				pauseGen:    st.PauseGen,
@@ -228,6 +235,41 @@ func (e *Engine) Recover(compile CompileFunc) (*RecoveryReport, error) {
 		}()
 	}
 	return report, nil
+}
+
+// effectiveRouting returns the routing configurations in force when the
+// run sat in current after taking path: for each service, the config of
+// the latest visited state that declared one. Routing persists across
+// states that declare none, so recovery must re-apply these — the state
+// being re-entered may not mention the services at all.
+func effectiveRouting(s *core.Strategy, path []Transition, current string) []core.RoutingConfig {
+	if s == nil || current == "" {
+		return nil
+	}
+	visited := make([]string, 0, len(path)+1)
+	for _, tr := range path {
+		visited = append(visited, tr.From)
+	}
+	visited = append(visited, current)
+	var out []core.RoutingConfig
+	seen := make(map[string]bool, 2)
+	for i := len(visited) - 1; i >= 0; i-- {
+		st, ok := s.Automaton.State(visited[i])
+		if !ok {
+			continue
+		}
+		// Within a state too, the last declared config per service wins:
+		// enterState applies them in order and later pushes carry higher
+		// generations, so walking backwards keeps what was live.
+		for j := len(st.Routing) - 1; j >= 0; j-- {
+			rc := st.Routing[j]
+			if !seen[rc.Service] {
+				seen[rc.Service] = true
+				out = append(out, rc)
+			}
+		}
+	}
+	return out
 }
 
 // registerRun inserts a run into the registry; for live runs the waitgroup

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -41,6 +43,12 @@ type Run struct {
 	// Status.EnteredAt by the recovered elapsed time so the preserved
 	// progress is visible atomically with the re-entry. Loop-local.
 	resumeBackdate time.Duration
+	// recoveredRouting, consumed by the next enterState, holds the
+	// routing configurations in force at the crash: the re-entry applies
+	// the ones its state does not itself declare, so routing that
+	// persisted across routeless states is restored too (proxies may
+	// have restarted during the downtime). Loop-local.
+	recoveredRouting []core.RoutingConfig
 
 	mu     sync.Mutex
 	status Status
@@ -125,6 +133,10 @@ type Status struct {
 	Path []Transition `json:"path"`
 	// Checks reports progress of the current state's checks.
 	Checks []CheckStatus `json:"checks,omitempty"`
+	// Fleet reports per-service proxy-fleet convergence at the current
+	// routing generation (fleet-aware configurators only), maintained by
+	// the run's background reconciler.
+	Fleet []FleetStatus `json:"fleet,omitempty"`
 	// PauseGen counts completed Pause calls. A Resume carrying a non-zero
 	// generation only succeeds while that pause is still the current one.
 	PauseGen int `json:"pauseGen,omitempty"`
@@ -180,6 +192,7 @@ func (r *Run) Status() Status {
 	st := r.status
 	st.Path = append([]Transition(nil), r.status.Path...)
 	st.Checks = append([]CheckStatus(nil), r.status.Checks...)
+	st.Fleet = append([]FleetStatus(nil), r.status.Fleet...)
 	return st
 }
 
@@ -296,7 +309,45 @@ func (r *Run) loop(ctx context.Context) {
 	}
 	r.mu.Unlock()
 
+	// Fleet-aware configurators get a per-run anti-entropy reconciler: it
+	// polls every replica, re-pushes the current generation to lagging or
+	// restarted ones, and publishes routing_converged/routing_degraded
+	// transitions. It lives for the whole run (routing persists across
+	// states that declare none) and is stopped — synchronously, so no
+	// convergence event can land after the terminal record — by finish()
+	// or, on suspend, by the deferred stop below.
+	var fm fleetManager
+	stopReconciler := func() {}
+	if m, ok := r.engine.configurator.(fleetManager); ok && strategyHasFleet(r.strategy) {
+		fm = m
+		rctx, rcancel := context.WithCancel(ctx)
+		rdone := make(chan struct{})
+		go func() {
+			defer close(rdone)
+			r.reconcileLoop(rctx, fm)
+		}()
+		stopReconciler = func() {
+			rcancel()
+			<-rdone
+		}
+		// Defer order matters: forget runs before close(r.done) (LIFO vs
+		// the deferred close at the top of loop), and Enact/Remove gate on
+		// that channel — so a re-enactment of this strategy name can only
+		// register fresh fleet state after this forget has finished, never
+		// before it.
+		defer fm.forget(r.strategy.Name)
+		defer stopReconciler()
+	}
+
 	finish := func(state RunState, errMsg string) {
+		stopReconciler()
+		if state != RunAborted {
+			// Completed and failed runs get one last anti-entropy pass;
+			// aborted ones skip it — the operator just cancelled the run
+			// (Shutdown aborts every run and must not stall on unreachable
+			// proxies, nor should routing be re-pushed after an abort).
+			r.finalFleetCheck(fm)
+		}
 		now := clk.Now()
 		r.mu.Lock()
 		r.status.State = state
@@ -355,6 +406,7 @@ func (r *Run) loop(ctx context.Context) {
 			// The re-entry keeps the preserved elapsed time visible: the
 			// state was entered before the restart, not just now.
 			r.resumeBackdate = rc.elapsed
+			r.recoveredRouting = rc.routing
 			if rc.paused {
 				// Re-assert the pause before re-entering the state: if the
 				// engine dies again mid-re-entry (Configure calls proxies
@@ -459,8 +511,25 @@ func (r *Run) enterState(ctx context.Context, state *core.State) error {
 		Detail: state.Description, Time: now,
 	})
 
-	for i := range state.Routing {
-		rc := state.Routing[i]
+	// A recovery re-entry also restores routing that persisted from
+	// earlier states (the re-entered state may declare none of it);
+	// services the state routes itself are applied from the state alone.
+	routing := state.Routing
+	if extras := r.recoveredRouting; extras != nil {
+		r.recoveredRouting = nil
+		covered := make(map[string]bool, len(state.Routing))
+		for i := range state.Routing {
+			covered[state.Routing[i].Service] = true
+		}
+		routing = append([]core.RoutingConfig(nil), state.Routing...)
+		for _, rc := range extras {
+			if !covered[rc.Service] {
+				routing = append(routing, rc)
+			}
+		}
+	}
+	for i := range routing {
+		rc := routing[i]
 		gen := r.engine.nextGeneration()
 		if err := r.engine.configurator.Configure(ctx, r.strategy, state, rc, gen); err != nil {
 			return err
@@ -469,6 +538,11 @@ func (r *Run) enterState(ctx context.Context, state *core.State) error {
 			Type: EventRoutingApplied, State: state.ID,
 			Detail: rc.Service, Generation: gen, Time: clk.Now(),
 		})
+		// Only now may the reconciler report this fleet: a degraded event
+		// for generation gen must never precede its routing_applied.
+		if fm, ok := r.engine.configurator.(fleetManager); ok {
+			fm.settled(r.strategy.Name, rc.Service)
+		}
 	}
 	return nil
 }
@@ -726,6 +800,180 @@ func (r *Run) publishGateDecision(state *core.State, kind controlKind, target st
 		Type: EventGateDecision, State: state.ID, Cause: kind.String(),
 		Detail: kind.String() + " to " + target, Time: r.engine.clk.Now(),
 	})
+}
+
+// strategyHasFleet reports whether any service declares proxy endpoints —
+// only then is there a fleet to reconcile.
+func strategyHasFleet(s *core.Strategy) bool {
+	for _, svc := range s.Services {
+		if len(svc.ProxyEndpoints()) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// reconcileLoop is the run's anti-entropy loop: every reconcile interval
+// it polls the strategy's proxy fleets through the fleet manager (which
+// re-pushes the current generation to lagging or restarted replicas),
+// refreshes Status.Fleet, and publishes routing_degraded /
+// routing_converged events on convergence transitions — through the same
+// pipeline as every other event, so they reach the journal, the v2 run
+// resource, SSE watchers, and the CLI.
+func (r *Run) reconcileLoop(ctx context.Context, fm fleetManager) {
+	clk := r.engine.clk
+	t := clk.NewTicker(fm.reconcileInterval())
+	defer t.Stop()
+	type convState struct {
+		gen       int64
+		converged bool
+		// lagging fingerprints the lagging replica set: the same
+		// generation staying degraded but with a *different* replica down
+		// must re-publish, or the journal keeps naming the wrong replica.
+		lagging string
+	}
+	// Seed the transition detector from the run's current fleet status: a
+	// recovered run whose journal ends on routing_degraded must emit
+	// routing_converged when the first post-restart pass finds the fleet
+	// healed, not stay silently unresolved on every watcher.
+	last := make(map[string]convState, 2)
+	r.mu.Lock()
+	for _, f := range r.status.Fleet {
+		last[f.Service] = convState{
+			gen: f.Generation, converged: f.Converged,
+			lagging: strings.Join(f.Lagging, ","),
+		}
+	}
+	r.mu.Unlock()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-r.engine.stopping:
+			return
+		case <-t.C():
+		}
+		reports := fm.reconcile(ctx, r.strategy.Name)
+		if ctx.Err() != nil {
+			// The run just finished or was aborted: a pass against
+			// cancelled contexts sees every replica unreachable and must
+			// not publish a parting routing_degraded.
+			return
+		}
+		if len(reports) == 0 {
+			continue // nothing configured yet (or everything superseded)
+		}
+		r.mu.Lock()
+		r.status.Fleet = mergeFleet(r.status.Fleet, reports)
+		state := r.status.Current
+		r.mu.Unlock()
+		now := clk.Now()
+		for _, rep := range reports {
+			fp := strings.Join(rep.Lagging, ",")
+			prev, known := last[rep.Service]
+			last[rep.Service] = convState{gen: rep.Generation, converged: rep.Converged, lagging: fp}
+			switch {
+			case !rep.Converged && (!known || prev.converged ||
+				prev.gen != rep.Generation || prev.lagging != fp):
+				// Newly degraded, a new generation that arrived partial,
+				// or the same degradation moving to different replicas.
+				r.publishFleetEvent(rep, state, "", now)
+			case rep.Converged && known && !prev.converged:
+				r.publishFleetEvent(rep, state, "", now)
+			}
+		}
+	}
+}
+
+// finalFleetCheck runs one last anti-entropy pass as the run ends, while
+// the desired configs still exist: a reachable replica that missed the
+// final state's push (the quorum was satisfied without it) is repaired
+// here, and a fleet that still ends degraded is journaled as such right
+// before the terminal record — after this the reconciler is gone, so a
+// replica that stayed down keeps its last-acked routing until an operator
+// re-pushes or the next strategy reconfigures the service.
+func (r *Run) finalFleetCheck(fm fleetManager) {
+	if fm == nil {
+		return
+	}
+	// The budget is derived from the configured push timeout (one pass's
+	// worst case), so a larger -push-timeout cannot starve the pass into
+	// the expired-context guard below.
+	ctx, cancel := context.WithTimeout(context.Background(), fm.passBudget())
+	defer cancel()
+	reports := fm.reconcile(ctx, r.strategy.Name)
+	if len(reports) == 0 || ctx.Err() != nil {
+		// Same hazard reconcileLoop guards: a pass cut short by its
+		// deadline sees the unpolled replicas as unreachable and must not
+		// journal a false parting routing_degraded over healthy ones.
+		return
+	}
+	r.mu.Lock()
+	wasDegraded := make(map[string]bool, len(r.status.Fleet))
+	for _, f := range r.status.Fleet {
+		wasDegraded[f.Service] = !f.Converged
+	}
+	r.status.Fleet = mergeFleet(r.status.Fleet, reports)
+	state := r.status.Current
+	r.mu.Unlock()
+	now := r.engine.clk.Now()
+	for _, rep := range reports {
+		if rep.Converged {
+			// A fleet this pass healed must resolve its earlier degradation
+			// on the stream — otherwise the journal's last fleet word stays
+			// routing_degraded and a restarted engine reports the finished
+			// run as degraded over replicas that were repaired.
+			if wasDegraded[rep.Service] {
+				r.publishFleetEvent(rep, state, "", now)
+			}
+			continue
+		}
+		r.publishFleetEvent(rep, state, " as the run ends", now)
+	}
+}
+
+// mergeFleet folds a reconcile pass's reports into the standing fleet
+// status: reported services are replaced, unreported ones (e.g. a fleet
+// whose fan-out is still settling and was skipped this pass) keep their
+// previous entry instead of vanishing from status. Result sorted by
+// service for stable rendering.
+func mergeFleet(old, reports []FleetStatus) []FleetStatus {
+	merged := append([]FleetStatus(nil), reports...)
+	seen := make(map[string]bool, len(reports))
+	for _, rep := range reports {
+		seen[rep.Service] = true
+	}
+	for _, f := range old {
+		if !seen[f.Service] {
+			merged = append(merged, f)
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Service < merged[j].Service })
+	return merged
+}
+
+// publishFleetEvent emits one fleet convergence event for rep:
+// routing_converged when the fleet is whole, routing_degraded (with the
+// lagging replicas) otherwise. detailSuffix qualifies the degraded text
+// (e.g. " as the run ends").
+func (r *Run) publishFleetEvent(rep FleetStatus, state, detailSuffix string, now time.Time) {
+	ev := Event{
+		State: state, Service: rep.Service,
+		Generation: rep.Generation, Replicas: rep.Replicas, Acked: rep.Acked,
+		Time: now,
+	}
+	if rep.Converged {
+		ev.Type = EventRoutingConverged
+		ev.Detail = fmt.Sprintf("%s: all %d replicas at generation %d",
+			rep.Service, rep.Replicas, rep.Generation)
+	} else {
+		ev.Type = EventRoutingDegraded
+		ev.Lagging = append([]string(nil), rep.Lagging...)
+		ev.Detail = fmt.Sprintf("%s: %d/%d replicas at generation %d%s (lagging: %s)",
+			rep.Service, rep.Acked, rep.Replicas, rep.Generation, detailSuffix,
+			strings.Join(rep.Lagging, ", "))
+	}
+	r.publish(ev)
 }
 
 // statePlannedDuration is the specified execution time of a state: its

@@ -16,6 +16,7 @@ import (
 	"bifrost/internal/engine"
 	"bifrost/internal/httpx"
 	"bifrost/internal/metrics"
+	"bifrost/internal/proxy"
 	"bifrost/internal/sysmon"
 )
 
@@ -131,7 +132,11 @@ type tolerantConfigurator struct {
 func (t tolerantConfigurator) Configure(ctx context.Context, s *core.Strategy,
 	state *core.State, rc core.RoutingConfig, gen int64) error {
 	err := t.inner.Configure(ctx, s, state, rc, gen)
-	var apiErr *httpx.Error
+	var prob *httpx.Problem
+	if errors.As(err, &prob) && prob.Code == proxy.CodeStaleGeneration {
+		return nil
+	}
+	var apiErr *httpx.Error // legacy envelope, pre-typed-error proxies
 	if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusConflict {
 		return nil
 	}

@@ -69,6 +69,17 @@ func (r *Registry) Gauge(name string, labels Labels) *Gauge {
 	return g
 }
 
+// DeleteGauge removes the gauge for name+labels from the registry, so
+// components labelling metrics by transient identities (e.g. the engine's
+// per-replica routing generations) can retire series instead of exporting
+// them forever. Existing handles keep working but are no longer gathered;
+// deleting an absent gauge is a no-op.
+func (r *Registry) DeleteGauge(name string, labels Labels) {
+	r.mu.Lock()
+	delete(r.gauges, name+"\x00"+labels.Key())
+	r.mu.Unlock()
+}
+
 // Counter is a monotonically increasing metric. The value is stored as
 // float64 bits in an atomic word, so handle holders (e.g. the proxy's
 // per-snapshot metric sets) increment without taking any lock — the hot

@@ -2,9 +2,27 @@ package proxy
 
 import (
 	"context"
+	"errors"
 	"net/http"
 
 	"bifrost/internal/httpx"
+)
+
+// ErrStaleGeneration is returned by SetConfig when the pushed configuration
+// is older than the one the proxy runs. The admin API maps it to an HTTP
+// 409 with problem code CodeStaleGeneration, so the engine's retry logic
+// can tell a lost ordering race from an invalid config.
+var ErrStaleGeneration = errors.New("stale config generation")
+
+// Machine-readable problem+json codes of the proxy admin API.
+const (
+	// CodeStaleGeneration rejects a config older than the active one (409).
+	CodeStaleGeneration = "stale_generation"
+	// CodeInvalidConfig rejects a config that fails validation (400);
+	// retrying the same push can never succeed.
+	CodeInvalidConfig = "invalid_config"
+	// CodeBadRequest rejects a request body that is not a config at all.
+	CodeBadRequest = "bad_request"
 )
 
 // Admin API, served under /_bifrost/ on the proxy's listener:
@@ -14,17 +32,29 @@ import (
 //	GET /_bifrost/mappings  — materialized sticky user mappings (M)
 //	GET /_bifrost/metrics   — text exposition of proxy metrics
 //	GET /_bifrost/healthy   — liveness
+//
+// Errors are application/problem+json documents (httpx.Problem) carrying
+// one of the Code* constants, mirroring the engine API's typed contract.
 func (p *Proxy) adminHandler() http.Handler {
 	p.adminOnce.Do(func() {
 		mux := http.NewServeMux()
 		mux.HandleFunc("PUT /_bifrost/config", func(w http.ResponseWriter, r *http.Request) {
 			var cfg Config
 			if err := httpx.ReadJSON(r, &cfg); err != nil {
-				httpx.WriteError(w, http.StatusBadRequest, err.Error())
+				httpx.WriteProblem(w, httpx.Problem{
+					Status: http.StatusBadRequest, Code: CodeBadRequest, Detail: err.Error(),
+				})
 				return
 			}
 			if err := p.SetConfig(cfg); err != nil {
-				httpx.WriteError(w, http.StatusConflict, err.Error())
+				// A stale generation is an ordering conflict (another,
+				// newer push won); anything else means this config can
+				// never be applied and must not be retried.
+				status, code := http.StatusBadRequest, CodeInvalidConfig
+				if errors.Is(err, ErrStaleGeneration) {
+					status, code = http.StatusConflict, CodeStaleGeneration
+				}
+				httpx.WriteProblem(w, httpx.Problem{Status: status, Code: code, Detail: err.Error()})
 				return
 			}
 			httpx.WriteJSON(w, http.StatusOK, map[string]any{
@@ -57,7 +87,10 @@ type Client struct {
 	BaseURL string
 }
 
-// SetConfig pushes a routing configuration.
+// SetConfig pushes a routing configuration. Rejections surface as typed
+// *httpx.Problem errors whose Code is one of the Code* constants, so
+// callers can stop retrying permanent failures (invalid_config) and
+// recognize lost ordering races (stale_generation).
 func (c *Client) SetConfig(ctx context.Context, cfg Config) error {
 	return httpx.PutJSON(ctx, c.BaseURL+"/_bifrost/config", cfg, nil)
 }

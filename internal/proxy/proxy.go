@@ -240,8 +240,8 @@ func (p *Proxy) SetConfig(cfg Config) error {
 	p.cfgMu.Lock()
 	defer p.cfgMu.Unlock()
 	if cur := p.state.Load(); cur != nil && cfg.Generation < cur.cfg.Generation {
-		return fmt.Errorf("proxy %s: stale config generation %d < %d",
-			p.service, cfg.Generation, cur.cfg.Generation)
+		return fmt.Errorf("proxy %s: %w: %d < %d",
+			p.service, ErrStaleGeneration, cfg.Generation, cur.cfg.Generation)
 	}
 	st, err := p.buildRouteState(cfg)
 	if err != nil {

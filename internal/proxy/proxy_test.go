@@ -3,6 +3,7 @@ package proxy
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -400,13 +401,26 @@ func TestAdminAPIOverHTTP(t *testing.T) {
 		t.Errorf("updated cfg = %+v, %v", got, err)
 	}
 
-	// Stale push surfaces as an HTTP 409 error.
+	// Stale push surfaces as a typed 409 stale_generation problem, so the
+	// engine's retry logic can tell a lost ordering race apart from an
+	// invalid config.
 	stale := twoBackendConfig(a, b, 1, 1, false)
 	stale.Generation = 1
 	err = c.SetConfig(ctx, stale)
-	var apiErr *httpx.Error
-	if !asErr(err, &apiErr) || apiErr.StatusCode != http.StatusConflict {
-		t.Errorf("stale push error = %v, want 409", err)
+	var prob *httpx.Problem
+	if !errors.As(err, &prob) || prob.Status != http.StatusConflict || prob.Code != CodeStaleGeneration {
+		t.Errorf("stale push error = %v, want 409 %s", err, CodeStaleGeneration)
+	}
+
+	// An invalid config is a typed 400 invalid_config problem — a permanent
+	// failure that must never be retried.
+	bad := twoBackendConfig(a, b, 50, 50, false)
+	bad.Generation = 3
+	bad.Backends[0].URL = "not a url"
+	err = c.SetConfig(ctx, bad)
+	prob = nil
+	if !errors.As(err, &prob) || prob.Status != http.StatusBadRequest || prob.Code != CodeInvalidConfig {
+		t.Errorf("invalid push error = %v, want 400 %s", err, CodeInvalidConfig)
 	}
 
 	// Exposition endpoint serves metrics.
