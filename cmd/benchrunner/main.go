@@ -10,6 +10,10 @@
 //	benchrunner -experiment fig8                 # same sweep as fig7
 //	benchrunner -experiment fig9 -groups 1,5,10,20
 //	benchrunner -experiment fig10                # same sweep as fig9
+//	benchrunner -experiment bench6 -out BENCH_6.json
+//	                                             # federation micro-bench:
+//	                                             # ingest, sketch merges,
+//	                                             # fleet-window queries
 //	benchrunner -paper                           # paper-scale durations
 //	benchrunner -singlecore                      # GOMAXPROCS=1, like the
 //	                                             # paper's n1-standard-1 VMs
@@ -42,12 +46,15 @@ func main() {
 }
 
 func run() error {
-	experiment := flag.String("experiment", "all", "all|table1|fig6|fig7|fig8|fig9|fig10")
+	experiment := flag.String("experiment", "all", "all|table1|fig6|fig7|fig8|fig9|fig10|bench6")
 	paper := flag.Bool("paper", false, "use the paper's full phase durations (slow)")
 	singleCore := flag.Bool("singlecore", false, "run with GOMAXPROCS=1 to mimic the paper's single-core VMs")
 	counts := flag.String("counts", "1,5,10,20", "parallel-strategy sweep counts (fig7/fig8)")
 	groups := flag.String("groups", "1,5,10", "check-group sweep counts n; 8·n checks (fig9/fig10)")
 	rps := flag.Float64("rps", 35, "load-test request rate (fig6/table1)")
+	out := flag.String("out", "", "write bench6 JSON to this file instead of stdout")
+	benchScale := flag.Float64("bench-scale", 1,
+		"scale factor for bench6 workload sizes (CI smoke uses e.g. 0.01)")
 	flag.Parse()
 
 	if *singleCore {
@@ -100,6 +107,35 @@ func run() error {
 			"Figures 9 & 10: engine CPU utilization and enactment delay vs parallel checks",
 			"checks", points)
 		return nil
+
+	case "bench6":
+		scale := func(n int) int {
+			if v := int(float64(n) * *benchScale); v > 0 {
+				return v
+			}
+			return 1
+		}
+		res, err := experiments.RunFederationBench(experiments.FederationBenchConfig{
+			IngestSamples: scale(1_000_000),
+			MergeSketches: scale(2_000),
+			SketchSamples: scale(5_000),
+			Replicas:      8,
+			WindowBuckets: scale(120),
+			Queries:       scale(500),
+		})
+		if err != nil {
+			return err
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return res.WriteJSON(w)
 
 	case "all":
 		start := time.Now()

@@ -1,7 +1,10 @@
 // Command bifrost-metrics runs the standalone Bifrost metrics provider:
 // the Prometheus-shaped time-series store the engine's checks query
-// (/api/v1/query, /api/v1/moments), fed by pushed samples (/api/v1/ingest)
-// and optionally by scraping exposition endpoints.
+// (/api/v1/query, /api/v1/moments), fed by pushed samples (/api/v1/ingest),
+// by federated deltas from per-proxy aggregation agents (/api/v1/federate
+// — bucket summaries plus mergeable quantile sketches, deduplicated by
+// replica/incarnation/sequence so retries never double-count), and
+// optionally by scraping exposition endpoints.
 //
 // Usage:
 //

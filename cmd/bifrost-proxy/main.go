@@ -10,6 +10,12 @@
 // All traffic received on -listen is routed between the configured version
 // backends; the engine updates the configuration at runtime through the
 // admin API under /_bifrost/.
+//
+// With -federate the proxy also runs a metrics federation agent: upstream
+// latency samples feed per-window mergeable quantile sketches that are
+// shipped as idempotent deltas to a bifrost-metrics store
+// (/api/v1/federate), alongside the registry's counters. -replica names
+// this proxy's series in the fleet (defaults to the hostname).
 package main
 
 import (
@@ -24,6 +30,8 @@ import (
 	"time"
 
 	"bifrost/internal/httpx"
+	"bifrost/internal/metrics"
+	"bifrost/internal/metrics/federation"
 	"bifrost/internal/proxy"
 )
 
@@ -56,6 +64,12 @@ func run() error {
 	listen := flag.String("listen", "127.0.0.1:8081", "address to serve traffic on")
 	stickyCap := flag.Int("sticky-capacity", proxy.DefaultStickyCapacity,
 		"max pinned sticky assignments before clock eviction (evictions surface on proxy_sticky_evictions_total)")
+	federate := flag.String("federate", "",
+		"bifrost-metrics base URL to ship metric deltas to (enables the federation agent)")
+	replica := flag.String("replica", "",
+		"replica name for federated series (default: hostname)")
+	shipInterval := flag.Duration("ship-interval", 2*time.Second,
+		"how often the federation agent ships closed buckets")
 	var backends backendFlags
 	flag.Var(&backends, "backend", "version backend as name=url (repeatable; first gets 100% until configured)")
 	flag.Parse()
@@ -66,11 +80,45 @@ func run() error {
 	cfg := proxy.Config{Service: *service, Generation: 0}
 	cfg.Backends = backends
 
-	p, err := proxy.New(*service, cfg, proxy.WithStickyCapacity(*stickyCap))
+	opts := []proxy.Option{proxy.WithStickyCapacity(*stickyCap)}
+	var agent *federation.Agent
+	if *federate != "" {
+		name := *replica
+		if name == "" {
+			host, err := os.Hostname()
+			if err != nil {
+				return fmt.Errorf("-replica not set and hostname unavailable: %v", err)
+			}
+			name = host
+		}
+		// The proxy and the agent share one registry: the agent gathers the
+		// proxy's counters (requests, errors) each flush, while raw latency
+		// samples flow into its sketches through the observer hook.
+		reg := metrics.NewRegistry()
+		sink := federation.HTTPSink{Client: metrics.Client{BaseURL: *federate}}
+		agent = federation.New(name, sink,
+			federation.WithShipInterval(*shipInterval),
+			federation.WithRegistry(reg))
+		opts = append(opts,
+			proxy.WithRegistry(reg),
+			proxy.WithLatencyObserver(agent.Observe))
+		log.Printf("federation agent %q shipping to %s every %v", name, *federate, *shipInterval)
+	}
+
+	p, err := proxy.New(*service, cfg, opts...)
 	if err != nil {
 		return err
 	}
 	defer p.Close()
+
+	if agent != nil {
+		agent.Start()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			agent.Stop(ctx)
+		}()
+	}
 
 	srv, err := httpx.NewServer(*listen, p)
 	if err != nil {

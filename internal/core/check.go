@@ -31,6 +31,12 @@ const (
 	// like an exception check, transitions to its fallback state the
 	// moment both windows burn too fast (automatic rollback).
 	BurnRateCheck
+	// ChangePointCheck runs nonparametric change-point detection
+	// (E-Divisive means) over a sliding window of a metric's trajectory
+	// and, like a sequential check, ends the state early once a
+	// distribution shift is significant — "the latency distribution
+	// changed" rather than "a threshold was crossed".
+	ChangePointCheck
 )
 
 // String implements fmt.Stringer.
@@ -46,6 +52,8 @@ func (k CheckKind) String() string {
 		return "sequential"
 	case BurnRateCheck:
 		return "burnrate"
+	case ChangePointCheck:
+		return "changepoint"
 	default:
 		return fmt.Sprintf("CheckKind(%d)", int(k))
 	}
@@ -54,7 +62,8 @@ func (k CheckKind) String() string {
 // Statistical reports whether the kind carries a Verdict (its evaluator
 // is an Analyzer rather than a boolean Evaluator).
 func (k CheckKind) Statistical() bool {
-	return k == CompareCheck || k == SequentialCheck || k == BurnRateCheck
+	return k == CompareCheck || k == SequentialCheck || k == BurnRateCheck ||
+		k == ChangePointCheck
 }
 
 // InterruptOnly reports whether the kind exists purely for its interrupt
@@ -101,8 +110,8 @@ type Check struct {
 	// Eval is f_ci, the metric-evaluating function of basic and exception
 	// checks. Statistical kinds use Analyze instead.
 	Eval Evaluator
-	// Analyze is the statistical analysis of compare, sequential, and
-	// burnrate checks, producing a Verdict per execution.
+	// Analyze is the statistical analysis of compare, sequential,
+	// burnrate, and changepoint checks, producing a Verdict per execution.
 	Analyze Analyzer
 	// InconclusivePass controls how a statistical check that is still
 	// DecisionContinue when the state ends maps into the outcome: false
@@ -124,8 +133,9 @@ type Check struct {
 	Outputs    []int
 
 	// Fallback is the fallback state s_j of an exception or burnrate
-	// check. On a sequential check it is optional: when set, a failing
-	// early conclusion jumps straight to it instead of going through δ.
+	// check. On a sequential or changepoint check it is optional: when
+	// set, a failing early conclusion jumps straight to it instead of
+	// going through δ.
 	Fallback string
 }
 

@@ -170,7 +170,7 @@ func validateState(st *State, states map[string]*State, services map[string]Serv
 					st.ID, c.Name, c.Fallback)
 			}
 		case CompareCheck:
-		case SequentialCheck:
+		case SequentialCheck, ChangePointCheck:
 			// Fallback is optional: set, it must name a real state.
 			if c.Fallback != "" {
 				if _, ok := states[c.Fallback]; !ok {

@@ -80,12 +80,14 @@
 // The paper's route syntax (Listing 2: from/to + traffic filters) is also
 // accepted, so published strategies compile unchanged.
 //
-// Five check elements exist: the paper's metric and exception checks
+// Six check elements exist: the paper's metric and exception checks
 // (routes.go) plus the statistical verdict checks compare (Welch's
 // t-test between baseline and candidate), sequential (an SPRT A/B gate
-// that can conclude before the state timer), and burnrate (multi-window
-// SLO burn-rate rollback) — see verdict_checks.go and
-// docs/strategy-authoring.md for the full field reference.
+// that can conclude before the state timer), burnrate (multi-window
+// SLO burn-rate rollback), and changepoint (E-Divisive means detection
+// of a distribution shift in a metric's trajectory) — see
+// verdict_checks.go and docs/strategy-authoring.md for the full field
+// reference.
 package dsl
 
 import (

@@ -147,7 +147,7 @@ func (pc *phaseCompiler) compileChecks(m map[string]any, ctx string) []core.Chec
 		}
 		switch {
 		case len(kinds) == 0:
-			d.errf("%s: check must be a metric, exception, compare, sequential, or burnrate element", cctx)
+			d.errf("%s: check must be a metric, exception, compare, sequential, burnrate, or changepoint element", cctx)
 			continue
 		case len(kinds) > 1 || len(cm) > 1:
 			d.unknownKeys(cm, cctx, kinds[0])

@@ -28,7 +28,7 @@ var (
 // order they are documented. docs/strategy-authoring.md must describe
 // exactly these kinds; internal/dsl/docs_test.go enforces that.
 func KnownCheckKinds() []string {
-	return []string{"metric", "exception", "compare", "sequential", "burnrate"}
+	return []string{"metric", "exception", "compare", "sequential", "burnrate", "changepoint"}
 }
 
 // compileVerdictCheck dispatches the statistical check elements.
@@ -40,6 +40,8 @@ func (pc *phaseCompiler) compileVerdictCheck(kind string, m map[string]any, ctx 
 		return pc.compileSequentialCheck(m, ctx)
 	case "burnrate":
 		return pc.compileBurnRateCheck(m, ctx)
+	case "changepoint":
+		return pc.compileChangePointCheck(m, ctx)
 	}
 	return core.Check{}, false
 }
@@ -434,6 +436,141 @@ func (a *burnRateAnalyzer) Analyze(ctx context.Context) (core.Verdict, error) {
 			shortBurn, longBurn, a.factor)
 	}
 	return v, nil
+}
+
+// compileChangePointCheck builds a `changepoint` element: E-Divisive means
+// change-point detection over a sliding window of a query's trajectory,
+// concluding the phase the moment the metric's distribution shifts.
+func (pc *phaseCompiler) compileChangePointCheck(m map[string]any, ctx string) (core.Check, bool) {
+	d := pc.d
+	d.unknownKeys(m, ctx, "name", "provider", "query", "minPoints", "maxPoints",
+		"permutations", "confidence", "minSegment", "seed", "intervalTime",
+		"intervalLimit", "weight", "fallback", "onInconclusive")
+
+	c, querier, ok := pc.commonVerdictFields(m, ctx, core.ChangePointCheck)
+	if !ok {
+		return core.Check{}, false
+	}
+	// A changepoint check that never detects a shift has seen stationary
+	// traffic — evidence of health, not of failure. Unlike the other
+	// statistical checks, inconclusive therefore defaults to pass; an
+	// explicit onInconclusive still overrides.
+	if _, set := m["onInconclusive"]; !set {
+		c.InconclusivePass = true
+	}
+	c.Fallback = d.getString(m, "fallback", ctx)
+	query := d.requireString(m, "query", ctx)
+
+	minSegment := d.getInt(m, "minSegment", ctx, 5)
+	if minSegment < 2 {
+		d.errf("%s: minSegment must be ≥ 2, got %d", ctx, minSegment)
+	}
+	minPoints := d.getInt(m, "minPoints", ctx, 12)
+	if minPoints < 2*minSegment {
+		d.errf("%s: minPoints must be ≥ 2·minSegment (= %d), got %d", ctx, 2*minSegment, minPoints)
+	}
+	maxPoints := d.getInt(m, "maxPoints", ctx, 200)
+	if maxPoints < minPoints {
+		d.errf("%s: maxPoints %d must be ≥ minPoints %d", ctx, maxPoints, minPoints)
+	}
+	permutations := d.getInt(m, "permutations", ctx, 199)
+	if permutations < 1 {
+		d.errf("%s: permutations must be ≥ 1, got %d", ctx, permutations)
+	}
+	confidence := d.getFloat(m, "confidence", ctx, 0.95)
+	if confidence <= 0 || confidence >= 1 {
+		d.errf("%s: confidence must be in (0,1), got %v", ctx, confidence)
+	}
+	seed := d.getInt(m, "seed", ctx, 1)
+	if len(d.problems) > 0 || query == "" {
+		return core.Check{}, false
+	}
+	c.Analyze = &changePointAnalyzer{
+		querier:      querier,
+		query:        query,
+		minPoints:    minPoints,
+		maxPoints:    maxPoints,
+		permutations: permutations,
+		alpha:        1 - confidence,
+		minSegment:   minSegment,
+		seed:         int64(seed),
+		interval:     c.Interval,
+	}
+	return c, true
+}
+
+// changePointAnalyzer accumulates the query's value at every execution
+// into a sliding trajectory and scans it with E-Divisive means. Only a
+// significant distribution shift concludes (DecisionFail); a stationary
+// trajectory stays DecisionContinue for the whole state, so the check's
+// weight resolves through onInconclusive (default pass). The conclusion
+// is sticky, and the trajectory resets on state (re-)entry.
+type changePointAnalyzer struct {
+	querier      Querier
+	query        string
+	minPoints    int
+	maxPoints    int
+	permutations int
+	alpha        float64
+	minSegment   int
+	seed         int64
+	interval     time.Duration
+
+	series    []float64
+	concluded bool
+	final     core.Verdict
+}
+
+var _ core.ResettableAnalyzer = (*changePointAnalyzer)(nil)
+
+// Reset implements core.ResettableAnalyzer.
+func (a *changePointAnalyzer) Reset() {
+	a.series = a.series[:0]
+	a.concluded = false
+	a.final = core.Verdict{}
+}
+
+// Analyze implements core.Analyzer.
+func (a *changePointAnalyzer) Analyze(ctx context.Context) (core.Verdict, error) {
+	if a.concluded {
+		return a.final, nil
+	}
+	v, err := a.querier.Query(ctx, a.query)
+	if err != nil {
+		// Keep the trajectory intact; a transient provider error must not
+		// punch a hole in the series.
+		return core.Verdict{Decision: core.DecisionContinue,
+			Err: fmt.Sprintf("%s: %v", a.query, err)}, nil
+	}
+	a.series = append(a.series, v)
+	if len(a.series) > a.maxPoints {
+		a.series = a.series[len(a.series)-a.maxPoints:]
+	}
+	n := len(a.series)
+	out := core.Verdict{Decision: core.DecisionContinue, Windows: []core.WindowStat{{
+		Name: "trajectory", Window: a.interval, Count: float64(n), Value: v,
+	}}}
+	if n < a.minPoints {
+		out.Detail = fmt.Sprintf("accumulating trajectory (%d/%d points)", n, a.minPoints)
+		return out, nil
+	}
+	cp, err := stats.EDivisive(a.series, a.minSegment, a.permutations, a.seed)
+	if err != nil {
+		out.Err = err.Error()
+		return out, nil
+	}
+	out.Statistic = cp.Stat
+	out.PValue = cp.P
+	if cp.P <= a.alpha {
+		out.Decision = core.DecisionFail
+		out.Detail = fmt.Sprintf("distribution shift at point %d/%d (Q=%.3f, p=%.4f ≤ α=%.4f)",
+			cp.Index, n, cp.Stat, cp.P, a.alpha)
+		a.concluded = true
+		a.final = out
+		return out, nil
+	}
+	out.Detail = fmt.Sprintf("no shift detected over %d points (Q=%.3f, p=%.4f)", n, cp.Stat, cp.P)
+	return out, nil
 }
 
 // burn computes the burn-rate factor over one window: the observed error

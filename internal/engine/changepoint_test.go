@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bifrost/internal/core"
+	"bifrost/internal/metrics"
+)
+
+// latencyFeeder appends candidate latency gauge samples in the background.
+// The level is adjustable mid-run, so a test can inject a distribution
+// shift at a chosen moment.
+type latencyFeeder struct {
+	store *metrics.Store
+	level atomic.Uint64
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+func feedLatency(store *metrics.Store, level float64) *latencyFeeder {
+	f := &latencyFeeder{store: store, stop: make(chan struct{}), done: make(chan struct{})}
+	f.level.Store(math.Float64bits(level))
+	go func() {
+		defer close(f.done)
+		labels := metrics.Labels{"version": "candidate"}
+		ticker := time.NewTicker(time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				v := math.Float64frombits(f.level.Load())
+				f.store.Append("upstream_ms", labels, v, time.Now())
+			case <-f.stop:
+				return
+			}
+		}
+	}()
+	return f
+}
+
+func (f *latencyFeeder) SetLevel(v float64) { f.level.Store(math.Float64bits(v)) }
+
+func (f *latencyFeeder) Stop() {
+	close(f.stop)
+	<-f.done
+}
+
+// TestChangePointInterruptsOnLatencyShift is the acceptance scenario: the
+// candidate's latency level jumps mid-phase, the changepoint check detects
+// the distribution shift via E-Divisive, and the run jumps straight to the
+// fallback with cause "changepoint" — long before the 10s state timer.
+func TestChangePointInterruptsOnLatencyShift(t *testing.T) {
+	store := metrics.NewStore()
+	s := compileWithStore(t, store, verdictStrategyYAML("cp-shift", `
+        - changepoint:
+            name: latency-shift
+            provider: prom
+            query: avg_over_time(upstream_ms{version="candidate"}[100ms])
+            intervalTime: 25ms
+            intervalLimit: 400
+            minPoints: 12
+            permutations: 199
+            confidence: 0.95
+            fallback: rollback
+`))
+	feeder := feedLatency(store, 100)
+	defer feeder.Stop()
+
+	eng := New()
+	defer eng.Shutdown()
+	events, cancel := eng.Subscribe(1024)
+	defer cancel()
+
+	start := time.Now()
+	run, err := eng.Enact(s)
+	if err != nil {
+		t.Fatalf("Enact: %v", err)
+	}
+	// Let the trajectory accumulate a stable baseline, then shift the
+	// latency distribution.
+	time.Sleep(500 * time.Millisecond)
+	feeder.SetLevel(170)
+
+	st := waitDone(t, run)
+	if time.Since(start) > 5*time.Second {
+		t.Errorf("run took %v, want early changepoint interrupt", time.Since(start))
+	}
+	if st.State != RunCompleted {
+		t.Fatalf("state = %s (%s)", st.State, st.Error)
+	}
+	if len(st.Path) != 1 || st.Path[0].To != "rollback" || st.Path[0].Cause != "changepoint" {
+		t.Fatalf("path = %+v, want gate→rollback with cause changepoint", st.Path)
+	}
+
+	var concluded bool
+	deadline := time.After(5 * time.Second)
+	for !concluded {
+		select {
+		case ev := <-events:
+			if ev.Type == EventCheckConcluded {
+				concluded = true
+				if ev.Check != "latency-shift" || ev.Verdict == nil ||
+					ev.Verdict.Decision != core.DecisionFail {
+					t.Errorf("check_concluded event = %+v", ev)
+				}
+				if ev.Verdict != nil && !(ev.Verdict.PValue <= 0.05) {
+					t.Errorf("verdict p = %v, want significant (≤ 0.05)", ev.Verdict.PValue)
+				}
+			}
+		case <-deadline:
+			t.Fatal("no check_concluded event for the changepoint check")
+		}
+	}
+}
+
+// TestChangePointStationaryStaysInconclusive pins the other half of the
+// contract: on stationary traffic the check never concludes, every
+// execution is inconclusive, and the changepoint default onInconclusive:
+// pass lets the phase promote when its timer expires.
+func TestChangePointStationaryStaysInconclusive(t *testing.T) {
+	store := metrics.NewStore()
+	yaml := verdictStrategyYAML("cp-stationary", `
+        - changepoint:
+            name: latency-shift
+            provider: prom
+            query: avg_over_time(upstream_ms{version="candidate"}[100ms])
+            intervalTime: 25ms
+            intervalLimit: 32
+            minPoints: 12
+            permutations: 199
+            confidence: 0.95
+`)
+	// Shorten the phase so the run resolves via timer expiry, not a 10s
+	// wait: 800ms holds ~32 executions and ~20 E-Divisive scans.
+	yaml = strings.Replace(yaml, "duration: 10s", "duration: 800ms", 1)
+	s := compileWithStore(t, store, yaml)
+
+	feeder := feedLatency(store, 100) // constant level: no shift to find
+	defer feeder.Stop()
+
+	eng := New()
+	defer eng.Shutdown()
+	run, err := eng.Enact(s)
+	if err != nil {
+		t.Fatalf("Enact: %v", err)
+	}
+	st := waitDone(t, run)
+	if st.State != RunCompleted {
+		t.Fatalf("state = %s (%s)", st.State, st.Error)
+	}
+	if len(st.Path) != 1 || st.Path[0].To != "done" {
+		t.Fatalf("path = %+v, want gate→done (inconclusive changepoint defaults to pass)", st.Path)
+	}
+	if st.Path[0].Cause == "changepoint" {
+		t.Fatalf("cause = changepoint on stationary traffic: %+v", st.Path)
+	}
+	if len(st.Checks) != 1 {
+		t.Fatalf("checks = %+v", st.Checks)
+	}
+	c := st.Checks[0]
+	if c.Kind != "changepoint" || c.Failures != 0 || c.Inconclusive == 0 {
+		t.Errorf("check status = %+v, want only inconclusive executions", c)
+	}
+	if c.Verdict == nil || c.Verdict.Decision != core.DecisionContinue {
+		t.Errorf("verdict = %+v, want continue (never concluded)", c.Verdict)
+	}
+}

@@ -14,7 +14,8 @@ import (
 // from the aggregated outcomes (a sequential check concluding early).
 type interruptMsg struct {
 	target string
-	// cause labels the transition: "exception", "burnrate", "sequential".
+	// cause labels the transition: "exception", "burnrate", "sequential",
+	// "changepoint".
 	cause string
 }
 
@@ -175,10 +176,19 @@ func (cr *checkRunner) executeAnalysis(ctx context.Context) {
 		cr.lastError = v.Err
 	}
 	firstConclusion := false
-	if cr.check.Kind == core.SequentialCheck &&
-		v.Decision != core.DecisionContinue && !cr.concluded {
-		cr.concluded = true
-		firstConclusion = true
+	switch cr.check.Kind {
+	case core.SequentialCheck:
+		if v.Decision != core.DecisionContinue && !cr.concluded {
+			cr.concluded = true
+			firstConclusion = true
+		}
+	case core.ChangePointCheck:
+		// A changepoint check only ever concludes by detecting a shift; a
+		// stationary trajectory stays inconclusive until the state ends.
+		if v.Decision == core.DecisionFail && !cr.concluded {
+			cr.concluded = true
+			firstConclusion = true
+		}
 	}
 	cr.mu.Unlock()
 
@@ -208,6 +218,22 @@ func (cr *checkRunner) executeAnalysis(ctx context.Context) {
 			msg.target = cr.check.Fallback
 		}
 		cr.interrupt <- msg
+		cr.run.publish(Event{
+			Type:    EventCheckConcluded,
+			State:   cr.currentState(),
+			Check:   cr.check.Name,
+			Detail:  string(v.Decision),
+			Verdict: &v,
+			Time:    now,
+		})
+	case core.ChangePointCheck:
+		if !firstConclusion || !cr.claimFire() {
+			return
+		}
+		// The trajectory shifted: end the state now, jumping straight to
+		// the fallback when one is configured, otherwise through δ where
+		// this check's verdict maps to 0.
+		cr.interrupt <- interruptMsg{target: cr.check.Fallback, cause: "changepoint"}
 		cr.run.publish(Event{
 			Type:    EventCheckConcluded,
 			State:   cr.currentState(),
@@ -280,8 +306,8 @@ func (cr *checkRunner) snapshot() CheckStatus {
 	return st
 }
 
-// hasConcluded reports whether a sequential check has reached its sticky
-// decision.
+// hasConcluded reports whether a sequential or changepoint check has
+// reached its sticky decision.
 func (cr *checkRunner) hasConcluded() bool {
 	cr.mu.Lock()
 	defer cr.mu.Unlock()

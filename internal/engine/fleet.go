@@ -431,6 +431,33 @@ func (fc *FleetConfigurator) recordGeneration(key fleetKey, replica string, gen 
 	}).Set(float64(gen))
 }
 
+// recordRepair counts one successful anti-entropy re-push to a lagging
+// replica. Same locking discipline as recordGeneration: the write stays
+// under fc.mu so a concurrent forget cannot leave a resurrected series.
+func (fc *FleetConfigurator) recordRepair(key fleetKey, replica string) {
+	if fc.registry == nil {
+		return
+	}
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if _, live := fc.fleets[key]; !live {
+		return
+	}
+	// Register the replica in recorded before writing, so forget retires
+	// this counter even if no generation ack ever lands for the replica.
+	set := fc.recorded[key]
+	if set == nil {
+		set = make(map[string]int64, 4)
+		fc.recorded[key] = set
+	}
+	if _, ok := set[replica]; !ok {
+		set[replica] = 0
+	}
+	fc.registry.Counter("engine_proxy_repush_total", metrics.Labels{
+		"strategy": key.strategy, "service": key.service, "replica": replica,
+	}).Inc()
+}
+
 // reconcileInterval implements fleetManager.
 func (fc *FleetConfigurator) reconcileInterval() time.Duration {
 	if fc.every <= 0 {
@@ -458,7 +485,7 @@ func (fc *FleetConfigurator) settled(strategy, service string) {
 }
 
 // forget implements fleetManager: drops a finished strategy's fleets and
-// retires their per-replica generation gauges.
+// retires their per-replica generation gauges and re-push counters.
 func (fc *FleetConfigurator) forget(strategy string) {
 	fc.mu.Lock()
 	for key := range fc.fleets {
@@ -482,6 +509,7 @@ func (fc *FleetConfigurator) forget(strategy string) {
 	if fc.registry != nil {
 		for _, labels := range retired {
 			fc.registry.DeleteGauge("engine_proxy_replica_generation", labels)
+			fc.registry.DeleteCounter("engine_proxy_repush_total", labels)
 		}
 	}
 }
@@ -602,6 +630,7 @@ func (fc *FleetConfigurator) observeAndRepair(ctx context.Context, key fleetKey,
 		}
 		return cur.Generation // still lagging; next pass retries
 	}
+	fc.recordRepair(key, replica)
 	fc.recordGeneration(key, replica, want.Generation)
 	return want.Generation
 }

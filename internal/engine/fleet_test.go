@@ -442,6 +442,44 @@ func TestFleetForgetRetiresReplicaGauges(t *testing.T) {
 	}
 }
 
+// TestFleetForgetRetiresRepushCounters: anti-entropy re-pushes to lagging
+// replicas surface on a per-replica engine_proxy_repush_total counter, and
+// forget retires those series alongside the generation gauges.
+func TestFleetForgetRetiresRepushCounters(t *testing.T) {
+	s, rc, replicas, dial := fleetFixture()
+	fc := NewFleetConfigurator(FleetRetry(fastRetry()), dial)
+	eng := New(WithConfigurator(fc)) // binds the registry
+	defer eng.Shutdown()
+
+	ctx := context.Background()
+	if err := fc.Configure(ctx, s, &core.State{}, rc, 5); err != nil {
+		t.Fatal(err)
+	}
+	fc.settled(s.Name, "shop")
+	replicas["r2"].crash()
+	fc.reconcile(ctx, s.Name)
+	replicas["r2"].reboot()
+	fc.reconcile(ctx, s.Name) // repairs r2: one re-push
+
+	countRepush := func() (series int, total float64) {
+		for _, p := range eng.Registry().Gather() {
+			if p.Name == "engine_proxy_repush_total" {
+				series++
+				total += p.Value
+			}
+		}
+		return
+	}
+	series, total := countRepush()
+	if series != 1 || total < 1 {
+		t.Fatalf("repush counters after repair = %d series (sum %v), want 1 series ≥ 1", series, total)
+	}
+	fc.forget(s.Name)
+	if series, _ := countRepush(); series != 0 {
+		t.Errorf("repush counters after forget = %d, want 0", series)
+	}
+}
+
 // TestFleetConvergedEventAfterRecovery: a degradation journaled before an
 // engine restart is resolved on the event stream — the recovered run's
 // reconciler seeds its transition detector from the journal-reduced fleet

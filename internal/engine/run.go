@@ -106,7 +106,8 @@ type stepResult struct {
 	// cause records how the transition was decided: "" for δ, "exception"
 	// for an exception-check interrupt, "burnrate" for an SLO burn-rate
 	// rollback, "sequential" for a failing sequential gate with a
-	// fallback, "promote"/"rollback" for manual operator decisions.
+	// fallback, "changepoint" for a detected distribution shift,
+	// "promote"/"rollback" for manual operator decisions.
 	cause string
 	// reenter asks the loop to re-enter the current state (after a
 	// pause/resume cycle: routing is re-applied and all timers reset).
@@ -161,7 +162,8 @@ type Transition struct {
 	At      time.Time `json:"at"`
 	// Cause is empty for automatic δ transitions, "exception" for
 	// exception-check interrupts, "burnrate" for SLO burn-rate rollbacks,
-	// "sequential" for failing sequential gates with a fallback, and
+	// "sequential" for failing sequential gates with a fallback,
+	// "changepoint" for detected distribution shifts, and
 	// "promote"/"rollback" for manual operator gate decisions.
 	Cause string `json:"cause,omitempty"`
 }

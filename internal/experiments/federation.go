@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"bifrost/internal/metrics"
+	"bifrost/internal/sketch"
+)
+
+// FederationBenchConfig sizes the federation micro-benchmarks. The zero
+// value is filled with defaults sized for a committed baseline run; CI
+// smoke passes tiny counts to prove the paths work without burning time.
+type FederationBenchConfig struct {
+	// IngestSamples is the number of Store.Append calls timed for the
+	// ingest throughput figure (spread over IngestSeries series).
+	IngestSamples int
+	IngestSeries  int
+	// MergeSketches sketches of SketchSamples lognormal samples each are
+	// folded into one accumulator for the merge throughput figure.
+	MergeSketches int
+	SketchSamples int
+	// Replicas × WindowBuckets federated buckets are loaded through
+	// ApplyDelta, then Queries fleet-window p99 queries are timed.
+	Replicas      int
+	WindowBuckets int
+	Queries       int
+}
+
+func (c FederationBenchConfig) withDefaults() FederationBenchConfig {
+	def := func(v *int, d int) {
+		if *v <= 0 {
+			*v = d
+		}
+	}
+	def(&c.IngestSamples, 1_000_000)
+	def(&c.IngestSeries, 16)
+	def(&c.MergeSketches, 2_000)
+	def(&c.SketchSamples, 5_000)
+	def(&c.Replicas, 8)
+	def(&c.WindowBuckets, 120)
+	def(&c.Queries, 500)
+	return c
+}
+
+// FederationBenchResult is the committed BENCH_6.json shape: the three
+// federation hot paths measured on this machine.
+type FederationBenchResult struct {
+	Config FederationBenchConfig `json:"config"`
+
+	// Ingest: raw sample appends per second into the metrics store.
+	IngestSamplesPerSec float64 `json:"ingestSamplesPerSec"`
+
+	// Sketch merge: lossless DDSketch merges per second, and the bucket
+	// count of the fully merged accumulator (memory bound at work).
+	SketchMergesPerSec  float64 `json:"sketchMergesPerSec"`
+	MergedSketchBuckets int     `json:"mergedSketchBuckets"`
+
+	// Fleet query: latency of a quantile_over_time merged across every
+	// replica's federated sketches.
+	FleetQueryMeanMs float64 `json:"fleetQueryMeanMs"`
+	FleetQueryP99Ms  float64 `json:"fleetQueryP99Ms"`
+	FleetQueryP99    float64 `json:"fleetQueryP99Value"`
+}
+
+// RunFederationBench measures the federation subsystem's three hot paths:
+// store ingest, sketch merging, and fleet-window quantile queries over
+// federated replica series.
+func RunFederationBench(cfg FederationBenchConfig) (*FederationBenchResult, error) {
+	cfg = cfg.withDefaults()
+	res := &FederationBenchResult{Config: cfg}
+	rng := rand.New(rand.NewSource(6))
+
+	// --- Ingest throughput: Append across IngestSeries series.
+	store := metrics.NewStore()
+	labels := make([]metrics.Labels, cfg.IngestSeries)
+	for i := range labels {
+		labels[i] = metrics.Labels{"replica": fmt.Sprintf("r%d", i)}
+	}
+	base := time.Now().Add(-time.Hour)
+	start := time.Now()
+	for i := 0; i < cfg.IngestSamples; i++ {
+		at := base.Add(time.Duration(i) * time.Microsecond)
+		store.Append("bench_ingest_ms", labels[i%len(labels)], rng.Float64()*100, at)
+	}
+	elapsed := time.Since(start)
+	res.IngestSamplesPerSec = float64(cfg.IngestSamples) / elapsed.Seconds()
+
+	// --- Sketch merge throughput: fold MergeSketches pre-built sketches.
+	sketches := make([]*sketch.Sketch, cfg.MergeSketches)
+	for i := range sketches {
+		sk := sketch.New(sketch.DefaultAlpha)
+		for j := 0; j < cfg.SketchSamples; j++ {
+			sk.Add(lognormal(rng, 3.0, 0.6))
+		}
+		sketches[i] = sk
+	}
+	acc := sketch.New(sketch.DefaultAlpha)
+	start = time.Now()
+	for _, sk := range sketches {
+		if err := acc.Merge(sk); err != nil {
+			return nil, err
+		}
+	}
+	elapsed = time.Since(start)
+	res.SketchMergesPerSec = float64(cfg.MergeSketches) / elapsed.Seconds()
+	res.MergedSketchBuckets = len(acc.Export().PosIdx) + len(acc.Export().NegIdx)
+
+	// --- Fleet-window query latency: Replicas × WindowBuckets federated
+	// buckets of 1s width, queried with quantile_over_time across every
+	// replica series at once.
+	fed := metrics.NewStore()
+	width := time.Second
+	winStart := base.Truncate(time.Second)
+	for r := 0; r < cfg.Replicas; r++ {
+		replica := fmt.Sprintf("proxy-%d", r)
+		batch := metrics.DeltaBatch{Replica: replica, Incarnation: "bench", Seq: 1}
+		for b := 0; b < cfg.WindowBuckets; b++ {
+			bs := winStart.Add(time.Duration(b) * width)
+			ab := metrics.NewAggBucket(bs.UnixNano(), width.Nanoseconds(), sketch.DefaultAlpha)
+			for k := 0; k < 50; k++ {
+				ab.Observe(bs.Add(time.Duration(k)*18*time.Millisecond).UnixNano(), lognormal(rng, 3.0, 0.6))
+			}
+			batch.Buckets = append(batch.Buckets, ab.Export("bench_fleet_ms", metrics.Labels{"service": "shop"}))
+		}
+		if _, err := fed.ApplyDelta(batch); err != nil {
+			return nil, err
+		}
+	}
+	at := winStart.Add(time.Duration(cfg.WindowBuckets) * width)
+	window := time.Duration(cfg.WindowBuckets) * width
+	lat := make([]float64, cfg.Queries)
+	var p99 float64
+	for i := 0; i < cfg.Queries; i++ {
+		qs := time.Now()
+		v, err := fed.WindowAggregate("quantile_over_time", 0.99, "bench_fleet_ms", nil, window, at)
+		if err != nil {
+			return nil, err
+		}
+		lat[i] = float64(time.Since(qs).Microseconds()) / 1000.0
+		p99 = v
+	}
+	sort.Float64s(lat)
+	var sum float64
+	for _, v := range lat {
+		sum += v
+	}
+	res.FleetQueryMeanMs = sum / float64(len(lat))
+	res.FleetQueryP99Ms = lat[(len(lat)-1)*99/100]
+	res.FleetQueryP99 = p99
+	return res, nil
+}
+
+// WriteJSON emits the result as indented JSON (the BENCH_6.json format).
+func (r *FederationBenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+func lognormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*rng.NormFloat64())
+}

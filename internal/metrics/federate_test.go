@@ -1,0 +1,295 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"bifrost/internal/clock"
+	"bifrost/internal/sketch"
+)
+
+// buildBatches simulates one replica's agent: samples bucketed by width,
+// closed buckets shipped in seq-numbered batches of one bucket each.
+func buildBatches(replica, inc string, name string, labels Labels, samples []Sample, width time.Duration) []DeltaBatch {
+	byStart := map[int64]*AggBucket{}
+	var starts []int64
+	for _, sm := range samples {
+		start := BucketStart(sm.T, width)
+		b, ok := byStart[start]
+		if !ok {
+			b = NewAggBucket(start, int64(width), sketch.DefaultAlpha)
+			byStart[start] = b
+			starts = append(starts, start)
+		}
+		b.Observe(sm.T.UnixNano(), sm.V)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	out := make([]DeltaBatch, 0, len(starts))
+	for i, start := range starts {
+		out = append(out, DeltaBatch{
+			Replica:     replica,
+			Incarnation: inc,
+			Seq:         uint64(i + 1),
+			Buckets:     []BucketDelta{byStart[start].Export(name, labels)},
+		})
+	}
+	return out
+}
+
+func fedTestSamples(rng *rand.Rand, base time.Time, n int) []Sample {
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		t := base.Add(time.Duration(i) * 50 * time.Millisecond)
+		out = append(out, Sample{T: t, V: math.Exp(3 + 0.8*rng.NormFloat64())})
+	}
+	return out
+}
+
+// totals queries the federated aggregates the fault-injection tests
+// compare across delivery schedules.
+type fedTotals struct {
+	count, sum, mean, p99 float64
+}
+
+func queryTotals(t *testing.T, s *Store, at time.Time, window time.Duration) fedTotals {
+	t.Helper()
+	sel := []LabelMatch(nil)
+	cnt, err := s.WindowAggregate("count_over_time", 0, "fed_latency_ms", sel, window, at)
+	if err != nil {
+		t.Fatalf("count_over_time: %v", err)
+	}
+	sum, err := s.WindowAggregate("sum_over_time", 0, "fed_latency_ms", sel, window, at)
+	if err != nil {
+		t.Fatalf("sum_over_time: %v", err)
+	}
+	avg, err := s.WindowAggregate("avg_over_time", 0, "fed_latency_ms", sel, window, at)
+	if err != nil {
+		t.Fatalf("avg_over_time: %v", err)
+	}
+	p99, err := s.WindowAggregate("quantile_over_time", 0.99, "fed_latency_ms", sel, window, at)
+	if err != nil {
+		t.Fatalf("quantile_over_time: %v", err)
+	}
+	return fedTotals{count: cnt, sum: sum, mean: avg, p99: p99}
+}
+
+// TestApplyDeltaFaultInjection is the delta-shipping property test: the
+// same batches delivered cleanly, with duplicates, reordered, and with
+// drops-then-retries must all converge to identical federated totals.
+func TestApplyDeltaFaultInjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := time.Unix(1_700_000_000, 0)
+	labels := Labels{"service": "search"}
+
+	var allBatches [][]DeltaBatch
+	var allSamples []float64
+	for _, replica := range []string{"r1", "r2", "r3"} {
+		samples := fedTestSamples(rng, base, 600)
+		for _, sm := range samples {
+			allSamples = append(allSamples, sm.V)
+		}
+		allBatches = append(allBatches, buildBatches(replica, "inc-1", "fed_latency_ms", labels, samples, time.Second))
+	}
+	at := base.Add(time.Minute)
+	const window = 2 * time.Minute
+
+	newStore := func() *Store {
+		clk := clock.NewManual(at)
+		return NewStore(WithClock(clk))
+	}
+
+	// Schedule A: clean in-order delivery.
+	clean := newStore()
+	for _, batches := range allBatches {
+		for _, b := range batches {
+			if applied, err := clean.ApplyDelta(b); err != nil || !applied {
+				t.Fatalf("clean delivery rejected batch %d: applied=%v err=%v", b.Seq, applied, err)
+			}
+		}
+	}
+	want := queryTotals(t, clean, at, window)
+
+	// The exact p99 over every raw sample across the fleet must be within
+	// the sketch's documented relative error of the federated answer.
+	sort.Float64s(allSamples)
+	exact := allSamples[int(math.Ceil(0.99*float64(len(allSamples))))-1]
+	if math.Abs(want.p99-exact) > sketch.DefaultAlpha*exact {
+		t.Fatalf("federated p99 %v vs exact %v exceeds alpha bound", want.p99, exact)
+	}
+	if want.count != float64(len(allSamples)) {
+		t.Fatalf("federated count %v, want %d", want.count, len(allSamples))
+	}
+
+	// Schedule B: every batch delivered twice (duplicates).
+	dup := newStore()
+	for _, batches := range allBatches {
+		for _, b := range batches {
+			if _, err := dup.ApplyDelta(b); err != nil {
+				t.Fatal(err)
+			}
+			applied, err := dup.ApplyDelta(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if applied {
+				t.Fatalf("duplicate batch seq=%d was applied twice", b.Seq)
+			}
+		}
+	}
+
+	// Schedule C: random global reorder across replicas.
+	reorder := newStore()
+	var flat []DeltaBatch
+	for _, batches := range allBatches {
+		flat = append(flat, batches...)
+	}
+	rng.Shuffle(len(flat), func(i, j int) { flat[i], flat[j] = flat[j], flat[i] })
+	for _, b := range flat {
+		if _, err := reorder.ApplyDelta(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Schedule D: every third delivery dropped, then the whole stream
+	// retried from the top (at-least-once redelivery after loss).
+	drop := newStore()
+	for i, b := range flat {
+		if i%3 == 2 {
+			continue // dropped on the wire
+		}
+		if _, err := drop.ApplyDelta(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, b := range flat { // retry pass
+		if _, err := drop.ApplyDelta(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for name, s := range map[string]*Store{"duplicate": dup, "reorder": reorder, "drop+retry": drop} {
+		got := queryTotals(t, s, at, window)
+		if got != want {
+			t.Errorf("%s schedule diverged: got %+v want %+v", name, got, want)
+		}
+	}
+}
+
+// TestApplyDeltaIncarnationRestart models an agent restart: the new
+// incarnation restarts seq at 1 and must not be deduplicated against the
+// old incarnation's sequence numbers.
+func TestApplyDeltaIncarnationRestart(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	at := base.Add(time.Minute)
+	s := NewStore(WithClock(clock.NewManual(at)))
+	labels := Labels{"service": "search"}
+	rng := rand.New(rand.NewSource(12))
+
+	first := buildBatches("r1", "inc-1", "fed_latency_ms", labels, fedTestSamples(rng, base, 100), time.Second)
+	// Restarted incarnation observes a disjoint, later slice of traffic.
+	second := buildBatches("r1", "inc-2", "fed_latency_ms", labels, fedTestSamples(rng, base.Add(10*time.Second), 100), time.Second)
+
+	total := 0
+	for _, b := range append(append([]DeltaBatch{}, first...), second...) {
+		applied, err := s.ApplyDelta(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !applied {
+			t.Fatalf("batch inc=%s seq=%d wrongly deduplicated", b.Incarnation, b.Seq)
+		}
+		for _, d := range b.Buckets {
+			total += d.Count
+		}
+	}
+	cnt, err := s.WindowAggregate("count_over_time", 0, "fed_latency_ms", nil, time.Hour, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != float64(total) {
+		t.Fatalf("count across incarnations: got %v want %d", cnt, total)
+	}
+	if s.FederatedReplicaCount() != 2 {
+		t.Fatalf("expected 2 cursors, got %d", s.FederatedReplicaCount())
+	}
+}
+
+// TestApplyDeltaRejectsMalformed pins the validation contract: malformed
+// batches error without being marked applied.
+func TestApplyDeltaRejectsMalformed(t *testing.T) {
+	s := NewStore()
+	bad := []DeltaBatch{
+		{Replica: "", Seq: 1},
+		{Replica: "r1", Seq: 0},
+		{Replica: "r1", Seq: 1, Buckets: []BucketDelta{{Name: "", Width: 1, Count: 1}}},
+		{Replica: "r1", Seq: 1, Buckets: []BucketDelta{{Name: "x", Width: 0, Count: 1}}},
+		{Replica: "r1", Seq: 1, Buckets: []BucketDelta{{Name: "x", Width: 1, Count: 0}}},
+	}
+	for i, b := range bad {
+		if _, err := s.ApplyDelta(b); err == nil {
+			t.Errorf("case %d: malformed batch accepted", i)
+		}
+	}
+	// The failed seq 1 must still be applicable once well-formed.
+	ok := DeltaBatch{Replica: "r1", Seq: 1, Buckets: []BucketDelta{
+		NewAggBucketForTest(0, int64(time.Second), 5, 10).Export("x", nil),
+	}}
+	applied, err := s.ApplyDelta(ok)
+	if err != nil || !applied {
+		t.Fatalf("well-formed retry after malformed attempts: applied=%v err=%v", applied, err)
+	}
+}
+
+// TestRemoteInstantAndRate covers the instant-query and counter paths of
+// federated series: latestBefore from bucket lastT/lastV, and rate across
+// bucket boundaries including a counter reset.
+func TestRemoteInstantAndRate(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	at := base.Add(30 * time.Second)
+	s := NewStore(WithClock(clock.NewManual(at)))
+
+	// Cumulative counter sampled once per second: 10, 20, ..., then a
+	// reset to 3 (restart), then 6.
+	vals := []float64{10, 20, 30, 40, 3, 6}
+	seq := uint64(0)
+	for i, v := range vals {
+		ts := base.Add(time.Duration(i) * time.Second)
+		b := NewAggBucket(BucketStart(ts, time.Second), int64(time.Second), 0)
+		b.Observe(ts.UnixNano(), v)
+		seq++
+		if _, err := s.ApplyDelta(DeltaBatch{
+			Replica: "r1", Incarnation: "i", Seq: seq,
+			Buckets: []BucketDelta{b.Export("req_total", Labels{"service": "s"})},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := s.InstantValue("req_total", nil, "sum", at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 6 {
+		t.Fatalf("instant value: got %v want 6", v)
+	}
+	// Increase: (20-10)+(30-20)+(40-30) + reset-restart (3) + (6-3) = 36.
+	inc, err := s.WindowAggregate("increase", 0, "req_total", nil, time.Minute, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc != 36 {
+		t.Fatalf("increase: got %v want 36", inc)
+	}
+}
+
+// NewAggBucketForTest builds a bucket with n synthetic samples; helper
+// for tests in this and other packages.
+func NewAggBucketForTest(start, width int64, n int, base float64) *AggBucket {
+	b := NewAggBucket(start, width, sketch.DefaultAlpha)
+	for i := 0; i < n; i++ {
+		b.Observe(start+int64(i), base+float64(i))
+	}
+	return b
+}

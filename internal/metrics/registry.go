@@ -80,6 +80,16 @@ func (r *Registry) DeleteGauge(name string, labels Labels) {
 	r.mu.Unlock()
 }
 
+// DeleteCounter is DeleteGauge for counters: run-forget paths retire a
+// run's per-replica counters so a long-lived registry does not export
+// every identity it has ever seen. Existing handles keep working but are
+// no longer gathered; deleting an absent counter is a no-op.
+func (r *Registry) DeleteCounter(name string, labels Labels) {
+	r.mu.Lock()
+	delete(r.counters, name+"\x00"+labels.Key())
+	r.mu.Unlock()
+}
+
 // Counter is a monotonically increasing metric. The value is stored as
 // float64 bits in an atomic word, so handle holders (e.g. the proxy's
 // per-snapshot metric sets) increment without taking any lock — the hot

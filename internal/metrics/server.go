@@ -61,6 +61,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/query", s.handleQuery)
 	mux.HandleFunc("GET /api/v1/moments", s.handleMoments)
 	mux.HandleFunc("POST /api/v1/ingest", s.handleIngest)
+	mux.HandleFunc("POST /api/v1/federate", s.handleFederate)
 	mux.HandleFunc("GET /api/v1/series", s.handleSeries)
 	mux.HandleFunc("GET /-/healthy", func(w http.ResponseWriter, r *http.Request) {
 		httpx.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -124,6 +125,30 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	httpx.WriteJSON(w, http.StatusOK, map[string]int{"ingested": len(samples)})
 }
 
+// handleFederate ingests one delta batch from a federation agent. A
+// duplicate batch answers 200 with applied=false (so re-delivery is
+// silent); a malformed batch answers 400 so the agent drops it instead of
+// retrying forever.
+func (s *Server) handleFederate(w http.ResponseWriter, r *http.Request) {
+	var batch DeltaBatch
+	if err := httpx.ReadJSON(r, &batch); err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	applied, err := s.store.ApplyDelta(batch)
+	if err != nil {
+		httpx.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	httpx.WriteJSON(w, http.StatusOK, FederateResponse{Applied: applied, Seq: batch.Seq})
+}
+
+// FederateResponse acknowledges one delta batch.
+type FederateResponse struct {
+	Applied bool   `json:"applied"`
+	Seq     uint64 `json:"seq"`
+}
+
 func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	httpx.WriteJSON(w, http.StatusOK, s.store.SeriesNames())
 }
@@ -174,6 +199,14 @@ func (c *Client) Moments(ctx context.Context, rangeExpr string) (Moments, error)
 // Push ingests samples remotely.
 func (c *Client) Push(ctx context.Context, samples []IngestSample) error {
 	return httpx.PostJSON(ctx, c.BaseURL+"/api/v1/ingest", samples, nil)
+}
+
+// PushDelta ships one federation delta batch to the store's federate
+// endpoint.
+func (c *Client) PushDelta(ctx context.Context, batch DeltaBatch) (FederateResponse, error) {
+	var resp FederateResponse
+	err := httpx.PostJSON(ctx, c.BaseURL+"/api/v1/federate", batch, &resp)
+	return resp, err
 }
 
 // StoreQuerier adapts an in-process Store to the query interfaces the

@@ -39,6 +39,9 @@ type Store struct {
 	staleness   time.Duration
 	bucketWidth time.Duration
 	clk         clock.Clock
+	// fed tracks delta-batch sequence numbers per (replica, incarnation)
+	// so re-delivered batches are idempotent (see federate.go).
+	fed map[string]*fedCursor
 }
 
 type series struct {
@@ -55,6 +58,10 @@ type series struct {
 	// the same maxSamples (at most one bucket per sample).
 	buckets []bucket
 	bstart  int
+	// remote marks a federated series (see federate.go): it holds no raw
+	// samples — only shipped bucket summaries, kept as a start-sorted
+	// slice in buckets (bstart stays 0) — and is queried bucket-granular.
+	remote bool
 }
 
 // StoreOption configures a Store.
@@ -91,6 +98,7 @@ func NewStore(opts ...StoreOption) *Store {
 		staleness:   DefaultStaleness,
 		bucketWidth: DefaultSummaryBucket,
 		clk:         clock.Real{},
+		fed:         make(map[string]*fedCursor),
 	}
 	for _, o := range opts {
 		o(s)
@@ -146,7 +154,11 @@ func (sr *series) at(i int) Sample {
 func (sr *series) len() int { return len(sr.buf) }
 
 // latestBefore returns the most recent sample at or before t, if any.
+// Federated series answer from their buckets' last observed value.
 func (sr *series) latestBefore(t time.Time) (Sample, bool) {
+	if sr.remote {
+		return sr.remoteLatest(t)
+	}
 	for i := sr.len() - 1; i >= 0; i-- {
 		sm := sr.at(i)
 		if !sm.T.After(t) {

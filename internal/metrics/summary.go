@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"bifrost/internal/sketch"
 	"bifrost/internal/stats"
 )
 
@@ -102,7 +103,14 @@ func (a *aggStats) absorb(b *aggStats) {
 type bucket struct {
 	start  int64
 	firstT int64 // unix nanos of the bucket's first sample
+	lastT  int64 // unix nanos of the bucket's last sample
 	stats  aggStats
+	// width and sk are only set on federated (remote) buckets: local
+	// buckets all share the store's bucketWidth and keep raw samples for
+	// quantiles, while remote buckets carry their shipping width and the
+	// replica's mergeable quantile sketch (see federate.go).
+	width int64
+	sk    *sketch.Sketch
 }
 
 // summarize folds a freshly appended sample into the series' bucket ring.
@@ -125,7 +133,9 @@ func (sr *series) summarize(sm Sample, width time.Duration, maxBuckets int) {
 		sr.appendBucket(bucket{start: start, firstT: sm.T.UnixNano()}, maxBuckets)
 		n = sr.blen()
 	}
-	sr.bucketAt(n - 1).stats.observe(sm.V)
+	b := sr.bucketAt(n - 1)
+	b.stats.observe(sm.V)
+	b.lastT = sm.T.UnixNano()
 }
 
 func (sr *series) appendBucket(b bucket, maxBuckets int) {
@@ -177,6 +187,9 @@ func (sr *series) scanStats(from, to time.Time) aggStats {
 // raw result exactly (out-of-order series, summaries disabled, or buckets
 // that outlived their evicted raw samples).
 func (sr *series) windowStats(from, to time.Time, width time.Duration) aggStats {
+	if sr.remote {
+		return sr.remoteWindowStats(from, to)
+	}
 	if !sr.ordered || width <= 0 || sr.blen() == 0 || sr.len() == 0 {
 		return sr.scanStats(from, to)
 	}
@@ -357,31 +370,51 @@ func (a aggStats) populationVariance() float64 {
 	return a.m2 / float64(a.count)
 }
 
-// windowQuantile computes quantile_over_time: exact (sorting a copy) for
-// small pooled windows, the P² streaming estimate for large ones.
+// windowQuantile computes quantile_over_time. Purely local windows keep
+// the pre-federation behavior: exact (sorting a copy) for small pooled
+// windows, the P² streaming estimate for large ones. As soon as any
+// matched series is federated, the answer comes from merging the replica
+// sketches in the window (plus any local raw samples inserted into the
+// merged sketch), so a fleet p99 carries the sketch's relative-error
+// guarantee instead of P²'s unbounded cross-replica error — P² markers
+// cannot be merged at all.
 func (s *Store) windowQuantile(name string, selector []LabelMatch, q float64, d time.Duration, at time.Time) (float64, error) {
-	perSeries := s.RangeSamples(name, selector, d, at)
-	if len(perSeries) == 0 {
-		return 0, ErrNoData
+	matched := s.selectSeries(name, selector)
+	from, to := at.Add(-d), at
+	var raw []float64
+	var sketches []*sketch.Sketch
+	s.mu.RLock()
+	for _, sr := range matched {
+		if sr.remote {
+			sketches = append(sketches, sr.remoteSketches(from, to)...)
+			continue
+		}
+		for _, sm := range sr.window(from, to) {
+			raw = append(raw, sm.V)
+		}
 	}
-	total := 0
-	for _, samples := range perSeries {
-		total += len(samples)
-	}
-	if total <= p2ExactThreshold {
-		pool := make([]float64, 0, total)
-		for _, samples := range perSeries {
-			for _, sm := range samples {
-				pool = append(pool, sm.V)
+	s.mu.RUnlock()
+	if len(sketches) > 0 {
+		merged := sketch.New(sketches[0].Alpha())
+		for _, sk := range sketches {
+			if err := merged.Merge(sk); err != nil {
+				return 0, err
 			}
 		}
-		return quantile(pool, q), nil
+		for _, v := range raw {
+			merged.Add(v)
+		}
+		return merged.Quantile(q), nil
+	}
+	if len(raw) == 0 {
+		return 0, ErrNoData
+	}
+	if len(raw) <= p2ExactThreshold {
+		return quantile(raw, q), nil
 	}
 	est := stats.NewP2(q)
-	for _, samples := range perSeries {
-		for _, sm := range samples {
-			est.Add(sm.V)
-		}
+	for _, v := range raw {
+		est.Add(v)
 	}
 	return est.Value(), nil
 }

@@ -116,6 +116,10 @@ type Proxy struct {
 	transport http.RoundTripper
 	registry  *metrics.Registry
 	stickyCap int
+	// latencyObs, when set, receives every upstream latency sample (name,
+	// labels, milliseconds) in addition to the registry instruments — the
+	// hook the federation agent's quantile sketches ride on.
+	latencyObs func(name string, labels metrics.Labels, ms float64)
 
 	// state is the active routing snapshot; nil until the first valid
 	// config. The data plane loads it once per request and never locks.
@@ -167,6 +171,17 @@ func WithTransport(rt http.RoundTripper) Option {
 // the per-goroutine generators are seeded deterministically from seed.
 func WithSeed(seed int64) Option {
 	return func(p *Proxy) { p.seedBase = seed }
+}
+
+// WithLatencyObserver registers a callback receiving every upstream
+// latency observation as a raw sample: the metric name
+// ("proxy_upstream_ms"), its service/version labels, and the latency in
+// milliseconds. A federation agent hooked up here builds mergeable
+// quantile sketches from the full distribution instead of the
+// sum/count/last projection the registry keeps. The callback runs on the
+// request path and must be cheap and non-blocking.
+func WithLatencyObserver(obs func(name string, labels metrics.Labels, ms float64)) Option {
+	return func(p *Proxy) { p.latencyObs = obs }
 }
 
 // WithStickyCapacity bounds the sticky assignment store to n entries
@@ -434,6 +449,9 @@ func observe(m *versionMetrics, elapsed time.Duration, resp *http.Response, err 
 	m.msSum.Add(ms)
 	m.msCount.Inc()
 	m.msLast.Set(ms)
+	if m.record != nil {
+		m.record(ms)
+	}
 	if err != nil || (resp != nil && resp.StatusCode >= 500) {
 		m.errors.Inc()
 	}

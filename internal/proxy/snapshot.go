@@ -45,6 +45,9 @@ type versionMetrics struct {
 	msSum    *metrics.Counter
 	msCount  *metrics.Counter
 	msLast   *metrics.Gauge
+	// record feeds the raw latency sample to an external observer (the
+	// federation agent's sketch); nil unless WithLatencyObserver is set.
+	record func(ms float64)
 }
 
 // shadowRule is one dark-launch rule with its target URL resolved and
@@ -72,7 +75,7 @@ func (p *Proxy) buildRouteState(cfg Config) (*routeState, error) {
 		backends[b.Version] = &backendRef{
 			version: b.Version,
 			url:     u,
-			m:       newVersionMetrics(p.registry, p.service, b.Version),
+			m:       p.newVersionMetrics(b.Version),
 		}
 		weights[b.Version] = b.Weight
 	}
@@ -134,13 +137,17 @@ func parseUpstreamURL(s string) (*url.URL, error) {
 	return u, nil
 }
 
-func newVersionMetrics(r *metrics.Registry, service, version string) *versionMetrics {
-	labels := metrics.Labels{"service": service, "version": version}
-	return &versionMetrics{
-		requests: r.Counter("proxy_requests_total", labels),
-		errors:   r.Counter("proxy_request_errors_total", labels),
-		msSum:    r.Counter("proxy_upstream_ms_sum", labels),
-		msCount:  r.Counter("proxy_upstream_ms_count", labels),
-		msLast:   r.Gauge("proxy_upstream_ms_last", labels),
+func (p *Proxy) newVersionMetrics(version string) *versionMetrics {
+	labels := metrics.Labels{"service": p.service, "version": version}
+	vm := &versionMetrics{
+		requests: p.registry.Counter("proxy_requests_total", labels),
+		errors:   p.registry.Counter("proxy_request_errors_total", labels),
+		msSum:    p.registry.Counter("proxy_upstream_ms_sum", labels),
+		msCount:  p.registry.Counter("proxy_upstream_ms_count", labels),
+		msLast:   p.registry.Gauge("proxy_upstream_ms_last", labels),
 	}
+	if obs := p.latencyObs; obs != nil {
+		vm.record = func(ms float64) { obs("proxy_upstream_ms", labels, ms) }
+	}
+	return vm
 }

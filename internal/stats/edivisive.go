@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ChangePoint is the result of an E-Divisive means scan over a series.
+type ChangePoint struct {
+	// Index is the estimated change location: the first index of the
+	// right-hand segment at the best split.
+	Index int
+	// Stat is the maximal scaled energy statistic Q̂ over all admissible
+	// splits — large when the two segments' distributions differ.
+	Stat float64
+	// P is the permutation-test p-value of Stat: the probability of a
+	// split statistic at least this large if the series were exchangeable
+	// (no change). NaN when the test ran with zero permutations.
+	P float64
+}
+
+// EDivisive runs E-Divisive means change-point detection (Matteson &
+// James, "A nonparametric approach for multiple change point analysis of
+// multivariate data", JASA 2014 — the estimator popularized for CI
+// performance trajectories by MongoDB's testing pipeline) on a univariate
+// series.
+//
+// For every admissible split τ it computes the scaled sample energy
+// divergence between the left and right segments,
+//
+//	Q(τ) = (m·k/n) · (2·B̄ − W̄x − W̄y)
+//
+// where B̄ is the mean pairwise |x−y| distance between segments and
+// W̄x/W̄y the mean distances within each, and reports the maximizing
+// split. Significance comes from a permutation test: the series is
+// shuffled `permutations` times with a deterministic generator seeded by
+// seed, and P is the fraction of shuffles whose own maximal Q reaches the
+// observed one, with the +1 correction: P = (1 + #{Q_perm ≥ Q̂}) / (1 +
+// permutations). The scan is distribution-free — it needs no normality or
+// variance assumptions, which is exactly why it suits latency series.
+//
+// minSegment (≥ 2) is the minimum number of points each side of a split
+// must keep. The incremental update makes the full scan O(n²) and each
+// permutation O(n²); n is expected to be a sliding window of at most a
+// few hundred points.
+func EDivisive(series []float64, minSegment, permutations int, seed int64) (ChangePoint, error) {
+	if minSegment < 2 {
+		minSegment = 2
+	}
+	n := len(series)
+	if n < 2*minSegment {
+		return ChangePoint{}, fmt.Errorf("stats: edivisive needs ≥ %d points (got %d)", 2*minSegment, n)
+	}
+	for _, v := range series {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return ChangePoint{}, fmt.Errorf("stats: edivisive series contains non-finite value %v", v)
+		}
+	}
+	if permutations < 0 {
+		permutations = 0
+	}
+
+	idx, stat := bestSplit(series, minSegment)
+	cp := ChangePoint{Index: idx, Stat: stat, P: math.NaN()}
+	if permutations == 0 {
+		return cp, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := append([]float64(nil), series...)
+	ge := 0
+	for p := 0; p < permutations; p++ {
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		if _, s := bestSplit(perm, minSegment); s >= stat {
+			ge++
+		}
+	}
+	cp.P = float64(1+ge) / float64(1+permutations)
+	return cp, nil
+}
+
+// bestSplit scans every admissible split with O(n) incremental updates
+// per step: advancing the split moves one point from the right segment to
+// the left, and the three pairwise-distance sums (between, within-left,
+// within-right) shift by that point's summed distances to each side.
+func bestSplit(x []float64, minSegment int) (int, float64) {
+	n := len(x)
+	// Initialize at the smallest admissible split m = minSegment.
+	m0 := minSegment
+	var wx, wy, b float64
+	for i := 0; i < m0; i++ {
+		for j := i + 1; j < m0; j++ {
+			wx += math.Abs(x[i] - x[j])
+		}
+	}
+	for i := m0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			wy += math.Abs(x[i] - x[j])
+		}
+	}
+	for i := 0; i < m0; i++ {
+		for j := m0; j < n; j++ {
+			b += math.Abs(x[i] - x[j])
+		}
+	}
+
+	bestIdx, bestQ := m0, qStat(b, wx, wy, m0, n)
+	for m := m0 + 1; m <= n-minSegment; m++ {
+		// Move z = x[m-1] from the right segment into the left.
+		z := x[m-1]
+		var dLeft, dRight float64
+		for i := 0; i < m-1; i++ {
+			dLeft += math.Abs(x[i] - z)
+		}
+		for j := m; j < n; j++ {
+			dRight += math.Abs(x[j] - z)
+		}
+		wx += dLeft
+		wy -= dRight
+		b += dRight - dLeft
+		if q := qStat(b, wx, wy, m, n); q > bestQ {
+			bestQ, bestIdx = q, m
+		}
+	}
+	return bestIdx, bestQ
+}
+
+// qStat scales the energy divergence of a split at m into Q(τ).
+func qStat(b, wx, wy float64, m, n int) float64 {
+	fm, fk := float64(m), float64(n-m)
+	e := 2*b/(fm*fk) - 2*wx/(fm*(fm-1)) - 2*wy/(fk*(fk-1))
+	return fm * fk / (fm + fk) * e
+}

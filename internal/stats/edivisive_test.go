@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEDivisiveDetectsMeanShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	series := make([]float64, 0, 120)
+	for i := 0; i < 60; i++ {
+		series = append(series, 100+5*rng.NormFloat64())
+	}
+	for i := 0; i < 60; i++ {
+		series = append(series, 130+5*rng.NormFloat64()) // +6σ shift
+	}
+	cp, err := EDivisive(series, 5, 199, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Index < 55 || cp.Index > 65 {
+		t.Fatalf("change located at %d, want ≈60", cp.Index)
+	}
+	if cp.P > 0.01 {
+		t.Fatalf("clear shift not significant: p=%v", cp.P)
+	}
+}
+
+func TestEDivisiveStationaryNotSignificant(t *testing.T) {
+	// Across several seeds, stationary noise must (almost) never reach
+	// significance at 0.05 — pin a small family rather than one lucky run.
+	hits := 0
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		series := make([]float64, 120)
+		for i := range series {
+			series[i] = 100 + 5*rng.NormFloat64()
+		}
+		cp, err := EDivisive(series, 5, 199, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp.P <= 0.05 {
+			hits++
+		}
+	}
+	if hits > 1 {
+		t.Fatalf("stationary series significant in %d/10 runs", hits)
+	}
+}
+
+func TestEDivisiveVarianceShift(t *testing.T) {
+	// Energy distance is sensitive to distribution change generally, not
+	// just the mean: same mean, 6× the spread.
+	rng := rand.New(rand.NewSource(33))
+	series := make([]float64, 0, 160)
+	for i := 0; i < 80; i++ {
+		series = append(series, 100+2*rng.NormFloat64())
+	}
+	for i := 0; i < 80; i++ {
+		series = append(series, 100+12*rng.NormFloat64())
+	}
+	cp, err := EDivisive(series, 5, 199, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.P > 0.05 {
+		t.Fatalf("variance shift not significant: p=%v", cp.P)
+	}
+}
+
+func TestEDivisiveDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	series := make([]float64, 60)
+	for i := range series {
+		series[i] = rng.Float64()
+	}
+	a, err := EDivisive(series, 3, 99, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EDivisive(series, 3, 99, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestEDivisiveIncrementalMatchesNaive(t *testing.T) {
+	// The O(n²) incremental scan must agree with a direct recomputation
+	// of Q at every split.
+	rng := rand.New(rand.NewSource(35))
+	x := make([]float64, 40)
+	for i := range x {
+		x[i] = rng.NormFloat64() * 10
+	}
+	const minSeg = 3
+	idx, stat := bestSplit(x, minSeg)
+	naiveIdx, naiveStat := 0, math.Inf(-1)
+	for m := minSeg; m <= len(x)-minSeg; m++ {
+		var wx, wy, b float64
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				wx += math.Abs(x[i] - x[j])
+			}
+		}
+		for i := m; i < len(x); i++ {
+			for j := i + 1; j < len(x); j++ {
+				wy += math.Abs(x[i] - x[j])
+			}
+		}
+		for i := 0; i < m; i++ {
+			for j := m; j < len(x); j++ {
+				b += math.Abs(x[i] - x[j])
+			}
+		}
+		if q := qStat(b, wx, wy, m, len(x)); q > naiveStat {
+			naiveStat, naiveIdx = q, m
+		}
+	}
+	if idx != naiveIdx || math.Abs(stat-naiveStat) > 1e-9*math.Abs(naiveStat) {
+		t.Fatalf("incremental (%d, %v) != naive (%d, %v)", idx, stat, naiveIdx, naiveStat)
+	}
+}
+
+func TestEDivisiveErrors(t *testing.T) {
+	if _, err := EDivisive([]float64{1, 2, 3}, 2, 10, 0); err == nil {
+		t.Fatal("short series accepted")
+	}
+	if _, err := EDivisive([]float64{1, 2, math.NaN(), 4, 5, 6, 7, 8}, 2, 10, 0); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	cp, err := EDivisive([]float64{1, 2, 3, 4, 9, 9, 9, 9}, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(cp.P) {
+		t.Fatalf("zero permutations must leave P NaN, got %v", cp.P)
+	}
+}
