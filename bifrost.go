@@ -30,6 +30,7 @@ import (
 	"bifrost/internal/engine"
 	"bifrost/internal/metrics"
 	"bifrost/internal/proxy"
+	"bifrost/internal/target"
 )
 
 // Re-exported core model types. A Strategy is S = ⟨B, A⟩ of the paper's
@@ -71,10 +72,46 @@ type (
 	Backend = proxy.Backend
 )
 
+// Enactment-target plugin types: strategies pick where routing is enacted
+// per service (`target:` in the deployment section), and a TargetRegistry
+// maps those kinds to implementations — the proxy fleet, client-side flag
+// rulesets, declarative shell-outs, or custom plugins.
+type (
+	// Target enacts routing configs for services that select its kind.
+	Target = target.Target
+	// TargetRegistry maps target kinds to registered implementations.
+	TargetRegistry = target.Registry
+	// TargetConvergence is one service's convergence report from a target.
+	TargetConvergence = target.Convergence
+)
+
+// NewTargetRegistry creates an empty enactment-target registry. Register
+// implementations by kind, then pass it to NewEngine via WithTargets.
+func NewTargetRegistry() *TargetRegistry { return target.NewRegistry() }
+
+// NewProxyFleetTarget wraps the default HTTP proxy-fleet delivery as a
+// registrable target (conventionally under kind "proxy").
+func NewProxyFleetTarget() Target {
+	return engine.NewProxyTarget(engine.NewFleetConfigurator())
+}
+
 // CompileStrategy compiles YAML DSL source into a validated strategy,
 // resolving metric providers from the document's providers section.
+// Template sources that expand to several runs are an error here; use
+// CompileAllStrategies for those.
 func CompileStrategy(src string) (*Strategy, error) {
 	return dsl.Compile(src)
+}
+
+// ExpandedStrategy is one concrete run stamped out of a strategy source:
+// plain sources yield one, matrix templates one per variable combination.
+type ExpandedStrategy = dsl.Expanded
+
+// CompileAllStrategies compiles YAML DSL source that may be a matrix
+// template (vars/var-transforms/matrix sections), returning every concrete
+// run it expands to, each with standalone re-journalable source.
+func CompileAllStrategies(src string) ([]ExpandedStrategy, error) {
+	return dsl.CompileAll(src)
 }
 
 // Compiler gives control over provider resolution (inject custom metric
@@ -127,6 +164,13 @@ func WithHTTPProxies() EngineOption {
 // registered on the returned registrar.
 func WithLocalProxies(reg *LocalProxies) EngineOption {
 	return func(c *engineConfig) { c.configurator = reg.lc }
+}
+
+// WithTargets dispatches each service's routing to the enactment target
+// its deployment selects (`target:` kind), resolved from the registry.
+// Services without an explicit kind use "proxy".
+func WithTargets(reg *TargetRegistry) EngineOption {
+	return func(c *engineConfig) { c.configurator = engine.NewTargetConfigurator(reg) }
 }
 
 // LocalProxies registers in-process proxies by service name.

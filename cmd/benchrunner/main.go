@@ -14,6 +14,10 @@
 //	                                             # federation micro-bench:
 //	                                             # ingest, sketch merges,
 //	                                             # fleet-window queries
+//	benchrunner -experiment bench7 -out BENCH_7.json
+//	                                             # flag-vs-proxy data-plane
+//	                                             # bench: SDK decisions vs
+//	                                             # the proxy HTTP hop
 //	benchrunner -paper                           # paper-scale durations
 //	benchrunner -singlecore                      # GOMAXPROCS=1, like the
 //	                                             # paper's n1-standard-1 VMs
@@ -46,15 +50,15 @@ func main() {
 }
 
 func run() error {
-	experiment := flag.String("experiment", "all", "all|table1|fig6|fig7|fig8|fig9|fig10|bench6")
+	experiment := flag.String("experiment", "all", "all|table1|fig6|fig7|fig8|fig9|fig10|bench6|bench7")
 	paper := flag.Bool("paper", false, "use the paper's full phase durations (slow)")
 	singleCore := flag.Bool("singlecore", false, "run with GOMAXPROCS=1 to mimic the paper's single-core VMs")
 	counts := flag.String("counts", "1,5,10,20", "parallel-strategy sweep counts (fig7/fig8)")
 	groups := flag.String("groups", "1,5,10", "check-group sweep counts n; 8·n checks (fig9/fig10)")
 	rps := flag.Float64("rps", 35, "load-test request rate (fig6/table1)")
-	out := flag.String("out", "", "write bench6 JSON to this file instead of stdout")
+	out := flag.String("out", "", "write bench6/bench7 JSON to this file instead of stdout")
 	benchScale := flag.Float64("bench-scale", 1,
-		"scale factor for bench6 workload sizes (CI smoke uses e.g. 0.01)")
+		"scale factor for bench6/bench7 workload sizes (CI smoke uses e.g. 0.01)")
 	flag.Parse()
 
 	if *singleCore {
@@ -122,6 +126,31 @@ func run() error {
 			Replicas:      8,
 			WindowBuckets: scale(120),
 			Queries:       scale(500),
+		})
+		if err != nil {
+			return err
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return res.WriteJSON(w)
+
+	case "bench7":
+		scale := func(n int) int {
+			if v := int(float64(n) * *benchScale); v > 0 {
+				return v
+			}
+			return 1
+		}
+		res, err := experiments.RunFlagBench(experiments.FlagBenchConfig{
+			Decisions: scale(2_000_000),
+			Requests:  scale(5_000),
 		})
 		if err != nil {
 			return err

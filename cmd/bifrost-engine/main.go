@@ -40,6 +40,9 @@ import (
 	"bifrost/internal/journal"
 	"bifrost/internal/metrics"
 	"bifrost/internal/sysmon"
+	"bifrost/internal/target"
+	"bifrost/internal/target/command"
+	flagtarget "bifrost/internal/target/flag"
 )
 
 func main() {
@@ -65,11 +68,26 @@ func run() error {
 	flag.Parse()
 
 	registry := metrics.NewRegistry()
-	configurator := engine.NewFleetConfigurator(
+	fleet := engine.NewFleetConfigurator(
 		engine.FleetQuorum(*fleetQuorum),
 		engine.FleetRetry(engine.RetryPolicy{PushTimeout: *pushTimeout, MaxAttempts: *pushRetries}),
 		engine.FleetReconcileInterval(*reconcileEvery),
 	)
+	// Enactment targets, dispatched per service by its deployment's
+	// `target:` kind: the proxy fleet (default), client-side flag rulesets
+	// served from /flags/, and declarative shell-outs.
+	flagStore := flagtarget.NewStore(flagtarget.WithReconcileInterval(*reconcileEvery))
+	targets := target.NewRegistry()
+	for kind, t := range map[string]target.Target{
+		target.KindProxy:   engine.NewProxyTarget(fleet),
+		target.KindFlag:    flagStore,
+		target.KindCommand: &command.Runner{},
+	} {
+		if err := targets.Register(kind, t); err != nil {
+			return err
+		}
+	}
+	configurator := engine.NewTargetConfigurator(targets)
 	opts := []engine.Option{
 		engine.WithConfigurator(configurator),
 		engine.WithRegistry(registry),
@@ -113,13 +131,15 @@ func run() error {
 
 	// The API serves /api/v2 (run lifecycle resources, SSE event stream)
 	// plus the /api/v1 aliases; the dashboard's page drives the v2 API.
-	api := engine.NewAPI(eng, dsl.Compile).Handler()
+	// The expander lets one POST schedule a whole matrix template.
+	api := engine.NewAPI(eng, dsl.Compile).WithExpander(expandAll).Handler()
 	dash := dashboard.New(eng).Handler()
 	mux := http.NewServeMux()
 	mux.Handle("/api/", api)
 	mux.Handle("/-/healthy", api)
 	mux.Handle("/dashboard", dash)
 	mux.Handle("/dashboard/", dash)
+	mux.Handle("/flags/", http.StripPrefix("/flags", flagStore.Handler()))
 	mux.Handle("/metrics", registry.Handler())
 
 	srv, err := httpx.NewServer(*listen, mux)
@@ -136,4 +156,17 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	return srv.Shutdown(ctx)
+}
+
+// expandAll adapts dsl.CompileAll to the API's expander hook.
+func expandAll(src string) ([]engine.ExpandedStrategy, error) {
+	runs, err := dsl.CompileAll(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]engine.ExpandedStrategy, len(runs))
+	for i, r := range runs {
+		out[i] = engine.ExpandedStrategy{Strategy: r.Strategy, Source: r.Source, Vars: r.Vars}
+	}
+	return out, nil
 }

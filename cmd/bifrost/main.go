@@ -69,25 +69,34 @@ func run(args []string) error {
 			return err
 		}
 		if *dryRun {
-			res, err := client.DryRun(ctx, string(src))
+			reports, err := client.DryRunAll(ctx, string(src))
 			if err != nil {
 				return err
 			}
-			fmt.Printf("strategy %q is valid: rollout %v .. %v\n", res.Strategy,
-				res.Analysis.MinDuration, res.Analysis.MaxDuration)
-			if len(res.Analysis.Unreachable) > 0 {
-				fmt.Printf("warning: unreachable states: %v\n", res.Analysis.Unreachable)
-			}
-			if len(res.Analysis.Trapped) > 0 {
-				fmt.Printf("warning: states that cannot finish: %v\n", res.Analysis.Trapped)
+			for _, res := range reports {
+				fmt.Printf("strategy %q is valid: rollout %v .. %v\n", res.Strategy,
+					res.Analysis.MinDuration, res.Analysis.MaxDuration)
+				if len(res.Analysis.Unreachable) > 0 {
+					fmt.Printf("warning: unreachable states: %v\n", res.Analysis.Unreachable)
+				}
+				if len(res.Analysis.Trapped) > 0 {
+					fmt.Printf("warning: states that cannot finish: %v\n", res.Analysis.Trapped)
+				}
 			}
 			return nil
 		}
-		st, err := client.Schedule(ctx, string(src))
+		// A plain strategy schedules one run; a matrix template schedules
+		// every expansion in one request (all-or-nothing on the engine).
+		sts, err := client.ScheduleAll(ctx, string(src))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("scheduled %s (state %s)\n", st.Strategy, st.State)
+		for _, st := range sts {
+			fmt.Printf("scheduled %s (state %s)\n", st.Strategy, st.State)
+		}
+		if len(sts) > 1 {
+			fmt.Printf("%d runs scheduled from matrix template\n", len(sts))
+		}
 		return nil
 
 	case "status", "runs":
@@ -204,28 +213,42 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		strategy, err := dsl.Compile(string(src))
+		runs, err := dsl.CompileAll(string(src))
 		if err != nil {
 			return err
 		}
 		switch cmd {
 		case "validate":
-			report, err := analysis.Analyze(strategy)
-			if err != nil {
-				return err
+			for _, r := range runs {
+				report, err := analysis.Analyze(r.Strategy)
+				if err != nil {
+					return fmt.Errorf("run %q: %w", r.Strategy.Name, err)
+				}
+				fmt.Printf("strategy %q is valid: %d states, rollout %v .. %v\n",
+					r.Strategy.Name, len(r.Strategy.Automaton.States),
+					report.MinDuration, report.MaxDuration)
+				if len(report.Unreachable) > 0 {
+					fmt.Printf("warning: unreachable states: %v\n", report.Unreachable)
+				}
+				if len(report.Trapped) > 0 {
+					fmt.Printf("warning: states that cannot finish: %v\n", report.Trapped)
+				}
 			}
-			fmt.Printf("strategy %q is valid: %d states, rollout %v .. %v\n",
-				strategy.Name, len(strategy.Automaton.States),
-				report.MinDuration, report.MaxDuration)
-			if len(report.Unreachable) > 0 {
-				fmt.Printf("warning: unreachable states: %v\n", report.Unreachable)
+			if len(runs) > 1 {
+				fmt.Printf("%d runs expand from matrix template\n", len(runs))
 			}
-			if len(report.Trapped) > 0 {
-				fmt.Printf("warning: states that cannot finish: %v\n", report.Trapped)
+		case "graph", "estimate":
+			// All matrix expansions share one automaton shape, so graphing
+			// or estimating the first is representative.
+			strategy := runs[0].Strategy
+			if len(runs) > 1 {
+				fmt.Fprintf(os.Stderr, "bifrost: template expands to %d runs; using %q\n",
+					len(runs), strategy.Name)
 			}
-		case "graph":
-			fmt.Print(analysis.DOT(strategy))
-		case "estimate":
+			if cmd == "graph" {
+				fmt.Print(analysis.DOT(strategy))
+				break
+			}
 			d, err := analysis.ExpectedDuration(strategy, analysis.UniformProbabilities(strategy))
 			if err != nil {
 				return err

@@ -51,6 +51,14 @@ type Service struct {
 	// this service (the DSL's `proxies:` list). At most one of ProxyURL and
 	// ProxyURLs is set; use ProxyEndpoints to read either.
 	ProxyURLs []string
+	// Target names the enactment target kind routing configs for this
+	// service are delivered to ("proxy", "flag", "command", …). Empty
+	// means the bifrost proxy, preserving pre-registry behavior.
+	Target string
+	// Command is the argv a "command" target invokes to enact routing
+	// changes (the rendered ruleset arrives on stdin). Unused by other
+	// target kinds.
+	Command []string
 }
 
 // ProxyEndpoints returns the admin endpoints of the proxy fleet fronting

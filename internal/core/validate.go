@@ -58,6 +58,12 @@ func (s *Strategy) Validate() error {
 		if svc.ProxyURL != "" && len(svc.ProxyURLs) > 0 {
 			addf("service %q: both ProxyURL and ProxyURLs set; use one", svc.Name)
 		}
+		if svc.Target == "command" && len(svc.Command) == 0 {
+			addf("service %q: command target without a command", svc.Name)
+		}
+		if svc.Target != "command" && len(svc.Command) > 0 {
+			addf("service %q: command set but target is %q", svc.Name, svc.Target)
+		}
 		replicas := make(map[string]bool, len(svc.ProxyURLs))
 		for _, u := range svc.ProxyURLs {
 			if u == "" {

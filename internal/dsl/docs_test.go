@@ -67,19 +67,24 @@ func TestDocsExamplesCompile(t *testing.T) {
 			continue // fragment, not a full strategy
 		}
 		complete++
-		s, err := Compile(block)
+		// CompileAll so template examples (vars/matrix) are covered too:
+		// every expansion must be a valid standalone run.
+		runs, err := CompileAll(block)
 		if err != nil {
 			t.Errorf("docs yaml block #%d does not compile: %v", i, err)
 			continue
 		}
-		for si := range s.Automaton.States {
-			for ci := range s.Automaton.States[si].Checks {
-				k := s.Automaton.States[si].Checks[ci].Kind.String()
-				// The model kind "basic" is the DSL element "metric".
-				if k == "basic" {
-					k = "metric"
+		for _, run := range runs {
+			s := run.Strategy
+			for si := range s.Automaton.States {
+				for ci := range s.Automaton.States[si].Checks {
+					k := s.Automaton.States[si].Checks[ci].Kind.String()
+					// The model kind "basic" is the DSL element "metric".
+					if k == "basic" {
+						k = "metric"
+					}
+					exercised[k] = true
 				}
-				exercised[k] = true
 			}
 		}
 	}
@@ -103,6 +108,7 @@ func TestDocsLinkTargetsExist(t *testing.T) {
 		filepath.Join("..", "..", "docs", "operations.md"),
 		filepath.Join("..", "..", "strategies", "slo-guarded-canary.yaml"),
 		filepath.Join("..", "..", "strategies", "fleet-canary.yaml"),
+		filepath.Join("..", "..", "strategies", "matrix-canary.yaml"),
 	} {
 		if _, err := os.Stat(path); err != nil {
 			t.Errorf("referenced file missing: %v", err)

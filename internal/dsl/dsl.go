@@ -92,11 +92,13 @@ package dsl
 
 import (
 	"context"
+	"fmt"
 	"sort"
+	"strings"
 
 	"bifrost/internal/core"
 	"bifrost/internal/metrics"
-	"bifrost/internal/yaml"
+	"bifrost/internal/target"
 )
 
 // Querier answers metric queries for checks; *metrics.Client implements it,
@@ -122,12 +124,23 @@ func Compile(src string) (*core.Strategy, error) {
 	return (&Compiler{}).Compile(src)
 }
 
-// Compile parses, compiles, and validates one strategy document.
+// Compile parses, compiles, and validates one strategy document. Template
+// sources (vars / var-transforms / matrix) are accepted as long as they
+// expand to exactly one run; use CompileAll for matrices that stamp out
+// several.
 func (c *Compiler) Compile(src string) (*core.Strategy, error) {
-	doc, err := yaml.ParseMap(src)
+	runs, err := c.CompileAll(src)
 	if err != nil {
 		return nil, err
 	}
+	if len(runs) != 1 {
+		return nil, fmt.Errorf("dsl: template expands to %d runs; use CompileAll for matrix templates", len(runs))
+	}
+	return runs[0].Strategy, nil
+}
+
+// compileDoc compiles one already-expanded (template-free) document tree.
+func (c *Compiler) compileDoc(doc map[string]any) (*core.Strategy, error) {
 	d := &decoder{}
 	d.unknownKeys(doc, "document", "name", "deployment", "providers", "strategy")
 
@@ -198,15 +211,18 @@ func compileDeployment(d *decoder, doc map[string]any) []core.Service {
 			d.errf("%s: must be a mapping", ctx)
 			continue
 		}
-		d.unknownKeys(m, ctx, "service", "proxy", "proxies", "versions")
+		d.unknownKeys(m, ctx, "service", "proxy", "proxies", "versions", "target", "command")
 		svc := core.Service{
 			Name:      d.requireString(m, "service", ctx),
 			ProxyURL:  d.getString(m, "proxy", ctx),
 			ProxyURLs: d.getStringSlice(m, "proxies", ctx),
+			Target:    d.getString(m, "target", ctx),
+			Command:   d.getStringSlice(m, "command", ctx),
 		}
 		if svc.ProxyURL != "" && len(svc.ProxyURLs) > 0 {
 			d.errf("%s: use either proxy (single replica) or proxies (fleet), not both", ctx)
 		}
+		validateTarget(d, svc, ctx)
 		for j, rawV := range d.getSlice(m, "versions", ctx) {
 			vctx := ctx + ".versions[" + itoa(j) + "]"
 			vm, ok := rawV.(map[string]any)
@@ -224,6 +240,33 @@ func compileDeployment(d *decoder, doc map[string]any) []core.Service {
 		services = append(services, svc)
 	}
 	return services
+}
+
+// validateTarget checks a service's enactment-target declaration: the
+// kind must be registered in the target vocabulary, command targets must
+// declare an argv, and flag targets route client-side so proxy endpoints
+// make no sense on them.
+func validateTarget(d *decoder, svc core.Service, ctx string) {
+	switch svc.Target {
+	case "", target.KindProxy:
+		if len(svc.Command) > 0 {
+			d.errf("%s: command is only valid with target: command", ctx)
+		}
+	case target.KindFlag:
+		if len(svc.Command) > 0 {
+			d.errf("%s: command is only valid with target: command", ctx)
+		}
+		if svc.ProxyURL != "" || len(svc.ProxyURLs) > 0 {
+			d.errf("%s: target flag routes client-side; remove proxy/proxies", ctx)
+		}
+	case target.KindCommand:
+		if len(svc.Command) == 0 {
+			d.errf("%s: target command requires a command argv list", ctx)
+		}
+	default:
+		d.errf("%s: unknown target kind %q (known: %s)", ctx, svc.Target,
+			strings.Join(target.KnownKinds(), ", "))
+	}
 }
 
 func compileStrategy(d *decoder, doc map[string]any, s *core.Strategy,

@@ -28,22 +28,26 @@ func TestShippedStrategiesCompile(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			s, err := Compile(string(src))
+			// CompileAll so matrix templates are covered: every expansion
+			// must compile and pass the structural analyses on its own.
+			runs, err := CompileAll(string(src))
 			if err != nil {
 				t.Fatalf("compile: %v", err)
 			}
-			report, err := analysis.Analyze(s)
-			if err != nil {
-				t.Fatalf("analyze: %v", err)
-			}
-			if len(report.Unreachable) > 0 {
-				t.Errorf("unreachable states: %v", report.Unreachable)
-			}
-			if len(report.Trapped) > 0 {
-				t.Errorf("trapped states: %v", report.Trapped)
-			}
-			if report.MaxDuration <= 0 {
-				t.Errorf("max duration = %v", report.MaxDuration)
+			for _, run := range runs {
+				report, err := analysis.Analyze(run.Strategy)
+				if err != nil {
+					t.Fatalf("analyze %q: %v", run.Strategy.Name, err)
+				}
+				if len(report.Unreachable) > 0 {
+					t.Errorf("%q: unreachable states: %v", run.Strategy.Name, report.Unreachable)
+				}
+				if len(report.Trapped) > 0 {
+					t.Errorf("%q: trapped states: %v", run.Strategy.Name, report.Trapped)
+				}
+				if report.MaxDuration <= 0 {
+					t.Errorf("%q: max duration = %v", run.Strategy.Name, report.MaxDuration)
+				}
 			}
 		})
 	}

@@ -1,0 +1,463 @@
+package dsl
+
+// Strategy templates: one YAML source stamping out many concrete runs.
+//
+// Three document-level sections turn a strategy file into a template:
+//
+//	vars:                      # scalar bindings, substituted as ${name}
+//	  candidate-weight: 5
+//	var-transforms:            # derived bindings: regex over another var
+//	  - from: region
+//	    match: ^([a-z]+)-.*$
+//	    replace: $1
+//	    to: region-short
+//	matrix:                    # cartesian expansion: one run per combo
+//	  region: [eu-west, us-east]
+//	  cohort: [free, paid]
+//
+// Every `${name}` in the rest of the document — map keys and string
+// values alike — is substituted per combination. A value that is exactly
+// one `${name}` keeps the bound scalar's type (so `weight: ${w}` stays a
+// number); embedded references render as strings. Run names must come out
+// distinct: when the name template references no matrix variable, the
+// sorted axis values are appended automatically (product → product-eu-
+// west-free, …); partial references that still collide are compile
+// errors.
+//
+// Expansion happens before compilation: each combination's resolved
+// document is re-encoded to standalone YAML (Expanded.Source), which the
+// engine journals per run — so crash recovery recompiles the concrete
+// run, never the template.
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bifrost/internal/core"
+	"bifrost/internal/yaml"
+)
+
+// maxMatrixRuns bounds one template's expansion; beyond this the matrix
+// is almost certainly a typo and would flood the engine.
+const maxMatrixRuns = 256
+
+// Expanded is one concrete run stamped out of a strategy source.
+type Expanded struct {
+	// Strategy is the compiled, validated run.
+	Strategy *core.Strategy
+	// Source is standalone YAML for exactly this run: the original source
+	// for non-templates, the resolved re-encoded document for template
+	// expansions. It recompiles under Compile, which is what the engine
+	// journals and recovery replays.
+	Source string
+	// Vars are the bindings this expansion was produced with (vars ∪
+	// matrix combo ∪ transforms), rendered as strings; nil for
+	// non-templates.
+	Vars map[string]string
+}
+
+// CompileAll is a convenience for a zero-config compiler.
+func CompileAll(src string) ([]Expanded, error) {
+	return (&Compiler{}).CompileAll(src)
+}
+
+// CompileAll parses src, expands templates (vars, var-transforms,
+// matrix) into concrete documents, and compiles each. Non-template
+// sources compile to exactly one Expanded whose Source is src itself.
+func (c *Compiler) CompileAll(src string) ([]Expanded, error) {
+	doc, err := yaml.ParseMap(src)
+	if err != nil {
+		return nil, err
+	}
+	if !isTemplate(doc) {
+		s, err := c.compileDoc(doc)
+		if err != nil {
+			return nil, err
+		}
+		return []Expanded{{Strategy: s, Source: src}}, nil
+	}
+
+	d := &decoder{}
+	resolved := expandTemplate(d, doc)
+	if err := d.err(); err != nil {
+		return nil, err
+	}
+	out := make([]Expanded, 0, len(resolved))
+	for _, rd := range resolved {
+		src2, err := yaml.Encode(rd.doc)
+		if err != nil {
+			return nil, fmt.Errorf("dsl: re-encode expanded run %q: %w", rd.name, err)
+		}
+		// Compile from the re-encoded source, not the in-memory tree: the
+		// journaled Source must be exactly what compiled, or recovery
+		// could replay something the schedule never validated.
+		doc2, err := yaml.ParseMap(src2)
+		if err != nil {
+			return nil, fmt.Errorf("dsl: expanded run %q: %w", rd.name, err)
+		}
+		s, err := c.compileDoc(doc2)
+		if err != nil {
+			return nil, fmt.Errorf("dsl: expanded run %q: %w", rd.name, err)
+		}
+		out = append(out, Expanded{Strategy: s, Source: src2, Vars: rd.vars})
+	}
+	return out, nil
+}
+
+const (
+	keyVars       = "vars"
+	keyTransforms = "var-transforms"
+	keyMatrix     = "matrix"
+)
+
+func isTemplate(doc map[string]any) bool {
+	for _, k := range []string{keyVars, keyTransforms, keyMatrix} {
+		if _, ok := doc[k]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// resolvedDoc is one expansion: the substituted document tree (template
+// sections stripped) plus its derived name and bindings.
+type resolvedDoc struct {
+	doc  map[string]any
+	name string
+	vars map[string]string
+}
+
+// transform is one compiled var-transform.
+type transform struct {
+	from, to string
+	re       *regexp.Regexp
+	replace  string
+}
+
+// expandTemplate validates the template sections and produces one
+// resolved document per matrix combination. All problems are collected on
+// d with their positions.
+func expandTemplate(d *decoder, doc map[string]any) []resolvedDoc {
+	base := templateVars(d, doc)
+	axes, values := templateMatrix(d, doc, base)
+	transforms := templateTransforms(d, doc, base, axes)
+	if len(d.problems) > 0 {
+		return nil
+	}
+
+	combos := cartesian(values)
+	if len(combos) > maxMatrixRuns {
+		d.errf("matrix: expands to %d runs (limit %d)", len(combos), maxMatrixRuns)
+		return nil
+	}
+
+	// The template body is everything but the template sections.
+	body := make(map[string]any, len(doc))
+	for k, v := range doc {
+		if k == keyVars || k == keyTransforms || k == keyMatrix {
+			continue
+		}
+		body[k] = v
+	}
+
+	// Whether the name template itself references a matrix variable
+	// decides name derivation: names that don't reference the matrix get
+	// the axis values appended automatically.
+	nameUsesAxis := false
+	if rawName, _ := body["name"].(string); rawName != "" {
+		refs := make(map[string]bool, 2)
+		for _, m := range varPattern.FindAllStringSubmatch(rawName, -1) {
+			refs[m[1]] = true
+		}
+		for _, axis := range axes {
+			if refs[axis] {
+				nameUsesAxis = true
+			}
+		}
+	}
+
+	out := make([]resolvedDoc, 0, len(combos))
+	for _, combo := range combos {
+		bindings := make(map[string]any, len(base)+len(axes)+len(transforms))
+		for k, v := range base {
+			bindings[k] = v
+		}
+		for i, axis := range axes {
+			bindings[axis] = combo[i]
+		}
+		for _, t := range transforms {
+			src := scalarString(bindings[t.from])
+			bindings[t.to] = t.re.ReplaceAllString(src, t.replace)
+		}
+		used := make(map[string]bool, len(bindings))
+		resolved, ok := substitute(d, body, "document", bindings, used).(map[string]any)
+		if !ok || len(d.problems) > 0 {
+			return nil
+		}
+		vars := make(map[string]string, len(bindings))
+		for k, v := range bindings {
+			vars[k] = scalarString(v)
+		}
+		name, _ := resolved["name"].(string)
+		out = append(out, resolvedDoc{doc: resolved, name: name, vars: vars})
+	}
+
+	deriveNames(d, out, axes, combos, nameUsesAxis)
+	return out
+}
+
+// deriveNames guarantees deterministic, distinct run names. When the name
+// template references no matrix variable, every run gets the sorted axis
+// values appended; names that still collide (a partial axis reference, or
+// duplicate axis values) are compile errors.
+func deriveNames(d *decoder, runs []resolvedDoc, axes []string, combos [][]any, usedAxes bool) {
+	if len(runs) > 1 && !usedAxes {
+		for i := range runs {
+			suffix := make([]string, 0, len(axes))
+			for ai := range axes {
+				suffix = append(suffix, slug(scalarString(combos[i][ai])))
+			}
+			runs[i].name = runs[i].name + "-" + strings.Join(suffix, "-")
+			runs[i].doc["name"] = runs[i].name
+		}
+	}
+	seen := make(map[string]int, len(runs))
+	for i := range runs {
+		if j, dup := seen[runs[i].name]; dup {
+			d.errf("matrix: runs %d and %d both expand to name %q; reference the matrix variables in name",
+				j, i, runs[i].name)
+			return
+		}
+		seen[runs[i].name] = i
+	}
+}
+
+// slug renders an axis value into a name fragment: lowercase, with runs
+// of non-alphanumerics collapsed to single dashes.
+func slug(s string) string {
+	var b strings.Builder
+	dash := false
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			dash = false
+		default:
+			if !dash && b.Len() > 0 {
+				b.WriteByte('-')
+				dash = true
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "-")
+}
+
+// templateVars decodes the vars section into scalar bindings.
+func templateVars(d *decoder, doc map[string]any) map[string]any {
+	section := d.getMap(doc, keyVars, "document")
+	out := make(map[string]any, len(section))
+	for name, v := range section {
+		if !isScalar(v) {
+			d.errf("vars.%s: must be a scalar (string, number, or bool), got %T", name, v)
+			continue
+		}
+		out[name] = v
+	}
+	return out
+}
+
+// templateMatrix decodes the matrix section: axis name → value list.
+// Returns sorted axis names and their value lists in declared order.
+func templateMatrix(d *decoder, doc map[string]any, vars map[string]any) ([]string, [][]any) {
+	section := d.getMap(doc, keyMatrix, "document")
+	if _, present := doc[keyMatrix]; present && len(section) == 0 {
+		d.errf("matrix: declared but empty — delete it or add at least one axis")
+		return nil, nil
+	}
+	axes := make([]string, 0, len(section))
+	for axis := range section {
+		axes = append(axes, axis)
+	}
+	sort.Strings(axes)
+	values := make([][]any, 0, len(axes))
+	for _, axis := range axes {
+		ctx := "matrix." + axis
+		if _, dup := vars[axis]; dup {
+			d.errf("%s: axis collides with vars.%s", ctx, axis)
+		}
+		raw, ok := section[axis].([]any)
+		if !ok {
+			d.errf("%s: must be a sequence of scalar values, got %T", ctx, section[axis])
+			continue
+		}
+		if len(raw) == 0 {
+			d.errf("%s: axis has no values", ctx)
+			continue
+		}
+		for i, v := range raw {
+			if !isScalar(v) {
+				d.errf("%s[%d]: must be a scalar, got %T", ctx, i, v)
+			}
+		}
+		values = append(values, raw)
+	}
+	return axes, values
+}
+
+// templateTransforms decodes and compiles the var-transforms section.
+// Each transform derives a new binding `to` by applying a regex
+// match/replace to an existing binding `from` (a var or a matrix axis).
+func templateTransforms(d *decoder, doc map[string]any, vars map[string]any,
+	axes []string) []transform {
+
+	bound := make(map[string]bool, len(vars)+len(axes))
+	for name := range vars {
+		bound[name] = true
+	}
+	for _, axis := range axes {
+		bound[axis] = true
+	}
+	raw := d.getSlice(doc, keyTransforms, "document")
+	out := make([]transform, 0, len(raw))
+	for i, rv := range raw {
+		ctx := keyTransforms + "[" + itoa(i) + "]"
+		m, ok := rv.(map[string]any)
+		if !ok {
+			d.errf("%s: must be a mapping", ctx)
+			continue
+		}
+		d.unknownKeys(m, ctx, "from", "match", "replace", "to")
+		t := transform{
+			from:    d.requireString(m, "from", ctx),
+			to:      d.requireString(m, "to", ctx),
+			replace: d.getString(m, "replace", ctx),
+		}
+		pattern := d.requireString(m, "match", ctx)
+		if t.from != "" && !bound[t.from] {
+			d.errf("%s: from references undefined variable %q", ctx, t.from)
+		}
+		if t.to != "" && bound[t.to] {
+			d.errf("%s: to %q collides with an existing variable", ctx, t.to)
+		}
+		if pattern != "" {
+			re, err := regexp.Compile(pattern)
+			if err != nil {
+				d.errf("%s: bad match pattern: %v", ctx, err)
+			} else {
+				t.re = re
+			}
+		}
+		if t.to != "" {
+			bound[t.to] = true
+		}
+		if t.from == "" || t.to == "" || t.re == nil {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// cartesian produces every combination of the axis value lists, first
+// axis varying slowest. No axes yields one empty combination (a template
+// with vars but no matrix).
+func cartesian(values [][]any) [][]any {
+	combos := [][]any{nil}
+	for _, axis := range values {
+		next := make([][]any, 0, len(combos)*len(axis))
+		for _, c := range combos {
+			for _, v := range axis {
+				combo := make([]any, len(c), len(c)+1)
+				copy(combo, c)
+				next = append(next, append(combo, v))
+			}
+		}
+		combos = next
+	}
+	return combos
+}
+
+var varPattern = regexp.MustCompile(`\$\{([A-Za-z0-9_][A-Za-z0-9_.-]*)\}`)
+
+// substitute walks the document tree replacing ${name} references in map
+// keys and string values. A string that is exactly one reference keeps
+// the bound scalar's type; embedded references render as strings.
+// Undefined references are compile errors carrying the tree position.
+// used records which bindings the tree referenced.
+func substitute(d *decoder, v any, ctx string, bindings map[string]any, used map[string]bool) any {
+	switch t := v.(type) {
+	case string:
+		return substituteString(d, t, ctx, bindings, used)
+	case []any:
+		out := make([]any, len(t))
+		for i, item := range t {
+			out[i] = substitute(d, item, ctx+"["+itoa(i)+"]", bindings, used)
+		}
+		return out
+	case map[string]any:
+		out := make(map[string]any, len(t))
+		for k, item := range t {
+			nk := k
+			if sub := substituteString(d, k, ctx+"."+k, bindings, used); sub != nil {
+				nk = scalarString(sub)
+			}
+			out[nk] = substitute(d, item, ctx+"."+k, bindings, used)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+func substituteString(d *decoder, s, ctx string, bindings map[string]any, used map[string]bool) any {
+	if m := varPattern.FindStringSubmatch(s); m != nil && m[0] == s {
+		// Whole-string reference: preserve the scalar type so numeric
+		// vars stay numbers (weights, thresholds, durations).
+		val, ok := bindings[m[1]]
+		if !ok {
+			d.errf("%s: undefined variable ${%s}", ctx, m[1])
+			return s
+		}
+		used[m[1]] = true
+		return val
+	}
+	return varPattern.ReplaceAllStringFunc(s, func(ref string) string {
+		name := varPattern.FindStringSubmatch(ref)[1]
+		val, ok := bindings[name]
+		if !ok {
+			d.errf("%s: undefined variable ${%s}", ctx, name)
+			return ref
+		}
+		used[name] = true
+		return scalarString(val)
+	})
+}
+
+func isScalar(v any) bool {
+	switch v.(type) {
+	case string, bool, int64, float64, int:
+		return true
+	}
+	return false
+}
+
+// scalarString renders a scalar binding for embedding into a string.
+func scalarString(v any) string {
+	switch t := v.(type) {
+	case string:
+		return t
+	case bool:
+		return strconv.FormatBool(t)
+	case int:
+		return strconv.Itoa(t)
+	case int64:
+		return strconv.FormatInt(t, 10)
+	case float64:
+		return strconv.FormatFloat(t, 'g', -1, 64)
+	default:
+		return fmt.Sprintf("%v", t)
+	}
+}

@@ -1,0 +1,291 @@
+package dsl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// matrixTemplate is a 2×2 canary template over the flag target whose name
+// references both axes.
+const matrixTemplate = `
+name: canary-${region}-${cohort}
+vars:
+  canary-weight: 10
+matrix:
+  region: [eu-west, us-east]
+  cohort: [free, paid]
+deployment:
+  services:
+    - service: shop
+      target: flag
+      versions:
+        - name: stable
+          endpoint: 127.0.0.1:9001
+        - name: canary
+          endpoint: 127.0.0.1:9002
+strategy:
+  start: canary
+  phases:
+    - phase: canary
+      duration: 60s
+      routes:
+        - route:
+            service: shop
+            weights:
+              stable: 90
+              canary: ${canary-weight}
+      on:
+        success: done
+    - phase: done
+      routes:
+        - route:
+            service: shop
+            weights: {canary: 100}
+`
+
+func TestTemplateMatrixExpansion(t *testing.T) {
+	runs, err := CompileAll(matrixTemplate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("expanded to %d runs, want 4", len(runs))
+	}
+	// First axis (cohort, sorted) varies slowest; names are deterministic.
+	want := []string{
+		"canary-eu-west-free", "canary-us-east-free",
+		"canary-eu-west-paid", "canary-us-east-paid",
+	}
+	for i, r := range runs {
+		if r.Strategy.Name != want[i] {
+			t.Errorf("run %d = %q, want %q", i, r.Strategy.Name, want[i])
+		}
+		// Whole-string references keep the scalar type: the canary weight
+		// must come through as a number, not the string "10".
+		w := r.Strategy.Automaton.States[0].Routing[0].Weights["canary"]
+		if w != 10 {
+			t.Errorf("run %q canary weight = %v, want 10", r.Strategy.Name, w)
+		}
+		if r.Vars["canary-weight"] != "10" {
+			t.Errorf("run %q vars = %v, want canary-weight=10", r.Strategy.Name, r.Vars)
+		}
+		if r.Vars["region"] == "" || r.Vars["cohort"] == "" {
+			t.Errorf("run %q missing axis bindings: %v", r.Strategy.Name, r.Vars)
+		}
+		// The journaled Source must be standalone: recompiling it alone
+		// (what crash recovery does) yields the same concrete run.
+		again, err := Compile(r.Source)
+		if err != nil {
+			t.Fatalf("run %q source does not recompile: %v", r.Strategy.Name, err)
+		}
+		if again.Name != r.Strategy.Name {
+			t.Errorf("recompiled name = %q, want %q", again.Name, r.Strategy.Name)
+		}
+	}
+}
+
+func TestTemplateNameAutoSuffix(t *testing.T) {
+	src := strings.Replace(matrixTemplate,
+		"name: canary-${region}-${cohort}", "name: product", 1)
+	runs, err := CompileAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Suffix values follow sorted axis order: cohort, then region.
+	want := []string{
+		"product-free-eu-west", "product-free-us-east",
+		"product-paid-eu-west", "product-paid-us-east",
+	}
+	for i, r := range runs {
+		if r.Strategy.Name != want[i] {
+			t.Errorf("run %d = %q, want %q", i, r.Strategy.Name, want[i])
+		}
+	}
+}
+
+func TestTemplateVarTransforms(t *testing.T) {
+	src := strings.Replace(matrixTemplate, "vars:", `var-transforms:
+  - from: region
+    match: ^([a-z]+)-.*$
+    replace: $1
+    to: zone
+vars:
+  zone-note: zone ${zone}`, 1)
+	// Reference the derived variable somewhere substitutable.
+	src = strings.Replace(src, "duration: 60s",
+		"duration: 60s\n      description: rollout in ${zone}", 1)
+	runs, err := CompileAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("expanded to %d runs, want 4", len(runs))
+	}
+	for _, r := range runs {
+		wantZone := strings.SplitN(r.Vars["region"], "-", 2)[0]
+		if r.Vars["zone"] != wantZone {
+			t.Errorf("run %q zone = %q, want %q", r.Strategy.Name, r.Vars["zone"], wantZone)
+		}
+		if desc := r.Strategy.Automaton.States[0].Description; desc != "rollout in "+wantZone {
+			t.Errorf("run %q description = %q", r.Strategy.Name, desc)
+		}
+	}
+}
+
+func TestTemplateWithoutMatrixExpandsOnce(t *testing.T) {
+	src := strings.Replace(matrixTemplate, "name: canary-${region}-${cohort}", "name: canary", 1)
+	src = strings.Replace(src, "matrix:\n  region: [eu-west, us-east]\n  cohort: [free, paid]\n", "", 1)
+	runs, err := CompileAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].Strategy.Name != "canary" {
+		t.Fatalf("runs = %+v, want one run named canary", runs)
+	}
+	if runs[0].Vars["canary-weight"] != "10" {
+		t.Errorf("vars = %v", runs[0].Vars)
+	}
+}
+
+func TestNonTemplatePreservesSource(t *testing.T) {
+	c, _ := testCompiler()
+	runs, err := c.CompileAll(productStrategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("expanded to %d runs, want 1", len(runs))
+	}
+	if runs[0].Source != productStrategy {
+		t.Error("non-template source was rewritten")
+	}
+	if runs[0].Vars != nil {
+		t.Errorf("non-template vars = %v, want nil", runs[0].Vars)
+	}
+}
+
+func TestCompileRejectsMultiRunTemplate(t *testing.T) {
+	_, err := Compile(matrixTemplate)
+	if err == nil {
+		t.Fatal("Compile accepted a 4-run template")
+	}
+	if !strings.Contains(err.Error(), "CompileAll") {
+		t.Errorf("error does not point at CompileAll: %v", err)
+	}
+}
+
+// templateErr compiles src expecting a CompileError mentioning every want
+// fragment (positions included).
+func templateErr(t *testing.T, src string, want ...string) {
+	t.Helper()
+	_, err := CompileAll(src)
+	if err == nil {
+		t.Fatal("broken template compiled")
+	}
+	var cerr *CompileError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("error is %T, want *CompileError: %v", err, err)
+	}
+	for _, w := range want {
+		if !strings.Contains(err.Error(), w) {
+			t.Errorf("error %q lacks %q", err, w)
+		}
+	}
+}
+
+func TestTemplateEmptyMatrix(t *testing.T) {
+	src := strings.Replace(matrixTemplate,
+		"matrix:\n  region: [eu-west, us-east]\n  cohort: [free, paid]", "matrix: {}", 1)
+	templateErr(t, src, "matrix: declared but empty")
+}
+
+func TestTemplateEmptyAxis(t *testing.T) {
+	src := strings.Replace(matrixTemplate, "cohort: [free, paid]", "cohort: []", 1)
+	templateErr(t, src, "matrix.cohort", "no values")
+}
+
+func TestTemplateDuplicateRunNames(t *testing.T) {
+	// The name references only one of two axes, so expansions collide.
+	src := strings.Replace(matrixTemplate,
+		"name: canary-${region}-${cohort}", "name: canary-${region}", 1)
+	templateErr(t, src, "both expand to name", `"canary-eu-west"`)
+}
+
+func TestTemplateUndefinedVariable(t *testing.T) {
+	src := strings.Replace(matrixTemplate, "duration: 60s",
+		"duration: 60s\n      description: ${no-such-var}", 1)
+	templateErr(t, src, "undefined variable ${no-such-var}", "description")
+}
+
+func TestTemplateTransformCollision(t *testing.T) {
+	src := strings.Replace(matrixTemplate, "vars:", `var-transforms:
+  - from: region
+    match: .*
+    replace: x
+    to: cohort
+vars:`, 1)
+	templateErr(t, src, "var-transforms[0]", `"cohort" collides`)
+}
+
+func TestTemplateTransformFromUndefined(t *testing.T) {
+	src := strings.Replace(matrixTemplate, "vars:", `var-transforms:
+  - from: ghost
+    match: .*
+    replace: x
+    to: zone
+vars:`, 1)
+	templateErr(t, src, "var-transforms[0]", `undefined variable "ghost"`)
+}
+
+func TestTemplateTransformBadPattern(t *testing.T) {
+	src := strings.Replace(matrixTemplate, "vars:", `var-transforms:
+  - from: region
+    match: "(["
+    replace: x
+    to: zone
+vars:`, 1)
+	templateErr(t, src, "var-transforms[0]", "bad match pattern")
+}
+
+func TestTemplateAxisCollidesWithVar(t *testing.T) {
+	src := strings.Replace(matrixTemplate, "canary-weight: 10",
+		"canary-weight: 10\n  region: eu", 1)
+	templateErr(t, src, "matrix.region", "collides with vars.region")
+}
+
+func TestTemplateNonScalarVar(t *testing.T) {
+	src := strings.Replace(matrixTemplate, "canary-weight: 10", "canary-weight: [10]", 1)
+	templateErr(t, src, "vars.canary-weight", "scalar")
+}
+
+func TestTemplateExpansionCap(t *testing.T) {
+	// 17×17 = 289 combinations exceeds the 256-run limit.
+	vals := make([]string, 17)
+	for n := range vals {
+		vals[n] = fmt.Sprintf("v%d", n)
+	}
+	axis := strings.Join(vals, ", ")
+	src := strings.Replace(matrixTemplate,
+		"  region: [eu-west, us-east]\n  cohort: [free, paid]",
+		"  region: ["+axis+"]\n  cohort: ["+axis+"]", 1)
+	templateErr(t, src, "289 runs", "limit 256")
+}
+
+func TestTargetKindValidation(t *testing.T) {
+	cases := []struct {
+		name, patch, want string
+	}{
+		{"unknown kind", "target: carrier-pigeon", `unknown target kind "carrier-pigeon"`},
+		{"command without argv", "target: command", "requires a command argv"},
+		{"command argv on flag", "target: flag\n      command: [deploy.sh]", "only valid with target: command"},
+		{"flag with proxy", "target: flag\n      proxy: 127.0.0.1:8081", "routes client-side"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := strings.Replace(matrixTemplate, "target: flag", tc.patch, 1)
+			templateErr(t, src, tc.want)
+		})
+	}
+}

@@ -20,6 +20,23 @@ import (
 // (cmd wiring passes dsl-based compilation in).
 type CompileFunc func(src string) (*core.Strategy, error)
 
+// ExpandedStrategy is one concrete run produced from a strategy source:
+// template sources (vars/matrix) expand to several, plain sources to one.
+// Source is standalone DSL for exactly this run — it is what the engine
+// journals, so recovery recompiles the concrete run, never the template.
+type ExpandedStrategy struct {
+	Strategy *core.Strategy
+	Source   string
+	// Vars are the template bindings this run was stamped out with (nil
+	// for non-templates); surfaced for labeling and debugging.
+	Vars map[string]string
+}
+
+// ExpandFunc expands DSL source into one or more concrete runs. The API
+// takes it as a dependency for the same reason it takes CompileFunc: the
+// engine package must not import the dsl package.
+type ExpandFunc func(src string) ([]ExpandedStrategy, error)
+
 // API is the engine's REST interface (v2), used by the Bifrost CLI, the
 // dashboard, and any release automation (the paper mentions Jenkins jobs
 // driving the CLI). Runs are first-class lifecycle resources under
@@ -45,11 +62,21 @@ type CompileFunc func(src string) (*core.Strategy, error)
 type API struct {
 	eng     *Engine
 	compile CompileFunc
+	expand  ExpandFunc
 }
 
 // NewAPI wraps an engine in the REST API.
 func NewAPI(eng *Engine, compile CompileFunc) *API {
 	return &API{eng: eng, compile: compile}
+}
+
+// WithExpander enables template scheduling: POST /api/v2/runs expands the
+// source through fn and schedules every resulting run (a matrix template
+// answers with the list of scheduled run statuses). Without an expander,
+// scheduling falls back to single-run compilation.
+func (a *API) WithExpander(fn ExpandFunc) *API {
+	a.expand = fn
+	return a
 }
 
 // ScheduleRequest is the POST /api/v2/runs payload.
@@ -180,30 +207,93 @@ func (a *API) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		a.problem(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
-	strategy, err := a.compile(req.YAML)
+	exps, err := a.expandAll(req.YAML)
 	if err != nil {
 		a.problem(w, http.StatusUnprocessableEntity, CodeCompileFailed, err.Error())
 		return
 	}
 	if isDryRun(r) {
-		report, err := analysis.Analyze(strategy)
+		reports := make([]DryRunResponse, 0, len(exps))
+		for _, ex := range exps {
+			report, err := analysis.Analyze(ex.Strategy)
+			if err != nil {
+				a.problem(w, http.StatusUnprocessableEntity, CodeInvalidStrategy,
+					fmt.Sprintf("run %q: %v", ex.Strategy.Name, err))
+				return
+			}
+			reports = append(reports, DryRunResponse{
+				Strategy: ex.Strategy.Name, Valid: true, Analysis: report,
+			})
+		}
+		if len(reports) == 1 {
+			httpx.WriteJSON(w, http.StatusOK, reports[0])
+		} else {
+			httpx.WriteJSON(w, http.StatusOK, reports)
+		}
+		return
+	}
+	// Each run's own (expanded) source rides into the run journal so a
+	// restarted engine can recompile and resume it standalone.
+	scheduled := make([]*Run, 0, len(exps))
+	for _, ex := range exps {
+		run, err := a.eng.EnactSource(ex.Strategy, ex.Source)
 		if err != nil {
-			a.problem(w, http.StatusUnprocessableEntity, CodeInvalidStrategy, err.Error())
+			// Scheduling a template is atomic: a name clash or shutdown
+			// partway through must not leave half the matrix running.
+			a.unwind(scheduled)
+			if len(scheduled) > 0 {
+				err = fmt.Errorf("run %q: %w (%d already-scheduled sibling run(s) aborted)",
+					ex.Strategy.Name, err, len(scheduled))
+			}
+			a.engineProblem(w, err)
 			return
 		}
-		httpx.WriteJSON(w, http.StatusOK, DryRunResponse{
-			Strategy: strategy.Name, Valid: true, Analysis: report,
-		})
+		scheduled = append(scheduled, run)
+	}
+	if len(scheduled) == 1 {
+		httpx.WriteJSON(w, http.StatusAccepted, scheduled[0].Status())
 		return
 	}
-	// The source rides into the run journal so a restarted engine can
-	// recompile and resume this run.
-	run, err := a.eng.EnactSource(strategy, req.YAML)
+	statuses := make([]Status, 0, len(scheduled))
+	for _, run := range scheduled {
+		statuses = append(statuses, run.Status())
+	}
+	httpx.WriteJSON(w, http.StatusAccepted, statuses)
+}
+
+// expandAll resolves the request source into concrete runs, via the
+// expander when one is wired, else single-run compilation.
+func (a *API) expandAll(src string) ([]ExpandedStrategy, error) {
+	if a.expand != nil {
+		exps, err := a.expand(src)
+		if err != nil {
+			return nil, err
+		}
+		if len(exps) == 0 {
+			return nil, fmt.Errorf("template expanded to no runs")
+		}
+		return exps, nil
+	}
+	s, err := a.compile(src)
 	if err != nil {
-		a.engineProblem(w, err)
-		return
+		return nil, err
 	}
-	httpx.WriteJSON(w, http.StatusAccepted, run.Status())
+	return []ExpandedStrategy{{Strategy: s, Source: src}}, nil
+}
+
+// unwind aborts and removes runs scheduled by a partially failed template
+// schedule, waiting briefly for each abort to land. Best-effort: a run
+// that will not die keeps its journal and is reported by list as aborted.
+func (a *API) unwind(runs []*Run) {
+	for _, run := range runs {
+		run.Abort()
+	}
+	for _, run := range runs {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = run.Wait(ctx)
+		cancel()
+		_ = a.eng.Remove(run.Status().Strategy)
+	}
 }
 
 func (a *API) handleList(w http.ResponseWriter, r *http.Request) {
@@ -501,20 +591,78 @@ func (c *Client) runURL(name string, parts ...string) string {
 	return u
 }
 
-// Schedule submits DSL source for enactment.
+// Schedule submits DSL source expected to enact exactly one run. Matrix
+// templates that stamp out several must use ScheduleAll.
 func (c *Client) Schedule(ctx context.Context, yamlSrc string) (Status, error) {
-	var st Status
-	err := httpx.PostJSON(ctx, c.BaseURL+"/api/v2/runs", ScheduleRequest{YAML: yamlSrc}, &st)
-	return st, err
+	sts, err := c.ScheduleAll(ctx, yamlSrc)
+	if err != nil {
+		return Status{}, err
+	}
+	if len(sts) != 1 {
+		return Status{}, fmt.Errorf("engine: template scheduled %d runs; use ScheduleAll", len(sts))
+	}
+	return sts[0], nil
 }
 
-// DryRun validates DSL source on the engine and returns the analysis report
-// without enacting anything.
+// ScheduleAll submits DSL source for enactment and returns every
+// scheduled run: one for plain strategies, N for matrix templates.
+func (c *Client) ScheduleAll(ctx context.Context, yamlSrc string) ([]Status, error) {
+	var raw json.RawMessage
+	err := httpx.PostJSON(ctx, c.BaseURL+"/api/v2/runs", ScheduleRequest{YAML: yamlSrc}, &raw)
+	if err != nil {
+		return nil, err
+	}
+	return decodeOneOrMany[Status](raw)
+}
+
+// DryRun validates DSL source on the engine and returns the analysis
+// report without enacting anything; templates expanding to several runs
+// return the first run's report (use DryRunAll for all of them).
 func (c *Client) DryRun(ctx context.Context, yamlSrc string) (DryRunResponse, error) {
-	var out DryRunResponse
+	reports, err := c.DryRunAll(ctx, yamlSrc)
+	if err != nil {
+		return DryRunResponse{}, err
+	}
+	return reports[0], nil
+}
+
+// DryRunAll validates DSL source and returns one analysis report per run
+// the source expands to.
+func (c *Client) DryRunAll(ctx context.Context, yamlSrc string) ([]DryRunResponse, error) {
+	var raw json.RawMessage
 	err := httpx.PostJSON(ctx, c.BaseURL+"/api/v2/runs?dry-run=true",
-		ScheduleRequest{YAML: yamlSrc}, &out)
-	return out, err
+		ScheduleRequest{YAML: yamlSrc}, &raw)
+	if err != nil {
+		return nil, err
+	}
+	return decodeOneOrMany[DryRunResponse](raw)
+}
+
+// decodeOneOrMany reads the schedule/dry-run wire format, which is a bare
+// object for single runs (backwards compatible) and an array for
+// templates.
+func decodeOneOrMany[T any](raw json.RawMessage) ([]T, error) {
+	for _, b := range raw {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		case '[':
+			var many []T
+			if err := json.Unmarshal(raw, &many); err != nil {
+				return nil, err
+			}
+			if len(many) == 0 {
+				return nil, fmt.Errorf("engine: empty response")
+			}
+			return many, nil
+		}
+		break
+	}
+	var one T
+	if err := json.Unmarshal(raw, &one); err != nil {
+		return nil, err
+	}
+	return []T{one}, nil
 }
 
 // List returns all run statuses.

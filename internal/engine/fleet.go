@@ -219,6 +219,11 @@ type fleetManager interface {
 	passBudget() time.Duration
 	settled(strategy, service string)
 	forget(strategy string)
+	// withCurrent runs fn only while generation is still the settled
+	// desired generation for the service, holding the manager's state
+	// lock across fn so no state transition can supersede the generation
+	// mid-publish. Reports whether fn ran.
+	withCurrent(strategy, service string, generation int64, fn func()) bool
 }
 
 // FleetOption configures a FleetConfigurator.
@@ -484,6 +489,24 @@ func (fc *FleetConfigurator) settled(strategy, service string) {
 	fc.mu.Unlock()
 }
 
+// withCurrent implements fleetManager: it re-checks, under fc.mu, that
+// generation is still the service's settled desired generation and runs fn
+// while holding the lock, so a state transition cannot supersede the
+// generation between the reconcile pass's filter and the publish. fc.mu →
+// publish-lock is the only ordering between these locks (nothing in the
+// publish pipeline calls back into the fleet manager), so holding fc.mu
+// across fn is deadlock-free.
+func (fc *FleetConfigurator) withCurrent(strategy, service string, generation int64, fn func()) bool {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	fs := fc.fleets[fleetKey{strategy, service}]
+	if fs == nil || fs.settling || fs.cfg.Generation != generation {
+		return false
+	}
+	fn()
+	return true
+}
+
 // forget implements fleetManager: drops a finished strategy's fleets and
 // retires their per-replica generation gauges and re-push counters.
 func (fc *FleetConfigurator) forget(strategy string) {
@@ -578,10 +601,9 @@ func (fc *FleetConfigurator) reconcile(ctx context.Context, strategy string) []F
 	// a superseded (or re-settling, or forgotten) desired state are
 	// dropped — publishing them would degrade the fleet over a
 	// generation nobody wants anymore; the next pass reports the current
-	// one. A transition completing between this filter and the caller's
-	// publish can still slip one stale report through — fully closing
-	// that would couple this lock into the publish pipeline — but the
-	// events carry their Generation and the next pass supersedes them.
+	// one. A transition completing after this filter is caught by the
+	// caller re-checking under withCurrent at publish time, so a stale
+	// report can no longer slip through the filter-to-publish window.
 	fc.mu.Lock()
 	current := out[:0]
 	for _, st := range out {

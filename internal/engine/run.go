@@ -320,7 +320,7 @@ func (r *Run) loop(ctx context.Context) {
 	// or, on suspend, by the deferred stop below.
 	var fm fleetManager
 	stopReconciler := func() {}
-	if m, ok := r.engine.configurator.(fleetManager); ok && strategyHasFleet(r.strategy) {
+	if m, ok := r.engine.configurator.(fleetManager); ok && configuratorTracksFleet(r.engine.configurator, r.strategy) {
 		fm = m
 		rctx, rcancel := context.WithCancel(ctx)
 		rdone := make(chan struct{})
@@ -815,6 +815,18 @@ func strategyHasFleet(s *core.Strategy) bool {
 	return false
 }
 
+// configuratorTracksFleet reports whether the configurator will actually
+// track convergence for this strategy's services. Target-registry
+// configurators know per-service which plugin enacts and whether it
+// reconciles (tracks); plain fleet configurators track exactly the
+// services with proxy endpoints.
+func configuratorTracksFleet(c Configurator, s *core.Strategy) bool {
+	if t, ok := c.(interface{ tracks(*core.Strategy) bool }); ok {
+		return t.tracks(s)
+	}
+	return strategyHasFleet(s)
+}
+
 // reconcileLoop is the run's anti-entropy loop: every reconcile interval
 // it polls the strategy's proxy fleets through the fleet manager (which
 // re-pushes the current generation to lagging or restarted replicas),
@@ -873,16 +885,30 @@ func (r *Run) reconcileLoop(ctx context.Context, fm fleetManager) {
 		for _, rep := range reports {
 			fp := strings.Join(rep.Lagging, ",")
 			prev, known := last[rep.Service]
-			last[rep.Service] = convState{gen: rep.Generation, converged: rep.Converged, lagging: fp}
+			var publish bool
 			switch {
 			case !rep.Converged && (!known || prev.converged ||
 				prev.gen != rep.Generation || prev.lagging != fp):
 				// Newly degraded, a new generation that arrived partial,
 				// or the same degradation moving to different replicas.
-				r.publishFleetEvent(rep, state, "", now)
+				publish = true
 			case rep.Converged && known && !prev.converged:
-				r.publishFleetEvent(rep, state, "", now)
+				publish = true
 			}
+			if publish {
+				// The pass filtered reports against the desired generation,
+				// but a state transition can land between that filter and
+				// here; withCurrent re-checks under the manager's lock so a
+				// superseded report is dropped instead of published. The
+				// skipped `last` update leaves the next pass to evaluate
+				// the current generation from scratch.
+				if !fm.withCurrent(r.strategy.Name, rep.Service, rep.Generation, func() {
+					r.publishFleetEvent(rep, state, "", now)
+				}) {
+					continue
+				}
+			}
+			last[rep.Service] = convState{gen: rep.Generation, converged: rep.Converged, lagging: fp}
 		}
 	}
 }
@@ -926,11 +952,18 @@ func (r *Run) finalFleetCheck(fm fleetManager) {
 			// routing_degraded and a restarted engine reports the finished
 			// run as degraded over replicas that were repaired.
 			if wasDegraded[rep.Service] {
-				r.publishFleetEvent(rep, state, "", now)
+				fm.withCurrent(r.strategy.Name, rep.Service, rep.Generation, func() {
+					r.publishFleetEvent(rep, state, "", now)
+				})
 			}
 			continue
 		}
-		r.publishFleetEvent(rep, state, " as the run ends", now)
+		// Same supersede guard as reconcileLoop: the run loop is done, but
+		// a concurrent Remove + re-enact of the strategy name could have
+		// replaced the desired state this report describes.
+		fm.withCurrent(r.strategy.Name, rep.Service, rep.Generation, func() {
+			r.publishFleetEvent(rep, state, " as the run ends", now)
+		})
 	}
 }
 

@@ -1,0 +1,348 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bifrost/internal/core"
+	"bifrost/internal/target"
+)
+
+// recordingTarget counts Apply/Retire calls and serves canned convergence.
+type recordingTarget struct {
+	applies int32
+	retires int32
+	reports []target.Convergence
+	applyFn func(core.RoutingConfig) error
+}
+
+func (r *recordingTarget) Apply(_ context.Context, _ *core.Strategy, _ *core.State,
+	rc core.RoutingConfig, _ int64) error {
+	atomic.AddInt32(&r.applies, 1)
+	if r.applyFn != nil {
+		return r.applyFn(rc)
+	}
+	return nil
+}
+
+func (r *recordingTarget) Convergence(context.Context, string) []target.Convergence {
+	return r.reports
+}
+
+func (r *recordingTarget) Retire(string) { atomic.AddInt32(&r.retires, 1) }
+
+// settlingTarget additionally implements Settler/Gate/Paced.
+type settlingTarget struct {
+	recordingTarget
+	settledCalls int32
+	gateOK       bool
+	every        time.Duration
+	budget       time.Duration
+}
+
+func (s *settlingTarget) Settled(strategy, service string) { atomic.AddInt32(&s.settledCalls, 1) }
+
+func (s *settlingTarget) WithCurrent(strategy, service string, generation int64, fn func()) bool {
+	if !s.gateOK {
+		return false
+	}
+	fn()
+	return true
+}
+
+func (s *settlingTarget) ReconcileInterval() time.Duration { return s.every }
+func (s *settlingTarget) PassBudget() time.Duration        { return s.budget }
+
+func targetFixtureStrategy() *core.Strategy {
+	return &core.Strategy{
+		Name: "multi-target",
+		Services: []core.Service{
+			{
+				Name:      "shop",
+				ProxyURLs: []string{"r1"},
+				Versions:  []core.Version{{Name: "stable", Endpoint: "127.0.0.1:9001"}},
+			},
+			{
+				Name:     "search",
+				Target:   "flag",
+				Versions: []core.Version{{Name: "stable", Endpoint: "127.0.0.1:9002"}},
+			},
+		},
+	}
+}
+
+func TestTargetConfiguratorDispatchesByKind(t *testing.T) {
+	proxyT := &recordingTarget{}
+	flagT := &settlingTarget{}
+	reg := target.NewRegistry()
+	if err := reg.Register(target.KindProxy, proxyT); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(target.KindFlag, flagT); err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTargetConfigurator(reg)
+	s := targetFixtureStrategy()
+	ctx := context.Background()
+
+	if err := tc.Configure(ctx, s, nil, core.RoutingConfig{Service: "shop",
+		Weights: map[string]float64{"stable": 1}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.Configure(ctx, s, nil, core.RoutingConfig{Service: "search",
+		Weights: map[string]float64{"stable": 1}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if proxyT.applies != 1 || flagT.applies != 1 {
+		t.Errorf("applies = proxy %d, flag %d; want 1 each", proxyT.applies, flagT.applies)
+	}
+
+	// settled routes only to the owning target that implements Settler.
+	tc.settled("multi-target", "shop")
+	tc.settled("multi-target", "search")
+	if flagT.settledCalls != 1 {
+		t.Errorf("flag settled calls = %d, want 1", flagT.settledCalls)
+	}
+
+	// forget retires every owner once and drops ownership.
+	tc.forget("multi-target")
+	if proxyT.retires != 1 || flagT.retires != 1 {
+		t.Errorf("retires = proxy %d, flag %d; want 1 each", proxyT.retires, flagT.retires)
+	}
+	if got := tc.ownerOf("multi-target", "shop"); got != nil {
+		t.Errorf("owner survives forget: %v", got)
+	}
+}
+
+func TestTargetConfiguratorUnknownKind(t *testing.T) {
+	tc := NewTargetConfigurator(target.NewRegistry())
+	s := targetFixtureStrategy()
+	err := tc.Configure(context.Background(), s, nil,
+		core.RoutingConfig{Service: "search", Weights: map[string]float64{"stable": 1}}, 1)
+	if err == nil {
+		t.Fatal("unregistered kind configured")
+	}
+	if want := `kind "flag"`; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q lacks %q", err, want)
+	}
+}
+
+func TestTargetConfiguratorAggregatesConvergence(t *testing.T) {
+	proxyT := &recordingTarget{reports: []target.Convergence{
+		{Service: "shop", Generation: 3, Replicas: 3, Acked: 3, Converged: true},
+	}}
+	flagT := &settlingTarget{recordingTarget: recordingTarget{reports: []target.Convergence{
+		{Service: "search", Generation: 3, Replicas: 2, Acked: 1, Lagging: []string{"sdk-1"}},
+	}}}
+	reg := target.NewRegistry()
+	reg.Register(target.KindProxy, proxyT)
+	reg.Register(target.KindFlag, flagT)
+	tc := NewTargetConfigurator(reg)
+	s := targetFixtureStrategy()
+	ctx := context.Background()
+	rc := core.RoutingConfig{Weights: map[string]float64{"stable": 1}}
+	for _, svc := range []string{"shop", "search"} {
+		rc.Service = svc
+		if err := tc.Configure(ctx, s, nil, rc, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := tc.reconcile(ctx, "multi-target")
+	if len(got) != 2 {
+		t.Fatalf("reconcile reports = %+v, want 2", got)
+	}
+	// Merged across targets, sorted by service.
+	if got[0].Service != "search" || got[0].Acked != 1 || got[0].Lagging[0] != "sdk-1" {
+		t.Errorf("search report = %+v", got[0])
+	}
+	if got[1].Service != "shop" || !got[1].Converged {
+		t.Errorf("shop report = %+v", got[1])
+	}
+}
+
+func TestTargetConfiguratorPacing(t *testing.T) {
+	fast := &settlingTarget{every: 2 * time.Second, budget: 1 * time.Second}
+	slow := &settlingTarget{every: 8 * time.Second, budget: 6 * time.Second}
+	reg := target.NewRegistry()
+	reg.Register(target.KindFlag, fast)
+	reg.Register(target.KindCommand, slow)
+	tc := NewTargetConfigurator(reg)
+	if got := tc.reconcileInterval(); got != 2*time.Second {
+		t.Errorf("reconcileInterval = %v, want fastest (2s)", got)
+	}
+	if got := tc.passBudget(); got != 6*time.Second {
+		t.Errorf("passBudget = %v, want largest (6s)", got)
+	}
+
+	// No paced targets → defaults.
+	empty := NewTargetConfigurator(target.NewRegistry())
+	if got := empty.reconcileInterval(); got != 10*time.Second {
+		t.Errorf("default reconcileInterval = %v", got)
+	}
+	if got := empty.passBudget(); got != 10*time.Second {
+		t.Errorf("default passBudget = %v", got)
+	}
+}
+
+func TestTargetConfiguratorWithCurrent(t *testing.T) {
+	gated := &settlingTarget{gateOK: false}
+	plain := &recordingTarget{}
+	reg := target.NewRegistry()
+	reg.Register(target.KindFlag, gated)
+	reg.Register(target.KindProxy, plain)
+	tc := NewTargetConfigurator(reg)
+	s := targetFixtureStrategy()
+	ctx := context.Background()
+	rc := core.RoutingConfig{Weights: map[string]float64{"stable": 1}}
+	for _, svc := range []string{"shop", "search"} {
+		rc.Service = svc
+		if err := tc.Configure(ctx, s, nil, rc, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// No owner → publish refused.
+	if tc.withCurrent("multi-target", "ghost", 1, func() {}) {
+		t.Error("withCurrent succeeded for unowned service")
+	}
+	// Gated owner refusing → refused, fn not run.
+	ran := false
+	if tc.withCurrent("multi-target", "search", 1, func() { ran = true }) || ran {
+		t.Error("stale gate let the publish through")
+	}
+	gated.gateOK = true
+	if !tc.withCurrent("multi-target", "search", 1, func() { ran = true }) || !ran {
+		t.Error("current gate refused the publish")
+	}
+	// Owner without a Gate → publish as-is.
+	ran = false
+	if !tc.withCurrent("multi-target", "shop", 1, func() { ran = true }) || !ran {
+		t.Error("gate-less owner refused the publish")
+	}
+}
+
+func TestTargetConfiguratorTracks(t *testing.T) {
+	reg := target.NewRegistry()
+	reg.Register(target.KindProxy, &settlingTarget{})
+	reg.Register(target.KindFlag, &settlingTarget{})
+	reg.Register(target.KindCommand, &recordingTarget{})
+	tc := NewTargetConfigurator(reg)
+
+	// flag services track regardless of proxy endpoints.
+	if !tc.tracks(targetFixtureStrategy()) {
+		t.Error("flag-target strategy not tracked")
+	}
+	// proxy services track only with declared endpoints.
+	proxyOnly := &core.Strategy{Name: "p", Services: []core.Service{{
+		Name: "s", Versions: []core.Version{{Name: "v", Endpoint: "e:1"}},
+	}}}
+	if tc.tracks(proxyOnly) {
+		t.Error("endpoint-less proxy service tracked")
+	}
+	proxyOnly.Services[0].ProxyURLs = []string{"r1"}
+	if !tc.tracks(proxyOnly) {
+		t.Error("proxy fleet service not tracked")
+	}
+	// command services never track: the runner reports no convergence.
+	cmd := &core.Strategy{Name: "c", Services: []core.Service{{
+		Name: "s", Target: "command", Command: []string{"true"},
+		Versions: []core.Version{{Name: "v", Endpoint: "e:1"}},
+	}}}
+	if tc.tracks(cmd) {
+		t.Error("command-target strategy tracked")
+	}
+}
+
+// TestProxyTargetMatchesFleetConfigurator proves the "proxy" plugin is the
+// existing fleet delivery with zero behavior change: Apply pushes to every
+// replica, Convergence mirrors the configurator's reconcile pass, and the
+// gate honors generation currency.
+func TestProxyTargetMatchesFleetConfigurator(t *testing.T) {
+	s, rc, replicas, dial := fleetFixture()
+	fc := NewFleetConfigurator(dial, FleetRetry(fastRetry()))
+	pt := NewProxyTarget(fc)
+	ctx := context.Background()
+
+	if err := pt.Apply(ctx, s, nil, rc, 1); err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range replicas {
+		if r.generation() != 1 {
+			t.Errorf("replica %s at generation %d, want 1", name, r.generation())
+		}
+	}
+	pt.Settled(s.Name, "shop")
+	reports := pt.Convergence(ctx, s.Name)
+	if len(reports) != 1 {
+		t.Fatalf("convergence = %+v, want one service", reports)
+	}
+	rep := reports[0]
+	if rep.Service != "shop" || rep.Generation != 1 || rep.Replicas != 3 ||
+		rep.Acked != 3 || !rep.Converged {
+		t.Errorf("report = %+v", rep)
+	}
+
+	if !pt.WithCurrent(s.Name, "shop", 1, func() {}) {
+		t.Error("gate refused the current generation")
+	}
+	if pt.WithCurrent(s.Name, "shop", 99, func() {}) {
+		t.Error("gate accepted a foreign generation")
+	}
+
+	pt.Retire(s.Name)
+	if got := pt.Convergence(ctx, s.Name); len(got) != 0 {
+		t.Errorf("convergence after retire = %+v", got)
+	}
+}
+
+// TestFleetWithCurrentStaleGeneration is the regression test for the
+// stale-report race: a convergence report snapshotted for generation N
+// must not publish once generation N+1 has superseded it — withCurrent
+// re-checks currency under the same lock Configure takes.
+func TestFleetWithCurrentStaleGeneration(t *testing.T) {
+	s, rc, _, dial := fleetFixture()
+	fc := NewFleetConfigurator(dial, FleetRetry(fastRetry()))
+	ctx := context.Background()
+
+	if err := fc.Configure(ctx, s, nil, rc, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-settling (routing_applied not journaled yet): no publishes.
+	if fc.withCurrent(s.Name, "shop", 1, func() {}) {
+		t.Error("withCurrent passed while settling")
+	}
+	fc.settled(s.Name, "shop")
+	ran := false
+	if !fc.withCurrent(s.Name, "shop", 1, func() { ran = true }) || !ran {
+		t.Error("withCurrent refused the settled current generation")
+	}
+
+	// Generation 2 supersedes 1 — exactly the filter-to-publish window the
+	// race lived in: a pass that snapshotted gen-1 reports must now find
+	// the gate closed.
+	if err := fc.Configure(ctx, s, nil, rc, 2); err != nil {
+		t.Fatal(err)
+	}
+	ran = false
+	if fc.withCurrent(s.Name, "shop", 1, func() { ran = true }) || ran {
+		t.Error("stale generation-1 report slipped through the publish gate")
+	}
+	// And the new generation stays gated until it settles.
+	if fc.withCurrent(s.Name, "shop", 2, func() {}) {
+		t.Error("withCurrent passed for a still-settling generation")
+	}
+	fc.settled(s.Name, "shop")
+	if !fc.withCurrent(s.Name, "shop", 2, func() {}) {
+		t.Error("withCurrent refused the new settled generation")
+	}
+
+	// Unknown fleets never publish.
+	if fc.withCurrent(s.Name, "ghost", 1, func() {}) {
+		t.Error("withCurrent passed for unknown service")
+	}
+}

@@ -1,0 +1,186 @@
+// Flag-vs-proxy data-plane bench (BENCH_7.json): how much a routing
+// decision costs when it is evaluated inside the application by the
+// bifrost/flag SDK, versus paying a full HTTP hop through a Bifrost proxy,
+// versus the direct-to-backend baseline. The flag target's pitch is "the
+// proxy's decide logic without the proxy's network hop" — this benchmark
+// puts a number on it on the committing machine.
+
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"bifrost/flag"
+	"bifrost/internal/httpx"
+	"bifrost/internal/proxy"
+)
+
+// FlagBenchConfig sizes the flag-vs-proxy micro-benchmarks. The zero value
+// is filled with defaults for a committed baseline run; CI smoke passes
+// tiny counts.
+type FlagBenchConfig struct {
+	// Decisions is the number of SDK Decide calls timed (pure in-process
+	// evaluation, sticky cohort hashing).
+	Decisions int `json:"decisions"`
+	// Requests is the number of HTTP requests timed per data plane
+	// (direct to the backend, and through a Bifrost proxy).
+	Requests int `json:"requests"`
+}
+
+func (c FlagBenchConfig) withDefaults() FlagBenchConfig {
+	if c.Decisions <= 0 {
+		c.Decisions = 2_000_000
+	}
+	if c.Requests <= 0 {
+		c.Requests = 5_000
+	}
+	return c
+}
+
+// FlagBenchResult is the committed BENCH_7.json shape.
+type FlagBenchResult struct {
+	Config FlagBenchConfig `json:"config"`
+
+	// Flag SDK: cost of one client-side routing decision.
+	FlagDecideNsPerOp   float64 `json:"flagDecideNsPerOp"`
+	FlagDecisionsPerSec float64 `json:"flagDecisionsPerSec"`
+
+	// Direct baseline: request straight to the backend, no routing layer.
+	DirectMeanMs float64 `json:"directMeanMs"`
+	DirectP99Ms  float64 `json:"directP99Ms"`
+
+	// Proxy hop: the same request through a sticky Bifrost proxy.
+	ProxyMeanMs float64 `json:"proxyMeanMs"`
+	ProxyP99Ms  float64 `json:"proxyP99Ms"`
+
+	// ProxyHopOverheadMs is proxy mean minus direct mean: the network +
+	// forwarding cost a flag-evaluated service never pays per request.
+	ProxyHopOverheadMs float64 `json:"proxyHopOverheadMs"`
+}
+
+// RunFlagBench measures the three data planes a strategy can route
+// through: in-process flag decisions, direct backend requests, and the
+// proxy hop.
+func RunFlagBench(cfg FlagBenchConfig) (*FlagBenchResult, error) {
+	cfg = cfg.withDefaults()
+	res := &FlagBenchResult{Config: cfg}
+
+	// --- Flag SDK decide path: sticky evaluation over a 90/10 split,
+	// identical hashing to the proxy's cohort assignment.
+	sdk := &flag.Client{Service: "bench"}
+	err := sdk.Load(flag.Ruleset{
+		Service: "bench", Strategy: "bench7", Generation: 1, Sticky: true,
+		Variants: []flag.Variant{
+			{Name: "stable", Endpoint: "http://127.0.0.1:9101", Weight: 0.9},
+			{Name: "canary", Endpoint: "http://127.0.0.1:9102", Weight: 0.1},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	users := make([]string, 4096)
+	for i := range users {
+		users[i] = fmt.Sprintf("user-%d", i)
+	}
+	start := time.Now()
+	for i := 0; i < cfg.Decisions; i++ {
+		if _, ok := sdk.Decide(users[i&(len(users)-1)]); !ok {
+			return nil, fmt.Errorf("flagbench: no decision")
+		}
+	}
+	elapsed := time.Since(start)
+	res.FlagDecideNsPerOp = float64(elapsed.Nanoseconds()) / float64(cfg.Decisions)
+	res.FlagDecisionsPerSec = float64(cfg.Decisions) / elapsed.Seconds()
+
+	// --- Backend shared by both HTTP planes.
+	backend, err := httpx.NewServer("127.0.0.1:0", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte("ok"))
+		}))
+	if err != nil {
+		return nil, err
+	}
+	backend.Start()
+	defer shutdownServer(backend)
+
+	p, err := proxy.New("bench", proxy.Config{
+		Service: "bench", Generation: 1, Sticky: true,
+		Backends: []proxy.Backend{{Version: "stable", URL: backend.URL(), Weight: 1}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	proxySrv, err := httpx.NewServer("127.0.0.1:0", p)
+	if err != nil {
+		return nil, err
+	}
+	proxySrv.Start()
+	defer shutdownServer(proxySrv)
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	res.DirectMeanMs, res.DirectP99Ms, err = timeRequests(client, backend.URL(), cfg.Requests)
+	if err != nil {
+		return nil, err
+	}
+	res.ProxyMeanMs, res.ProxyP99Ms, err = timeRequests(client, proxySrv.URL(), cfg.Requests)
+	if err != nil {
+		return nil, err
+	}
+	res.ProxyHopOverheadMs = res.ProxyMeanMs - res.DirectMeanMs
+	return res, nil
+}
+
+func shutdownServer(s *httpx.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = s.Shutdown(ctx)
+}
+
+// timeRequests issues n sequential GETs (after a small warmup) and
+// reports mean and p99 latency in milliseconds.
+func timeRequests(client *http.Client, url string, n int) (mean, p99 float64, err error) {
+	doOne := func() error {
+		resp, err := client.Get(url)
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.Body.Close()
+	}
+	warm := 16
+	if warm > n {
+		warm = n
+	}
+	for i := 0; i < warm; i++ {
+		if err := doOne(); err != nil {
+			return 0, 0, err
+		}
+	}
+	lat := make([]float64, n)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if err := doOne(); err != nil {
+			return 0, 0, err
+		}
+		lat[i] = float64(time.Since(start).Microseconds()) / 1000.0
+	}
+	sort.Float64s(lat)
+	var sum float64
+	for _, v := range lat {
+		sum += v
+	}
+	return sum / float64(n), lat[(n-1)*99/100], nil
+}
+
+// WriteJSON emits the result as indented JSON (the BENCH_7.json format).
+func (r *FlagBenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,131 @@
+// Package command is the shell-out enactment target: services declare an
+// argv in their deployment (`target: command` + `command: [prog, args…]`)
+// and the runner invokes it on every state entry with the rendered
+// routing state on stdin and identifying environment variables — a
+// declarative escape hatch to external control planes (kubectl apply,
+// an Envoy xDS bridge, a vendor flag API) without teaching the engine
+// their protocols.
+package command
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+
+	"bifrost/internal/core"
+	"bifrost/internal/target"
+)
+
+// Invocation is the JSON document written to the command's stdin: the
+// routing state of one service in one strategy state.
+type Invocation struct {
+	Strategy   string            `json:"strategy"`
+	Service    string            `json:"service"`
+	State      string            `json:"state"`
+	Generation int64             `json:"generation"`
+	Sticky     bool              `json:"sticky"`
+	Mode       string            `json:"mode,omitempty"` // "" or "header"
+	Header     string            `json:"header,omitempty"`
+	Variants   []Variant         `json:"variants"`
+	Shadows    []core.ShadowRule `json:"shadows,omitempty"`
+}
+
+// Variant is one routable version with its normalized traffic share.
+type Variant struct {
+	Name     string  `json:"name"`
+	Endpoint string  `json:"endpoint"`
+	Weight   float64 `json:"weight"`
+}
+
+// Runner implements target.Target by executing each service's declared
+// command. Commands are expected to be idempotent: the engine re-invokes
+// them on recovery re-entries exactly as it re-pushes proxy configs.
+type Runner struct {
+	// Timeout bounds one invocation (default 30s).
+	Timeout time.Duration
+}
+
+var _ target.Target = (*Runner)(nil)
+
+// Apply implements target.Target.
+func (r *Runner) Apply(ctx context.Context, s *core.Strategy, state *core.State,
+	rc core.RoutingConfig, generation int64) error {
+
+	svc, ok := s.FindService(rc.Service)
+	if !ok {
+		return fmt.Errorf("command: routing for unknown service %q", rc.Service)
+	}
+	if len(svc.Command) == 0 {
+		return fmt.Errorf("command: service %q declares no command", rc.Service)
+	}
+	inv := Invocation{
+		Strategy:   s.Name,
+		Service:    rc.Service,
+		Generation: generation,
+		Sticky:     rc.Sticky,
+		Shadows:    rc.Shadows,
+	}
+	if state != nil {
+		inv.State = state.ID
+	}
+	if rc.Mode == core.RouteHeader {
+		inv.Mode = "header"
+		inv.Header = rc.Header
+	}
+	names, shares, err := rc.NormalizedWeights()
+	if err != nil {
+		return fmt.Errorf("command: %w", err)
+	}
+	for i, name := range names {
+		v, ok := svc.FindVersion(name)
+		if !ok {
+			return fmt.Errorf("command: unknown version %q of %q", name, rc.Service)
+		}
+		inv.Variants = append(inv.Variants, Variant{
+			Name: name, Endpoint: v.Endpoint, Weight: shares[i],
+		})
+	}
+	payload, err := json.Marshal(inv)
+	if err != nil {
+		return fmt.Errorf("command: encode invocation: %w", err)
+	}
+
+	timeout := r.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	cctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	cmd := exec.CommandContext(cctx, svc.Command[0], svc.Command[1:]...)
+	// Grandchildren inheriting the output pipe must not stall the engine
+	// past the deadline: give up on their output shortly after the kill.
+	cmd.WaitDelay = time.Second
+	cmd.Stdin = bytes.NewReader(payload)
+	cmd.Env = append(os.Environ(),
+		"BIFROST_STRATEGY="+s.Name,
+		"BIFROST_SERVICE="+rc.Service,
+		"BIFROST_STATE="+inv.State,
+		fmt.Sprintf("BIFROST_GENERATION=%d", generation),
+	)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		msg := string(bytes.TrimSpace(out))
+		if msg != "" {
+			return fmt.Errorf("command: %q for service %q: %w: %s",
+				svc.Command[0], rc.Service, err, msg)
+		}
+		return fmt.Errorf("command: %q for service %q: %w", svc.Command[0], rc.Service, err)
+	}
+	return nil
+}
+
+// Convergence implements target.Target: external control planes own their
+// convergence story; the runner has nothing to observe.
+func (r *Runner) Convergence(context.Context, string) []target.Convergence { return nil }
+
+// Retire implements target.Target.
+func (r *Runner) Retire(string) {}

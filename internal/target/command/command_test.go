@@ -1,0 +1,129 @@
+package command
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bifrost/internal/core"
+)
+
+func commandStrategy(argv ...string) (*core.Strategy, core.RoutingConfig) {
+	s := &core.Strategy{
+		Name: "cmd-unit",
+		Services: []core.Service{{
+			Name:    "search",
+			Target:  "command",
+			Command: argv,
+			Versions: []core.Version{
+				{Name: "canary", Endpoint: "127.0.0.1:9102"},
+				{Name: "stable", Endpoint: "127.0.0.1:9101"},
+			},
+		}},
+	}
+	rc := core.RoutingConfig{
+		Service: "search",
+		Sticky:  true,
+		Weights: map[string]float64{"stable": 75, "canary": 25},
+	}
+	return s, rc
+}
+
+func TestRunnerInvocationPayload(t *testing.T) {
+	dir := t.TempDir()
+	outFile := filepath.Join(dir, "invocation.json")
+	envFile := filepath.Join(dir, "env.txt")
+	// The command receives the rendered routing state on stdin and the
+	// identifying variables in its environment.
+	script := "cat > " + outFile + "; printf '%s %s %s %s' " +
+		"\"$BIFROST_STRATEGY\" \"$BIFROST_SERVICE\" \"$BIFROST_STATE\" \"$BIFROST_GENERATION\" > " + envFile
+
+	s, rc := commandStrategy("/bin/sh", "-c", script)
+	r := &Runner{}
+	state := &core.State{ID: "canary-phase"}
+	if err := r.Apply(context.Background(), s, state, rc, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inv Invocation
+	if err := json.Unmarshal(raw, &inv); err != nil {
+		t.Fatalf("stdin was not invocation JSON: %v\n%s", err, raw)
+	}
+	if inv.Strategy != "cmd-unit" || inv.Service != "search" ||
+		inv.State != "canary-phase" || inv.Generation != 7 || !inv.Sticky {
+		t.Errorf("invocation = %+v", inv)
+	}
+	// Variants in sorted order with normalized weights.
+	if len(inv.Variants) != 2 ||
+		inv.Variants[0] != (Variant{Name: "canary", Endpoint: "127.0.0.1:9102", Weight: 0.25}) ||
+		inv.Variants[1] != (Variant{Name: "stable", Endpoint: "127.0.0.1:9101", Weight: 0.75}) {
+		t.Errorf("variants = %+v", inv.Variants)
+	}
+
+	env, err := os.ReadFile(envFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(env); got != "cmd-unit search canary-phase 7" {
+		t.Errorf("env = %q", got)
+	}
+}
+
+func TestRunnerFailureCarriesOutput(t *testing.T) {
+	s, rc := commandStrategy("/bin/sh", "-c", "echo kubectl apply refused >&2; exit 3")
+	err := (&Runner{}).Apply(context.Background(), s, nil, rc, 1)
+	if err == nil {
+		t.Fatal("failing command applied")
+	}
+	for _, want := range []string{"kubectl apply refused", "search", "exit status 3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q lacks %q", err, want)
+		}
+	}
+}
+
+func TestRunnerTimeout(t *testing.T) {
+	s, rc := commandStrategy("/bin/sh", "-c", "sleep 10")
+	r := &Runner{Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	err := r.Apply(context.Background(), s, nil, rc, 1)
+	if err == nil {
+		t.Fatal("hung command applied")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Errorf("timeout not enforced: took %v", time.Since(start))
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	s, rc := commandStrategy()
+	if err := (&Runner{}).Apply(context.Background(), s, nil, rc, 1); err == nil {
+		t.Error("service without argv applied")
+	}
+	s, rc = commandStrategy("/bin/true")
+	rc.Service = "ghost"
+	if err := (&Runner{}).Apply(context.Background(), s, nil, rc, 1); err == nil {
+		t.Error("unknown service applied")
+	}
+	s, rc = commandStrategy("/bin/true")
+	rc.Weights = map[string]float64{"nope": 1}
+	if err := (&Runner{}).Apply(context.Background(), s, nil, rc, 1); err == nil {
+		t.Error("unknown version applied")
+	}
+}
+
+func TestRunnerNoConvergenceStory(t *testing.T) {
+	r := &Runner{}
+	if got := r.Convergence(context.Background(), "cmd-unit"); got != nil {
+		t.Errorf("convergence = %+v, want nil", got)
+	}
+	r.Retire("cmd-unit") // no-op, must not panic
+}

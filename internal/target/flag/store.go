@@ -1,0 +1,299 @@
+// Package flag is the engine-side half of the feature-flag enactment
+// target: a Store that renders each routing config into a Ruleset, serves
+// it over HTTP to bifrost/flag SDK clients, and reports convergence from
+// the generations those clients have actually polled — so a flag-targeted
+// service surfaces through Status.Fleet and routing_degraded /
+// routing_converged exactly like a proxy fleet does.
+package flag
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	publicflag "bifrost/flag"
+	"bifrost/internal/clock"
+	"bifrost/internal/core"
+	"bifrost/internal/httpx"
+	"bifrost/internal/target"
+)
+
+// CodeNoRuleset is the problem code returned when no ruleset is active
+// for a polled service.
+const CodeNoRuleset = "no_ruleset"
+
+// Store implements target.Target for the "flag" kind.
+type Store struct {
+	clk clock.Clock
+	// ttl bounds how long a silent SDK instance still counts as a live
+	// replica in convergence reports.
+	ttl time.Duration
+	// every / budget pace the engine's reconcile loop for this target.
+	every  time.Duration
+	budget time.Duration
+
+	mu       sync.Mutex
+	services map[string]*entry // by service name
+}
+
+// entry is the active ruleset for one service plus the SDK instances that
+// have polled it.
+type entry struct {
+	strategy string
+	set      publicflag.Ruleset
+	// settling suppresses convergence reports between Apply and Settled,
+	// mirroring the proxy fleet: a degraded event must never be journaled
+	// ahead of the generation's routing_applied.
+	settling  bool
+	instances map[string]*instanceState
+}
+
+type instanceState struct {
+	gen  int64
+	seen time.Time
+}
+
+var (
+	_ target.Target      = (*Store)(nil)
+	_ target.Settler     = (*Store)(nil)
+	_ target.Gate        = (*Store)(nil)
+	_ target.Paced       = (*Store)(nil)
+	_ target.ClockBinder = (*Store)(nil)
+)
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithInstanceTTL sets the liveness horizon for SDK instances
+// (default 30s): an instance silent longer than this stops counting as a
+// replica.
+func WithInstanceTTL(d time.Duration) Option {
+	return func(s *Store) {
+		if d > 0 {
+			s.ttl = d
+		}
+	}
+}
+
+// WithReconcileInterval sets the convergence-report cadence (default 10s).
+func WithReconcileInterval(d time.Duration) Option {
+	return func(s *Store) {
+		if d > 0 {
+			s.every = d
+		}
+	}
+}
+
+// NewStore creates an empty flag store.
+func NewStore(opts ...Option) *Store {
+	s := &Store{
+		clk:      clock.Real{},
+		ttl:      30 * time.Second,
+		every:    10 * time.Second,
+		budget:   2 * time.Second,
+		services: make(map[string]*entry, 4),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// BindClock implements target.ClockBinder.
+func (s *Store) BindClock(clk clock.Clock) {
+	s.mu.Lock()
+	s.clk = clk
+	s.mu.Unlock()
+}
+
+// Apply implements target.Target: render the routing config into a
+// ruleset and make it the service's current one. Rendering is
+// deterministic (variants in sorted version order) for stable wire bytes.
+func (s *Store) Apply(ctx context.Context, strat *core.Strategy, state *core.State,
+	rc core.RoutingConfig, generation int64) error {
+
+	set, err := RenderRuleset(strat, rc, generation)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	prev := s.services[rc.Service]
+	e := &entry{
+		strategy:  strat.Name,
+		set:       set,
+		settling:  true,
+		instances: make(map[string]*instanceState, 4),
+	}
+	if prev != nil {
+		// Instances survive reconfiguration: they keep the generation they
+		// last polled and show as lagging until they poll the new one.
+		e.instances = prev.instances
+	}
+	s.services[rc.Service] = e
+	s.mu.Unlock()
+	return nil
+}
+
+// RenderRuleset materializes a routing config into the SDK wire format,
+// resolving version names to endpoints the way the proxy configurator
+// does (scheme defaulting included).
+func RenderRuleset(strat *core.Strategy, rc core.RoutingConfig, generation int64) (publicflag.Ruleset, error) {
+	svc, ok := strat.FindService(rc.Service)
+	if !ok {
+		return publicflag.Ruleset{}, fmt.Errorf("flag: routing for unknown service %q", rc.Service)
+	}
+	names, shares, err := rc.NormalizedWeights()
+	if err != nil {
+		return publicflag.Ruleset{}, fmt.Errorf("flag: %w", err)
+	}
+	set := publicflag.Ruleset{
+		Service:    rc.Service,
+		Strategy:   strat.Name,
+		Generation: generation,
+		Sticky:     rc.Sticky,
+	}
+	if rc.Mode == core.RouteHeader {
+		set.Mode = "header"
+		set.Header = rc.Header
+	}
+	for i, name := range names {
+		v, ok := svc.FindVersion(name)
+		if !ok {
+			return publicflag.Ruleset{}, fmt.Errorf("flag: unknown version %q of %q", name, rc.Service)
+		}
+		set.Variants = append(set.Variants, publicflag.Variant{
+			Name:     name,
+			Endpoint: endpointURL(v.Endpoint),
+			Weight:   shares[i],
+		})
+	}
+	return set, nil
+}
+
+func endpointURL(endpoint string) string {
+	if strings.Contains(endpoint, "://") {
+		return endpoint
+	}
+	return "http://" + endpoint
+}
+
+// Convergence implements target.Target: for each of the strategy's
+// settled services, report how many live SDK instances have polled the
+// current generation. Services no instance has polled recently report
+// nothing — there is no fleet to speak about yet.
+func (s *Store) Convergence(ctx context.Context, strategy string) []target.Convergence {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clk.Now()
+	var out []target.Convergence
+	for service, e := range s.services {
+		if e.strategy != strategy || e.settling {
+			continue
+		}
+		c := target.Convergence{Service: service, Generation: e.set.Generation}
+		for id, inst := range e.instances {
+			if now.Sub(inst.seen) > s.ttl {
+				continue
+			}
+			c.Replicas++
+			if inst.gen >= e.set.Generation {
+				c.Acked++
+			} else {
+				c.Lagging = append(c.Lagging, id)
+			}
+		}
+		if c.Replicas == 0 {
+			continue
+		}
+		sort.Strings(c.Lagging)
+		c.Converged = c.Acked == c.Replicas
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Service < out[j].Service })
+	return out
+}
+
+// Retire implements target.Target.
+func (s *Store) Retire(strategy string) {
+	s.mu.Lock()
+	for service, e := range s.services {
+		if e.strategy == strategy {
+			delete(s.services, service)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Settled implements target.Settler.
+func (s *Store) Settled(strategy, service string) {
+	s.mu.Lock()
+	if e := s.services[service]; e != nil && e.strategy == strategy {
+		e.settling = false
+	}
+	s.mu.Unlock()
+}
+
+// WithCurrent implements target.Gate: fn runs under the store lock only
+// while generation is still the service's settled current ruleset, so a
+// convergence report about a superseded ruleset is dropped at publish.
+func (s *Store) WithCurrent(strategy, service string, generation int64, fn func()) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.services[service]
+	if e == nil || e.strategy != strategy || e.settling || e.set.Generation != generation {
+		return false
+	}
+	fn()
+	return true
+}
+
+// ReconcileInterval implements target.Paced.
+func (s *Store) ReconcileInterval() time.Duration { return s.every }
+
+// PassBudget implements target.Paced. Convergence is a pure in-memory
+// sweep, so the budget only needs to cover lock contention.
+func (s *Store) PassBudget() time.Duration { return s.budget }
+
+// Handler serves rulesets to SDK clients: GET /{service} returns the
+// service's current ruleset and records the polling instance (from the
+// X-Bifrost-Flag-Instance header) as holding that generation.
+func (s *Store) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpx.WriteProblem(w, httpx.Problem{
+				Status: http.StatusMethodNotAllowed, Code: "method_not_allowed",
+			})
+			return
+		}
+		service := strings.Trim(r.URL.Path, "/")
+		if service == "" || strings.Contains(service, "/") {
+			httpx.WriteProblem(w, httpx.Problem{
+				Status: http.StatusNotFound, Code: CodeNoRuleset,
+				Detail: "expected /{service}",
+			})
+			return
+		}
+		s.mu.Lock()
+		e := s.services[service]
+		if e == nil {
+			s.mu.Unlock()
+			httpx.WriteProblem(w, httpx.Problem{
+				Status: http.StatusNotFound, Code: CodeNoRuleset,
+				Detail: fmt.Sprintf("no active ruleset for service %q", service),
+			})
+			return
+		}
+		set := e.set
+		if id := r.Header.Get(publicflag.InstanceHeader); id != "" {
+			// The instance holds this generation once it reads the body;
+			// recording at serve time is the convergence ack.
+			e.instances[id] = &instanceState{gen: set.Generation, seen: s.clk.Now()}
+		}
+		s.mu.Unlock()
+		httpx.WriteJSON(w, http.StatusOK, set)
+	})
+}

@@ -1,0 +1,236 @@
+package flag
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	publicflag "bifrost/flag"
+	"bifrost/internal/clock"
+	"bifrost/internal/core"
+	"bifrost/internal/httpx"
+)
+
+func storeStrategy() (*core.Strategy, core.RoutingConfig) {
+	s := &core.Strategy{
+		Name: "flag-unit",
+		Services: []core.Service{{
+			Name:   "search",
+			Target: "flag",
+			Versions: []core.Version{
+				{Name: "canary", Endpoint: "127.0.0.1:9102"},
+				{Name: "stable", Endpoint: "https://stable.internal"},
+			},
+		}},
+	}
+	rc := core.RoutingConfig{
+		Service: "search",
+		Sticky:  true,
+		Weights: map[string]float64{"stable": 90, "canary": 10},
+	}
+	return s, rc
+}
+
+func TestRenderRulesetDeterministic(t *testing.T) {
+	s, rc := storeStrategy()
+	set, err := RenderRuleset(s, rc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Service != "search" || set.Strategy != "flag-unit" || set.Generation != 7 || !set.Sticky {
+		t.Errorf("ruleset header = %+v", set)
+	}
+	// Variants in sorted version order, weights normalized, endpoints
+	// scheme-defaulted like the proxy configurator.
+	want := []publicflag.Variant{
+		{Name: "canary", Endpoint: "http://127.0.0.1:9102", Weight: 0.1},
+		{Name: "stable", Endpoint: "https://stable.internal", Weight: 0.9},
+	}
+	if !reflect.DeepEqual(set.Variants, want) {
+		t.Errorf("variants = %+v, want %+v", set.Variants, want)
+	}
+	again, _ := RenderRuleset(s, rc, 7)
+	if !reflect.DeepEqual(set, again) {
+		t.Error("repeated renders differ")
+	}
+}
+
+func TestRenderRulesetErrors(t *testing.T) {
+	s, rc := storeStrategy()
+	rc.Service = "ghost"
+	if _, err := RenderRuleset(s, rc, 1); err == nil {
+		t.Error("unknown service rendered")
+	}
+	rc.Service = "search"
+	rc.Weights = map[string]float64{"nope": 1}
+	if _, err := RenderRuleset(s, rc, 1); err == nil {
+		t.Error("unknown version rendered")
+	}
+}
+
+func TestStoreConvergenceLifecycle(t *testing.T) {
+	clk := clock.NewManual(time.Unix(1000, 0))
+	st := NewStore(WithInstanceTTL(30 * time.Second))
+	st.BindClock(clk)
+	s, rc := storeStrategy()
+	ctx := context.Background()
+
+	if err := st.Apply(ctx, s, nil, rc, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Settling entries report nothing: no degraded event may precede the
+	// generation's routing_applied.
+	poll(t, st, "search", "sdk-a")
+	if got := st.Convergence(ctx, "flag-unit"); len(got) != 0 {
+		t.Errorf("convergence while settling = %+v", got)
+	}
+	st.Settled("flag-unit", "search")
+
+	poll(t, st, "search", "sdk-b")
+	got := st.Convergence(ctx, "flag-unit")
+	if len(got) != 1 {
+		t.Fatalf("convergence = %+v, want one service", got)
+	}
+	c := got[0]
+	if c.Service != "search" || c.Generation != 1 || c.Replicas != 2 || c.Acked != 2 || !c.Converged {
+		t.Errorf("report = %+v", c)
+	}
+
+	// A new generation supersedes: instances lag until they re-poll.
+	if err := st.Apply(ctx, s, nil, rc, 2); err != nil {
+		t.Fatal(err)
+	}
+	st.Settled("flag-unit", "search")
+	got = st.Convergence(ctx, "flag-unit")
+	if len(got) != 1 || got[0].Acked != 0 || got[0].Converged {
+		t.Fatalf("post-supersede report = %+v", got)
+	}
+	if !reflect.DeepEqual(got[0].Lagging, []string{"sdk-a", "sdk-b"}) {
+		t.Errorf("lagging = %v", got[0].Lagging)
+	}
+	poll(t, st, "search", "sdk-a")
+	got = st.Convergence(ctx, "flag-unit")
+	if got[0].Acked != 1 || !reflect.DeepEqual(got[0].Lagging, []string{"sdk-b"}) {
+		t.Errorf("partial re-poll report = %+v", got[0])
+	}
+
+	// Silent instances age out of the replica count entirely.
+	clk.Advance(31 * time.Second)
+	poll(t, st, "search", "sdk-a")
+	got = st.Convergence(ctx, "flag-unit")
+	if len(got) != 1 || got[0].Replicas != 1 || got[0].Acked != 1 || !got[0].Converged {
+		t.Errorf("post-TTL report = %+v", got)
+	}
+
+	// All instances silent → no fleet to speak about, no report.
+	clk.Advance(31 * time.Second)
+	if got := st.Convergence(ctx, "flag-unit"); len(got) != 0 {
+		t.Errorf("report with zero live instances = %+v", got)
+	}
+
+	st.Retire("flag-unit")
+	poll404(t, st, "search")
+}
+
+func TestStoreWithCurrent(t *testing.T) {
+	st := NewStore()
+	s, rc := storeStrategy()
+	ctx := context.Background()
+	if err := st.Apply(ctx, s, nil, rc, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st.WithCurrent("flag-unit", "search", 1, func() {}) {
+		t.Error("gate open while settling")
+	}
+	st.Settled("flag-unit", "search")
+	ran := false
+	if !st.WithCurrent("flag-unit", "search", 1, func() { ran = true }) || !ran {
+		t.Error("gate refused the settled current generation")
+	}
+	if err := st.Apply(ctx, s, nil, rc, 2); err != nil {
+		t.Fatal(err)
+	}
+	st.Settled("flag-unit", "search")
+	ran = false
+	if st.WithCurrent("flag-unit", "search", 1, func() { ran = true }) || ran {
+		t.Error("stale generation slipped through the gate")
+	}
+	if st.WithCurrent("other-strategy", "search", 2, func() {}) {
+		t.Error("gate open for a foreign strategy")
+	}
+	if st.WithCurrent("flag-unit", "ghost", 2, func() {}) {
+		t.Error("gate open for an unknown service")
+	}
+}
+
+func TestStoreHandler(t *testing.T) {
+	st := NewStore()
+	s, rc := storeStrategy()
+	if err := st.Apply(context.Background(), s, nil, rc, 3); err != nil {
+		t.Fatal(err)
+	}
+	st.Settled("flag-unit", "search")
+	ts := httptest.NewServer(st.Handler())
+	defer ts.Close()
+
+	// Unknown service → problem JSON with the no_ruleset code.
+	resp, err := http.Get(ts.URL + "/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p httpx.Problem
+	if err := httpx.ReadJSONBody(resp.Body, &p); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || p.Code != CodeNoRuleset {
+		t.Errorf("ghost poll = %d %+v", resp.StatusCode, p)
+	}
+
+	// SDK Refresh round-trips and the poll records the instance as an ack.
+	sdk := &publicflag.Client{BaseURL: ts.URL, Service: "search", InstanceID: "sdk-1"}
+	if err := sdk.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if sdk.Generation() != 3 {
+		t.Errorf("SDK generation = %d, want 3", sdk.Generation())
+	}
+	got := st.Convergence(context.Background(), "flag-unit")
+	if len(got) != 1 || got[0].Replicas != 1 || got[0].Acked != 1 {
+		t.Errorf("convergence after SDK poll = %+v", got)
+	}
+
+	// Method discipline.
+	resp, err = http.Post(ts.URL+"/search", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST = %d", resp.StatusCode)
+	}
+}
+
+// poll simulates one SDK instance fetching the service's ruleset.
+func poll(t *testing.T, st *Store, service, instance string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/"+service, nil)
+	req.Header.Set(publicflag.InstanceHeader, instance)
+	w := httptest.NewRecorder()
+	st.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("poll %s as %s = %d", service, instance, w.Code)
+	}
+}
+
+func poll404(t *testing.T, st *Store, service string) {
+	t.Helper()
+	w := httptest.NewRecorder()
+	st.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/"+service, nil))
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("poll retired %s = %d, want 404", service, w.Code)
+	}
+}

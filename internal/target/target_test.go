@@ -1,0 +1,76 @@
+package target
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"bifrost/internal/core"
+)
+
+// nopTarget is the minimal Target for registry tests.
+type nopTarget struct{ kind string }
+
+func (n *nopTarget) Apply(context.Context, *core.Strategy, *core.State, core.RoutingConfig, int64) error {
+	return nil
+}
+func (n *nopTarget) Convergence(context.Context, string) []Convergence { return nil }
+func (n *nopTarget) Retire(string)                                     {}
+
+func TestRegistryRegisterAndLookup(t *testing.T) {
+	reg := NewRegistry()
+	proxy := &nopTarget{kind: "proxy"}
+	flag := &nopTarget{kind: "flag"}
+	if err := reg.Register(KindProxy, proxy); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(KindFlag, flag); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := reg.Lookup(KindProxy)
+	if !ok || got != Target(proxy) {
+		t.Errorf("Lookup(proxy) = %v, %v", got, ok)
+	}
+	if _, ok := reg.Lookup("carrier-pigeon"); ok {
+		t.Error("Lookup of unregistered kind succeeded")
+	}
+	if kinds := reg.Kinds(); !reflect.DeepEqual(kinds, []string{"flag", "proxy"}) {
+		t.Errorf("Kinds() = %v", kinds)
+	}
+	all := reg.All()
+	if len(all) != 2 || all[0] != Target(flag) || all[1] != Target(proxy) {
+		t.Errorf("All() = %v, want [flag proxy] targets in kind order", all)
+	}
+}
+
+func TestRegistryRejectsBadRegistrations(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register("", &nopTarget{}); err == nil {
+		t.Error("empty kind accepted")
+	}
+	if err := reg.Register(KindProxy, nil); err == nil {
+		t.Error("nil target accepted")
+	}
+	if err := reg.Register(KindProxy, &nopTarget{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(KindProxy, &nopTarget{}); err == nil {
+		t.Error("duplicate kind accepted")
+	}
+}
+
+func TestKindFor(t *testing.T) {
+	if k := KindFor(core.Service{Name: "s"}); k != KindProxy {
+		t.Errorf("default kind = %q, want proxy", k)
+	}
+	if k := KindFor(core.Service{Name: "s", Target: "flag"}); k != KindFlag {
+		t.Errorf("explicit kind = %q, want flag", k)
+	}
+}
+
+func TestKnownKindsSorted(t *testing.T) {
+	want := []string{KindCommand, KindFlag, KindProxy}
+	if got := KnownKinds(); !reflect.DeepEqual(got, want) {
+		t.Errorf("KnownKinds() = %v, want %v", got, want)
+	}
+}
