@@ -30,6 +30,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -38,6 +40,7 @@ import (
 	"bifrost/internal/engine"
 	"bifrost/internal/httpx"
 	"bifrost/internal/journal"
+	"bifrost/internal/lease"
 	"bifrost/internal/metrics"
 	"bifrost/internal/sysmon"
 	"bifrost/internal/target"
@@ -57,6 +60,16 @@ func run() error {
 	sampleEvery := flag.Duration("sysmon-interval", 5*time.Second, "resource sampling period (0 disables)")
 	journalDir := flag.String("journal-dir", "",
 		"directory for the durable run journal; restarts resume unfinished runs (empty disables)")
+	engineID := flag.String("engine-id", "",
+		"this replica's id in an HA fleet (empty: single-replica mode)")
+	peersFlag := flag.String("peers", "",
+		"comma-separated id=url fleet membership, self included (HA mode; requires -engine-id and -journal-dir on shared storage)")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second,
+		"HA run-lease lifetime; a dead replica's runs are adopted after this long")
+	flushEvery := flag.Duration("journal-flush-interval", 0,
+		"journal group-commit window (0: journal default; negative: fsync every append)")
+	heartbeatEvery := flag.Duration("journal-heartbeat", 30*time.Second,
+		"cadence of journal liveness heartbeats (bounds recovery's downtime estimate)")
 	fleetQuorum := flag.Int("fleet-quorum", 0,
 		"proxy replica acks required per config push (0 = all replicas)")
 	pushTimeout := flag.Duration("push-timeout", 5*time.Second,
@@ -93,14 +106,60 @@ func run() error {
 		engine.WithRegistry(registry),
 	}
 	if *journalDir != "" {
-		j, err := journal.Open(*journalDir, journal.Options{})
+		js, err := engine.OpenJournal(*journalDir, journal.Options{FlushInterval: *flushEvery})
 		if err != nil {
 			return err
 		}
-		opts = append(opts, engine.WithJournal(j))
+		opts = append(opts, engine.WithJournalSet(js),
+			engine.WithHeartbeatInterval(*heartbeatEvery))
 	}
+
+	// HA mode: -engine-id names this replica and -peers the fleet; every
+	// replica points -journal-dir at the same shared root, and run
+	// ownership is arbitrated by leases + fencing tokens instead of a
+	// process-wide flock. See docs/operations.md.
+	var cluster *engine.Cluster
+	if *engineID != "" {
+		if *journalDir == "" {
+			return fmt.Errorf("-engine-id requires -journal-dir (shared across replicas)")
+		}
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			return err
+		}
+		leases, err := lease.Open(filepath.Join(*journalDir, "leases"))
+		if err != nil {
+			return err
+		}
+		cluster, err = engine.NewCluster(engine.ClusterOptions{
+			Self:    *engineID,
+			Peers:   peers,
+			Leases:  leases,
+			TTL:     *leaseTTL,
+			Compile: dsl.Compile,
+			Expand:  expandAll,
+		})
+		if err != nil {
+			return err
+		}
+		opts = append(opts,
+			engine.WithFence(cluster.Token),
+			engine.WithEnactGate(cluster.Gate))
+		log.Printf("HA replica %s joining fleet of %d (lease TTL %s)",
+			*engineID, len(peers), *leaseTTL)
+	}
+
 	eng := engine.New(opts...)
-	if *journalDir != "" {
+	switch {
+	case cluster != nil:
+		// A replica never replays the whole journal root at startup: its
+		// first lease sweep re-claims its own runs (and any expired
+		// orphans it is preferred for) via the same adoption path used
+		// for dead-peer takeover.
+		defer eng.Suspend()
+		cluster.Start(eng)
+		defer cluster.Close()
+	case *journalDir != "":
 		// A journaled engine suspends on exit (runs stay resumable);
 		// without a journal, stopping the daemon ends its runs.
 		defer eng.Suspend()
@@ -119,7 +178,7 @@ func run() error {
 		for name, reason := range report.Skipped {
 			log.Printf("warning: cannot resume run %s: %s", name, reason)
 		}
-	} else {
+	default:
 		defer eng.Shutdown()
 	}
 
@@ -133,6 +192,12 @@ func run() error {
 	// plus the /api/v1 aliases; the dashboard's page drives the v2 API.
 	// The expander lets one POST schedule a whole matrix template.
 	api := engine.NewAPI(eng, dsl.Compile).WithExpander(expandAll).Handler()
+	if cluster != nil {
+		// Ownership routing in front of the API: non-owned run requests
+		// 307 to the lease holder, schedules shard across the fleet,
+		// lists fan out and merge.
+		api = cluster.Handler(api)
+	}
 	dash := dashboard.New(eng).Handler()
 	mux := http.NewServeMux()
 	mux.Handle("/api/", api)
@@ -156,6 +221,26 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	return srv.Shutdown(ctx)
+}
+
+// parsePeers parses the -peers flag: "engine-1=http://host:7000,...".
+func parsePeers(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("-peers: malformed entry %q (want id=url)", part)
+		}
+		peers[id] = strings.TrimRight(url, "/")
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-peers is required with -engine-id")
+	}
+	return peers, nil
 }
 
 // expandAll adapts dsl.CompileAll to the API's expander hook.

@@ -1,0 +1,314 @@
+// Tier-2 multi-replica end-to-end: three real bifrost-engine processes
+// share one partitioned journal root and one lease directory. A 12-run
+// matrix template is scheduled through a single replica and sharded across
+// the fleet by rendezvous preference; one replica is then killed -9
+// mid-phase and the survivors must adopt every one of its runs within two
+// lease TTLs — same phase, elapsed-in-state preserved with the downtime
+// excluded — while SSE watchers attached through a survivor ride the
+// takeover via Last-Event-ID with zero lost and zero duplicated events.
+//
+// Run with the ha CI job (no -short): go test ./e2e -race -run TestHA -v
+package e2e
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"bifrost/e2e/harness"
+	"bifrost/internal/engine"
+)
+
+// haMatrix expands to 3×2×2 = 12 runs. The canary phase is long enough
+// that every run is still mid-phase when the victim dies; the flag target
+// keeps enactment in-process (no external proxies to stand up).
+const haMatrix = `
+name: ha-${region}-${cohort}-${slice}
+matrix:
+  region: [eu, us, ap]
+  cohort: [free, paid]
+  slice: [x, y]
+deployment:
+  services:
+    - service: shop
+      target: flag
+      versions:
+        - name: stable
+          endpoint: 127.0.0.1:9001
+        - name: canary
+          endpoint: 127.0.0.1:9002
+strategy:
+  phases:
+    - phase: canary
+      duration: 10m
+      routes:
+        - route:
+            service: shop
+            weights: {stable: 90, canary: 10}
+      on:
+        success: end
+    - phase: end
+      routes:
+        - route:
+            service: shop
+            weights: {canary: 100}
+`
+
+const leaseTTL = 2 * time.Second
+
+func TestHAShardedFleetSurvivesReplicaKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e; skipped in -short")
+	}
+	fleet := harness.StartFleet(t, harness.Options{Replicas: 3, LeaseTTL: leaseTTL})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// One POST through r0 schedules the whole matrix across the fleet.
+	client := fleet.Client("r0")
+	sts, err := client.ScheduleAll(ctx, haMatrix)
+	if err != nil {
+		t.Fatalf("ScheduleAll: %v", err)
+	}
+	if len(sts) != 12 {
+		t.Fatalf("scheduled %d runs, want 12", len(sts))
+	}
+
+	// Wait until every run is mid-phase, then map ownership per replica
+	// through internal (local-only) listings: every run on exactly one
+	// replica, and the journal root shows one partition per run.
+	harness.Eventually(t, 15*time.Second, "all 12 runs in canary", func() bool {
+		listed, err := client.List(ctx)
+		if err != nil || len(listed) != 12 {
+			return false
+		}
+		for _, st := range listed {
+			if st.Current != "canary" || st.State != engine.RunRunning {
+				return false
+			}
+		}
+		return true
+	})
+	owners := ownershipMap(t, fleet)
+	if len(owners) != 12 {
+		t.Fatalf("fleet owns %d runs, want 12: %v", len(owners), owners)
+	}
+	if parts := fleet.Partitions(); len(parts) != 12 {
+		t.Fatalf("journal root has %d partitions, want 12: %v", len(parts), parts)
+	}
+
+	// Pick the victim: a replica that owns at least one run (sharding
+	// across 12 names makes an empty replica all but impossible, but be
+	// explicit). Kill -9: no shutdown hooks, leases stay on disk.
+	perReplica := map[string][]string{}
+	for run, id := range owners {
+		perReplica[id] = append(perReplica[id], run)
+	}
+	victim := ""
+	for _, id := range fleet.IDs() {
+		if len(perReplica[id]) > 0 {
+			victim = id
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatalf("no replica owns any run: %v", perReplica)
+	}
+	victimRuns := perReplica[victim]
+	t.Logf("victim %s owns %d runs: %v", victim, len(victimRuns), victimRuns)
+
+	// SSE watchers ride through the takeover: attach one per victim run,
+	// through a surviving replica (it 307s to the owner; the stream
+	// client follows, and reconnects with Last-Event-ID after the kill).
+	survivor := ""
+	for _, id := range fleet.IDs() {
+		if id != victim {
+			survivor = id
+			break
+		}
+	}
+	type watchState struct {
+		mu      sync.Mutex
+		seqs    []int64
+		seen    map[int64]int
+		recov   bool
+		reentry bool
+	}
+	watches := make(map[string]*watchState, len(victimRuns))
+	watchCancels := make([]func(), 0, len(victimRuns))
+	for _, run := range victimRuns {
+		ws := &watchState{seen: make(map[int64]int)}
+		watches[run] = ws
+		// replay=64 prefixes the run's buffered history, so the watcher
+		// has a Last-Event-ID to resume from before the kill even though
+		// the run is sitting quietly mid-phase.
+		ch, stop, err := fleet.Client(survivor).Watch(ctx, run, 64)
+		if err != nil {
+			t.Fatalf("Watch %s via %s: %v", run, survivor, err)
+		}
+		watchCancels = append(watchCancels, stop)
+		go func(run string, ws *watchState) {
+			for ev := range ch {
+				ws.mu.Lock()
+				ws.seqs = append(ws.seqs, ev.Seq)
+				ws.seen[ev.Seq]++
+				if ev.Type == engine.EventRecovered {
+					ws.recov = true
+				}
+				if ev.Type == engine.EventStateEntered && ws.recov {
+					ws.reentry = true
+				}
+				ws.mu.Unlock()
+			}
+		}(run, ws)
+	}
+	defer func() {
+		for _, stop := range watchCancels {
+			stop()
+		}
+	}()
+	// Let every watcher land on the live stream before the kill.
+	harness.Eventually(t, 10*time.Second, "watchers attached", func() bool {
+		for _, ws := range watches {
+			ws.mu.Lock()
+			n := len(ws.seqs)
+			ws.mu.Unlock()
+			if n == 0 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Record each victim run's pre-kill elapsed-in-state, then kill -9.
+	preKill := map[string]time.Duration{}
+	for _, run := range victimRuns {
+		st, err := client.Get(ctx, run)
+		if err != nil {
+			t.Fatalf("pre-kill status of %s: %v", run, err)
+		}
+		preKill[run] = time.Since(st.EnteredAt)
+	}
+	killedAt := time.Now()
+	fleet.Replica(victim).Kill9()
+	// The scheduling client may have pointed at the victim; all post-kill
+	// API traffic goes through a survivor (redirected to owners as needed).
+	client = fleet.Client(survivor)
+
+	// Adoption deadline: two lease TTLs, plus scheduling slack for the
+	// sweep that performs it.
+	adoptBy := killedAt.Add(2*leaseTTL + 3*time.Second)
+	harness.Eventually(t, time.Until(adoptBy)+time.Second,
+		"survivors adopting every victim run", func() bool {
+			owners := ownershipMap(t, fleet)
+			for _, run := range victimRuns {
+				if id, ok := owners[run]; !ok || id == victim {
+					return false
+				}
+			}
+			return true
+		})
+	adoptedAt := time.Now()
+	if lateBy := adoptedAt.Sub(adoptBy); lateBy > 0 {
+		t.Errorf("adoption finished %s past the 2-TTL deadline", lateBy)
+	}
+
+	// Every run is owned exactly once across the survivors, and each
+	// adopted run resumed in-phase with elapsed preserved: the in-state
+	// clock must not have absorbed the ≥1 TTL of downtime, and must not
+	// have reset either.
+	owners = ownershipMap(t, fleet)
+	if len(owners) != 12 {
+		t.Fatalf("fleet owns %d runs after takeover, want 12: %v", len(owners), owners)
+	}
+	for _, run := range victimRuns {
+		st, err := client.Get(ctx, run)
+		if err != nil {
+			t.Fatalf("post-adopt status of %s: %v", run, err)
+		}
+		if st.Current != "canary" || st.State != engine.RunRunning {
+			t.Errorf("run %s resumed as %s/%s, want running/canary", run, st.State, st.Current)
+		}
+		if !st.Recovered {
+			t.Errorf("run %s does not report Recovered after adoption", run)
+		}
+		elapsed := time.Since(st.EnteredAt)
+		wall := preKill[run] + time.Since(killedAt)
+		// Downtime ≥ 1 TTL must be excluded (heartbeats pin the crash
+		// time to within 250ms), and the pre-kill elapsed kept.
+		if elapsed > wall-leaseTTL/2 {
+			t.Errorf("run %s elapsed %s vs wall %s: downtime not excluded", run, elapsed, wall)
+		}
+		if elapsed < preKill[run]-time.Second {
+			t.Errorf("run %s elapsed %s < pre-kill %s: in-state clock reset", run, elapsed, preKill[run])
+		}
+	}
+
+	// Watchers rode through: the recovered event and the re-entry made
+	// it onto each resumed stream, with zero duplicate sequence numbers
+	// and strictly ascending delivery (no lost-and-refetched weirdness).
+	harness.Eventually(t, 20*time.Second, "watchers observing the takeover", func() bool {
+		for _, ws := range watches {
+			ws.mu.Lock()
+			ok := ws.recov && ws.reentry
+			ws.mu.Unlock()
+			if !ok {
+				return false
+			}
+		}
+		return true
+	})
+	for run, ws := range watches {
+		ws.mu.Lock()
+		for seq, n := range ws.seen {
+			if n > 1 {
+				t.Errorf("watcher of %s saw seq %d %d times (duplicate delivery)", run, seq, n)
+			}
+		}
+		for i := 1; i < len(ws.seqs); i++ {
+			if ws.seqs[i] <= ws.seqs[i-1] {
+				t.Errorf("watcher of %s saw non-ascending seqs %d then %d",
+					run, ws.seqs[i-1], ws.seqs[i])
+			}
+		}
+		ws.mu.Unlock()
+	}
+
+	// The lease records agree with the API's view of ownership.
+	leases := fleet.Leases()
+	recs, err := leases.List()
+	if err != nil {
+		t.Fatalf("lease list: %v", err)
+	}
+	holder := map[string]string{}
+	for _, rec := range recs {
+		holder[rec.Run] = rec.Holder
+	}
+	for run, id := range owners {
+		if holder[run] != id {
+			t.Errorf("run %s: API owner %s but lease holder %s", run, id, holder[run])
+		}
+	}
+}
+
+// ownershipMap asks each live replica for its local runs and asserts no
+// run is claimed twice. Dead replicas are skipped (connection refused).
+func ownershipMap(t *testing.T, fleet *harness.Fleet) map[string]string {
+	t.Helper()
+	owners := map[string]string{}
+	for _, id := range fleet.IDs() {
+		r := fleet.Replica(id)
+		sts, err := r.TryLocalRuns()
+		if err != nil {
+			continue // dead or restarting replica
+		}
+		for _, st := range sts {
+			if prev, dup := owners[st.Strategy]; dup {
+				t.Fatalf("run %s live on both %s and %s", st.Strategy, prev, id)
+			}
+			owners[st.Strategy] = id
+		}
+	}
+	return owners
+}

@@ -118,7 +118,10 @@ func TestDocsLinkTargetsExist(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, link := range []string{"docs/architecture.md", "docs/strategy-authoring.md", "docs/operations.md"} {
+	for _, link := range []string{"docs/architecture.md", "docs/strategy-authoring.md", "docs/operations.md",
+		// The HA runbook is load-bearing for operators rolling a fleet;
+		// README must deep-link its section, not just the file.
+		"docs/operations.md#running-multiple-engine-replicas"} {
 		if !strings.Contains(string(readme), link) {
 			t.Errorf("README does not link %s", link)
 		}

@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"bifrost/internal/clock"
+	"bifrost/internal/dsl"
+)
+
+// TestLeaseTakeoverCrashPoints kills a takeover at its three interesting
+// points — right after the lease claim, mid partition replay, and after
+// the replay but while the previous incarnation is still a live zombie —
+// and requires the same two invariants to hold in every case:
+//
+//   - no run is ever owned twice: a deposed owner's journal appends are
+//     rejected by the fencing token no matter when it wakes up, and its
+//     next renew evicts the run locally;
+//   - no run is orphaned: whatever the half-dead adopter left behind, a
+//     later sweep by a healthy replica claims the expired lease and
+//     resumes the run.
+//
+// Replica a is the original owner (left running, unsuspended — the
+// zombie); b is the adopter that crashes mid-takeover; c is the survivor
+// that must end up owning the run exactly once.
+func TestLeaseTakeoverCrashPoints(t *testing.T) {
+	cases := []struct {
+		name string
+		// crash performs b's partial takeover up to the kill point and
+		// returns b's lease token (0 if it never got one).
+		crash func(t *testing.T, b *clusterFixture, run string) int64
+	}{
+		{
+			// Crash after the lease claim, before a single byte of the
+			// partition was read: the fence was never re-registered, so
+			// only the lease record changed hands.
+			name: "after lease claim",
+			crash: func(t *testing.T, b *clusterFixture, run string) int64 {
+				rec, err := b.cluster.leases.Acquire(run, "b", b.cluster.ttl)
+				if err != nil {
+					t.Fatalf("b acquire: %v", err)
+				}
+				return rec.Token
+			},
+		},
+		{
+			// Crash mid-replay: the partition was opened under b's token
+			// (fence re-registered, a is already fenced out) but no run
+			// was resumed.
+			name: "mid replay",
+			crash: func(t *testing.T, b *clusterFixture, run string) int64 {
+				rec, err := b.cluster.leases.Acquire(run, "b", b.cluster.ttl)
+				if err != nil {
+					t.Fatalf("b acquire: %v", err)
+				}
+				if _, err := b.eng.journals.Partition(run, rec.Token); err != nil {
+					t.Fatalf("b open partition: %v", err)
+				}
+				return rec.Token
+			},
+		},
+		{
+			// Full adoption, then b goes silent without suspending: its
+			// run loop keeps living on the shared clock — the strongest
+			// zombie, holding an open journal under a stale token.
+			name: "live zombie after adoption",
+			crash: func(t *testing.T, b *clusterFixture, run string) int64 {
+				b.cluster.sweepOnce()
+				r, ok := b.eng.Run(run)
+				if !ok {
+					t.Fatalf("b did not adopt the run")
+				}
+				waitReentries(t, b.eng, run, 2)
+				if r.Status().Current != "canary" {
+					t.Fatalf("b adopted into %q, want canary", r.Status().Current)
+				}
+				return b.cluster.Token(run)
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := clock.NewManual(time.Date(2026, 8, 7, 9, 0, 0, 0, time.UTC))
+			// Every replica considers every other dead: adoption decisions
+			// ride purely on lease expiry, never on liveness guesses.
+			fleet := newClusterFleet(t, 3, clk, func(string) bool { return false })
+			a, b, c := fleet[0], fleet[1], fleet[2]
+			defer c.eng.Suspend()
+
+			strategy, err := dsl.Compile(holdStrategy)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			run := strategy.Name
+			if _, err := a.eng.EnactSource(strategy, holdStrategy); err != nil {
+				t.Fatalf("EnactSource: %v", err)
+			}
+			eventually(t, "run entering canary on a", func() bool {
+				r, ok := a.eng.Run(run)
+				return ok && r.Status().Current == "canary"
+			})
+			aTok := a.cluster.Token(run)
+
+			// Thirty in-phase seconds, then a goes silent (no suspend, no
+			// release: a crashed-but-not-dead original owner).
+			clk.Advance(30 * time.Second)
+			eventually(t, "journal clock advanced on a", func() bool {
+				a.eng.pubMu.Lock()
+				defer a.eng.pubMu.Unlock()
+				return !a.eng.mirror.LastTime.Before(clk.Now())
+			})
+
+			// Past a's TTL: b starts the takeover and dies at the kill
+			// point.
+			clk.Advance(2 * time.Minute)
+			bTok := tc.crash(t, b, run)
+			if bTok <= aTok {
+				t.Fatalf("b's token %d does not dominate a's %d", bTok, aTok)
+			}
+
+			// Past b's TTL too: c's sweep must find the expired lease and
+			// finish the job — nothing stays orphaned.
+			clk.Advance(2 * time.Minute)
+			adoptTime := clk.Now()
+			c.cluster.sweepOnce()
+			rc, ok := c.eng.Run(run)
+			if !ok {
+				t.Fatalf("c did not adopt the run (orphaned after %q)", tc.name)
+			}
+			waitTakeover(t, c.eng, run, adoptTime)
+			cTok := c.cluster.Token(run)
+			if cTok <= bTok {
+				t.Fatalf("c's token %d does not dominate b's %d", cTok, bTok)
+			}
+			st := rc.Status()
+			if st.Current != "canary" || st.State != RunRunning || !st.Recovered {
+				t.Fatalf("c resumed run as %+v, want running in canary, recovered", st)
+			}
+			// Elapsed-in-state survived the chain of crashes: at least the
+			// 30 in-phase seconds a lived, never reset.
+			if elapsed := clk.Now().Sub(st.EnteredAt); elapsed < 25*time.Second {
+				t.Fatalf("elapsed after takeover = %s, want ≥ ~30s (clock reset)", elapsed)
+			}
+
+			// The zombies wake up and try to write: every append must be
+			// rejected by the fence, never accepted into the partition.
+			aFencedBefore := a.eng.mFenced.Value()
+			if _, err := a.eng.Pause(run); err != nil {
+				t.Fatalf("zombie a pause: %v", err)
+			}
+			eventually(t, "a's zombie append fenced", func() bool {
+				return a.eng.mFenced.Value() > aFencedBefore
+			})
+			if tc.name == "live zombie after adoption" {
+				bFencedBefore := b.eng.mFenced.Value()
+				if _, err := b.eng.Pause(run); err != nil {
+					t.Fatalf("zombie b pause: %v", err)
+				}
+				eventually(t, "b's zombie append fenced", func() bool {
+					return b.eng.mFenced.Value() > bFencedBefore
+				})
+				// b's next renew discovers the loss and evicts: after it,
+				// exactly one replica hosts the run.
+				b.cluster.renewOnce()
+				if _, still := b.eng.Run(run); still {
+					t.Fatalf("b still hosts the run after losing its lease")
+				}
+			}
+			// c is untouched by the zombie writes: still running, still
+			// the holder, and its event history never absorbed the
+			// zombies' pauses.
+			if st := rc.Status(); st.State != RunRunning {
+				t.Fatalf("c's run state = %s after zombie writes, want running", st.State)
+			}
+			rec, found, err := c.cluster.leases.Get(run)
+			if err != nil || !found || rec.Holder != "c" || rec.Token != cTok {
+				t.Fatalf("lease after takeover = %+v (found=%v, err=%v), want holder c token %d",
+					rec, found, err, cTok)
+			}
+			for _, ev := range c.eng.RunEvents(run, 0) {
+				if ev.Type == EventPaused {
+					t.Fatalf("zombie pause leaked into the owner's event history")
+				}
+			}
+		})
+	}
+}
+
+// waitTakeover blocks until the run's history shows this takeover's own
+// recovered event and re-entry — events stamped at (or after) the adoption
+// instant, as opposed to the replayed ones from earlier lives.
+func waitTakeover(t *testing.T, eng *Engine, name string, since time.Time) {
+	t.Helper()
+	eventually(t, "takeover recovered event and re-entry", func() bool {
+		var recov, reentry bool
+		for _, ev := range eng.RunEvents(name, 0) {
+			if ev.Time.Before(since) {
+				continue
+			}
+			switch ev.Type {
+			case EventRecovered:
+				recov = true
+			case EventStateEntered:
+				reentry = true
+			}
+		}
+		return recov && reentry
+	})
+}

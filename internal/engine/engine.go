@@ -90,8 +90,18 @@ type Engine struct {
 	// with a journal position.
 	pubMu      sync.Mutex
 	mirror     *engineMirror
-	journal    *journal.Journal
+	journals   *journal.Set
 	compacting atomic.Bool
+
+	// hbEvery paces heartbeat records on journaled engines.
+	hbEvery time.Duration
+	// fence supplies the fencing token for a run's journal partition (HA
+	// mode: the cluster layer maps runs to its held lease tokens). Nil
+	// means classic flock protection.
+	fence func(run string) int64
+	// enactGate, when set, must succeed before a new enactment registers
+	// (the cluster layer acquires the run's lease here).
+	enactGate func(run string) error
 
 	generation atomic.Int64
 	wg         sync.WaitGroup
@@ -103,6 +113,7 @@ type Engine struct {
 	mJournaled   *metrics.Counter
 	mCompactions *metrics.Counter
 	mRecovered   *metrics.Counter
+	mFenced      *metrics.Counter
 }
 
 // Option configures an Engine.
@@ -123,12 +134,48 @@ func WithConfigurator(c Configurator) Option {
 	return func(e *Engine) { e.configurator = c }
 }
 
-// WithJournal attaches a durable run journal: every engine event is
-// appended to it, and Recover replays it after a restart so unfinished
-// strategies resume instead of being silently aborted. The engine owns the
-// journal from here on (Shutdown/Suspend close it).
-func WithJournal(j *journal.Journal) Option {
-	return func(e *Engine) { e.journal = j }
+// WithJournalSet attaches the durable run journal, partitioned per run:
+// every engine event is appended to its run's partition, and Recover
+// replays the partitions after a restart so unfinished strategies resume
+// instead of being silently aborted. The engine owns the set from here on
+// (Shutdown/Suspend close it). Open one with OpenJournal.
+func WithJournalSet(s *journal.Set) Option {
+	return func(e *Engine) { e.journals = s }
+}
+
+// OpenJournal opens dir as a per-run partitioned journal set wired with the
+// engine's snapshot schema, migrating a pre-partition single-directory
+// journal in place if one is found.
+func OpenJournal(dir string, opts journal.Options) (*journal.Set, error) {
+	return journal.OpenSet(dir, journal.SetOptions{
+		Journal:       opts,
+		SplitSnapshot: splitMirrorSnapshot,
+	})
+}
+
+// WithHeartbeatInterval overrides the heartbeat cadence (default 30s):
+// multi-replica deployments with short lease TTLs tighten it so adopted
+// runs lose almost no elapsed-in-state accuracy.
+func WithHeartbeatInterval(d time.Duration) Option {
+	return func(e *Engine) {
+		if d > 0 {
+			e.hbEvery = d
+		}
+	}
+}
+
+// WithFence supplies the fencing token used when a run's journal partition
+// is opened (HA mode; see journal.Options.FencingToken). The cluster layer
+// maps runs to the tokens of the leases it holds.
+func WithFence(fn func(run string) int64) Option {
+	return func(e *Engine) { e.fence = fn }
+}
+
+// WithEnactGate installs a hook that must succeed before a new enactment is
+// accepted; the cluster layer acquires the run's ownership lease here so a
+// run is never enacted on a replica that does not own it.
+func WithEnactGate(fn func(run string) error) Option {
+	return func(e *Engine) { e.enactGate = fn }
 }
 
 // WithEventRingSize overrides the global event replay ring (default 1024
@@ -152,6 +199,7 @@ func New(opts ...Option) *Engine {
 		runs:         make(map[string]*Run, 8),
 		stopping:     make(chan struct{}),
 		mirror:       newEngineMirror(),
+		hbEvery:      journalHeartbeatInterval,
 	}
 	for _, o := range opts {
 		o(e)
@@ -169,9 +217,10 @@ func New(opts ...Option) *Engine {
 	e.mJournaled = e.registry.Counter("engine_journal_records_total", nil)
 	e.mCompactions = e.registry.Counter("engine_journal_compactions_total", nil)
 	e.mRecovered = e.registry.Counter("engine_runs_recovered_total", nil)
-	if e.journal != nil {
+	e.mFenced = e.registry.Counter("engine_journal_fenced_total", nil)
+	if e.journals != nil {
 		e.hbQuit = make(chan struct{})
-		go e.heartbeatLoop(e.clk.NewTicker(journalHeartbeatInterval))
+		go e.heartbeatLoop(e.clk.NewTicker(e.hbEvery))
 	}
 	return e
 }
@@ -203,6 +252,12 @@ func (e *Engine) EnactSource(s *core.Strategy, source string) (*Run, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	if e.enactGate != nil {
+		// Outside e.mu: the gate may block on cross-process lease I/O.
+		if err := e.enactGate(s.Name); err != nil {
+			return nil, err
+		}
+	}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -218,6 +273,7 @@ func (e *Engine) EnactSource(s *core.Strategy, source string) (*Run, error) {
 		strategy: s,
 		cancel:   cancel,
 		done:     make(chan struct{}),
+		evicted:  make(chan struct{}),
 		controls: make(chan controlMsg),
 		status: Status{
 			Strategy: s.Name,
@@ -246,28 +302,37 @@ func (e *Engine) EnactSource(s *core.Strategy, source string) (*Run, error) {
 func (e *Engine) scheduleRecord(s *core.Strategy, source string) {
 	e.pubMu.Lock()
 	defer e.pubMu.Unlock()
-	ev := e.bus.publish(Event{Strategy: s.Name, Type: EventScheduled, Time: e.clk.Now()})
+	ev := e.bus.stamp(Event{Strategy: s.Name, Type: EventScheduled, Time: e.clk.Now()})
 	e.mirror.apply(s, ev) // resets any previous enactment under this name
 	e.mirror.setSource(s.Name, source)
 	e.journalEvent(ev)
 	if source != "" {
-		e.journalAppend(journal.Record{
+		e.journalAppend(s.Name, journal.Record{
 			Seq: ev.Seq, Time: ev.Time, Type: recSource, Run: s.Name,
 			Data: mustJSON(sourceRecord{Source: source}),
 		})
 	}
+	e.bus.fanout(ev)
 }
 
-// publish runs one event through the pipeline: stamp a sequence number, fan
-// out to subscribers and the replay ring, reduce into the durable per-run
-// mirror, and append to the journal. strategy is used by the mirror's
-// planned-duration accounting and may be nil.
+// publish runs one event through the pipeline: stamp a sequence number into
+// the replay ring, reduce into the durable per-run mirror, append to the
+// run's journal partition, and only then fan out to subscribers — so with
+// write-through flushing a watcher never sees an event a crash could
+// unwind. strategy is used by the mirror's planned-duration accounting and
+// may be nil.
 func (e *Engine) publish(strategy *core.Strategy, ev Event) {
 	e.pubMu.Lock()
-	ev = e.bus.publish(ev)
+	ev = e.bus.stamp(ev)
 	e.mirror.apply(strategy, ev)
 	e.journalEvent(ev)
-	shouldCompact := e.journal != nil && e.journal.ShouldCompact()
+	var shouldCompact bool
+	if e.journals != nil {
+		if j, ok := e.journals.Get(ev.Strategy); ok {
+			shouldCompact = j.ShouldCompact()
+		}
+	}
+	e.bus.fanout(ev)
 	e.pubMu.Unlock()
 
 	if shouldCompact && e.compacting.CompareAndSwap(false, true) {
@@ -293,21 +358,25 @@ const journalHeartbeatInterval = 30 * time.Second
 
 // heartbeatLoop appends heartbeat records until the engine closes. The
 // ticker is created by New (synchronously, so tests driving a manual clock
-// can rely on it existing before any Advance). Fully idle engines (no
-// unfinished runs) skip the append: nothing needs a crash-time estimate,
-// and an idle journal should not grow.
+// can rely on it existing before any Advance). Heartbeats go to the
+// partition of every unfinished run — each partition must carry its own
+// crash-time estimate — and finished runs' partitions stay quiet, so an
+// idle journal does not grow.
 func (e *Engine) heartbeatLoop(t clock.Ticker) {
 	defer t.Stop()
 	for {
 		select {
 		case <-t.C():
-			if !e.hasUnfinishedRuns() {
+			live := e.unfinishedRunNames()
+			if len(live) == 0 {
 				continue
 			}
 			e.pubMu.Lock()
 			now := e.clk.Now()
-			if seq := e.bus.currentSeq(); seq > 0 && e.journal != nil {
-				e.journalAppend(journal.Record{Seq: seq, Time: now, Type: recHeartbeat})
+			if seq := e.bus.currentSeq(); seq > 0 && e.journals != nil {
+				for _, name := range live {
+					e.journalAppend(name, journal.Record{Seq: seq, Time: now, Type: recHeartbeat, Run: name})
+				}
 				if now.After(e.mirror.LastTime) {
 					e.mirror.LastTime = now
 				}
@@ -319,16 +388,17 @@ func (e *Engine) heartbeatLoop(t clock.Ticker) {
 	}
 }
 
-// hasUnfinishedRuns reports whether any registered run is still live.
-func (e *Engine) hasUnfinishedRuns() bool {
+// unfinishedRunNames lists the registered runs that are still live.
+func (e *Engine) unfinishedRunNames() []string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	for _, r := range e.runs {
+	var out []string
+	for name, r := range e.runs {
 		if !r.Done() {
-			return true
+			out = append(out, name)
 		}
 	}
-	return false
+	return out
 }
 
 // sourceRecord is the payload of a recSource journal record.
@@ -344,57 +414,96 @@ func mustJSON(v any) json.RawMessage {
 	return raw
 }
 
-// journalEvent appends one published event to the journal; terminal events
-// are synced through immediately so a crash right after a run finishes can
-// never resurrect it. Callers hold pubMu.
+// journalEvent appends one published event to its run's journal partition;
+// terminal events are synced through immediately so a crash right after a
+// run finishes can never resurrect it. Removal events are not journaled:
+// Remove deletes the whole partition instead, which is the stronger
+// statement. Callers hold pubMu.
 func (e *Engine) journalEvent(ev Event) {
-	if e.journal == nil {
+	if e.journals == nil || ev.Type == EventRemoved {
 		return
 	}
-	e.journalAppend(journal.Record{
+	e.journalAppend(ev.Strategy, journal.Record{
 		Seq: ev.Seq, Time: ev.Time, Type: recEvent, Run: ev.Strategy,
 		Data: mustJSON(ev),
 	})
 	switch ev.Type {
 	case EventCompleted, EventAborted, EventError:
-		_ = e.journal.Sync()
+		if j, ok := e.journals.Get(ev.Strategy); ok {
+			_ = j.Sync()
+		}
 	}
 }
 
-// journalAppend writes one record, counting it. Callers hold pubMu.
-func (e *Engine) journalAppend(rec journal.Record) {
-	if e.journal == nil {
+// journalAppend writes one record to run's partition (opened on first use
+// with the run's fencing token), counting it. A fenced append means this
+// replica lost the run's ownership mid-write: the record is dropped — the
+// new owner's replay defines the truth now — and the loss is counted.
+// Callers hold pubMu.
+func (e *Engine) journalAppend(run string, rec journal.Record) {
+	if e.journals == nil {
 		return
 	}
-	if err := e.journal.Append(rec); err == nil {
+	j, err := e.journals.Partition(run, e.fenceFor(run))
+	if err != nil {
+		e.mFenced.Inc()
+		return
+	}
+	switch err := j.Append(rec); {
+	case err == nil:
 		e.mJournaled.Inc()
+	case errors.Is(err, journal.ErrFenced):
+		e.mFenced.Inc()
 	}
 }
 
-// compact snapshots the mirror and asks the journal to drop the records the
-// snapshot covers. Runs in its own goroutine, one at a time.
+// fenceFor returns the fencing token for run's partition (0: flock mode).
+func (e *Engine) fenceFor(run string) int64 {
+	if e.fence == nil {
+		return 0
+	}
+	return e.fence(run)
+}
+
+// compact snapshots each run whose partition grew past its compaction
+// threshold and asks that partition to drop the records the snapshot
+// covers. Runs in its own goroutine, one at a time.
 func (e *Engine) compact() {
 	defer e.compacting.Store(false)
 	e.pubMu.Lock()
-	// Capture the journal under pubMu: closeJournal nils the field during
-	// Suspend/Shutdown, possibly between our unlock and the Compact call.
-	j := e.journal
-	if j == nil {
+	// Capture the set under pubMu: closeJournal nils the field during
+	// Suspend/Shutdown, possibly between our unlock and the Compact calls.
+	js := e.journals
+	if js == nil {
 		e.pubMu.Unlock()
 		return
 	}
 	e.mirror.Generation = e.generation.Load()
-	// Clone under the lock, marshal outside it: JSON-encoding a large
-	// mirror must not stall the publish pipeline.
-	mirror := e.mirror.clone()
 	seq := e.bus.currentSeq()
-	e.pubMu.Unlock()
-	snap, err := json.Marshal(mirror)
-	if err != nil {
-		return
+	type item struct {
+		j      *journal.Journal
+		mirror *engineMirror
 	}
-	if j.Compact(snap, seq) == nil {
-		e.mCompactions.Inc()
+	var items []item
+	// Clone under the lock, marshal outside it: JSON-encoding the mirrors
+	// must not stall the publish pipeline.
+	js.Each(func(run string, j *journal.Journal) {
+		if !j.ShouldCompact() {
+			return
+		}
+		if m := e.mirror.cloneRun(run); m != nil {
+			items = append(items, item{j, m})
+		}
+	})
+	e.pubMu.Unlock()
+	for _, it := range items {
+		snap, err := json.Marshal(it.mirror)
+		if err != nil {
+			continue
+		}
+		if it.j.Compact(snap, seq) == nil {
+			e.mCompactions.Inc()
+		}
 	}
 }
 
@@ -512,12 +621,44 @@ func (e *Engine) Remove(name string) error {
 	}
 	delete(e.runs, name)
 
-	// The removal is published as a regular event so it is journaled in
-	// sequence order: a restart before the next compaction replays it and
-	// does not resurrect the run from its still-journaled history. Done
-	// under e.mu so a concurrent re-enactment of the name cannot schedule
-	// between the map delete and the mirror removal.
+	// Drop the run's journal partition before announcing the removal: a
+	// crash in between leaves no trace for recovery to resurrect. The
+	// removal is still published as a regular event (mirror + SSE) so
+	// watchers and the dashboard see it; journalEvent skips it — there is
+	// no partition left to write to. Done under e.mu so a concurrent
+	// re-enactment of the name cannot schedule between the partition
+	// removal and the mirror removal.
+	if e.journals != nil {
+		_ = e.journals.Remove(name)
+	}
 	e.publish(nil, Event{Strategy: name, Type: EventRemoved, Time: e.clk.Now()})
+	return nil
+}
+
+// Evict stops a run's loop without a terminal record and unregisters it,
+// closing (not deleting) its journal partition: the run's lease moved to
+// another replica, which has adopted — or is about to adopt — the run from
+// that same partition. The counterpart of adoption via RecoverRun.
+func (e *Engine) Evict(name string) error {
+	e.mu.Lock()
+	r, ok := e.runs[name]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	delete(e.runs, name)
+	e.mu.Unlock()
+
+	if !r.Done() {
+		r.evictOnce.Do(func() { close(r.evicted) })
+		<-r.done
+	}
+	e.pubMu.Lock()
+	delete(e.mirror.Runs, name)
+	e.pubMu.Unlock()
+	if e.journals != nil {
+		_ = e.journals.CloseRun(name)
+	}
 	return nil
 }
 
@@ -563,29 +704,37 @@ func (e *Engine) Suspend() {
 	e.bus.close()
 }
 
-// closeJournal takes a final snapshot (so restarts replay a compact prefix)
-// and closes the journal. Run loops have already stopped.
+// closeJournal takes a final per-partition snapshot (so restarts replay a
+// compact prefix) and closes the set. Run loops have already stopped.
 func (e *Engine) closeJournal() {
 	e.pubMu.Lock()
-	j := e.journal
-	var mirror *engineMirror
-	var seq int64
-	if j != nil {
-		e.mirror.Generation = e.generation.Load()
-		mirror = e.mirror.clone()
-		seq = e.bus.currentSeq()
-		e.journal = nil
-	}
-	e.pubMu.Unlock()
-	if j == nil {
+	js := e.journals
+	if js == nil {
+		e.pubMu.Unlock()
 		return
 	}
+	e.journals = nil
+	e.mirror.Generation = e.generation.Load()
+	seq := e.bus.currentSeq()
+	type item struct {
+		j      *journal.Journal
+		mirror *engineMirror
+	}
+	var items []item
+	js.Each(func(run string, j *journal.Journal) {
+		if m := e.mirror.cloneRun(run); m != nil {
+			items = append(items, item{j, m})
+		}
+	})
+	e.pubMu.Unlock()
 	if seq > 0 {
-		if snap, err := json.Marshal(mirror); err == nil {
-			_ = j.Compact(snap, seq)
+		for _, it := range items {
+			if snap, err := json.Marshal(it.mirror); err == nil {
+				_ = it.j.Compact(snap, seq)
+			}
 		}
 	}
-	_ = j.Close()
+	_ = js.Close()
 }
 
 // nextGeneration issues monotonically increasing proxy config generations.

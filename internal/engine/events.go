@@ -121,10 +121,14 @@ func newEventBus(ringSize int) *eventBus {
 	}
 }
 
-func (b *eventBus) publish(ev Event) Event {
+// stamp assigns the next sequence number and inserts the event into the
+// replay ring WITHOUT fanning it out. The publish pipeline journals the
+// stamped event between stamp and fanout, so with write-through flushing a
+// subscriber never observes an event a crash could still unwind.
+func (b *eventBus) stamp(ev Event) Event {
 	b.mu.Lock()
+	defer b.mu.Unlock()
 	if b.closed {
-		b.mu.Unlock()
 		return ev
 	}
 	b.seq++
@@ -134,6 +138,12 @@ func (b *eventBus) publish(ev Event) Event {
 	if b.next == 0 {
 		b.full = true
 	}
+	return ev
+}
+
+// fanout delivers a stamped event to subscribers.
+func (b *eventBus) fanout(ev Event) {
+	b.mu.Lock()
 	for _, ch := range b.subs {
 		select {
 		case ch <- ev:
@@ -141,7 +151,6 @@ func (b *eventBus) publish(ev Event) Event {
 		}
 	}
 	b.mu.Unlock()
-	return ev
 }
 
 // restore replays a journaled event into the ring during recovery, without

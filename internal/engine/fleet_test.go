@@ -519,7 +519,7 @@ strategy:
 	}
 
 	eng1 := New(WithConfigurator(NewFleetConfigurator(fleetOpts()...)),
-		WithJournal(openTestJournal(t, dir)))
+		WithJournalSet(openTestJournal(t, dir)))
 	if _, err := eng1.EnactSource(strategy, src); err != nil {
 		t.Fatal(err)
 	}
@@ -541,7 +541,7 @@ strategy:
 	replicas["r2"].reboot()
 
 	eng2 := New(WithConfigurator(NewFleetConfigurator(fleetOpts()...)),
-		WithJournal(openTestJournal(t, dir)))
+		WithJournalSet(openTestJournal(t, dir)))
 	defer eng2.Shutdown()
 	events, cancel := eng2.Subscribe(256)
 	defer cancel()
@@ -606,7 +606,7 @@ strategy:
 	}
 
 	eng1 := New(WithConfigurator(NewFleetConfigurator(fleetOpts()...)),
-		WithJournal(openTestJournal(t, dir)))
+		WithJournalSet(openTestJournal(t, dir)))
 	run1, err := eng1.EnactSource(strategy, src)
 	if err != nil {
 		t.Fatal(err)
@@ -626,7 +626,7 @@ strategy:
 	}
 
 	eng2 := New(WithConfigurator(NewFleetConfigurator(fleetOpts()...)),
-		WithJournal(openTestJournal(t, dir)))
+		WithJournalSet(openTestJournal(t, dir)))
 	defer eng2.Shutdown()
 	report, err := eng2.Recover(dsl.Compile)
 	if err != nil {
@@ -774,5 +774,130 @@ func TestHTTPConfiguratorRetriesTransient(t *testing.T) {
 	defer fa.mu.Unlock()
 	if fa.cfg.Generation != 2 || fa.puts != 3 {
 		t.Errorf("generation = %d after %d puts, want 2 after 3", fa.cfg.Generation, fa.puts)
+	}
+}
+
+// racingFleetManager is a scripted configurator/fleet manager that
+// reproduces the PR 5 trade-off window deterministically: its first
+// reconcile pass hands the run loop a degraded report for the generation it
+// was asked to configure, and supersedes that generation *in the same
+// breath* — i.e. the transition lands exactly between the pass's stale
+// filter and the loop's publish. Later passes report the new generation.
+type racingFleetManager struct {
+	mu       sync.Mutex
+	gen      int64 // current settled desired generation
+	settling bool
+	staleGen int64 // the generation the poisoned pass reports
+	poisoned bool  // first post-settle pass already fired
+	passes   int
+}
+
+func (m *racingFleetManager) Configure(ctx context.Context, s *core.Strategy,
+	state *core.State, rc core.RoutingConfig, generation int64) error {
+	m.mu.Lock()
+	m.gen, m.settling = generation, true
+	m.staleGen = generation
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *racingFleetManager) tracks(*core.Strategy) bool { return true }
+
+func (m *racingFleetManager) reconcile(ctx context.Context, strategy string) []FleetStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.settling {
+		return nil
+	}
+	m.passes++
+	if !m.poisoned {
+		// The poisoned pass: report the current generation as degraded,
+		// then supersede it before returning — from the run loop's point
+		// of view the transition happened in the filter-to-publish window.
+		m.poisoned = true
+		st := FleetStatus{
+			Service: "shop", Generation: m.staleGen,
+			Replicas: 2, Acked: 1, Lagging: []string{"r2"},
+		}
+		m.gen = m.staleGen + 1 // supersede; already settled (applied elsewhere)
+		return []FleetStatus{st}
+	}
+	return []FleetStatus{{
+		Service: "shop", Generation: m.gen,
+		Replicas: 2, Acked: 1, Lagging: []string{"r2"},
+	}}
+}
+
+func (m *racingFleetManager) reconcileInterval() time.Duration { return 5 * time.Millisecond }
+func (m *racingFleetManager) passBudget() time.Duration        { return time.Second }
+
+func (m *racingFleetManager) settled(strategy, service string) {
+	m.mu.Lock()
+	m.settling = false
+	m.mu.Unlock()
+}
+
+func (m *racingFleetManager) forget(strategy string) {}
+
+// withCurrent mirrors FleetConfigurator.withCurrent's contract over the
+// scripted state: fn runs only while generation is still the settled
+// current one, under the same lock reconcile mutates it.
+func (m *racingFleetManager) withCurrent(strategy, service string, generation int64, fn func()) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.settling || m.gen != generation {
+		return false
+	}
+	fn()
+	return true
+}
+
+// TestReconcileLoopDropsStaleReportFullPath drives the PR 5 stale-report
+// race through the real run loop: the reconciler's pass returns a report
+// for a generation that is superseded before the loop can publish it. The
+// loop must consult the manager's publish gate and drop the report — the
+// journal never carries a routing_degraded for the dead generation — while
+// the next pass's report for the live generation still publishes.
+func TestReconcileLoopDropsStaleReportFullPath(t *testing.T) {
+	fm := &racingFleetManager{}
+	eng := New(WithConfigurator(fm))
+	defer eng.Shutdown()
+
+	strategy, err := dsl.Compile(holdStrategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, cancel := eng.Subscribe(256)
+	defer cancel()
+	if _, err := eng.EnactSource(strategy, holdStrategy); err != nil {
+		t.Fatal(err)
+	}
+
+	// The live generation's degradation reaches the stream... (staleGen is
+	// only read once an event proves the poisoned pass already ran)
+	ev := awaitEvent(t, events, "routing_degraded for the live generation", func(ev Event) bool {
+		return ev.Type == EventRoutingDegraded
+	})
+	fm.mu.Lock()
+	stale := fm.staleGen
+	fm.mu.Unlock()
+	if ev.Generation != stale+1 {
+		t.Fatalf("first published degradation is generation %d, want %d (the superseding one)",
+			ev.Generation, stale+1)
+	}
+	// ...and the superseded generation's never does, no matter how long the
+	// journal is replayed: the gate dropped it inside the window.
+	for _, got := range eng.RunEvents(strategy.Name, 0) {
+		if (got.Type == EventRoutingDegraded || got.Type == EventRoutingConverged) &&
+			got.Generation == stale {
+			t.Fatalf("stale generation-%d report slipped through the publish gate: %+v",
+				stale, got)
+		}
+	}
+	fm.mu.Lock()
+	passes := fm.passes
+	fm.mu.Unlock()
+	if passes < 2 {
+		t.Fatalf("reconciler made %d passes, want at least the poisoned one and a live one", passes)
 	}
 }

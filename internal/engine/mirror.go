@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"encoding/json"
 	"time"
 
 	"bifrost/internal/core"
@@ -240,6 +241,51 @@ func (m *engineMirror) clone() *engineMirror {
 		c.Runs[name] = &cp
 	}
 	return c
+}
+
+// cloneRun deep-copies a single run's reduction into a standalone mirror —
+// the snapshot payload of that run's journal partition. Nil if the run has
+// no reduction (already removed).
+func (m *engineMirror) cloneRun(name string) *engineMirror {
+	rm, ok := m.Runs[name]
+	if !ok {
+		return nil
+	}
+	cp := *rm
+	cp.Events = append([]Event(nil), rm.Events...)
+	cp.Status.Path = append([]Transition(nil), rm.Status.Path...)
+	cp.Status.Checks = append([]CheckStatus(nil), rm.Status.Checks...)
+	cp.Status.Fleet = append([]FleetStatus(nil), rm.Status.Fleet...)
+	return &engineMirror{
+		LastTime:   m.LastTime,
+		Generation: m.Generation,
+		Runs:       map[string]*runMirror{name: &cp},
+	}
+}
+
+// splitMirrorSnapshot breaks a legacy engine-wide snapshot into one
+// single-run snapshot per run, for the journal's partition migration. Each
+// per-run payload is a full engineMirror holding just that run, so
+// partition recovery reuses the exact same decoding path as before.
+func splitMirrorSnapshot(snapshot []byte) (map[string][]byte, error) {
+	var m engineMirror
+	if err := json.Unmarshal(snapshot, &m); err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(m.Runs))
+	for name := range m.Runs {
+		part := engineMirror{
+			LastTime:   m.LastTime,
+			Generation: m.Generation,
+			Runs:       map[string]*runMirror{name: m.Runs[name]},
+		}
+		raw, err := json.Marshal(&part)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = raw
+	}
+	return out, nil
 }
 
 // events returns up to n of a run's retained events, oldest first (n <= 0:

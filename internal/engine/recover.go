@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"bifrost/internal/core"
@@ -23,6 +24,19 @@ type RecoveryReport struct {
 	// Skipped maps unfinished-but-unrecoverable runs to the reason (no
 	// DSL source journaled, or the source no longer compiles).
 	Skipped map[string]string
+}
+
+// RunRecovery reports the outcome of recovering one run's partition.
+type RunRecovery struct {
+	// Run is the registered run: resumed if the partition showed it
+	// unfinished, terminal history otherwise. Nil when the partition was
+	// empty or the run could not be recovered (see SkipReason).
+	Run *Run
+	// Resumed reports that the run's loop is executing again.
+	Resumed bool
+	// SkipReason is non-empty when the run is unfinished but cannot be
+	// resumed (no journaled source, or the source no longer compiles).
+	SkipReason string
 }
 
 // recovered carries a resumed run's journal-derived position into its loop.
@@ -49,15 +63,16 @@ type recovered struct {
 	priorActual time.Duration
 }
 
-// Recover replays the engine's journal and resumes every unfinished run:
+// Recover replays every journal partition and resumes every unfinished run:
 // same automaton state, elapsed-in-state preserved, pause generation and
 // path intact, and the last routing configuration re-applied through the
 // Configurator (proxies may have restarted too). It must be called once,
 // after New and before any Enact. compile recompiles the journaled strategy
-// sources (cmd wiring passes dsl.Compile).
+// sources (cmd wiring passes dsl.Compile). Clustered engines adopt runs
+// one at a time through RecoverRun instead, as their leases are claimed.
 func (e *Engine) Recover(compile CompileFunc) (*RecoveryReport, error) {
-	if e.journal == nil {
-		return nil, errors.New("engine: Recover requires WithJournal")
+	if e.journals == nil {
+		return nil, errors.New("engine: Recover requires WithJournalSet")
 	}
 	e.mu.Lock()
 	if e.closed {
@@ -70,44 +85,142 @@ func (e *Engine) Recover(compile CompileFunc) (*RecoveryReport, error) {
 	}
 	e.mu.Unlock()
 
-	e.pubMu.Lock()
-	snap, snapSeq := e.journal.Snapshot()
-	if snap != nil {
-		if err := json.Unmarshal(snap, e.mirror); err != nil {
-			e.pubMu.Unlock()
-			return nil, fmt.Errorf("engine: corrupt journal snapshot: %w", err)
+	names, err := e.journals.List()
+	if err != nil {
+		return nil, err
+	}
+	report := &RecoveryReport{Skipped: make(map[string]string)}
+	var ring []Event
+	for _, name := range names {
+		part, err := e.replayPartition(name, compile, e.fenceFor(name))
+		if err != nil {
+			report.Skipped[name] = err.Error()
+			continue
 		}
-		if e.mirror.Runs == nil {
-			e.mirror.Runs = make(map[string]*runMirror, 8)
+		if part == nil {
+			continue // empty partition: nothing ever flushed
+		}
+		ring = append(ring, part.events...)
+		rr, err := e.resumePartition(part)
+		if err != nil {
+			return report, err
+		}
+		switch {
+		case rr.SkipReason != "":
+			report.Skipped[name] = rr.SkipReason
+		case rr.Resumed:
+			report.Resumed = append(report.Resumed, rr.Run)
+		default:
+			report.Finished++
 		}
 	}
-	e.bus.setSeq(snapSeq)
+	// Rebuild the global replay ring in sequence order: the partitions were
+	// replayed one after another, but their events interleave globally.
+	sort.Slice(ring, func(a, b int) bool { return ring[a].Seq < ring[b].Seq })
+	for _, ev := range ring {
+		e.bus.restore(ev)
+	}
+	return report, nil
+}
 
-	// Strategies recompile lazily, once per run; nil means unrecoverable.
-	strategies := make(map[string]*core.Strategy)
-	compileFor := func(name string) *core.Strategy {
-		if s, ok := strategies[name]; ok {
-			return s
+// RecoverRun adopts a single run from its journal partition at runtime: the
+// HA path a replica takes after claiming the run's lease (its own at
+// startup, or a dead replica's after the TTL). The partition is opened
+// under the lease's fencing token — registering the new ownership epoch
+// before a single record is read, so the previous owner's zombie appends
+// are rejected from that point on — then replayed through the exact
+// crash-recovery reduction, and the run resumes in-phase with downtime
+// excluded. Unlike Recover it may be called at any point in the engine's
+// life, concurrently with live runs.
+func (e *Engine) RecoverRun(name string, compile CompileFunc, token int64) (*RunRecovery, error) {
+	if e.journals == nil {
+		return nil, errors.New("engine: RecoverRun requires WithJournalSet")
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrEngineClosed
+	}
+	if _, exists := e.runs[name]; exists {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrAlreadyRunning, name)
+	}
+	e.mu.Unlock()
+
+	part, err := e.replayPartition(name, compile, token)
+	if err != nil {
+		return nil, err
+	}
+	if part == nil {
+		return &RunRecovery{}, nil
+	}
+	return e.resumePartition(part)
+}
+
+// partitionReplay is one partition's replayed state, ready to resume.
+type partitionReplay struct {
+	name     string
+	rm       runMirror
+	strategy *core.Strategy
+	lastTime time.Time
+	events   []Event // post-snapshot events, for global ring restore
+}
+
+// replayPartition opens run name's partition under the given fencing token,
+// replays snapshot plus records into the engine mirror, and fast-forwards
+// the event sequence past everything replayed. Returns nil when the
+// partition holds no reduction for the run (nothing was ever flushed).
+func (e *Engine) replayPartition(name string, compile CompileFunc, token int64) (*partitionReplay, error) {
+	j, err := e.journals.Partition(name, token)
+	if err != nil {
+		return nil, err
+	}
+
+	e.pubMu.Lock()
+	defer e.pubMu.Unlock()
+
+	part := newEngineMirror()
+	snap, snapSeq := j.Snapshot()
+	if snap != nil {
+		if err := json.Unmarshal(snap, part); err != nil {
+			return nil, fmt.Errorf("engine: corrupt snapshot for %s: %w", name, err)
 		}
-		var s *core.Strategy
-		if rm, ok := e.mirror.Runs[name]; ok && rm.Source != "" && compile != nil {
+		if part.Runs == nil {
+			part.Runs = make(map[string]*runMirror, 1)
+		}
+	}
+
+	// The strategy recompiles lazily, re-triggered when a newer source
+	// record lands mid-replay; nil means unrecoverable.
+	var strategy *core.Strategy
+	compiled := false
+	compileFor := func() *core.Strategy {
+		if compiled {
+			return strategy
+		}
+		compiled = true
+		if rm, ok := part.Runs[name]; ok && rm.Source != "" && compile != nil {
 			if cs, err := compile(rm.Source); err == nil {
-				s = cs
+				strategy = cs
 			}
 		}
-		strategies[name] = s
-		return s
+		return strategy
 	}
 
-	maxGen := e.mirror.Generation
-	err := e.journal.Replay(func(rec journal.Record) error {
+	maxSeq := snapSeq
+	maxGen := part.Generation
+	var events []Event
+	err = j.Replay(func(rec journal.Record) error {
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
 		switch rec.Type {
 		case recHeartbeat:
 			// Heartbeats share the newest event's seq, so they may sit on
 			// (or behind) the snapshot boundary and are always applied:
 			// they only push the crash-time estimate forward.
-			if rec.Time.After(e.mirror.LastTime) {
-				e.mirror.LastTime = rec.Time
+			if rec.Time.After(part.LastTime) {
+				part.LastTime = rec.Time
 			}
 		case recSource:
 			if rec.Seq <= snapSeq {
@@ -115,8 +228,8 @@ func (e *Engine) Recover(compile CompileFunc) (*RecoveryReport, error) {
 			}
 			var sr sourceRecord
 			if json.Unmarshal(rec.Data, &sr) == nil {
-				e.mirror.setSource(rec.Run, sr.Source)
-				delete(strategies, rec.Run) // compile against the new source
+				part.setSource(name, sr.Source)
+				compiled = false // compile against the new source
 			}
 		case recEvent:
 			if rec.Seq <= snapSeq {
@@ -126,8 +239,8 @@ func (e *Engine) Recover(compile CompileFunc) (*RecoveryReport, error) {
 			if json.Unmarshal(rec.Data, &ev) != nil {
 				return nil // tolerate unknown/garbled records, like a torn tail
 			}
-			e.mirror.apply(compileFor(ev.Strategy), ev)
-			e.bus.restore(ev)
+			part.apply(compileFor(), ev)
+			events = append(events, ev)
 			if ev.Generation > maxGen {
 				maxGen = ev.Generation
 			}
@@ -135,106 +248,109 @@ func (e *Engine) Recover(compile CompileFunc) (*RecoveryReport, error) {
 		return nil
 	})
 	if err != nil {
-		e.pubMu.Unlock()
 		return nil, err
 	}
+	rm, ok := part.Runs[name]
+	if !ok {
+		return nil, nil
+	}
+	compileFor() // terminal runs too: Run.Strategy() should work on history
+
 	// Retained history may hold routing generations newer than the
 	// snapshot counter (snapshot counters only advance at compaction).
-	for _, rm := range e.mirror.Runs {
-		for _, ev := range rm.Events {
-			if ev.Generation > maxGen {
-				maxGen = ev.Generation
-			}
+	for _, ev := range rm.Events {
+		if ev.Generation > maxGen {
+			maxGen = ev.Generation
 		}
 	}
 	if maxGen > e.generation.Load() {
 		e.generation.Store(maxGen)
 	}
-	lastTime := e.mirror.LastTime
+	// New events continue past everything this partition had journaled, so
+	// a watcher's Last-Event-ID from the previous owner stays behind (or
+	// at) the adopted numbering — never ahead of it.
+	e.bus.setSeq(maxSeq)
 
-	// Snapshot the per-run states and compile every remaining strategy
-	// before releasing pubMu; the run loops started below publish events,
-	// which mutate the mirror under that lock.
-	type pending struct {
-		name string
-		rm   runMirror
+	e.mirror.Runs[name] = rm
+	if part.LastTime.After(e.mirror.LastTime) {
+		e.mirror.LastTime = part.LastTime
 	}
-	pendings := make([]pending, 0, len(e.mirror.Runs))
-	for name := range e.mirror.Runs {
-		// Terminal runs too: Run.Strategy() should work on a replayed
-		// finished run whose source is journaled.
-		compileFor(name)
-	}
-	for name, rm := range e.mirror.Runs {
-		pendings = append(pendings, pending{name, *rm})
-	}
-	e.pubMu.Unlock()
+	return &partitionReplay{
+		name:     name,
+		rm:       *rm,
+		strategy: strategy,
+		lastTime: part.LastTime,
+		events:   events,
+	}, nil
+}
 
-	report := &RecoveryReport{Skipped: make(map[string]string)}
-	for _, p := range pendings {
-		st := p.rm.Status
-		st.Path = append([]Transition(nil), st.Path...)
-		if st.State.terminal() {
-			report.Finished++
-			e.registerRun(newFinishedRun(e, strategies[p.name], st))
-			continue
-		}
-		s := strategies[p.name]
-		if s == nil {
-			reason := "no strategy source journaled (enacted programmatically)"
-			if p.rm.Source != "" {
-				reason = "journaled strategy source no longer compiles"
-			}
-			report.Skipped[p.name] = reason
-			continue
-		}
-		var elapsed, prior time.Duration
-		if !st.EnteredAt.IsZero() && lastTime.After(st.EnteredAt) {
-			elapsed = lastTime.Sub(st.EnteredAt)
-		}
-		// Active wall time accumulates per life: everything before the
-		// last recovery is in PriorActive, plus this life's span up to the
-		// newest record — inter-restart downtime never counts.
-		anchor, base := st.StartedAt, time.Duration(0)
-		if !p.rm.ResumedAt.IsZero() {
-			anchor, base = p.rm.ResumedAt, p.rm.PriorActive
-		}
-		prior = base
-		if !anchor.IsZero() && lastTime.After(anchor) {
-			prior += lastTime.Sub(anchor)
-		}
-		st.Recovered = true
-		ctx, cancel := context.WithCancel(context.Background())
-		r := &Run{
-			engine:   e,
-			strategy: s,
-			cancel:   cancel,
-			done:     make(chan struct{}),
-			controls: make(chan controlMsg),
-			status:   st,
-			recov: &recovered{
-				current:     st.Current,
-				routing:     effectiveRouting(s, st.Path, st.Current),
-				elapsed:     elapsed,
-				paused:      st.State == RunPaused,
-				pauseGen:    st.PauseGen,
-				priorActual: prior,
-			},
-		}
+// resumePartition registers a replayed run: terminal runs as history,
+// unfinished ones resumed in-phase with elapsed-in-state preserved and
+// downtime excluded (lastTime — the partition's newest record or heartbeat
+// — is the best available crash-time estimate).
+func (e *Engine) resumePartition(part *partitionReplay) (*RunRecovery, error) {
+	st := part.rm.Status
+	st.Path = append([]Transition(nil), st.Path...)
+	if st.State.terminal() {
+		r := newFinishedRun(e, part.strategy, st)
 		if !e.registerRun(r) {
-			cancel()
-			return report, ErrEngineClosed
+			return nil, ErrEngineClosed
 		}
-		report.Resumed = append(report.Resumed, r)
-		e.mRecovered.Inc()
-		e.mActive.Add(1)
-		go func() {
-			defer e.wg.Done()
-			defer e.mActive.Add(-1)
-			r.loop(ctx)
-		}()
+		return &RunRecovery{Run: r}, nil
 	}
-	return report, nil
+	if part.strategy == nil {
+		reason := "no strategy source journaled (enacted programmatically)"
+		if part.rm.Source != "" {
+			reason = "journaled strategy source no longer compiles"
+		}
+		return &RunRecovery{SkipReason: reason}, nil
+	}
+	var elapsed, prior time.Duration
+	if !st.EnteredAt.IsZero() && part.lastTime.After(st.EnteredAt) {
+		elapsed = part.lastTime.Sub(st.EnteredAt)
+	}
+	// Active wall time accumulates per life: everything before the
+	// last recovery is in PriorActive, plus this life's span up to the
+	// newest record — inter-restart downtime never counts.
+	anchor, base := st.StartedAt, time.Duration(0)
+	if !part.rm.ResumedAt.IsZero() {
+		anchor, base = part.rm.ResumedAt, part.rm.PriorActive
+	}
+	prior = base
+	if !anchor.IsZero() && part.lastTime.After(anchor) {
+		prior += part.lastTime.Sub(anchor)
+	}
+	st.Recovered = true
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Run{
+		engine:   e,
+		strategy: part.strategy,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		evicted:  make(chan struct{}),
+		controls: make(chan controlMsg),
+		status:   st,
+		recov: &recovered{
+			current:     st.Current,
+			routing:     effectiveRouting(part.strategy, st.Path, st.Current),
+			elapsed:     elapsed,
+			paused:      st.State == RunPaused,
+			pauseGen:    st.PauseGen,
+			priorActual: prior,
+		},
+	}
+	if !e.registerRun(r) {
+		cancel()
+		return nil, ErrEngineClosed
+	}
+	e.mRecovered.Inc()
+	e.mActive.Add(1)
+	go func() {
+		defer e.wg.Done()
+		defer e.mActive.Add(-1)
+		r.loop(ctx)
+	}()
+	return &RunRecovery{Run: r, Resumed: true}, nil
 }
 
 // effectiveRouting returns the routing configurations in force when the
@@ -299,6 +415,7 @@ func newFinishedRun(e *Engine, s *core.Strategy, st Status) *Run {
 		strategy: s,
 		cancel:   func() {},
 		done:     done,
+		evicted:  make(chan struct{}),
 		controls: make(chan controlMsg),
 		status:   st,
 	}

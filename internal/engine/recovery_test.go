@@ -46,13 +46,13 @@ strategy:
             weights: {canary: 100}
 `
 
-func openTestJournal(t *testing.T, dir string) *journal.Journal {
+func openTestJournal(t *testing.T, dir string) *journal.Set {
 	t.Helper()
-	j, err := journal.Open(dir, journal.Options{FlushInterval: -1})
+	js, err := OpenJournal(dir, journal.Options{FlushInterval: -1})
 	if err != nil {
-		t.Fatalf("journal.Open: %v", err)
+		t.Fatalf("OpenJournal: %v", err)
 	}
-	return j
+	return js
 }
 
 // eventually polls cond for up to two seconds of real time, advancing
@@ -106,7 +106,7 @@ func TestCrashRecoveryResumesShippedCanaryMidPhase(t *testing.T) {
 	lc := NewLocalConfigurator()
 	lc.Register("checkout", p)
 
-	eng1 := New(WithClock(clk), WithConfigurator(lc), WithJournal(openTestJournal(t, dir)))
+	eng1 := New(WithClock(clk), WithConfigurator(lc), WithJournalSet(openTestJournal(t, dir)))
 	if _, err := eng1.EnactSource(strategy, src); err != nil {
 		t.Fatalf("EnactSource: %v", err)
 	}
@@ -137,7 +137,7 @@ func TestCrashRecoveryResumesShippedCanaryMidPhase(t *testing.T) {
 	eng1.Suspend()
 
 	// Restart on the same journal directory.
-	eng2 := New(WithClock(clk), WithConfigurator(lc), WithJournal(openTestJournal(t, dir)))
+	eng2 := New(WithClock(clk), WithConfigurator(lc), WithJournalSet(openTestJournal(t, dir)))
 	report, err := eng2.Recover(dsl.Compile)
 	if err != nil {
 		t.Fatalf("Recover: %v", err)
@@ -247,7 +247,7 @@ func TestCrashRecoveryResumesShippedCanaryMidPhase(t *testing.T) {
 	// once — no resumed loop, no duplicate finished event, no routing push.
 	genAfterFinish := p.Config().Generation
 	eng2.Suspend()
-	eng3 := New(WithClock(clk), WithConfigurator(lc), WithJournal(openTestJournal(t, dir)))
+	eng3 := New(WithClock(clk), WithConfigurator(lc), WithJournalSet(openTestJournal(t, dir)))
 	defer eng3.Shutdown()
 	report3, err := eng3.Recover(dsl.Compile)
 	if err != nil {
@@ -289,7 +289,7 @@ func TestRecoveryRestoresPausedRun(t *testing.T) {
 	clk := clock.NewManual(time.Date(2026, 7, 30, 9, 0, 0, 0, time.UTC))
 	cfg := &recordingConfigurator{}
 
-	eng1 := New(WithClock(clk), WithConfigurator(cfg), WithJournal(openTestJournal(t, dir)))
+	eng1 := New(WithClock(clk), WithConfigurator(cfg), WithJournalSet(openTestJournal(t, dir)))
 	if _, err := eng1.EnactSource(strategy, holdStrategy); err != nil {
 		t.Fatalf("EnactSource: %v", err)
 	}
@@ -306,7 +306,7 @@ func TestRecoveryRestoresPausedRun(t *testing.T) {
 	// First restart holds the pause; a second restart (the engine dying
 	// again while the run is still held) must hold it too — the re-entry
 	// window may journal state_entered, but the pause must stick.
-	engMid := New(WithClock(clk), WithConfigurator(cfg), WithJournal(openTestJournal(t, dir)))
+	engMid := New(WithClock(clk), WithConfigurator(cfg), WithJournalSet(openTestJournal(t, dir)))
 	repMid, err := engMid.Recover(dsl.Compile)
 	if err != nil || len(repMid.Resumed) != 1 {
 		t.Fatalf("mid Recover: %v, resumed %d", err, len(repMid.Resumed))
@@ -314,7 +314,7 @@ func TestRecoveryRestoresPausedRun(t *testing.T) {
 	waitReentries(t, engMid, "hold-run", 2)
 	engMid.Suspend()
 
-	eng2 := New(WithClock(clk), WithConfigurator(cfg), WithJournal(openTestJournal(t, dir)))
+	eng2 := New(WithClock(clk), WithConfigurator(cfg), WithJournalSet(openTestJournal(t, dir)))
 	defer eng2.Shutdown()
 	report, err := eng2.Recover(dsl.Compile)
 	if err != nil {
@@ -350,14 +350,14 @@ func TestRecoveryRestoresPausedRun(t *testing.T) {
 
 func TestRecoverySkipsRunsWithoutSource(t *testing.T) {
 	dir := t.TempDir()
-	eng1 := New(WithJournal(openTestJournal(t, dir)))
+	eng1 := New(WithJournalSet(openTestJournal(t, dir)))
 	s := canaryStrategy(core.ConstEvaluator(true), 50*time.Millisecond, 1000)
 	if _, err := eng1.Enact(s); err != nil { // programmatic: no DSL source
 		t.Fatalf("Enact: %v", err)
 	}
 	eng1.Suspend()
 
-	eng2 := New(WithJournal(openTestJournal(t, dir)))
+	eng2 := New(WithJournalSet(openTestJournal(t, dir)))
 	defer eng2.Shutdown()
 	report, err := eng2.Recover(dsl.Compile)
 	if err != nil {
@@ -377,7 +377,7 @@ func TestRecoverySkipsRunsWithoutSource(t *testing.T) {
 		t.Fatalf("Remove of skipped orphan: %v", err)
 	}
 	eng2.Suspend()
-	eng3 := New(WithJournal(openTestJournal(t, dir)))
+	eng3 := New(WithJournalSet(openTestJournal(t, dir)))
 	defer eng3.Shutdown()
 	report3, err := eng3.Recover(dsl.Compile)
 	if err != nil {
@@ -398,11 +398,11 @@ func TestRecoveryAfterCompaction(t *testing.T) {
 	}
 	dir := t.TempDir()
 	clk := clock.NewManual(time.Date(2026, 7, 30, 9, 0, 0, 0, time.UTC))
-	j, err := journal.Open(dir, journal.Options{FlushInterval: -1, CompactBytes: 2048})
+	js, err := OpenJournal(dir, journal.Options{FlushInterval: -1, CompactBytes: 2048})
 	if err != nil {
-		t.Fatalf("journal.Open: %v", err)
+		t.Fatalf("OpenJournal: %v", err)
 	}
-	eng1 := New(WithClock(clk), WithJournal(j))
+	eng1 := New(WithClock(clk), WithJournalSet(js))
 	if _, err := eng1.EnactSource(strategy, holdStrategy); err != nil {
 		t.Fatalf("EnactSource: %v", err)
 	}
@@ -423,7 +423,7 @@ func TestRecoveryAfterCompaction(t *testing.T) {
 	}
 	eng1.Suspend()
 
-	eng2 := New(WithClock(clk), WithJournal(openTestJournal(t, dir)))
+	eng2 := New(WithClock(clk), WithJournalSet(openTestJournal(t, dir)))
 	defer eng2.Shutdown()
 	report, err := eng2.Recover(dsl.Compile)
 	if err != nil {
@@ -466,7 +466,7 @@ func TestElapsedSurvivesSecondRestart(t *testing.T) {
 	dir := t.TempDir()
 	clk := clock.NewManual(time.Date(2026, 7, 30, 9, 0, 0, 0, time.UTC))
 
-	eng1 := New(WithClock(clk), WithJournal(openTestJournal(t, dir)))
+	eng1 := New(WithClock(clk), WithJournalSet(openTestJournal(t, dir)))
 	if _, err := eng1.EnactSource(strategy, holdStrategy); err != nil {
 		t.Fatalf("EnactSource: %v", err)
 	}
@@ -499,7 +499,7 @@ func TestElapsedSurvivesSecondRestart(t *testing.T) {
 	// phase nor toward the run's active wall time.
 	clk.Advance(time.Hour)
 
-	eng2 := New(WithClock(clk), WithJournal(openTestJournal(t, dir)))
+	eng2 := New(WithClock(clk), WithJournalSet(openTestJournal(t, dir)))
 	rep2, err := eng2.Recover(dsl.Compile)
 	if err != nil || len(rep2.Resumed) != 1 {
 		t.Fatalf("first Recover: %v, resumed %d (skipped %v)", err, len(rep2.Resumed), rep2.Skipped)
@@ -520,7 +520,7 @@ func TestElapsedSurvivesSecondRestart(t *testing.T) {
 	eng2.Suspend()
 	clk.Advance(2 * time.Hour)
 
-	eng3 := New(WithClock(clk), WithJournal(openTestJournal(t, dir)))
+	eng3 := New(WithClock(clk), WithJournalSet(openTestJournal(t, dir)))
 	defer eng3.Shutdown()
 	rep3, err := eng3.Recover(dsl.Compile)
 	if err != nil || len(rep3.Resumed) != 1 {
@@ -558,7 +558,7 @@ func TestElapsedSurvivesSecondRestart(t *testing.T) {
 // re-enacted — not merge into the stale mirror.
 func TestReEnactAfterSkippedRecoveryStartsFresh(t *testing.T) {
 	dir := t.TempDir()
-	eng1 := New(WithJournal(openTestJournal(t, dir)))
+	eng1 := New(WithJournalSet(openTestJournal(t, dir)))
 	old := canaryStrategy(core.ConstEvaluator(true), 50*time.Millisecond, 1000)
 	if _, err := eng1.Enact(old); err != nil { // sourceless: unrecoverable
 		t.Fatalf("Enact: %v", err)
@@ -573,7 +573,7 @@ func TestReEnactAfterSkippedRecoveryStartsFresh(t *testing.T) {
 	})
 	eng1.Suspend()
 
-	eng2 := New(WithJournal(openTestJournal(t, dir)))
+	eng2 := New(WithJournalSet(openTestJournal(t, dir)))
 	defer eng2.Shutdown()
 	if report, err := eng2.Recover(dsl.Compile); err != nil || len(report.Skipped) != 1 {
 		t.Fatalf("Recover: %v, skipped %v", err, report.Skipped)
@@ -622,7 +622,7 @@ func TestRemoveSurvivesRestart(t *testing.T) {
 		t.Fatalf("compile: %v", err)
 	}
 	dir := t.TempDir()
-	eng1 := New(WithJournal(openTestJournal(t, dir)))
+	eng1 := New(WithJournalSet(openTestJournal(t, dir)))
 	run, err := eng1.EnactSource(strategy, holdStrategy)
 	if err != nil {
 		t.Fatalf("EnactSource: %v", err)
@@ -637,7 +637,7 @@ func TestRemoveSurvivesRestart(t *testing.T) {
 	}
 	eng1.Suspend()
 
-	eng2 := New(WithJournal(openTestJournal(t, dir)))
+	eng2 := New(WithJournalSet(openTestJournal(t, dir)))
 	defer eng2.Shutdown()
 	report, err := eng2.Recover(dsl.Compile)
 	if err != nil {
@@ -738,7 +738,7 @@ func TestSimultaneousInterruptsAllObserved(t *testing.T) {
 // Shutdown under the race detector: no panic, no run escaping Shutdown, no
 // journal record after close, and Enact failing cleanly afterwards.
 func TestShutdownEnactRaceStress(t *testing.T) {
-	eng := New(WithJournal(openTestJournal(t, t.TempDir())))
+	eng := New(WithJournalSet(openTestJournal(t, t.TempDir())))
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})

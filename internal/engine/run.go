@@ -32,6 +32,11 @@ type Run struct {
 	strategy *core.Strategy
 	cancel   context.CancelFunc
 	done     chan struct{}
+	// evicted is closed by Engine.Evict when this replica loses the run's
+	// ownership lease: the loop exits exactly like a suspend — no terminal
+	// record — because the run lives on, adopted by another replica.
+	evicted   chan struct{}
+	evictOnce sync.Once
 	// controls carries operator commands (pause, resume, manual gate
 	// decisions) into the run loop, which consumes them while a state is
 	// executing or paused.
@@ -388,6 +393,8 @@ func (r *Run) loop(ctx context.Context) {
 			return
 		case <-r.engine.stopping:
 			return // suspended: no terminal record, the journal resumes us
+		case <-r.evicted:
+			return // lease lost: another replica is adopting this run
 		default:
 		}
 
@@ -632,6 +639,10 @@ wait:
 			cancelState()
 			wg.Wait()
 			return stepResult{}, errSuspended
+		case <-r.evicted:
+			cancelState()
+			wg.Wait()
+			return stepResult{}, errSuspended
 		case msg := <-r.controls:
 			switch msg.kind {
 			case ctrlResume:
@@ -720,6 +731,8 @@ func (r *Run) pausedWait(ctx context.Context, state *core.State, gen int) (stepR
 	for {
 		select {
 		case <-r.engine.stopping:
+			return stepResult{}, errSuspended
+		case <-r.evicted:
 			return stepResult{}, errSuspended
 		case msg := <-r.controls:
 			switch msg.kind {
@@ -864,6 +877,8 @@ func (r *Run) reconcileLoop(ctx context.Context, fm fleetManager) {
 		case <-ctx.Done():
 			return
 		case <-r.engine.stopping:
+			return
+		case <-r.evicted:
 			return
 		case <-t.C():
 		}

@@ -187,6 +187,13 @@ func sendJSON(ctx context.Context, method, url string, body, v any) error {
 	if err != nil {
 		return fmt.Errorf("build request: %w", err)
 	}
+	// net/http only rewinds bodies it recognizes; with a custom reader a
+	// 307 (an HA engine redirecting to a run's owner) would silently
+	// re-POST with no body. Supply the rewind explicitly.
+	req.ContentLength = int64(len(raw))
+	req.GetBody = func() (io.ReadCloser, error) {
+		return io.NopCloser(bytesReader(raw)), nil
+	}
 	req.Header.Set("Content-Type", "application/json")
 	return doJSON(req, v)
 }

@@ -56,6 +56,15 @@ type Options struct {
 	// many bytes of records accumulated since the last snapshot, the owner
 	// should build a snapshot and call Compact. Default 1 MiB.
 	CompactBytes int64
+	// FencingToken switches the journal from flock-based single-writer
+	// protection to fencing-token protection (HA mode, where the writer
+	// holding the flock may be a dead replica's zombie process). A positive
+	// token is compared against the directory's fence file: Open fails with
+	// ErrFenced if a newer owner already registered a higher token, and
+	// appends/flushes are rejected once a higher token appears — the zombie
+	// writer is fenced off instead of corrupting the new owner's view.
+	// Zero keeps the classic flock behavior.
+	FencingToken int64
 }
 
 func (o Options) withDefaults() Options {
@@ -78,6 +87,11 @@ var ErrClosed = errors.New("journal: closed")
 // rolling deploy briefly running two engines must fail the second opener
 // loudly rather than let both append conflicting records.
 var ErrLocked = errors.New("journal: directory locked by another process")
+
+// ErrFenced is returned in fencing mode (Options.FencingToken > 0) when a
+// newer owner has registered a higher token for this directory: the caller
+// lost ownership (its lease was stolen) and must stop writing.
+var ErrFenced = errors.New("journal: fenced by a newer owner")
 
 const (
 	segPrefix  = "seg-"
@@ -117,6 +131,10 @@ type Journal struct {
 
 	bytesSinceCompact int64
 
+	// fenced latches once a higher fencing token is observed; every
+	// subsequent append or flush fails with ErrFenced.
+	fenced bool
+
 	// compactMu serializes Compact calls (the snapshot write happens
 	// outside j.mu so appends are not stalled by its fsyncs).
 	compactMu sync.Mutex
@@ -141,7 +159,13 @@ func Open(dir string, opts Options) (*Journal, error) {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
 	j := &Journal{dir: dir, opts: opts, flushDone: make(chan struct{})}
-	if err := j.acquireLock(); err != nil {
+	if opts.FencingToken > 0 {
+		// Fencing mode: the previous owner may be a zombie still holding its
+		// flock, so ownership is arbitrated by token comparison instead.
+		if err := j.registerFence(); err != nil {
+			return nil, err
+		}
+	} else if err := j.acquireLock(); err != nil {
 		return nil, err
 	}
 	if err := j.loadSnapshot(); err != nil {
@@ -185,6 +209,90 @@ func (j *Journal) releaseLock() {
 		_ = j.lockFile.Close()
 		j.lockFile = nil
 	}
+}
+
+const (
+	fenceFile     = "fence"
+	fenceLockFile = "fence.lock"
+)
+
+// registerFence claims fencing-mode ownership: under a briefly-held flock on
+// fence.lock it compares the stored token against ours and, unless a newer
+// owner already registered, durably writes our token. Writing the fence
+// BEFORE any segment is read or written guarantees the previous owner's
+// in-flight appends are rejected no later than its next fence check.
+func (j *Journal) registerFence() error {
+	lf, err := os.OpenFile(filepath.Join(j.dir, fenceLockFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	defer lf.Close()
+	if err := syscall.Flock(int(lf.Fd()), syscall.LOCK_EX); err != nil {
+		return fmt.Errorf("journal: fence lock: %w", err)
+	}
+	defer func() { _ = syscall.Flock(int(lf.Fd()), syscall.LOCK_UN) }()
+	cur, err := readFenceToken(j.dir)
+	if err != nil {
+		return err
+	}
+	if cur > j.opts.FencingToken {
+		return fmt.Errorf("%w: token %d < %d", ErrFenced, j.opts.FencingToken, cur)
+	}
+	if cur == j.opts.FencingToken {
+		return nil // re-open by the same owner epoch
+	}
+	raw := []byte(fmt.Sprintf("%d\n", j.opts.FencingToken))
+	tmp := filepath.Join(j.dir, fenceFile+".tmp")
+	if err := writeFileSync(tmp, raw); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, fenceFile)); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	syncDir(j.dir)
+	return nil
+}
+
+// readFenceToken returns the directory's current fence token (0 if none).
+func readFenceToken(dir string) (int64, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, fenceFile))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("journal: %w", err)
+	}
+	var tok int64
+	if _, err := fmt.Sscanf(string(raw), "%d", &tok); err != nil {
+		return 0, fmt.Errorf("journal: corrupt fence file: %w", err)
+	}
+	return tok, nil
+}
+
+// checkFenceLocked rejects writes once a newer owner registered a higher
+// token. Callers hold j.mu. The read is one small-file pread per append —
+// cheap next to the JSON encode that precedes it — and the result latches,
+// so a fenced journal never recovers.
+func (j *Journal) checkFenceLocked() error {
+	if j.opts.FencingToken <= 0 {
+		return nil
+	}
+	if j.fenced {
+		return ErrFenced
+	}
+	cur, err := readFenceToken(j.dir)
+	if err == nil && cur > j.opts.FencingToken {
+		j.fenced = true
+		// Discard anything buffered but not yet written through: those
+		// records were accepted before we learned about the new owner, and
+		// writing them now would plant records the new owner never replayed.
+		if j.w != nil {
+			j.w = bufio.NewWriterSize(j.f, 64<<10)
+		}
+		j.dirty = false
+		return ErrFenced
+	}
+	return nil
 }
 
 func (j *Journal) loadSnapshot() error {
@@ -279,21 +387,22 @@ func scanSegment(path string) (first, last, size int64, err error) {
 		return 0, 0, 0, fmt.Errorf("journal: %w", err)
 	}
 	defer f.Close()
-	err = readRecords(f, func(rec Record, n int64) error {
+	err = readRecords(f, func(rec Record, line []byte) error {
 		if first == 0 {
 			first = rec.Seq
 		}
 		last = rec.Seq
-		size += n
+		size += int64(len(line))
 		return nil
 	})
 	return first, last, size, err
 }
 
 // readRecords streams the decodable prefix of r, calling fn with each record
-// and its encoded size. An undecodable or unterminated final line ends the
-// stream silently: that is the torn-write artifact replay must tolerate.
-func readRecords(r *os.File, fn func(Record, int64) error) error {
+// and its raw encoded line (newline included). An undecodable or
+// unterminated final line ends the stream silently: that is the torn-write
+// artifact replay must tolerate.
+func readRecords(r *os.File, fn func(Record, []byte) error) error {
 	br := bufio.NewReaderSize(r, 64<<10)
 	for {
 		line, err := br.ReadBytes('\n')
@@ -307,7 +416,7 @@ func readRecords(r *os.File, fn func(Record, int64) error) error {
 			// Torn or corrupt record: everything after it is untrusted.
 			return nil
 		}
-		if err := fn(rec, int64(len(line))); err != nil {
+		if err := fn(rec, line); err != nil {
 			return err
 		}
 	}
@@ -359,6 +468,9 @@ func (j *Journal) Append(rec Record) error {
 	if j.closed {
 		return ErrClosed
 	}
+	if err := j.checkFenceLocked(); err != nil {
+		return err
+	}
 	if _, err := j.w.Write(line); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
@@ -393,6 +505,15 @@ func (j *Journal) Sync() error {
 func (j *Journal) flushLocked(fsync bool) error {
 	if j.w == nil {
 		return nil
+	}
+	if j.dirty {
+		// Re-check the fence right before buffered records reach the file:
+		// a writer fenced between Append and flush must not plant records
+		// the new owner's replay never saw. (checkFenceLocked discards the
+		// buffer when it latches.)
+		if err := j.checkFenceLocked(); err != nil {
+			return err
+		}
 	}
 	if err := j.w.Flush(); err != nil {
 		return fmt.Errorf("journal: %w", err)
@@ -498,7 +619,7 @@ func (j *Journal) Replay(fn func(Record) error) error {
 			}
 			return fmt.Errorf("journal: %w", err)
 		}
-		err = readRecords(f, func(rec Record, _ int64) error {
+		err = readRecords(f, func(rec Record, _ []byte) error {
 			if rec.Seq < afterSeq {
 				return nil
 			}

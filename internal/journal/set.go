@@ -1,0 +1,447 @@
+// Per-run journal partitions. A Set manages a root directory holding one
+// independent journal per run under runs/<encoded-name>/ — each partition
+// has its own lock (or fence), segments, and snapshot compaction, so N
+// engine replicas can own disjoint shards of runs over one shared
+// directory, and a run's history can be replayed or deleted without
+// touching any other run's.
+//
+// Layout under the root:
+//
+//	runs/<enc(run)>/seg-NNNNNNNN.wal     per-run segments
+//	runs/<enc(run)>/snap-<seq>.json      per-run snapshot
+//	runs/<enc(run)>/fence, fence.lock    fencing-token ownership (HA mode)
+//	legacy/                              pre-partition files, kept after migration
+//
+// OpenSet transparently migrates the legacy single-directory layout (every
+// run's records interleaved in one segment sequence): records are split
+// byte-exactly by run into per-run partitions, heartbeat records (which
+// carry no run) are duplicated into every partition that needs a crash-time
+// estimate, and the caller-supplied SplitSnapshot breaks the engine-wide
+// snapshot into per-run snapshots at the same covered sequence.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+const (
+	runsDir   = "runs"
+	legacyDir = "legacy"
+)
+
+// SplitSnapshot breaks a legacy engine-wide snapshot payload into one
+// payload per run. The journal treats snapshot payloads as opaque, so the
+// schema knowledge lives with the caller (the engine's mirror).
+type SplitSnapshot func(snapshot []byte) (map[string][]byte, error)
+
+// SetOptions tune a partition set.
+type SetOptions struct {
+	// Journal holds the per-partition options. FencingToken is ignored
+	// here — it is supplied per partition via Set.Partition.
+	Journal Options
+	// SplitSnapshot is required to migrate a legacy snapshot; without it a
+	// legacy directory containing a snapshot fails to migrate (records-only
+	// legacy directories still migrate fine).
+	SplitSnapshot SplitSnapshot
+}
+
+// Set is an open collection of per-run journal partitions. All methods are
+// safe for concurrent use.
+type Set struct {
+	root string
+	opts SetOptions
+
+	mu     sync.Mutex
+	parts  map[string]*Journal // open partitions by run name
+	closed bool
+}
+
+// OpenSet opens (or creates) the partition set rooted at root, migrating a
+// legacy single-directory journal if one is found there. Partitions are
+// opened lazily by Partition; OpenSet itself only prepares the directory.
+func OpenSet(root string, opts SetOptions) (*Set, error) {
+	opts.Journal = opts.Journal.withDefaults()
+	opts.Journal.FencingToken = 0
+	if err := os.MkdirAll(filepath.Join(root, runsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := migrateLegacy(root, opts); err != nil {
+		return nil, err
+	}
+	return &Set{root: root, opts: opts, parts: make(map[string]*Journal, 8)}, nil
+}
+
+// Root returns the set's root directory.
+func (s *Set) Root() string { return s.root }
+
+// Partition opens (or creates) the journal partition for run, with the
+// given fencing token (0 = classic flock protection). An already-open
+// partition is returned as-is; close it with CloseRun before reopening
+// under a newer token.
+func (s *Set) Partition(run string, token int64) (*Journal, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if j, ok := s.parts[run]; ok {
+		return j, nil
+	}
+	opts := s.opts.Journal
+	opts.FencingToken = token
+	j, err := Open(s.partitionDir(run), opts)
+	if err != nil {
+		return nil, err
+	}
+	s.parts[run] = j
+	return j, nil
+}
+
+// Get returns the already-open partition for run, if any.
+func (s *Set) Get(run string) (*Journal, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.parts[run]
+	return j, ok
+}
+
+// CloseRun closes run's partition (if open) without deleting it.
+func (s *Set) CloseRun(run string) error {
+	s.mu.Lock()
+	j := s.parts[run]
+	delete(s.parts, run)
+	s.mu.Unlock()
+	if j == nil {
+		return nil
+	}
+	return j.Close()
+}
+
+// Remove closes and deletes run's partition directory: the run's durable
+// history is gone. Removing a partition that does not exist is a no-op.
+func (s *Set) Remove(run string) error {
+	if err := s.CloseRun(run); err != nil && !errors.Is(err, ErrFenced) {
+		return err
+	}
+	dir := s.partitionDir(run)
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	syncDir(filepath.Join(s.root, runsDir))
+	return nil
+}
+
+// List returns the run names that have partition directories on disk,
+// sorted, whether or not they are open.
+func (s *Set) List() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, runsDir))
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var runs []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name, err := decodePartitionName(e.Name())
+		if err != nil {
+			continue // not one of ours
+		}
+		runs = append(runs, name)
+	}
+	sort.Strings(runs)
+	return runs, nil
+}
+
+// Each calls fn for every open partition. The set lock is not held during
+// fn, so fn may call back into the set.
+func (s *Set) Each(fn func(run string, j *Journal)) {
+	s.mu.Lock()
+	open := make(map[string]*Journal, len(s.parts))
+	for run, j := range s.parts {
+		open[run] = j
+	}
+	s.mu.Unlock()
+	for run, j := range open {
+		fn(run, j)
+	}
+}
+
+// Close closes every open partition. Further operations return ErrClosed.
+func (s *Set) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	open := s.parts
+	s.parts = nil
+	s.mu.Unlock()
+	var firstErr error
+	for _, j := range open {
+		if err := j.Close(); err != nil && !errors.Is(err, ErrFenced) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (s *Set) partitionDir(run string) string {
+	return filepath.Join(s.root, runsDir, encodePartitionName(run))
+}
+
+// encodePartitionName maps a run name to a filesystem-safe directory name.
+// Alphanumerics, '.', '_' and '-' pass through; every other byte becomes
+// %XX, and a leading '.' is escaped so partitions are never dotfiles. The
+// encoding is reversible (decodePartitionName) so List can report run
+// names without a sidecar manifest.
+func encodePartitionName(run string) string {
+	var b strings.Builder
+	for i := 0; i < len(run); i++ {
+		c := run[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '-', c == '.' && i > 0:
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	return b.String()
+}
+
+func decodePartitionName(enc string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(enc); i++ {
+		c := enc[i]
+		if c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		if i+2 >= len(enc) {
+			return "", fmt.Errorf("journal: truncated escape in %q", enc)
+		}
+		var v int
+		if _, err := fmt.Sscanf(enc[i+1:i+3], "%02X", &v); err != nil {
+			return "", fmt.Errorf("journal: bad escape in %q", enc)
+		}
+		b.WriteByte(byte(v))
+		i += 2
+	}
+	return b.String(), nil
+}
+
+// migrateLegacy converts a pre-partition single-directory journal (segments
+// and snapshot directly under root) into per-run partitions. The legacy
+// directory's flock is held for the duration so a still-running old engine
+// cannot append mid-migration; afterwards the legacy files are moved to
+// root/legacy/ (kept, not deleted — they are the rollback story).
+func migrateLegacy(root string, opts SetOptions) error {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	var segs []segment
+	legacySnap := ""
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, segSuffix):
+			var idx int
+			if _, err := fmt.Sscanf(name, segPrefix+"%d"+segSuffix, &idx); err == nil {
+				segs = append(segs, segment{path: filepath.Join(root, name), index: idx})
+			}
+		case strings.HasPrefix(name, snapPrefix) && strings.HasSuffix(name, snapSuffix):
+			legacySnap = name // loadLegacySnapshot re-picks the newest below
+		}
+	}
+	if len(segs) == 0 && legacySnap == "" {
+		return nil // nothing legacy here
+	}
+
+	// Exclude any live legacy writer for the duration of the migration.
+	lf, err := os.OpenFile(filepath.Join(root, "journal.lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	defer lf.Close()
+	if err := syscall.Flock(int(lf.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return fmt.Errorf("%w: %s (cannot migrate a live legacy journal)", ErrLocked, root)
+	}
+	defer func() { _ = syscall.Flock(int(lf.Fd()), syscall.LOCK_UN) }()
+
+	// Newest decodable legacy snapshot, split per run.
+	lj := &Journal{dir: root}
+	if err := lj.loadSnapshot(); err != nil {
+		return err
+	}
+	perRun := map[string][]byte{}
+	if lj.snapshot != nil {
+		if opts.SplitSnapshot == nil {
+			return errors.New("journal: legacy snapshot present but no SplitSnapshot configured")
+		}
+		perRun, err = opts.SplitSnapshot(lj.snapshot)
+		if err != nil {
+			return fmt.Errorf("journal: splitting legacy snapshot: %w", err)
+		}
+	}
+
+	m := &migration{root: root, snapshotSeq: lj.snapshotSeq, files: map[string]*bufio.Writer{}, handles: map[string]*os.File{}}
+	defer m.closeAll()
+	for run, payload := range perRun {
+		if err := m.writeSnapshot(run, payload, lj.snapshotSeq); err != nil {
+			return err
+		}
+		if _, err := m.writer(run); err != nil {
+			return err
+		}
+	}
+
+	// Split the record stream byte-exactly by run. Heartbeats (Run == "")
+	// carry the crash-time estimate every live run needs, so they fan out
+	// to every partition known at that point in the stream.
+	sort.Slice(segs, func(a, b int) bool { return segs[a].index < segs[b].index })
+	for _, seg := range segs {
+		f, err := os.Open(seg.path)
+		if err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		err = readRecords(f, func(rec Record, line []byte) error {
+			if rec.Run == "" {
+				return m.appendAll(line)
+			}
+			w, err := m.writer(rec.Run)
+			if err != nil {
+				return err
+			}
+			_, err = w.Write(line)
+			return err
+		})
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	if err := m.finish(); err != nil {
+		return err
+	}
+
+	// Move the legacy files aside (segments, snapshots, and stray tmp
+	// files); the partition tree is now the source of truth.
+	backup := filepath.Join(root, legacyDir)
+	if err := os.MkdirAll(backup, 0o755); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	entries, err = os.ReadDir(root)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		keep := strings.HasPrefix(name, segPrefix) || strings.HasPrefix(name, snapPrefix)
+		if !keep {
+			continue
+		}
+		if err := os.Rename(filepath.Join(root, name), filepath.Join(backup, name)); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	syncDir(root)
+	return nil
+}
+
+// migration tracks the partition files being built during a legacy split.
+type migration struct {
+	root        string
+	snapshotSeq int64
+	files       map[string]*bufio.Writer
+	handles     map[string]*os.File
+}
+
+func (m *migration) dir(run string) string {
+	return filepath.Join(m.root, runsDir, encodePartitionName(run))
+}
+
+func (m *migration) writer(run string) (*bufio.Writer, error) {
+	if w, ok := m.files[run]; ok {
+		return w, nil
+	}
+	dir := m.dir(run)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segName(1)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 64<<10)
+	m.files[run] = w
+	m.handles[run] = f
+	return w, nil
+}
+
+func (m *migration) writeSnapshot(run string, payload []byte, seq int64) error {
+	dir := m.dir(run)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	raw, err := json.Marshal(snapFile{Seq: seq, Data: payload})
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	final := filepath.Join(dir, fmt.Sprintf("%s%016d%s", snapPrefix, seq, snapSuffix))
+	if err := writeFileSync(final+".tmp", raw); err != nil {
+		return err
+	}
+	if err := os.Rename(final+".tmp", final); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+func (m *migration) appendAll(line []byte) error {
+	for _, w := range m.files {
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *migration) finish() error {
+	for run, w := range m.files {
+		if err := w.Flush(); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		f := m.handles[run]
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		delete(m.files, run)
+		delete(m.handles, run)
+		syncDir(m.dir(run))
+	}
+	return nil
+}
+
+func (m *migration) closeAll() {
+	for run, f := range m.handles {
+		_ = f.Close()
+		delete(m.handles, run)
+		delete(m.files, run)
+	}
+}

@@ -1,0 +1,280 @@
+// Package lease implements file-backed run-ownership leases for the HA
+// engine: each run is owned by at most one engine replica at a time, the
+// owner renews its lease ahead of the TTL, and a dead owner's expired lease
+// can be stolen by a survivor. Every successful acquisition — first claim,
+// steal, or re-claim by a restarted owner — increments the lease's fencing
+// token, which the journal partition uses to reject appends from the
+// previous owner's zombie process (journal.ErrFenced).
+//
+// The store is deliberately primitive: one JSON file per run under a shared
+// directory, mutations serialized by a flock on the directory's lock file
+// and made atomic with tmp+rename. That matches the rest of Bifrost's
+// durability toolbox (no external coordination service) and is exactly as
+// available as the shared journal directory the replicas already need.
+package lease
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"bifrost/internal/clock"
+)
+
+// Record is one run's lease: who owns it, until when, and the fencing token
+// of the current ownership epoch.
+type Record struct {
+	Run     string    `json:"run"`
+	Holder  string    `json:"holder"`
+	Token   int64     `json:"token"`
+	Expires time.Time `json:"expires"`
+}
+
+// Expired reports whether the lease has lapsed at time now.
+func (r Record) Expired(now time.Time) bool { return !now.Before(r.Expires) }
+
+var (
+	// ErrHeld is returned by Acquire when another holder's live lease covers
+	// the run.
+	ErrHeld = errors.New("lease: held by another replica")
+	// ErrLost is returned by Renew and Release when the caller's
+	// holder/token pair no longer matches the stored lease: ownership moved
+	// on and the caller must stop acting on the run.
+	ErrLost = errors.New("lease: lost")
+)
+
+// Store reads and writes lease records under one directory.
+type Store struct {
+	dir string
+	clk clock.Clock
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithClock injects the clock used for TTL arithmetic (tests use
+// clock.Manual).
+func WithClock(c clock.Clock) Option {
+	return func(s *Store) { s.clk = c }
+}
+
+// Open opens (or creates) the lease directory.
+func Open(dir string, opts ...Option) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lease: %w", err)
+	}
+	s := &Store{dir: dir, clk: clock.Real{}}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Acquire claims run for holder with the given TTL. It succeeds when the
+// run has no lease, the existing lease expired, or holder already owns it
+// (a restarted owner re-claiming its shard). Every success installs a new
+// ownership epoch: the returned record's Token is strictly greater than any
+// token previously issued for the run, so journal fencing can distinguish
+// the new owner from its predecessor — including a predecessor incarnation
+// of the same holder.
+func (s *Store) Acquire(run, holder string, ttl time.Duration) (Record, error) {
+	var out Record
+	err := s.withLock(func() error {
+		cur, ok, err := s.read(run)
+		if err != nil {
+			return err
+		}
+		now := s.clk.Now()
+		if ok && cur.Holder != holder && !cur.Expired(now) {
+			return fmt.Errorf("%w: %s owned by %s until %s", ErrHeld, run, cur.Holder, cur.Expires.Format(time.RFC3339))
+		}
+		out = Record{Run: run, Holder: holder, Token: cur.Token + 1, Expires: now.Add(ttl)}
+		return s.write(out)
+	})
+	return out, err
+}
+
+// Renew extends holder's lease on run. The stored lease must still carry
+// the caller's holder and token — if another replica stole the run (or the
+// caller's own restart re-acquired it under a new token), Renew fails with
+// ErrLost and the caller must drop the run.
+func (s *Store) Renew(run, holder string, token int64, ttl time.Duration) (Record, error) {
+	var out Record
+	err := s.withLock(func() error {
+		cur, ok, err := s.read(run)
+		if err != nil {
+			return err
+		}
+		if !ok || cur.Holder != holder || cur.Token != token {
+			return fmt.Errorf("%w: %s", ErrLost, run)
+		}
+		out = Record{Run: run, Holder: holder, Token: token, Expires: s.clk.Now().Add(ttl)}
+		return s.write(out)
+	})
+	return out, err
+}
+
+// Release drops holder's lease on run so another replica can claim it
+// without waiting out the TTL. Releasing a lease that already moved on
+// fails with ErrLost; releasing a missing lease is a no-op.
+func (s *Store) Release(run, holder string, token int64) error {
+	return s.withLock(func() error {
+		cur, ok, err := s.read(run)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if cur.Holder != holder || cur.Token != token {
+			return fmt.Errorf("%w: %s", ErrLost, run)
+		}
+		// Expire in place rather than deleting: the token sequence must
+		// survive the release so the next acquisition still fences this
+		// epoch's writer.
+		cur.Expires = s.clk.Now()
+		return s.write(cur)
+	})
+}
+
+// Get returns run's lease record, if one exists (expired or not).
+func (s *Store) Get(run string) (Record, bool, error) {
+	var (
+		out Record
+		ok  bool
+	)
+	err := s.withLock(func() error {
+		var err error
+		out, ok, err = s.read(run)
+		return err
+	})
+	return out, ok, err
+}
+
+// List returns every lease record, sorted by run name.
+func (s *Store) List() ([]Record, error) {
+	var out []Record
+	err := s.withLock(func() error {
+		entries, err := os.ReadDir(s.dir)
+		if err != nil {
+			return fmt.Errorf("lease: %w", err)
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), leaseSuffix) {
+				continue
+			}
+			raw, err := os.ReadFile(filepath.Join(s.dir, e.Name()))
+			if err != nil {
+				continue
+			}
+			var rec Record
+			if json.Unmarshal(raw, &rec) != nil {
+				continue // torn write never happens (tmp+rename); damaged disk: skip
+			}
+			out = append(out, rec)
+		}
+		return nil
+	})
+	sort.Slice(out, func(a, b int) bool { return out[a].Run < out[b].Run })
+	return out, err
+}
+
+const (
+	leaseSuffix = ".lease"
+	lockName    = ".lock"
+)
+
+// withLock runs fn while holding the directory's flock: lease mutations are
+// read-modify-write cycles, and the flock makes them atomic across replica
+// processes sharing the directory.
+func (s *Store) withLock(fn func() error) error {
+	f, err := os.OpenFile(filepath.Join(s.dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("lease: %w", err)
+	}
+	defer f.Close()
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		return fmt.Errorf("lease: lock: %w", err)
+	}
+	defer func() { _ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN) }()
+	return fn()
+}
+
+func (s *Store) path(run string) string {
+	return filepath.Join(s.dir, encodeLeaseName(run)+leaseSuffix)
+}
+
+func (s *Store) read(run string) (Record, bool, error) {
+	raw, err := os.ReadFile(s.path(run))
+	if os.IsNotExist(err) {
+		return Record{}, false, nil
+	}
+	if err != nil {
+		return Record{}, false, fmt.Errorf("lease: %w", err)
+	}
+	var rec Record
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return Record{}, false, fmt.Errorf("lease: corrupt record for %s: %w", run, err)
+	}
+	return rec, true, nil
+}
+
+// write installs a record atomically (tmp + rename + dir sync): a crash
+// mid-write can never leave a torn lease that both sides read differently.
+func (s *Store) write(rec Record) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("lease: %w", err)
+	}
+	final := s.path(rec.Run)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("lease: %w", err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return fmt.Errorf("lease: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("lease: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("lease: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("lease: %w", err)
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// encodeLeaseName mirrors the journal's partition-name encoding so a run's
+// lease file and partition directory are recognizably the same run on disk.
+func encodeLeaseName(run string) string {
+	var b strings.Builder
+	for i := 0; i < len(run); i++ {
+		c := run[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '-', c == '.' && i > 0:
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	return b.String()
+}

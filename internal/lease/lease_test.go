@@ -1,0 +1,161 @@
+package lease
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bifrost/internal/clock"
+)
+
+func openTestStore(t *testing.T) (*Store, *clock.Manual) {
+	t.Helper()
+	clk := clock.NewManual(time.Unix(1700000000, 0))
+	s, err := Open(t.TempDir(), WithClock(clk))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s, clk
+}
+
+func TestAcquireRenewRelease(t *testing.T) {
+	s, clk := openTestStore(t)
+
+	rec, err := s.Acquire("canary-1", "engine-a", time.Minute)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if rec.Token != 1 || rec.Holder != "engine-a" {
+		t.Fatalf("unexpected first lease: %+v", rec)
+	}
+
+	// A rival cannot claim a live lease.
+	if _, err := s.Acquire("canary-1", "engine-b", time.Minute); !errors.Is(err, ErrHeld) {
+		t.Fatalf("rival Acquire = %v, want ErrHeld", err)
+	}
+
+	// The holder renews; expiry moves forward, token stays.
+	clk.Advance(30 * time.Second)
+	renewed, err := s.Renew("canary-1", "engine-a", rec.Token, time.Minute)
+	if err != nil {
+		t.Fatalf("Renew: %v", err)
+	}
+	if renewed.Token != rec.Token {
+		t.Fatalf("Renew changed token: %d -> %d", rec.Token, renewed.Token)
+	}
+	if !renewed.Expires.After(rec.Expires) {
+		t.Fatalf("Renew did not extend expiry: %v !> %v", renewed.Expires, rec.Expires)
+	}
+
+	// Release lets a rival in immediately, with a higher token.
+	if err := s.Release("canary-1", "engine-a", rec.Token); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	stolen, err := s.Acquire("canary-1", "engine-b", time.Minute)
+	if err != nil {
+		t.Fatalf("Acquire after release: %v", err)
+	}
+	if stolen.Token <= rec.Token {
+		t.Fatalf("token did not advance across owners: %d -> %d", rec.Token, stolen.Token)
+	}
+}
+
+func TestStealExpiredLease(t *testing.T) {
+	s, clk := openTestStore(t)
+
+	orig, err := s.Acquire("run", "engine-a", time.Minute)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	clk.Advance(61 * time.Second)
+
+	stolen, err := s.Acquire("run", "engine-b", time.Minute)
+	if err != nil {
+		t.Fatalf("steal: %v", err)
+	}
+	if stolen.Token != orig.Token+1 {
+		t.Fatalf("steal token = %d, want %d", stolen.Token, orig.Token+1)
+	}
+
+	// The dead owner's renew and release must both fail now.
+	if _, err := s.Renew("run", "engine-a", orig.Token, time.Minute); !errors.Is(err, ErrLost) {
+		t.Fatalf("zombie Renew = %v, want ErrLost", err)
+	}
+	if err := s.Release("run", "engine-a", orig.Token); !errors.Is(err, ErrLost) {
+		t.Fatalf("zombie Release = %v, want ErrLost", err)
+	}
+}
+
+func TestReacquireBySameHolderBumpsToken(t *testing.T) {
+	s, _ := openTestStore(t)
+	first, err := s.Acquire("run", "engine-a", time.Minute)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	// A restarted incarnation of the same holder re-claims mid-TTL; the new
+	// token must fence the old incarnation's journal writer.
+	second, err := s.Acquire("run", "engine-a", time.Minute)
+	if err != nil {
+		t.Fatalf("re-Acquire: %v", err)
+	}
+	if second.Token != first.Token+1 {
+		t.Fatalf("re-acquire token = %d, want %d", second.Token, first.Token+1)
+	}
+	if _, err := s.Renew("run", "engine-a", first.Token, time.Minute); !errors.Is(err, ErrLost) {
+		t.Fatalf("old-incarnation Renew = %v, want ErrLost", err)
+	}
+}
+
+func TestGetAndList(t *testing.T) {
+	s, clk := openTestStore(t)
+	if _, ok, err := s.Get("nope"); err != nil || ok {
+		t.Fatalf("Get(missing) = ok=%v err=%v", ok, err)
+	}
+	for _, run := range []string{"b-run", "a-run", "weird/name with spaces"} {
+		if _, err := s.Acquire(run, "engine-a", time.Minute); err != nil {
+			t.Fatalf("Acquire(%s): %v", run, err)
+		}
+	}
+	recs, err := s.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("List = %d records, want 3", len(recs))
+	}
+	if recs[0].Run != "a-run" || recs[1].Run != "b-run" || recs[2].Run != "weird/name with spaces" {
+		t.Fatalf("List order/decoding wrong: %+v", recs)
+	}
+	rec, ok, err := s.Get("weird/name with spaces")
+	if err != nil || !ok {
+		t.Fatalf("Get = ok=%v err=%v", ok, err)
+	}
+	if rec.Expired(clk.Now()) {
+		t.Fatalf("fresh lease reported expired")
+	}
+}
+
+func TestTokensPersistAcrossStoreReopen(t *testing.T) {
+	clk := clock.NewManual(time.Unix(1700000000, 0))
+	dir := t.TempDir()
+	s1, err := Open(dir, WithClock(clk))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rec, err := s1.Acquire("run", "engine-a", time.Minute)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	clk.Advance(2 * time.Minute)
+	s2, err := Open(dir, WithClock(clk))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	stolen, err := s2.Acquire("run", "engine-b", time.Minute)
+	if err != nil {
+		t.Fatalf("steal after reopen: %v", err)
+	}
+	if stolen.Token != rec.Token+1 {
+		t.Fatalf("token sequence broke across reopen: %d -> %d", rec.Token, stolen.Token)
+	}
+}

@@ -135,6 +135,70 @@ func TestStoreConvergenceLifecycle(t *testing.T) {
 	poll404(t, st, "search")
 }
 
+// TestStoreInstanceTTLQuorum pins the liveness contract for SDK instances:
+// an instance that stops polling keeps degrading convergence only until the
+// TTL passes, then drops out of the quorum entirely (replicas and lagging
+// both) so the live fleet can converge without it; if it later rejoins, the
+// poll itself re-acks the current generation — a returning instance can
+// never re-enter the quorum holding a stale ruleset.
+func TestStoreInstanceTTLQuorum(t *testing.T) {
+	clk := clock.NewManual(time.Unix(5000, 0))
+	ttl := 30 * time.Second
+	st := NewStore(WithInstanceTTL(ttl))
+	st.BindClock(clk)
+	s, rc := storeStrategy()
+	ctx := context.Background()
+
+	if err := st.Apply(ctx, s, nil, rc, 1); err != nil {
+		t.Fatal(err)
+	}
+	st.Settled("flag-unit", "search")
+	poll(t, st, "search", "sdk-live")
+	poll(t, st, "search", "sdk-dying")
+
+	// Generation 2 rolls out; only sdk-live re-polls. sdk-dying now lags
+	// and blocks convergence — the degraded window the TTL must bound.
+	if err := st.Apply(ctx, s, nil, rc, 2); err != nil {
+		t.Fatal(err)
+	}
+	st.Settled("flag-unit", "search")
+	poll(t, st, "search", "sdk-live")
+	got := st.Convergence(ctx, "flag-unit")
+	if len(got) != 1 {
+		t.Fatalf("convergence = %+v, want one service", got)
+	}
+	c := got[0]
+	if c.Replicas != 2 || c.Acked != 1 || c.Converged ||
+		!reflect.DeepEqual(c.Lagging, []string{"sdk-dying"}) {
+		t.Fatalf("mid-lag report = %+v, want 1/2 acked lagging [sdk-dying]", c)
+	}
+
+	// Just inside the TTL the silent instance still counts; keep sdk-live
+	// fresh so only sdk-dying's clock is running out.
+	clk.Advance(ttl - time.Second)
+	poll(t, st, "search", "sdk-live")
+	if c := st.Convergence(ctx, "flag-unit")[0]; c.Replicas != 2 || c.Converged {
+		t.Fatalf("report inside TTL = %+v, want still degraded by sdk-dying", c)
+	}
+
+	// Past the TTL it stops counting as a replica at all: the quorum is
+	// the live fleet, which is fully acked — converged.
+	clk.Advance(2 * time.Second)
+	c = st.Convergence(ctx, "flag-unit")[0]
+	if c.Replicas != 1 || c.Acked != 1 || !c.Converged || len(c.Lagging) != 0 {
+		t.Fatalf("post-TTL report = %+v, want 1/1 converged with no lagging", c)
+	}
+
+	// The instance comes back from the dead. The poll both revives it and
+	// hands it the current ruleset, so it rejoins already acked — quorum
+	// grows without a degraded blip.
+	poll(t, st, "search", "sdk-dying")
+	c = st.Convergence(ctx, "flag-unit")[0]
+	if c.Generation != 2 || c.Replicas != 2 || c.Acked != 2 || !c.Converged {
+		t.Fatalf("rejoin report = %+v, want 2/2 converged at generation 2", c)
+	}
+}
+
 func TestStoreWithCurrent(t *testing.T) {
 	st := NewStore()
 	s, rc := storeStrategy()

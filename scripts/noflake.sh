@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Flake quarantine: run `go test -json "$@"` and fail if any test was run
+# more than once in the invocation. Go itself never retries a test, so a
+# duplicated run means a retry wrapper (or a stray -count) is papering
+# over a flaky test. Flaky tests get fixed or explicitly skipped — never
+# retried into green — and this check keeps that policy enforceable.
+set -u
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+go test -json "$@" >"$out" 2>&1
+status=$?
+
+# Surface the human-readable test output. Build errors and panics arrive
+# as plain text rather than JSON events; pass those through untouched.
+sed -n 's/.*"Action":"output","Package":[^,]*\(,"Test":[^,]*\)\{0,1\},"Output":"\(.*\)"}$/\2/p' "$out" |
+  sed 's/\\t/\t/g; s/\\n$//; s/\\"/"/g; s/\\\\/\\/g'
+grep -v '^{' "$out" || true
+
+retried="$(sed -n 's/.*"Action":"run","Package":"\([^"]*\)","Test":"\([^"]*\)".*/\1 \2/p' "$out" | sort | uniq -d)"
+if [ -n "$retried" ]; then
+  echo "flake quarantine violation: tests were run more than once (retried):" >&2
+  echo "$retried" >&2
+  exit 1
+fi
+exit "$status"
