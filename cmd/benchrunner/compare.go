@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// compareBench prints per-metric deltas between two BENCH_*.json files so
+// the committed trajectory is diffable in PR review: every numeric leaf of
+// the two documents is flattened to a dotted path and compared.
+func compareBench(w io.Writer, oldPath, newPath string) error {
+	oldVals, err := loadBenchMetrics(oldPath)
+	if err != nil {
+		return err
+	}
+	newVals, err := loadBenchMetrics(newPath)
+	if err != nil {
+		return err
+	}
+
+	keys := make([]string, 0, len(oldVals)+len(newVals))
+	seen := make(map[string]bool, len(oldVals)+len(newVals))
+	for k := range oldVals {
+		keys = append(keys, k)
+		seen[k] = true
+	}
+	for k := range newVals {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	fmt.Fprintf(w, "%-40s %14s %14s %14s %9s\n", "metric", "old", "new", "delta", "change")
+	for _, k := range keys {
+		ov, haveOld := oldVals[k]
+		nv, haveNew := newVals[k]
+		switch {
+		case !haveOld:
+			fmt.Fprintf(w, "%-40s %14s %14.3f %14s %9s\n", k, "-", nv, "-", "new")
+		case !haveNew:
+			fmt.Fprintf(w, "%-40s %14.3f %14s %14s %9s\n", k, ov, "-", "-", "gone")
+		default:
+			change := "-"
+			if ov != 0 {
+				change = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+			}
+			fmt.Fprintf(w, "%-40s %14.3f %14.3f %+14.3f %9s\n", k, ov, nv, nv-ov, change)
+		}
+	}
+	return nil
+}
+
+// loadBenchMetrics reads a bench JSON file and flattens its numeric leaves
+// into dotted-path keys ("config.events", "pipelineEventsPerSec", ...).
+func loadBenchMetrics(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64)
+	flattenNumbers("", doc, out)
+	return out, nil
+}
+
+func flattenNumbers(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case float64:
+		out[prefix] = t
+	case map[string]any:
+		for k, sub := range t {
+			key := k
+			if prefix != "" {
+				key = prefix + "." + k
+			}
+			flattenNumbers(key, sub, out)
+		}
+	case []any:
+		for i, sub := range t {
+			flattenNumbers(fmt.Sprintf("%s[%d]", prefix, i), sub, out)
+		}
+	}
+}

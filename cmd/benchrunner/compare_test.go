@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCompareBench(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeFile(t, oldPath, `{
+		"config": {"events": 1000},
+		"pipelineEventsPerSec": 200.0,
+		"proxyP99Ms": 8.0,
+		"droppedMetric": 3.0
+	}`)
+	writeFile(t, newPath, `{
+		"config": {"events": 1000},
+		"pipelineEventsPerSec": 300.0,
+		"proxyP99Ms": 6.0,
+		"addedMetric": 1.5
+	}`)
+
+	var buf bytes.Buffer
+	if err := compareBench(&buf, oldPath, newPath); err != nil {
+		t.Fatalf("compareBench: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"pipelineEventsPerSec", "+50.0%",
+		"proxyP99Ms", "-25.0%",
+		"config.events", "+0.0%",
+		"droppedMetric", "gone",
+		"addedMetric", "new",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlattenNumbers(t *testing.T) {
+	out := make(map[string]float64)
+	flattenNumbers("", map[string]any{
+		"a": 1.0,
+		"b": map[string]any{"c": 2.0, "s": "text"},
+		"l": []any{3.0, map[string]any{"d": 4.0}},
+	}, out)
+	want := map[string]float64{"a": 1, "b.c": 2, "l[0]": 3, "l[1].d": 4}
+	if len(out) != len(want) {
+		t.Fatalf("flatten = %v, want %v", out, want)
+	}
+	for k, v := range want {
+		if out[k] != v {
+			t.Errorf("flatten[%q] = %v, want %v", k, out[k], v)
+		}
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

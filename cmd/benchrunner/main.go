@@ -18,6 +18,13 @@
 //	                                             # flag-vs-proxy data-plane
 //	                                             # bench: SDK decisions vs
 //	                                             # the proxy HTTP hop
+//	benchrunner -experiment bench9 -out BENCH_9.json
+//	                                             # event-pipeline macro-bench:
+//	                                             # publish→mirror→journal→SSE
+//	                                             # events/s, proxy p99 under
+//	                                             # live reconfig, ingest rate
+//	benchrunner -compare old.json new.json       # per-metric deltas between
+//	                                             # two committed BENCH files
 //	benchrunner -paper                           # paper-scale durations
 //	benchrunner -singlecore                      # GOMAXPROCS=1, like the
 //	                                             # paper's n1-standard-1 VMs
@@ -50,7 +57,9 @@ func main() {
 }
 
 func run() error {
-	experiment := flag.String("experiment", "all", "all|table1|fig6|fig7|fig8|fig9|fig10|bench6|bench7")
+	experiment := flag.String("experiment", "all", "all|table1|fig6|fig7|fig8|fig9|fig10|bench6|bench7|bench9")
+	compare := flag.Bool("compare", false,
+		"compare two bench JSON files (benchrunner -compare old.json new.json)")
 	paper := flag.Bool("paper", false, "use the paper's full phase durations (slow)")
 	singleCore := flag.Bool("singlecore", false, "run with GOMAXPROCS=1 to mimic the paper's single-core VMs")
 	counts := flag.String("counts", "1,5,10,20", "parallel-strategy sweep counts (fig7/fig8)")
@@ -60,6 +69,14 @@ func run() error {
 	benchScale := flag.Float64("bench-scale", 1,
 		"scale factor for bench6/bench7 workload sizes (CI smoke uses e.g. 0.01)")
 	flag.Parse()
+
+	if *compare {
+		args := flag.Args()
+		if len(args) != 2 {
+			return fmt.Errorf("-compare needs exactly two files: benchrunner -compare old.json new.json")
+		}
+		return compareBench(os.Stdout, args[0], args[1])
+	}
 
 	if *singleCore {
 		prev := runtime.GOMAXPROCS(1)
@@ -151,6 +168,44 @@ func run() error {
 		res, err := experiments.RunFlagBench(experiments.FlagBenchConfig{
 			Decisions: scale(2_000_000),
 			Requests:  scale(5_000),
+		})
+		if err != nil {
+			return err
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return res.WriteJSON(w)
+
+	case "bench9":
+		scale := func(n int) int {
+			if v := int(float64(n) * *benchScale); v > 0 {
+				return v
+			}
+			return 1
+		}
+		// The proxy load test needs a floor: at 1% scale an 8s run would
+		// shrink below the loadgen's dispatch tick.
+		dur := time.Duration(float64(8*time.Second) * *benchScale)
+		if dur < 500*time.Millisecond {
+			dur = 500 * time.Millisecond
+		}
+		rps := 300 * *benchScale
+		if rps < 50 {
+			rps = 50
+		}
+		res, err := experiments.RunBench9(experiments.Bench9Config{
+			Events:        scale(50_000),
+			Subscribers:   64,
+			ProxyRPS:      rps,
+			ProxyDuration: dur,
+			IngestSamples: scale(1_000_000),
 		})
 		if err != nil {
 			return err

@@ -120,10 +120,33 @@ func TestDocsLinkTargetsExist(t *testing.T) {
 	}
 	for _, link := range []string{"docs/architecture.md", "docs/strategy-authoring.md", "docs/operations.md",
 		// The HA runbook is load-bearing for operators rolling a fleet;
-		// README must deep-link its section, not just the file.
-		"docs/operations.md#running-multiple-engine-replicas"} {
+		// README must deep-link its section, not just the file. The same
+		// goes for the event-pipeline internals and the benchmarking
+		// runbook behind the committed BENCH_*.json artifacts.
+		"docs/operations.md#running-multiple-engine-replicas",
+		"docs/architecture.md#the-event-pipeline",
+		"docs/operations.md#benchmarking-and-the-perf-trajectory"} {
 		if !strings.Contains(string(readme), link) {
 			t.Errorf("README does not link %s", link)
+		}
+	}
+	// Deep-linked anchors must resolve to a real heading in their target
+	// file (GitHub's anchor: lowercase, spaces to dashes).
+	for file, headings := range map[string][]string{
+		"architecture.md": {"## The event pipeline"},
+		"operations.md": {
+			"## Running multiple engine replicas",
+			"## Benchmarking and the perf trajectory",
+		},
+	} {
+		doc, err := os.ReadFile(filepath.Join("..", "..", "docs", file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range headings {
+			if !strings.Contains(string(doc), h+"\n") {
+				t.Errorf("docs/%s lost the %q heading that README deep-links", file, h)
+			}
 		}
 	}
 }

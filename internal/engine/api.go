@@ -444,7 +444,10 @@ func lastEventID(r *http.Request) int64 {
 // retention, an events_dropped marker makes the loss explicit instead of
 // silent.
 func (e *Engine) ServeEventStream(w http.ResponseWriter, r *http.Request, strategy string, replay int) {
-	events, cancel := e.Subscribe(256)
+	// Subscribe on the frame channel: live deliveries arrive as pooled
+	// encode-once frames, so every stream shares the same marshaled bytes
+	// (SendRaw) instead of re-encoding per subscriber.
+	frames, cancel := e.bus.subscribeFrames(256)
 	defer cancel()
 	// Sequence at subscription: every event fanned to this channel is
 	// newer, so any later jump past subSeq+1 in received seqs is a drop.
@@ -542,13 +545,15 @@ func (e *Engine) ServeEventStream(w http.ResponseWriter, r *http.Request, strate
 	lastRecv := subSeq
 	for {
 		select {
-		case ev, open := <-events:
+		case f, open := <-frames:
 			if !open {
 				return
 			}
+			ev := f.ev
 			gap := ev.Seq > lastRecv+1
 			lastRecv = ev.Seq
 			if ev.Seq <= lastSeq {
+				f.release()
 				continue
 			}
 			if gap {
@@ -557,16 +562,24 @@ func (e *Engine) ServeEventStream(w http.ResponseWriter, r *http.Request, strate
 				// miss a transition.
 				var ok bool
 				if lastSeq, ok = sendSince(lastSeq); !ok {
+					f.release()
 					return
 				}
 				if ev.Seq <= lastSeq {
+					f.release()
 					continue
 				}
 			}
 			if strategy != "" && ev.Strategy != strategy {
+				f.release()
 				continue
 			}
-			if !send(ev) {
+			// Live fast path: the frame's encode-once bytes go straight to
+			// the socket — no per-subscriber marshal, no per-event
+			// allocations.
+			err := sse.SendRaw(string(ev.Type), ev.Seq, f.data())
+			f.release()
+			if err != nil {
 				return
 			}
 			lastSeq = ev.Seq

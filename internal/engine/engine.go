@@ -92,6 +92,9 @@ type Engine struct {
 	mirror     *engineMirror
 	journals   *journal.Set
 	compacting atomic.Bool
+	// jw moves journal appends off pubMu (nil for write-through journals
+	// and journal-less engines, which keep the inline append path).
+	jw *journalWriter
 
 	// hbEvery paces heartbeat records on journaled engines.
 	hbEvery time.Duration
@@ -219,6 +222,13 @@ func New(opts ...Option) *Engine {
 	e.mRecovered = e.registry.Counter("engine_runs_recovered_total", nil)
 	e.mFenced = e.registry.Counter("engine_journal_fenced_total", nil)
 	if e.journals != nil {
+		if !e.journals.WriteThrough() {
+			// Buffered flushing: appends move to the async journal writer
+			// so the publish critical section stays I/O-free. Write-through
+			// journals keep the inline path — their contract is that the
+			// record hits the OS before any subscriber sees the event.
+			e.jw = newJournalWriter(e)
+		}
 		e.hbQuit = make(chan struct{})
 		go e.heartbeatLoop(e.clk.NewTicker(e.hbEvery))
 	}
@@ -303,38 +313,56 @@ func (e *Engine) scheduleRecord(s *core.Strategy, source string) {
 	e.pubMu.Lock()
 	defer e.pubMu.Unlock()
 	ev := e.bus.stamp(Event{Strategy: s.Name, Type: EventScheduled, Time: e.clk.Now()})
+	f := newFrame(ev)
 	e.mirror.apply(s, ev) // resets any previous enactment under this name
 	e.mirror.setSource(s.Name, source)
-	e.journalEvent(ev)
+	e.journalFrame(f)
 	if source != "" {
-		e.journalAppend(s.Name, journal.Record{
+		rec := journal.Record{
 			Seq: ev.Seq, Time: ev.Time, Type: recSource, Run: s.Name,
 			Data: mustJSON(sourceRecord{Source: source}),
-		})
+		}
+		if e.jw != nil {
+			// Enqueued right behind the scheduled event, still under pubMu,
+			// so replay sees them adjacent exactly like the inline path.
+			e.jw.enqueue(jreq{rec: rec})
+		} else {
+			e.journalAppend(s.Name, rec)
+		}
 	}
-	e.bus.fanout(ev)
+	e.bus.fanout(f)
 }
 
-// publish runs one event through the pipeline: stamp a sequence number into
-// the replay ring, reduce into the durable per-run mirror, append to the
-// run's journal partition, and only then fan out to subscribers — so with
-// write-through flushing a watcher never sees an event a crash could
-// unwind. strategy is used by the mirror's planned-duration accounting and
-// may be nil.
+// publish runs one event through the staged pipeline: stamp a sequence
+// number into the replay ring, encode the event exactly once into a pooled
+// frame, reduce into the durable per-run mirror, hand the frame to the
+// journal stage, and fan the same frame out to subscribers. With
+// write-through flushing the journal append is inline, so a watcher never
+// sees an event a crash could unwind; with buffered flushing the append is
+// enqueued (in publish order) to the async journal writer, and terminal
+// events wait for durability after pubMu is released. strategy is used by
+// the mirror's planned-duration accounting and may be nil.
 func (e *Engine) publish(strategy *core.Strategy, ev Event) {
 	e.pubMu.Lock()
 	ev = e.bus.stamp(ev)
+	f := newFrame(ev)
 	e.mirror.apply(strategy, ev)
-	e.journalEvent(ev)
+	durable := e.journalFrame(f)
 	var shouldCompact bool
 	if e.journals != nil {
 		if j, ok := e.journals.Get(ev.Strategy); ok {
 			shouldCompact = j.ShouldCompact()
 		}
 	}
-	e.bus.fanout(ev)
+	e.bus.fanout(f)
 	e.pubMu.Unlock()
 
+	if durable != nil {
+		// Terminal event in async-writer mode: wait for append+fsync with
+		// pubMu released — the same durability point the old inline Sync
+		// provided, without stalling other publishers behind the disk.
+		<-durable
+	}
 	if shouldCompact && e.compacting.CompareAndSwap(false, true) {
 		go e.compact()
 	}
@@ -371,17 +399,39 @@ func (e *Engine) heartbeatLoop(t clock.Ticker) {
 			if len(live) == 0 {
 				continue
 			}
+			// Capture the clock position under pubMu so heartbeat times stay
+			// consistent with the sequence counter, but keep the appends
+			// themselves off the publish pipeline's critical section: N
+			// runs' synchronous heartbeat writes must not stall publishers.
 			e.pubMu.Lock()
 			now := e.clk.Now()
-			if seq := e.bus.currentSeq(); seq > 0 && e.journals != nil {
-				for _, name := range live {
-					e.journalAppend(name, journal.Record{Seq: seq, Time: now, Type: recHeartbeat, Run: name})
-				}
+			seq := e.bus.currentSeq()
+			js := e.journals
+			if seq > 0 && js != nil {
 				if now.After(e.mirror.LastTime) {
 					e.mirror.LastTime = now
 				}
+				if e.jw != nil {
+					// Async mode: enqueue under pubMu — each heartbeat keeps
+					// its place in its partition's publish order, and the
+					// writer goroutine does the I/O.
+					for _, name := range live {
+						e.jw.enqueue(jreq{rec: journal.Record{Seq: seq, Time: now, Type: recHeartbeat, Run: name}})
+					}
+				}
 			}
 			e.pubMu.Unlock()
+			if seq > 0 && js != nil && e.jw == nil {
+				// Write-through mode: append after releasing pubMu.
+				// Heartbeat records are order-insensitive — recovery takes
+				// the newest record time it sees, wherever it sits in the
+				// partition — so racing a concurrent publish cannot corrupt
+				// elapsed-in-state accounting, and racing the journal's
+				// close is a harmless ErrClosed.
+				for _, name := range live {
+					e.journalAppendTo(js, name, journal.Record{Seq: seq, Time: now, Type: recHeartbeat, Run: name})
+				}
+			}
 		case <-e.hbQuit:
 			return
 		}
@@ -414,39 +464,65 @@ func mustJSON(v any) json.RawMessage {
 	return raw
 }
 
-// journalEvent appends one published event to its run's journal partition;
-// terminal events are synced through immediately so a crash right after a
-// run finishes can never resurrect it. Removal events are not journaled:
-// Remove deletes the whole partition instead, which is the stronger
-// statement. Callers hold pubMu.
-func (e *Engine) journalEvent(ev Event) {
+// journalFrame hands the published event behind f to the journal stage,
+// sharing the frame's encode-once bytes as the record payload. Removal
+// events are not journaled: Remove deletes the whole partition instead,
+// which is the stronger statement. Callers hold pubMu.
+//
+// Write-through journals (and the terminal Sync) stay fully inline under
+// pubMu, preserving the "a subscriber never sees an event a crash could
+// unwind" contract. With the async writer the record is enqueued in publish
+// order instead; terminal events return a channel closed once the record is
+// appended and fsynced, and publish waits on it after releasing pubMu — a
+// crash right after a run finishes can still never resurrect it.
+func (e *Engine) journalFrame(f *frame) <-chan struct{} {
+	ev := f.ev
 	if e.journals == nil || ev.Type == EventRemoved {
-		return
+		return nil
 	}
-	e.journalAppend(ev.Strategy, journal.Record{
-		Seq: ev.Seq, Time: ev.Time, Type: recEvent, Run: ev.Strategy,
-		Data: mustJSON(ev),
-	})
-	switch ev.Type {
-	case EventCompleted, EventAborted, EventError:
-		if j, ok := e.journals.Get(ev.Strategy); ok {
-			_ = j.Sync()
+	terminal := ev.Type == EventCompleted || ev.Type == EventAborted || ev.Type == EventError
+	rec := journal.Record{Seq: ev.Seq, Time: ev.Time, Type: recEvent, Run: ev.Strategy}
+	if e.jw == nil {
+		// The caller's frame reference outlives Append (fanout releases it
+		// later in the same publish), so the record borrows the encoded
+		// bytes without copying.
+		rec.Data = json.RawMessage(f.data())
+		e.journalAppend(ev.Strategy, rec)
+		if terminal {
+			if j, ok := e.journals.Get(ev.Strategy); ok {
+				_ = j.Sync()
+			}
 		}
+		return nil
 	}
+	req := jreq{rec: rec, f: f.retain(), sync: terminal}
+	if terminal {
+		req.doneCh = make(chan struct{})
+	}
+	e.jw.enqueue(req)
+	return req.doneCh
 }
 
-// journalAppend writes one record to run's partition (opened on first use
-// with the run's fencing token), counting it. A fenced append means this
-// replica lost the run's ownership mid-write: the record is dropped — the
-// new owner's replay defines the truth now — and the loss is counted.
-// Callers hold pubMu.
+// journalAppend writes one record to run's partition. Callers hold pubMu.
 func (e *Engine) journalAppend(run string, rec journal.Record) {
 	if e.journals == nil {
 		return
 	}
-	j, err := e.journals.Partition(run, e.fenceFor(run))
+	e.journalAppendTo(e.journals, run, rec)
+}
+
+// journalAppendTo writes one record to run's partition in js (opened on
+// first use with the run's fencing token), counting it. A fenced append
+// means this replica lost the run's ownership mid-write: the record is
+// dropped — the new owner's replay defines the truth now — and the loss is
+// counted. js is passed explicitly so callers that captured the set under
+// pubMu (the write-through heartbeat path) can append after releasing it.
+func (e *Engine) journalAppendTo(js *journal.Set, run string, rec journal.Record) {
+	j, err := js.Partition(run, e.fenceFor(run))
 	if err != nil {
-		e.mFenced.Inc()
+		if !errors.Is(err, journal.ErrClosed) {
+			e.mFenced.Inc()
+		}
 		return
 	}
 	switch err := j.Append(rec); {
@@ -629,6 +705,12 @@ func (e *Engine) Remove(name string) error {
 	// re-enactment of the name cannot schedule between the partition
 	// removal and the mirror removal.
 	if e.journals != nil {
+		if e.jw != nil {
+			// Flush queued appends first: a record still in the writer's
+			// queue must not re-create the partition directory after the
+			// removal. Safe under e.mu — the writer never takes it.
+			e.jw.barrier()
+		}
 		_ = e.journals.Remove(name)
 	}
 	e.publish(nil, Event{Strategy: name, Type: EventRemoved, Time: e.clk.Now()})
@@ -657,6 +739,11 @@ func (e *Engine) Evict(name string) error {
 	delete(e.mirror.Runs, name)
 	e.pubMu.Unlock()
 	if e.journals != nil {
+		if e.jw != nil {
+			// The run's queued records must reach the partition before it
+			// closes — the adopting replica replays this file.
+			e.jw.barrier()
+		}
 		_ = e.journals.CloseRun(name)
 	}
 	return nil
@@ -707,6 +794,12 @@ func (e *Engine) Suspend() {
 // closeJournal takes a final per-partition snapshot (so restarts replay a
 // compact prefix) and closes the set. Run loops have already stopped.
 func (e *Engine) closeJournal() {
+	if e.jw != nil {
+		// Drain the async writer before touching the set: every queued
+		// record lands in its partition, and the writer goroutine (which
+		// briefly takes pubMu per batch) is gone before we hold pubMu.
+		e.jw.stopAndDrain()
+	}
 	e.pubMu.Lock()
 	js := e.journals
 	if js == nil {

@@ -104,20 +104,25 @@ type Event struct {
 // eventBus fans events out to subscribers and keeps a bounded replay
 // buffer for the status API.
 type eventBus struct {
-	mu     sync.Mutex
-	seq    int64
-	ring   []Event
-	next   int
-	full   bool
-	subs   map[int]chan Event
-	subSeq int
-	closed bool
+	mu   sync.Mutex
+	seq  int64
+	ring []Event
+	next int
+	full bool
+	subs map[int]chan Event
+	// frameSubs receive the pooled encode-once frames instead of Event
+	// copies: the SSE fan-out path subscribes here so each delivery is one
+	// pointer send and the pre-encoded bytes are shared by every stream.
+	frameSubs map[int]chan *frame
+	subSeq    int
+	closed    bool
 }
 
 func newEventBus(ringSize int) *eventBus {
 	return &eventBus{
-		ring: make([]Event, ringSize),
-		subs: make(map[int]chan Event),
+		ring:      make([]Event, ringSize),
+		subs:      make(map[int]chan Event),
+		frameSubs: make(map[int]chan *frame),
 	}
 }
 
@@ -141,16 +146,29 @@ func (b *eventBus) stamp(ev Event) Event {
 	return ev
 }
 
-// fanout delivers a stamped event to subscribers.
-func (b *eventBus) fanout(ev Event) {
+// fanout delivers a stamped frame to subscribers: Event copies to classic
+// channels, retained frame pointers to frame channels. It consumes the
+// caller's reference.
+func (b *eventBus) fanout(f *frame) {
 	b.mu.Lock()
 	for _, ch := range b.subs {
 		select {
-		case ch <- ev:
+		case ch <- f.ev:
 		default: // slow subscriber: drop; ServeEventStream backfills from the ring
 		}
 	}
+	for _, ch := range b.frameSubs {
+		f.retain()
+		select {
+		case ch <- f:
+		default:
+			// Slow subscriber: drop the delivery (and its reference);
+			// ServeEventStream backfills the gap from retained history.
+			f.release()
+		}
+	}
 	b.mu.Unlock()
+	f.release()
 }
 
 // restore replays a journaled event into the ring during recovery, without
@@ -248,6 +266,38 @@ func (b *eventBus) subscribe(buffer int) (<-chan Event, func()) {
 	return ch, cancel
 }
 
+// subscribeFrames is subscribe for the encode-once frame path. Receivers
+// must release every frame they take from the channel.
+func (b *eventBus) subscribeFrames(buffer int) (<-chan *frame, func()) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	ch := make(chan *frame, buffer)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	id := b.subSeq
+	b.subSeq++
+	b.frameSubs[id] = ch
+	b.mu.Unlock()
+
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			b.mu.Lock()
+			if _, ok := b.frameSubs[id]; ok {
+				delete(b.frameSubs, id)
+				close(ch)
+			}
+			b.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
 func (b *eventBus) recent(n int) []Event {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -278,6 +328,10 @@ func (b *eventBus) close() {
 	b.closed = true
 	for id, ch := range b.subs {
 		delete(b.subs, id)
+		close(ch)
+	}
+	for id, ch := range b.frameSubs {
+		delete(b.frameSubs, id)
 		close(ch)
 	}
 }

@@ -1,0 +1,198 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+
+	"bifrost/internal/journal"
+)
+
+// journalWriter moves journal I/O off the publish pipeline's critical
+// section. Publishers enqueue records while still holding pubMu — so the
+// queue order is exactly the publish order, per run and globally — and a
+// single writer goroutine drains the queue, grouping consecutive same-run
+// records into one AppendBatch (one partition lock acquisition and bufio
+// pass per group) instead of a bufio write per record under pubMu.
+//
+// Durability points are preserved, not weakened:
+//
+//   - terminal records (run completed/aborted/failed) carry a done channel;
+//     publish waits on it after releasing pubMu, and the writer closes it
+//     only after the record is appended and its partition fsynced — exactly
+//     the synchronous j.Sync() the old inline path performed.
+//   - write-through journals (FlushInterval < 0) never use the writer at
+//     all: the engine keeps appending inline under pubMu, so the "a
+//     subscriber never sees an event a crash could unwind" contract of
+//     write-through mode is untouched.
+//   - barrier() lets Remove/Evict/close drain every record enqueued so far
+//     before deleting or closing a partition, so a queued record can never
+//     resurrect a removed run's directory.
+type journalWriter struct {
+	e *Engine
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []jreq
+	stopped bool
+	done    chan struct{} // closed when the writer goroutine exits
+}
+
+// jreq is one queued journal write (or a barrier marker).
+type jreq struct {
+	rec journal.Record
+	// f, when set, supplies rec.Data at write time: the record shares the
+	// frame's encode-once bytes, and the reference is held until the write
+	// completes so the pooled buffer cannot be recycled under the writer.
+	f *frame
+	// sync requests a partition fsync after this record's group is written
+	// (terminal records). doneCh, when set, is closed once the record is
+	// written (and synced, if requested).
+	sync    bool
+	doneCh  chan struct{}
+	barrier bool
+}
+
+func newJournalWriter(e *Engine) *journalWriter {
+	w := &journalWriter{e: e, done: make(chan struct{})}
+	w.cond = sync.NewCond(&w.mu)
+	go w.loop()
+	return w
+}
+
+// enqueue queues one record. Callers hold pubMu, which makes the queue
+// order the publish order.
+func (w *journalWriter) enqueue(req jreq) {
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		// The engine is past drain: drop the record like a fenced append
+		// (the journal is closing or closed; nothing durable is lost that
+		// the close-time snapshot does not cover).
+		if req.f != nil {
+			req.f.release()
+		}
+		if req.doneCh != nil {
+			close(req.doneCh)
+		}
+		return
+	}
+	w.queue = append(w.queue, req)
+	w.cond.Signal()
+	w.mu.Unlock()
+}
+
+// barrier blocks until every record enqueued before the call has been
+// written through to its partition. The writer goroutine takes neither e.mu
+// nor pubMu, so barrier is safe to call while holding either.
+func (w *journalWriter) barrier() {
+	ch := make(chan struct{})
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	w.queue = append(w.queue, jreq{barrier: true, doneCh: ch})
+	w.cond.Signal()
+	w.mu.Unlock()
+	<-ch
+}
+
+// stopAndDrain writes everything queued, then stops the writer goroutine.
+// Records enqueued after stopAndDrain begins are dropped.
+func (w *journalWriter) stopAndDrain() {
+	w.mu.Lock()
+	if !w.stopped {
+		w.stopped = true
+		w.cond.Signal()
+	}
+	w.mu.Unlock()
+	<-w.done
+}
+
+func (w *journalWriter) loop() {
+	defer close(w.done)
+	for {
+		w.mu.Lock()
+		for len(w.queue) == 0 && !w.stopped {
+			w.cond.Wait()
+		}
+		batch := w.queue
+		w.queue = nil
+		stopped := w.stopped
+		w.mu.Unlock()
+
+		w.writeBatch(batch)
+		if stopped {
+			return
+		}
+	}
+}
+
+// writeBatch writes one drained queue slice, grouping consecutive same-run
+// records into single AppendBatch calls.
+func (w *journalWriter) writeBatch(batch []jreq) {
+	recs := make([]journal.Record, 0, len(batch))
+	for i := 0; i < len(batch); {
+		if batch[i].barrier {
+			close(batch[i].doneCh)
+			i++
+			continue
+		}
+		run := batch[i].rec.Run
+		j := i
+		for j < len(batch) && !batch[j].barrier && batch[j].rec.Run == run {
+			j++
+		}
+		group := batch[i:j]
+		recs = recs[:0]
+		needSync := false
+		for k := range group {
+			rec := group[k].rec
+			if group[k].f != nil {
+				rec.Data = group[k].f.data()
+			}
+			recs = append(recs, rec)
+			needSync = needSync || group[k].sync
+		}
+		w.appendGroup(run, recs, needSync)
+		for k := range group {
+			if group[k].f != nil {
+				group[k].f.release()
+			}
+			if group[k].doneCh != nil {
+				close(group[k].doneCh)
+			}
+		}
+		i = j
+	}
+}
+
+// appendGroup writes one run's consecutive records, counting them the same
+// way the inline path did: journaled on success, fenced when this replica
+// lost the run's ownership mid-write (the new owner's replay defines the
+// truth; the records are dropped).
+func (w *journalWriter) appendGroup(run string, recs []journal.Record, needSync bool) {
+	e := w.e
+	e.pubMu.Lock()
+	js := e.journals
+	e.pubMu.Unlock()
+	if js == nil {
+		return
+	}
+	j, err := js.Partition(run, e.fenceFor(run))
+	if err != nil {
+		if !errors.Is(err, journal.ErrClosed) {
+			e.mFenced.Add(float64(len(recs)))
+		}
+		return
+	}
+	switch err := j.AppendBatch(recs); {
+	case err == nil:
+		e.mJournaled.Add(float64(len(recs)))
+	case errors.Is(err, journal.ErrFenced):
+		e.mFenced.Add(float64(len(recs)))
+	}
+	if needSync {
+		_ = j.Sync()
+	}
+}

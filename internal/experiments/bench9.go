@@ -1,0 +1,360 @@
+// Engine event-pipeline macro-bench (BENCH_9.json): the three ROADMAP
+// trajectory metrics measured against the real stack on the committing
+// machine — engine publish→mirror→journal→SSE throughput with a fan-out of
+// live HTTP subscribers, proxy RPS and coordinated-omission-corrected p99
+// under live reconfiguration, and raw metrics-store ingest.
+
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bifrost/internal/engine"
+	"bifrost/internal/httpx"
+	"bifrost/internal/journal"
+	"bifrost/internal/loadgen"
+	"bifrost/internal/metrics"
+	"bifrost/internal/proxy"
+)
+
+// Bench9Config sizes the event-pipeline macro-benchmarks. The zero value is
+// filled with defaults for a committed baseline run; CI smoke passes tiny
+// counts through benchrunner -bench-scale.
+type Bench9Config struct {
+	// Events is the number of events pushed through the full publish
+	// pipeline (journaled engine, fanned out over SSE).
+	Events int `json:"events"`
+	// Subscribers is the number of concurrent HTTP SSE subscribers the
+	// pipeline fans out to (the ROADMAP metric fixes 64).
+	Subscribers int `json:"subscribers"`
+
+	// ProxyRPS/ProxyDuration drive the load test against a live proxy;
+	// ReconfigEvery is the cadence of SetConfig weight flips during it.
+	ProxyRPS      float64       `json:"proxyRps"`
+	ProxyDuration time.Duration `json:"proxyDurationNs"`
+	ReconfigEvery time.Duration `json:"reconfigEveryNs"`
+
+	// IngestSamples Store.Append calls are timed across IngestSeries
+	// series for the metrics ingest figure.
+	IngestSamples int `json:"ingestSamples"`
+	IngestSeries  int `json:"ingestSeries"`
+}
+
+func (c Bench9Config) withDefaults() Bench9Config {
+	if c.Events <= 0 {
+		c.Events = 50_000
+	}
+	if c.Subscribers <= 0 {
+		c.Subscribers = 64
+	}
+	if c.ProxyRPS <= 0 {
+		c.ProxyRPS = 300
+	}
+	if c.ProxyDuration <= 0 {
+		c.ProxyDuration = 8 * time.Second
+	}
+	if c.ReconfigEvery <= 0 {
+		c.ReconfigEvery = 100 * time.Millisecond
+	}
+	if c.IngestSamples <= 0 {
+		c.IngestSamples = 1_000_000
+	}
+	if c.IngestSeries <= 0 {
+		c.IngestSeries = 16
+	}
+	return c
+}
+
+// Bench9Result is the committed BENCH_9.json shape.
+type Bench9Result struct {
+	Config Bench9Config `json:"config"`
+
+	// Event pipeline: events/s through publish→mirror→journal→SSE, timed
+	// from the first publish until every subscriber has observed the
+	// terminal event. PublishEventsPerSec isolates the publisher side (the
+	// pubMu critical path plus journaling); DeliveredFrames counts the SSE
+	// frames actually written across all subscribers (the bus drops on
+	// slow channels and backfills from history, so this is the real
+	// fan-out volume, not Events × Subscribers by definition).
+	PipelineEventsPerSec  float64 `json:"pipelineEventsPerSec"`
+	PublishEventsPerSec   float64 `json:"publishEventsPerSec"`
+	DeliveredFrames       int64   `json:"deliveredFrames"`
+	DeliveredFramesPerSec float64 `json:"deliveredFramesPerSec"`
+
+	// Proxy under live reconfiguration: achieved request rate and latency
+	// tails while SetConfig flips traffic weights every ReconfigEvery.
+	// ProxyP99Ms is coordinated-omission-corrected (latency from each
+	// request's intended start); ProxyServiceP99Ms is the raw service time.
+	ProxyRPS          float64 `json:"proxyRps"`
+	ProxyP99Ms        float64 `json:"proxyP99Ms"`
+	ProxyServiceP99Ms float64 `json:"proxyServiceP99Ms"`
+	ProxyErrors       int     `json:"proxyErrors"`
+	Reconfigs         int     `json:"reconfigs"`
+
+	// Ingest: raw sample appends per second into the metrics store.
+	IngestSamplesPerSec float64 `json:"ingestSamplesPerSec"`
+}
+
+// RunBench9 measures the three trajectory metrics in sequence.
+func RunBench9(cfg Bench9Config) (*Bench9Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Bench9Result{Config: cfg}
+	if err := benchPipeline(cfg, res); err != nil {
+		return nil, fmt.Errorf("bench9 pipeline: %w", err)
+	}
+	if err := benchProxyReconfig(cfg, res); err != nil {
+		return nil, fmt.Errorf("bench9 proxy: %w", err)
+	}
+	benchIngest(cfg, res)
+	return res, nil
+}
+
+// benchPipeline drives the engine's full publish pipeline — journaled
+// engine, REST API server, Subscribers live SSE connections — and times
+// Events check events from first publish until every subscriber has seen
+// the terminal completed event.
+func benchPipeline(cfg Bench9Config, res *Bench9Result) error {
+	dir, err := os.MkdirTemp("", "bench9-journal-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	js, err := engine.OpenJournal(dir, journal.Options{})
+	if err != nil {
+		return err
+	}
+	eng := engine.New(engine.WithJournalSet(js))
+	defer eng.Shutdown()
+
+	srv, err := httpx.NewServer("127.0.0.1:0", engine.NewAPI(eng, nil).Handler())
+	if err != nil {
+		return err
+	}
+	srv.Start()
+	defer shutdownServer(srv)
+
+	// Dedicated transport: Subscribers long-lived streams at once.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: cfg.Subscribers + 4,
+	}}
+	defer client.CloseIdleConnections()
+	streamURL := srv.URL() + "/api/v2/events/stream?strategy=bench9"
+
+	var frames atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Subscribers)
+	ready := make(chan struct{}, cfg.Subscribers)
+	for i := 0; i < cfg.Subscribers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Get(streamURL)
+			if err != nil {
+				errs <- err
+				ready <- struct{}{}
+				return
+			}
+			defer resp.Body.Close()
+			// Headers received means ServeEventStream has subscribed this
+			// connection to the bus: events published from here on reach it.
+			ready <- struct{}{}
+			err = httpx.ReadSSE(resp.Body, func(se httpx.SSEEvent) error {
+				frames.Add(1)
+				if se.Name == string(engine.EventCompleted) {
+					return errStreamDone
+				}
+				return nil
+			})
+			if err != nil && err != errStreamDone {
+				errs <- err
+			}
+		}()
+	}
+	for i := 0; i < cfg.Subscribers; i++ {
+		<-ready
+	}
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+
+	now := time.Now()
+	ev := engine.Event{
+		Strategy: "bench9", Type: engine.EventCheckExecuted,
+		State: "canary", Check: "latency", Outcome: 1, Time: now,
+	}
+	start := time.Now()
+	for i := 0; i < cfg.Events; i++ {
+		eng.PublishBench(ev)
+	}
+	publishElapsed := time.Since(start)
+	eng.PublishBench(engine.Event{
+		Strategy: "bench9", Type: engine.EventCompleted, Time: time.Now(),
+	})
+
+	// The bus drops on full subscriber channels, and a dropped terminal
+	// event is only recovered when a later event exposes the gap — so keep
+	// ticking until every subscriber has caught up and seen it.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	deadline := time.After(5 * time.Minute)
+	for {
+		select {
+		case <-done:
+			elapsed := time.Since(start)
+			select {
+			case err := <-errs:
+				return err
+			default:
+			}
+			res.PipelineEventsPerSec = float64(cfg.Events) / elapsed.Seconds()
+			res.PublishEventsPerSec = float64(cfg.Events) / publishElapsed.Seconds()
+			res.DeliveredFrames = frames.Load()
+			res.DeliveredFramesPerSec = float64(frames.Load()) / elapsed.Seconds()
+			return nil
+		case <-tick.C:
+			eng.PublishBench(engine.Event{
+				Strategy: "bench9", Type: engine.EventCheckExecuted,
+				State: "canary", Check: "drain", Time: time.Now(),
+			})
+		case <-deadline:
+			return fmt.Errorf("subscribers did not observe the terminal event within 5m")
+		}
+	}
+}
+
+// errStreamDone is the subscriber's sentinel for a cleanly finished stream.
+var errStreamDone = fmt.Errorf("bench9: stream done")
+
+// benchProxyReconfig load-tests a live proxy while a goroutine flips the
+// stable/canary traffic split every ReconfigEvery — the "p99 under live
+// reconfiguration" trajectory metric.
+func benchProxyReconfig(cfg Bench9Config, res *Bench9Result) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /auth/login", func(w http.ResponseWriter, r *http.Request) {
+		httpx.WriteJSON(w, http.StatusOK, map[string]string{"token": "tok"})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		httpx.WriteJSON(w, http.StatusOK, map[string]string{"ok": "1"})
+	})
+	stable, err := httpx.NewServer("127.0.0.1:0", mux)
+	if err != nil {
+		return err
+	}
+	stable.Start()
+	defer shutdownServer(stable)
+	canary, err := httpx.NewServer("127.0.0.1:0", mux)
+	if err != nil {
+		return err
+	}
+	canary.Start()
+	defer shutdownServer(canary)
+
+	configAt := func(gen int64, canaryWeight float64) proxy.Config {
+		return proxy.Config{
+			Service: "shop", Generation: gen,
+			Backends: []proxy.Backend{
+				{Version: "stable", URL: stable.URL(), Weight: 1 - canaryWeight},
+				{Version: "canary", URL: canary.URL(), Weight: canaryWeight},
+			},
+		}
+	}
+	p, err := proxy.New("shop", configAt(1, 0.1), proxy.WithSeed(9))
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	proxySrv, err := httpx.NewServer("127.0.0.1:0", p)
+	if err != nil {
+		return err
+	}
+	proxySrv.Start()
+	defer shutdownServer(proxySrv)
+
+	// Reconfigure continuously while the load test runs: alternate the
+	// canary share between 10% and 50%, each flip a new generation.
+	stop := make(chan struct{})
+	var reconfigs int
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		t := time.NewTicker(cfg.ReconfigEvery)
+		defer t.Stop()
+		gen := int64(2)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				w := 0.1
+				if gen%2 == 0 {
+					w = 0.5
+				}
+				if p.SetConfig(configAt(gen, w)) == nil {
+					reconfigs++
+				}
+				gen++
+			}
+		}
+	}()
+
+	lr, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     proxySrv.URL(),
+		RPS:         cfg.ProxyRPS,
+		Duration:    cfg.ProxyDuration,
+		Users:       8,
+		Seed:        9,
+		MaxInFlight: 128,
+	})
+	close(stop)
+	rwg.Wait()
+	if err != nil {
+		return err
+	}
+	st := loadgen.StatsOf(lr.Samples)
+	res.ProxyRPS = float64(len(lr.Samples)) / cfg.ProxyDuration.Seconds()
+	res.ProxyP99Ms = float64(lr.CorrectedHist.Quantile(0.99).Microseconds()) / 1000
+	res.ProxyServiceP99Ms = st.P99
+	res.ProxyErrors = st.Errors
+	res.Reconfigs = reconfigs
+	return nil
+}
+
+// benchIngest times raw Store.Append throughput, the same figure the
+// federation bench tracks (kept here so BENCH_9.json carries all three
+// trajectory metrics in one file).
+func benchIngest(cfg Bench9Config, res *Bench9Result) {
+	rng := rand.New(rand.NewSource(9))
+	store := metrics.NewStore()
+	labels := make([]metrics.Labels, cfg.IngestSeries)
+	for i := range labels {
+		labels[i] = metrics.Labels{"replica": fmt.Sprintf("r%d", i)}
+	}
+	base := time.Now().Add(-time.Hour)
+	start := time.Now()
+	for i := 0; i < cfg.IngestSamples; i++ {
+		at := base.Add(time.Duration(i) * time.Microsecond)
+		store.Append("bench_ingest_ms", labels[i%len(labels)], rng.Float64()*100, at)
+	}
+	res.IngestSamplesPerSec = float64(cfg.IngestSamples) / time.Since(start).Seconds()
+}
+
+// WriteJSON emits the result as indented JSON (the BENCH_9.json format).
+func (r *Bench9Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

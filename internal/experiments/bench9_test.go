@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestBench9Smoke runs the macro-bench at toy scale: every stage must
+// complete and produce positive figures, and the JSON must carry the three
+// trajectory metrics the ROADMAP tracks.
+func TestBench9Smoke(t *testing.T) {
+	res, err := RunBench9(Bench9Config{
+		Events:        300,
+		Subscribers:   8,
+		ProxyRPS:      120,
+		ProxyDuration: 500 * time.Millisecond,
+		ReconfigEvery: 50 * time.Millisecond,
+		IngestSamples: 5_000,
+	})
+	if err != nil {
+		t.Fatalf("RunBench9: %v", err)
+	}
+	if res.PipelineEventsPerSec <= 0 || res.PublishEventsPerSec <= 0 {
+		t.Errorf("pipeline throughput not measured: %+v", res)
+	}
+	if res.DeliveredFrames < int64(res.Config.Subscribers) {
+		t.Errorf("delivered %d frames, want at least one per subscriber (%d)",
+			res.DeliveredFrames, res.Config.Subscribers)
+	}
+	if res.ProxyRPS <= 0 || res.ProxyP99Ms <= 0 {
+		t.Errorf("proxy figures not measured: rps=%v p99=%v", res.ProxyRPS, res.ProxyP99Ms)
+	}
+	if res.ProxyP99Ms < res.ProxyServiceP99Ms {
+		t.Errorf("corrected p99 %.2fms below service p99 %.2fms",
+			res.ProxyP99Ms, res.ProxyServiceP99Ms)
+	}
+	if res.Reconfigs == 0 {
+		t.Error("no live reconfigurations happened during the load test")
+	}
+	if res.IngestSamplesPerSec <= 0 {
+		t.Error("ingest throughput not measured")
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("result JSON does not parse: %v", err)
+	}
+	for _, key := range []string{"pipelineEventsPerSec", "proxyP99Ms", "ingestSamplesPerSec"} {
+		v, ok := decoded[key].(float64)
+		if !ok || v <= 0 {
+			t.Errorf("JSON key %q missing or non-positive: %v", key, decoded[key])
+		}
+	}
+}

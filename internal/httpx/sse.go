@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -19,6 +20,9 @@ import (
 type SSEWriter struct {
 	w       http.ResponseWriter
 	flusher http.Flusher
+	// scratch assembles each SendRaw frame so the steady-state hot path
+	// (engine event fan-out) allocates nothing per event after warm-up.
+	scratch []byte
 }
 
 // NewSSEWriter prepares w for an SSE stream (headers, immediate flush). It
@@ -56,6 +60,34 @@ func (s *SSEWriter) Send(name, id string, v any) error {
 		}
 	}
 	if _, err := fmt.Fprintf(s.w, "data: %s\n\n", data); err != nil {
+		return err
+	}
+	s.flusher.Flush()
+	return nil
+}
+
+// SendRaw writes one event whose data payload is already JSON-encoded —
+// the engine's encode-once fan-out path, where every subscriber shares the
+// same marshaled bytes. The frame is assembled in the writer's reused
+// scratch buffer and written with a single Write, so after warm-up the call
+// performs zero allocations. id <= 0 omits the id line.
+func (s *SSEWriter) SendRaw(name string, id int64, data []byte) error {
+	b := s.scratch[:0]
+	if name != "" {
+		b = append(b, "event: "...)
+		b = append(b, name...)
+		b = append(b, '\n')
+	}
+	if id > 0 {
+		b = append(b, "id: "...)
+		b = strconv.AppendInt(b, id, 10)
+		b = append(b, '\n')
+	}
+	b = append(b, "data: "...)
+	b = append(b, data...)
+	b = append(b, '\n', '\n')
+	s.scratch = b
+	if _, err := s.w.Write(b); err != nil {
 		return err
 	}
 	s.flusher.Flush()

@@ -1,0 +1,43 @@
+//go:build !race
+
+// Allocation counts differ under the race detector's instrumentation, so
+// these regression pins only run in the plain test/CI lanes.
+
+package httpx
+
+import (
+	"net/http"
+	"testing"
+)
+
+// discardStream is a streaming ResponseWriter that throws bytes away: the
+// measurement isolates SendRaw's own allocations from any recorder growth.
+type discardStream struct{ h http.Header }
+
+func (d *discardStream) Header() http.Header         { return d.h }
+func (d *discardStream) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardStream) WriteHeader(int)             {}
+func (d *discardStream) Flush()                      {}
+
+// SendRaw is the per-subscriber hot path of the engine's SSE fan-out: one
+// call per subscriber per event. After warm-up it must not allocate at all —
+// the frame is assembled in the writer's reused scratch buffer.
+func TestSendRawZeroAllocs(t *testing.T) {
+	w, err := NewSSEWriter(&discardStream{h: make(http.Header)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte(`{"seq":123456,"strategy":"canary-shop","type":"check_executed","time":"2026-01-01T00:00:00Z"}`)
+	// Warm-up grows the scratch buffer to its steady-state size.
+	if err := w.SendRaw("check_executed", 123456, data); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := w.SendRaw("check_executed", 123457, data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("SendRaw allocates %.2f objects per event, want 0", allocs)
+	}
+}

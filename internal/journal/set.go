@@ -83,6 +83,11 @@ func OpenSet(root string, opts SetOptions) (*Set, error) {
 // Root returns the set's root directory.
 func (s *Set) Root() string { return s.root }
 
+// WriteThrough reports whether the set's partitions fsync every append
+// (Journal.WriteThrough); callers deferring journal I/O must not defer in
+// write-through mode.
+func (s *Set) WriteThrough() bool { return s.opts.Journal.FlushInterval < 0 }
+
 // Partition opens (or creates) the journal partition for run, with the
 // given fencing token (0 = classic flock protection). An already-open
 // partition is returned as-is; close it with CloseRun before reopening

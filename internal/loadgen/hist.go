@@ -1,0 +1,160 @@
+package loadgen
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is an HdrHistogram-style latency histogram: log-linear buckets over
+// microsecond values, so quantiles carry a bounded relative error (≤ 1/32,
+// ~3%) across the full range from 1µs to ~1h without storing samples.
+//
+// Record is lock-free (one atomic add), so many load-generator goroutines
+// can share a single Hist — the recording path must never become the
+// coordination point that hides the very stalls it is measuring.
+//
+// The zero value is ready to use.
+type Hist struct {
+	// counts is indexed log-linearly: values below histSub land in their
+	// own unit bucket; above that, each power-of-two range is split into
+	// histSub linear sub-buckets.
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64 // µs
+	max    atomic.Int64 // µs
+}
+
+const (
+	// histSubBits is the sub-bucket resolution: 2^5 = 32 linear
+	// sub-buckets per power of two, bounding quantile error at 1/32.
+	histSubBits = 5
+	histSub     = 1 << histSubBits
+	// histRanges covers values up to 2^(histSubBits+histRanges) µs ≈ 2.3h.
+	histRanges  = 33 - histSubBits
+	histBuckets = histSub * (histRanges + 1)
+)
+
+// histIndex maps a non-negative µs value to its bucket.
+func histIndex(us int64) int {
+	if us < histSub {
+		return int(us)
+	}
+	// The value's magnitude above the linear range picks the power-of-two
+	// range; the top histSubBits bits below the leading bit pick the
+	// sub-bucket within it.
+	exp := bits.Len64(uint64(us)) - 1 - histSubBits
+	if exp > histRanges-1 {
+		exp = histRanges - 1 // clamp: everything past ~2.3h shares the top range
+	}
+	sub := int(us>>exp) - histSub // 0..histSub-1
+	return histSub + exp*histSub + sub
+}
+
+// histLow returns the inclusive lower bound (µs) of bucket i; the bucket's
+// representative value reported by Quantile is its upper midpoint.
+func histLow(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	exp := (i - histSub) / histSub
+	sub := (i - histSub) % histSub
+	return int64(histSub+sub) << exp
+}
+
+func histHigh(i int) int64 {
+	if i < histSub {
+		return int64(i) + 1
+	}
+	exp := (i - histSub) / histSub
+	return histLow(i) + (int64(1) << exp)
+}
+
+// Record adds one latency observation.
+func (h *Hist) Record(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	h.counts[histIndex(us)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(us)
+	for {
+		cur := h.max.Load()
+		if us <= cur || h.max.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// Max returns the largest recorded latency (bucket-exact: the true maximum
+// is tracked separately from the buckets).
+func (h *Hist) Max() time.Duration {
+	return time.Duration(h.max.Load()) * time.Microsecond
+}
+
+// Mean returns the mean recorded latency.
+func (h *Hist) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load()/n) * time.Microsecond
+}
+
+// Quantile returns the latency at quantile q (0 < q ≤ 1), with the
+// histogram's ~3% relative error. The top bucket answers with the exact
+// recorded maximum so p100 is never inflated by bucket width.
+func (h *Hist) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			mid := (histLow(i) + histHigh(i)) / 2
+			if max := h.max.Load(); mid > max {
+				mid = max
+			}
+			return time.Duration(mid) * time.Microsecond
+		}
+	}
+	return h.Max()
+}
+
+// Merge folds other into h (concurrent Records on either side are allowed;
+// the merge observes a consistent-enough snapshot for reporting).
+func (h *Hist) Merge(other *Hist) {
+	if other == nil {
+		return
+	}
+	for i := range other.counts {
+		if c := other.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	for {
+		om, cur := other.max.Load(), h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}

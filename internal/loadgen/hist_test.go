@@ -1,0 +1,143 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bifrost/internal/httpx"
+)
+
+// TestHistQuantileAccuracy pins the histogram's relative error: quantiles
+// over a heavy-tailed sample set must land within the log-linear bucket
+// width (1/32 ≈ 3%, plus the µs quantization floor) of the exact values.
+func TestHistQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h := &Hist{}
+	vals := make([]float64, 50_000)
+	for i := range vals {
+		// Lognormal microseconds spanning ~1µs to ~1s.
+		us := math.Exp(8 + 2.2*rng.NormFloat64())
+		vals[i] = us
+		h.Record(time.Duration(us) * time.Microsecond)
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)))-1]
+		got := float64(h.Quantile(q).Microseconds())
+		relErr := math.Abs(got-exact) / exact
+		if relErr > 0.05 {
+			t.Errorf("q%.3f: hist %v exact %v (rel err %.3f)", q, got, exact, relErr)
+		}
+	}
+	if h.Count() != int64(len(vals)) {
+		t.Errorf("count = %d, want %d", h.Count(), len(vals))
+	}
+	if got, want := float64(h.Max().Microseconds()), vals[len(vals)-1]; math.Abs(got-want) > 1 {
+		t.Errorf("max = %v, want %v", got, want)
+	}
+}
+
+// TestHistConcurrentRecordAndMerge: Record must be safe from many
+// goroutines, and Merge must preserve total counts.
+func TestHistConcurrentRecordAndMerge(t *testing.T) {
+	shards := make([]*Hist, 4)
+	var wg sync.WaitGroup
+	for i := range shards {
+		shards[i] = &Hist{}
+		wg.Add(1)
+		go func(h *Hist, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < 10_000; j++ {
+				h.Record(time.Duration(rng.Intn(1_000_000)) * time.Microsecond)
+			}
+		}(shards[i], int64(i))
+	}
+	wg.Wait()
+	total := &Hist{}
+	for _, h := range shards {
+		total.Merge(h)
+	}
+	if total.Count() != 40_000 {
+		t.Errorf("merged count = %d, want 40000", total.Count())
+	}
+	if total.Quantile(0.5) <= 0 || total.Mean() <= 0 {
+		t.Errorf("merged stats: q50=%v mean=%v", total.Quantile(0.5), total.Mean())
+	}
+}
+
+// TestCoordinatedOmissionCorrection injects a 500ms server stall behind a
+// 1-slot in-flight cap: the requests the schedule wanted to issue during
+// the stall are delayed, so their *service* latencies look healthy, but the
+// corrected latencies (measured from each request's intended start) must
+// surface the stall in the tail. A generator that blocks its dispatcher on
+// the cap — the pre-fix behavior — hides the stall entirely.
+func TestCoordinatedOmissionCorrection(t *testing.T) {
+	var stalled atomic.Bool
+	var reqs atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /auth/login", func(w http.ResponseWriter, r *http.Request) {
+		httpx.WriteJSON(w, http.StatusOK, map[string]string{"token": "tok"})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		// Exactly one request pays the stall directly; everything queued
+		// behind it pays in waiting time only.
+		if n := reqs.Add(1); n == 20 && stalled.CompareAndSwap(false, true) {
+			time.Sleep(500 * time.Millisecond)
+		}
+		httpx.WriteJSON(w, http.StatusOK, map[string]string{"ok": "1"})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	res, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		RPS:         200,
+		Duration:    1200 * time.Millisecond,
+		Users:       4,
+		Seed:        7,
+		MaxInFlight: 1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !stalled.Load() {
+		t.Fatal("stall was never triggered")
+	}
+	service := StatsOf(res.Samples)
+	corrected := CorrectedStatsOf(res.Samples)
+
+	// ~100 of ~240 scheduled requests queue behind the stall: far more
+	// than 1% of samples, so the corrected p99 must show hundreds of ms.
+	if corrected.P99 < 200 {
+		t.Errorf("corrected p99 = %.1fms, want ≥ 200ms (stall hidden)", corrected.P99)
+	}
+	// Exactly one sample has a ~500ms service time — below 1% of the
+	// population, so the uncorrected p99 stays oblivious.
+	if service.P99 > 150 {
+		t.Errorf("service p99 = %.1fms, want < 150ms (only one request pays the stall directly)", service.P99)
+	}
+	if corrected.P99 < 2*service.P99 {
+		t.Errorf("corrected p99 %.1fms not > 2× service p99 %.1fms", corrected.P99, service.P99)
+	}
+	// The histogram aggregate must agree with the per-sample stats.
+	histP99 := float64(res.CorrectedHist.Quantile(0.99).Microseconds()) / 1000
+	if histP99 < 200 {
+		t.Errorf("CorrectedHist p99 = %.1fms, want ≥ 200ms", histP99)
+	}
+	// Corrected ≥ service for every sample, and Sched is monotone-ish
+	// with Offset (requests start at or after their intended time).
+	for _, s := range res.Samples {
+		if s.Corrected < s.Latency {
+			t.Fatalf("sample corrected %v < service %v", s.Corrected, s.Latency)
+		}
+	}
+}

@@ -99,17 +99,32 @@ type Config struct {
 type Sample struct {
 	// Offset is the time since the load test started.
 	Offset time.Duration
-	// Latency is the end-to-end response time.
+	// Latency is the service time: request sent to response drained.
 	Latency time.Duration
-	Kind    RequestKind
-	Status  int
-	Err     bool
+	// Sched is the request's intended start per the open-loop schedule;
+	// Corrected is the latency measured from that intended start, so time
+	// a request spent queued behind a stalled server (or the in-flight
+	// cap) counts against it. This is the coordinated-omission-corrected
+	// number: a generator that only measures Latency lets a 500ms server
+	// stall vanish from the percentiles, because the requests that
+	// *should* have been issued during the stall were silently delayed.
+	Sched     time.Duration
+	Corrected time.Duration
+	Kind      RequestKind
+	Status    int
+	Err       bool
 }
 
 // Result collects a load test's samples.
 type Result struct {
 	Start   time.Time
 	Samples []Sample
+	// CorrectedHist and ServiceHist are HdrHistogram-style aggregates of
+	// every sample's Corrected and Latency values, recorded lock-free as
+	// requests complete. CorrectedHist is the one to quote for tail
+	// latency under load.
+	CorrectedHist *Hist
+	ServiceHist   *Hist
 }
 
 // Stats summarizes latencies in milliseconds, Table-1 style.
@@ -120,6 +135,7 @@ type Stats struct {
 	Max    float64
 	SD     float64
 	Median float64
+	P99    float64
 	// Errors counts failed requests (transport errors or HTTP ≥ 500).
 	Errors int
 }
@@ -162,7 +178,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	res := &Result{Start: time.Now()}
+	res := &Result{Start: time.Now(), CorrectedHist: &Hist{}, ServiceHist: &Hist{}}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cfg.MaxInFlight)
@@ -171,7 +187,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	deadline := res.Start.Add(total)
 
 	// Open-loop dispatcher: a 10ms tick computes how many requests are
-	// due given the (ramping) target rate and dispatches them.
+	// due given the (ramping) target rate and dispatches them. The
+	// dispatcher never blocks on the in-flight cap — each request's
+	// goroutine waits for its semaphore slot itself, with the clock on
+	// the intended start already running, so a saturated or stalled
+	// server inflates the corrected latencies instead of silently
+	// slowing the schedule (coordinated omission).
 	const tick = 10 * time.Millisecond
 	ticker := time.NewTicker(tick)
 	defer ticker.Stop()
@@ -199,17 +220,21 @@ loop:
 				kind := pickKind(rng, cfg.Mix)
 				productID := cfg.ProductIDs[rng.Intn(len(cfg.ProductIDs))]
 				term := cfg.SearchTerms[rng.Intn(len(cfg.SearchTerms))]
+				intended := now
 				wg.Add(1)
-				select {
-				case sem <- struct{}{}:
-				case <-ctx.Done():
-					wg.Done()
-					break loop
-				}
 				go func() {
 					defer wg.Done()
+					select {
+					case sem <- struct{}{}:
+					case <-ctx.Done():
+						return
+					}
 					defer func() { <-sem }()
 					s := issueRequest(ctx, cfg.BaseURL, u, kind, productID, term, res.Start)
+					s.Sched = intended.Sub(res.Start)
+					s.Corrected = time.Since(intended)
+					res.CorrectedHist.Record(s.Corrected)
+					res.ServiceHist.Record(s.Latency)
 					mu.Lock()
 					res.Samples = append(res.Samples, s)
 					mu.Unlock()
@@ -357,7 +382,20 @@ func StatsOf(samples []Sample) Stats {
 	} else {
 		st.Median = (lat[mid-1] + lat[mid]) / 2
 	}
+	st.P99 = lat[(st.Count-1)*99/100]
 	return st
+}
+
+// CorrectedStatsOf summarizes the coordinated-omission-corrected latencies
+// of a sample slice: each sample contributes its Corrected value (latency
+// from the intended start) instead of its service time.
+func CorrectedStatsOf(samples []Sample) Stats {
+	shifted := make([]Sample, len(samples))
+	for i, s := range samples {
+		s.Latency = s.Corrected
+		shifted[i] = s
+	}
+	return StatsOf(shifted)
 }
 
 // StatsWindow summarizes the samples between from and to.
