@@ -6,12 +6,17 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 // compareBench prints per-metric deltas between two BENCH_*.json files so
 // the committed trajectory is diffable in PR review: every numeric leaf of
-// the two documents is flattened to a dotted path and compared.
-func compareBench(w io.Writer, oldPath, newPath string) error {
+// the two documents is flattened to a dotted path and compared. With a
+// positive tolerance it also gates: a known-direction metric present in
+// both files that regresses by more than tolerance (a fraction, 0.2 = 20%)
+// makes the comparison return an error, so CI can fail the build on a perf
+// regression between committed baselines.
+func compareBench(w io.Writer, oldPath, newPath string, tolerance float64) error {
 	oldVals, err := loadBenchMetrics(oldPath)
 	if err != nil {
 		return err
@@ -34,6 +39,7 @@ func compareBench(w io.Writer, oldPath, newPath string) error {
 	}
 	sort.Strings(keys)
 
+	var regressions []string
 	fmt.Fprintf(w, "%-40s %14s %14s %14s %9s\n", "metric", "old", "new", "delta", "change")
 	for _, k := range keys {
 		ov, haveOld := oldVals[k]
@@ -48,10 +54,55 @@ func compareBench(w io.Writer, oldPath, newPath string) error {
 			if ov != 0 {
 				change = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
 			}
-			fmt.Fprintf(w, "%-40s %14.3f %14.3f %+14.3f %9s\n", k, ov, nv, nv-ov, change)
+			mark := ""
+			if tolerance > 0 && regressed(k, ov, nv, tolerance) {
+				mark = "  REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.3f -> %.3f (%s, tolerance %.0f%%)", k, ov, nv, change, tolerance*100))
+			}
+			fmt.Fprintf(w, "%-40s %14.3f %14.3f %+14.3f %9s%s\n", k, ov, nv, nv-ov, change, mark)
 		}
 	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d metric(s) regressed beyond tolerance:\n  %s",
+			len(regressions), strings.Join(regressions, "\n  "))
+	}
 	return nil
+}
+
+// metricDirection classifies a flattened metric key by name: +1 means
+// higher is better (throughputs, speedups), -1 lower is better (latency
+// tails, error counts, wall times), 0 unknown or config — report-only,
+// never gated. The name conventions are the BENCH_*.json vocabulary.
+func metricDirection(key string) int {
+	if strings.HasPrefix(key, "config.") {
+		return 0
+	}
+	k := strings.ToLower(key)
+	for _, s := range []string{"persec", "rps", "speedup"} {
+		if strings.Contains(k, s) {
+			return 1
+		}
+	}
+	for _, s := range []string{"p99", "p95", "errors", "wallms", "latency", "aborted"} {
+		if strings.Contains(k, s) {
+			return -1
+		}
+	}
+	return 0
+}
+
+// regressed reports whether new is worse than old by more than tolerance
+// in the metric's known direction. A lower-is-better metric with a zero
+// baseline (proxyErrors: 0) regresses on any increase.
+func regressed(key string, old, new, tolerance float64) bool {
+	switch metricDirection(key) {
+	case 1:
+		return new < old*(1-tolerance)
+	case -1:
+		return new > old*(1+tolerance)
+	}
+	return false
 }
 
 // loadBenchMetrics reads a bench JSON file and flattens its numeric leaves

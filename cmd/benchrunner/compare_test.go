@@ -26,7 +26,7 @@ func TestCompareBench(t *testing.T) {
 	}`)
 
 	var buf bytes.Buffer
-	if err := compareBench(&buf, oldPath, newPath); err != nil {
+	if err := compareBench(&buf, oldPath, newPath, 0); err != nil {
 		t.Fatalf("compareBench: %v", err)
 	}
 	out := buf.String()
@@ -39,6 +39,74 @@ func TestCompareBench(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCompareBenchTolerance covers the CI gate: a known-direction metric
+// past tolerance fails the compare, movement within tolerance or on
+// unknown/config keys does not, and improvements never fail.
+func TestCompareBenchTolerance(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	writeFile(t, oldPath, `{
+		"config": {"events": 1000},
+		"pipelineEventsPerSec": 200.0,
+		"proxyP99Ms": 8.0,
+		"proxyErrors": 0,
+		"mysteryMetric": 10.0
+	}`)
+
+	cases := []struct {
+		name     string
+		newDoc   string
+		tol      float64
+		wantFail bool
+	}{
+		{"throughput collapse fails", `{"pipelineEventsPerSec": 100.0}`, 0.2, true},
+		{"throughput dip within tolerance passes", `{"pipelineEventsPerSec": 190.0}`, 0.2, false},
+		{"latency blowup fails", `{"proxyP99Ms": 20.0}`, 0.2, true},
+		{"errors appearing fails", `{"proxyErrors": 3}`, 0.2, true},
+		{"improvement passes", `{"pipelineEventsPerSec": 400.0, "proxyP99Ms": 2.0}`, 0.2, false},
+		{"unknown metric never gates", `{"mysteryMetric": 1.0}`, 0.2, false},
+		{"config shift never gates", `{"config": {"events": 1}}`, 0.2, false},
+		{"zero tolerance disables gating", `{"pipelineEventsPerSec": 1.0}`, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			newPath := filepath.Join(dir, "new.json")
+			writeFile(t, newPath, tc.newDoc)
+			var buf bytes.Buffer
+			err := compareBench(&buf, oldPath, newPath, tc.tol)
+			if tc.wantFail && err == nil {
+				t.Errorf("compare passed, want regression failure:\n%s", buf.String())
+			}
+			if !tc.wantFail && err != nil {
+				t.Errorf("compare failed: %v\n%s", err, buf.String())
+			}
+			if tc.wantFail && err != nil && !strings.Contains(err.Error(), "regressed beyond tolerance") {
+				t.Errorf("unexpected error text: %v", err)
+			}
+		})
+	}
+}
+
+func TestMetricDirection(t *testing.T) {
+	for key, want := range map[string]int{
+		"pipelineEventsPerSec": 1,
+		"proxyRps":             1,
+		"quorumSpeedup":        1,
+		"proxyP99Ms":           -1,
+		"sequentialWallMs":     -1,
+		"proxyErrors":          -1,
+		"abortedSiblings":      -1,
+		"config.events":        0,
+		"config.proxyRps":      0,
+		"deliveredFrames":      0,
+		"reconfigs":            0,
+	} {
+		if got := metricDirection(key); got != want {
+			t.Errorf("metricDirection(%q) = %d, want %d", key, got, want)
 		}
 	}
 }

@@ -23,8 +23,17 @@
 //	                                             # publish→mirror→journal→SSE
 //	                                             # events/s, proxy p99 under
 //	                                             # live reconfig, ingest rate
+//	benchrunner -experiment bench10 -out BENCH_10.json
+//	                                             # hierarchical-rollout bench:
+//	                                             # sequential vs parallel vs
+//	                                             # quorum region wall-time,
+//	                                             # blast radius, pipeline rerun
 //	benchrunner -compare old.json new.json       # per-metric deltas between
 //	                                             # two committed BENCH files
+//	benchrunner -compare -tolerance 0.2 old.json new.json
+//	                                             # same, but exit non-zero when
+//	                                             # a known-direction metric
+//	                                             # regresses by more than 20%
 //	benchrunner -paper                           # paper-scale durations
 //	benchrunner -singlecore                      # GOMAXPROCS=1, like the
 //	                                             # paper's n1-standard-1 VMs
@@ -57,9 +66,11 @@ func main() {
 }
 
 func run() error {
-	experiment := flag.String("experiment", "all", "all|table1|fig6|fig7|fig8|fig9|fig10|bench6|bench7|bench9")
+	experiment := flag.String("experiment", "all", "all|table1|fig6|fig7|fig8|fig9|fig10|bench6|bench7|bench9|bench10")
 	compare := flag.Bool("compare", false,
 		"compare two bench JSON files (benchrunner -compare old.json new.json)")
+	tolerance := flag.Float64("tolerance", 0,
+		"with -compare: fail (exit non-zero) when a known-direction metric regresses by more than this fraction (0 disables gating)")
 	paper := flag.Bool("paper", false, "use the paper's full phase durations (slow)")
 	singleCore := flag.Bool("singlecore", false, "run with GOMAXPROCS=1 to mimic the paper's single-core VMs")
 	counts := flag.String("counts", "1,5,10,20", "parallel-strategy sweep counts (fig7/fig8)")
@@ -75,7 +86,7 @@ func run() error {
 		if len(args) != 2 {
 			return fmt.Errorf("-compare needs exactly two files: benchrunner -compare old.json new.json")
 		}
-		return compareBench(os.Stdout, args[0], args[1])
+		return compareBench(os.Stdout, args[0], args[1], *tolerance)
 	}
 
 	if *singleCore {
@@ -168,6 +179,34 @@ func run() error {
 		res, err := experiments.RunFlagBench(experiments.FlagBenchConfig{
 			Decisions: scale(2_000_000),
 			Requests:  scale(5_000),
+		})
+		if err != nil {
+			return err
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return res.WriteJSON(w)
+
+	case "bench10":
+		scale := func(n int) int {
+			if v := int(float64(n) * *benchScale); v > 0 {
+				return v
+			}
+			return 1
+		}
+		res, err := experiments.RunBench10(experiments.Bench10Config{
+			// Region count and gate cadence stay fixed across scales (the
+			// scenario shape is the point); only the per-region schedule
+			// length and the pipeline volume shrink for CI smoke.
+			Executions:     scale(20),
+			PipelineEvents: scale(50_000),
 		})
 		if err != nil {
 			return err

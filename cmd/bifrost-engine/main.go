@@ -145,6 +145,17 @@ func run() error {
 		opts = append(opts,
 			engine.WithFence(cluster.Token),
 			engine.WithEnactGate(cluster.Gate))
+		// Hierarchical rollouts: a parent run schedules its per-region
+		// children back through this replica's own API, where the cluster
+		// handler shards them across the fleet like any operator POST —
+		// each child gets its own lease, journal partition, and recovery.
+		if self, ok := peers[*engineID]; ok {
+			opts = append(opts, engine.WithChildRunner(engine.HTTPChildRunner{
+				Client: &engine.Client{BaseURL: self},
+			}))
+		} else {
+			log.Printf("warning: -peers does not list %s; sub-rollout children stay on this replica", *engineID)
+		}
 		log.Printf("HA replica %s joining fleet of %d (lease TTL %s)",
 			*engineID, len(peers), *leaseTTL)
 	}

@@ -326,6 +326,22 @@ func printStatus(st engine.Status) {
 		}
 		fmt.Println()
 	}
+	for _, c := range st.Children {
+		// The region tree of a hierarchical rollout: one child run per
+		// region, each with its own state and quorum verdict.
+		region := c.Region
+		if region == "" {
+			region = c.Name
+		}
+		fmt.Printf("    region %-20s %-10s phase=%-16s", region, c.State, c.Phase)
+		switch {
+		case c.Passed:
+			fmt.Print("  [passed]")
+		case c.Failed:
+			fmt.Print("  [failed]")
+		}
+		fmt.Println()
+	}
 	for _, c := range st.Checks {
 		fmt.Printf("    check %-24s %s  %d/%d ok", c.Name, c.Kind, c.Successes, c.Executions)
 		if c.Inconclusive > 0 {

@@ -60,16 +60,48 @@ func Analyze(s *core.Strategy) (*Report, error) {
 	}
 	sort.Strings(r.Unreachable)
 
-	// Trapped: reachable states that cannot reach any final state.
+	// Trapped: reachable states that cannot reach any final state. The
+	// qualified "child/state" entries ReachableStates adds for sub-rollout
+	// children are analyzed by the recursion below, not here.
 	canFinish := reverseReachable(s)
 	for id := range reach {
-		if !canFinish[id] {
+		if !strings.Contains(id, "/") && !canFinish[id] {
 			r.Trapped = append(r.Trapped, id)
 		}
 	}
 	sort.Strings(r.Trapped)
 
 	r.MinDuration, r.MaxDuration, r.HasCycle = durationBounds(s)
+
+	// Recurse into sub-rollout children: their lints surface on the
+	// parent's report under qualified names, so a strategy whose regions
+	// contain unreachable or trapped states fails the same analyses as a
+	// flat one.
+	for i := range s.Automaton.States {
+		sub := s.Automaton.States[i].Sub
+		if sub == nil {
+			continue
+		}
+		for j := range sub.Children {
+			child := &sub.Children[j]
+			if child.Strategy == nil {
+				continue
+			}
+			cr, err := Analyze(child.Strategy)
+			if err != nil {
+				return nil, fmt.Errorf("sub-rollout child %q: %w", child.Name, err)
+			}
+			for _, id := range cr.Unreachable {
+				r.Unreachable = append(r.Unreachable, child.Name+"/"+id)
+			}
+			for _, id := range cr.Trapped {
+				r.Trapped = append(r.Trapped, child.Name+"/"+id)
+			}
+			r.HasCycle = r.HasCycle || cr.HasCycle
+		}
+	}
+	sort.Strings(r.Unreachable)
+	sort.Strings(r.Trapped)
 	return r, nil
 }
 
@@ -158,6 +190,19 @@ func durationBounds(s *core.Strategy) (min, max time.Duration, cyclic bool) {
 }
 
 func stateDuration(st *core.State) time.Duration {
+	if st.Sub != nil {
+		// A sub-rollout state runs as long as its slowest child's
+		// worst-case path (children execute in parallel).
+		var max time.Duration
+		for i := range st.Sub.Children {
+			if cs := st.Sub.Children[i].Strategy; cs != nil {
+				if _, d, _ := durationBounds(cs); d > max {
+					max = d
+				}
+			}
+		}
+		return max
+	}
 	if st.Duration > 0 {
 		return st.Duration
 	}

@@ -167,6 +167,11 @@ type State struct {
 	// Routing is Φ: the dynamic routing configurations applied to the
 	// affected services when the automaton enters this state.
 	Routing []RoutingConfig
+	// Sub nests a sub-rollout under this state: entering it schedules the
+	// children as independent runs and the state's outcome (1 or 0) is
+	// the quorum decision over their results. A sub-rollout state carries
+	// no checks and no duration of its own — the children are its clock.
+	Sub *SubRollout
 }
 
 // NextState implements δ(s, e): it selects the successor for the weighted

@@ -1,0 +1,99 @@
+package core
+
+// MaxSubRolloutDepth bounds strategy nesting: a parent strategy may contain
+// sub-rollout states whose children are flat strategies (depth 2); children
+// that themselves contain sub-rollouts (depth 3) are rejected by Validate.
+const MaxSubRolloutDepth = 2
+
+// OnChildFail policies: what a parent does when one of a sub-rollout
+// state's children ends without passing (aborted, errored, or completed in
+// a final other than its SuccessFinal).
+const (
+	// ChildFailFallback (the default) contains the failure to its region:
+	// the child's own failure transitions already routed it to its
+	// rollback phase, siblings keep running, and the parent re-evaluates
+	// the quorum — failing the state early only once the quorum has become
+	// unreachable.
+	ChildFailFallback = "fallback"
+	// ChildFailAbort escalates: the first failed child aborts every
+	// still-running sibling and fails the state immediately.
+	ChildFailAbort = "abort"
+	// ChildFailContinue tolerates failures: the parent waits for every
+	// child to finish and then decides by quorum alone, with no early
+	// failure exit.
+	ChildFailContinue = "continue"
+)
+
+// ChildRef names one child of a sub-rollout state — typically one region
+// of a geo-distributed rollout.
+type ChildRef struct {
+	// Name is the run name the child is scheduled under ("rollout-eu").
+	// Unique within the sub-rollout and distinct from any ancestor
+	// strategy name.
+	Name string
+	// Region labels the child in status output; defaults to Name.
+	Region string
+	// Source is the child's standalone strategy document (the DSL stamps
+	// one per region). The engine schedules Source through the normal run
+	// path so the child journals into its own partition and recovers
+	// independently of the parent.
+	Source string
+	// SuccessFinal is the child final state whose reaching counts the
+	// child as passed toward the quorum. Empty means any completion
+	// passes.
+	SuccessFinal string
+	// Strategy is the compiled child strategy; validation recurses into
+	// it (cycles, nesting depth, the child's own well-formedness).
+	Strategy *Strategy
+}
+
+// RegionOrName returns the region label, defaulting to the child name.
+func (c *ChildRef) RegionOrName() string {
+	if c.Region != "" {
+		return c.Region
+	}
+	return c.Name
+}
+
+// SubRollout nests child strategies under a state: entering the state
+// schedules every child as its own run, and the state's outcome is decided
+// by how many children pass — 1 (the success range) once Quorum children
+// reach their SuccessFinal, 0 otherwise.
+type SubRollout struct {
+	// Children lists the nested runs, e.g. one per region.
+	Children []ChildRef
+	// Quorum is how many children must pass for the state to succeed.
+	// Zero means all of them.
+	Quorum int
+	// OnChildFail selects the containment policy for failed children:
+	// ChildFailFallback (default), ChildFailAbort, or ChildFailContinue.
+	OnChildFail string
+}
+
+// QuorumOrAll returns the effective quorum: Quorum, or the child count
+// when Quorum is zero.
+func (sr *SubRollout) QuorumOrAll() int {
+	if sr.Quorum <= 0 {
+		return len(sr.Children)
+	}
+	return sr.Quorum
+}
+
+// FailPolicy returns the effective OnChildFail policy, defaulting to
+// ChildFailFallback.
+func (sr *SubRollout) FailPolicy() string {
+	if sr.OnChildFail == "" {
+		return ChildFailFallback
+	}
+	return sr.OnChildFail
+}
+
+// Child returns the named child ref.
+func (sr *SubRollout) Child(name string) (*ChildRef, bool) {
+	for i := range sr.Children {
+		if sr.Children[i].Name == name {
+			return &sr.Children[i], true
+		}
+	}
+	return nil, false
+}

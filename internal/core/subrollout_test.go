@@ -1,0 +1,185 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// flatChild builds a minimal valid flat strategy usable as a sub-rollout
+// child.
+func flatChild(name string) *Strategy {
+	return &Strategy{
+		Name: name,
+		Services: []Service{{
+			Name:     "svc",
+			Versions: []Version{{Name: "stable"}, {Name: "canary"}},
+		}},
+		Automaton: Automaton{
+			Start: "canary",
+			States: []State{
+				{
+					ID:          "canary",
+					Duration:    time.Minute,
+					Thresholds:  []int{0},
+					Transitions: []string{"fallback", "full"},
+				},
+				{ID: "full"},
+				{ID: "fallback"},
+			},
+			Finals: []string{"full", "fallback"},
+		},
+	}
+}
+
+// hierParent wraps children into a parent with one sub-rollout state.
+func hierParent(name string, sub *SubRollout) *Strategy {
+	return &Strategy{
+		Name: name,
+		Services: []Service{{
+			Name:     "svc",
+			Versions: []Version{{Name: "stable"}, {Name: "canary"}},
+		}},
+		Automaton: Automaton{
+			Start: "regions",
+			States: []State{
+				{
+					ID:          "regions",
+					Sub:         sub,
+					Thresholds:  []int{0},
+					Transitions: []string{"holdback", "done"},
+				},
+				{ID: "done"},
+				{ID: "holdback"},
+			},
+			Finals: []string{"done", "holdback"},
+		},
+	}
+}
+
+func TestSubRolloutValidates(t *testing.T) {
+	s := hierParent("multi", &SubRollout{
+		Children: []ChildRef{
+			{Name: "multi-eu", Region: "eu", SuccessFinal: "full", Strategy: flatChild("multi-eu")},
+			{Name: "multi-us", Region: "us", SuccessFinal: "full", Strategy: flatChild("multi-us")},
+			{Name: "multi-ap", Region: "ap", SuccessFinal: "full", Strategy: flatChild("multi-ap")},
+		},
+		Quorum:      2,
+		OnChildFail: ChildFailFallback,
+	})
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid hierarchical strategy rejected: %v", err)
+	}
+
+	reach := s.ReachableStates()
+	for _, id := range []string{"regions", "done", "holdback",
+		"multi-eu/canary", "multi-eu/full", "multi-eu/fallback", "multi-ap/canary"} {
+		if !reach[id] {
+			t.Errorf("ReachableStates missing %q: %v", id, reach)
+		}
+	}
+}
+
+func TestSubRolloutValidationProblems(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Strategy)
+		want string
+	}{
+		{"empty children", func(s *Strategy) {
+			s.Automaton.States[0].Sub.Children = nil
+		}, "no children"},
+		{"quorum too high", func(s *Strategy) {
+			s.Automaton.States[0].Sub.Quorum = 5
+		}, "quorum 5 out of range"},
+		{"bad policy", func(s *Strategy) {
+			s.Automaton.States[0].Sub.OnChildFail = "explode"
+		}, "not fallback|abort|continue"},
+		{"checks forbidden", func(s *Strategy) {
+			s.Automaton.States[0].Checks = []Check{{Name: "x", Kind: BasicCheck, Eval: ConstEvaluator(true)}}
+		}, "cannot have checks"},
+		{"duration forbidden", func(s *Strategy) {
+			s.Automaton.States[0].Duration = time.Minute
+		}, "cannot have a duration"},
+		{"duplicate child", func(s *Strategy) {
+			s.Automaton.States[0].Sub.Children[1] = s.Automaton.States[0].Sub.Children[0]
+		}, "duplicate sub-rollout child"},
+		{"cycle to parent", func(s *Strategy) {
+			s.Automaton.States[0].Sub.Children[0].Name = "multi"
+		}, "cycles back to an ancestor"},
+		{"missing child strategy", func(s *Strategy) {
+			s.Automaton.States[0].Sub.Children[0].Strategy = nil
+		}, "has no strategy"},
+		{"bad success final", func(s *Strategy) {
+			s.Automaton.States[0].Sub.Children[0].SuccessFinal = "nope"
+		}, "is not a final state"},
+		{"invalid child bubbles up", func(s *Strategy) {
+			s.Automaton.States[0].Sub.Children[0].Strategy.Automaton.Start = "missing"
+		}, `child "multi-eu"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := hierParent("multi", &SubRollout{
+				Children: []ChildRef{
+					{Name: "multi-eu", SuccessFinal: "full", Strategy: flatChild("multi-eu")},
+					{Name: "multi-us", SuccessFinal: "full", Strategy: flatChild("multi-us")},
+				},
+				Quorum: 1,
+			})
+			tc.mut(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("want validation error, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSubRolloutDepthLimit(t *testing.T) {
+	// A child that itself contains a sub-rollout makes the nesting three
+	// levels deep — over MaxSubRolloutDepth.
+	grand := flatChild("grand")
+	mid := hierParent("mid", &SubRollout{
+		Children: []ChildRef{{Name: "grand", SuccessFinal: "full", Strategy: grand}},
+	})
+	top := hierParent("top", &SubRollout{
+		Children: []ChildRef{{Name: "mid", SuccessFinal: "done", Strategy: mid}},
+	})
+	err := top.Validate()
+	if err == nil {
+		t.Fatal("depth-3 nesting accepted")
+	}
+	if !strings.Contains(err.Error(), "nested deeper than 2") {
+		t.Errorf("error %q does not mention the depth limit", err)
+	}
+
+	// Two levels (top containing flat children) stay legal.
+	if err := mid.Validate(); err != nil {
+		t.Errorf("depth-2 nesting rejected: %v", err)
+	}
+}
+
+func TestSubRolloutDefaults(t *testing.T) {
+	sr := &SubRollout{Children: []ChildRef{{Name: "a"}, {Name: "b"}, {Name: "c"}}}
+	if got := sr.QuorumOrAll(); got != 3 {
+		t.Errorf("QuorumOrAll = %d, want 3 (all)", got)
+	}
+	sr.Quorum = 2
+	if got := sr.QuorumOrAll(); got != 2 {
+		t.Errorf("QuorumOrAll = %d, want 2", got)
+	}
+	if got := sr.FailPolicy(); got != ChildFailFallback {
+		t.Errorf("FailPolicy = %q, want fallback default", got)
+	}
+	c := &ChildRef{Name: "rollout-eu"}
+	if c.RegionOrName() != "rollout-eu" {
+		t.Errorf("RegionOrName fallback = %q", c.RegionOrName())
+	}
+	c.Region = "eu"
+	if c.RegionOrName() != "eu" {
+		t.Errorf("RegionOrName = %q, want eu", c.RegionOrName())
+	}
+}

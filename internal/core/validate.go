@@ -34,8 +34,19 @@ func joinProblems(ps []string) string {
 // automaton must be a deterministic finite automaton over the declared
 // states, thresholds must be strictly increasing, output mappings total,
 // routing configurations must reference declared services and versions, and
-// exception fallbacks must exist. It returns nil or a *ValidationError.
+// exception fallbacks must exist. Sub-rollout states are validated
+// recursively: every child strategy must itself validate, child names must
+// not cycle back to an ancestor, and nesting deeper than
+// MaxSubRolloutDepth is rejected. It returns nil or a *ValidationError.
 func (s *Strategy) Validate() error {
+	return s.validate(nil)
+}
+
+// validate is the recursive worker behind Validate. ancestors holds the
+// strategy names on the nesting path above s (empty at the top level), so
+// cycles are detected by name and the nesting level of s is
+// len(ancestors)+1.
+func (s *Strategy) validate(ancestors []string) error {
 	var problems []string
 	addf := func(format string, args ...any) {
 		problems = append(problems, fmt.Sprintf(format, args...))
@@ -121,6 +132,9 @@ func (s *Strategy) Validate() error {
 	for i := range s.Automaton.States {
 		st := &s.Automaton.States[i]
 		validateState(st, states, services, s.Automaton.IsFinal(st.ID), addf)
+		if st.Sub != nil {
+			s.validateSubRollout(st, ancestors, addf)
+		}
 	}
 
 	if len(problems) > 0 {
@@ -128,6 +142,83 @@ func (s *Strategy) Validate() error {
 		return &ValidationError{Strategy: s.Name, Problems: problems}
 	}
 	return nil
+}
+
+// validateSubRollout checks a sub-rollout state's own shape and recurses
+// into every child strategy, folding the children's problems into the
+// parent's with a per-child prefix.
+func (s *Strategy) validateSubRollout(st *State, ancestors []string, addf func(string, ...any)) {
+	sr := st.Sub
+	if s.Automaton.IsFinal(st.ID) {
+		addf("state %q: final state cannot contain a sub-rollout", st.ID)
+	}
+	if len(st.Checks) > 0 {
+		addf("state %q: sub-rollout state cannot have checks (the children are its checks)", st.ID)
+	}
+	if st.Duration != 0 {
+		addf("state %q: sub-rollout state cannot have a duration (the children are its clock)", st.ID)
+	}
+	if len(sr.Children) == 0 {
+		addf("state %q: sub-rollout with no children", st.ID)
+	}
+	if sr.Quorum < 0 || sr.Quorum > len(sr.Children) {
+		addf("state %q: quorum %d out of range for %d children", st.ID, sr.Quorum, len(sr.Children))
+	}
+	switch sr.OnChildFail {
+	case "", ChildFailFallback, ChildFailAbort, ChildFailContinue:
+	default:
+		addf("state %q: onChildFail %q is not fallback|abort|continue", st.ID, sr.OnChildFail)
+	}
+
+	// Nesting depth: s sits at level len(ancestors)+1, its children at one
+	// below. Children deeper than MaxSubRolloutDepth are rejected before
+	// recursing, which also bounds the recursion itself.
+	if len(ancestors)+2 > MaxSubRolloutDepth {
+		addf("state %q: sub-rollout nested deeper than %d levels", st.ID, MaxSubRolloutDepth)
+		return
+	}
+
+	seen := make(map[string]bool, len(sr.Children))
+	for i := range sr.Children {
+		child := &sr.Children[i]
+		if child.Name == "" {
+			addf("state %q: sub-rollout child #%d has empty name", st.ID, i)
+			continue
+		}
+		if seen[child.Name] {
+			addf("state %q: duplicate sub-rollout child %q", st.ID, child.Name)
+		}
+		seen[child.Name] = true
+		cycle := child.Name == s.Name
+		for _, a := range ancestors {
+			cycle = cycle || child.Name == a
+		}
+		if cycle {
+			addf("state %q: sub-rollout child %q cycles back to an ancestor strategy", st.ID, child.Name)
+			continue
+		}
+		if child.Strategy == nil {
+			addf("state %q: sub-rollout child %q has no strategy", st.ID, child.Name)
+			continue
+		}
+		if child.Strategy.Name != child.Name {
+			addf("state %q: sub-rollout child %q names strategy %q", st.ID, child.Name, child.Strategy.Name)
+		}
+		if child.SuccessFinal != "" && !child.Strategy.Automaton.IsFinal(child.SuccessFinal) {
+			addf("state %q: child %q success final %q is not a final state of the child",
+				st.ID, child.Name, child.SuccessFinal)
+		}
+		if err := child.Strategy.validate(append(ancestors, s.Name)); err != nil {
+			var verr *ValidationError
+			if errors.As(err, &verr) {
+				for _, p := range verr.Problems {
+					addf("child %q: %s", child.Name, p)
+				}
+			} else {
+				addf("child %q: %v", child.Name, err)
+			}
+		}
+	}
 }
 
 func validateState(st *State, states map[string]*State, services map[string]Service,
@@ -141,7 +232,7 @@ func validateState(st *State, states map[string]*State, services map[string]Serv
 			addf("state %q: %d transitions for %d thresholds (want %d)",
 				st.ID, len(st.Transitions), len(st.Thresholds), len(st.Thresholds)+1)
 		}
-		if len(st.Checks) == 0 && st.Duration == 0 {
+		if len(st.Checks) == 0 && st.Duration == 0 && st.Sub == nil {
 			addf("state %q: non-final state with no checks and no duration", st.ID)
 		}
 	}
@@ -263,19 +354,29 @@ var ErrNoPath = errors.New("core: no path")
 
 // ReachableStates returns the set of state IDs reachable from the start
 // state by transitions and check fallbacks (exception, burnrate, and
-// sequential checks).
+// sequential checks). Sub-rollout states recurse into their children:
+// every state of a reachable child strategy appears under the qualified
+// key "childName/stateID".
 func (s *Strategy) ReachableStates() map[string]bool {
 	reach := make(map[string]bool)
+	s.reachableStates(reach, "", 1)
+	return reach
+}
+
+// reachableStates walks one automaton into reach, prefixing every key with
+// prefix. depth bounds the sub-rollout recursion so a pointer cycle in an
+// unvalidated strategy cannot loop forever.
+func (s *Strategy) reachableStates(reach map[string]bool, prefix string, depth int) {
 	var visit func(id string)
 	visit = func(id string) {
-		if reach[id] {
+		if reach[prefix+id] {
 			return
 		}
 		st, ok := s.Automaton.State(id)
 		if !ok {
 			return
 		}
-		reach[id] = true
+		reach[prefix+id] = true
 		for _, t := range st.Transitions {
 			visit(t)
 		}
@@ -284,7 +385,14 @@ func (s *Strategy) ReachableStates() map[string]bool {
 				visit(fb)
 			}
 		}
+		if st.Sub != nil && depth < MaxSubRolloutDepth {
+			for i := range st.Sub.Children {
+				child := &st.Sub.Children[i]
+				if child.Strategy != nil {
+					child.Strategy.reachableStates(reach, prefix+child.Name+"/", depth+1)
+				}
+			}
+		}
 	}
 	visit(s.Automaton.Start)
-	return reach
 }

@@ -80,7 +80,7 @@ button:hover { background: #30363d; }
 <body>
 <h1>Bifrost Dashboard</h1>
 <table id="strategies">
-<thead><tr><th>Strategy</th><th>State</th><th>Current phase</th><th>Transitions</th><th>Delay</th><th>Controls</th></tr></thead>
+<thead><tr><th>Strategy</th><th>State</th><th>Current phase</th><th>Regions</th><th>Transitions</th><th>Delay</th><th>Controls</th></tr></thead>
 <tbody></tbody>
 </table>
 <h2>Events</h2>
@@ -101,7 +101,15 @@ async function refresh() {
     const tr = document.createElement('tr');
     const delayMs = ((s.actualNanos - s.plannedNanos) / 1e6).toFixed(1);
     const live = s.state === 'running' || s.state === 'paused';
-    const cells = [s.strategy, s.state, s.current || '',
+    // Hierarchical runs mirror their per-region children: render the
+    // region tree as "eu:canary us:full(pass)".
+    const regions = (s.children || []).map(c => {
+      let v = (c.region || c.name) + ':' + (c.phase || c.state || '?');
+      if (c.passed) v += '(pass)';
+      else if (c.failed) v += '(fail)';
+      return v;
+    }).join(' ');
+    const cells = [s.strategy, s.state, s.current || '', regions,
                    String(s.path ? s.path.length : 0),
                    live ? '…' : delayMs + ' ms'];
     cells.forEach((text, i) => {
@@ -130,6 +138,7 @@ for (const type of ['state_entered','routing_applied','routing_converged',
                     'routing_degraded','check_executed','check_concluded',
                     'burnrate_triggered','exception_triggered','transition',
                     'paused','resumed','gate_decision','recovered',
+                    'child_scheduled','child_update','child_terminal',
                     'completed','aborted','error']) {
   source.addEventListener(type, (e) => { append(e.data); refresh(); });
 }

@@ -109,6 +109,7 @@ func TestDocsLinkTargetsExist(t *testing.T) {
 		filepath.Join("..", "..", "strategies", "slo-guarded-canary.yaml"),
 		filepath.Join("..", "..", "strategies", "fleet-canary.yaml"),
 		filepath.Join("..", "..", "strategies", "matrix-canary.yaml"),
+		filepath.Join("..", "..", "strategies", "multi-region-canary.yaml"),
 	} {
 		if _, err := os.Stat(path); err != nil {
 			t.Errorf("referenced file missing: %v", err)
@@ -125,7 +126,8 @@ func TestDocsLinkTargetsExist(t *testing.T) {
 		// runbook behind the committed BENCH_*.json artifacts.
 		"docs/operations.md#running-multiple-engine-replicas",
 		"docs/architecture.md#the-event-pipeline",
-		"docs/operations.md#benchmarking-and-the-perf-trajectory"} {
+		"docs/operations.md#benchmarking-and-the-perf-trajectory",
+		"docs/architecture.md#hierarchical-rollouts"} {
 		if !strings.Contains(string(readme), link) {
 			t.Errorf("README does not link %s", link)
 		}
@@ -133,7 +135,7 @@ func TestDocsLinkTargetsExist(t *testing.T) {
 	// Deep-linked anchors must resolve to a real heading in their target
 	// file (GitHub's anchor: lowercase, spaces to dashes).
 	for file, headings := range map[string][]string{
-		"architecture.md": {"## The event pipeline"},
+		"architecture.md": {"## The event pipeline", "## Hierarchical rollouts"},
 		"operations.md": {
 			"## Running multiple engine replicas",
 			"## Benchmarking and the perf trajectory",

@@ -148,7 +148,7 @@ func (c *Compiler) compileDoc(doc map[string]any) (*core.Strategy, error) {
 
 	providers := c.resolveProviders(d, doc)
 	s.Services = compileDeployment(d, doc)
-	compileStrategy(d, doc, s, providers, c.defaultProviderName(providers))
+	c.compileStrategy(d, doc, s, providers, c.defaultProviderName(providers))
 
 	if err := d.err(); err != nil {
 		return nil, err
@@ -269,7 +269,7 @@ func validateTarget(d *decoder, svc core.Service, ctx string) {
 	}
 }
 
-func compileStrategy(d *decoder, doc map[string]any, s *core.Strategy,
+func (c *Compiler) compileStrategy(d *decoder, doc map[string]any, s *core.Strategy,
 	providers map[string]Querier, defaultProvider string) {
 
 	strat := d.getMap(doc, "strategy", "document")
@@ -284,7 +284,8 @@ func compileStrategy(d *decoder, doc map[string]any, s *core.Strategy,
 		return
 	}
 
-	pc := &phaseCompiler{d: d, providers: providers, defaultProvider: defaultProvider}
+	pc := &phaseCompiler{d: d, c: c, doc: doc, strategyName: s.Name,
+		providers: providers, defaultProvider: defaultProvider}
 	for i, raw := range rawPhases {
 		ctx := "strategy.phases[" + itoa(i) + "]"
 		m, ok := raw.(map[string]any)
@@ -315,6 +316,9 @@ func compileStrategy(d *decoder, doc map[string]any, s *core.Strategy,
 
 type phaseCompiler struct {
 	d               *decoder
+	c               *Compiler
+	doc             map[string]any // the enclosing document (deployment, providers)
+	strategyName    string
 	providers       map[string]Querier
 	defaultProvider string
 	states          []core.State
@@ -335,7 +339,7 @@ func nextPhaseName(d *decoder, rawPhases []any, i int) string {
 func (pc *phaseCompiler) compilePhase(m map[string]any, ctx string, idx int, rawPhases []any) {
 	d := pc.d
 	d.unknownKeys(m, ctx, "phase", "description", "duration", "routes", "checks",
-		"on", "thresholds", "transitions", "gradual")
+		"on", "thresholds", "transitions", "gradual", "rollouts")
 
 	name := d.requireString(m, "phase", ctx)
 	if name == "" {
@@ -343,7 +347,29 @@ func (pc *phaseCompiler) compilePhase(m map[string]any, ctx string, idx int, raw
 	}
 
 	if gradual := d.getMap(m, "gradual", ctx); gradual != nil {
+		if _, has := m["rollouts"]; has {
+			d.errf("%s: use either gradual or rollouts, not both", ctx)
+			return
+		}
 		pc.expandGradual(m, gradual, name, ctx, idx, rawPhases)
+		return
+	}
+
+	if rollouts := d.getMap(m, "rollouts", ctx); rollouts != nil {
+		for _, forbidden := range []string{"checks", "duration"} {
+			if _, has := m[forbidden]; has {
+				d.errf("%s: %s is not allowed on a rollouts phase (the children are its checks and clock)",
+					ctx, forbidden)
+			}
+		}
+		st := core.State{
+			ID:          name,
+			Description: d.getString(m, "description", ctx),
+			Routing:     pc.compileRoutes(m, ctx),
+			Sub:         pc.compileSubRollout(rollouts, ctx+".rollouts"),
+		}
+		pc.attachTransitions(&st, m, ctx, idx, rawPhases)
+		pc.states = append(pc.states, st)
 		return
 	}
 
@@ -389,6 +415,13 @@ func (pc *phaseCompiler) attachTransitions(st *core.State, m map[string]any, ctx
 		if failure == "" {
 			// Success-only: a pure timed step.
 			st.Transitions = []string{success}
+			return
+		}
+		if st.Sub != nil {
+			// A sub-rollout state's outcome is the quorum decision: 1
+			// (quorum of children passed) or 0.
+			st.Thresholds = []int{0}
+			st.Transitions = []string{failure, success}
 			return
 		}
 		// success ⇔ every weighted basic check mapped to its success

@@ -1,0 +1,125 @@
+package dsl
+
+// Hierarchical rollouts: a phase whose `rollouts:` block nests a whole
+// child strategy, stamped once per region.
+//
+//	strategy:
+//	  phases:
+//	    - phase: regions
+//	      rollouts:
+//	        regions: [eu, us, ap]      # one child run per region
+//	        quorum: 2                  # promote when 2 regions pass (0 = all)
+//	        onChildFail: fallback      # fallback | abort | continue
+//	        strategy:                  # a full child phase list; `${region}`
+//	          phases:                  # is bound per region
+//	            - phase: canary
+//	              ...
+//	      on:
+//	        success: done              # quorum reached
+//	        failure: holdback          # quorum missed
+//
+// Each region's child compiles into a standalone document — the parent's
+// deployment and providers sections plus the nested strategy block, with
+// every `${region}` reference substituted (PR 7's template machinery) —
+// so the engine can schedule it through the normal run path, journal it
+// into its own partition, and recover it independently. A child passes
+// when it completes in its success final: the final reached by following
+// success transitions from the child's start, overridable with
+// `successFinal:`.
+
+import (
+	"bifrost/internal/core"
+	"bifrost/internal/yaml"
+)
+
+// compileSubRollout compiles a phase's rollouts: block into a
+// core.SubRollout, stamping one child strategy per region.
+func (pc *phaseCompiler) compileSubRollout(rollouts map[string]any, ctx string) *core.SubRollout {
+	d := pc.d
+	d.unknownKeys(rollouts, ctx, "regions", "quorum", "onChildFail", "successFinal", "strategy")
+
+	regions := d.getStringSlice(rollouts, "regions", ctx)
+	if len(regions) == 0 {
+		d.errf("%s: regions list is required and must not be empty", ctx)
+		return nil
+	}
+	sub := &core.SubRollout{
+		Quorum:      d.getInt(rollouts, "quorum", ctx, 0),
+		OnChildFail: d.getString(rollouts, "onChildFail", ctx),
+	}
+	explicitFinal := d.getString(rollouts, "successFinal", ctx)
+	childStrategy := d.getMap(rollouts, "strategy", ctx)
+	if childStrategy == nil {
+		d.errf("%s: strategy block is required (the phases each region runs)", ctx)
+		return nil
+	}
+
+	for _, region := range regions {
+		childName := pc.strategyName + "-" + slug(region)
+		childDoc := map[string]any{
+			"name":     childName,
+			"strategy": childStrategy,
+		}
+		if dep, ok := pc.doc["deployment"]; ok {
+			childDoc["deployment"] = dep
+		}
+		if prov, ok := pc.doc["providers"]; ok {
+			childDoc["providers"] = prov
+		}
+		used := make(map[string]bool, 1)
+		resolved, ok := substitute(d, map[string]any(childDoc), ctx, map[string]any{"region": region}, used).(map[string]any)
+		if !ok {
+			return nil
+		}
+		// Re-encode and recompile from source, exactly like template
+		// expansion: the child Source the engine journals must be the
+		// text that compiled.
+		src, err := yaml.Encode(resolved)
+		if err != nil {
+			d.errf("%s: region %q: re-encode child: %v", ctx, region, err)
+			continue
+		}
+		doc2, err := yaml.ParseMap(src)
+		if err != nil {
+			d.errf("%s: region %q: %v", ctx, region, err)
+			continue
+		}
+		child, err := pc.c.compileDoc(doc2)
+		if err != nil {
+			d.errf("%s: region %q: %v", ctx, region, err)
+			continue
+		}
+		final := explicitFinal
+		if final == "" {
+			final = successFinal(child)
+		}
+		sub.Children = append(sub.Children, core.ChildRef{
+			Name:         childName,
+			Region:       region,
+			Source:       src,
+			SuccessFinal: final,
+			Strategy:     child,
+		})
+	}
+	return sub
+}
+
+// successFinal derives the final state that counts as a child passing: the
+// state reached from the start by always taking the success transition
+// (the highest threshold range). Empty when the walk cycles or dead-ends.
+func successFinal(s *core.Strategy) string {
+	id := s.Automaton.Start
+	seen := make(map[string]bool, len(s.Automaton.States))
+	for !s.Automaton.IsFinal(id) {
+		if seen[id] {
+			return ""
+		}
+		seen[id] = true
+		st, ok := s.Automaton.State(id)
+		if !ok || len(st.Transitions) == 0 {
+			return ""
+		}
+		id = st.Transitions[len(st.Transitions)-1]
+	}
+	return id
+}

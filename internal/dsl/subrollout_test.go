@@ -1,0 +1,168 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+)
+
+const hierYAML = `
+name: multi
+deployment:
+  services:
+    - service: shop
+      target: flag
+      versions:
+        - name: stable
+          endpoint: stable.svc:80
+        - name: canary
+          endpoint: canary-${region}.svc:80
+strategy:
+  phases:
+    - phase: regions
+      rollouts:
+        regions: [eu, us, ap]
+        quorum: 2
+        onChildFail: fallback
+        strategy:
+          phases:
+            - phase: canary
+              description: canary in ${region}
+              duration: 5m
+              routes:
+                - route:
+                    service: shop
+                    weights: {stable: 90, canary: 10}
+              on:
+                success: full
+                failure: fallback
+            - phase: full
+              routes:
+                - route:
+                    service: shop
+                    weights: {canary: 100}
+            - phase: fallback
+              routes:
+                - route:
+                    service: shop
+                    weights: {stable: 100}
+      on:
+        success: done
+        failure: holdback
+    - phase: done
+    - phase: holdback
+`
+
+func TestRolloutsCompile(t *testing.T) {
+	s, err := Compile(hierYAML)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	st, ok := s.Automaton.State("regions")
+	if !ok || st.Sub == nil {
+		t.Fatal("regions phase did not compile into a sub-rollout state")
+	}
+	sub := st.Sub
+	if len(sub.Children) != 3 {
+		t.Fatalf("children = %d, want 3", len(sub.Children))
+	}
+	if sub.Quorum != 2 || sub.OnChildFail != "fallback" {
+		t.Errorf("quorum=%d onChildFail=%q, want 2/fallback", sub.Quorum, sub.OnChildFail)
+	}
+	for i, want := range []struct{ name, region string }{
+		{"multi-eu", "eu"}, {"multi-us", "us"}, {"multi-ap", "ap"},
+	} {
+		c := sub.Children[i]
+		if c.Name != want.name || c.Region != want.region {
+			t.Errorf("child %d = %s/%s, want %s/%s", i, c.Name, c.Region, want.name, want.region)
+		}
+		if c.SuccessFinal != "full" {
+			t.Errorf("child %s success final = %q, want full (derived)", c.Name, c.SuccessFinal)
+		}
+		// The stamped child must be a standalone compilable document with
+		// the region substituted into its deployment.
+		child, err := Compile(c.Source)
+		if err != nil {
+			t.Fatalf("child %s source does not recompile: %v", c.Name, err)
+		}
+		if child.Name != want.name {
+			t.Errorf("recompiled child name = %q, want %q", child.Name, want.name)
+		}
+		v, _ := child.Services[0].FindVersion("canary")
+		if wantEP := "canary-" + want.region + ".svc:80"; v.Endpoint != wantEP {
+			t.Errorf("child %s canary endpoint = %q, want %q", c.Name, v.Endpoint, wantEP)
+		}
+		canary, _ := child.Automaton.State("canary")
+		if !strings.Contains(canary.Description, want.region) {
+			t.Errorf("child %s description %q not stamped with region", c.Name, canary.Description)
+		}
+	}
+	// The quorum decision maps through δ: 0 → failure, 1 → success.
+	if len(st.Thresholds) != 1 || st.Thresholds[0] != 0 {
+		t.Errorf("sub state thresholds = %v, want [0]", st.Thresholds)
+	}
+	if len(st.Transitions) != 2 || st.Transitions[0] != "holdback" || st.Transitions[1] != "done" {
+		t.Errorf("sub state transitions = %v, want [holdback done]", st.Transitions)
+	}
+}
+
+// TestRolloutsInsideTemplate combines PR 7's matrix templates with
+// rollouts: the template pass must leave ${region} references inside the
+// rollouts block for the per-region stamping.
+func TestRolloutsInsideTemplate(t *testing.T) {
+	src := strings.Replace(hierYAML, "name: multi\n",
+		"name: multi-${tier}\nmatrix:\n  tier: [free, paid]\n", 1)
+	// ${region} outside the rollouts block is undefined at template time;
+	// keep it inside only for this combination test.
+	src = strings.Replace(src, "canary-${region}.svc:80", "canary.svc:80", 1)
+	runs, err := CompileAll(src)
+	if err != nil {
+		t.Fatalf("CompileAll: %v", err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("expanded to %d runs, want 2", len(runs))
+	}
+	for i, wantTier := range []string{"free", "paid"} {
+		s := runs[i].Strategy
+		if s.Name != "multi-"+wantTier {
+			t.Errorf("run %d name = %q", i, s.Name)
+		}
+		st, _ := s.Automaton.State("regions")
+		if st == nil || st.Sub == nil || len(st.Sub.Children) != 3 {
+			t.Fatalf("run %q lost its sub-rollout", s.Name)
+		}
+		if got := st.Sub.Children[0].Name; got != "multi-"+wantTier+"-eu" {
+			t.Errorf("run %q child 0 = %q", s.Name, got)
+		}
+		canary, _ := st.Sub.Children[0].Strategy.Automaton.State("canary")
+		if !strings.Contains(canary.Description, "eu") {
+			t.Errorf("template pass consumed ${region}: description %q", canary.Description)
+		}
+	}
+}
+
+func TestRolloutsCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, from, to, want string
+	}{
+		{"empty regions", "regions: [eu, us, ap]", "regions: []", "regions list is required"},
+		{"missing strategy", "        strategy:\n          phases:", "        notstrategy:\n          phases:", "strategy block is required"},
+		{"quorum too high", "quorum: 2", "quorum: 7", "quorum 7 out of range"},
+		{"duration forbidden", "      rollouts:", "      duration: 5m\n      rollouts:", "not allowed on a rollouts phase"},
+		{"bad policy", "onChildFail: fallback", "onChildFail: detonate", "not fallback|abort|continue"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := strings.Replace(hierYAML, tc.from, tc.to, 1)
+			if src == hierYAML {
+				t.Fatalf("replacement %q did not apply", tc.from)
+			}
+			_, err := Compile(src)
+			if err == nil {
+				t.Fatal("want compile error, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

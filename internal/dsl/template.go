@@ -404,7 +404,20 @@ func substitute(d *decoder, v any, ctx string, bindings map[string]any, used map
 			if sub := substituteString(d, k, ctx+"."+k, bindings, used); sub != nil {
 				nk = scalarString(sub)
 			}
-			out[nk] = substitute(d, item, ctx+"."+k, bindings, used)
+			inner := bindings
+			if k == "rollouts" {
+				// rollouts blocks bind ${region} per region when the
+				// sub-rollout compiles, after template expansion: pass the
+				// reference through this pass untouched.
+				if _, bound := bindings["region"]; !bound {
+					inner = make(map[string]any, len(bindings)+1)
+					for bk, bv := range bindings {
+						inner[bk] = bv
+					}
+					inner["region"] = "${region}"
+				}
+			}
+			out[nk] = substitute(d, item, ctx+"."+k, inner, used)
 		}
 		return out
 	default:

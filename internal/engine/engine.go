@@ -105,6 +105,9 @@ type Engine struct {
 	// enactGate, when set, must succeed before a new enactment registers
 	// (the cluster layer acquires the run's lease here).
 	enactGate func(run string) error
+	// children schedules and observes sub-rollout child runs (hierarchical
+	// rollouts). Defaults to in-process enactment.
+	children ChildRunner
 
 	generation atomic.Int64
 	wg         sync.WaitGroup
@@ -181,6 +184,14 @@ func WithEnactGate(fn func(run string) error) Option {
 	return func(e *Engine) { e.enactGate = fn }
 }
 
+// WithChildRunner overrides how sub-rollout children are scheduled and
+// observed. The default enacts them in-process; cluster deployments install
+// an HTTPChildRunner pointed at the cluster-routed API so children shard
+// across replicas like any operator-scheduled run.
+func WithChildRunner(cr ChildRunner) Option {
+	return func(e *Engine) { e.children = cr }
+}
+
 // WithEventRingSize overrides the global event replay ring (default 1024
 // events); mainly for tests exercising retention-exceeded SSE resumes.
 func WithEventRingSize(n int) Option {
@@ -206,6 +217,9 @@ func New(opts ...Option) *Engine {
 	}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.children == nil {
+		e.children = localChildRunner{eng: e}
 	}
 	// Fleet-aware configurators borrow the engine's clock (deterministic
 	// backoff in tests) and registry (per-replica generation gauges).

@@ -48,6 +48,17 @@ const (
 	// EventRemoved marks a finished run being forgotten (Engine.Remove);
 	// journaled so restarts do not resurrect the run's history.
 	EventRemoved EventType = "removed"
+	// EventChildScheduled, EventChildUpdate, and EventChildTerminal are the
+	// child-linkage events of hierarchical rollouts, journaled into the
+	// PARENT's partition: a parent run entering a sub-rollout state
+	// schedules one child run per region and mirrors their progress here,
+	// so the region tree is reduced into the parent's Status.Children both
+	// live and on journal replay. The quorum decision itself is a normal
+	// transition event (Cause "quorum", "quorum_failed", or
+	// "child_failure").
+	EventChildScheduled EventType = "child_scheduled"
+	EventChildUpdate    EventType = "child_update"
+	EventChildTerminal  EventType = "child_terminal"
 	// EventEventsDropped is a per-stream marker (never journaled as part of
 	// a run): the SSE client's Last-Event-ID points before the retained
 	// history, so a gap could not be replayed.
@@ -94,6 +105,15 @@ type Event struct {
 	Replicas int      `json:"replicas,omitempty"`
 	Acked    int      `json:"acked,omitempty"`
 	Lagging  []string `json:"lagging,omitempty"`
+	// Child, Region, ChildState, and ChildPhase describe one sub-rollout
+	// child on child_scheduled / child_update / child_terminal events: the
+	// child run's name, its region label, its run state, and the automaton
+	// state it is in. On child_terminal, Outcome is 1 when the child passed
+	// (completed in its success final) and 0 otherwise.
+	Child      string `json:"child,omitempty"`
+	Region     string `json:"region,omitempty"`
+	ChildState string `json:"childState,omitempty"`
+	ChildPhase string `json:"childPhase,omitempty"`
 	// Verdict carries the statistical result of check_executed,
 	// check_concluded, and burnrate_triggered events for compare,
 	// sequential, and burnrate checks.

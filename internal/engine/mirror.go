@@ -189,6 +189,28 @@ func (m *engineMirror) apply(strategy *core.Strategy, ev Event) {
 		if !replaced {
 			st.Fleet = append(st.Fleet, fs)
 		}
+	case EventChildScheduled, EventChildUpdate, EventChildTerminal:
+		// Reduce the parent's view of its sub-rollout children so recovery
+		// rebuilds the region tree — and the re-link seed — for free.
+		cs := ChildStatus{
+			Name: ev.Child, Region: ev.Region,
+			State: ev.ChildState, Phase: ev.ChildPhase,
+		}
+		if ev.Type == EventChildTerminal {
+			cs.Passed = ev.Outcome == 1
+			cs.Failed = !cs.Passed
+		}
+		replaced := false
+		for i := range st.Children {
+			if st.Children[i].Name == ev.Child {
+				st.Children[i] = cs
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			st.Children = append(st.Children, cs)
+		}
 	case EventTransition:
 		st.Path = append(st.Path, Transition{
 			From: ev.State, To: ev.Detail, Outcome: ev.Outcome,
@@ -238,6 +260,7 @@ func (m *engineMirror) clone() *engineMirror {
 		cp.Status.Path = append([]Transition(nil), rm.Status.Path...)
 		cp.Status.Checks = append([]CheckStatus(nil), rm.Status.Checks...)
 		cp.Status.Fleet = append([]FleetStatus(nil), rm.Status.Fleet...)
+		cp.Status.Children = append([]ChildStatus(nil), rm.Status.Children...)
 		c.Runs[name] = &cp
 	}
 	return c
@@ -256,6 +279,7 @@ func (m *engineMirror) cloneRun(name string) *engineMirror {
 	cp.Status.Path = append([]Transition(nil), rm.Status.Path...)
 	cp.Status.Checks = append([]CheckStatus(nil), rm.Status.Checks...)
 	cp.Status.Fleet = append([]FleetStatus(nil), rm.Status.Fleet...)
+	cp.Status.Children = append([]ChildStatus(nil), rm.Status.Children...)
 	return &engineMirror{
 		LastTime:   m.LastTime,
 		Generation: m.Generation,

@@ -91,6 +91,7 @@ func (e *Engine) Recover(compile CompileFunc) (*RecoveryReport, error) {
 	}
 	report := &RecoveryReport{Skipped: make(map[string]string)}
 	var ring []Event
+	var parts []*partitionReplay
 	for _, name := range names {
 		part, err := e.replayPartition(name, compile, e.fenceFor(name))
 		if err != nil {
@@ -101,13 +102,24 @@ func (e *Engine) Recover(compile CompileFunc) (*RecoveryReport, error) {
 			continue // empty partition: nothing ever flushed
 		}
 		ring = append(ring, part.events...)
+		parts = append(parts, part)
+	}
+	// Resume hierarchical parents only after every other partition: a
+	// parent's loop re-schedules its sub-rollout children on resume, and
+	// that must find the children already registered from their own
+	// partitions (a no-op re-link), not race their replay with a fresh
+	// enactment that would reset them.
+	sort.SliceStable(parts, func(a, b int) bool {
+		return !strategyHasSub(parts[a].strategy) && strategyHasSub(parts[b].strategy)
+	})
+	for _, part := range parts {
 		rr, err := e.resumePartition(part)
 		if err != nil {
 			return report, err
 		}
 		switch {
 		case rr.SkipReason != "":
-			report.Skipped[name] = rr.SkipReason
+			report.Skipped[part.name] = rr.SkipReason
 		case rr.Resumed:
 			report.Resumed = append(report.Resumed, rr.Run)
 		default:
@@ -351,6 +363,20 @@ func (e *Engine) resumePartition(part *partitionReplay) (*RunRecovery, error) {
 		r.loop(ctx)
 	}()
 	return &RunRecovery{Run: r, Resumed: true}, nil
+}
+
+// strategyHasSub reports whether any state nests a sub-rollout (the
+// strategy is a hierarchical parent).
+func strategyHasSub(s *core.Strategy) bool {
+	if s == nil {
+		return false
+	}
+	for i := range s.Automaton.States {
+		if s.Automaton.States[i].Sub != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // effectiveRouting returns the routing configurations in force when the

@@ -143,6 +143,11 @@ type Status struct {
 	// routing generation (fleet-aware configurators only), maintained by
 	// the run's background reconciler.
 	Fleet []FleetStatus `json:"fleet,omitempty"`
+	// Children mirrors the sub-rollout children of a hierarchical run,
+	// reduced from the child-linkage events in the parent's own partition —
+	// live and on journal replay alike, so a recovered parent re-links to
+	// its still-running children from this very list.
+	Children []ChildStatus `json:"children,omitempty"`
 	// PauseGen counts completed Pause calls. A Resume carrying a non-zero
 	// generation only succeeds while that pause is still the current one.
 	PauseGen int `json:"pauseGen,omitempty"`
@@ -173,6 +178,20 @@ type Transition struct {
 	Cause string `json:"cause,omitempty"`
 }
 
+// ChildStatus is one sub-rollout child's progress as seen by its parent:
+// which run state it is in, which automaton state, and — once terminal —
+// whether it counted toward the quorum.
+type ChildStatus struct {
+	Name   string `json:"name"`
+	Region string `json:"region,omitempty"`
+	// State is the child's run state (running, completed, aborted, ...).
+	State string `json:"state,omitempty"`
+	// Phase is the automaton state the child is executing.
+	Phase  string `json:"phase,omitempty"`
+	Passed bool   `json:"passed,omitempty"`
+	Failed bool   `json:"failed,omitempty"`
+}
+
 // CheckStatus reports one check's progress within the current state.
 type CheckStatus struct {
 	Name       string `json:"name"`
@@ -200,6 +219,7 @@ func (r *Run) Status() Status {
 	st.Path = append([]Transition(nil), r.status.Path...)
 	st.Checks = append([]CheckStatus(nil), r.status.Checks...)
 	st.Fleet = append([]FleetStatus(nil), r.status.Fleet...)
+	st.Children = append([]ChildStatus(nil), r.status.Children...)
 	return st
 }
 
@@ -446,7 +466,12 @@ func (r *Run) loop(ctx context.Context) {
 
 		var res stepResult
 		var err error
-		if resuming && rc.paused {
+		if state.Sub != nil {
+			// A sub-rollout state: the children are its checks and clock.
+			// Recovery needs no special entry here — executeSubRollout
+			// re-links from the mirror-reduced Status.Children.
+			res, err = r.executeSubRollout(ctx, state)
+		} else if resuming && rc.paused {
 			// The run was paused when the engine went down: hold position
 			// again (routing above was re-asserted), same pause generation.
 			r.setRunState(RunPaused, "")

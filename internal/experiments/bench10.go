@@ -1,0 +1,337 @@
+// Hierarchical-rollout macro-bench (BENCH_10.json): wall-time and blast
+// radius of the region scheduling shapes a sub-rollout state enables —
+// sequential region-after-region (the pre-hierarchy baseline), parallel
+// regions gated on all passing, and quorum-parallel promotion that does
+// not wait for the slowest region. The event-pipeline figures from
+// BENCH_9 are re-measured in the same run so the committed file stays
+// comparable against the previous baseline via benchrunner -compare.
+
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"bifrost/internal/core"
+	"bifrost/internal/engine"
+)
+
+// Bench10Config sizes the hierarchical-rollout benchmarks. The zero value
+// is filled with defaults for a committed baseline run.
+type Bench10Config struct {
+	// Regions is the child-run fan-out of the benchmarked sub-rollout.
+	Regions int `json:"regions"`
+	// Quorum is the promotion quorum for the quorum-parallel scenario;
+	// zero defaults to ceil(2/3 · Regions).
+	Quorum int `json:"quorum"`
+	// CheckInterval × Executions is one region's gate schedule: every
+	// child must collect Executions passing samples CheckInterval apart.
+	CheckInterval time.Duration `json:"checkIntervalNs"`
+	Executions    int           `json:"executions"`
+	// SlowFactor stretches one region's schedule in the quorum scenario
+	// (the straggler the quorum must not wait for).
+	SlowFactor int `json:"slowFactor"`
+
+	// PipelineEvents/PipelineSubscribers size the re-run of the BENCH_9
+	// event-pipeline measurement (same defaults as Bench9Config).
+	PipelineEvents      int `json:"pipelineEvents"`
+	PipelineSubscribers int `json:"pipelineSubscribers"`
+}
+
+func (c Bench10Config) withDefaults() Bench10Config {
+	if c.Regions <= 0 {
+		c.Regions = 6
+	}
+	if c.Quorum <= 0 {
+		c.Quorum = (2*c.Regions + 2) / 3
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = 25 * time.Millisecond
+	}
+	if c.Executions <= 0 {
+		c.Executions = 20
+	}
+	if c.SlowFactor <= 1 {
+		c.SlowFactor = 4
+	}
+	if c.PipelineEvents <= 0 {
+		c.PipelineEvents = 50_000
+	}
+	if c.PipelineSubscribers <= 0 {
+		c.PipelineSubscribers = 64
+	}
+	return c
+}
+
+// Bench10Result is the committed BENCH_10.json shape. The pipeline block
+// reuses BENCH_9's key names so benchrunner -compare lines the two
+// baselines up metric for metric.
+type Bench10Result struct {
+	Config Bench10Config `json:"config"`
+
+	// Region scheduling shapes: wall time to a promoted release across
+	// Config.Regions regions, each gated on the same check schedule.
+	SequentialWallMs float64 `json:"sequentialWallMs"`
+	ParallelWallMs   float64 `json:"parallelWallMs"`
+	QuorumWallMs     float64 `json:"quorumWallMs"`
+	ParallelSpeedup  float64 `json:"parallelSpeedup"`
+	QuorumSpeedup    float64 `json:"quorumSpeedup"`
+
+	// Blast radius: a quorum-parallel rollout with one poisoned region
+	// under the fallback policy. The poisoned region must land in its own
+	// fallback phase with zero siblings aborted.
+	PassedRegions   int `json:"passedRegions"`
+	FailedRegions   int `json:"failedRegions"`
+	AbortedSiblings int `json:"abortedSiblings"`
+
+	// Event pipeline, re-measured (BENCH_9-comparable keys).
+	PipelineEventsPerSec  float64 `json:"pipelineEventsPerSec"`
+	PublishEventsPerSec   float64 `json:"publishEventsPerSec"`
+	DeliveredFrames       int64   `json:"deliveredFrames"`
+	DeliveredFramesPerSec float64 `json:"deliveredFramesPerSec"`
+}
+
+// RunBench10 measures the three region-scheduling scenarios and re-runs
+// the BENCH_9 pipeline measurement.
+func RunBench10(cfg Bench10Config) (*Bench10Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Bench10Result{Config: cfg}
+
+	seq, err := bench10Sequential(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench10 sequential: %w", err)
+	}
+	res.SequentialWallMs = seq
+
+	par, err := bench10Parallel(cfg, 0, 1) // quorum 0 = all regions
+	if err != nil {
+		return nil, fmt.Errorf("bench10 parallel: %w", err)
+	}
+	res.ParallelWallMs = par
+
+	quo, err := bench10Parallel(cfg, cfg.Quorum, cfg.SlowFactor)
+	if err != nil {
+		return nil, fmt.Errorf("bench10 quorum: %w", err)
+	}
+	res.QuorumWallMs = quo
+	if par > 0 {
+		res.ParallelSpeedup = seq / par
+	}
+	if quo > 0 {
+		res.QuorumSpeedup = seq / quo
+	}
+
+	if err := bench10BlastRadius(cfg, res); err != nil {
+		return nil, fmt.Errorf("bench10 blast radius: %w", err)
+	}
+
+	nine := &Bench9Result{}
+	if err := benchPipeline(Bench9Config{
+		Events:      cfg.PipelineEvents,
+		Subscribers: cfg.PipelineSubscribers,
+	}.withDefaults(), nine); err != nil {
+		return nil, fmt.Errorf("bench10 pipeline: %w", err)
+	}
+	res.PipelineEventsPerSec = nine.PipelineEventsPerSec
+	res.PublishEventsPerSec = nine.PublishEventsPerSec
+	res.DeliveredFrames = nine.DeliveredFrames
+	res.DeliveredFramesPerSec = nine.DeliveredFramesPerSec
+	return res, nil
+}
+
+// bench10Region builds one region's gate strategy: canary → (full |
+// fallback) after executions samples of a constant check.
+func bench10Region(name string, pass bool, interval time.Duration, executions int) *core.Strategy {
+	return &core.Strategy{
+		Name: name,
+		Services: []core.Service{{
+			Name: "svc",
+			Versions: []core.Version{
+				{Name: "stable", Endpoint: "127.0.0.1:1001"},
+				{Name: "canary", Endpoint: "127.0.0.1:1002"},
+			},
+		}},
+		Automaton: core.Automaton{
+			Start:  "canary",
+			Finals: []string{"full", "fallback"},
+			States: []core.State{
+				{
+					ID: "canary",
+					Checks: []core.Check{{
+						Name:       "gate",
+						Kind:       core.BasicCheck,
+						Eval:       core.ConstEvaluator(pass),
+						Interval:   interval,
+						Executions: executions,
+						Weight:     1,
+						Thresholds: []int{executions - 1},
+						Outputs:    []int{-1, 1},
+					}},
+					Thresholds:  []int{0},
+					Transitions: []string{"fallback", "full"},
+				},
+				{ID: "full"},
+				{ID: "fallback"},
+			},
+		},
+	}
+}
+
+// bench10Parent wraps child refs into a quorum-gated parent run.
+func bench10Parent(name string, sub *core.SubRollout) *core.Strategy {
+	return &core.Strategy{
+		Name: name,
+		Automaton: core.Automaton{
+			Start:  "regions",
+			Finals: []string{"done", "holdback"},
+			States: []core.State{
+				{
+					ID:          "regions",
+					Sub:         sub,
+					Thresholds:  []int{0},
+					Transitions: []string{"holdback", "done"},
+				},
+				{ID: "done"},
+				{ID: "holdback"},
+			},
+		},
+	}
+}
+
+// bench10Wait polls a run to a terminal state.
+func bench10Wait(r *engine.Run, timeout time.Duration) (engine.Status, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st := r.Status()
+		switch st.State {
+		case engine.RunPending, engine.RunRunning, engine.RunPaused:
+		default:
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("run %s still %s after %v", st.Strategy, st.State, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// bench10Sequential enacts the regions one after another — the rollout
+// shape a flat strategy forces — and times the full chain.
+func bench10Sequential(cfg Bench10Config) (float64, error) {
+	eng := engine.New()
+	defer eng.Shutdown()
+	start := time.Now()
+	for i := 0; i < cfg.Regions; i++ {
+		s := bench10Region(fmt.Sprintf("seq-r%d", i), true, cfg.CheckInterval, cfg.Executions)
+		run, err := eng.Enact(s)
+		if err != nil {
+			return 0, err
+		}
+		st, err := bench10Wait(run, time.Minute)
+		if err != nil {
+			return 0, err
+		}
+		if st.State != engine.RunCompleted {
+			return 0, fmt.Errorf("region %d ended %s", i, st.State)
+		}
+	}
+	return float64(time.Since(start).Microseconds()) / 1000, nil
+}
+
+// bench10Parallel enacts one parent fanning out every region at once and
+// times it to completion. quorum 0 waits for all regions; slowFactor > 1
+// stretches the last region's schedule so a real quorum can show it does
+// not wait for the straggler.
+func bench10Parallel(cfg Bench10Config, quorum, slowFactor int) (float64, error) {
+	eng := engine.New()
+	defer eng.Shutdown()
+	refs := make([]core.ChildRef, cfg.Regions)
+	for i := range refs {
+		executions := cfg.Executions
+		if slowFactor > 1 && i == cfg.Regions-1 {
+			executions *= slowFactor
+		}
+		s := bench10Region(fmt.Sprintf("par-r%d", i), true, cfg.CheckInterval, executions)
+		refs[i] = core.ChildRef{
+			Name: s.Name, Region: fmt.Sprintf("r%d", i), SuccessFinal: "full", Strategy: s,
+		}
+	}
+	parent := bench10Parent("par", &core.SubRollout{Children: refs, Quorum: quorum})
+	start := time.Now()
+	run, err := eng.Enact(parent)
+	if err != nil {
+		return 0, err
+	}
+	st, err := bench10Wait(run, time.Minute)
+	if err != nil {
+		return 0, err
+	}
+	wall := float64(time.Since(start).Microseconds()) / 1000
+	if st.State != engine.RunCompleted || st.Current != "done" {
+		return 0, fmt.Errorf("parent ended %s in %q", st.State, st.Current)
+	}
+	return wall, nil
+}
+
+// bench10BlastRadius poisons one region of a quorum-parallel rollout and
+// counts the damage: under the fallback policy the poisoned region lands
+// in its own fallback phase and no sibling is aborted.
+func bench10BlastRadius(cfg Bench10Config, res *Bench10Result) error {
+	eng := engine.New()
+	defer eng.Shutdown()
+	runs := make([]*engine.Run, 0, cfg.Regions)
+	refs := make([]core.ChildRef, cfg.Regions)
+	for i := range refs {
+		s := bench10Region(fmt.Sprintf("blast-r%d", i), i != 0, cfg.CheckInterval, cfg.Executions)
+		refs[i] = core.ChildRef{
+			Name: s.Name, Region: fmt.Sprintf("r%d", i), SuccessFinal: "full", Strategy: s,
+		}
+	}
+	parent := bench10Parent("blast", &core.SubRollout{
+		Children: refs, Quorum: cfg.Quorum, OnChildFail: core.ChildFailFallback,
+	})
+	run, err := eng.Enact(parent)
+	if err != nil {
+		return err
+	}
+	st, err := bench10Wait(run, time.Minute)
+	if err != nil {
+		return err
+	}
+	if st.State != engine.RunCompleted || st.Current != "done" {
+		return fmt.Errorf("parent ended %s in %q, want quorum promotion", st.State, st.Current)
+	}
+	// The parent promotes on quorum; wait for every region to settle
+	// before measuring the blast radius.
+	for i := range refs {
+		child, ok := eng.Run(refs[i].Name)
+		if !ok {
+			return fmt.Errorf("child %s never scheduled", refs[i].Name)
+		}
+		runs = append(runs, child)
+	}
+	for _, child := range runs {
+		cst, err := bench10Wait(child, time.Minute)
+		if err != nil {
+			return err
+		}
+		switch {
+		case cst.State == engine.RunAborted:
+			res.AbortedSiblings++
+		case cst.State == engine.RunCompleted && cst.Current == "full":
+			res.PassedRegions++
+		default:
+			res.FailedRegions++
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the result as indented JSON (the BENCH_10.json format).
+func (r *Bench10Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

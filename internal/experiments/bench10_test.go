@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestBench10Smoke runs the hierarchical-rollout macro-bench at toy
+// scale: every scenario must complete, the parallel shapes must beat the
+// sequential chain, the poisoned region must stay contained, and the
+// JSON must carry the BENCH_9-comparable pipeline keys.
+func TestBench10Smoke(t *testing.T) {
+	res, err := RunBench10(Bench10Config{
+		Regions:             4,
+		Quorum:              3,
+		CheckInterval:       5 * time.Millisecond,
+		Executions:          4,
+		SlowFactor:          4,
+		PipelineEvents:      300,
+		PipelineSubscribers: 8,
+	})
+	if err != nil {
+		t.Fatalf("RunBench10: %v", err)
+	}
+	if res.SequentialWallMs <= 0 || res.ParallelWallMs <= 0 || res.QuorumWallMs <= 0 {
+		t.Errorf("wall times not measured: %+v", res)
+	}
+	if res.ParallelSpeedup <= 1 {
+		t.Errorf("parallel regions no faster than sequential: speedup %.2f", res.ParallelSpeedup)
+	}
+	if res.QuorumSpeedup <= 1 {
+		t.Errorf("quorum promotion no faster than sequential: speedup %.2f", res.QuorumSpeedup)
+	}
+	// The quorum scenario's straggler runs SlowFactor× longer than every
+	// other region; promoting on quorum means not paying for it.
+	if slowest := float64(res.Config.SlowFactor) * res.ParallelWallMs / 2; res.QuorumWallMs > slowest {
+		t.Errorf("quorum wall %.1fms looks like it waited for the straggler (parallel %.1fms, factor %d)",
+			res.QuorumWallMs, res.ParallelWallMs, res.Config.SlowFactor)
+	}
+	if res.FailedRegions != 1 || res.AbortedSiblings != 0 {
+		t.Errorf("blast radius: %d failed / %d aborted siblings, want 1 / 0",
+			res.FailedRegions, res.AbortedSiblings)
+	}
+	if res.PassedRegions != res.Config.Regions-1 {
+		t.Errorf("%d regions passed, want %d", res.PassedRegions, res.Config.Regions-1)
+	}
+	if res.PipelineEventsPerSec <= 0 || res.PublishEventsPerSec <= 0 {
+		t.Errorf("pipeline throughput not re-measured: %+v", res)
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("result JSON does not parse: %v", err)
+	}
+	for _, key := range []string{"sequentialWallMs", "quorumWallMs", "pipelineEventsPerSec", "deliveredFramesPerSec"} {
+		v, ok := decoded[key].(float64)
+		if !ok || v <= 0 {
+			t.Errorf("JSON key %q missing or non-positive: %v", key, decoded[key])
+		}
+	}
+}
